@@ -1,0 +1,128 @@
+//! Ablations of the design choices the paper discusses: MVPT arity
+//! (§4.3: "we set m as 5"), SPB-tree SFC resolution (§5.4 discretization
+//! trade-off), and the PM-tree's pivot rings versus a plain M-tree.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmi::builder::{build_index, BuildOptions, IndexKind};
+
+fn la_setup(n: usize, l: usize) -> (Vec<Vec<f32>>, Vec<Vec<f32>>, pmi::builder::BuildOptions) {
+    let pts = pmi::datasets::la(n, 42);
+    let pivots: Vec<Vec<f32>> = pmi::pivots::select_hfi(&pts, &pmi::L2, l, 42)
+        .into_iter()
+        .map(|i| pts[i].clone())
+        .collect();
+    let opts = pmi::builder::BuildOptions {
+        num_pivots: l,
+        d_plus: 14143.0,
+        maxnum: (n / 64).max(64),
+        ..Default::default()
+    };
+    (pts, pivots, opts)
+}
+
+fn bench(c: &mut Criterion) {
+    let (pts, pivots, opts) = la_setup(3000, 5);
+    let mut g = c.benchmark_group("ablations_la3k");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1600));
+
+    // MVPT arity sweep.
+    for arity in [2usize, 5, 16] {
+        let o = BuildOptions {
+            mvpt_arity: arity,
+            ..opts.clone()
+        };
+        let idx = build_index(IndexKind::Mvpt, pts.clone(), pmi::L2, pivots.clone(), &o).unwrap();
+        g.bench_function(format!("mvpt_arity/m{arity}"), |b| {
+            let mut qi = 0usize;
+            b.iter(|| {
+                qi = (qi + 131) % pts.len();
+                idx.knn_query(&pts[qi], 20)
+            })
+        });
+    }
+
+    // SPB-tree SFC bits sweep.
+    for bits in [4u32, 8, 12] {
+        let o = BuildOptions {
+            sfc_bits: bits,
+            ..opts.clone()
+        };
+        let idx = build_index(IndexKind::Spb, pts.clone(), pmi::L2, pivots.clone(), &o).unwrap();
+        g.bench_function(format!("spb_bits/b{bits}"), |b| {
+            let mut qi = 0usize;
+            b.iter(|| {
+                qi = (qi + 131) % pts.len();
+                idx.range_query(&pts[qi], 400.0)
+            })
+        });
+    }
+
+    // PM-tree rings vs plain M-tree clustering (CPT's tree without rings).
+    for kind in [IndexKind::PmTree, IndexKind::Cpt] {
+        let idx = build_index(kind, pts.clone(), pmi::L2, pivots.clone(), &opts).unwrap();
+        g.bench_function(format!("rings/{}", idx.name()), |b| {
+            let mut qi = 0usize;
+            b.iter(|| {
+                qi = (qi + 131) % pts.len();
+                idx.range_query(&pts[qi], 400.0)
+            })
+        });
+    }
+
+    // FQT vs FQA (array form) on a discrete metric.
+    {
+        let syn = pmi::datasets::synthetic(3000, 42);
+        let m = pmi::LInf::discrete();
+        let spv: Vec<Vec<f32>> = pmi::pivots::select_hfi(&syn, &m, 5, 42)
+            .into_iter()
+            .map(|i| syn[i].clone())
+            .collect();
+        let o = BuildOptions {
+            d_plus: 10000.0,
+            ..opts.clone()
+        };
+        for kind in [IndexKind::Fqt, IndexKind::Fqa] {
+            let idx = build_index(kind, syn.clone(), m, spv.clone(), &o).unwrap();
+            g.bench_function(format!("fq_form/{}", idx.name()), |b| {
+                let mut qi = 0usize;
+                b.iter(|| {
+                    qi = (qi + 131) % syn.len();
+                    idx.knn_query(&syn[qi], 20)
+                })
+            });
+        }
+    }
+
+    // EPT* (in-memory) vs EPT*-disk (the paper's §7 future-work variant).
+    {
+        let star =
+            build_index(IndexKind::EptStar, pts.clone(), pmi::L2, pivots.clone(), &opts).unwrap();
+        let disk = pmi::EptDisk::build(
+            pts.clone(),
+            pmi::L2,
+            pmi::storage::DiskSim::default_pages(),
+            pmi::EptDiskConfig::default(),
+        );
+        g.bench_function("ept_disk/EPT*", |b| {
+            let mut qi = 0usize;
+            b.iter(|| {
+                qi = (qi + 131) % pts.len();
+                star.knn_query(&pts[qi], 20)
+            })
+        });
+        g.bench_function("ept_disk/EPT*-disk", |b| {
+            use pmi::MetricIndex as _;
+            let mut qi = 0usize;
+            b.iter(|| {
+                qi = (qi + 131) % pts.len();
+                disk.knn_query(&pts[qi], 20)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

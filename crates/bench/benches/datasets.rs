@@ -1,0 +1,30 @@
+//! Bench target for Table 2: dataset generation + statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_datasets");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1600));
+    g.bench_function("la_generate_2k", |b| {
+        b.iter(|| pmi::datasets::la(2000, 42))
+    });
+    g.bench_function("words_generate_2k", |b| {
+        b.iter(|| pmi::datasets::words(2000, 42))
+    });
+    g.bench_function("color_generate_500", |b| {
+        b.iter(|| pmi::datasets::color(500, 42))
+    });
+    g.bench_function("synthetic_generate_2k", |b| {
+        b.iter(|| pmi::datasets::synthetic(2000, 42))
+    });
+    let la = pmi::datasets::la(2000, 42);
+    g.bench_function("intrinsic_dim_la", |b| {
+        b.iter(|| pmi::datasets::dataset_stats(&la, &pmi::L2, 2000, 1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

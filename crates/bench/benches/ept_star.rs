@@ -1,0 +1,43 @@
+//! Bench target for Figure 14: EPT vs EPT* MkNNQ.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmi::builder::{build_index, IndexKind};
+
+fn la_setup(n: usize, l: usize) -> (Vec<Vec<f32>>, Vec<Vec<f32>>, pmi::builder::BuildOptions) {
+    let pts = pmi::datasets::la(n, 42);
+    let pivots: Vec<Vec<f32>> = pmi::pivots::select_hfi(&pts, &pmi::L2, l, 42)
+        .into_iter()
+        .map(|i| pts[i].clone())
+        .collect();
+    let opts = pmi::builder::BuildOptions {
+        num_pivots: l,
+        d_plus: 14143.0,
+        maxnum: (n / 64).max(64),
+        ..Default::default()
+    };
+    (pts, pivots, opts)
+}
+
+fn bench(c: &mut Criterion) {
+    let (pts, pivots, opts) = la_setup(3000, 5);
+    let mut g = c.benchmark_group("fig14_ept_vs_eptstar_la3k");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1600));
+    for kind in [IndexKind::Ept, IndexKind::EptStar] {
+        let idx = build_index(kind, pts.clone(), pmi::L2, pivots.clone(), &opts).unwrap();
+        for k in [5usize, 20, 100] {
+            g.bench_function(format!("{}/k{k}", kind.label()), |b| {
+                let mut qi = 0usize;
+                b.iter(|| {
+                    qi = (qi + 131) % pts.len();
+                    idx.knn_query(&pts[qi], k)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Bench target for Figure 16: MRQ vs radius selectivity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmi::builder::{build_index, IndexKind};
+
+fn la_setup(n: usize, l: usize) -> (Vec<Vec<f32>>, Vec<Vec<f32>>, pmi::builder::BuildOptions) {
+    let pts = pmi::datasets::la(n, 42);
+    let pivots: Vec<Vec<f32>> = pmi::pivots::select_hfi(&pts, &pmi::L2, l, 42)
+        .into_iter()
+        .map(|i| pts[i].clone())
+        .collect();
+    let opts = pmi::builder::BuildOptions {
+        num_pivots: l,
+        d_plus: 14143.0,
+        maxnum: (n / 64).max(64),
+        ..Default::default()
+    };
+    (pts, pivots, opts)
+}
+
+fn bench(c: &mut Criterion) {
+    let (pts, pivots, opts) = la_setup(3000, 5);
+    let mut g = c.benchmark_group("fig16_mrq_la3k");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1600));
+    let radii: Vec<(u32, f64)> = [(4u32, 0.04f64), (16, 0.16), (64, 0.64)]
+        .iter()
+        .map(|(pct, s)| (*pct, pmi::datasets::calibrate_radius(&pts, &pmi::L2, *s, 42)))
+        .collect();
+    for kind in [
+        IndexKind::EptStar,
+        IndexKind::Cpt,
+        IndexKind::Mvpt,
+        IndexKind::Spb,
+        IndexKind::MIndexStar,
+        IndexKind::PmTree,
+        IndexKind::OmniR,
+    ] {
+        let idx = build_index(kind, pts.clone(), pmi::L2, pivots.clone(), &opts).unwrap();
+        for (pct, r) in &radii {
+            g.bench_function(format!("{}/r{pct}pct", kind.label()), |b| {
+                let mut qi = 0usize;
+                b.iter(|| {
+                    qi = (qi + 131) % pts.len();
+                    idx.range_query(&pts[qi], *r)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

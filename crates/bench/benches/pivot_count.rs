@@ -1,0 +1,43 @@
+//! Bench target for Figure 18: MkNNQ vs |P|.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmi::builder::{build_index, IndexKind};
+
+fn la_setup(n: usize, l: usize) -> (Vec<Vec<f32>>, Vec<Vec<f32>>, pmi::builder::BuildOptions) {
+    let pts = pmi::datasets::la(n, 42);
+    let pivots: Vec<Vec<f32>> = pmi::pivots::select_hfi(&pts, &pmi::L2, l, 42)
+        .into_iter()
+        .map(|i| pts[i].clone())
+        .collect();
+    let opts = pmi::builder::BuildOptions {
+        num_pivots: l,
+        d_plus: 14143.0,
+        maxnum: (n / 64).max(64),
+        ..Default::default()
+    };
+    (pts, pivots, opts)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig18_pivots_la3k");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1600));
+    for l in [1usize, 5, 9] {
+        let (pts, pivots, opts) = la_setup(3000, l);
+        for kind in [IndexKind::Mvpt, IndexKind::Spb, IndexKind::OmniR] {
+            let idx = build_index(kind, pts.clone(), pmi::L2, pivots.clone(), &opts).unwrap();
+            g.bench_function(format!("{}/P{l}", kind.label()), |b| {
+                let mut qi = 0usize;
+                b.iter(|| {
+                    qi = (qi + 131) % pts.len();
+                    idx.knn_query(&pts[qi], 20)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Bench target for Table 6: update (delete + reinsert) cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmi::builder::{build_index, IndexKind};
+
+fn la_setup(n: usize, l: usize) -> (Vec<Vec<f32>>, Vec<Vec<f32>>, pmi::builder::BuildOptions) {
+    let pts = pmi::datasets::la(n, 42);
+    let pivots: Vec<Vec<f32>> = pmi::pivots::select_hfi(&pts, &pmi::L2, l, 42)
+        .into_iter()
+        .map(|i| pts[i].clone())
+        .collect();
+    let opts = pmi::builder::BuildOptions {
+        num_pivots: l,
+        d_plus: 14143.0,
+        maxnum: (n / 64).max(64),
+        ..Default::default()
+    };
+    (pts, pivots, opts)
+}
+
+fn bench(c: &mut Criterion) {
+    let (pts, pivots, opts) = la_setup(2000, 5);
+    let mut g = c.benchmark_group("table6_update_la2k");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1600));
+    for kind in [
+        IndexKind::Laesa,
+        IndexKind::EptStar,
+        IndexKind::Cpt,
+        IndexKind::Mvpt,
+        IndexKind::PmTree,
+        IndexKind::OmniR,
+        IndexKind::MIndexStar,
+        IndexKind::Spb,
+    ] {
+        let mut idx =
+            build_index(kind, pts.clone(), pmi::L2, pivots.clone(), &opts).unwrap();
+        // Reinsertion assigns fresh ids, so track the live id per slot.
+        let mut live: Vec<u32> = (0..2000).collect();
+        let mut next = 0usize;
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                next = (next + 37) % live.len();
+                let o = idx.get(live[next]).expect("live object");
+                assert!(idx.remove(live[next]));
+                live[next] = idx.insert(o);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,633 @@
+//! Per-table / per-figure experiment drivers. Each function regenerates one
+//! artifact of the paper's §6 and prints it as an aligned text table; the
+//! `repro` binary maps subcommands onto these.
+
+use crate::harness::{self, BuildStats, QueryCost, UpdateCost};
+use crate::scenario::{Scenario, ScenarioData};
+use pmi::builder::IndexKind;
+use pmi::{datasets, EncodeObject, Metric};
+
+/// Harness-wide experiment settings.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpConfig {
+    /// Dataset scale factor (1.0 = the harness defaults; the paper uses
+    /// ~1M objects, which a laptop-scale run shrinks).
+    pub scale: f64,
+    /// Queries per measurement (paper: 100).
+    pub queries: usize,
+    /// Update operations per measurement (Table 6).
+    pub updates: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            scale: 1.0,
+            queries: 20,
+            updates: 20,
+            seed: 42,
+        }
+    }
+}
+
+/// Indexes of the paper's Tables 4 and 6 (BKT/FQT appear only on discrete
+/// datasets).
+pub fn table_kinds(discrete: bool) -> Vec<IndexKind> {
+    let mut v = vec![
+        IndexKind::Laesa,
+        IndexKind::Ept,
+        IndexKind::EptStar,
+        IndexKind::Cpt,
+    ];
+    if discrete {
+        v.push(IndexKind::Bkt);
+        v.push(IndexKind::Fqt);
+    }
+    v.extend([
+        IndexKind::Mvpt,
+        IndexKind::PmTree,
+        IndexKind::OmniR,
+        IndexKind::MIndexStar,
+        IndexKind::Spb,
+    ]);
+    v
+}
+
+/// The nine indexes plotted by Figures 16–18 (BKT/FQT only when discrete).
+pub fn figure_kinds(discrete: bool) -> Vec<IndexKind> {
+    IndexKind::FIGURE_SET
+        .into_iter()
+        .filter(|k| discrete || !k.requires_discrete())
+        .collect()
+}
+
+fn human(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1e7 {
+        format!("{:.2e}", x)
+    } else if x.abs() >= 100.0 {
+        format!("{:.0}", x)
+    } else if x.abs() >= 1.0 {
+        format!("{:.1}", x)
+    } else {
+        format!("{:.4}", x)
+    }
+}
+
+fn secs(x: f64) -> String {
+    if x >= 1.0 {
+        format!("{x:.2}s")
+    } else if x >= 1e-3 {
+        format!("{:.2}ms", x * 1e3)
+    } else {
+        format!("{:.1}us", x * 1e6)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 — dataset statistics
+// ---------------------------------------------------------------------------
+
+/// Regenerates Table 2 (cardinality, dims, intrinsic dim, maxD, metric).
+pub fn table2(cfg: &ExpConfig) {
+    println!("Table 2: datasets (scale {:.2})", cfg.scale);
+    println!(
+        "{:<10} {:>10} {:>6} {:>9} {:>10} {:>8}",
+        "Dataset", "n", "Dim", "IntDim", "MaxD(est)", "Metric"
+    );
+    for s in Scenario::ALL {
+        let data = s.data(cfg.scale, cfg.seed);
+        match &data {
+            ScenarioData::Vecs {
+                objects, metric, ..
+            } => {
+                let st = datasets::dataset_stats(objects, metric, 20_000, cfg.seed);
+                println!(
+                    "{:<10} {:>10} {:>6} {:>9.1} {:>10.0} {:>8}",
+                    s.label(),
+                    objects.len(),
+                    objects[0].len(),
+                    st.intrinsic_dim,
+                    st.max_dist,
+                    metric.name()
+                );
+            }
+            ScenarioData::Strs {
+                objects, metric, ..
+            } => {
+                let st = datasets::dataset_stats(objects, metric, 20_000, cfg.seed);
+                let max_len = objects.iter().map(|w| w.len()).max().unwrap_or(0);
+                println!(
+                    "{:<10} {:>10} {:>6} {:>9.1} {:>10.0} {:>8}",
+                    s.label(),
+                    objects.len(),
+                    format!("1~{max_len}"),
+                    st.intrinsic_dim,
+                    st.max_dist,
+                    "edit"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tables 4/5 — construction cost & storage, and the derived ranking
+// ---------------------------------------------------------------------------
+
+fn table4_rows<O, M>(
+    objects: &[O],
+    metric: &M,
+    scenario: Scenario,
+    cfg: &ExpConfig,
+) -> Vec<(IndexKind, BuildStats)>
+where
+    O: Clone + EncodeObject + Send + Sync + 'static,
+    M: Metric<O> + Clone + 'static,
+{
+    let high_dim = matches!(scenario, Scenario::Color | Scenario::Synthetic);
+    let opts = harness::options_for(
+        objects.len(),
+        scenario.d_plus(),
+        harness::DEFAULT_PIVOTS,
+        high_dim,
+        cfg.seed,
+    );
+    let pivots = harness::shared_pivots(objects, metric, opts.num_pivots, cfg.seed);
+    table_kinds(scenario.is_discrete())
+        .into_iter()
+        .filter_map(|kind| {
+            harness::build_measured(kind, objects, metric, &pivots, &opts)
+                .map(|(_, stats)| (kind, stats))
+        })
+        .collect()
+}
+
+/// Regenerates Table 4 (construction costs and storage sizes).
+pub fn table4(cfg: &ExpConfig) -> Vec<(Scenario, Vec<(IndexKind, BuildStats)>)> {
+    let mut all = Vec::new();
+    for s in Scenario::ALL {
+        let data = s.data(cfg.scale, cfg.seed);
+        println!("\nTable 4 [{}] (n = {})", s.label(), data.len());
+        println!(
+            "{:<12} {:>10} {:>14} {:>9} {:>12} {:>12}",
+            "Index", "PA", "Compdists", "Time", "Mem(KB)", "Disk(KB)"
+        );
+        let rows = match &data {
+            ScenarioData::Vecs {
+                objects, metric, ..
+            } => table4_rows(objects, metric, s, cfg),
+            ScenarioData::Strs {
+                objects, metric, ..
+            } => table4_rows(objects, metric, s, cfg),
+        };
+        for (kind, st) in &rows {
+            println!(
+                "{:<12} {:>10} {:>14} {:>9} {:>12} {:>12}",
+                kind.label(),
+                st.pa,
+                st.compdists,
+                secs(st.secs),
+                st.mem_kb,
+                st.disk_kb
+            );
+        }
+        all.push((s, rows));
+    }
+    all
+}
+
+/// Regenerates Table 5: ranks indexes by each construction metric, averaged
+/// over the datasets.
+pub fn table5(cfg: &ExpConfig) {
+    let all = table4(cfg);
+    println!("\nTable 5: construction ranking (lower = better, averaged rank over datasets)");
+    rank_and_print(
+        &all,
+        &[
+            ("PA", &|st: &BuildStats| st.pa as f64),
+            ("Compdists", &|st| st.compdists as f64),
+            ("Time", &|st| st.secs),
+            ("Storage", &|st| (st.mem_kb + st.disk_kb) as f64),
+        ],
+    );
+}
+
+type MetricFn<T> = dyn Fn(&T) -> f64;
+
+fn rank_and_print<T>(all: &[(Scenario, Vec<(IndexKind, T)>)], metrics: &[(&str, &MetricFn<T>)]) {
+    use std::collections::HashMap;
+    for (mname, f) in metrics {
+        let mut ranks: HashMap<IndexKind, (f64, usize)> = HashMap::new();
+        for (_, rows) in all {
+            let mut vals: Vec<(IndexKind, f64)> =
+                rows.iter().map(|(k, st)| (*k, f(st))).collect();
+            vals.sort_by(|a, b| a.1.total_cmp(&b.1));
+            for (pos, (k, _)) in vals.iter().enumerate() {
+                let e = ranks.entry(*k).or_insert((0.0, 0));
+                e.0 += (pos + 1) as f64;
+                e.1 += 1;
+            }
+        }
+        let mut avg: Vec<(IndexKind, f64)> = ranks
+            .into_iter()
+            .map(|(k, (sum, n))| (k, sum / n as f64))
+            .collect();
+        avg.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let line: Vec<String> = avg
+            .iter()
+            .map(|(k, r)| format!("{}({r:.1})", k.label()))
+            .collect();
+        println!("{:<10} {}", mname, line.join(" > "));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tables 6/7 — update cost and ranking
+// ---------------------------------------------------------------------------
+
+fn table6_rows<O, M>(
+    objects: &[O],
+    metric: &M,
+    scenario: Scenario,
+    cfg: &ExpConfig,
+) -> Vec<(IndexKind, UpdateCost)>
+where
+    O: Clone + EncodeObject + Send + Sync + 'static,
+    M: Metric<O> + Clone + 'static,
+{
+    let high_dim = matches!(scenario, Scenario::Color | Scenario::Synthetic);
+    let opts = harness::options_for(
+        objects.len(),
+        scenario.d_plus(),
+        harness::DEFAULT_PIVOTS,
+        high_dim,
+        cfg.seed,
+    );
+    let pivots = harness::shared_pivots(objects, metric, opts.num_pivots, cfg.seed);
+    table_kinds(scenario.is_discrete())
+        .into_iter()
+        .filter_map(|kind| {
+            let (mut idx, _) = harness::build_measured(kind, objects, metric, &pivots, &opts)?;
+            let cost = harness::run_updates(idx.as_mut(), cfg.updates, cfg.seed);
+            Some((kind, cost))
+        })
+        .collect()
+}
+
+/// Regenerates Table 6 (update costs: delete + reinsert).
+pub fn table6(cfg: &ExpConfig) -> Vec<(Scenario, Vec<(IndexKind, UpdateCost)>)> {
+    let mut all = Vec::new();
+    for s in Scenario::ALL {
+        let data = s.data(cfg.scale, cfg.seed);
+        println!("\nTable 6 [{}] (n = {}, {} updates)", s.label(), data.len(), cfg.updates);
+        println!(
+            "{:<12} {:>10} {:>14} {:>10}",
+            "Index", "PA", "Compdists", "Time"
+        );
+        let rows = match &data {
+            ScenarioData::Vecs {
+                objects, metric, ..
+            } => table6_rows(objects, metric, s, cfg),
+            ScenarioData::Strs {
+                objects, metric, ..
+            } => table6_rows(objects, metric, s, cfg),
+        };
+        for (kind, c) in &rows {
+            println!(
+                "{:<12} {:>10} {:>14} {:>10}",
+                kind.label(),
+                human(c.pa),
+                human(c.compdists),
+                secs(c.secs)
+            );
+        }
+        all.push((s, rows));
+    }
+    all
+}
+
+/// Regenerates Table 7: update-cost ranking.
+pub fn table7(cfg: &ExpConfig) {
+    let all = table6(cfg);
+    println!("\nTable 7: update ranking (lower = better, averaged rank over datasets)");
+    rank_and_print(
+        &all,
+        &[
+            ("PA", &|c: &UpdateCost| c.pa),
+            ("Compdists", &|c| c.compdists),
+            ("Time", &|c| c.secs),
+        ],
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Shared sweep machinery for the figures
+// ---------------------------------------------------------------------------
+
+/// One figure data point.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Index label.
+    pub index: &'static str,
+    /// Swept parameter value (k, r-selectivity, or |P|).
+    pub x: f64,
+    /// Measured costs.
+    pub cost: QueryCost,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn knn_sweep<O, M>(
+    kinds: &[IndexKind],
+    objects: &[O],
+    metric: &M,
+    scenario: Scenario,
+    ks: &[usize],
+    num_pivots: usize,
+    cfg: &ExpConfig,
+    out: &mut Vec<SweepPoint>,
+) where
+    O: Clone + EncodeObject + Send + Sync + 'static,
+    M: Metric<O> + Clone + 'static,
+{
+    let high_dim = matches!(scenario, Scenario::Color | Scenario::Synthetic);
+    let opts = harness::options_for(objects.len(), scenario.d_plus(), num_pivots, high_dim, cfg.seed);
+    let pivots = harness::shared_pivots(objects, metric, num_pivots, cfg.seed);
+    let queries = harness::query_positions(objects.len(), cfg.queries, cfg.seed);
+    for &kind in kinds {
+        let Some((idx, _)) = harness::build_measured(kind, objects, metric, &pivots, &opts)
+        else {
+            continue;
+        };
+        // The paper enables a 128 KB LRU cache for MkNNQ (§6.1).
+        idx.set_page_cache(harness::knn_cache_bytes());
+        for &k in ks {
+            let cost = harness::run_knn(idx.as_ref(), objects, &queries, k);
+            out.push(SweepPoint {
+                index: kind.label(),
+                x: k as f64,
+                cost,
+            });
+        }
+    }
+}
+
+fn mrq_sweep<O, M>(
+    kinds: &[IndexKind],
+    objects: &[O],
+    metric: &M,
+    scenario: Scenario,
+    cfg: &ExpConfig,
+    out: &mut Vec<SweepPoint>,
+) where
+    O: Clone + EncodeObject + Send + Sync + 'static,
+    M: Metric<O> + Clone + 'static,
+{
+    let high_dim = matches!(scenario, Scenario::Color | Scenario::Synthetic);
+    let opts = harness::options_for(
+        objects.len(),
+        scenario.d_plus(),
+        harness::DEFAULT_PIVOTS,
+        high_dim,
+        cfg.seed,
+    );
+    let pivots = harness::shared_pivots(objects, metric, opts.num_pivots, cfg.seed);
+    let queries = harness::query_positions(objects.len(), cfg.queries, cfg.seed);
+    let radii: Vec<(f64, f64)> = harness::SELECTIVITIES
+        .iter()
+        .map(|s| (*s, harness::radius_for(objects, metric, *s, cfg.seed)))
+        .collect();
+    for &kind in kinds {
+        let Some((idx, _)) = harness::build_measured(kind, objects, metric, &pivots, &opts)
+        else {
+            continue;
+        };
+        for &(sel, r) in &radii {
+            let cost = harness::run_mrq(idx.as_ref(), objects, &queries, r);
+            out.push(SweepPoint {
+                index: kind.label(),
+                x: sel,
+                cost,
+            });
+        }
+    }
+}
+
+fn print_sweep(title: &str, xname: &str, points: &[SweepPoint]) {
+    println!("\n{title}");
+    println!(
+        "{:<12} {:>8} {:>14} {:>10} {:>10} {:>10}",
+        "Index", xname, "Compdists", "PA", "CPU", "Results"
+    );
+    for p in points {
+        println!(
+            "{:<12} {:>8} {:>14} {:>10} {:>10} {:>10}",
+            p.index,
+            human(p.x),
+            human(p.cost.compdists),
+            human(p.cost.pa),
+            secs(p.cost.secs),
+            human(p.cost.results)
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figures 14–18
+// ---------------------------------------------------------------------------
+
+/// Figure 14: EPT vs EPT*, MkNNQ vs k on all four datasets.
+pub fn fig14(cfg: &ExpConfig) -> Vec<(Scenario, Vec<SweepPoint>)> {
+    let kinds = [IndexKind::Ept, IndexKind::EptStar];
+    let mut all = Vec::new();
+    for s in Scenario::ALL {
+        let data = s.data(cfg.scale, cfg.seed);
+        let mut pts = Vec::new();
+        match &data {
+            ScenarioData::Vecs {
+                objects, metric, ..
+            } => knn_sweep(&kinds, objects, metric, s, &harness::KS, harness::DEFAULT_PIVOTS, cfg, &mut pts),
+            ScenarioData::Strs {
+                objects, metric, ..
+            } => knn_sweep(&kinds, objects, metric, s, &harness::KS, harness::DEFAULT_PIVOTS, cfg, &mut pts),
+        }
+        print_sweep(
+            &format!("Figure 14 [{}]: EPT vs EPT*, MkNNQ", s.label()),
+            "k",
+            &pts,
+        );
+        all.push((s, pts));
+    }
+    all
+}
+
+/// Figure 15: M-index vs M-index*, MkNNQ vs k on all four datasets.
+pub fn fig15(cfg: &ExpConfig) -> Vec<(Scenario, Vec<SweepPoint>)> {
+    let kinds = [IndexKind::MIndex, IndexKind::MIndexStar];
+    let mut all = Vec::new();
+    for s in Scenario::ALL {
+        let data = s.data(cfg.scale, cfg.seed);
+        let mut pts = Vec::new();
+        match &data {
+            ScenarioData::Vecs {
+                objects, metric, ..
+            } => knn_sweep(&kinds, objects, metric, s, &harness::KS, harness::DEFAULT_PIVOTS, cfg, &mut pts),
+            ScenarioData::Strs {
+                objects, metric, ..
+            } => knn_sweep(&kinds, objects, metric, s, &harness::KS, harness::DEFAULT_PIVOTS, cfg, &mut pts),
+        }
+        print_sweep(
+            &format!("Figure 15 [{}]: M-index vs M-index*, MkNNQ", s.label()),
+            "k",
+            &pts,
+        );
+        all.push((s, pts));
+    }
+    all
+}
+
+/// Figure 16: MRQ cost vs radius selectivity for the nine plotted indexes.
+pub fn fig16(cfg: &ExpConfig) -> Vec<(Scenario, Vec<SweepPoint>)> {
+    let mut all = Vec::new();
+    for s in Scenario::ALL {
+        let data = s.data(cfg.scale, cfg.seed);
+        let kinds = figure_kinds(s.is_discrete());
+        let mut pts = Vec::new();
+        match &data {
+            ScenarioData::Vecs {
+                objects, metric, ..
+            } => mrq_sweep(&kinds, objects, metric, s, cfg, &mut pts),
+            ScenarioData::Strs {
+                objects, metric, ..
+            } => mrq_sweep(&kinds, objects, metric, s, cfg, &mut pts),
+        }
+        print_sweep(
+            &format!("Figure 16 [{}]: MRQ vs selectivity r", s.label()),
+            "r",
+            &pts,
+        );
+        all.push((s, pts));
+    }
+    all
+}
+
+/// Figure 17: MkNNQ cost vs k for the nine plotted indexes.
+pub fn fig17(cfg: &ExpConfig) -> Vec<(Scenario, Vec<SweepPoint>)> {
+    let mut all = Vec::new();
+    for s in Scenario::ALL {
+        let data = s.data(cfg.scale, cfg.seed);
+        let kinds = figure_kinds(s.is_discrete());
+        let mut pts = Vec::new();
+        match &data {
+            ScenarioData::Vecs {
+                objects, metric, ..
+            } => knn_sweep(&kinds, objects, metric, s, &harness::KS, harness::DEFAULT_PIVOTS, cfg, &mut pts),
+            ScenarioData::Strs {
+                objects, metric, ..
+            } => knn_sweep(&kinds, objects, metric, s, &harness::KS, harness::DEFAULT_PIVOTS, cfg, &mut pts),
+        }
+        print_sweep(
+            &format!("Figure 17 [{}]: MkNNQ vs k", s.label()),
+            "k",
+            &pts,
+        );
+        all.push((s, pts));
+    }
+    all
+}
+
+/// Figure 18: MkNNQ cost vs |P| on LA and Synthetic (the paper's pair).
+/// The M-index* is absent at |P| = 1 (hyperplane partitioning needs two
+/// pivots), exactly as in the paper.
+pub fn fig18(cfg: &ExpConfig) -> Vec<(Scenario, Vec<SweepPoint>)> {
+    let mut all = Vec::new();
+    for s in [Scenario::La, Scenario::Synthetic] {
+        let data = s.data(cfg.scale, cfg.seed);
+        let kinds = figure_kinds(s.is_discrete());
+        let mut pts = Vec::new();
+        for &l in &harness::PIVOT_COUNTS {
+            match &data {
+                ScenarioData::Vecs {
+                    objects, metric, ..
+                } => {
+                    let mut batch = Vec::new();
+                    knn_sweep(&kinds, objects, metric, s, &[harness::DEFAULT_K], l, cfg, &mut batch);
+                    for mut p in batch {
+                        p.x = l as f64;
+                        pts.push(p);
+                    }
+                }
+                ScenarioData::Strs {
+                    objects, metric, ..
+                } => {
+                    let mut batch = Vec::new();
+                    knn_sweep(&kinds, objects, metric, s, &[harness::DEFAULT_K], l, cfg, &mut batch);
+                    for mut p in batch {
+                        p.x = l as f64;
+                        pts.push(p);
+                    }
+                }
+            }
+        }
+        print_sweep(
+            &format!("Figure 18 [{}]: MkNNQ vs |P| (k = {})", s.label(), harness::DEFAULT_K),
+            "|P|",
+            &pts,
+        );
+        all.push((s, pts));
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpConfig {
+        ExpConfig {
+            scale: 0.03,
+            queries: 3,
+            updates: 3,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn kind_sets() {
+        assert!(!table_kinds(false).contains(&IndexKind::Bkt));
+        assert!(table_kinds(true).contains(&IndexKind::Bkt));
+        assert_eq!(figure_kinds(true).len(), 9);
+        assert_eq!(figure_kinds(false).len(), 7);
+    }
+
+    #[test]
+    fn fig14_smoke() {
+        let cfg = ExpConfig {
+            scale: 0.02,
+            queries: 2,
+            updates: 2,
+            seed: 7,
+        };
+        // Only check the driver runs end to end on one dataset: restrict by
+        // running the full driver at minimal scale.
+        let out = fig14(&cfg);
+        assert_eq!(out.len(), 4);
+        for (_, pts) in &out {
+            assert_eq!(pts.len(), 2 * harness::KS.len());
+            assert!(pts.iter().all(|p| p.cost.results > 0.0));
+        }
+    }
+
+    #[test]
+    fn table6_smoke() {
+        let out = table6(&tiny());
+        assert_eq!(out.len(), 4);
+        for (s, rows) in &out {
+            let expect = table_kinds(s.is_discrete()).len();
+            assert_eq!(rows.len(), expect, "{}", s.label());
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Fixed-size key and value encodings for B+-tree entries.
+
+/// A fixed-size, totally ordered B+-tree key.
+pub trait Key: Copy + Ord + std::fmt::Debug + Send + Sync + 'static {
+    /// Encoded size in bytes.
+    const SIZE: usize;
+    /// Appends the encoding to `out`.
+    fn write(&self, out: &mut Vec<u8>);
+    /// Decodes from the front of `buf`.
+    fn read(buf: &[u8]) -> Self;
+}
+
+impl Key for u64 {
+    const SIZE: usize = 8;
+    fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn read(buf: &[u8]) -> Self {
+        u64::from_le_bytes(buf[..8].try_into().unwrap())
+    }
+}
+
+impl Key for u128 {
+    const SIZE: usize = 16;
+    fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn read(buf: &[u8]) -> Self {
+        u128::from_le_bytes(buf[..16].try_into().unwrap())
+    }
+}
+
+impl Key for u32 {
+    const SIZE: usize = 4;
+    fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn read(buf: &[u8]) -> Self {
+        u32::from_le_bytes(buf[..4].try_into().unwrap())
+    }
+}
+
+/// An order-preserving total encoding of `f64` (distances are never NaN in
+/// this workspace). Used as the key type by the M-index and OmniB+-tree,
+/// whose B+-trees are keyed by real-valued distances.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct F64Key(u64);
+
+impl F64Key {
+    /// Wraps a float. `NaN` is rejected.
+    pub fn new(f: f64) -> Self {
+        assert!(!f.is_nan(), "NaN cannot be ordered");
+        let bits = f.to_bits();
+        // Flip all bits for negatives, only the sign for positives: total
+        // order matches numeric order.
+        let mapped = if bits & 0x8000_0000_0000_0000 != 0 {
+            !bits
+        } else {
+            bits | 0x8000_0000_0000_0000
+        };
+        F64Key(mapped)
+    }
+
+    /// Recovers the float.
+    pub fn get(&self) -> f64 {
+        let bits = if self.0 & 0x8000_0000_0000_0000 != 0 {
+            self.0 & 0x7fff_ffff_ffff_ffff
+        } else {
+            !self.0
+        };
+        f64::from_bits(bits)
+    }
+}
+
+impl From<f64> for F64Key {
+    fn from(f: f64) -> Self {
+        F64Key::new(f)
+    }
+}
+
+impl Key for F64Key {
+    const SIZE: usize = 8;
+    fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0.to_le_bytes());
+    }
+    fn read(buf: &[u8]) -> Self {
+        F64Key(u64::from_le_bytes(buf[..8].try_into().unwrap()))
+    }
+}
+
+/// A fixed-size B+-tree value.
+pub trait Val: Copy + std::fmt::Debug + PartialEq + Send + Sync + 'static {
+    /// Encoded size in bytes.
+    const SIZE: usize;
+    /// Appends the encoding to `out`.
+    fn write(&self, out: &mut Vec<u8>);
+    /// Decodes from the front of `buf`.
+    fn read(buf: &[u8]) -> Self;
+}
+
+impl Val for u32 {
+    const SIZE: usize = 4;
+    fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn read(buf: &[u8]) -> Self {
+        u32::from_le_bytes(buf[..4].try_into().unwrap())
+    }
+}
+
+impl Val for u64 {
+    const SIZE: usize = 8;
+    fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn read(buf: &[u8]) -> Self {
+        u64::from_le_bytes(buf[..8].try_into().unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64key_order_preserving() {
+        let vals = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -2.5,
+            -0.0,
+            0.0,
+            1e-300,
+            1.0,
+            2.5,
+            1e300,
+            f64::INFINITY,
+        ];
+        for w in vals.windows(2) {
+            assert!(
+                F64Key::new(w[0]) <= F64Key::new(w[1]),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+        for v in vals {
+            let back = F64Key::new(v).get();
+            assert!(back == v || (v == 0.0 && back == 0.0), "{v} -> {back}");
+        }
+    }
+
+    #[test]
+    fn key_roundtrips() {
+        let mut buf = Vec::new();
+        Key::write(&42u64, &mut buf);
+        Key::write(&7u128, &mut buf);
+        F64Key::new(-3.25).write(&mut buf);
+        assert_eq!(<u64 as Key>::read(&buf), 42);
+        assert_eq!(<u128 as Key>::read(&buf[8..]), 7);
+        assert_eq!(F64Key::read(&buf[24..]).get(), -3.25);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_rejected() {
+        let _ = F64Key::new(f64::NAN);
+    }
+}

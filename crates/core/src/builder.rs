@@ -1,0 +1,408 @@
+//! One entry point to build every index of the paper with consistent
+//! parameters — the "equal footing" requirement of §6.1 (same HFI pivots,
+//! same page sizes, same defaults).
+
+use pmi_metric::{EncodeObject, Metric, MetricIndex};
+use pmi_storage::DiskSim;
+
+/// Every index variant evaluated or surveyed by the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// AESA (§3.1) — full n² table; surveyed but excluded from the paper's
+    /// experiments ("theoretical index").
+    Aesa,
+    /// LAESA (§3.1).
+    Laesa,
+    /// EPT with random pivot groups (§3.2).
+    Ept,
+    /// EPT* — EPT with PSA pivots (§3.2, Algorithm 1).
+    EptStar,
+    /// CPT (§3.3).
+    Cpt,
+    /// BKT (§4.1; discrete metrics only).
+    Bkt,
+    /// FQT (§4.2; discrete metrics only).
+    Fqt,
+    /// FQA — Fixed Queries Array (Table 1, ref \[11\]; discrete metrics only).
+    Fqa,
+    /// VPT (§4.3; MVPT with m = 2).
+    Vpt,
+    /// MVPT (§4.3; the paper fixes m = 5).
+    Mvpt,
+    /// PM-tree (§5.1).
+    PmTree,
+    /// Omni-sequential-file (§5.2).
+    OmniSeq,
+    /// OmniB+-tree (§5.2).
+    OmniBPlus,
+    /// OmniR-tree (§5.2).
+    OmniR,
+    /// M-index (§5.3).
+    MIndex,
+    /// M-index* — the paper's enhanced M-index (§5.3).
+    MIndexStar,
+    /// SPB-tree (§5.4).
+    Spb,
+}
+
+impl IndexKind {
+    /// The nine index variants the paper's Figures 16–18 plot.
+    pub const FIGURE_SET: [IndexKind; 9] = [
+        IndexKind::EptStar,
+        IndexKind::Cpt,
+        IndexKind::Bkt,
+        IndexKind::Fqt,
+        IndexKind::Mvpt,
+        IndexKind::Spb,
+        IndexKind::MIndexStar,
+        IndexKind::PmTree,
+        IndexKind::OmniR,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IndexKind::Aesa => "AESA",
+            IndexKind::Laesa => "LAESA",
+            IndexKind::Ept => "EPT",
+            IndexKind::EptStar => "EPT*",
+            IndexKind::Cpt => "CPT",
+            IndexKind::Bkt => "BKT",
+            IndexKind::Fqt => "FQT",
+            IndexKind::Fqa => "FQA",
+            IndexKind::Vpt => "VPT",
+            IndexKind::Mvpt => "MVPT",
+            IndexKind::PmTree => "PM-tree",
+            IndexKind::OmniSeq => "Omni-seq",
+            IndexKind::OmniBPlus => "OmniB+",
+            IndexKind::OmniR => "OmniR-tree",
+            IndexKind::MIndex => "M-index",
+            IndexKind::MIndexStar => "M-index*",
+            IndexKind::Spb => "SPB-tree",
+        }
+    }
+
+    /// Whether the index only supports discrete distance functions.
+    pub fn requires_discrete(&self) -> bool {
+        matches!(self, IndexKind::Bkt | IndexKind::Fqt | IndexKind::Fqa)
+    }
+
+    /// Whether the index stores data on (simulated) disk.
+    pub fn is_disk_based(&self) -> bool {
+        matches!(
+            self,
+            IndexKind::Cpt
+                | IndexKind::PmTree
+                | IndexKind::OmniSeq
+                | IndexKind::OmniBPlus
+                | IndexKind::OmniR
+                | IndexKind::MIndex
+                | IndexKind::MIndexStar
+                | IndexKind::Spb
+        )
+    }
+}
+
+/// Why an index could not be built.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// BKT/FQT need a discrete distance function (paper §4.1).
+    RequiresDiscreteMetric(IndexKind),
+    /// The M-index needs at least two pivots (hyperplane partitioning).
+    NotEnoughPivots(IndexKind, usize),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::RequiresDiscreteMetric(k) => {
+                write!(f, "{} requires a discrete distance function", k.label())
+            }
+            BuildError::NotEnoughPivots(k, n) => {
+                write!(f, "{} cannot be built with {n} pivot(s)", k.label())
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Shared construction parameters (paper Table 3 defaults).
+#[derive(Clone, Debug)]
+pub struct BuildOptions {
+    /// Number of pivots `|P|` (default 5).
+    pub num_pivots: usize,
+    /// Page size for disk-based indexes (default 4 KB).
+    pub page_size: usize,
+    /// Page size for CPT/PM-tree, which store objects inline (the paper
+    /// uses 40 KB on Color and Synthetic).
+    pub inline_page_size: usize,
+    /// Upper bound on any distance in the space (`d⁺`, Table 2 MaxD).
+    pub d_plus: f64,
+    /// M-index cluster split threshold (paper: 1,600).
+    pub maxnum: usize,
+    /// SPB-tree SFC bits per pivot dimension.
+    pub sfc_bits: u32,
+    /// EPT group size `m`.
+    pub ept_m: usize,
+    /// EPT μ-sample / EPT* PSA sample size.
+    pub ept_sample: usize,
+    /// MVPT arity (paper: 5) and leaf capacity.
+    pub mvpt_arity: usize,
+    /// MVPT leaf capacity.
+    pub mvpt_leaf_cap: usize,
+    /// BKT/FQT bucket count per node.
+    pub buckets: usize,
+    /// BKT/FQT leaf capacity.
+    pub tree_leaf_cap: usize,
+    /// Seed for all randomized components.
+    pub seed: u64,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions {
+            num_pivots: 5,
+            page_size: pmi_storage::DEFAULT_PAGE_SIZE,
+            inline_page_size: pmi_storage::DEFAULT_PAGE_SIZE,
+            d_plus: 1e6,
+            maxnum: 1600,
+            sfc_bits: 8,
+            ept_m: 8,
+            ept_sample: 96,
+            mvpt_arity: 5,
+            mvpt_leaf_cap: 16,
+            buckets: 32,
+            tree_leaf_cap: 8,
+            seed: 42,
+        }
+    }
+}
+
+/// Builds any index over any object type, using pivots selected by the
+/// caller (pass the shared HFI set for the paper's setup; EPT/EPT*/BKT
+/// ignore it and select their own, §6.1).
+pub fn build_index<O, M>(
+    kind: IndexKind,
+    objects: Vec<O>,
+    metric: M,
+    pivots: Vec<O>,
+    opts: &BuildOptions,
+) -> Result<Box<dyn MetricIndex<O>>, BuildError>
+where
+    O: Clone + EncodeObject + Send + Sync + 'static,
+    M: Metric<O> + Clone + 'static,
+{
+    use pmi_external::*;
+    use pmi_tables::*;
+    use pmi_trees::*;
+
+    if kind.requires_discrete() && !metric.is_discrete() {
+        return Err(BuildError::RequiresDiscreteMetric(kind));
+    }
+    let disk = DiskSim::new(match kind {
+        IndexKind::Cpt | IndexKind::PmTree => opts.inline_page_size,
+        _ => opts.page_size,
+    });
+    let ept_cfg = EptConfig {
+        l: opts.num_pivots,
+        m: opts.ept_m,
+        sample: opts.ept_sample,
+        seed: opts.seed,
+    };
+    Ok(match kind {
+        IndexKind::Aesa => Box::new(Aesa::build(objects, metric)),
+        IndexKind::Laesa => Box::new(Laesa::build(objects, metric, pivots)),
+        IndexKind::Ept => Box::new(Ept::build(objects, metric, EptMode::Random, ept_cfg)),
+        IndexKind::EptStar => Box::new(Ept::build(objects, metric, EptMode::Psa, ept_cfg)),
+        IndexKind::Cpt => Box::new(Cpt::build(objects, metric, pivots, disk)),
+        IndexKind::Bkt => Box::new(DiscreteTree::bkt(
+            objects,
+            metric,
+            DiscreteTreeConfig {
+                max_distance: opts.d_plus,
+                buckets: opts.buckets,
+                leaf_cap: opts.tree_leaf_cap,
+                max_depth: 16,
+                seed: opts.seed,
+            },
+        )),
+        IndexKind::Fqt => Box::new(DiscreteTree::fqt(
+            objects,
+            metric,
+            pivots,
+            DiscreteTreeConfig {
+                max_distance: opts.d_plus,
+                buckets: opts.buckets,
+                leaf_cap: opts.tree_leaf_cap,
+                max_depth: 16,
+                seed: opts.seed,
+            },
+        )),
+        IndexKind::Fqa => Box::new(Fqa::build(
+            objects,
+            metric,
+            pivots,
+            opts.d_plus,
+            opts.buckets as u32,
+        )),
+        IndexKind::Vpt => Box::new(Mvpt::build(
+            objects,
+            metric,
+            pivots,
+            MvptConfig {
+                arity: 2,
+                leaf_cap: opts.mvpt_leaf_cap,
+            },
+        )),
+        IndexKind::Mvpt => Box::new(Mvpt::build(
+            objects,
+            metric,
+            pivots,
+            MvptConfig {
+                arity: opts.mvpt_arity,
+                leaf_cap: opts.mvpt_leaf_cap,
+            },
+        )),
+        IndexKind::PmTree => Box::new(PmTree::build(objects, metric, pivots, disk)),
+        IndexKind::OmniSeq => Box::new(OmniSeqFile::build(objects, metric, pivots, disk)),
+        IndexKind::OmniBPlus => Box::new(OmniBPlus::build(
+            objects,
+            metric,
+            pivots,
+            disk,
+            opts.d_plus,
+        )),
+        IndexKind::OmniR => Box::new(OmniRTree::build(objects, metric, pivots, disk)),
+        IndexKind::MIndex | IndexKind::MIndexStar => {
+            if pivots.len() < 2 {
+                return Err(BuildError::NotEnoughPivots(kind, pivots.len()));
+            }
+            Box::new(MIndex::build(
+                objects,
+                metric,
+                pivots,
+                disk,
+                MIndexConfig {
+                    d_plus: opts.d_plus,
+                    maxnum: opts.maxnum,
+                    starred: kind == IndexKind::MIndexStar,
+                },
+            ))
+        }
+        IndexKind::Spb => Box::new(SpbTree::build(
+            objects,
+            metric,
+            pivots,
+            disk,
+            SpbConfig {
+                d_plus: opts.d_plus,
+                bits: opts.sfc_bits,
+            },
+        )),
+    })
+}
+
+/// Convenience wrapper for vector datasets: selects HFI pivots internally.
+pub fn build_vector_index<M>(
+    kind: IndexKind,
+    objects: Vec<Vec<f32>>,
+    metric: M,
+    opts: &BuildOptions,
+) -> Result<Box<dyn MetricIndex<Vec<f32>>>, BuildError>
+where
+    M: Metric<Vec<f32>> + Clone + 'static,
+{
+    let ids = pmi_pivots::select_hfi(&objects, &metric, opts.num_pivots, opts.seed);
+    let pivots = ids.into_iter().map(|i| objects[i].clone()).collect();
+    build_index(kind, objects, metric, pivots, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmi_metric::datasets;
+    use pmi_metric::{BruteForce, L2, LInf};
+
+    #[test]
+    fn builds_every_continuous_index() {
+        let pts = datasets::la(150, 7);
+        let opts = BuildOptions {
+            d_plus: 14143.0,
+            maxnum: 32,
+            ..BuildOptions::default()
+        };
+        for kind in [
+            IndexKind::Aesa,
+            IndexKind::Laesa,
+            IndexKind::Ept,
+            IndexKind::EptStar,
+            IndexKind::Cpt,
+            IndexKind::Vpt,
+            IndexKind::Mvpt,
+            IndexKind::PmTree,
+            IndexKind::OmniSeq,
+            IndexKind::OmniBPlus,
+            IndexKind::OmniR,
+            IndexKind::MIndex,
+            IndexKind::MIndexStar,
+            IndexKind::Spb,
+        ] {
+            let idx = build_vector_index(kind, pts.clone(), L2, &opts).unwrap();
+            assert_eq!(idx.len(), 150, "{}", kind.label());
+            assert_eq!(idx.name(), kind.label());
+        }
+    }
+
+    #[test]
+    fn discrete_only_indexes_reject_continuous_metrics() {
+        let pts = datasets::la(60, 7);
+        let err = build_vector_index(IndexKind::Bkt, pts, L2, &BuildOptions::default());
+        assert!(matches!(
+            err,
+            Err(BuildError::RequiresDiscreteMetric(IndexKind::Bkt))
+        ));
+    }
+
+    #[test]
+    fn discrete_indexes_build_on_synthetic() {
+        let pts = datasets::synthetic(200, 7);
+        let opts = BuildOptions {
+            d_plus: 10000.0,
+            ..BuildOptions::default()
+        };
+        for kind in [IndexKind::Bkt, IndexKind::Fqt] {
+            let idx = build_vector_index(kind, pts.clone(), LInf::discrete(), &opts).unwrap();
+            let oracle = BruteForce::new(pts.clone(), LInf::discrete());
+            let mut got = idx.range_query(&pts[0], 1500.0);
+            got.sort();
+            let mut want = oracle.range_query(&pts[0], 1500.0);
+            want.sort();
+            assert_eq!(got, want, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn mindex_needs_two_pivots() {
+        let pts = datasets::la(60, 7);
+        let opts = BuildOptions {
+            num_pivots: 1,
+            d_plus: 14143.0,
+            ..BuildOptions::default()
+        };
+        let err = build_vector_index(IndexKind::MIndexStar, pts, L2, &opts);
+        assert!(matches!(err, Err(BuildError::NotEnoughPivots(_, 1))));
+    }
+
+    #[test]
+    fn figure_set_is_the_papers_nine() {
+        let labels: Vec<&str> = IndexKind::FIGURE_SET.iter().map(|k| k.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "EPT*", "CPT", "BKT", "FQT", "MVPT", "SPB-tree", "M-index*", "PM-tree",
+                "OmniR-tree"
+            ]
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! `pmi` — Pivot-based Metric Indexing.
+//!
+//! A from-scratch Rust reproduction of *Pivot-based Metric Indexing*
+//! (Chen, Gao, Zheng, Jensen, Yang, Yang — PVLDB 10(10), 2017): all three
+//! families of pivot-based metric indexes surveyed by the paper, the two
+//! enhancements it contributes (EPT*, M-index*), the substrates they need,
+//! and a uniform [`MetricIndex`] interface with the paper's cost model
+//! (distance computations + page accesses) built in.
+//!
+//! # Quick start
+//!
+//! ```
+//! use pmi::{builder, BuildOptions, IndexKind};
+//!
+//! // 1. A dataset and its metric (2-d city locations under L2).
+//! let objects = pmi::datasets::la(2_000, 42);
+//! let metric = pmi::L2;
+//!
+//! // 2. Build any of the paper's indexes through one entry point.
+//! let mut index = builder::build_vector_index(
+//!     IndexKind::Mvpt,
+//!     objects.clone(),
+//!     metric,
+//!     &BuildOptions::default(),
+//! )
+//! .unwrap();
+//!
+//! // 3. Metric range and k-NN queries (Definitions 1–2 of the paper).
+//! let hits = index.range_query(&objects[0], 500.0);
+//! let knn = index.knn_query(&objects[0], 10);
+//! assert!(hits.contains(&0));
+//! assert_eq!(knn[0].id, 0);
+//!
+//! // 4. The paper's cost metrics are tracked automatically.
+//! let c = index.counters();
+//! assert!(c.compdists > 0);
+//! ```
+
+pub mod builder;
+
+pub use builder::{BuildError, BuildOptions, IndexKind};
+
+pub use pmi_metric::datasets;
+pub use pmi_metric::lemmas;
+pub use pmi_metric::object;
+pub use pmi_metric::{
+    BruteForce, CountingMetric, Counters, DistanceCounter, EditDistance, EncodeObject, L1, L2,
+    LInf, Lp, Metric, MetricIndex, Neighbor, ObjId, ObjTable, StorageFootprint, Vector,
+};
+
+pub use pmi_pivots as pivots;
+
+pub use pmi_bptree as bptree;
+pub use pmi_mtree as mtree;
+pub use pmi_rtree as rtree;
+pub use pmi_storage as storage;
+
+pub use pmi_external::{
+    EptDisk, EptDiskConfig, MIndex, MIndexConfig, OmniBPlus, OmniRTree, OmniSeqFile, PmTree,
+    SpbConfig, SpbTree,
+};
+pub use pmi_tables::{Aesa, Cpt, Ept, EptConfig, EptMode, Laesa};
+pub use pmi_trees::{DiscreteTree, DiscreteTreeConfig, Fqa, Mvpt, MvptConfig};

@@ -1,0 +1,19 @@
+//! Pivot-based external (disk-resident) indexes (paper §5): the PM-tree,
+//! the Omni-family, the M-index / M-index* and the SPB-tree.
+//!
+//! All of them pay their I/O through [`pmi_storage::DiskSim`], so the
+//! paper's PA metric is directly observable, and compute distances through
+//! a [`pmi_metric::CountingMetric`]. The 128 KB LRU cache of the paper's
+//! MkNNQ experiments is enabled by the harness via `DiskSim::set_cache_bytes`.
+
+mod ept_disk;
+mod mindex;
+mod omni;
+mod pmtree;
+mod spb;
+
+pub use ept_disk::{EptDisk, EptDiskConfig};
+pub use mindex::{MIndex, MIndexConfig};
+pub use omni::{OmniBPlus, OmniRTree, OmniSeqFile};
+pub use pmtree::PmTree;
+pub use spb::{SpbConfig, SpbTree};

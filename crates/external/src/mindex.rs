@@ -1,0 +1,897 @@
+//! M-index and M-index* (paper §5.3).
+//!
+//! The M-index generalizes iDistance to metric spaces: every object is
+//! assigned to the cluster of its nearest pivot (generalized hyperplane
+//! partitioning) and mapped to the real key
+//! `key(o) = code(cluster) · d⁺ + d(p_nearest, o)`, indexed by a B+-tree.
+//! Objects live in a RAF *together with all their pre-computed pivot
+//! distances*. A dynamic in-memory cluster tree splits any cluster that
+//! exceeds `maxnum` objects using the next-nearest pivots (Fig. 12d).
+//!
+//! **M-index\*** is the paper's enhancement: clusters additionally carry a
+//! minimum bounding box over their members' mapped vectors, enabling
+//! Lemma 1 on whole clusters, Lemma 4 validation of candidates, and a
+//! single best-first MkNNQ pass instead of repeated range queries — the
+//! difference Figure 15 measures.
+
+use pmi_bptree::{BpTree, F64Key, NoSummary};
+use pmi_metric::object::{decode_f64s, encode_f64s};
+use pmi_metric::{
+    lemmas, CountingMetric, Counters, EncodeObject, Metric, MetricIndex, Neighbor, ObjId,
+    StorageFootprint,
+};
+use pmi_storage::{DiskSim, Raf};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MIndexConfig {
+    /// Upper bound on any distance in the space (`d⁺`).
+    pub d_plus: f64,
+    /// Cluster split threshold (the paper sets 1,600; scale it with the
+    /// dataset so the dynamic cluster tree is exercised).
+    pub maxnum: usize,
+    /// Enable the M-index* enhancements (MBBs + validation + best-first).
+    pub starred: bool,
+}
+
+impl Default for MIndexConfig {
+    fn default() -> Self {
+        MIndexConfig {
+            d_plus: 1e6,
+            maxnum: 1600,
+            starred: false,
+        }
+    }
+}
+
+struct Cluster {
+    /// Pivot indices on the path from the root (first = nearest pivot).
+    path: Vec<u16>,
+    /// Leaf code; the B+-tree key space of this cluster is
+    /// `[code · d⁺, (code + 1) · d⁺)`.
+    code: u64,
+    minkey: f64,
+    maxkey: f64,
+    /// Member ids (leaf clusters only).
+    ids: Vec<u32>,
+    /// Children indexed by pivot, present after a split.
+    children: Option<Vec<Option<Box<Cluster>>>>,
+    /// M-index*: bounding box over members' mapped vectors.
+    mbb_lo: Vec<f64>,
+    mbb_hi: Vec<f64>,
+}
+
+impl Cluster {
+    fn leaf(path: Vec<u16>, code: u64, l: usize) -> Self {
+        Cluster {
+            path,
+            code,
+            minkey: f64::INFINITY,
+            maxkey: f64::NEG_INFINITY,
+            ids: Vec::new(),
+            children: None,
+            mbb_lo: vec![f64::INFINITY; l],
+            mbb_hi: vec![f64::NEG_INFINITY; l],
+        }
+    }
+}
+
+/// M-index / M-index* over a B+-tree and a RAF.
+pub struct MIndex<O, M> {
+    metric: CountingMetric<M>,
+    pivots: Vec<O>,
+    cfg: MIndexConfig,
+    btree: BpTree<F64Key, u32>,
+    raf: Raf,
+    /// Root clusters, one per pivot.
+    roots: Vec<Option<Box<Cluster>>>,
+    next_code: u64,
+    live: usize,
+    next_id: u32,
+}
+
+impl<O, M> MIndex<O, M>
+where
+    O: Clone + EncodeObject + Send + Sync + 'static,
+    M: Metric<O>,
+{
+    /// Builds the index; `cfg.starred` selects M-index*.
+    pub fn build(objects: Vec<O>, metric: M, pivots: Vec<O>, disk: DiskSim, cfg: MIndexConfig) -> Self {
+        assert!(pivots.len() >= 2, "hyperplane partitioning needs 2+ pivots");
+        let l = pivots.len();
+        let mut idx = MIndex {
+            metric: CountingMetric::new(metric),
+            pivots,
+            cfg,
+            btree: BpTree::new(disk.clone(), NoSummary),
+            raf: Raf::new(disk.clone()),
+            roots: (0..l).map(|_| None).collect(),
+            next_code: 0,
+            live: 0,
+            next_id: 0,
+        };
+        // Bulk construction: cluster entirely in memory (rows are at hand),
+        // then write the RAF once and bulk-load the B+-tree — the reason the
+        // paper's Table 4 shows the M-index near the top on construction PA.
+        let rows: Vec<Vec<f64>> = objects
+            .iter()
+            .map(|o| idx.pivots.iter().map(|p| idx.metric.dist(o, p)).collect())
+            .collect();
+        for (i, row) in rows.iter().enumerate() {
+            idx.bulk_assign(i as u32, row, &rows);
+        }
+        let mut entries: Vec<(F64Key, u32)> = Vec::with_capacity(objects.len());
+        let mut stack: Vec<&Cluster> = idx.roots.iter().flatten().map(|b| &**b).collect();
+        while let Some(c) = stack.pop() {
+            match &c.children {
+                Some(ch) => stack.extend(ch.iter().flatten().map(|b| &**b)),
+                None => {
+                    for &id in &c.ids {
+                        let key = F64Key::new(
+                            c.code as f64 * idx.cfg.d_plus + rows[id as usize][c.path[0] as usize],
+                        );
+                        entries.push((key, id));
+                    }
+                }
+            }
+        }
+        entries.sort();
+        idx.btree = BpTree::bulk_load(disk, NoSummary, &entries);
+        for (i, o) in objects.iter().enumerate() {
+            idx.raf.append(i as u64, &Self::record(o, &rows[i]));
+        }
+        idx.live = objects.len();
+        idx.next_id = objects.len() as u32;
+        idx
+    }
+
+    /// In-memory cluster assignment used by the bulk build: no B+-tree or
+    /// RAF traffic; splits re-partition using the row table.
+    fn bulk_assign(&mut self, id: u32, row: &[f64], rows: &[Vec<f64>]) {
+        let l = self.pivots.len();
+        let (cur, taken) = Self::descend_mut_inner(&mut self.roots, row, &mut self.next_code, l);
+        cur.ids.push(id);
+        let key = cur.code as f64 * self.cfg.d_plus + row[cur.path[0] as usize];
+        cur.minkey = cur.minkey.min(key);
+        cur.maxkey = cur.maxkey.max(key);
+        for (i, d) in row.iter().enumerate() {
+            cur.mbb_lo[i] = cur.mbb_lo[i].min(*d);
+            cur.mbb_hi[i] = cur.mbb_hi[i].max(*d);
+        }
+        if cur.ids.len() > self.cfg.maxnum && cur.path.len() < l {
+            // Split in memory.
+            let (ids, path) = {
+                let c = self.cluster_at_mut(&taken).expect("cluster");
+                (std::mem::take(&mut c.ids), c.path.clone())
+            };
+            let mut children: Vec<Option<Box<Cluster>>> = (0..l).map(|_| None).collect();
+            for mid in ids {
+                let mrow = &rows[mid as usize];
+                let nxt = Self::next_pivot(mrow, &path);
+                let child = children[nxt as usize].get_or_insert_with(|| {
+                    let mut p = path.clone();
+                    p.push(nxt);
+                    let code = self.next_code;
+                    self.next_code += 1;
+                    Box::new(Cluster::leaf(p, code, l))
+                });
+                let key = child.code as f64 * self.cfg.d_plus + mrow[path[0] as usize];
+                child.ids.push(mid);
+                child.minkey = child.minkey.min(key);
+                child.maxkey = child.maxkey.max(key);
+                for (i, d) in mrow.iter().enumerate() {
+                    child.mbb_lo[i] = child.mbb_lo[i].min(*d);
+                    child.mbb_hi[i] = child.mbb_hi[i].max(*d);
+                }
+            }
+            let c = self.cluster_at_mut(&taken).expect("cluster");
+            c.children = Some(children);
+        }
+    }
+
+    fn map(&self, q: &O) -> Vec<f64> {
+        self.pivots.iter().map(|p| self.metric.dist(q, p)).collect()
+    }
+
+    /// Nearest pivot among those not on `path`.
+    fn next_pivot(row: &[f64], path: &[u16]) -> u16 {
+        let mut best = u16::MAX;
+        let mut best_d = f64::INFINITY;
+        for (i, d) in row.iter().enumerate() {
+            if path.contains(&(i as u16)) {
+                continue;
+            }
+            if *d < best_d {
+                best_d = *d;
+                best = i as u16;
+            }
+        }
+        best
+    }
+
+    fn record(o: &O, row: &[f64]) -> Vec<u8> {
+        let mut rec = o.encode();
+        encode_f64s(row, &mut rec);
+        rec
+    }
+
+    fn read_record(&self, id: u32) -> Option<(O, Vec<f64>)> {
+        let bytes = self.raf.read(id as u64)?;
+        let (o, used) = O::decode_from(&bytes);
+        let (row, _) = decode_f64s(&bytes[used..]);
+        Some((o, row))
+    }
+
+    fn key(&self, code: u64, d_nearest: f64) -> F64Key {
+        F64Key::new(code as f64 * self.cfg.d_plus + d_nearest)
+    }
+
+    fn cluster_at_mut(&mut self, taken: &[u16]) -> Option<&mut Cluster> {
+        let mut cur = self.roots[taken[0] as usize].as_deref_mut()?;
+        for &p in &taken[1..] {
+            cur = cur.children.as_mut()?[p as usize].as_deref_mut()?;
+        }
+        Some(cur)
+    }
+
+    fn insert_with_row(&mut self, id: u32, o: &O, row: &[f64]) {
+        let l = self.pivots.len();
+        let maxnum = self.cfg.maxnum;
+        let d_plus = self.cfg.d_plus;
+        // Phase 1: cluster-tree bookkeeping (scoped borrow of the tree).
+        let (key, taken, needs_split) = {
+            let (cur, taken) =
+                Self::descend_mut_inner(&mut self.roots, row, &mut self.next_code, l);
+            let d_nearest = row[cur.path[0] as usize];
+            let key = F64Key::new(cur.code as f64 * d_plus + d_nearest);
+            cur.ids.push(id);
+            cur.minkey = cur.minkey.min(key.get());
+            cur.maxkey = cur.maxkey.max(key.get());
+            for (i, d) in row.iter().enumerate() {
+                cur.mbb_lo[i] = cur.mbb_lo[i].min(*d);
+                cur.mbb_hi[i] = cur.mbb_hi[i].max(*d);
+            }
+            let needs_split = cur.ids.len() > maxnum && cur.path.len() < l;
+            (key, taken, needs_split)
+        };
+        // Phase 2: disk structures.
+        self.btree.insert(key, id);
+        self.raf.append(id as u64, &Self::record(o, row));
+        self.live += 1;
+        // Phase 3: split the overflowing leaf, if any.
+        if needs_split {
+            self.split_cluster(&taken);
+        }
+    }
+
+    /// Free-function-style descent so the cluster-tree borrow does not
+    /// capture `self` (the code counter is threaded explicitly).
+    fn descend_mut_inner<'a>(
+        roots: &'a mut [Option<Box<Cluster>>],
+        row: &[f64],
+        next_code: &mut u64,
+        l: usize,
+    ) -> (&'a mut Cluster, Vec<u16>) {
+        let first = Self::next_pivot(row, &[]);
+        let mut taken = vec![first];
+        if roots[first as usize].is_none() {
+            let code = *next_code;
+            *next_code += 1;
+            roots[first as usize] = Some(Box::new(Cluster::leaf(vec![first], code, l)));
+        }
+        let mut cur: &mut Cluster = roots[first as usize].as_mut().unwrap();
+        loop {
+            // Keep the MBB current on every cluster along the path —
+            // internal clusters must cover members inserted after their
+            // split, or Lemma 1 would prune them incorrectly.
+            for (i, d) in row.iter().enumerate() {
+                cur.mbb_lo[i] = cur.mbb_lo[i].min(*d);
+                cur.mbb_hi[i] = cur.mbb_hi[i].max(*d);
+            }
+            if cur.children.is_none() {
+                return (cur, taken);
+            }
+            let nxt = Self::next_pivot(row, &cur.path);
+            taken.push(nxt);
+            let mut path = cur.path.clone();
+            path.push(nxt);
+            let children = cur.children.as_mut().unwrap();
+            if children[nxt as usize].is_none() {
+                let code = *next_code;
+                *next_code += 1;
+                children[nxt as usize] = Some(Box::new(Cluster::leaf(path, code, l)));
+            }
+            cur = children[nxt as usize].as_mut().unwrap();
+        }
+    }
+
+    /// Splits an overflowing leaf cluster (located by its descent path) by
+    /// the next-nearest pivot (paper Fig. 12d). Members are re-keyed in the
+    /// B+-tree, which costs page accesses — the dynamic-maintenance price
+    /// of the M-index.
+    fn split_cluster(&mut self, taken: &[u16]) {
+        let l = self.pivots.len();
+        // Take the members and cluster identity out.
+        let (ids, path, code) = {
+            let c = self.cluster_at_mut(taken).expect("cluster exists");
+            (std::mem::take(&mut c.ids), c.path.clone(), c.code)
+        };
+        // Read member rows and group by the next-nearest pivot.
+        let mut groups: HashMap<u16, Vec<(u32, Vec<f64>)>> = HashMap::new();
+        for id in ids {
+            let (_, row) = self.read_record(id).expect("member in RAF");
+            let nxt = Self::next_pivot(&row, &path);
+            groups.entry(nxt).or_default().push((id, row));
+        }
+        // Build children, re-keying members in the B+-tree.
+        let mut children: Vec<Option<Box<Cluster>>> = (0..l).map(|_| None).collect();
+        for (nxt, members) in groups {
+            let child_code = self.next_code;
+            self.next_code += 1;
+            let mut child_path = path.clone();
+            child_path.push(nxt);
+            let mut child = Box::new(Cluster::leaf(child_path, child_code, l));
+            for (id, row) in members {
+                let d_nearest = row[path[0] as usize];
+                let old_key = self.key(code, d_nearest);
+                let new_key = self.key(child_code, d_nearest);
+                assert!(self.btree.remove(old_key, id), "re-key: old key present");
+                self.btree.insert(new_key, id);
+                child.ids.push(id);
+                child.minkey = child.minkey.min(new_key.get());
+                child.maxkey = child.maxkey.max(new_key.get());
+                for (i, d) in row.iter().enumerate() {
+                    child.mbb_lo[i] = child.mbb_lo[i].min(*d);
+                    child.mbb_hi[i] = child.mbb_hi[i].max(*d);
+                }
+            }
+            children[nxt as usize] = Some(child);
+        }
+        let c = self.cluster_at_mut(taken).expect("cluster exists");
+        c.children = Some(children);
+    }
+
+    /// Collects qualifying leaf clusters for radius `r` (Lemma 3 +, for
+    /// M-index*, Lemma 1 on the cluster MBB).
+    fn qualifying_leaves<'a>(&'a self, qd: &[f64], r: f64) -> Vec<&'a Cluster> {
+        let mut out = Vec::new();
+        let mut stack: Vec<&Cluster> = self.roots.iter().flatten().map(|b| &**b).collect();
+        while let Some(c) = stack.pop() {
+            // Lemma 3 on the last pivot of the path versus its competitors.
+            let level_pivots: &[u16] = &c.path[..c.path.len() - 1];
+            let own = *c.path.last().unwrap() as usize;
+            let min_other = qd
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !level_pivots.contains(&(*i as u16)))
+                .map(|(_, d)| *d)
+                .fold(f64::INFINITY, f64::min);
+            if lemmas::lemma3_prunable(qd[own], min_other, r) {
+                continue;
+            }
+            if self.cfg.starred
+                && c.mbb_lo[0].is_finite()
+                && lemmas::lemma1_box_prunable(qd, &c.mbb_lo, &c.mbb_hi, r)
+            {
+                continue;
+            }
+            match &c.children {
+                Some(children) => stack.extend(children.iter().flatten().map(|b| &**b)),
+                None => {
+                    if !c.ids.is_empty() {
+                        out.push(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Scans one leaf cluster's qualifying B+-tree key range; candidates are
+    /// verified against the RAF records. Validated objects (Lemma 4,
+    /// M-index* only) skip the distance computation. `cache` memoizes
+    /// distances across the repeated rounds of the non-star MkNNQ.
+    fn scan_leaf(
+        &self,
+        c: &Cluster,
+        q: &O,
+        qd: &[f64],
+        r: f64,
+        cache: Option<&mut HashMap<u32, f64>>,
+        out: &mut Vec<(u32, f64)>,
+    ) {
+        let nearest = c.path[0] as usize;
+        let base = c.code as f64 * self.cfg.d_plus;
+        let lo = F64Key::new((base + (qd[nearest] - r).max(0.0)).max(c.minkey));
+        let hi = F64Key::new((base + qd[nearest] + r).min(c.maxkey));
+        if lo > hi {
+            return;
+        }
+        let mut ids = Vec::new();
+        self.btree.range(lo, hi, |_, id| {
+            ids.push(id);
+            true
+        });
+        let mut cache = cache;
+        for id in ids {
+            if let Some(cache) = cache.as_deref_mut() {
+                if let Some(d) = cache.get(&id) {
+                    if *d <= r {
+                        out.push((id, *d));
+                    }
+                    continue;
+                }
+            }
+            let (o, row) = self.read_record(id).expect("record in RAF");
+            if lemmas::lemma1_prunable(qd, &row, r) {
+                continue;
+            }
+            if self.cfg.starred && lemmas::lemma4_validated(qd, &row, r) {
+                // Validated: answer without computing d(q, o). Report the
+                // cheap upper bound as the distance surrogate.
+                let ub = lemmas::pivot_upper_bound(qd, &row);
+                out.push((id, ub.min(r)));
+                continue;
+            }
+            let d = self.metric.dist(q, &o);
+            if let Some(cache) = cache.as_deref_mut() {
+                cache.insert(id, d);
+            }
+            if d <= r {
+                out.push((id, d));
+            }
+        }
+    }
+
+    fn range_with_cache(
+        &self,
+        q: &O,
+        qd: &[f64],
+        r: f64,
+        mut cache: Option<&mut HashMap<u32, f64>>,
+    ) -> Vec<(u32, f64)> {
+        let mut out = Vec::new();
+        for c in self.qualifying_leaves(qd, r) {
+            self.scan_leaf(c, q, qd, r, cache.as_deref_mut(), &mut out);
+        }
+        out
+    }
+
+    /// The instrumented metric.
+    pub fn metric(&self) -> &CountingMetric<M> {
+        &self.metric
+    }
+
+    /// Number of leaf clusters (diagnostics).
+    pub fn leaf_cluster_count(&self) -> usize {
+        let mut n = 0;
+        let mut stack: Vec<&Cluster> = self.roots.iter().flatten().map(|b| &**b).collect();
+        while let Some(c) = stack.pop() {
+            match &c.children {
+                Some(ch) => stack.extend(ch.iter().flatten().map(|b| &**b)),
+                None => n += 1,
+            }
+        }
+        n
+    }
+
+    /// The shared disk (for cache configuration).
+    pub fn disk(&self) -> &DiskSim {
+        self.raf.disk()
+    }
+}
+
+impl<O, M> MetricIndex<O> for MIndex<O, M>
+where
+    O: Clone + EncodeObject + Send + Sync + 'static,
+    M: Metric<O>,
+{
+    fn name(&self) -> &str {
+        if self.cfg.starred {
+            "M-index*"
+        } else {
+            "M-index"
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn range_query(&self, q: &O, r: f64) -> Vec<ObjId> {
+        let qd = self.map(q);
+        self.range_with_cache(q, &qd, r, None)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    fn knn_query(&self, q: &O, k: usize) -> Vec<Neighbor> {
+        if k == 0 || self.live == 0 {
+            return Vec::new();
+        }
+        let qd = self.map(q);
+        if !self.cfg.starred {
+            // M-index MkNNQ: range queries with an incrementally growing
+            // radius, re-traversing the index each round (§5.3) — the
+            // redundant PA/CPU that Fig. 15 shows. A distance cache keeps
+            // compdists comparable between rounds.
+            let mut cache: HashMap<u32, f64> = HashMap::new();
+            let mut r = self.cfg.d_plus / 256.0;
+            loop {
+                let mut hits = self.range_with_cache(q, &qd, r, Some(&mut cache));
+                if hits.len() >= k || r >= self.cfg.d_plus {
+                    hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                    hits.truncate(k);
+                    return hits
+                        .into_iter()
+                        .map(|(id, d)| Neighbor::new(id, d))
+                        .collect();
+                }
+                r *= 2.0;
+            }
+        }
+        // M-index*: single best-first pass over leaf clusters ordered by
+        // their Lemma 1 MBB lower bound (plus the hyperplane bound).
+        let mut leaves: Vec<&Cluster> = Vec::new();
+        let mut stack: Vec<&Cluster> = self.roots.iter().flatten().map(|b| &**b).collect();
+        while let Some(c) = stack.pop() {
+            match &c.children {
+                Some(ch) => stack.extend(ch.iter().flatten().map(|b| &**b)),
+                None => {
+                    if !c.ids.is_empty() {
+                        leaves.push(c);
+                    }
+                }
+            }
+        }
+        let min_qd = qd.iter().copied().fold(f64::INFINITY, f64::min);
+        let mut pq: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        for (i, c) in leaves.iter().enumerate() {
+            let lb_mbb = lemmas::mbb_lower_bound(&qd, &c.mbb_lo, &c.mbb_hi);
+            let lb_hp = lemmas::hyperplane_lower_bound(qd[c.path[0] as usize], min_qd);
+            pq.push(Reverse((lb_mbb.max(lb_hp).to_bits(), i)));
+        }
+        let mut result: BinaryHeap<Neighbor> = BinaryHeap::new();
+        let radius = |res: &BinaryHeap<Neighbor>| {
+            if res.len() < k {
+                f64::INFINITY
+            } else {
+                res.peek().unwrap().dist
+            }
+        };
+        while let Some(Reverse((lb_bits, i))) = pq.pop() {
+            let r = radius(&result);
+            if f64::from_bits(lb_bits) > r {
+                break;
+            }
+            // Scan the cluster's qualifying key range, shrinking the radius
+            // as neighbors are found. Lemma 4 is not used here: kNN needs
+            // exact distances to rank candidates.
+            let c = leaves[i];
+            let nearest = c.path[0] as usize;
+            let base = c.code as f64 * self.cfg.d_plus;
+            let scan_r = if r.is_finite() { r } else { self.cfg.d_plus };
+            let lo = F64Key::new((base + (qd[nearest] - scan_r).max(0.0)).max(c.minkey));
+            let hi = F64Key::new((base + qd[nearest] + scan_r).min(c.maxkey));
+            if lo > hi {
+                continue;
+            }
+            let mut ids = Vec::new();
+            self.btree.range(lo, hi, |_, id| {
+                ids.push(id);
+                true
+            });
+            for id in ids {
+                let cur = radius(&result);
+                let (o, row) = self.read_record(id).expect("record in RAF");
+                if cur.is_finite() && lemmas::lemma1_prunable(&qd, &row, cur) {
+                    continue;
+                }
+                let d = self.metric.dist(q, &o);
+                if d < radius(&result) || result.len() < k {
+                    result.push(Neighbor::new(id, d));
+                    if result.len() > k {
+                        result.pop();
+                    }
+                }
+            }
+        }
+        let mut v = result.into_sorted_vec();
+        v.truncate(k);
+        v
+    }
+
+    fn insert(&mut self, o: O) -> ObjId {
+        let id = self.next_id;
+        self.next_id += 1;
+        let row = self.map(&o);
+        self.insert_with_row(id, &o, &row);
+        id
+    }
+
+    fn remove(&mut self, id: ObjId) -> bool {
+        let Some((_, row)) = self.read_record(id) else {
+            return false;
+        };
+        // Locate the leaf cluster by the same descent the insert used.
+        let first = Self::next_pivot(&row, &[]);
+        let mut cur = match self.roots[first as usize].as_mut() {
+            Some(c) => c,
+            None => return false,
+        };
+        loop {
+            if cur.children.is_some() {
+                let nxt = Self::next_pivot(&row, &cur.path);
+                let children = cur.children.as_mut().unwrap();
+                match children[nxt as usize].as_mut() {
+                    Some(c) => cur = c,
+                    None => return false,
+                }
+            } else {
+                break;
+            }
+        }
+        let Some(pos) = cur.ids.iter().position(|&x| x == id) else {
+            return false;
+        };
+        cur.ids.swap_remove(pos);
+        let key = F64Key::new(cur.code as f64 * self.cfg.d_plus + row[cur.path[0] as usize]);
+        assert!(self.btree.remove(key, id), "B+-tree desync");
+        self.raf.remove(id as u64);
+        self.live -= 1;
+        true
+    }
+
+    fn get(&self, id: ObjId) -> Option<O> {
+        self.read_record(id).map(|(o, _)| o)
+    }
+
+    fn storage(&self) -> StorageFootprint {
+        let pivots: u64 = self.pivots.iter().map(|p| p.encoded_len() as u64).sum();
+        // Cluster-tree bookkeeping lives in memory.
+        let mut mem = pivots;
+        let mut stack: Vec<&Cluster> = self.roots.iter().flatten().map(|b| &**b).collect();
+        while let Some(c) = stack.pop() {
+            mem += (c.path.len() * 2 + 8 * 4 + c.mbb_lo.len() * 16 + c.ids.len() * 4) as u64;
+            if let Some(ch) = &c.children {
+                stack.extend(ch.iter().flatten().map(|b| &**b));
+            }
+        }
+        StorageFootprint {
+            mem_bytes: mem,
+            disk_bytes: self.btree.disk_bytes() + self.raf.disk_bytes(),
+        }
+    }
+
+    fn counters(&self) -> Counters {
+        Counters {
+            compdists: self.metric.count(),
+            page_reads: self.raf.disk().reads(),
+            page_writes: self.raf.disk().writes(),
+        }
+    }
+
+    fn reset_counters(&self) {
+        self.metric.reset();
+        self.raf.disk().reset_counters();
+    }
+
+    fn set_page_cache(&self, bytes: usize) {
+        self.raf.disk().set_cache_bytes(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmi_metric::datasets;
+    use pmi_metric::{BruteForce, L2};
+    use pmi_pivots::select_hfi;
+
+    fn build(n: usize, starred: bool, maxnum: usize) -> (Vec<Vec<f32>>, MIndex<Vec<f32>, L2>) {
+        let pts = datasets::la(n, 91);
+        let pv: Vec<Vec<f32>> = select_hfi(&pts, &L2, 5, 91)
+            .into_iter()
+            .map(|i| pts[i].clone())
+            .collect();
+        let idx = MIndex::build(
+            pts.clone(),
+            L2,
+            pv,
+            DiskSim::new(1024),
+            MIndexConfig {
+                d_plus: 14143.0,
+                maxnum,
+                starred,
+            },
+        );
+        (pts, idx)
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        for starred in [false, true] {
+            let (pts, idx) = build(400, starred, 64);
+            let oracle = BruteForce::new(pts.clone(), L2);
+            for r in [150.0, 1100.0] {
+                let mut got = idx.range_query(&pts[13], r);
+                got.sort();
+                let mut want = oracle.range_query(&pts[13], r);
+                want.sort();
+                assert_eq!(got, want, "starred={starred} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        for starred in [false, true] {
+            let (pts, idx) = build(400, starred, 64);
+            let oracle = BruteForce::new(pts.clone(), L2);
+            for k in [1usize, 9, 30] {
+                let got = idx.knn_query(&pts[222], k);
+                let want = oracle.knn_query(&pts[222], k);
+                assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(&want) {
+                    assert!(
+                        (g.dist - w.dist).abs() < 1e-9,
+                        "starred={starred} k={k}: {} vs {}",
+                        g.dist,
+                        w.dist
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_cluster_tree_splits() {
+        let (_, idx) = build(600, false, 32);
+        assert!(
+            idx.leaf_cluster_count() > 5,
+            "expected multi-level cluster tree, got {} leaves",
+            idx.leaf_cluster_count()
+        );
+    }
+
+    #[test]
+    fn starred_knn_reads_fewer_pages() {
+        // Fig. 15: the M-index re-traverses per radius round; M-index*
+        // makes one best-first pass.
+        let (pts, plain) = build(900, false, 64);
+        let (_, star) = build(900, true, 64);
+        let mut pa_plain = 0;
+        let mut pa_star = 0;
+        for qi in (0..900).step_by(90) {
+            plain.reset_counters();
+            let _ = plain.knn_query(&pts[qi], 10);
+            pa_plain += plain.counters().page_accesses();
+            star.reset_counters();
+            let _ = star.knn_query(&pts[qi], 10);
+            pa_star += star.counters().page_accesses();
+        }
+        assert!(
+            pa_star < pa_plain,
+            "M-index* PA {pa_star} should beat M-index {pa_plain}"
+        );
+    }
+
+    #[test]
+    fn update_cycle() {
+        for starred in [false, true] {
+            let (pts, mut idx) = build(250, starred, 64);
+            let o = idx.get(31).unwrap();
+            assert!(idx.remove(31));
+            assert!(!idx.remove(31));
+            assert_eq!(idx.len(), 249);
+            assert!(!idx.range_query(&pts[31], 0.0).contains(&31));
+            let id = idx.insert(o);
+            assert!(idx.range_query(&pts[31], 0.0).contains(&id));
+        }
+    }
+
+    #[test]
+    fn validation_saves_distance_computations() {
+        // Lemma 4 only fires for generous radii; check the starred index
+        // computes no more distances than the plain one at a large radius.
+        let (pts, plain) = build(700, false, 64);
+        let (_, star) = build(700, true, 64);
+        plain.reset_counters();
+        let n_plain = plain.range_query(&pts[1], 6000.0).len();
+        let cd_plain = plain.counters().compdists;
+        star.reset_counters();
+        let n_star = star.range_query(&pts[1], 6000.0).len();
+        let cd_star = star.counters().compdists;
+        assert_eq!(n_plain, n_star);
+        assert!(
+            cd_star <= cd_plain,
+            "validation should save compdists: {cd_star} vs {cd_plain}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod regression_tests {
+    use super::*;
+    use pmi_metric::{datasets, Metric, L2};
+    use pmi_pivots::select_hfi;
+
+    #[test]
+    fn large_radius_no_missing_results() {
+        let pts = datasets::la(2000, 42);
+        let pv: Vec<Vec<f32>> = select_hfi(&pts, &L2, 5, 42)
+            .into_iter()
+            .map(|i| pts[i].clone())
+            .collect();
+        let idx = MIndex::build(
+            pts.clone(),
+            L2,
+            pv.clone(),
+            DiskSim::new(4096),
+            MIndexConfig {
+                d_plus: 14143.0,
+                maxnum: 64,
+                starred: true,
+            },
+        );
+        let q = &pts[5];
+        let r = 6258.105107357423;
+        let got = idx.range_query(q, r);
+        let want: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| L2.dist(q, o) <= r)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let missing: Vec<u32> = want.iter().copied().filter(|w| !got.contains(w)).collect();
+        if !missing.is_empty() {
+            let id = missing[0];
+            let (_, row) = idx.read_record(id).unwrap();
+            let qd: Vec<f64> = pv.iter().map(|p| L2.dist(q, p)).collect();
+            eprintln!("missing id {id} row {row:?} qd {qd:?}");
+            // Locate its leaf cluster.
+            let first = MIndex::<Vec<f32>, L2>::next_pivot(&row, &[]);
+            let mut cur = idx.roots[first as usize].as_deref().unwrap();
+            while let Some(ch) = &cur.children {
+                let nxt = MIndex::<Vec<f32>, L2>::next_pivot(&row, &cur.path);
+                cur = ch[nxt as usize].as_deref().unwrap();
+            }
+            eprintln!(
+                "leaf path {:?} code {} minkey {} maxkey {} ids contains: {}",
+                cur.path,
+                cur.code,
+                cur.minkey,
+                cur.maxkey,
+                cur.ids.contains(&id)
+            );
+            let own = *cur.path.last().unwrap() as usize;
+            let lvl: &[u16] = &cur.path[..cur.path.len() - 1];
+            let min_other = qd
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !lvl.contains(&(*i as u16)))
+                .map(|(_, d)| *d)
+                .fold(f64::INFINITY, f64::min);
+            eprintln!(
+                "lemma3: qd[own]={} min_other={} 2r={} prunable={}",
+                qd[own],
+                min_other,
+                2.0 * r,
+                lemmas::lemma3_prunable(qd[own], min_other, r)
+            );
+            eprintln!(
+                "mbb prune: {}",
+                lemmas::lemma1_box_prunable(&qd, &cur.mbb_lo, &cur.mbb_hi, r)
+            );
+            let key = cur.code as f64 * idx.cfg.d_plus + row[cur.path[0] as usize];
+            let base = cur.code as f64 * idx.cfg.d_plus;
+            let lo = (base + (qd[cur.path[0] as usize] - r).max(0.0)).max(cur.minkey);
+            let hi = (base + qd[cur.path[0] as usize] + r).min(cur.maxkey);
+            eprintln!("key {key} scan range [{lo}, {hi}]");
+            panic!("missing {} results", missing.len());
+        }
+    }
+}

@@ -1,0 +1,797 @@
+//! The Omni-family (paper §5.2): Omni-sequential-file, OmniB+-tree and
+//! OmniR-tree.
+//!
+//! All three store the objects in a separate random access file (to escape
+//! the object-size problem of the PM-tree) and index the pivot-mapped
+//! vectors with an existing structure: a sequential file, one B+-tree per
+//! pivot, or an R-tree. The paper's experiments use the OmniR-tree, "the
+//! best in most cases"; the other two are provided for completeness and
+//! exhibit exactly the weaknesses the paper lists (unclustered scans for
+//! the sequential file, redundant storage and I/O for the B+-trees).
+
+use pmi_bptree::{BpTree, F64Key, NoSummary};
+use pmi_metric::lemmas;
+use pmi_metric::{
+    CountingMetric, Counters, EncodeObject, Metric, MetricIndex, Neighbor, ObjId,
+    StorageFootprint,
+};
+use pmi_rtree::{Mbb, NodeView, RTree};
+use pmi_storage::{DiskSim, PageId, Raf};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Shared Omni plumbing: pivots + object RAF.
+struct OmniBase<O, M> {
+    metric: CountingMetric<M>,
+    pivots: Vec<O>,
+    raf: Raf,
+    live: usize,
+    next_id: u32,
+    _marker: std::marker::PhantomData<O>,
+}
+
+impl<O, M> OmniBase<O, M>
+where
+    O: Clone + EncodeObject + Send + Sync + 'static,
+    M: Metric<O>,
+{
+    fn new(metric: M, pivots: Vec<O>, disk: DiskSim) -> Self {
+        OmniBase {
+            metric: CountingMetric::new(metric),
+            pivots,
+            raf: Raf::new(disk),
+            live: 0,
+            next_id: 0,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    fn map(&self, o: &O) -> Vec<f64> {
+        self.pivots.iter().map(|p| self.metric.dist(o, p)).collect()
+    }
+
+    fn store(&mut self, id: u32, o: &O) {
+        self.raf.append(id as u64, &o.encode());
+    }
+
+    fn fetch(&self, id: u32) -> Option<O> {
+        let bytes = self.raf.read(id as u64)?;
+        Some(O::decode_from(&bytes).0)
+    }
+
+    fn counters(&self) -> Counters {
+        Counters {
+            compdists: self.metric.count(),
+            page_reads: self.raf.disk().reads(),
+            page_writes: self.raf.disk().writes(),
+        }
+    }
+
+    fn reset_counters(&self) {
+        self.metric.reset();
+        self.raf.disk().reset_counters();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Omni-sequential-file
+// ---------------------------------------------------------------------------
+
+/// A paged sequential file of `(id, mapped vector)` records.
+struct SeqDistFile {
+    disk: DiskSim,
+    pages: Vec<PageId>,
+    l: usize,
+    /// Records per page.
+    cap: usize,
+    /// In-page record count of the last page.
+    tail_count: usize,
+}
+
+const DEAD: u32 = u32::MAX;
+
+impl SeqDistFile {
+    fn new(disk: DiskSim, l: usize) -> Self {
+        let cap = (disk.page_size() - 2) / (4 + 8 * l);
+        assert!(cap >= 1, "page too small for a distance record");
+        SeqDistFile {
+            disk,
+            pages: Vec::new(),
+            l,
+            cap,
+            tail_count: 0,
+        }
+    }
+
+    fn record_size(&self) -> usize {
+        4 + 8 * self.l
+    }
+
+    fn append(&mut self, id: u32, row: &[f64]) {
+        if self.pages.is_empty() || self.tail_count == self.cap {
+            self.pages.push(self.disk.alloc());
+            self.tail_count = 0;
+            let empty = vec![0u8; self.disk.page_size()];
+            self.disk.write(*self.pages.last().unwrap(), &empty);
+        }
+        let pid = *self.pages.last().unwrap();
+        let mut page = self.disk.read(pid).to_vec();
+        let off = 2 + self.tail_count * self.record_size();
+        page[off..off + 4].copy_from_slice(&id.to_le_bytes());
+        for (i, d) in row.iter().enumerate() {
+            page[off + 4 + 8 * i..off + 12 + 8 * i].copy_from_slice(&d.to_le_bytes());
+        }
+        self.tail_count += 1;
+        page[0..2].copy_from_slice(&(self.tail_count as u16).to_le_bytes());
+        self.disk.write(pid, &page);
+    }
+
+    /// Scans every record; the callback returns `false` to stop.
+    fn scan<F: FnMut(u32, &[f64]) -> bool>(&self, mut f: F) {
+        let rs = self.record_size();
+        let mut row = vec![0.0f64; self.l];
+        for &pid in &self.pages {
+            let page = self.disk.read(pid);
+            let count = u16::from_le_bytes(page[0..2].try_into().unwrap()) as usize;
+            for rec in 0..count {
+                let off = 2 + rec * rs;
+                let id = u32::from_le_bytes(page[off..off + 4].try_into().unwrap());
+                if id == DEAD {
+                    continue;
+                }
+                for (i, slot) in row.iter_mut().enumerate() {
+                    *slot = f64::from_le_bytes(
+                        page[off + 4 + 8 * i..off + 12 + 8 * i].try_into().unwrap(),
+                    );
+                }
+                if !f(id, &row) {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Tombstones a record (scan + rewrite of one page).
+    fn remove(&mut self, id: u32) -> bool {
+        let rs = self.record_size();
+        for &pid in &self.pages {
+            let page = self.disk.read(pid);
+            let count = u16::from_le_bytes(page[0..2].try_into().unwrap()) as usize;
+            for rec in 0..count {
+                let off = 2 + rec * rs;
+                let rid = u32::from_le_bytes(page[off..off + 4].try_into().unwrap());
+                if rid == id {
+                    let mut page = page.to_vec();
+                    page[off..off + 4].copy_from_slice(&DEAD.to_le_bytes());
+                    self.disk.write(pid, &page);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn disk_bytes(&self) -> u64 {
+        (self.pages.len() * self.disk.page_size()) as u64
+    }
+}
+
+/// Omni-sequential-file: "LAESA stored on disk" (paper §5.2 discussion).
+pub struct OmniSeqFile<O, M> {
+    base: OmniBase<O, M>,
+    dist_file: SeqDistFile,
+}
+
+impl<O, M> OmniSeqFile<O, M>
+where
+    O: Clone + EncodeObject + Send + Sync + 'static,
+    M: Metric<O>,
+{
+    /// Builds the sequential-file variant.
+    pub fn build(objects: Vec<O>, metric: M, pivots: Vec<O>, disk: DiskSim) -> Self {
+        let l = pivots.len();
+        let mut base = OmniBase::new(metric, pivots, disk.clone());
+        let mut dist_file = SeqDistFile::new(disk, l);
+        for o in &objects {
+            let id = base.next_id;
+            base.next_id += 1;
+            let row = base.map(o);
+            dist_file.append(id, &row);
+            base.store(id, o);
+            base.live += 1;
+        }
+        OmniSeqFile { base, dist_file }
+    }
+}
+
+impl<O, M> MetricIndex<O> for OmniSeqFile<O, M>
+where
+    O: Clone + EncodeObject + Send + Sync + 'static,
+    M: Metric<O>,
+{
+    fn name(&self) -> &str {
+        "Omni-seq"
+    }
+
+    fn len(&self) -> usize {
+        self.base.live
+    }
+
+    fn range_query(&self, q: &O, r: f64) -> Vec<ObjId> {
+        let qd = self.base.map(q);
+        let mut out = Vec::new();
+        self.dist_file.scan(|id, row| {
+            if !lemmas::lemma1_prunable(&qd, row, r) {
+                let o = self.base.fetch(id).expect("object in RAF");
+                if self.base.metric.dist(q, &o) <= r {
+                    out.push(id);
+                }
+            }
+            true
+        });
+        out
+    }
+
+    fn knn_query(&self, q: &O, k: usize) -> Vec<Neighbor> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let qd = self.base.map(q);
+        let mut heap: BinaryHeap<Neighbor> = BinaryHeap::new();
+        self.dist_file.scan(|id, row| {
+            let radius = if heap.len() < k {
+                f64::INFINITY
+            } else {
+                heap.peek().unwrap().dist
+            };
+            if !(radius.is_finite() && lemmas::lemma1_prunable(&qd, row, radius)) {
+                let o = self.base.fetch(id).expect("object in RAF");
+                let d = self.base.metric.dist(q, &o);
+                if d < radius || heap.len() < k {
+                    heap.push(Neighbor::new(id, d));
+                    if heap.len() > k {
+                        heap.pop();
+                    }
+                }
+            }
+            true
+        });
+        let mut v = heap.into_sorted_vec();
+        v.truncate(k);
+        v
+    }
+
+    fn insert(&mut self, o: O) -> ObjId {
+        let id = self.base.next_id;
+        self.base.next_id += 1;
+        let row = self.base.map(&o);
+        self.dist_file.append(id, &row);
+        self.base.store(id, &o);
+        self.base.live += 1;
+        id
+    }
+
+    fn remove(&mut self, id: ObjId) -> bool {
+        if !self.dist_file.remove(id) {
+            return false;
+        }
+        self.base.raf.remove(id as u64);
+        self.base.live -= 1;
+        true
+    }
+
+    fn get(&self, id: ObjId) -> Option<O> {
+        self.base.fetch(id)
+    }
+
+    fn storage(&self) -> StorageFootprint {
+        let pivots: u64 = self
+            .base
+            .pivots
+            .iter()
+            .map(|p| p.encoded_len() as u64)
+            .sum();
+        StorageFootprint {
+            mem_bytes: pivots,
+            disk_bytes: self.dist_file.disk_bytes() + self.base.raf.disk_bytes(),
+        }
+    }
+
+    fn counters(&self) -> Counters {
+        self.base.counters()
+    }
+
+    fn reset_counters(&self) {
+        self.base.reset_counters();
+    }
+
+    fn set_page_cache(&self, bytes: usize) {
+        self.base.raf.disk().set_cache_bytes(bytes);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OmniB+-tree
+// ---------------------------------------------------------------------------
+
+/// OmniB+-tree: one B+-tree per pivot over that pivot's distances — the
+/// "redundant storage and I/O" variant (§5.2 discussion).
+pub struct OmniBPlus<O, M> {
+    base: OmniBase<O, M>,
+    trees: Vec<BpTree<F64Key, u32>>,
+    d_plus: f64,
+}
+
+impl<O, M> OmniBPlus<O, M>
+where
+    O: Clone + EncodeObject + Send + Sync + 'static,
+    M: Metric<O>,
+{
+    /// Builds the B+-tree variant. `d_plus` bounds the distance domain.
+    pub fn build(objects: Vec<O>, metric: M, pivots: Vec<O>, disk: DiskSim, d_plus: f64) -> Self {
+        let l = pivots.len();
+        let mut base = OmniBase::new(metric, pivots, disk.clone());
+        let mut trees: Vec<BpTree<F64Key, u32>> = (0..l)
+            .map(|_| BpTree::new(disk.clone(), NoSummary))
+            .collect();
+        for o in &objects {
+            let id = base.next_id;
+            base.next_id += 1;
+            let row = base.map(o);
+            for (t, d) in trees.iter_mut().zip(&row) {
+                t.insert(F64Key::new(*d), id);
+            }
+            base.store(id, o);
+            base.live += 1;
+        }
+        OmniBPlus {
+            base,
+            trees,
+            d_plus,
+        }
+    }
+
+    /// Candidate ids whose mapped point lies in the Lemma 1 search box:
+    /// the intersection of the per-pivot key ranges.
+    fn candidates(&self, qd: &[f64], r: f64) -> Vec<u32> {
+        let mut current: Option<std::collections::HashSet<u32>> = None;
+        for (t, dq) in self.trees.iter().zip(qd) {
+            let lo = F64Key::new((dq - r).max(0.0));
+            let hi = F64Key::new(dq + r);
+            let mut set = std::collections::HashSet::new();
+            t.range(lo, hi, |_, id| {
+                if current.as_ref().is_none_or(|c| c.contains(&id)) {
+                    set.insert(id);
+                }
+                true
+            });
+            current = Some(set);
+            if current.as_ref().unwrap().is_empty() {
+                break;
+            }
+        }
+        current.map(|c| c.into_iter().collect()).unwrap_or_default()
+    }
+}
+
+impl<O, M> MetricIndex<O> for OmniBPlus<O, M>
+where
+    O: Clone + EncodeObject + Send + Sync + 'static,
+    M: Metric<O>,
+{
+    fn name(&self) -> &str {
+        "OmniB+"
+    }
+
+    fn len(&self) -> usize {
+        self.base.live
+    }
+
+    fn range_query(&self, q: &O, r: f64) -> Vec<ObjId> {
+        let qd = self.base.map(q);
+        let mut out = Vec::new();
+        for id in self.candidates(&qd, r) {
+            let o = self.base.fetch(id).expect("object in RAF");
+            if self.base.metric.dist(q, &o) <= r {
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    fn knn_query(&self, q: &O, k: usize) -> Vec<Neighbor> {
+        if k == 0 || self.base.live == 0 {
+            return Vec::new();
+        }
+        let qd = self.base.map(q);
+        // Estimate an upper-bound radius by expanding a key range around
+        // the first pivot until k candidates are verified, then run one
+        // exact range query (§2.1, first MkNNQ strategy).
+        let mut r = self.d_plus / 1024.0;
+        let mut ub = f64::INFINITY;
+        loop {
+            let cands = self.candidates(&qd, r);
+            if cands.len() >= k || r >= self.d_plus {
+                if cands.len() >= k {
+                    let mut ds: Vec<f64> = cands
+                        .iter()
+                        .map(|&id| {
+                            let o = self.base.fetch(id).expect("object");
+                            self.base.metric.dist(q, &o)
+                        })
+                        .collect();
+                    ds.sort_by(f64::total_cmp);
+                    ub = ds[k - 1];
+                }
+                if ub.is_finite() || r >= self.d_plus {
+                    break;
+                }
+            }
+            r *= 2.0;
+        }
+        let r = if ub.is_finite() { ub } else { self.d_plus };
+        let mut hits: Vec<Neighbor> = Vec::new();
+        for id in self.candidates(&qd, r) {
+            let o = self.base.fetch(id).expect("object");
+            let d = self.base.metric.dist(q, &o);
+            if d <= r {
+                hits.push(Neighbor::new(id, d));
+            }
+        }
+        hits.sort();
+        hits.truncate(k);
+        hits
+    }
+
+    fn insert(&mut self, o: O) -> ObjId {
+        let id = self.base.next_id;
+        self.base.next_id += 1;
+        let row = self.base.map(&o);
+        for (t, d) in self.trees.iter_mut().zip(&row) {
+            t.insert(F64Key::new(*d), id);
+        }
+        self.base.store(id, &o);
+        self.base.live += 1;
+        id
+    }
+
+    fn remove(&mut self, id: ObjId) -> bool {
+        let Some(o) = self.base.fetch(id) else {
+            return false;
+        };
+        let row = self.base.map(&o);
+        for (t, d) in self.trees.iter_mut().zip(&row) {
+            assert!(t.remove(F64Key::new(*d), id), "tree/RAF desync");
+        }
+        self.base.raf.remove(id as u64);
+        self.base.live -= 1;
+        true
+    }
+
+    fn get(&self, id: ObjId) -> Option<O> {
+        self.base.fetch(id)
+    }
+
+    fn storage(&self) -> StorageFootprint {
+        let pivots: u64 = self
+            .base
+            .pivots
+            .iter()
+            .map(|p| p.encoded_len() as u64)
+            .sum();
+        let trees: u64 = self.trees.iter().map(|t| t.disk_bytes()).sum();
+        StorageFootprint {
+            mem_bytes: pivots,
+            disk_bytes: trees + self.base.raf.disk_bytes(),
+        }
+    }
+
+    fn counters(&self) -> Counters {
+        self.base.counters()
+    }
+
+    fn reset_counters(&self) {
+        self.base.reset_counters();
+    }
+
+    fn set_page_cache(&self, bytes: usize) {
+        self.base.raf.disk().set_cache_bytes(bytes);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OmniR-tree
+// ---------------------------------------------------------------------------
+
+/// OmniR-tree: R-tree over the pivot-mapped vectors + object RAF (Fig. 11).
+pub struct OmniRTree<O, M> {
+    base: OmniBase<O, M>,
+    rtree: RTree,
+}
+
+impl<O, M> OmniRTree<O, M>
+where
+    O: Clone + EncodeObject + Send + Sync + 'static,
+    M: Metric<O>,
+{
+    /// Builds the OmniR-tree (STR bulk load of the mapped vectors).
+    pub fn build(objects: Vec<O>, metric: M, pivots: Vec<O>, disk: DiskSim) -> Self {
+        let l = pivots.len();
+        let mut base = OmniBase::new(metric, pivots, disk.clone());
+        let mut items: Vec<(Mbb, u32)> = Vec::with_capacity(objects.len());
+        for o in &objects {
+            let id = base.next_id;
+            base.next_id += 1;
+            let row = base.map(o);
+            items.push((Mbb::from_point(&row), id));
+            base.store(id, o);
+            base.live += 1;
+        }
+        let rtree = RTree::bulk_load(disk, l, items);
+        OmniRTree { base, rtree }
+    }
+
+    /// The underlying R-tree.
+    pub fn rtree(&self) -> &RTree {
+        &self.rtree
+    }
+}
+
+impl<O, M> MetricIndex<O> for OmniRTree<O, M>
+where
+    O: Clone + EncodeObject + Send + Sync + 'static,
+    M: Metric<O>,
+{
+    fn name(&self) -> &str {
+        "OmniR-tree"
+    }
+
+    fn len(&self) -> usize {
+        self.base.live
+    }
+
+    fn range_query(&self, q: &O, r: f64) -> Vec<ObjId> {
+        let qd = self.base.map(q);
+        let lo: Vec<f64> = qd.iter().map(|d| (d - r).max(0.0)).collect();
+        let hi: Vec<f64> = qd.iter().map(|d| d + r).collect();
+        let mut out = Vec::new();
+        self.rtree.search_box(&lo, &hi, |id| {
+            let o = self.base.fetch(id).expect("object in RAF");
+            if self.base.metric.dist(q, &o) <= r {
+                out.push(id);
+            }
+        });
+        out
+    }
+
+    fn knn_query(&self, q: &O, k: usize) -> Vec<Neighbor> {
+        if k == 0 || self.base.live == 0 {
+            return Vec::new();
+        }
+        let qd = self.base.map(q);
+        // Best-first over R-tree nodes by Chebyshev MINDIST (the Lemma 1
+        // lower bound in pivot space); leaf entries are verified against
+        // the RAF.
+        let mut result: BinaryHeap<Neighbor> = BinaryHeap::new();
+        let mut heap: BinaryHeap<Reverse<(u64, PageId)>> = BinaryHeap::new();
+        if let Some(root) = self.rtree.root() {
+            heap.push(Reverse((0, root)));
+        }
+        let radius = |res: &BinaryHeap<Neighbor>| {
+            if res.len() < k {
+                f64::INFINITY
+            } else {
+                res.peek().unwrap().dist
+            }
+        };
+        while let Some(Reverse((lb_bits, pid))) = heap.pop() {
+            if f64::from_bits(lb_bits) > radius(&result) {
+                break;
+            }
+            match self.rtree.read_node(pid) {
+                NodeView::Leaf { entries } => {
+                    for (b, id) in entries {
+                        let lb = b.mindist(&qd);
+                        if lb > radius(&result) {
+                            continue;
+                        }
+                        let o = self.base.fetch(id).expect("object in RAF");
+                        let d = self.base.metric.dist(q, &o);
+                        if d < radius(&result) || result.len() < k {
+                            result.push(Neighbor::new(id, d));
+                            if result.len() > k {
+                                result.pop();
+                            }
+                        }
+                    }
+                }
+                NodeView::Internal { entries } => {
+                    for (b, child) in entries {
+                        let lb = b.mindist(&qd);
+                        if lb <= radius(&result) {
+                            heap.push(Reverse((lb.to_bits(), child)));
+                        }
+                    }
+                }
+            }
+        }
+        let mut v = result.into_sorted_vec();
+        v.truncate(k);
+        v
+    }
+
+    fn insert(&mut self, o: O) -> ObjId {
+        let id = self.base.next_id;
+        self.base.next_id += 1;
+        let row = self.base.map(&o);
+        self.rtree.insert(Mbb::from_point(&row), id);
+        self.base.store(id, &o);
+        self.base.live += 1;
+        id
+    }
+
+    fn remove(&mut self, id: ObjId) -> bool {
+        let Some(o) = self.base.fetch(id) else {
+            return false;
+        };
+        let row = self.base.map(&o);
+        if !self.rtree.remove(&Mbb::from_point(&row), id) {
+            return false;
+        }
+        self.base.raf.remove(id as u64);
+        self.base.live -= 1;
+        true
+    }
+
+    fn get(&self, id: ObjId) -> Option<O> {
+        self.base.fetch(id)
+    }
+
+    fn storage(&self) -> StorageFootprint {
+        let pivots: u64 = self
+            .base
+            .pivots
+            .iter()
+            .map(|p| p.encoded_len() as u64)
+            .sum();
+        StorageFootprint {
+            mem_bytes: pivots,
+            disk_bytes: self.rtree.disk_bytes() + self.base.raf.disk_bytes(),
+        }
+    }
+
+    fn counters(&self) -> Counters {
+        self.base.counters()
+    }
+
+    fn reset_counters(&self) {
+        self.base.reset_counters();
+    }
+
+    fn set_page_cache(&self, bytes: usize) {
+        self.base.raf.disk().set_cache_bytes(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmi_metric::datasets;
+    use pmi_metric::{BruteForce, L2};
+    use pmi_pivots::select_hfi;
+
+    fn pivots(pts: &[Vec<f32>], l: usize) -> Vec<Vec<f32>> {
+        select_hfi(pts, &L2, l, 61)
+            .into_iter()
+            .map(|i| pts[i].clone())
+            .collect()
+    }
+
+    fn check_range<I: MetricIndex<Vec<f32>>>(idx: &I, pts: &[Vec<f32>], r: f64) {
+        let oracle = BruteForce::new(pts.to_vec(), L2);
+        for qi in [0usize, 99] {
+            let mut got = idx.range_query(&pts[qi], r);
+            got.sort();
+            let mut want = oracle.range_query(&pts[qi], r);
+            want.sort();
+            assert_eq!(got, want, "{} q={qi} r={r}", idx.name());
+        }
+    }
+
+    fn check_knn<I: MetricIndex<Vec<f32>>>(idx: &I, pts: &[Vec<f32>], k: usize) {
+        let oracle = BruteForce::new(pts.to_vec(), L2);
+        let got = idx.knn_query(&pts[42], k);
+        let want = oracle.knn_query(&pts[42], k);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.dist - w.dist).abs() < 1e-9, "{}", idx.name());
+        }
+    }
+
+    #[test]
+    fn seq_file_correct() {
+        let pts = datasets::la(300, 71);
+        let idx = OmniSeqFile::build(pts.clone(), L2, pivots(&pts, 4), DiskSim::new(1024));
+        check_range(&idx, &pts, 600.0);
+        check_knn(&idx, &pts, 10);
+    }
+
+    #[test]
+    fn bplus_correct() {
+        let pts = datasets::la(300, 72);
+        let idx = OmniBPlus::build(pts.clone(), L2, pivots(&pts, 4), DiskSim::new(1024), 14143.0);
+        check_range(&idx, &pts, 600.0);
+        check_knn(&idx, &pts, 10);
+    }
+
+    #[test]
+    fn rtree_correct() {
+        let pts = datasets::la(400, 73);
+        let idx = OmniRTree::build(pts.clone(), L2, pivots(&pts, 5), DiskSim::new(1024));
+        check_range(&idx, &pts, 500.0);
+        check_knn(&idx, &pts, 12);
+    }
+
+    #[test]
+    fn rtree_clusters_better_than_seq_scan() {
+        let pts = datasets::la(1200, 74);
+        let pv = pivots(&pts, 5);
+        let seq = OmniSeqFile::build(pts.clone(), L2, pv.clone(), DiskSim::new(1024));
+        let rt = OmniRTree::build(pts.clone(), L2, pv, DiskSim::new(1024));
+        seq.reset_counters();
+        let _ = seq.range_query(&pts[5], 150.0);
+        let seq_pa = seq.counters().page_accesses();
+        rt.reset_counters();
+        let _ = rt.range_query(&pts[5], 150.0);
+        let rt_pa = rt.counters().page_accesses();
+        assert!(
+            rt_pa < seq_pa,
+            "OmniR should read fewer pages: {rt_pa} vs {seq_pa}"
+        );
+    }
+
+    #[test]
+    fn update_cycles() {
+        let pts = datasets::la(200, 75);
+        let pv = pivots(&pts, 3);
+        let mut seq = OmniSeqFile::build(pts.clone(), L2, pv.clone(), DiskSim::new(1024));
+        let mut bp = OmniBPlus::build(pts.clone(), L2, pv.clone(), DiskSim::new(1024), 14143.0);
+        let mut rt = OmniRTree::build(pts.clone(), L2, pv, DiskSim::new(1024));
+        for idx in [
+            &mut seq as &mut dyn MetricIndex<Vec<f32>>,
+            &mut bp,
+            &mut rt,
+        ] {
+            let o = idx.get(9).unwrap();
+            assert!(idx.remove(9), "{}", idx.name());
+            assert!(!idx.remove(9), "{}", idx.name());
+            assert_eq!(idx.len(), 199);
+            let id = idx.insert(o);
+            assert!(
+                idx.range_query(&pts[9], 0.0).contains(&id),
+                "{}",
+                idx.name()
+            );
+        }
+    }
+
+    #[test]
+    fn knn_cache_reduces_page_reads() {
+        let pts = datasets::la(800, 76);
+        let idx = OmniRTree::build(pts.clone(), L2, pivots(&pts, 5), DiskSim::new(1024));
+        // Cold.
+        idx.reset_counters();
+        let _ = idx.knn_query(&pts[3], 20);
+        let cold = idx.counters().page_reads;
+        // With the paper's 128 KB cache.
+        idx.rtree().disk().set_cache_bytes(128 * 1024);
+        idx.reset_counters();
+        let _ = idx.knn_query(&pts[3], 20);
+        let _ = idx.knn_query(&pts[3], 20);
+        let warm2 = idx.counters().page_reads;
+        assert!(
+            warm2 < cold * 2,
+            "cache should absorb repeats: {warm2} vs 2x{cold}"
+        );
+    }
+}

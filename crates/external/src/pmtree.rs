@@ -1,0 +1,209 @@
+//! PM-tree (paper §5.1): an M-tree whose entries carry pivot "cut-region"
+//! information — implemented as the pivot-augmented mode of [`MTree`].
+//!
+//! Leaf entries store the mapped vector next to the object; routing entries
+//! store a minimum bounding box over the mapped vectors of their subtree.
+//! MRQ prunes with Lemmas 1 and 2; MkNNQ is best-first. The objects live
+//! inside the tree nodes (no separate RAF), which is why the PM-tree needs
+//! large pages for high-dimensional data (§6.1) and suffers low page
+//! utilization on Color/Words (§6.5.2).
+
+use pmi_metric::{
+    CountingMetric, Counters, EncodeObject, Metric, MetricIndex, Neighbor, ObjId,
+    StorageFootprint,
+};
+use pmi_mtree::MTree;
+use pmi_storage::DiskSim;
+
+/// PM-tree: pivot-augmented M-tree.
+pub struct PmTree<O, M> {
+    metric: CountingMetric<M>,
+    pivots: Vec<O>,
+    mtree: MTree<O, CountingMetric<M>>,
+    live: usize,
+    next_id: u32,
+}
+
+impl<O, M> PmTree<O, M>
+where
+    O: Clone + EncodeObject + Send + Sync + 'static,
+    M: Metric<O> + Clone,
+{
+    /// Builds a PM-tree over `objects` using the shared pivot set.
+    pub fn build(objects: Vec<O>, metric: M, pivots: Vec<O>, disk: DiskSim) -> Self {
+        let metric = CountingMetric::new(metric);
+        let mut mtree = MTree::new(disk, metric.clone(), pivots.clone());
+        for (i, o) in objects.iter().enumerate() {
+            mtree.insert(i as u32, o);
+        }
+        PmTree {
+            metric,
+            pivots,
+            mtree,
+            live: objects.len(),
+            next_id: objects.len() as u32,
+        }
+    }
+
+    fn query_dists(&self, q: &O) -> Vec<f64> {
+        self.pivots.iter().map(|p| self.metric.dist(q, p)).collect()
+    }
+
+    /// The underlying augmented M-tree.
+    pub fn mtree(&self) -> &MTree<O, CountingMetric<M>> {
+        &self.mtree
+    }
+
+    /// The instrumented metric.
+    pub fn metric(&self) -> &CountingMetric<M> {
+        &self.metric
+    }
+}
+
+impl<O, M> MetricIndex<O> for PmTree<O, M>
+where
+    O: Clone + EncodeObject + Send + Sync + 'static,
+    M: Metric<O> + Clone,
+{
+    fn name(&self) -> &str {
+        "PM-tree"
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn range_query(&self, q: &O, r: f64) -> Vec<ObjId> {
+        let qd = self.query_dists(q);
+        self.mtree
+            .range(q, r, &qd)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    fn knn_query(&self, q: &O, k: usize) -> Vec<Neighbor> {
+        let qd = self.query_dists(q);
+        self.mtree
+            .knn(q, k, &qd)
+            .into_iter()
+            .map(|(id, d)| Neighbor::new(id, d))
+            .collect()
+    }
+
+    fn insert(&mut self, o: O) -> ObjId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.mtree.insert(id, &o);
+        self.live += 1;
+        id
+    }
+
+    fn remove(&mut self, id: ObjId) -> bool {
+        let Some(o) = self.mtree.fetch(id) else {
+            return false;
+        };
+        let ok = self.mtree.remove(id, &o);
+        if ok {
+            self.live -= 1;
+        }
+        ok
+    }
+
+    fn get(&self, id: ObjId) -> Option<O> {
+        self.mtree.fetch(id)
+    }
+
+    fn storage(&self) -> StorageFootprint {
+        let pivots: u64 = self.pivots.iter().map(|p| p.encoded_len() as u64).sum();
+        StorageFootprint {
+            mem_bytes: pivots,
+            disk_bytes: self.mtree.disk_bytes(),
+        }
+    }
+
+    fn counters(&self) -> Counters {
+        Counters {
+            compdists: self.metric.count(),
+            page_reads: self.mtree.disk().reads(),
+            page_writes: self.mtree.disk().writes(),
+        }
+    }
+
+    fn reset_counters(&self) {
+        self.metric.reset();
+        self.mtree.disk().reset_counters();
+    }
+
+    fn set_page_cache(&self, bytes: usize) {
+        self.mtree.disk().set_cache_bytes(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmi_metric::datasets;
+    use pmi_metric::{BruteForce, L2};
+    use pmi_pivots::select_hfi;
+
+    fn build(n: usize) -> (Vec<Vec<f32>>, PmTree<Vec<f32>, L2>) {
+        let pts = datasets::la(n, 51);
+        let pv: Vec<Vec<f32>> = select_hfi(&pts, &L2, 5, 51)
+            .into_iter()
+            .map(|i| pts[i].clone())
+            .collect();
+        let idx = PmTree::build(pts.clone(), L2, pv, DiskSim::new(2048));
+        (pts, idx)
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let (pts, idx) = build(400);
+        let oracle = BruteForce::new(pts.clone(), L2);
+        for r in [120.0, 1000.0] {
+            let mut got = idx.range_query(&pts[8], r);
+            got.sort();
+            let mut want = oracle.range_query(&pts[8], r);
+            want.sort();
+            assert_eq!(got, want, "r={r}");
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let (pts, idx) = build(400);
+        let oracle = BruteForce::new(pts.clone(), L2);
+        let got = idx.knn_query(&pts[120], 15);
+        let want = oracle.knn_query(&pts[120], 15);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.dist - w.dist).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn queries_pay_page_accesses() {
+        let (pts, idx) = build(300);
+        idx.reset_counters();
+        let _ = idx.range_query(&pts[0], 400.0);
+        assert!(idx.counters().page_reads > 0);
+    }
+
+    #[test]
+    fn update_cycle() {
+        let (pts, mut idx) = build(250);
+        let o = idx.get(77).unwrap();
+        assert!(idx.remove(77));
+        assert!(!idx.remove(77));
+        assert_eq!(idx.len(), 249);
+        let id = idx.insert(o);
+        assert!(idx.range_query(&pts[77], 0.0).contains(&id));
+    }
+
+    #[test]
+    fn storage_is_disk_resident() {
+        let (_, idx) = build(200);
+        let s = idx.storage();
+        assert!(s.disk_bytes > s.mem_bytes);
+    }
+}

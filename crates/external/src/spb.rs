@@ -1,0 +1,442 @@
+//! SPB-tree (paper §5.4): space-filling-curve + pivot-based B+-tree.
+//!
+//! Pivot distances are discretized to a small grid and mapped through an
+//! n-dimensional Hilbert curve to a single integer, which a B+-tree
+//! indexes; non-leaf entries carry the minimum bounding box of their
+//! subtree's grid cells (stored as the two corner SFC values in the paper,
+//! as a decoded corner pair here). Objects live in a separate RAF. The SFC
+//! compresses the pre-computed distances — the storage/I-O win Table 4 and
+//! Figure 16 show — at the price of discretized (weaker) pivot filtering,
+//! the trade-off the paper's §5.4 discussion calls out.
+
+use pmi_bptree::{BpTree, NodeView, Summarizer};
+use pmi_metric::{
+    lemmas, CountingMetric, Counters, EncodeObject, Metric, MetricIndex, Neighbor, ObjId,
+    StorageFootprint,
+};
+use pmi_storage::sfc::Hilbert;
+use pmi_storage::{DiskSim, PageId, Raf};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SpbConfig {
+    /// Upper bound on any distance (`d⁺`), defining the grid extent.
+    pub d_plus: f64,
+    /// Bits per pivot dimension of the SFC grid (the paper's discrete
+    /// approximation; 8 bits = 256 cells per pivot).
+    pub bits: u32,
+}
+
+impl Default for SpbConfig {
+    fn default() -> Self {
+        SpbConfig {
+            d_plus: 1e6,
+            bits: 8,
+        }
+    }
+}
+
+/// B+-tree summarizer that unions grid-cell MBBs from Hilbert keys.
+#[derive(Clone)]
+pub struct CellMbb {
+    hilbert: Hilbert,
+}
+
+impl Summarizer<u128> for CellMbb {
+    type Summary = (Vec<u32>, Vec<u32>);
+
+    fn size(&self) -> usize {
+        8 * self.hilbert.dims()
+    }
+
+    fn leaf(&self, k: &u128) -> Self::Summary {
+        let c = self.hilbert.decode(*k);
+        (c.clone(), c)
+    }
+
+    fn merge(&self, acc: &mut Self::Summary, other: &Self::Summary) {
+        for i in 0..acc.0.len() {
+            acc.0[i] = acc.0[i].min(other.0[i]);
+            acc.1[i] = acc.1[i].max(other.1[i]);
+        }
+    }
+
+    fn write(&self, s: &Self::Summary, out: &mut Vec<u8>) {
+        for v in &s.0 {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in &s.1 {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn read(&self, buf: &[u8]) -> Self::Summary {
+        let d = self.hilbert.dims();
+        let mut lo = Vec::with_capacity(d);
+        let mut hi = Vec::with_capacity(d);
+        for i in 0..d {
+            lo.push(u32::from_le_bytes(buf[4 * i..4 * i + 4].try_into().unwrap()));
+        }
+        for i in 0..d {
+            hi.push(u32::from_le_bytes(
+                buf[4 * (d + i)..4 * (d + i) + 4].try_into().unwrap(),
+            ));
+        }
+        (lo, hi)
+    }
+}
+
+/// The SPB-tree.
+pub struct SpbTree<O, M> {
+    metric: CountingMetric<M>,
+    pivots: Vec<O>,
+    cfg: SpbConfig,
+    hilbert: Hilbert,
+    btree: BpTree<u128, u32, CellMbb>,
+    raf: Raf,
+    live: usize,
+    next_id: u32,
+}
+
+impl<O, M> SpbTree<O, M>
+where
+    O: Clone + EncodeObject + Send + Sync + 'static,
+    M: Metric<O>,
+{
+    /// Builds an SPB-tree (bulk-loads the B+-tree in SFC order).
+    pub fn build(objects: Vec<O>, metric: M, pivots: Vec<O>, disk: DiskSim, cfg: SpbConfig) -> Self {
+        assert!(!pivots.is_empty(), "SPB-tree needs pivots");
+        let hilbert = Hilbert::new(pivots.len(), cfg.bits);
+        let metric = CountingMetric::new(metric);
+        let mut raf = Raf::new(disk.clone());
+        let mut entries: Vec<(u128, u32)> = Vec::with_capacity(objects.len());
+        let mut tmp = SpbTree {
+            metric,
+            pivots,
+            cfg,
+            hilbert,
+            btree: BpTree::new(disk.clone(), CellMbb { hilbert }),
+            raf: Raf::new(disk.clone()),
+            live: 0,
+            next_id: 0,
+        };
+        for o in &objects {
+            let id = tmp.next_id;
+            tmp.next_id += 1;
+            let row = tmp.map(o);
+            let key = tmp.encode_row(&row);
+            entries.push((key, id));
+            raf.append(id as u64, &o.encode());
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        tmp.btree = BpTree::bulk_load(disk, CellMbb { hilbert: tmp.hilbert }, &entries);
+        tmp.raf = raf;
+        tmp.live = objects.len();
+        tmp
+    }
+
+    fn map(&self, q: &O) -> Vec<f64> {
+        self.pivots.iter().map(|p| self.metric.dist(q, p)).collect()
+    }
+
+    /// Cell side length of the discretization grid.
+    fn cell(&self) -> f64 {
+        self.cfg.d_plus / (self.hilbert.max_coord() as f64 + 1.0)
+    }
+
+    fn discretize(&self, d: f64) -> u32 {
+        ((d / self.cell()) as u32).min(self.hilbert.max_coord())
+    }
+
+    fn encode_row(&self, row: &[f64]) -> u128 {
+        let coords: Vec<u32> = row.iter().map(|d| self.discretize(*d)).collect();
+        self.hilbert.encode(&coords)
+    }
+
+    /// Conservative distance interval of a cell range `[lo, hi]`: an object
+    /// in cell `c` has `d(o, p) ∈ [c·w, (c+1)·w)`.
+    fn cells_to_bounds(&self, lo: &[u32], hi: &[u32]) -> (Vec<f64>, Vec<f64>) {
+        let w = self.cell();
+        let dlo: Vec<f64> = lo.iter().map(|c| *c as f64 * w).collect();
+        let dhi: Vec<f64> = hi.iter().map(|c| (*c as f64 + 1.0) * w).collect();
+        (dlo, dhi)
+    }
+
+    fn fetch(&self, id: u32) -> Option<O> {
+        let bytes = self.raf.read(id as u64)?;
+        Some(O::decode_from(&bytes).0)
+    }
+
+    /// The instrumented metric.
+    pub fn metric(&self) -> &CountingMetric<M> {
+        &self.metric
+    }
+
+    /// The shared disk (for cache configuration).
+    pub fn disk(&self) -> &DiskSim {
+        self.raf.disk()
+    }
+}
+
+impl<O, M> MetricIndex<O> for SpbTree<O, M>
+where
+    O: Clone + EncodeObject + Send + Sync + 'static,
+    M: Metric<O>,
+{
+    fn name(&self) -> &str {
+        "SPB-tree"
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn range_query(&self, q: &O, r: f64) -> Vec<ObjId> {
+        let qd = self.map(q);
+        let mut out = Vec::new();
+        let Some(root) = self.btree.root() else { return out };
+        let mut stack = vec![root];
+        while let Some(pid) = stack.pop() {
+            match self.btree.read_node(pid) {
+                NodeView::Internal { entries } => {
+                    for (_, child, (clo, chi)) in entries {
+                        let (dlo, dhi) = self.cells_to_bounds(&clo, &chi);
+                        if !lemmas::lemma1_box_prunable(&qd, &dlo, &dhi, r) {
+                            stack.push(child);
+                        }
+                    }
+                }
+                NodeView::Leaf { entries, .. } => {
+                    for (key, id) in entries {
+                        let c = self.hilbert.decode(key);
+                        let (dlo, dhi) = self.cells_to_bounds(&c, &c);
+                        if lemmas::lemma1_box_prunable(&qd, &dlo, &dhi, r) {
+                            continue;
+                        }
+                        // Lemma 4 on the conservative cell upper bounds:
+                        // validated objects skip the distance computation
+                        // entirely (§5.4 MRQ processing).
+                        if qd.iter().zip(&dhi).any(|(dq, oh)| *oh <= r - *dq) {
+                            out.push(id);
+                            continue;
+                        }
+                        let o = self.fetch(id).expect("object in RAF");
+                        if self.metric.dist(q, &o) <= r {
+                            out.push(id);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn knn_query(&self, q: &O, k: usize) -> Vec<Neighbor> {
+        if k == 0 || self.live == 0 {
+            return Vec::new();
+        }
+        let qd = self.map(q);
+        let mut result: BinaryHeap<Neighbor> = BinaryHeap::new();
+        let mut heap: BinaryHeap<Reverse<(u64, PageId)>> = BinaryHeap::new();
+        if let Some(root) = self.btree.root() {
+            heap.push(Reverse((0, root)));
+        }
+        let radius = |res: &BinaryHeap<Neighbor>| {
+            if res.len() < k {
+                f64::INFINITY
+            } else {
+                res.peek().unwrap().dist
+            }
+        };
+        while let Some(Reverse((lb_bits, pid))) = heap.pop() {
+            if f64::from_bits(lb_bits) > radius(&result) {
+                break;
+            }
+            match self.btree.read_node(pid) {
+                NodeView::Internal { entries } => {
+                    for (_, child, (clo, chi)) in entries {
+                        let (dlo, dhi) = self.cells_to_bounds(&clo, &chi);
+                        let lb = lemmas::mbb_lower_bound(&qd, &dlo, &dhi);
+                        if lb <= radius(&result) {
+                            heap.push(Reverse((lb.to_bits(), child)));
+                        }
+                    }
+                }
+                NodeView::Leaf { entries, .. } => {
+                    for (key, id) in entries {
+                        let c = self.hilbert.decode(key);
+                        let (dlo, dhi) = self.cells_to_bounds(&c, &c);
+                        let lb = lemmas::mbb_lower_bound(&qd, &dlo, &dhi);
+                        if lb > radius(&result) {
+                            continue;
+                        }
+                        let o = self.fetch(id).expect("object in RAF");
+                        let d = self.metric.dist(q, &o);
+                        if d < radius(&result) || result.len() < k {
+                            result.push(Neighbor::new(id, d));
+                            if result.len() > k {
+                                result.pop();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut v = result.into_sorted_vec();
+        v.truncate(k);
+        v
+    }
+
+    fn insert(&mut self, o: O) -> ObjId {
+        let id = self.next_id;
+        self.next_id += 1;
+        let row = self.map(&o);
+        self.btree.insert(self.encode_row(&row), id);
+        self.raf.append(id as u64, &o.encode());
+        self.live += 1;
+        id
+    }
+
+    fn remove(&mut self, id: ObjId) -> bool {
+        let Some(o) = self.fetch(id) else {
+            return false;
+        };
+        let row = self.map(&o);
+        if !self.btree.remove(self.encode_row(&row), id) {
+            return false;
+        }
+        self.raf.remove(id as u64);
+        self.live -= 1;
+        true
+    }
+
+    fn get(&self, id: ObjId) -> Option<O> {
+        self.fetch(id)
+    }
+
+    fn storage(&self) -> StorageFootprint {
+        let pivots: u64 = self.pivots.iter().map(|p| p.encoded_len() as u64).sum();
+        StorageFootprint {
+            mem_bytes: pivots,
+            disk_bytes: self.btree.disk_bytes() + self.raf.disk_bytes(),
+        }
+    }
+
+    fn counters(&self) -> Counters {
+        Counters {
+            compdists: self.metric.count(),
+            page_reads: self.raf.disk().reads(),
+            page_writes: self.raf.disk().writes(),
+        }
+    }
+
+    fn reset_counters(&self) {
+        self.metric.reset();
+        self.raf.disk().reset_counters();
+    }
+
+    fn set_page_cache(&self, bytes: usize) {
+        self.raf.disk().set_cache_bytes(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmi_metric::datasets;
+    use pmi_metric::{BruteForce, L2};
+    use pmi_pivots::select_hfi;
+
+    fn build(n: usize, bits: u32) -> (Vec<Vec<f32>>, SpbTree<Vec<f32>, L2>) {
+        let pts = datasets::la(n, 101);
+        let pv: Vec<Vec<f32>> = select_hfi(&pts, &L2, 5, 101)
+            .into_iter()
+            .map(|i| pts[i].clone())
+            .collect();
+        let idx = SpbTree::build(
+            pts.clone(),
+            L2,
+            pv,
+            DiskSim::new(1024),
+            SpbConfig {
+                d_plus: 14143.0,
+                bits,
+            },
+        );
+        (pts, idx)
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let (pts, idx) = build(400, 8);
+        let oracle = BruteForce::new(pts.clone(), L2);
+        for r in [130.0, 1000.0, 5000.0] {
+            let mut got = idx.range_query(&pts[19], r);
+            got.sort();
+            let mut want = oracle.range_query(&pts[19], r);
+            want.sort();
+            assert_eq!(got, want, "r={r}");
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let (pts, idx) = build(400, 8);
+        let oracle = BruteForce::new(pts.clone(), L2);
+        for k in [1usize, 11, 35] {
+            let got = idx.knn_query(&pts[301], k);
+            let want = oracle.knn_query(&pts[301], k);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.dist - w.dist).abs() < 1e-9, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_bits_prune_better() {
+        // §5.4 discussion: discretization weakens pivot filtering; a finer
+        // grid must not verify more objects.
+        let (pts, coarse) = build(700, 3);
+        let (_, fine) = build(700, 10);
+        let mut cd_coarse = 0;
+        let mut cd_fine = 0;
+        for qi in (0..700).step_by(70) {
+            coarse.reset_counters();
+            let _ = coarse.range_query(&pts[qi], 300.0);
+            cd_coarse += coarse.counters().compdists;
+            fine.reset_counters();
+            let _ = fine.range_query(&pts[qi], 300.0);
+            cd_fine += fine.counters().compdists;
+        }
+        assert!(
+            cd_fine <= cd_coarse,
+            "finer grid should prune at least as well: {cd_fine} vs {cd_coarse}"
+        );
+    }
+
+    #[test]
+    fn compact_storage_versus_mindex_style_rows() {
+        // SPB stores a 16-byte key instead of l × 8-byte rows in the index
+        // and no rows in the RAF — its storage should be modest.
+        let (_, idx) = build(500, 8);
+        let s = idx.storage();
+        assert!(s.disk_bytes > 0);
+        // 500 2-d objects = ~6 KB raw; the whole structure should stay
+        // within a small multiple.
+        assert!(s.disk_bytes < 700 * 1024, "{}", s.disk_bytes);
+    }
+
+    #[test]
+    fn update_cycle() {
+        let (pts, mut idx) = build(250, 8);
+        let o = idx.get(123).unwrap();
+        assert!(idx.remove(123));
+        assert!(!idx.remove(123));
+        assert_eq!(idx.len(), 249);
+        let id = idx.insert(o);
+        assert!(idx.range_query(&pts[123], 0.0).contains(&id));
+    }
+}

@@ -1,0 +1,394 @@
+//! Distance functions and the instrumented [`CountingMetric`] wrapper.
+//!
+//! A metric space `(M, d)` requires `d` to satisfy symmetry, non-negativity,
+//! identity and the triangle inequality (paper §2.1). The implementations
+//! here are property-tested against those axioms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A distance function over objects of type `O`.
+///
+/// Implementations must satisfy the four metric axioms; all pivot filtering
+/// in this workspace (Lemmas 1–4) is only correct under the triangle
+/// inequality.
+pub trait Metric<O: ?Sized>: Send + Sync {
+    /// Distance between `a` and `b`. Must be symmetric and non-negative.
+    fn dist(&self, a: &O, b: &O) -> f64;
+
+    /// Whether the distance domain is discrete (integer-valued). BKT and FQT
+    /// are only defined for discrete metrics (paper §4.1–4.2).
+    fn is_discrete(&self) -> bool {
+        false
+    }
+
+    /// Human-readable name used in reports.
+    fn name(&self) -> &'static str;
+}
+
+impl<O: ?Sized, M: Metric<O> + ?Sized> Metric<O> for &M {
+    fn dist(&self, a: &O, b: &O) -> f64 {
+        (**self).dist(a, b)
+    }
+    fn is_discrete(&self) -> bool {
+        (**self).is_discrete()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// L1 norm (Manhattan distance) — used by the Color dataset.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct L1;
+
+impl Metric<[f32]> for L1 {
+    #[inline]
+    fn dist(&self, a: &[f32], b: &[f32]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut s = 0.0f64;
+        for (x, y) in a.iter().zip(b) {
+            s += (*x as f64 - *y as f64).abs();
+        }
+        s
+    }
+    fn name(&self) -> &'static str {
+        "L1"
+    }
+}
+
+/// L2 norm (Euclidean distance) — used by the LA dataset.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct L2;
+
+impl Metric<[f32]> for L2 {
+    #[inline]
+    fn dist(&self, a: &[f32], b: &[f32]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut s = 0.0f64;
+        for (x, y) in a.iter().zip(b) {
+            let d = *x as f64 - *y as f64;
+            s += d * d;
+        }
+        s.sqrt()
+    }
+    fn name(&self) -> &'static str {
+        "L2"
+    }
+}
+
+/// L∞ norm (Chebyshev distance) — used by the Synthetic dataset. On
+/// integer-valued vectors this is a discrete metric, which is what the paper
+/// relies on to evaluate BKT/FQT on Synthetic.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LInf {
+    /// Marks the distance domain as discrete (paper generates Synthetic as
+    /// integers so that L∞ distances are integers).
+    pub discrete: bool,
+}
+
+impl LInf {
+    /// An L∞ metric over integer-valued vectors (discrete domain).
+    pub fn discrete() -> Self {
+        LInf { discrete: true }
+    }
+}
+
+impl Metric<[f32]> for LInf {
+    #[inline]
+    fn dist(&self, a: &[f32], b: &[f32]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut m = 0.0f64;
+        for (x, y) in a.iter().zip(b) {
+            let d = (*x as f64 - *y as f64).abs();
+            if d > m {
+                m = d;
+            }
+        }
+        m
+    }
+    fn is_discrete(&self) -> bool {
+        self.discrete
+    }
+    fn name(&self) -> &'static str {
+        "Linf"
+    }
+}
+
+/// General Lp norm for p ≥ 1 (p < 1 does not satisfy the triangle
+/// inequality and is rejected).
+#[derive(Clone, Copy, Debug)]
+pub struct Lp {
+    p: f64,
+}
+
+impl Lp {
+    /// Creates an Lp metric. Panics if `p < 1`, which would violate the
+    /// triangle inequality.
+    pub fn new(p: f64) -> Self {
+        assert!(p >= 1.0, "Lp norm requires p >= 1 to be a metric");
+        Lp { p }
+    }
+
+    /// The exponent.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Metric<[f32]> for Lp {
+    #[inline]
+    fn dist(&self, a: &[f32], b: &[f32]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut s = 0.0f64;
+        for (x, y) in a.iter().zip(b) {
+            s += (*x as f64 - *y as f64).abs().powf(self.p);
+        }
+        s.powf(1.0 / self.p)
+    }
+    fn name(&self) -> &'static str {
+        "Lp"
+    }
+}
+
+// `Vec<f32>` convenience impls so indexes generic over `O = Vector` work
+// without explicit deref coercion.
+macro_rules! impl_vec_metric {
+    ($t:ty) => {
+        impl Metric<Vec<f32>> for $t {
+            #[inline]
+            fn dist(&self, a: &Vec<f32>, b: &Vec<f32>) -> f64 {
+                Metric::<[f32]>::dist(self, a.as_slice(), b.as_slice())
+            }
+            fn is_discrete(&self) -> bool {
+                Metric::<[f32]>::is_discrete(self)
+            }
+            fn name(&self) -> &'static str {
+                Metric::<[f32]>::name(self)
+            }
+        }
+    };
+}
+impl_vec_metric!(L1);
+impl_vec_metric!(L2);
+impl_vec_metric!(LInf);
+impl_vec_metric!(Lp);
+
+/// Levenshtein edit distance — used by the Words dataset. Discrete.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EditDistance;
+
+impl EditDistance {
+    /// Classic O(|a|·|b|) dynamic program with two rolling rows.
+    pub fn levenshtein(a: &str, b: &str) -> usize {
+        let a: Vec<char> = a.chars().collect();
+        let b: Vec<char> = b.chars().collect();
+        if a.is_empty() {
+            return b.len();
+        }
+        if b.is_empty() {
+            return a.len();
+        }
+        let mut prev: Vec<usize> = (0..=b.len()).collect();
+        let mut cur = vec![0usize; b.len() + 1];
+        for (i, ca) in a.iter().enumerate() {
+            cur[0] = i + 1;
+            for (j, cb) in b.iter().enumerate() {
+                let sub = prev[j] + usize::from(ca != cb);
+                cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[b.len()]
+    }
+}
+
+impl Metric<str> for EditDistance {
+    #[inline]
+    fn dist(&self, a: &str, b: &str) -> f64 {
+        Self::levenshtein(a, b) as f64
+    }
+    fn is_discrete(&self) -> bool {
+        true
+    }
+    fn name(&self) -> &'static str {
+        "edit"
+    }
+}
+
+impl Metric<String> for EditDistance {
+    #[inline]
+    fn dist(&self, a: &String, b: &String) -> f64 {
+        Self::levenshtein(a, b) as f64
+    }
+    fn is_discrete(&self) -> bool {
+        true
+    }
+    fn name(&self) -> &'static str {
+        "edit"
+    }
+}
+
+/// Shared distance-computation counter.
+///
+/// The paper's primary cost metric is `compdists`, the number of distance
+/// computations (§6.1). Every index in this workspace performs distance
+/// computations exclusively through a [`CountingMetric`], so the harness can
+/// read and reset this counter around each build / query / update.
+#[derive(Clone, Debug, Default)]
+pub struct DistanceCounter(Arc<AtomicU64>);
+
+impl DistanceCounter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn bump(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A metric wrapper that counts every distance evaluation.
+///
+/// Cloning shares the underlying counter, so an index and the harness can
+/// observe the same `compdists` stream.
+#[derive(Clone, Debug)]
+pub struct CountingMetric<M> {
+    inner: M,
+    counter: DistanceCounter,
+}
+
+impl<M> CountingMetric<M> {
+    /// Wraps `inner` with a fresh counter.
+    pub fn new(inner: M) -> Self {
+        CountingMetric {
+            inner,
+            counter: DistanceCounter::new(),
+        }
+    }
+
+    /// The shared counter handle.
+    pub fn counter(&self) -> DistanceCounter {
+        self.counter.clone()
+    }
+
+    /// Number of distance computations so far.
+    pub fn count(&self) -> u64 {
+        self.counter.get()
+    }
+
+    /// Resets the counter.
+    pub fn reset(&self) {
+        self.counter.reset()
+    }
+
+    /// The wrapped metric.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<O: ?Sized, M: Metric<O>> Metric<O> for CountingMetric<M> {
+    #[inline]
+    fn dist(&self, a: &O, b: &O) -> f64 {
+        self.counter.bump();
+        self.inner.dist(a, b)
+    }
+    fn is_discrete(&self) -> bool {
+        self.inner.is_discrete()
+    }
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_basic() {
+        let a = [0.0f32, 0.0];
+        let b = [3.0f32, 4.0];
+        assert_eq!(L2.dist(&a[..], &b[..]), 5.0);
+    }
+
+    #[test]
+    fn l1_basic() {
+        let a = [1.0f32, -2.0];
+        let b = [4.0f32, 2.0];
+        assert_eq!(L1.dist(&a[..], &b[..]), 7.0);
+    }
+
+    #[test]
+    fn linf_basic() {
+        let a = [1.0f32, -2.0];
+        let b = [4.0f32, 2.0];
+        assert_eq!(LInf::default().dist(&a[..], &b[..]), 4.0);
+        assert!(Metric::<[f32]>::is_discrete(&LInf::discrete()));
+    }
+
+    #[test]
+    fn lp_matches_l1_l2() {
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [4.0f32, 6.0, 3.0];
+        let l1 = L1.dist(&a[..], &b[..]);
+        let l2 = L2.dist(&a[..], &b[..]);
+        assert!((Lp::new(1.0).dist(&a[..], &b[..]) - l1).abs() < 1e-9);
+        assert!((Lp::new(2.0).dist(&a[..], &b[..]) - l2).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn lp_rejects_sub_one() {
+        let _ = Lp::new(0.5);
+    }
+
+    #[test]
+    fn edit_distance_paper_example() {
+        // §2.1: MRQ("defoliate", 1) = {"defoliates", "defoliated"}
+        assert_eq!(EditDistance::levenshtein("defoliate", "defoliates"), 1);
+        assert_eq!(EditDistance::levenshtein("defoliate", "defoliated"), 1);
+        assert_eq!(EditDistance::levenshtein("defoliate", "defoliation"), 3);
+        assert_eq!(EditDistance::levenshtein("defoliate", "defoliating"), 3);
+        assert!(EditDistance::levenshtein("defoliate", "citrate") > 1);
+    }
+
+    #[test]
+    fn edit_distance_edge_cases() {
+        assert_eq!(EditDistance::levenshtein("", ""), 0);
+        assert_eq!(EditDistance::levenshtein("", "abc"), 3);
+        assert_eq!(EditDistance::levenshtein("abc", ""), 3);
+        assert_eq!(EditDistance::levenshtein("abc", "abc"), 0);
+        assert_eq!(EditDistance::levenshtein("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn counting_metric_counts() {
+        let m = CountingMetric::new(L2);
+        let a = vec![0.0f32, 0.0];
+        let b = vec![1.0f32, 1.0];
+        assert_eq!(m.count(), 0);
+        let _ = m.dist(&a, &b);
+        let _ = m.dist(&a, &b);
+        assert_eq!(m.count(), 2);
+        m.reset();
+        assert_eq!(m.count(), 0);
+        // Clones share the counter.
+        let m2 = m.clone();
+        let _ = m2.dist(&a, &b);
+        assert_eq!(m.count(), 1);
+    }
+}

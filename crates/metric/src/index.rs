@@ -1,0 +1,208 @@
+//! The unified, object-safe index interface implemented by all thirteen
+//! index variants, plus a brute-force reference implementation used as the
+//! correctness oracle in tests.
+
+use crate::distance::{CountingMetric, Metric};
+use crate::stats::{Counters, Neighbor, ObjId, StorageFootprint};
+
+/// A metric index over objects of type `O`, supporting the paper's two query
+/// types (Definitions 1 and 2) and updates (§6.3).
+pub trait MetricIndex<O>: Send {
+    /// Index name as used in the paper's tables ("LAESA", "EPT*", ...).
+    fn name(&self) -> &str;
+
+    /// Number of live (not removed) objects.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Metric range query `MRQ(q, r)`: ids of all objects within distance
+    /// `r` of `q`. Order is unspecified.
+    fn range_query(&self, q: &O, r: f64) -> Vec<ObjId>;
+
+    /// Metric k-nearest-neighbor query `MkNNQ(q, k)`, sorted by ascending
+    /// distance. Returns fewer than `k` entries only when the index holds
+    /// fewer than `k` objects. Ties at the k-th distance are broken
+    /// arbitrarily.
+    fn knn_query(&self, q: &O, k: usize) -> Vec<Neighbor>;
+
+    /// Inserts an object, returning its id.
+    fn insert(&mut self, o: O) -> ObjId;
+
+    /// Removes an object by id; returns whether it was present.
+    fn remove(&mut self, id: ObjId) -> bool;
+
+    /// Retrieves a copy of a live object (used by the update experiment to
+    /// delete-then-reinsert, §6.3).
+    fn get(&self, id: ObjId) -> Option<O>;
+
+    /// Current storage footprint, split between memory and disk as in
+    /// Table 4's `(I)` / `(D)` annotations.
+    fn storage(&self) -> StorageFootprint;
+
+    /// Snapshot of the cost counters.
+    fn counters(&self) -> Counters;
+
+    /// Resets all cost counters to zero.
+    fn reset_counters(&self);
+
+    /// Configures an LRU page cache of `bytes` capacity on the index's
+    /// simulated disk (the paper's 128 KB MkNNQ cache, §6.1). No-op for
+    /// in-memory indexes; 0 disables caching.
+    fn set_page_cache(&self, bytes: usize) {
+        let _ = bytes;
+    }
+}
+
+/// Brute-force linear scan; the correctness oracle for every other index.
+pub struct BruteForce<O, M> {
+    objects: Vec<Option<O>>,
+    live: usize,
+    metric: CountingMetric<M>,
+}
+
+impl<O, M: Metric<O>> BruteForce<O, M> {
+    /// Builds the oracle over `objects`.
+    pub fn new(objects: Vec<O>, metric: M) -> Self {
+        BruteForce {
+            live: objects.len(),
+            objects: objects.into_iter().map(Some).collect(),
+            metric: CountingMetric::new(metric),
+        }
+    }
+
+    /// The instrumented metric (shared counter).
+    pub fn metric(&self) -> &CountingMetric<M> {
+        &self.metric
+    }
+}
+
+impl<O: Clone + Send, M: Metric<O>> MetricIndex<O> for BruteForce<O, M> {
+    fn name(&self) -> &str {
+        "BruteForce"
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn range_query(&self, q: &O, r: f64) -> Vec<ObjId> {
+        let mut out = Vec::new();
+        for (i, o) in self.objects.iter().enumerate() {
+            if let Some(o) = o {
+                if self.metric.dist(q, o) <= r {
+                    out.push(i as ObjId);
+                }
+            }
+        }
+        out
+    }
+
+    fn knn_query(&self, q: &O, k: usize) -> Vec<Neighbor> {
+        let mut all: Vec<Neighbor> = self
+            .objects
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| {
+                o.as_ref()
+                    .map(|o| Neighbor::new(i as ObjId, self.metric.dist(q, o)))
+            })
+            .collect();
+        all.sort();
+        all.truncate(k);
+        all
+    }
+
+    fn insert(&mut self, o: O) -> ObjId {
+        self.live += 1;
+        self.objects.push(Some(o));
+        (self.objects.len() - 1) as ObjId
+    }
+
+    fn remove(&mut self, id: ObjId) -> bool {
+        match self.objects.get_mut(id as usize) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn get(&self, id: ObjId) -> Option<O> {
+        self.objects.get(id as usize).and_then(|o| o.clone())
+    }
+
+    fn storage(&self) -> StorageFootprint {
+        StorageFootprint::mem((self.objects.len() * std::mem::size_of::<O>()) as u64)
+    }
+
+    fn counters(&self) -> Counters {
+        Counters {
+            compdists: self.metric.count(),
+            page_reads: 0,
+            page_writes: 0,
+        }
+    }
+
+    fn reset_counters(&self) {
+        self.metric.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::L2;
+
+    fn sample() -> BruteForce<Vec<f32>, L2> {
+        let pts = vec![
+            vec![0.0f32, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 2.0],
+            vec![5.0, 5.0],
+        ];
+        BruteForce::new(pts, L2)
+    }
+
+    #[test]
+    fn range_and_knn() {
+        let idx = sample();
+        let q = vec![0.0f32, 0.0];
+        let mut r = idx.range_query(&q, 1.5);
+        r.sort();
+        assert_eq!(r, vec![0, 1]);
+        let knn = idx.knn_query(&q, 2);
+        assert_eq!(knn[0].id, 0);
+        assert_eq!(knn[1].id, 1);
+        assert!(idx.counters().compdists > 0);
+    }
+
+    #[test]
+    fn updates() {
+        let mut idx = sample();
+        assert_eq!(idx.len(), 4);
+        let o = idx.get(1).unwrap();
+        assert!(idx.remove(1));
+        assert!(!idx.remove(1));
+        assert_eq!(idx.len(), 3);
+        let q = vec![0.0f32, 0.0];
+        assert_eq!(idx.range_query(&q, 1.5), vec![0]);
+        let id = idx.insert(o);
+        assert_eq!(idx.len(), 4);
+        let mut r = idx.range_query(&q, 1.5);
+        r.sort();
+        assert_eq!(r, vec![0, id]);
+    }
+
+    #[test]
+    fn knn_smaller_than_k() {
+        let idx = sample();
+        let q = vec![0.0f32, 0.0];
+        assert_eq!(idx.knn_query(&q, 10).len(), 4);
+    }
+}

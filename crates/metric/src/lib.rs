@@ -1,0 +1,36 @@
+//! Metric-space foundations for pivot-based metric indexing.
+//!
+//! This crate provides everything the index crates share:
+//!
+//! * the [`Metric`] trait and the concrete distance functions used by the
+//!   paper's evaluation (L1 / L2 / L∞ / Lp norms and edit distance),
+//! * [`CountingMetric`], the instrumented wrapper through which every index
+//!   computes distances so that the `compdists` cost metric of the paper can
+//!   be measured uniformly,
+//! * the four pivot filtering / validation lemmas of the paper ([`lemmas`]),
+//! * the object-safe [`MetricIndex`] trait implemented by all thirteen index
+//!   variants,
+//! * binary object encoding ([`object`]) used by the disk-resident indexes,
+//! * synthetic dataset generators matching the paper's Table 2 ([`datasets`]).
+
+pub mod datasets;
+pub mod distance;
+pub mod index;
+pub mod lemmas;
+pub mod object;
+pub mod parallel;
+pub mod stats;
+pub mod table;
+
+pub use distance::{
+    CountingMetric, DistanceCounter, EditDistance, L1, L2, LInf, Lp, Metric,
+};
+pub use index::{BruteForce, MetricIndex};
+pub use object::EncodeObject;
+pub use stats::{Counters, Neighbor, ObjId, StorageFootprint};
+pub use table::ObjTable;
+
+/// A dense vector object. All vector datasets in the paper (LA, Color,
+/// Synthetic) are represented this way; coordinates are stored as `f32`
+/// and distances are accumulated in `f64`.
+pub type Vector = Vec<f32>;

@@ -1,0 +1,170 @@
+//! Cost accounting shared by every index: the paper's three performance
+//! metrics are the number of page accesses (PA), the number of distance
+//! computations (compdists) and CPU time (§6.1). The first two are counted
+//! here; the harness measures the third.
+
+use std::cmp::Ordering;
+
+/// Identifier of an object inside an index. Identifiers are assigned by the
+/// index at insertion time and refer to positions in the index's object
+/// table; they are stable until the object is removed.
+pub type ObjId = u32;
+
+/// A query answer: object id plus its exact distance to the query object.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor {
+    /// Object identifier.
+    pub id: ObjId,
+    /// Exact distance `d(q, o)`.
+    pub dist: f64,
+}
+
+impl Neighbor {
+    /// Creates a neighbor entry.
+    pub fn new(id: ObjId, dist: f64) -> Self {
+        Neighbor { id, dist }
+    }
+}
+
+impl Eq for Neighbor {}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Neighbor {
+    /// Orders by distance, then by id for determinism. Distances produced by
+    /// the metrics in this workspace are never NaN.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist
+            .total_cmp(&other.dist)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+/// Snapshot of an index's cost counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Distance computations (the paper's `compdists`).
+    pub compdists: u64,
+    /// Simulated disk page reads.
+    pub page_reads: u64,
+    /// Simulated disk page writes.
+    pub page_writes: u64,
+}
+
+impl Counters {
+    /// Total page accesses — the paper's `PA` metric counts both reads and
+    /// writes.
+    pub fn page_accesses(&self) -> u64 {
+        self.page_reads + self.page_writes
+    }
+
+    /// Component-wise difference (`self` is the later snapshot).
+    pub fn since(&self, earlier: &Counters) -> Counters {
+        Counters {
+            compdists: self.compdists.saturating_sub(earlier.compdists),
+            page_reads: self.page_reads.saturating_sub(earlier.page_reads),
+            page_writes: self.page_writes.saturating_sub(earlier.page_writes),
+        }
+    }
+}
+
+impl std::ops::Add for Counters {
+    type Output = Counters;
+    fn add(self, rhs: Counters) -> Counters {
+        Counters {
+            compdists: self.compdists + rhs.compdists,
+            page_reads: self.page_reads + rhs.page_reads,
+            page_writes: self.page_writes + rhs.page_writes,
+        }
+    }
+}
+
+/// Storage footprint of an index, split by residence. Table 4 of the paper
+/// annotates each size with `(I)` for main memory and `(D)` for disk.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StorageFootprint {
+    /// Bytes resident in main memory (tables, tree nodes of in-memory
+    /// indexes, the distance table of CPT, ...).
+    pub mem_bytes: u64,
+    /// Bytes resident on (simulated) disk pages.
+    pub disk_bytes: u64,
+}
+
+impl StorageFootprint {
+    /// In-memory footprint.
+    pub fn mem(bytes: u64) -> Self {
+        StorageFootprint {
+            mem_bytes: bytes,
+            disk_bytes: 0,
+        }
+    }
+
+    /// On-disk footprint.
+    pub fn disk(bytes: u64) -> Self {
+        StorageFootprint {
+            mem_bytes: 0,
+            disk_bytes: bytes,
+        }
+    }
+
+    /// Total bytes.
+    pub fn total(&self) -> u64 {
+        self.mem_bytes + self.disk_bytes
+    }
+}
+
+impl std::ops::Add for StorageFootprint {
+    type Output = StorageFootprint;
+    fn add(self, rhs: StorageFootprint) -> StorageFootprint {
+        StorageFootprint {
+            mem_bytes: self.mem_bytes + rhs.mem_bytes,
+            disk_bytes: self.disk_bytes + rhs.disk_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbor_ordering() {
+        let a = Neighbor::new(1, 2.0);
+        let b = Neighbor::new(2, 1.0);
+        let c = Neighbor::new(0, 2.0);
+        let mut v = vec![a, b, c];
+        v.sort();
+        assert_eq!(v, vec![b, c, a]);
+    }
+
+    #[test]
+    fn counters_math() {
+        let before = Counters {
+            compdists: 10,
+            page_reads: 2,
+            page_writes: 1,
+        };
+        let after = Counters {
+            compdists: 25,
+            page_reads: 7,
+            page_writes: 1,
+        };
+        let d = after.since(&before);
+        assert_eq!(d.compdists, 15);
+        assert_eq!(d.page_accesses(), 5);
+        let sum = before + after;
+        assert_eq!(sum.compdists, 35);
+    }
+
+    #[test]
+    fn storage_split() {
+        let s = StorageFootprint::mem(100) + StorageFootprint::disk(50);
+        assert_eq!(s.total(), 150);
+        assert_eq!(s.mem_bytes, 100);
+        assert_eq!(s.disk_bytes, 50);
+    }
+}

@@ -1,0 +1,115 @@
+//! A slotted in-memory object table with tombstoned removal.
+//!
+//! Every in-memory index of the paper keeps "the real data" in a separate
+//! object table (§4.1: "we only store the identifiers in the tree
+//! structures, and store the objects in a separate table"). Ids are slot
+//! positions and stay stable until removal.
+
+use crate::stats::ObjId;
+
+/// Slotted object storage with stable ids.
+#[derive(Clone, Debug, Default)]
+pub struct ObjTable<O> {
+    slots: Vec<Option<O>>,
+    live: usize,
+}
+
+impl<O> ObjTable<O> {
+    /// Builds a table from initial objects; ids are `0..n`.
+    pub fn new(objects: Vec<O>) -> Self {
+        ObjTable {
+            live: objects.len(),
+            slots: objects.into_iter().map(Some).collect(),
+        }
+    }
+
+    /// An empty table.
+    pub fn empty() -> Self {
+        ObjTable {
+            slots: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no objects are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of slots (live + tombstoned).
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The object at `id`, if live.
+    pub fn get(&self, id: ObjId) -> Option<&O> {
+        self.slots.get(id as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Appends an object, returning its id.
+    pub fn push(&mut self, o: O) -> ObjId {
+        self.slots.push(Some(o));
+        self.live += 1;
+        (self.slots.len() - 1) as ObjId
+    }
+
+    /// Tombstones `id`; returns the object if it was live.
+    pub fn remove(&mut self, id: ObjId) -> Option<O> {
+        let slot = self.slots.get_mut(id as usize)?;
+        let o = slot.take()?;
+        self.live -= 1;
+        Some(o)
+    }
+
+    /// Iterates `(id, object)` over live slots in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjId, &O)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|o| (i as ObjId, o)))
+    }
+
+    /// Linear lookup of an id, mimicking indexes whose deletion requires a
+    /// sequential scan (paper §6.3 on LAESA/EPT*/CPT). Returns the number of
+    /// slots visited and whether the id is live.
+    pub fn scan_for(&self, id: ObjId) -> (usize, bool) {
+        for (visited, (i, s)) in self.slots.iter().enumerate().enumerate() {
+            if i as ObjId == id {
+                return (visited + 1, s.is_some());
+            }
+        }
+        (self.slots.len(), false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_remove() {
+        let mut t = ObjTable::new(vec!["a", "b"]);
+        assert_eq!(t.len(), 2);
+        let id = t.push("c");
+        assert_eq!(id, 2);
+        assert_eq!(t.get(1), Some(&"b"));
+        assert_eq!(t.remove(1), Some("b"));
+        assert_eq!(t.remove(1), None);
+        assert_eq!(t.get(1), None);
+        assert_eq!(t.len(), 2);
+        let ids: Vec<_> = t.iter().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 2]);
+    }
+
+    #[test]
+    fn scan_for_costs() {
+        let t = ObjTable::new(vec![0, 1, 2, 3]);
+        assert_eq!(t.scan_for(2), (3, true));
+        assert_eq!(t.scan_for(99), (4, false));
+    }
+}

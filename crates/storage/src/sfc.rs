@@ -1,0 +1,274 @@
+//! n-dimensional Hilbert space-filling curve.
+//!
+//! The SPB-tree (paper §5.4) maps the vector of discretized pivot distances
+//! to a single integer with the Hilbert curve, "which (to some extent)
+//! maintains spatial proximity". This module implements Skilling's
+//! transpose algorithm (J. Skilling, "Programming the Hilbert curve", 2004)
+//! for `dims` dimensions × `bits` bits per dimension, packed into a `u128`
+//! (so `dims * bits <= 128`).
+
+/// Hilbert curve parameters: `dims` dimensions, `bits` bits per dimension.
+///
+/// ```
+/// use pmi_storage::sfc::Hilbert;
+/// let h = Hilbert::new(2, 4);
+/// let idx = h.encode(&[3, 9]);
+/// assert_eq!(h.decode(idx), vec![3, 9]); // bijective
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hilbert {
+    dims: usize,
+    bits: u32,
+}
+
+impl Hilbert {
+    /// Creates a curve over `dims` dimensions with `bits` bits each.
+    ///
+    /// Panics unless `1 <= dims`, `1 <= bits <= 32` and
+    /// `dims * bits <= 128`.
+    pub fn new(dims: usize, bits: u32) -> Self {
+        assert!(dims >= 1, "need at least one dimension");
+        assert!((1..=32).contains(&bits), "bits per dim must be 1..=32");
+        assert!(
+            dims as u32 * bits <= 128,
+            "total curve bits must fit in u128"
+        );
+        Hilbert { dims, bits }
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Bits per dimension.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Largest valid coordinate value.
+    pub fn max_coord(&self) -> u32 {
+        if self.bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.bits) - 1
+        }
+    }
+
+    /// Encodes a point to its Hilbert index. Coordinates must be within
+    /// `0..=max_coord()`.
+    pub fn encode(&self, coords: &[u32]) -> u128 {
+        assert_eq!(coords.len(), self.dims, "coordinate dimensionality");
+        let max = self.max_coord();
+        let mut x: Vec<u32> = coords
+            .iter()
+            .map(|&c| {
+                assert!(c <= max, "coordinate {c} exceeds {max}");
+                c
+            })
+            .collect();
+        self.axes_to_transpose(&mut x);
+        self.interleave(&x)
+    }
+
+    /// Decodes a Hilbert index back to its point.
+    pub fn decode(&self, h: u128) -> Vec<u32> {
+        let mut x = self.deinterleave(h);
+        self.transpose_to_axes(&mut x);
+        x
+    }
+
+    // --- Skilling's algorithm ---------------------------------------------
+
+    fn axes_to_transpose(&self, x: &mut [u32]) {
+        let n = self.dims;
+        let m = 1u32 << (self.bits - 1);
+        // Inverse undo.
+        let mut q = m;
+        while q > 1 {
+            let p = q - 1;
+            for i in 0..n {
+                if x[i] & q != 0 {
+                    x[0] ^= p; // invert
+                } else {
+                    let t = (x[0] ^ x[i]) & p;
+                    x[0] ^= t;
+                    x[i] ^= t;
+                }
+            }
+            q >>= 1;
+        }
+        // Gray encode.
+        for i in 1..n {
+            x[i] ^= x[i - 1];
+        }
+        let mut t = 0u32;
+        let mut q = m;
+        while q > 1 {
+            if x[n - 1] & q != 0 {
+                t ^= q - 1;
+            }
+            q >>= 1;
+        }
+        for xi in x.iter_mut() {
+            *xi ^= t;
+        }
+    }
+
+    fn transpose_to_axes(&self, x: &mut [u32]) {
+        let n = self.dims;
+        let m = if self.bits == 32 {
+            0x8000_0000u32
+        } else {
+            1u32 << (self.bits - 1)
+        };
+        // Gray decode by H ^ (H/2).
+        let mut t = x[n - 1] >> 1;
+        for i in (1..n).rev() {
+            x[i] ^= x[i - 1];
+        }
+        x[0] ^= t;
+        // Undo excess work.
+        let mut q = 2u32;
+        while q != m.wrapping_shl(1) && q != 0 {
+            let p = q - 1;
+            for i in (0..n).rev() {
+                if x[i] & q != 0 {
+                    x[0] ^= p;
+                } else {
+                    t = (x[0] ^ x[i]) & p;
+                    x[0] ^= t;
+                    x[i] ^= t;
+                }
+            }
+            q <<= 1;
+        }
+    }
+
+    /// Packs the transpose form into a single index: bit `b` of dimension
+    /// `i` becomes bit `b * dims + (dims - 1 - i)` of the result (dimension
+    /// 0 carries the most significant bit of each group).
+    fn interleave(&self, x: &[u32]) -> u128 {
+        let mut h: u128 = 0;
+        for b in (0..self.bits).rev() {
+            for (i, xi) in x.iter().enumerate() {
+                h = (h << 1) | (((xi >> b) & 1) as u128);
+                let _ = i;
+            }
+        }
+        h
+    }
+
+    fn deinterleave(&self, h: u128) -> Vec<u32> {
+        let mut x = vec![0u32; self.dims];
+        let total = self.bits as usize * self.dims;
+        for pos in 0..total {
+            let bit = (h >> (total - 1 - pos)) & 1;
+            let b = self.bits - 1 - (pos / self.dims) as u32;
+            let i = pos % self.dims;
+            x[i] |= (bit as u32) << b;
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_dim_first_order() {
+        // The classic first-order 2-d Hilbert curve: (0,0) (0,1) (1,1) (1,0).
+        let h = Hilbert::new(2, 1);
+        let order: Vec<Vec<u32>> = (0..4).map(|i| h.decode(i)).collect();
+        // Each consecutive pair differs by exactly 1 in exactly one dim.
+        for w in order.windows(2) {
+            let diff: u32 = w[0]
+                .iter()
+                .zip(&w[1])
+                .map(|(a, b)| a.abs_diff(*b))
+                .sum();
+            assert_eq!(diff, 1, "{order:?}");
+        }
+    }
+
+    #[test]
+    fn bijective_2d() {
+        let h = Hilbert::new(2, 4);
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..16u32 {
+            for y in 0..16u32 {
+                let idx = h.encode(&[x, y]);
+                assert!(idx < 256);
+                assert!(seen.insert(idx), "collision at ({x},{y})");
+                assert_eq!(h.decode(idx), vec![x, y]);
+            }
+        }
+        assert_eq!(seen.len(), 256);
+    }
+
+    #[test]
+    fn bijective_3d() {
+        let h = Hilbert::new(3, 3);
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..8u32 {
+            for y in 0..8u32 {
+                for z in 0..8u32 {
+                    let idx = h.encode(&[x, y, z]);
+                    assert!(seen.insert(idx));
+                    assert_eq!(h.decode(idx), vec![x, y, z]);
+                }
+            }
+        }
+        assert_eq!(seen.len(), 512);
+    }
+
+    #[test]
+    fn adjacency_property() {
+        // Consecutive Hilbert indexes are adjacent cells (unit L1 step) —
+        // the locality property the SPB-tree relies on.
+        for (dims, bits) in [(2usize, 5u32), (3, 3), (4, 2)] {
+            let h = Hilbert::new(dims, bits);
+            let total: u128 = 1u128 << (dims as u32 * bits);
+            let mut prev = h.decode(0);
+            for i in 1..total.min(4096) {
+                let cur = h.decode(i);
+                let l1: u32 = prev
+                    .iter()
+                    .zip(&cur)
+                    .map(|(a, b)| a.abs_diff(*b))
+                    .sum();
+                assert_eq!(l1, 1, "dims={dims} bits={bits} at index {i}");
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn high_dim_roundtrip() {
+        // 9 pivots × 8 bits (the SPB-tree default at |P| = 9).
+        let h = Hilbert::new(9, 8);
+        let pts = [
+            vec![0u32; 9],
+            vec![255u32; 9],
+            vec![1, 2, 3, 4, 5, 6, 7, 8, 9],
+            vec![200, 0, 13, 255, 128, 64, 32, 16, 8],
+        ];
+        for p in &pts {
+            assert_eq!(h.decode(h.encode(p)), *p);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn coord_out_of_range_panics() {
+        let h = Hilbert::new(2, 4);
+        let _ = h.encode(&[16, 0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_bits_panics() {
+        let _ = Hilbert::new(20, 8); // 160 bits > 128
+    }
+}

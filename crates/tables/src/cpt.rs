@@ -1,0 +1,265 @@
+//! CPT (paper §3.3): clustered pivot table — LAESA's distance table in main
+//! memory, with the objects themselves clustered on disk in an M-tree.
+//!
+//! Queries scan the in-memory distance table exactly like LAESA; whenever an
+//! object survives Lemma 1 it must first be *fetched from disk* (one page
+//! read through the M-tree leaf directory) before the distance can be
+//! computed. This is the CPU/I-O overhead the paper attributes to CPT.
+
+use pmi_metric::lemmas;
+use pmi_metric::{
+    CountingMetric, Counters, EncodeObject, Metric, MetricIndex, Neighbor, ObjId,
+    StorageFootprint,
+};
+use pmi_mtree::MTree;
+use pmi_storage::DiskSim;
+use std::collections::BinaryHeap;
+
+/// CPT: in-memory pivot table + on-disk M-tree holding the objects.
+pub struct Cpt<O, M> {
+    metric: CountingMetric<M>,
+    pivots: Vec<O>,
+    rows: Vec<Option<Vec<f64>>>,
+    mtree: MTree<O, CountingMetric<M>>,
+    live: usize,
+    next_id: u32,
+}
+
+impl<O, M> Cpt<O, M>
+where
+    O: Clone + EncodeObject + Send + Sync + 'static,
+    M: Metric<O> + Clone,
+{
+    /// Builds CPT on `disk` (the paper uses 40 KB pages for Color/Synthetic
+    /// because objects are stored inline in the M-tree).
+    pub fn build(objects: Vec<O>, metric: M, pivots: Vec<O>, disk: DiskSim) -> Self {
+        let metric = CountingMetric::new(metric);
+        // Plain M-tree (no pivot augmentation): it only clusters objects.
+        let mut mtree = MTree::new(disk, metric.clone(), Vec::new());
+        let mut rows = Vec::with_capacity(objects.len());
+        for (i, o) in objects.iter().enumerate() {
+            rows.push(Some(
+                pivots.iter().map(|p| metric.dist(o, p)).collect::<Vec<_>>(),
+            ));
+            mtree.insert(i as u32, o);
+        }
+        Cpt {
+            metric,
+            pivots,
+            rows,
+            mtree,
+            live: objects.len(),
+            next_id: objects.len() as u32,
+        }
+    }
+
+    fn query_dists(&self, q: &O) -> Vec<f64> {
+        self.pivots.iter().map(|p| self.metric.dist(q, p)).collect()
+    }
+
+    /// The instrumented metric.
+    pub fn metric(&self) -> &CountingMetric<M> {
+        &self.metric
+    }
+
+    /// The on-disk M-tree.
+    pub fn mtree(&self) -> &MTree<O, CountingMetric<M>> {
+        &self.mtree
+    }
+}
+
+impl<O, M> MetricIndex<O> for Cpt<O, M>
+where
+    O: Clone + EncodeObject + Send + Sync + 'static,
+    M: Metric<O> + Clone,
+{
+    fn name(&self) -> &str {
+        "CPT"
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn range_query(&self, q: &O, r: f64) -> Vec<ObjId> {
+        let qd = self.query_dists(q);
+        let mut out = Vec::new();
+        for (id, row) in self.rows.iter().enumerate() {
+            let Some(row) = row else { continue };
+            if lemmas::lemma1_prunable(&qd, row, r) {
+                continue;
+            }
+            // Survived filtering: load the object from disk to verify.
+            let o = self.mtree.fetch(id as u32).expect("object on disk");
+            if self.metric.dist(q, &o) <= r {
+                out.push(id as ObjId);
+            }
+        }
+        out
+    }
+
+    fn knn_query(&self, q: &O, k: usize) -> Vec<Neighbor> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let qd = self.query_dists(q);
+        let mut heap: BinaryHeap<Neighbor> = BinaryHeap::new();
+        for (id, row) in self.rows.iter().enumerate() {
+            let Some(row) = row else { continue };
+            let radius = if heap.len() < k {
+                f64::INFINITY
+            } else {
+                heap.peek().unwrap().dist
+            };
+            if radius.is_finite() && lemmas::lemma1_prunable(&qd, row, radius) {
+                continue;
+            }
+            let o = self.mtree.fetch(id as u32).expect("object on disk");
+            let d = self.metric.dist(q, &o);
+            if d < radius || heap.len() < k {
+                heap.push(Neighbor::new(id as ObjId, d));
+                if heap.len() > k {
+                    heap.pop();
+                }
+            }
+        }
+        let mut v = heap.into_sorted_vec();
+        v.truncate(k);
+        v
+    }
+
+    fn insert(&mut self, o: O) -> ObjId {
+        let row: Vec<f64> = self.pivots.iter().map(|p| self.metric.dist(&o, p)).collect();
+        let id = self.next_id;
+        self.next_id += 1;
+        debug_assert_eq!(id as usize, self.rows.len());
+        self.rows.push(Some(row));
+        self.mtree.insert(id, &o);
+        self.live += 1;
+        id
+    }
+
+    fn remove(&mut self, id: ObjId) -> bool {
+        match self.rows.get_mut(id as usize) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                let o = self.mtree.fetch(id).expect("object on disk");
+                assert!(self.mtree.remove(id, &o));
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn get(&self, id: ObjId) -> Option<O> {
+        self.rows.get(id as usize)?.as_ref()?;
+        self.mtree.fetch(id)
+    }
+
+    fn storage(&self) -> StorageFootprint {
+        let rows: u64 = self
+            .rows
+            .iter()
+            .flatten()
+            .map(|r| 8 * r.len() as u64)
+            .sum();
+        let pivots: u64 = self.pivots.iter().map(|p| p.encoded_len() as u64).sum();
+        StorageFootprint {
+            mem_bytes: rows + pivots,
+            disk_bytes: self.mtree.disk_bytes(),
+        }
+    }
+
+    fn counters(&self) -> Counters {
+        Counters {
+            compdists: self.metric.count(),
+            page_reads: self.mtree.disk().reads(),
+            page_writes: self.mtree.disk().writes(),
+        }
+    }
+
+    fn reset_counters(&self) {
+        self.metric.reset();
+        self.mtree.disk().reset_counters();
+    }
+
+    fn set_page_cache(&self, bytes: usize) {
+        self.mtree.disk().set_cache_bytes(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmi_metric::datasets;
+    use pmi_metric::{BruteForce, L2};
+    use pmi_pivots::select_hfi;
+
+    fn build(n: usize) -> (Vec<Vec<f32>>, Cpt<Vec<f32>, L2>) {
+        let pts = datasets::la(n, 21);
+        let pv: Vec<Vec<f32>> = select_hfi(&pts, &L2, 4, 21)
+            .into_iter()
+            .map(|i| pts[i].clone())
+            .collect();
+        let idx = Cpt::build(pts.clone(), L2, pv, DiskSim::new(1024));
+        (pts, idx)
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let (pts, idx) = build(300);
+        let oracle = BruteForce::new(pts.clone(), L2);
+        for r in [100.0, 1200.0] {
+            let mut got = idx.range_query(&pts[11], r);
+            got.sort();
+            let mut want = oracle.range_query(&pts[11], r);
+            want.sort();
+            assert_eq!(got, want, "r={r}");
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let (pts, idx) = build(300);
+        let oracle = BruteForce::new(pts.clone(), L2);
+        let got = idx.knn_query(&pts[200], 9);
+        let want = oracle.knn_query(&pts[200], 9);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.dist - w.dist).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn queries_cost_page_reads() {
+        let (pts, idx) = build(300);
+        idx.reset_counters();
+        let _ = idx.range_query(&pts[50], 500.0);
+        let c = idx.counters();
+        assert!(c.page_reads > 0, "verification must hit the disk");
+        assert!(c.compdists > 0);
+    }
+
+    #[test]
+    fn construction_costs_more_than_laesa() {
+        // Table 4: CPT pays the M-tree build on top of the n·l table.
+        let (_, idx) = build(300);
+        assert!(idx.counters().compdists > 300 * 4);
+        let s = idx.storage();
+        assert!(s.mem_bytes > 0 && s.disk_bytes > 0);
+    }
+
+    #[test]
+    fn update_cycle() {
+        let (pts, mut idx) = build(200);
+        let o = idx.get(33).unwrap();
+        assert_eq!(o, pts[33]);
+        assert!(idx.remove(33));
+        assert!(!idx.remove(33));
+        assert_eq!(idx.len(), 199);
+        assert!(idx.range_query(&pts[33], 0.0).is_empty() || !idx.range_query(&pts[33], 0.0).contains(&33));
+        let id = idx.insert(o);
+        assert!(idx.range_query(&pts[33], 0.0).contains(&id));
+        assert_eq!(idx.len(), 200);
+    }
+}

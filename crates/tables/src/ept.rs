@@ -1,0 +1,443 @@
+//! EPT and EPT* (paper §3.2): extreme pivot tables with per-object pivots.
+//!
+//! EPT selects `l` groups of `m` random pivots; within each group an object
+//! is assigned the pivot maximizing `|d(o, p) − μ_p|` (the "extreme" pivot
+//! for that object). EPT* replaces the random groups with the paper's PSA
+//! (Algorithm 1), which greedily picks, per object, the pivots from an HF
+//! candidate set that maximize the expected ratio `D(q,o)/d(q,o)` over a
+//! query sample — better pivots at a much higher construction cost
+//! (Table 4), which is the trade-off Figure 14 measures.
+
+use pmi_metric::{
+    CountingMetric, Counters, EncodeObject, Metric, MetricIndex, Neighbor, ObjId, ObjTable,
+    StorageFootprint,
+};
+use pmi_pivots::PsaSelector;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BinaryHeap;
+
+/// Which pivot-selection strategy an [`Ept`] uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EptMode {
+    /// Original EPT: `l` random groups of `m` pivots, extreme pivot per
+    /// object within each group.
+    Random,
+    /// EPT*: PSA (Algorithm 1) per-object pivot selection.
+    Psa,
+}
+
+/// Construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct EptConfig {
+    /// Pivots stored per object (`l`).
+    pub l: usize,
+    /// Group size for [`EptMode::Random`] (`m`).
+    pub m: usize,
+    /// Sample size used to estimate `μ_p` (EPT) or as the PSA query sample
+    /// `S` (EPT*).
+    pub sample: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EptConfig {
+    fn default() -> Self {
+        EptConfig {
+            l: 5,
+            m: 8,
+            sample: 64,
+            seed: 42,
+        }
+    }
+}
+
+enum Strategy<O, M> {
+    Random {
+        /// `l` groups, each of `m` indices into `pivot_objs`.
+        groups: Vec<Vec<u16>>,
+        /// `μ_p` per pivot object.
+        mus: Vec<f64>,
+        /// Sample objects used to (re-)estimate `μ_p` on insert.
+        mu_sample: Vec<O>,
+    },
+    Psa(PsaSelector<O, CountingMetric<M>>),
+}
+
+/// EPT / EPT*: a pivot table where every object has its own pivots.
+pub struct Ept<O, M> {
+    metric: CountingMetric<M>,
+    mode: EptMode,
+    /// All pivot objects any row may reference.
+    pivot_objs: Vec<O>,
+    strategy: Strategy<O, M>,
+    /// Per-slot rows of `(pivot index, distance)`.
+    rows: Vec<Option<Vec<(u16, f64)>>>,
+    table: ObjTable<O>,
+    l: usize,
+}
+
+impl<O, M> Ept<O, M>
+where
+    O: Clone + EncodeObject + Send + Sync + 'static,
+    M: Metric<O> + Clone,
+{
+    /// Builds an EPT (`mode = Random`) or EPT* (`mode = Psa`).
+    pub fn build(objects: Vec<O>, metric: M, mode: EptMode, cfg: EptConfig) -> Self {
+        let metric = CountingMetric::new(metric);
+        let n = objects.len();
+        assert!(n >= 2, "EPT needs at least two objects");
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x455054);
+
+        let (pivot_objs, strategy) = match mode {
+            EptMode::Random => {
+                let total = (cfg.l * cfg.m).min(n);
+                let picks = pmi_pivots::select_random(n, total, cfg.seed);
+                let pivot_objs: Vec<O> = picks.iter().map(|&i| objects[i].clone()).collect();
+                let groups: Vec<Vec<u16>> = (0..cfg.l)
+                    .map(|g| {
+                        (0..cfg.m)
+                            .map(|j| ((g * cfg.m + j) % total) as u16)
+                            .collect()
+                    })
+                    .collect();
+                let mu_sample: Vec<O> = (0..cfg.sample.min(n))
+                    .map(|_| objects[rng.random_range(0..n)].clone())
+                    .collect();
+                let mus = estimate_mus(&metric, &pivot_objs, &mu_sample);
+                (
+                    pivot_objs,
+                    Strategy::Random {
+                        groups,
+                        mus,
+                        mu_sample,
+                    },
+                )
+            }
+            EptMode::Psa => {
+                let sel = PsaSelector::new(&objects, metric.clone(), cfg.sample, cfg.seed);
+                (sel.candidates.clone(), Strategy::Psa(sel))
+            }
+        };
+
+        let mut ept = Ept {
+            metric,
+            mode,
+            pivot_objs,
+            strategy,
+            rows: Vec::with_capacity(n),
+            table: ObjTable::empty(),
+            l: cfg.l,
+        };
+        for o in objects {
+            let row = ept.select_row(&o);
+            ept.table.push(o);
+            ept.rows.push(Some(row));
+        }
+        ept
+    }
+
+    /// Selects the `(pivot, distance)` row for one object.
+    fn select_row(&self, o: &O) -> Vec<(u16, f64)> {
+        match &self.strategy {
+            Strategy::Random { groups, mus, .. } => {
+                let mut row = Vec::with_capacity(groups.len());
+                for group in groups {
+                    let mut best = group[0];
+                    let mut best_score = f64::NEG_INFINITY;
+                    let mut best_d = 0.0;
+                    for &pi in group {
+                        let d = self.metric.dist(o, &self.pivot_objs[pi as usize]);
+                        let score = (d - mus[pi as usize]).abs();
+                        if score > best_score {
+                            best_score = score;
+                            best = pi;
+                            best_d = d;
+                        }
+                    }
+                    row.push((best, best_d));
+                }
+                row
+            }
+            Strategy::Psa(sel) => sel
+                .pivots_for(o, self.l)
+                .into_iter()
+                .map(|(ci, d)| (ci as u16, d))
+                .collect(),
+        }
+    }
+
+    /// Distances from `q` to every pivot object (the `m × l` term of the
+    /// paper's cost equations).
+    fn query_dists(&self, q: &O) -> Vec<f64> {
+        self.pivot_objs
+            .iter()
+            .map(|p| self.metric.dist(q, p))
+            .collect()
+    }
+
+    #[inline]
+    fn row_lower_bound(qd: &[f64], row: &[(u16, f64)]) -> f64 {
+        let mut lb = 0.0f64;
+        for (pi, d) in row {
+            let x = (qd[*pi as usize] - d).abs();
+            if x > lb {
+                lb = x;
+            }
+        }
+        lb
+    }
+
+    /// The instrumented metric.
+    pub fn metric(&self) -> &CountingMetric<M> {
+        &self.metric
+    }
+}
+
+fn estimate_mus<O, M: Metric<O>>(metric: &M, pivots: &[O], sample: &[O]) -> Vec<f64> {
+    pivots
+        .iter()
+        .map(|p| {
+            let sum: f64 = sample.iter().map(|s| metric.dist(p, s)).sum();
+            sum / sample.len().max(1) as f64
+        })
+        .collect()
+}
+
+impl<O, M> MetricIndex<O> for Ept<O, M>
+where
+    O: Clone + EncodeObject + Send + Sync + 'static,
+    M: Metric<O> + Clone,
+{
+    fn name(&self) -> &str {
+        match self.mode {
+            EptMode::Random => "EPT",
+            EptMode::Psa => "EPT*",
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    fn range_query(&self, q: &O, r: f64) -> Vec<ObjId> {
+        let qd = self.query_dists(q);
+        let mut out = Vec::new();
+        for (id, o) in self.table.iter() {
+            let row = self.rows[id as usize].as_ref().expect("live row");
+            if Self::row_lower_bound(&qd, row) > r {
+                continue;
+            }
+            if self.metric.dist(q, o) <= r {
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    fn knn_query(&self, q: &O, k: usize) -> Vec<Neighbor> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let qd = self.query_dists(q);
+        let mut heap: BinaryHeap<Neighbor> = BinaryHeap::new();
+        for (id, o) in self.table.iter() {
+            let radius = if heap.len() < k {
+                f64::INFINITY
+            } else {
+                heap.peek().unwrap().dist
+            };
+            let row = self.rows[id as usize].as_ref().expect("live row");
+            if radius.is_finite() && Self::row_lower_bound(&qd, row) > radius {
+                continue;
+            }
+            let d = self.metric.dist(q, o);
+            if d < radius || heap.len() < k {
+                heap.push(Neighbor::new(id, d));
+                if heap.len() > k {
+                    heap.pop();
+                }
+            }
+        }
+        let mut v = heap.into_sorted_vec();
+        v.truncate(k);
+        v
+    }
+
+    fn insert(&mut self, o: O) -> ObjId {
+        // EPT re-estimates μ_p before selecting pivots for the new object —
+        // the estimation cost the paper blames for EPT's slow updates
+        // (§6.3). EPT* reuses its prepared PSA selector.
+        if let Strategy::Random {
+            mus, mu_sample, ..
+        } = &mut self.strategy
+        {
+            let fresh = estimate_mus(&self.metric, &self.pivot_objs, mu_sample);
+            *mus = fresh;
+        }
+        let row = self.select_row(&o);
+        let id = self.table.push(o);
+        debug_assert_eq!(id as usize, self.rows.len());
+        self.rows.push(Some(row));
+        id
+    }
+
+    fn remove(&mut self, id: ObjId) -> bool {
+        let (_visited, live) = self.table.scan_for(id);
+        if !live {
+            return false;
+        }
+        self.table.remove(id);
+        self.rows[id as usize] = None;
+        true
+    }
+
+    fn get(&self, id: ObjId) -> Option<O> {
+        self.table.get(id).cloned()
+    }
+
+    fn storage(&self) -> StorageFootprint {
+        // Rows store (pivot id, distance) pairs — the extra pivot-id bytes
+        // relative to LAESA that Table 4 points out.
+        let rows: u64 = self
+            .rows
+            .iter()
+            .flatten()
+            .map(|r| 12 * r.len() as u64)
+            .sum();
+        let objs: u64 = self.table.iter().map(|(_, o)| o.encoded_len() as u64).sum();
+        let pivots: u64 = self
+            .pivot_objs
+            .iter()
+            .map(|p| p.encoded_len() as u64)
+            .sum();
+        StorageFootprint::mem(rows + objs + pivots)
+    }
+
+    fn counters(&self) -> Counters {
+        Counters {
+            compdists: self.metric.count(),
+            ..Counters::default()
+        }
+    }
+
+    fn reset_counters(&self) {
+        self.metric.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmi_metric::datasets;
+    use pmi_metric::{BruteForce, L2};
+
+    fn build(mode: EptMode, n: usize) -> (Vec<Vec<f32>>, Ept<Vec<f32>, L2>) {
+        let pts = datasets::la(n, 13);
+        let idx = Ept::build(
+            pts.clone(),
+            L2,
+            mode,
+            EptConfig {
+                l: 4,
+                m: 6,
+                sample: 32,
+                seed: 13,
+            },
+        );
+        (pts, idx)
+    }
+
+    #[test]
+    fn ept_range_matches_brute_force() {
+        for mode in [EptMode::Random, EptMode::Psa] {
+            let (pts, idx) = build(mode, 350);
+            let oracle = BruteForce::new(pts.clone(), L2);
+            for r in [100.0, 900.0] {
+                let mut got = idx.range_query(&pts[42], r);
+                got.sort();
+                let mut want = oracle.range_query(&pts[42], r);
+                want.sort();
+                assert_eq!(got, want, "{mode:?} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn ept_knn_matches_brute_force() {
+        for mode in [EptMode::Random, EptMode::Psa] {
+            let (pts, idx) = build(mode, 350);
+            let oracle = BruteForce::new(pts.clone(), L2);
+            let got = idx.knn_query(&pts[7], 12);
+            let want = oracle.knn_query(&pts[7], 12);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.dist - w.dist).abs() < 1e-9, "{mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ept_star_prunes_at_least_as_well() {
+        // The point of PSA: fewer *verifications* (compdists beyond the
+        // fixed per-query pivot distances) on average. The fixed pivot cost
+        // differs (|CP| = 40 vs m·l), so compare the scan part.
+        let (pts, ept) = build(EptMode::Random, 800);
+        let (_, star) = build(EptMode::Psa, 800);
+        let pivot_cost = |idx: &Ept<Vec<f32>, L2>| idx.pivot_objs.len() as u64;
+        let mut v_ept = 0;
+        let mut v_star = 0;
+        for qi in (0..800).step_by(80) {
+            ept.reset_counters();
+            let _ = ept.knn_query(&pts[qi], 10);
+            v_ept += ept.counters().compdists - pivot_cost(&ept);
+            star.reset_counters();
+            let _ = star.knn_query(&pts[qi], 10);
+            v_star += star.counters().compdists - pivot_cost(&star);
+        }
+        assert!(
+            v_star as f64 <= v_ept as f64 * 1.1,
+            "EPT* verified {v_star} vs EPT {v_ept}"
+        );
+    }
+
+    #[test]
+    fn ept_star_construction_costs_more() {
+        let (_, ept) = build(EptMode::Random, 300);
+        let (_, star) = build(EptMode::Psa, 300);
+        assert!(
+            star.counters().compdists > ept.counters().compdists,
+            "Table 4: EPT* construction is the most expensive"
+        );
+    }
+
+    #[test]
+    fn update_cycle_both_modes() {
+        for mode in [EptMode::Random, EptMode::Psa] {
+            let (pts, mut idx) = build(mode, 200);
+            let o = idx.get(9).unwrap();
+            assert!(idx.remove(9));
+            idx.reset_counters();
+            let id = idx.insert(o);
+            assert!(idx.counters().compdists > 0, "insert selects pivots");
+            assert!(idx.range_query(&pts[9], 0.0).contains(&id));
+        }
+    }
+
+    #[test]
+    fn ept_update_costs_more_than_ept_star() {
+        // §6.3: EPT's μ re-estimation makes its inserts more expensive than
+        // EPT*'s prepared PSA selector.
+        let (_, mut ept) = build(EptMode::Random, 300);
+        let (_, mut star) = build(EptMode::Psa, 300);
+        let o = ept.get(0).unwrap();
+        ept.remove(0);
+        star.remove(0);
+        ept.reset_counters();
+        ept.insert(o.clone());
+        let cd_ept = ept.counters().compdists;
+        star.reset_counters();
+        star.insert(o);
+        let cd_star = star.counters().compdists;
+        assert!(cd_ept > cd_star, "EPT {cd_ept} vs EPT* {cd_star}");
+    }
+}

@@ -1,0 +1,249 @@
+//! LAESA (paper §3.1): a linear pivot table over a shared pivot set.
+
+use pmi_metric::lemmas;
+use pmi_metric::{
+    CountingMetric, Counters, EncodeObject, Metric, MetricIndex, Neighbor, ObjId, ObjTable,
+    StorageFootprint,
+};
+use std::collections::BinaryHeap;
+
+/// LAESA: `n × l` pre-computed distances + linear scan with Lemma 1.
+pub struct Laesa<O, M> {
+    metric: CountingMetric<M>,
+    pivots: Vec<O>,
+    /// Pivot-distance rows, aligned with the object table's slots.
+    rows: Vec<Option<Vec<f64>>>,
+    table: ObjTable<O>,
+}
+
+impl<O, M> Laesa<O, M>
+where
+    O: Clone + EncodeObject + Send + Sync + 'static,
+    M: Metric<O>,
+{
+    /// Builds LAESA over `objects` with the given pivot objects (selected by
+    /// the caller with the shared HFI strategy, §6.1). Construction computes
+    /// exactly `n · l` distances.
+    pub fn build(objects: Vec<O>, metric: M, pivots: Vec<O>) -> Self {
+        let metric = CountingMetric::new(metric);
+        let rows = objects
+            .iter()
+            .map(|o| Some(pivots.iter().map(|p| metric.dist(o, p)).collect()))
+            .collect();
+        Laesa {
+            metric,
+            pivots,
+            rows,
+            table: ObjTable::new(objects),
+        }
+    }
+
+    /// Distances from `q` to every pivot.
+    fn query_dists(&self, q: &O) -> Vec<f64> {
+        self.pivots.iter().map(|p| self.metric.dist(q, p)).collect()
+    }
+
+    /// The instrumented metric.
+    pub fn metric(&self) -> &CountingMetric<M> {
+        &self.metric
+    }
+
+    /// Number of pivots.
+    pub fn num_pivots(&self) -> usize {
+        self.pivots.len()
+    }
+}
+
+impl<O, M> MetricIndex<O> for Laesa<O, M>
+where
+    O: Clone + EncodeObject + Send + Sync + 'static,
+    M: Metric<O>,
+{
+    fn name(&self) -> &str {
+        "LAESA"
+    }
+
+    fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    fn range_query(&self, q: &O, r: f64) -> Vec<ObjId> {
+        let qd = self.query_dists(q);
+        let mut out = Vec::new();
+        for (id, o) in self.table.iter() {
+            let row = self.rows[id as usize].as_ref().expect("live row");
+            if lemmas::lemma1_prunable(&qd, row, r) {
+                continue;
+            }
+            if self.metric.dist(q, o) <= r {
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    fn knn_query(&self, q: &O, k: usize) -> Vec<Neighbor> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let qd = self.query_dists(q);
+        // Max-heap of current k best; radius = worst of the k (∞ until k
+        // found). Objects verified in storage order — the paper notes this
+        // is suboptimal but is how LAESA works (§3.1 discussion).
+        let mut heap: BinaryHeap<Neighbor> = BinaryHeap::new();
+        for (id, o) in self.table.iter() {
+            let radius = if heap.len() < k {
+                f64::INFINITY
+            } else {
+                heap.peek().unwrap().dist
+            };
+            let row = self.rows[id as usize].as_ref().expect("live row");
+            if radius.is_finite() && lemmas::lemma1_prunable(&qd, row, radius) {
+                continue;
+            }
+            let d = self.metric.dist(q, o);
+            if d < radius || heap.len() < k {
+                heap.push(Neighbor::new(id, d));
+                if heap.len() > k {
+                    heap.pop();
+                }
+            }
+        }
+        let mut v = heap.into_sorted_vec();
+        v.truncate(k);
+        v
+    }
+
+    fn insert(&mut self, o: O) -> ObjId {
+        let row = self.pivots.iter().map(|p| self.metric.dist(&o, p)).collect();
+        let id = self.table.push(o);
+        debug_assert_eq!(id as usize, self.rows.len());
+        self.rows.push(Some(row));
+        id
+    }
+
+    fn remove(&mut self, id: ObjId) -> bool {
+        // Deletion scans the table to locate the row (paper §6.3: LAESA
+        // "employ[s] sequential scans to perform deletions").
+        let (_visited, live) = self.table.scan_for(id);
+        if !live {
+            return false;
+        }
+        self.table.remove(id);
+        self.rows[id as usize] = None;
+        true
+    }
+
+    fn get(&self, id: ObjId) -> Option<O> {
+        self.table.get(id).cloned()
+    }
+
+    fn storage(&self) -> StorageFootprint {
+        let rows: u64 = self
+            .rows
+            .iter()
+            .flatten()
+            .map(|r| 8 * r.len() as u64)
+            .sum();
+        let objs: u64 = self.table.iter().map(|(_, o)| o.encoded_len() as u64).sum();
+        let pivots: u64 = self.pivots.iter().map(|p| p.encoded_len() as u64).sum();
+        StorageFootprint::mem(rows + objs + pivots)
+    }
+
+    fn counters(&self) -> Counters {
+        Counters {
+            compdists: self.metric.count(),
+            ..Counters::default()
+        }
+    }
+
+    fn reset_counters(&self) {
+        self.metric.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmi_metric::datasets;
+    use pmi_metric::{BruteForce, L2};
+    use pmi_pivots::select_hfi;
+
+    fn build(n: usize, l: usize) -> (Vec<Vec<f32>>, Laesa<Vec<f32>, L2>) {
+        let pts = datasets::la(n, 5);
+        let pv = select_hfi(&pts, &L2, l, 5)
+            .into_iter()
+            .map(|i| pts[i].clone())
+            .collect();
+        let idx = Laesa::build(pts.clone(), L2, pv);
+        (pts, idx)
+    }
+
+    #[test]
+    fn construction_compdists_is_n_times_l() {
+        let (_, idx) = build(300, 5);
+        assert_eq!(idx.counters().compdists, 300 * 5);
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let (pts, idx) = build(400, 5);
+        let oracle = BruteForce::new(pts.clone(), L2);
+        for qi in [0usize, 57, 399] {
+            for r in [50.0, 700.0, 4000.0] {
+                let mut got = idx.range_query(&pts[qi], r);
+                got.sort();
+                let mut want = oracle.range_query(&pts[qi], r);
+                want.sort();
+                assert_eq!(got, want, "q={qi} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let (pts, idx) = build(400, 5);
+        let oracle = BruteForce::new(pts.clone(), L2);
+        for k in [1usize, 10, 50] {
+            let got = idx.knn_query(&pts[33], k);
+            let want = oracle.knn_query(&pts[33], k);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.dist - w.dist).abs() < 1e-9, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_actually_helps() {
+        let (pts, idx) = build(600, 5);
+        idx.reset_counters();
+        let _ = idx.range_query(&pts[10], 200.0);
+        let cd = idx.counters().compdists;
+        // 5 pivot distances + far fewer than n verifications.
+        assert!(cd < 600 / 2, "expected pruning, got {cd} compdists");
+    }
+
+    #[test]
+    fn update_cycle() {
+        let (pts, mut idx) = build(200, 3);
+        let o = idx.get(17).unwrap();
+        assert!(idx.remove(17));
+        assert!(!idx.remove(17));
+        assert_eq!(idx.len(), 199);
+        assert!(!idx.range_query(&pts[17], 0.0).contains(&17));
+        let nid = idx.insert(o);
+        assert_eq!(idx.len(), 200);
+        let hits = idx.range_query(&pts[17], 0.0);
+        assert!(hits.contains(&nid));
+    }
+
+    #[test]
+    fn storage_is_memory_only() {
+        let (_, idx) = build(100, 3);
+        let s = idx.storage();
+        assert!(s.mem_bytes > 0);
+        assert_eq!(s.disk_bytes, 0);
+        assert_eq!(idx.counters().page_accesses(), 0);
+    }
+}

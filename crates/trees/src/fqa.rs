@@ -1,0 +1,400 @@
+//! FQA — Fixed Queries Array (paper §2.2, Table 1; Chávez et al. [11]).
+//!
+//! The FQA is the array form of the FQT: instead of materializing tree
+//! nodes, every object's vector of (bucketed) distances to the `l` level
+//! pivots is stored as a *signature*, and the signatures are kept in one
+//! lexicographically sorted array. A tree node corresponds to a contiguous
+//! run of equal signature prefixes, found by binary search, so the FQA
+//! trades pointer chasing for `log n` searches and is far more compact —
+//! the reason it historically scaled past the FQT in memory-constrained
+//! settings.
+
+use pmi_metric::{
+    CountingMetric, Counters, EncodeObject, Metric, MetricIndex, Neighbor, ObjId, ObjTable,
+    StorageFootprint,
+};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// FQA over a discrete metric; shares FQT's per-level pivots and bucketing.
+pub struct Fqa<O, M> {
+    metric: CountingMetric<M>,
+    pivots: Vec<O>,
+    /// Bucket width shared by all levels.
+    width: f64,
+    buckets: u32,
+    /// Lexicographically sorted `(signature, id)` pairs.
+    rows: Vec<(Vec<u32>, ObjId)>,
+    table: ObjTable<O>,
+}
+
+impl<O, M> Fqa<O, M>
+where
+    O: Clone + EncodeObject + Send + Sync + 'static,
+    M: Metric<O>,
+{
+    /// Builds an FQA with the shared pivot set. `max_distance` bounds the
+    /// discrete distance domain; `buckets` is the signature alphabet size.
+    pub fn build(
+        objects: Vec<O>,
+        metric: M,
+        pivots: Vec<O>,
+        max_distance: f64,
+        buckets: u32,
+    ) -> Self {
+        assert!(
+            metric.is_discrete(),
+            "FQA requires a discrete distance function (paper §4.2)"
+        );
+        assert!(!pivots.is_empty() && buckets >= 2 && max_distance > 0.0);
+        let metric = CountingMetric::new(metric);
+        let width = (max_distance / buckets as f64).max(1.0);
+        let table = ObjTable::new(objects);
+        let mut rows: Vec<(Vec<u32>, ObjId)> = table
+            .iter()
+            .map(|(id, o)| {
+                let sig = pivots
+                    .iter()
+                    .map(|p| ((metric.dist(o, p) / width) as u32).min(buckets - 1))
+                    .collect();
+                (sig, id)
+            })
+            .collect();
+        rows.sort();
+        Fqa {
+            metric,
+            pivots,
+            width,
+            buckets,
+            rows,
+            table,
+        }
+    }
+
+    fn signature(&self, o: &O) -> Vec<u32> {
+        self.pivots
+            .iter()
+            .map(|p| ((self.metric.dist(o, p) / self.width) as u32).min(self.buckets - 1))
+            .collect()
+    }
+
+    /// Bucket value range compatible with `d(q,p) = dq` and radius `r` at
+    /// one level: objects at distance in `[dq-r, dq+r]` fall in these
+    /// buckets (bucket `b` covers `[b·w, (b+1)·w)`).
+    fn bucket_range(&self, dq: f64, r: f64) -> (u32, u32) {
+        let lo = ((dq - r).max(0.0) / self.width) as u32;
+        let hi = ((dq + r) / self.width) as u32;
+        (lo.min(self.buckets - 1), hi.min(self.buckets - 1))
+    }
+
+    /// Finds the sub-slice of `rows[lo..hi]` whose signatures have value
+    /// `v` at position `level`, given that the slice is sorted and shares a
+    /// common prefix below `level`.
+    fn value_run(&self, lo: usize, hi: usize, level: usize, v: u32) -> (usize, usize) {
+        let s = &self.rows[lo..hi];
+        let start = lo + s.partition_point(|(sig, _)| sig[level] < v);
+        let end = lo + s.partition_point(|(sig, _)| sig[level] <= v);
+        (start, end)
+    }
+
+    /// The instrumented metric.
+    pub fn metric(&self) -> &CountingMetric<M> {
+        &self.metric
+    }
+
+    /// Lower bound on `d(q, o)` for any object whose level-`i` bucket is
+    /// `b`, combined over all levels processed so far (monotone in the
+    /// recursion).
+    fn bucket_gap(&self, dq: f64, b: u32) -> f64 {
+        let lo = b as f64 * self.width;
+        let hi = if b + 1 == self.buckets {
+            f64::INFINITY
+        } else {
+            (b + 1) as f64 * self.width
+        };
+        if dq < lo {
+            lo - dq
+        } else if dq >= hi {
+            dq - hi
+        } else {
+            0.0
+        }
+    }
+}
+
+impl<O, M> MetricIndex<O> for Fqa<O, M>
+where
+    O: Clone + EncodeObject + Send + Sync + 'static,
+    M: Metric<O>,
+{
+    fn name(&self) -> &str {
+        "FQA"
+    }
+
+    fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    fn range_query(&self, q: &O, r: f64) -> Vec<ObjId> {
+        let qd: Vec<f64> = self.pivots.iter().map(|p| self.metric.dist(q, p)).collect();
+        let mut out = Vec::new();
+        // Iterative stack of (slice start, slice end, level).
+        let mut stack = vec![(0usize, self.rows.len(), 0usize)];
+        while let Some((lo, hi, level)) = stack.pop() {
+            if lo >= hi {
+                continue;
+            }
+            if level == self.pivots.len() {
+                for (_, id) in &self.rows[lo..hi] {
+                    if let Some(o) = self.table.get(*id) {
+                        if self.metric.dist(q, o) <= r {
+                            out.push(*id);
+                        }
+                    }
+                }
+                continue;
+            }
+            let (blo, bhi) = self.bucket_range(qd[level], r);
+            for v in blo..=bhi {
+                let (s, e) = self.value_run(lo, hi, level, v);
+                if s < e {
+                    stack.push((s, e, level + 1));
+                }
+            }
+        }
+        out
+    }
+
+    fn knn_query(&self, q: &O, k: usize) -> Vec<Neighbor> {
+        if k == 0 || self.table.is_empty() {
+            return Vec::new();
+        }
+        let qd: Vec<f64> = self.pivots.iter().map(|p| self.metric.dist(q, p)).collect();
+        let mut result: BinaryHeap<Neighbor> = BinaryHeap::new();
+        let radius = |res: &BinaryHeap<Neighbor>| {
+            if res.len() < k {
+                f64::INFINITY
+            } else {
+                res.peek().unwrap().dist
+            }
+        };
+        // Best-first over signature runs, keyed by the accumulated bucket
+        // lower bound.
+        let mut heap: BinaryHeap<Reverse<(u64, usize, usize, usize)>> = BinaryHeap::new();
+        heap.push(Reverse((0, 0, self.rows.len(), 0)));
+        while let Some(Reverse((lb_bits, lo, hi, level))) = heap.pop() {
+            let lb = f64::from_bits(lb_bits);
+            if lb > radius(&result) || lo >= hi {
+                if lb > radius(&result) {
+                    break;
+                }
+                continue;
+            }
+            if level == self.pivots.len() {
+                for (_, id) in &self.rows[lo..hi] {
+                    let Some(o) = self.table.get(*id) else { continue };
+                    let d = self.metric.dist(q, o);
+                    if d < radius(&result) || result.len() < k {
+                        result.push(Neighbor::new(*id, d));
+                        if result.len() > k {
+                            result.pop();
+                        }
+                    }
+                }
+                continue;
+            }
+            // All bucket values present in this run.
+            let mut v = self.rows[lo].0[level];
+            let last = self.rows[hi - 1].0[level];
+            loop {
+                let (s, e) = self.value_run(lo, hi, level, v);
+                if s < e {
+                    let child_lb = lb.max(self.bucket_gap(qd[level], v));
+                    if child_lb <= radius(&result) {
+                        heap.push(Reverse((child_lb.to_bits(), s, e, level + 1)));
+                    }
+                }
+                if v >= last {
+                    break;
+                }
+                // Jump to the next present value.
+                v = if e < hi { self.rows[e].0[level] } else { break };
+            }
+        }
+        let mut out = result.into_sorted_vec();
+        out.truncate(k);
+        out
+    }
+
+    fn insert(&mut self, o: O) -> ObjId {
+        let sig = self.signature(&o);
+        let id = self.table.push(o);
+        let pos = self.rows.partition_point(|(s, _)| (s, 0) < (&sig, 1));
+        self.rows.insert(pos, (sig, id));
+        id
+    }
+
+    fn remove(&mut self, id: ObjId) -> bool {
+        let Some(o) = self.table.get(id).cloned() else {
+            return false;
+        };
+        let sig = self.signature(&o);
+        // Locate the run of equal signatures, then the id within it.
+        let start = self.rows.partition_point(|(s, _)| s < &sig);
+        let mut pos = None;
+        for (i, (s, rid)) in self.rows[start..].iter().enumerate() {
+            if s != &sig {
+                break;
+            }
+            if *rid == id {
+                pos = Some(start + i);
+                break;
+            }
+        }
+        let Some(pos) = pos else { return false };
+        self.rows.remove(pos);
+        self.table.remove(id);
+        true
+    }
+
+    fn get(&self, id: ObjId) -> Option<O> {
+        self.table.get(id).cloned()
+    }
+
+    fn storage(&self) -> StorageFootprint {
+        let objs: u64 = self.table.iter().map(|(_, o)| o.encoded_len() as u64).sum();
+        // Signatures are the compact part: l small integers per object.
+        let sigs: u64 = self
+            .rows
+            .iter()
+            .map(|(s, _)| 4 * s.len() as u64 + 4)
+            .sum();
+        let pivots: u64 = self.pivots.iter().map(|p| p.encoded_len() as u64).sum();
+        StorageFootprint::mem(objs + sigs + pivots)
+    }
+
+    fn counters(&self) -> Counters {
+        Counters {
+            compdists: self.metric.count(),
+            ..Counters::default()
+        }
+    }
+
+    fn reset_counters(&self) {
+        self.metric.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmi_metric::datasets;
+    use pmi_metric::{BruteForce, EditDistance, LInf};
+    use pmi_pivots::select_hfi;
+
+    fn build_words(n: usize) -> (Vec<String>, Fqa<String, EditDistance>) {
+        let ws = datasets::words(n, 17);
+        let pv: Vec<String> = select_hfi(&ws, &EditDistance, 5, 17)
+            .into_iter()
+            .map(|i| ws[i].clone())
+            .collect();
+        let idx = Fqa::build(ws.clone(), EditDistance, pv, 34.0, 16);
+        (ws, idx)
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let (ws, idx) = build_words(400);
+        let oracle = BruteForce::new(ws.clone(), EditDistance);
+        for r in [1.0, 4.0, 12.0] {
+            let mut got = idx.range_query(&ws[9], r);
+            got.sort();
+            let mut want = oracle.range_query(&ws[9], r);
+            want.sort();
+            assert_eq!(got, want, "r={r}");
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let (ws, idx) = build_words(400);
+        let oracle = BruteForce::new(ws.clone(), EditDistance);
+        for k in [1usize, 7, 25] {
+            let got = idx.knn_query(&ws[55], k);
+            let want = oracle.knn_query(&ws[55], k);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.dist - w.dist).abs() < 1e-9, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn works_on_synthetic() {
+        let pts = datasets::synthetic(400, 17);
+        let m = LInf::discrete();
+        let pv: Vec<Vec<f32>> = select_hfi(&pts, &m, 5, 17)
+            .into_iter()
+            .map(|i| pts[i].clone())
+            .collect();
+        let idx = Fqa::build(pts.clone(), m, pv, 10000.0, 32);
+        let oracle = BruteForce::new(pts.clone(), m);
+        let mut got = idx.range_query(&pts[100], 1800.0);
+        got.sort();
+        let mut want = oracle.range_query(&pts[100], 1800.0);
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn signatures_prune() {
+        let (ws, idx) = build_words(800);
+        idx.reset_counters();
+        let _ = idx.range_query(&ws[0], 1.0);
+        let cd = idx.counters().compdists;
+        assert!(cd < 800 / 2, "expected pruning, got {cd}");
+    }
+
+    #[test]
+    fn more_compact_than_fqt() {
+        // The FQA's point: signature array beats materialized tree nodes.
+        let ws = datasets::words(600, 19);
+        let pv: Vec<String> = select_hfi(&ws, &EditDistance, 5, 19)
+            .into_iter()
+            .map(|i| ws[i].clone())
+            .collect();
+        let fqa = Fqa::build(ws.clone(), EditDistance, pv.clone(), 34.0, 16);
+        let fqt = crate::DiscreteTree::fqt(
+            ws.clone(),
+            EditDistance,
+            pv,
+            crate::DiscreteTreeConfig {
+                max_distance: 34.0,
+                buckets: 16,
+                leaf_cap: 8,
+                max_depth: 16,
+                seed: 19,
+            },
+        );
+        assert!(fqa.storage().mem_bytes < fqt.storage().mem_bytes);
+    }
+
+    #[test]
+    fn update_cycle() {
+        let (ws, mut idx) = build_words(200);
+        let o = idx.get(31).unwrap();
+        assert!(idx.remove(31));
+        assert!(!idx.remove(31));
+        assert_eq!(idx.len(), 199);
+        let id = idx.insert(o);
+        assert!(idx.range_query(&ws[31], 0.0).contains(&id));
+        assert_eq!(idx.len(), 200);
+    }
+
+    #[test]
+    #[should_panic]
+    fn continuous_metric_rejected() {
+        let pts = datasets::la(40, 1);
+        let _ = Fqa::build(pts.clone(), pmi_metric::L2, vec![pts[0].clone()], 14143.0, 16);
+    }
+}

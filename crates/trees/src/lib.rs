@@ -1,0 +1,17 @@
+//! Pivot-based tree indexes (paper §4): BKT, FQT, VPT and MVPT.
+//!
+//! These are in-memory trees that store only object identifiers and the
+//! partition information (distance buckets or median cut values); the
+//! objects themselves live in a separate table (§4.1). BKT and FQT are
+//! defined for *discrete* distance functions; VPT/MVPT handle continuous
+//! ones. In the paper's setup (§6.1) FQT, VPT and MVPT use the shared HFI
+//! pivot set — one pivot per tree level — while BKT picks random pivots per
+//! sub-tree.
+
+mod discrete;
+mod fqa;
+mod mvpt;
+
+pub use discrete::{DiscreteTree, DiscreteTreeConfig};
+pub use fqa::Fqa;
+pub use mvpt::{Mvpt, MvptConfig};

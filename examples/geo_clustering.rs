@@ -1,0 +1,53 @@
+//! Geospatial workload: range queries of growing selectivity over clustered
+//! 2-d locations, comparing the paper's two enhanced indexes (M-index*,
+//! PM-tree) head to head — a miniature of Figure 16's LA panel.
+//!
+//! ```text
+//! cargo run --release --example geo_clustering
+//! ```
+
+use pivot_metric_repro as pmr;
+use pmr::builder::{build_vector_index, BuildOptions, IndexKind};
+use pmr::{datasets, L2};
+
+fn main() {
+    let n = 20_000;
+    let pts = datasets::la(n, 3);
+    let opts = BuildOptions {
+        d_plus: 14_143.0,
+        maxnum: (n / 64).max(64),
+        ..BuildOptions::default()
+    };
+    let mindex = build_vector_index(IndexKind::MIndexStar, pts.clone(), L2, &opts).unwrap();
+    let pmtree = build_vector_index(IndexKind::PmTree, pts.clone(), L2, &opts).unwrap();
+
+    println!(
+        "{:<10} {:>6} {:>10} {:>12} {:>8}",
+        "Index", "sel%", "hits", "compdists", "PA"
+    );
+    for sel in [0.04, 0.16, 0.64] {
+        let r = datasets::calibrate_radius(&pts, &L2, sel, 1);
+        for idx in [&mindex, &pmtree] {
+            idx.reset_counters();
+            let mut hits = 0;
+            for qi in (0..n).step_by(n / 10) {
+                hits += idx.range_query(&pts[qi], r).len();
+            }
+            let c = idx.counters();
+            println!(
+                "{:<10} {:>6.0} {:>10} {:>12} {:>8}",
+                idx.name(),
+                sel * 100.0,
+                hits / 10,
+                c.compdists / 10,
+                c.page_accesses() / 10
+            );
+        }
+    }
+    println!(
+        "\nThe M-index* wins on distance computations (Lemma 3 + validation)\n\
+         but pays heavy I/O on LA — the paper's own Fig. 16 observation that\n\
+         \"MBBs do not cluster well on LA\". Tiny 2-d objects pack densely\n\
+         into the PM-tree's pages, keeping its PA low at this dimensionality."
+    );
+}

@@ -1,0 +1,66 @@
+//! Dictionary search under edit distance — the paper's §2.1 motivating
+//! example ("defoliate"), on a generated 12k-word lexicon plus the exact
+//! words from the paper.
+//!
+//! ```text
+//! cargo run --release --example word_search
+//! ```
+
+use pivot_metric_repro as pmr;
+use pmr::builder::{build_index, BuildOptions, IndexKind};
+use pmr::{datasets, EditDistance};
+
+fn main() {
+    let mut words = datasets::words(12_000, 7);
+    // The paper's running example set (§2.1).
+    for w in [
+        "defoliates",
+        "defoliation",
+        "defoliating",
+        "defoliated",
+        "citrate",
+    ] {
+        words.push(w.to_string());
+    }
+
+    let opts = BuildOptions {
+        d_plus: 34.0, // longest word
+        ..BuildOptions::default()
+    };
+    let pivots: Vec<String> = pmr::pivots::select_hfi(&words, &EditDistance, 5, 7)
+        .into_iter()
+        .map(|i| words[i].clone())
+        .collect();
+
+    // BKT: the classic structure for discrete metrics like edit distance.
+    let bkt = build_index(
+        IndexKind::Bkt,
+        words.clone(),
+        EditDistance,
+        pivots.clone(),
+        &opts,
+    )
+    .unwrap();
+    // MVPT for comparison.
+    let mvpt = build_index(IndexKind::Mvpt, words.clone(), EditDistance, pivots, &opts).unwrap();
+
+    let query = "defoliate".to_string();
+    for idx in [&bkt, &mvpt] {
+        idx.reset_counters();
+        let hits = idx.range_query(&query, 1.0);
+        let mut found: Vec<&str> = hits.iter().map(|&id| words[id as usize].as_str()).collect();
+        found.sort();
+        println!(
+            "{:<5} MRQ(\"defoliate\", 1)  -> {:?}  ({} of {} words verified)",
+            idx.name(),
+            found,
+            idx.counters().compdists,
+            words.len()
+        );
+    }
+
+    // MkNNQ(defoliate, 2) from the paper.
+    let knn = bkt.knn_query(&query, 2);
+    let names: Vec<&str> = knn.iter().map(|n| words[n.id as usize].as_str()).collect();
+    println!("BKT   MkNNQ(\"defoliate\", 2) -> {names:?} (paper: defoliates, defoliated)");
+}

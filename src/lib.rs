@@ -1,0 +1,12 @@
+//! Root crate of the Pivot-based Metric Indexing reproduction.
+//!
+//! This is a thin re-export of the [`pmi`] facade so that the repository's
+//! examples and integration tests have a single import surface:
+//!
+//! ```
+//! use pivot_metric_repro as pmr;
+//! let pts = pmr::datasets::la(100, 42);
+//! assert_eq!(pts.len(), 100);
+//! ```
+
+pub use pmi::*;

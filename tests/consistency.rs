@@ -1,0 +1,144 @@
+//! Cross-index consistency: every index must return exactly the same MRQ
+//! result sets and kNN distance profiles as a brute-force scan, on every
+//! dataset, across small and large radii. This is the repository's primary
+//! correctness gate.
+
+use pivot_metric_repro as pmr;
+use pmr::builder::{build_index, BuildOptions, IndexKind};
+use pmr::{datasets, BruteForce, EditDistance, Metric, MetricIndex, L1, L2, LInf};
+
+const ALL_KINDS: [IndexKind; 15] = [
+    IndexKind::Aesa,
+    IndexKind::Laesa,
+    IndexKind::Ept,
+    IndexKind::EptStar,
+    IndexKind::Cpt,
+    IndexKind::Bkt,
+    IndexKind::Fqt,
+    IndexKind::Vpt,
+    IndexKind::Mvpt,
+    IndexKind::PmTree,
+    IndexKind::OmniSeq,
+    IndexKind::OmniBPlus,
+    IndexKind::OmniR,
+    IndexKind::MIndex,
+    IndexKind::MIndexStar,
+];
+
+fn check_all<O, M>(objects: Vec<O>, metric: M, d_plus: f64, radii: &[f64], label: &str)
+where
+    O: Clone + pmr::EncodeObject + Send + Sync + PartialEq + std::fmt::Debug + 'static,
+    M: Metric<O> + Clone + 'static,
+{
+    let opts = BuildOptions {
+        d_plus,
+        maxnum: 48,
+        ..BuildOptions::default()
+    };
+    let pivot_ids = pmr::pivots::select_hfi(&objects, &metric, opts.num_pivots, 42);
+    let pivots: Vec<O> = pivot_ids.iter().map(|&i| objects[i].clone()).collect();
+    let oracle = BruteForce::new(objects.clone(), metric.clone());
+    let queries: Vec<usize> = vec![0, objects.len() / 3, objects.len() - 1];
+
+    for kind in ALL_KINDS {
+        let idx = match build_index(kind, objects.clone(), metric.clone(), pivots.clone(), &opts)
+        {
+            Ok(idx) => idx,
+            Err(_) => continue, // BKT/FQT on continuous metrics
+        };
+        assert_eq!(idx.len(), objects.len(), "{label}/{}", kind.label());
+        for &qi in &queries {
+            let q = &objects[qi];
+            for &r in radii {
+                let mut got = idx.range_query(q, r);
+                got.sort_unstable();
+                let mut want = oracle.range_query(q, r);
+                want.sort_unstable();
+                assert_eq!(
+                    got,
+                    want,
+                    "{label}/{} MRQ(q={qi}, r={r})",
+                    kind.label()
+                );
+            }
+            for k in [1usize, 10, 25] {
+                let got = idx.knn_query(q, k);
+                let want = oracle.knn_query(q, k);
+                assert_eq!(got.len(), want.len(), "{label}/{} k={k}", kind.label());
+                for (g, w) in got.iter().zip(&want) {
+                    assert!(
+                        (g.dist - w.dist).abs() < 1e-9,
+                        "{label}/{} kNN(q={qi}, k={k}): {} vs {}",
+                        kind.label(),
+                        g.dist,
+                        w.dist
+                    );
+                }
+                // Sorted ascending.
+                assert!(got.windows(2).all(|w| w[0].dist <= w[1].dist));
+            }
+        }
+    }
+}
+
+#[test]
+fn la_consistency() {
+    let pts = datasets::la(600, 11);
+    let radii = [
+        datasets::calibrate_radius(&pts, &L2, 0.04, 1),
+        datasets::calibrate_radius(&pts, &L2, 0.16, 1),
+        datasets::calibrate_radius(&pts, &L2, 0.64, 1),
+    ];
+    check_all(pts, L2, 14143.0, &radii, "LA");
+}
+
+#[test]
+fn words_consistency() {
+    let ws = datasets::words(400, 11);
+    let radii = [1.0, 3.0, 10.0, 25.0];
+    check_all(ws, EditDistance, 34.0, &radii, "Words");
+}
+
+#[test]
+fn color_consistency() {
+    let pts = datasets::color(250, 11);
+    let radii = [
+        datasets::calibrate_radius(&pts, &L1, 0.04, 1),
+        datasets::calibrate_radius(&pts, &L1, 0.32, 1),
+    ];
+    check_all(pts, L1, 510.0 * datasets::COLOR_DIM as f64, &radii, "Color");
+}
+
+#[test]
+fn synthetic_consistency() {
+    let pts = datasets::synthetic(500, 11);
+    let radii = [
+        datasets::calibrate_radius(&pts, &LInf::discrete(), 0.08, 1),
+        datasets::calibrate_radius(&pts, &LInf::discrete(), 0.64, 1),
+    ];
+    check_all(pts, LInf::discrete(), 10000.0, &radii, "Synthetic");
+}
+
+#[test]
+fn spb_consistency_separately() {
+    // The SPB-tree is checked on its own so a failure names it directly
+    // (its discretized filtering has historically been the most delicate).
+    let pts = datasets::la(600, 13);
+    let opts = BuildOptions {
+        d_plus: 14143.0,
+        ..BuildOptions::default()
+    };
+    let pivots: Vec<Vec<f32>> = pmr::pivots::select_hfi(&pts, &L2, 5, 13)
+        .into_iter()
+        .map(|i| pts[i].clone())
+        .collect();
+    let idx = build_index(IndexKind::Spb, pts.clone(), L2, pivots, &opts).unwrap();
+    let oracle = BruteForce::new(pts.clone(), L2);
+    for r in [100.0, 2000.0, 9000.0] {
+        let mut got = idx.range_query(&pts[77], r);
+        got.sort_unstable();
+        let mut want = oracle.range_query(&pts[77], r);
+        want.sort_unstable();
+        assert_eq!(got, want, "SPB r={r}");
+    }
+}

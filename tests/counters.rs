@@ -1,0 +1,117 @@
+//! Cost-accounting invariants: the paper's three metrics must be observable
+//! and behave as §6 describes (in-memory indexes have zero PA, disk indexes
+//! pay PA on queries, the kNN cache absorbs repeat reads, counters reset).
+
+use pivot_metric_repro as pmr;
+use pmr::builder::{build_index, BuildOptions, IndexKind};
+use pmr::{datasets, MetricIndex, L2};
+
+fn build(kind: IndexKind, n: usize) -> (Vec<Vec<f32>>, Box<dyn MetricIndex<Vec<f32>>>) {
+    let pts = datasets::la(n, 31);
+    let opts = BuildOptions {
+        d_plus: 14143.0,
+        maxnum: 48,
+        ..BuildOptions::default()
+    };
+    let pivots: Vec<Vec<f32>> = pmr::pivots::select_hfi(&pts, &L2, 5, 31)
+        .into_iter()
+        .map(|i| pts[i].clone())
+        .collect();
+    let idx = build_index(kind, pts.clone(), L2, pivots, &opts).unwrap();
+    (pts, idx)
+}
+
+#[test]
+fn in_memory_indexes_have_zero_pa() {
+    for kind in [
+        IndexKind::Laesa,
+        IndexKind::Ept,
+        IndexKind::EptStar,
+        IndexKind::Vpt,
+        IndexKind::Mvpt,
+    ] {
+        let (pts, idx) = build(kind, 300);
+        idx.reset_counters();
+        let _ = idx.range_query(&pts[0], 1000.0);
+        let _ = idx.knn_query(&pts[0], 10);
+        let c = idx.counters();
+        assert_eq!(c.page_accesses(), 0, "{}", kind.label());
+        assert!(c.compdists > 0, "{}", kind.label());
+    }
+}
+
+#[test]
+fn disk_indexes_pay_pa_on_queries() {
+    for kind in [
+        IndexKind::Cpt,
+        IndexKind::PmTree,
+        IndexKind::OmniSeq,
+        IndexKind::OmniR,
+        IndexKind::MIndexStar,
+        IndexKind::Spb,
+    ] {
+        let (pts, idx) = build(kind, 300);
+        idx.reset_counters();
+        let _ = idx.range_query(&pts[0], 1500.0);
+        let c = idx.counters();
+        assert!(c.page_reads > 0, "{} should read pages", kind.label());
+    }
+}
+
+#[test]
+fn reset_counters_resets() {
+    let (pts, idx) = build(IndexKind::OmniR, 300);
+    let _ = idx.range_query(&pts[0], 500.0);
+    assert!(idx.counters().compdists > 0);
+    idx.reset_counters();
+    let c = idx.counters();
+    assert_eq!(c.compdists, 0);
+    assert_eq!(c.page_accesses(), 0);
+}
+
+#[test]
+fn knn_cache_reduces_page_reads_across_queries() {
+    let (pts, idx) = build(IndexKind::Spb, 800);
+    // Cold: no cache.
+    idx.reset_counters();
+    for qi in [1usize, 2, 3] {
+        let _ = idx.knn_query(&pts[qi], 20);
+    }
+    let cold = idx.counters().page_reads;
+    // Warm: the paper's 128 KB LRU cache.
+    idx.set_page_cache(pmr::storage::KNN_CACHE_BYTES);
+    idx.reset_counters();
+    for qi in [1usize, 2, 3] {
+        let _ = idx.knn_query(&pts[qi], 20);
+    }
+    let warm = idx.counters().page_reads;
+    assert!(warm < cold, "cache should help: warm {warm} vs cold {cold}");
+}
+
+#[test]
+fn compdists_scale_with_radius() {
+    // Fig. 16's basic trend: larger r => more distance computations.
+    let (pts, idx) = build(IndexKind::Mvpt, 600);
+    let mut prev = 0;
+    for r in [100.0, 1000.0, 4000.0, 12000.0] {
+        idx.reset_counters();
+        let _ = idx.range_query(&pts[42], r);
+        let cd = idx.counters().compdists;
+        assert!(cd >= prev, "r={r}: {cd} < {prev}");
+        prev = cd;
+    }
+}
+
+#[test]
+fn storage_split_matches_index_family() {
+    // Table 4's (I)/(D) annotations: tables/trees in memory, external on
+    // disk, CPT split across both.
+    let (_, laesa) = build(IndexKind::Laesa, 200);
+    assert!(laesa.storage().mem_bytes > 0);
+    assert_eq!(laesa.storage().disk_bytes, 0);
+    let (_, spb) = build(IndexKind::Spb, 200);
+    assert!(spb.storage().disk_bytes > 0);
+    let (_, cpt) = build(IndexKind::Cpt, 200);
+    let s = cpt.storage();
+    assert!(s.mem_bytes > 0 && s.disk_bytes > 0, "CPT is hybrid");
+}

@@ -1,0 +1,140 @@
+//! Edge cases every index must survive: minimal datasets, degenerate query
+//! parameters, duplicate objects, and out-of-dataset query objects.
+
+use pivot_metric_repro as pmr;
+use pmr::builder::{build_index, BuildOptions, IndexKind};
+use pmr::{MetricIndex, L2};
+
+const CONTINUOUS_KINDS: [IndexKind; 13] = [
+    IndexKind::Aesa,
+    IndexKind::Laesa,
+    IndexKind::Ept,
+    IndexKind::EptStar,
+    IndexKind::Cpt,
+    IndexKind::Vpt,
+    IndexKind::Mvpt,
+    IndexKind::PmTree,
+    IndexKind::OmniSeq,
+    IndexKind::OmniBPlus,
+    IndexKind::OmniR,
+    IndexKind::MIndexStar,
+    IndexKind::Spb,
+];
+
+fn opts() -> BuildOptions {
+    BuildOptions {
+        d_plus: 1000.0,
+        maxnum: 8,
+        num_pivots: 2,
+        ..BuildOptions::default()
+    }
+}
+
+fn build(kind: IndexKind, pts: &[Vec<f32>]) -> Box<dyn MetricIndex<Vec<f32>>> {
+    let pivots = if pts.len() >= 2 {
+        pmr::pivots::select_hfi(pts, &L2, 2, 1)
+            .into_iter()
+            .map(|i| pts[i].clone())
+            .collect()
+    } else {
+        vec![pts[0].clone(), pts[0].clone()]
+    };
+    build_index(kind, pts.to_vec(), L2, pivots, &opts()).unwrap()
+}
+
+#[test]
+fn two_object_dataset() {
+    let pts = vec![vec![0.0f32, 0.0], vec![3.0, 4.0]];
+    for kind in CONTINUOUS_KINDS {
+        if kind == IndexKind::Ept || kind == IndexKind::EptStar {
+            continue; // EPT group sampling needs a few more objects
+        }
+        let idx = build(kind, &pts);
+        assert_eq!(idx.len(), 2, "{}", kind.label());
+        let hits = idx.range_query(&pts[0], 5.0);
+        assert_eq!(hits.len(), 2, "{} r=5", kind.label());
+        let knn = idx.knn_query(&pts[0], 1);
+        assert_eq!(knn.len(), 1);
+        assert_eq!(knn[0].dist, 0.0, "{}", kind.label());
+    }
+}
+
+#[test]
+fn degenerate_query_parameters() {
+    let pts: Vec<Vec<f32>> = (0..40).map(|i| vec![i as f32, 0.0]).collect();
+    for kind in CONTINUOUS_KINDS {
+        let idx = build(kind, &pts);
+        // k = 0.
+        assert!(idx.knn_query(&pts[5], 0).is_empty(), "{}", kind.label());
+        // k > n returns all n.
+        assert_eq!(idx.knn_query(&pts[5], 500).len(), 40, "{}", kind.label());
+        // r = 0 returns exactly the identical object(s).
+        let hits = idx.range_query(&pts[5], 0.0);
+        assert_eq!(hits, vec![5], "{}", kind.label());
+        // r covering everything returns all.
+        assert_eq!(idx.range_query(&pts[5], 999.0).len(), 40, "{}", kind.label());
+    }
+}
+
+#[test]
+fn duplicate_objects_are_all_found() {
+    let mut pts: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32, 1.0]).collect();
+    pts.push(vec![7.0, 1.0]); // duplicate of id 7
+    pts.push(vec![7.0, 1.0]); // and another
+    for kind in CONTINUOUS_KINDS {
+        let idx = build(kind, &pts);
+        let mut hits = idx.range_query(&vec![7.0f32, 1.0], 0.0);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![7, 20, 21], "{}", kind.label());
+        let knn = idx.knn_query(&vec![7.0f32, 1.0], 3);
+        assert!(knn.iter().all(|n| n.dist == 0.0), "{}", kind.label());
+    }
+}
+
+#[test]
+fn external_query_object() {
+    // Query objects need not be dataset members.
+    let pts: Vec<Vec<f32>> = (0..60).map(|i| vec![(i * 3) as f32, (i % 7) as f32]).collect();
+    let q = vec![50.5f32, 3.3];
+    let oracle = pmr::BruteForce::new(pts.clone(), L2);
+    for kind in CONTINUOUS_KINDS {
+        let idx = build(kind, &pts);
+        let mut got = idx.range_query(&q, 20.0);
+        got.sort_unstable();
+        let mut want = oracle.range_query(&q, 20.0);
+        want.sort_unstable();
+        assert_eq!(got, want, "{}", kind.label());
+    }
+}
+
+#[test]
+fn removing_a_pivot_object_keeps_queries_correct() {
+    // Pivots are cloned into the index; deleting the dataset object that
+    // served as a pivot must not break routing or filtering.
+    let pts: Vec<Vec<f32>> = (0..50).map(|i| vec![i as f32, (i * i % 13) as f32]).collect();
+    for kind in [
+        IndexKind::Laesa,
+        IndexKind::Mvpt,
+        IndexKind::OmniR,
+        IndexKind::MIndexStar,
+        IndexKind::Spb,
+    ] {
+        let pivot_ids = pmr::pivots::select_hfi(&pts, &L2, 2, 1);
+        let pivots: Vec<Vec<f32>> = pivot_ids.iter().map(|&i| pts[i].clone()).collect();
+        let mut idx = build_index(kind, pts.clone(), L2, pivots, &opts()).unwrap();
+        // Remove the pivot objects themselves.
+        for &pid in &pivot_ids {
+            assert!(idx.remove(pid as u32), "{}", kind.label());
+        }
+        let oracle_data: Vec<Vec<f32>> = pts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !pivot_ids.contains(i))
+            .map(|(_, o)| o.clone())
+            .collect();
+        let oracle = pmr::BruteForce::new(oracle_data, L2);
+        let got = idx.range_query(&pts[3], 10.0).len();
+        let want = oracle.range_query(&pts[3], 10.0).len();
+        assert_eq!(got, want, "{}", kind.label());
+    }
+}

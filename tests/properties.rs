@@ -1,0 +1,166 @@
+//! Property-based tests (proptest) on the core invariants:
+//! metric axioms, lemma soundness, SFC bijectivity, codec roundtrips, and
+//! index/oracle agreement under random data and parameters.
+
+use pivot_metric_repro as pmr;
+use pmr::builder::{build_index, BuildOptions, IndexKind};
+use pmr::storage::sfc::Hilbert;
+use pmr::{lemmas, BruteForce, EditDistance, EncodeObject, Metric, MetricIndex, L1, L2, LInf};
+use proptest::prelude::*;
+
+fn vecs(dim: usize, n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(
+        prop::collection::vec(-1000.0f32..1000.0, dim..=dim),
+        n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn metric_axioms_hold(v in vecs(4, 3..10)) {
+        let metrics: [&dyn Metric<[f32]>; 3] = [&L1, &L2, &LInf { discrete: false }];
+        for m in metrics {
+            for a in &v {
+                for b in &v {
+                    let dab = m.dist(a, b);
+                    prop_assert!(dab >= 0.0);
+                    prop_assert!((dab - m.dist(b, a)).abs() < 1e-9, "symmetry");
+                    if a == b {
+                        prop_assert_eq!(dab, 0.0);
+                    }
+                    for c in &v {
+                        // Triangle inequality with float slack.
+                        prop_assert!(dab <= m.dist(a, c) + m.dist(c, b) + 1e-6);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edit_distance_axioms(words in prop::collection::vec("[a-z]{0,12}", 3..8)) {
+        for a in &words {
+            for b in &words {
+                let dab = EditDistance::levenshtein(a, b);
+                prop_assert_eq!(dab, EditDistance::levenshtein(b, a));
+                if a == b {
+                    prop_assert_eq!(dab, 0);
+                }
+                prop_assert!(dab <= a.len().max(b.len()));
+                for c in &words {
+                    prop_assert!(
+                        dab <= EditDistance::levenshtein(a, c) + EditDistance::levenshtein(c, b)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemmas_are_sound(
+        v in vecs(3, 6..20),
+        qi in 0usize..6,
+        r in 1.0f64..2000.0,
+    ) {
+        // Pivots = first two objects; query = object qi.
+        let q = &v[qi];
+        let pivots = [&v[0], &v[1]];
+        let qd: Vec<f64> = pivots.iter().map(|p| L2.dist(*p, q)).collect();
+        for o in &v {
+            let od: Vec<f64> = pivots.iter().map(|p| L2.dist(*p, o)).collect();
+            let actual = L2.dist(q, o);
+            // Lemma 1 never prunes a true answer.
+            if lemmas::lemma1_prunable(&qd, &od, r) {
+                prop_assert!(actual > r);
+            }
+            // Lemma 4 never validates a non-answer.
+            if lemmas::lemma4_validated(&qd, &od, r) {
+                prop_assert!(actual <= r + 1e-9);
+            }
+            // Bounds sandwich the true distance.
+            prop_assert!(lemmas::pivot_lower_bound(&qd, &od) <= actual + 1e-9);
+            prop_assert!(lemmas::pivot_upper_bound(&qd, &od) >= actual - 1e-9);
+        }
+    }
+
+    #[test]
+    fn hilbert_bijective(
+        dims in 2usize..6,
+        bits in 1u32..6,
+        seed in any::<u64>(),
+    ) {
+        let h = Hilbert::new(dims, bits);
+        let mut s = seed | 1;
+        for _ in 0..50 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let coords: Vec<u32> = (0..dims)
+                .map(|d| ((s >> (d * 7)) as u32) & h.max_coord())
+                .collect();
+            prop_assert_eq!(h.decode(h.encode(&coords)), coords);
+        }
+    }
+
+    #[test]
+    fn codec_roundtrips(v in prop::collection::vec(any::<f32>(), 0..64)) {
+        // NaN-free for equality.
+        let v: Vec<f32> = v.into_iter().map(|x| if x.is_nan() { 0.0 } else { x }).collect();
+        let enc = v.encode();
+        let (back, used) = Vec::<f32>::decode_from(&enc);
+        prop_assert_eq!(back, v);
+        prop_assert_eq!(used, enc.len());
+    }
+
+    #[test]
+    fn string_codec_roundtrips(s in "\\PC{0,40}") {
+        let enc = s.encode();
+        let (back, used) = String::decode_from(&enc);
+        prop_assert_eq!(back, s);
+        prop_assert_eq!(used, enc.len());
+    }
+}
+
+proptest! {
+    // Heavier cases: fewer iterations.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn random_indexes_agree_with_oracle(
+        v in vecs(3, 40..120),
+        r in 10.0f64..3000.0,
+        k in 1usize..15,
+        kind_pick in 0usize..6,
+    ) {
+        let kind = [
+            IndexKind::Laesa,
+            IndexKind::Mvpt,
+            IndexKind::OmniR,
+            IndexKind::MIndexStar,
+            IndexKind::Spb,
+            IndexKind::PmTree,
+        ][kind_pick];
+        let opts = BuildOptions {
+            d_plus: 8000.0, // > max possible distance in [-1000,1000]^3 under L2
+            maxnum: 16,
+            num_pivots: 3,
+            ..BuildOptions::default()
+        };
+        let pivot_ids = pmr::pivots::select_hfi(&v, &L2, 3, 7);
+        let pivots: Vec<Vec<f32>> = pivot_ids.iter().map(|&i| v[i].clone()).collect();
+        let idx = build_index(kind, v.clone(), L2, pivots, &opts).unwrap();
+        let oracle = BruteForce::new(v.clone(), L2);
+        let q = &v[0];
+        let mut got = idx.range_query(q, r);
+        got.sort_unstable();
+        let mut want = oracle.range_query(q, r);
+        want.sort_unstable();
+        prop_assert_eq!(got, want, "{} MRQ", kind.label());
+        let gk = idx.knn_query(q, k);
+        let wk = oracle.knn_query(q, k);
+        prop_assert_eq!(gk.len(), wk.len());
+        for (g, w) in gk.iter().zip(&wk) {
+            prop_assert!((g.dist - w.dist).abs() < 1e-9, "{} kNN", kind.label());
+        }
+    }
+}

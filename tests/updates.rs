@@ -1,0 +1,104 @@
+//! Update consistency across all indexes: delete + reinsert batches must
+//! leave query answers identical to a rebuilt brute-force oracle, and the
+//! paper's Table 6 cost relations must hold.
+
+use pivot_metric_repro as pmr;
+use pmr::builder::{build_index, BuildOptions, IndexKind};
+use pmr::{datasets, BruteForce, MetricIndex, L2};
+
+fn build(kind: IndexKind, pts: &[Vec<f32>]) -> Box<dyn MetricIndex<Vec<f32>>> {
+    let opts = BuildOptions {
+        d_plus: 14143.0,
+        maxnum: 48,
+        ..BuildOptions::default()
+    };
+    let pivots: Vec<Vec<f32>> = pmr::pivots::select_hfi(pts, &L2, 5, 21)
+        .into_iter()
+        .map(|i| pts[i].clone())
+        .collect();
+    build_index(kind, pts.to_vec(), L2, pivots, &opts).unwrap()
+}
+
+#[test]
+fn delete_reinsert_preserves_answers() {
+    let pts = datasets::la(400, 21);
+    for kind in [
+        IndexKind::Laesa,
+        IndexKind::Ept,
+        IndexKind::EptStar,
+        IndexKind::Cpt,
+        IndexKind::Mvpt,
+        IndexKind::PmTree,
+        IndexKind::OmniSeq,
+        IndexKind::OmniBPlus,
+        IndexKind::OmniR,
+        IndexKind::MIndex,
+        IndexKind::MIndexStar,
+        IndexKind::Spb,
+    ] {
+        let mut idx = build(kind, &pts);
+        // Table 6's update operation, 25 times.
+        for step in 0..25u32 {
+            let id = (step * 13) % 400;
+            let Some(o) = idx.get(id) else { continue };
+            assert!(idx.remove(id), "{} remove {id}", kind.label());
+            idx.insert(o);
+        }
+        assert_eq!(idx.len(), 400, "{}", kind.label());
+        // Answers unchanged versus the oracle.
+        let oracle = BruteForce::new(pts.clone(), L2);
+        let q = &pts[123];
+        let want_ids = oracle.range_query(q, 800.0).len();
+        let got_ids = idx.range_query(q, 800.0).len();
+        assert_eq!(got_ids, want_ids, "{} post-update MRQ", kind.label());
+        let got = idx.knn_query(q, 15);
+        let want = oracle.knn_query(q, 15);
+        for (g, w) in got.iter().zip(&want) {
+            assert!(
+                (g.dist - w.dist).abs() < 1e-9,
+                "{} post-update kNN",
+                kind.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn removing_everything_then_refilling_works() {
+    let pts = datasets::la(150, 23);
+    for kind in [IndexKind::Laesa, IndexKind::OmniR, IndexKind::Spb, IndexKind::MIndexStar] {
+        let mut idx = build(kind, &pts);
+        let objs: Vec<Vec<f32>> = (0..150u32).map(|i| idx.get(i).unwrap()).collect();
+        for i in 0..150u32 {
+            assert!(idx.remove(i), "{} remove {i}", kind.label());
+        }
+        assert_eq!(idx.len(), 0, "{}", kind.label());
+        assert!(idx.is_empty());
+        assert!(idx.range_query(&pts[0], 1e9).is_empty());
+        for o in objs {
+            idx.insert(o);
+        }
+        assert_eq!(idx.len(), 150);
+        assert_eq!(idx.range_query(&pts[0], 1e9).len(), 150);
+    }
+}
+
+#[test]
+fn ept_updates_cost_more_than_laesa() {
+    // Table 6: LAESA's insert computes only |P| distances; EPT re-selects
+    // pivots (and re-estimates μ), EPT* runs PSA.
+    let pts = datasets::la(500, 25);
+    let mut laesa = build(IndexKind::Laesa, &pts);
+    let mut ept = build(IndexKind::Ept, &pts);
+    let cost = |idx: &mut Box<dyn MetricIndex<Vec<f32>>>| {
+        let o = idx.get(7).unwrap();
+        idx.remove(7);
+        idx.reset_counters();
+        idx.insert(o);
+        idx.counters().compdists
+    };
+    let cl = cost(&mut laesa);
+    let ce = cost(&mut ept);
+    assert!(cl < ce, "LAESA insert {cl} vs EPT insert {ce}");
+    assert_eq!(cl, 5, "LAESA insert = |P| distances");
+}
