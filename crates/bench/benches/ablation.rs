@@ -97,8 +97,14 @@ fn bench(c: &mut Criterion) {
 
     // EPT* (in-memory) vs EPT*-disk (the paper's §7 future-work variant).
     {
-        let star =
-            build_index(IndexKind::EptStar, pts.clone(), pmi::L2, pivots.clone(), &opts).unwrap();
+        let star = build_index(
+            IndexKind::EptStar,
+            pts.clone(),
+            pmi::L2,
+            pivots.clone(),
+            &opts,
+        )
+        .unwrap();
         let disk = pmi::EptDisk::build(
             pts.clone(),
             pmi::L2,

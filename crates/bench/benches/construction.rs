@@ -36,9 +36,7 @@ fn bench(c: &mut Criterion) {
         IndexKind::Spb,
     ] {
         g.bench_function(kind.label(), |b| {
-            b.iter(|| {
-                build_index(kind, pts.clone(), pmi::L2, pivots.clone(), &opts).unwrap()
-            })
+            b.iter(|| build_index(kind, pts.clone(), pmi::L2, pivots.clone(), &opts).unwrap())
         });
     }
     g.finish();

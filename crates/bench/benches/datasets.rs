@@ -7,9 +7,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(std::time::Duration::from_millis(400));
     g.measurement_time(std::time::Duration::from_millis(1600));
-    g.bench_function("la_generate_2k", |b| {
-        b.iter(|| pmi::datasets::la(2000, 42))
-    });
+    g.bench_function("la_generate_2k", |b| b.iter(|| pmi::datasets::la(2000, 42)));
     g.bench_function("words_generate_2k", |b| {
         b.iter(|| pmi::datasets::words(2000, 42))
     });

@@ -1,0 +1,71 @@
+//! Bench target for the serving engine: batch throughput (QPS) vs shard
+//! count, against the serial single-index baseline, on the synthetic LA
+//! dataset (the ROADMAP's "serve heavy traffic" direction; not a figure of
+//! the paper).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmi::builder::{build_vector_index, BuildOptions, IndexKind};
+use pmi::engine::{EngineConfig, Query};
+use pmi::{build_sharded_vector_engine, L2};
+
+fn la_batch(pts: &[Vec<f32>], queries: usize, radius: f64) -> Vec<Query<Vec<f32>>> {
+    (0..queries)
+        .map(|i| {
+            let q = pts[(i * 131) % pts.len()].clone();
+            if i % 2 == 0 {
+                Query::range(q, radius)
+            } else {
+                Query::knn(q, 10)
+            }
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let pts = pmi::datasets::la(8_000, 42);
+    let radius = pmi::datasets::calibrate_radius(&pts, &L2, 0.04, 42);
+    let opts = BuildOptions {
+        d_plus: 14143.0,
+        maxnum: 128,
+        ..BuildOptions::default()
+    };
+    let batch = la_batch(&pts, 256, radius);
+
+    let mut g = c.benchmark_group("engine_qps_la8k");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1600));
+
+    // Serial baseline: one unsharded index, queries run one after another.
+    let single = build_vector_index(IndexKind::Mvpt, pts.clone(), L2, &opts).unwrap();
+    g.bench_function("serial_baseline", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for q in &batch {
+                match q {
+                    Query::Range { q, radius } => hits += single.range_query(q, *radius).len(),
+                    Query::Knn { q, k } => hits += single.knn_query(q, *k).len(),
+                }
+            }
+            hits
+        })
+    });
+
+    for shards in [1usize, 2, 4, 8] {
+        let engine = build_sharded_vector_engine(
+            IndexKind::Mvpt,
+            pts.clone(),
+            L2,
+            &opts,
+            &EngineConfig { shards, threads: 0 },
+        )
+        .unwrap();
+        g.bench_function(format!("sharded/P{shards}"), |b| {
+            b.iter(|| engine.serve(&batch).report.total_results)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

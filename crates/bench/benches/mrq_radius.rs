@@ -26,7 +26,12 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_millis(1600));
     let radii: Vec<(u32, f64)> = [(4u32, 0.04f64), (16, 0.16), (64, 0.64)]
         .iter()
-        .map(|(pct, s)| (*pct, pmi::datasets::calibrate_radius(&pts, &pmi::L2, *s, 42)))
+        .map(|(pct, s)| {
+            (
+                *pct,
+                pmi::datasets::calibrate_radius(&pts, &pmi::L2, *s, 42),
+            )
+        })
         .collect();
     for kind in [
         IndexKind::EptStar,

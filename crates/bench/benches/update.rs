@@ -34,8 +34,7 @@ fn bench(c: &mut Criterion) {
         IndexKind::MIndexStar,
         IndexKind::Spb,
     ] {
-        let mut idx =
-            build_index(kind, pts.clone(), pmi::L2, pivots.clone(), &opts).unwrap();
+        let mut idx = build_index(kind, pts.clone(), pmi::L2, pivots.clone(), &opts).unwrap();
         // Reinsertion assigns fresh ids, so track the live id per slot.
         let mut live: Vec<u32> = (0..2000).collect();
         let mut next = 0usize;

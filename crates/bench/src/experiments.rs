@@ -223,8 +223,7 @@ fn rank_and_print<T>(all: &[(Scenario, Vec<(IndexKind, T)>)], metrics: &[(&str, 
     for (mname, f) in metrics {
         let mut ranks: HashMap<IndexKind, (f64, usize)> = HashMap::new();
         for (_, rows) in all {
-            let mut vals: Vec<(IndexKind, f64)> =
-                rows.iter().map(|(k, st)| (*k, f(st))).collect();
+            let mut vals: Vec<(IndexKind, f64)> = rows.iter().map(|(k, st)| (*k, f(st))).collect();
             vals.sort_by(|a, b| a.1.total_cmp(&b.1));
             for (pos, (k, _)) in vals.iter().enumerate() {
                 let e = ranks.entry(*k).or_insert((0.0, 0));
@@ -283,7 +282,12 @@ pub fn table6(cfg: &ExpConfig) -> Vec<(Scenario, Vec<(IndexKind, UpdateCost)>)> 
     let mut all = Vec::new();
     for s in Scenario::ALL {
         let data = s.data(cfg.scale, cfg.seed);
-        println!("\nTable 6 [{}] (n = {}, {} updates)", s.label(), data.len(), cfg.updates);
+        println!(
+            "\nTable 6 [{}] (n = {}, {} updates)",
+            s.label(),
+            data.len(),
+            cfg.updates
+        );
         println!(
             "{:<12} {:>10} {:>14} {:>10}",
             "Index", "PA", "Compdists", "Time"
@@ -354,12 +358,17 @@ fn knn_sweep<O, M>(
     M: Metric<O> + Clone + 'static,
 {
     let high_dim = matches!(scenario, Scenario::Color | Scenario::Synthetic);
-    let opts = harness::options_for(objects.len(), scenario.d_plus(), num_pivots, high_dim, cfg.seed);
+    let opts = harness::options_for(
+        objects.len(),
+        scenario.d_plus(),
+        num_pivots,
+        high_dim,
+        cfg.seed,
+    );
     let pivots = harness::shared_pivots(objects, metric, num_pivots, cfg.seed);
     let queries = harness::query_positions(objects.len(), cfg.queries, cfg.seed);
     for &kind in kinds {
-        let Some((idx, _)) = harness::build_measured(kind, objects, metric, &pivots, &opts)
-        else {
+        let Some((idx, _)) = harness::build_measured(kind, objects, metric, &pivots, &opts) else {
             continue;
         };
         // The paper enables a 128 KB LRU cache for MkNNQ (§6.1).
@@ -401,8 +410,7 @@ fn mrq_sweep<O, M>(
         .map(|s| (*s, harness::radius_for(objects, metric, *s, cfg.seed)))
         .collect();
     for &kind in kinds {
-        let Some((idx, _)) = harness::build_measured(kind, objects, metric, &pivots, &opts)
-        else {
+        let Some((idx, _)) = harness::build_measured(kind, objects, metric, &pivots, &opts) else {
             continue;
         };
         for &(sel, r) in &radii {
@@ -449,10 +457,28 @@ pub fn fig14(cfg: &ExpConfig) -> Vec<(Scenario, Vec<SweepPoint>)> {
         match &data {
             ScenarioData::Vecs {
                 objects, metric, ..
-            } => knn_sweep(&kinds, objects, metric, s, &harness::KS, harness::DEFAULT_PIVOTS, cfg, &mut pts),
+            } => knn_sweep(
+                &kinds,
+                objects,
+                metric,
+                s,
+                &harness::KS,
+                harness::DEFAULT_PIVOTS,
+                cfg,
+                &mut pts,
+            ),
             ScenarioData::Strs {
                 objects, metric, ..
-            } => knn_sweep(&kinds, objects, metric, s, &harness::KS, harness::DEFAULT_PIVOTS, cfg, &mut pts),
+            } => knn_sweep(
+                &kinds,
+                objects,
+                metric,
+                s,
+                &harness::KS,
+                harness::DEFAULT_PIVOTS,
+                cfg,
+                &mut pts,
+            ),
         }
         print_sweep(
             &format!("Figure 14 [{}]: EPT vs EPT*, MkNNQ", s.label()),
@@ -474,10 +500,28 @@ pub fn fig15(cfg: &ExpConfig) -> Vec<(Scenario, Vec<SweepPoint>)> {
         match &data {
             ScenarioData::Vecs {
                 objects, metric, ..
-            } => knn_sweep(&kinds, objects, metric, s, &harness::KS, harness::DEFAULT_PIVOTS, cfg, &mut pts),
+            } => knn_sweep(
+                &kinds,
+                objects,
+                metric,
+                s,
+                &harness::KS,
+                harness::DEFAULT_PIVOTS,
+                cfg,
+                &mut pts,
+            ),
             ScenarioData::Strs {
                 objects, metric, ..
-            } => knn_sweep(&kinds, objects, metric, s, &harness::KS, harness::DEFAULT_PIVOTS, cfg, &mut pts),
+            } => knn_sweep(
+                &kinds,
+                objects,
+                metric,
+                s,
+                &harness::KS,
+                harness::DEFAULT_PIVOTS,
+                cfg,
+                &mut pts,
+            ),
         }
         print_sweep(
             &format!("Figure 15 [{}]: M-index vs M-index*, MkNNQ", s.label()),
@@ -524,16 +568,30 @@ pub fn fig17(cfg: &ExpConfig) -> Vec<(Scenario, Vec<SweepPoint>)> {
         match &data {
             ScenarioData::Vecs {
                 objects, metric, ..
-            } => knn_sweep(&kinds, objects, metric, s, &harness::KS, harness::DEFAULT_PIVOTS, cfg, &mut pts),
+            } => knn_sweep(
+                &kinds,
+                objects,
+                metric,
+                s,
+                &harness::KS,
+                harness::DEFAULT_PIVOTS,
+                cfg,
+                &mut pts,
+            ),
             ScenarioData::Strs {
                 objects, metric, ..
-            } => knn_sweep(&kinds, objects, metric, s, &harness::KS, harness::DEFAULT_PIVOTS, cfg, &mut pts),
+            } => knn_sweep(
+                &kinds,
+                objects,
+                metric,
+                s,
+                &harness::KS,
+                harness::DEFAULT_PIVOTS,
+                cfg,
+                &mut pts,
+            ),
         }
-        print_sweep(
-            &format!("Figure 17 [{}]: MkNNQ vs k", s.label()),
-            "k",
-            &pts,
-        );
+        print_sweep(&format!("Figure 17 [{}]: MkNNQ vs k", s.label()), "k", &pts);
         all.push((s, pts));
     }
     all
@@ -554,7 +612,16 @@ pub fn fig18(cfg: &ExpConfig) -> Vec<(Scenario, Vec<SweepPoint>)> {
                     objects, metric, ..
                 } => {
                     let mut batch = Vec::new();
-                    knn_sweep(&kinds, objects, metric, s, &[harness::DEFAULT_K], l, cfg, &mut batch);
+                    knn_sweep(
+                        &kinds,
+                        objects,
+                        metric,
+                        s,
+                        &[harness::DEFAULT_K],
+                        l,
+                        cfg,
+                        &mut batch,
+                    );
                     for mut p in batch {
                         p.x = l as f64;
                         pts.push(p);
@@ -564,7 +631,16 @@ pub fn fig18(cfg: &ExpConfig) -> Vec<(Scenario, Vec<SweepPoint>)> {
                     objects, metric, ..
                 } => {
                     let mut batch = Vec::new();
-                    knn_sweep(&kinds, objects, metric, s, &[harness::DEFAULT_K], l, cfg, &mut batch);
+                    knn_sweep(
+                        &kinds,
+                        objects,
+                        metric,
+                        s,
+                        &[harness::DEFAULT_K],
+                        l,
+                        cfg,
+                        &mut batch,
+                    );
                     for mut p in batch {
                         p.x = l as f64;
                         pts.push(p);
@@ -573,7 +649,11 @@ pub fn fig18(cfg: &ExpConfig) -> Vec<(Scenario, Vec<SweepPoint>)> {
             }
         }
         print_sweep(
-            &format!("Figure 18 [{}]: MkNNQ vs |P| (k = {})", s.label(), harness::DEFAULT_K),
+            &format!(
+                "Figure 18 [{}]: MkNNQ vs |P| (k = {})",
+                s.label(),
+                harness::DEFAULT_K
+            ),
             "|P|",
             &pts,
         );

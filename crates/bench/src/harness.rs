@@ -113,7 +113,14 @@ where
     M: Metric<O> + Clone + 'static,
 {
     let start = Instant::now();
-    let idx = build_index(kind, objects.to_vec(), metric.clone(), pivots.to_vec(), opts).ok()?;
+    let idx = build_index(
+        kind,
+        objects.to_vec(),
+        metric.clone(),
+        pivots.to_vec(),
+        opts,
+    )
+    .ok()?;
     let secs = start.elapsed().as_secs_f64();
     let c = idx.counters();
     let s = idx.storage();
@@ -155,7 +162,12 @@ pub fn run_mrq<O>(idx: &dyn MetricIndex<O>, objects: &[O], queries: &[usize], r:
 }
 
 /// Runs a batch of kNN queries and averages the costs.
-pub fn run_knn<O>(idx: &dyn MetricIndex<O>, objects: &[O], queries: &[usize], k: usize) -> QueryCost {
+pub fn run_knn<O>(
+    idx: &dyn MetricIndex<O>,
+    objects: &[O],
+    queries: &[usize],
+    k: usize,
+) -> QueryCost {
     idx.reset_counters();
     let mut results = 0usize;
     let start = Instant::now();
@@ -175,11 +187,7 @@ pub fn run_knn<O>(idx: &dyn MetricIndex<O>, objects: &[O], queries: &[usize], k:
 
 /// Table 6's update operation: delete a specific object, then insert it
 /// back; averaged over `ops` objects.
-pub fn run_updates<O: Clone>(
-    idx: &mut dyn MetricIndex<O>,
-    ops: usize,
-    seed: u64,
-) -> UpdateCost {
+pub fn run_updates<O: Clone>(idx: &mut dyn MetricIndex<O>, ops: usize, seed: u64) -> UpdateCost {
     let n = idx.len();
     let mut rng = StdRng::seed_from_u64(seed ^ 0x55);
     let ids: Vec<ObjId> = (0..ops.min(n))

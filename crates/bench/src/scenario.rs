@@ -2,7 +2,7 @@
 //! distance bounds (Table 2), at harness scale.
 
 use pmi::datasets;
-use pmi::{EditDistance, L1, L2, LInf};
+use pmi::{EditDistance, LInf, L1, L2};
 
 /// One of the paper's datasets.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,8 +40,8 @@ impl Scenario {
     /// paper's Table 2 MaxD column.
     pub fn d_plus(&self) -> f64 {
         match self {
-            Scenario::La => 14143.0,                       // √2 · 10⁴
-            Scenario::Words => 34.0,                       // longest word
+            Scenario::La => 14143.0, // √2 · 10⁴
+            Scenario::Words => 34.0, // longest word
             Scenario::Color => 510.0 * datasets::COLOR_DIM as f64,
             Scenario::Synthetic => 10000.0,
         }

@@ -203,10 +203,7 @@ impl<K: Key, V: Val, S: Summarizer<K>> BpTree<K, V, S> {
                     let old_min = self.subtree_min_key(root);
                     let old_summary = self.subtree_summary(root);
                     let new_root = self.alloc_page();
-                    self.write_internal(
-                        new_root,
-                        &[(old_min, root, old_summary), (rk, rpid, rs)],
-                    );
+                    self.write_internal(new_root, &[(old_min, root, old_summary), (rk, rpid, rs)]);
                     self.root = Some(new_root);
                     self.height += 1;
                 }
@@ -397,6 +394,7 @@ impl<K: Key, V: Val, S: Summarizer<K>> BpTree<K, V, S> {
     }
 
     /// Returns `(subtree summary, split)`; `split` is the new right sibling.
+    #[allow(clippy::type_complexity)]
     fn insert_rec(
         &mut self,
         pid: PageId,
@@ -416,10 +414,7 @@ impl<K: Key, V: Val, S: Summarizer<K>> BpTree<K, V, S> {
                     self.write_leaf(rpid, &right, next);
                     self.write_leaf(pid, &entries, Some(rpid));
                     let rs = self.leaf_summary(&right);
-                    (
-                        self.leaf_summary(&entries),
-                        Some((right[0].0, rpid, rs)),
-                    )
+                    (self.leaf_summary(&entries), Some((right[0].0, rpid, rs)))
                 }
             }
             NodeView::Internal { mut entries } => {
@@ -456,8 +451,7 @@ impl<K: Key, V: Val, S: Summarizer<K>> BpTree<K, V, S> {
     fn remove_rec(&mut self, pid: PageId, k: K, v: V) -> (bool, Option<S::Summary>, bool) {
         match self.read_node(pid) {
             NodeView::Leaf { mut entries, next } => {
-                let Some(pos) = entries.iter().position(|(ek, ev)| *ek == k && *ev == v)
-                else {
+                let Some(pos) = entries.iter().position(|(ek, ev)| *ek == k && *ev == v) else {
                     return (false, None, false);
                 };
                 entries.remove(pos);

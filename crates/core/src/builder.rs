@@ -266,13 +266,9 @@ where
         )),
         IndexKind::PmTree => Box::new(PmTree::build(objects, metric, pivots, disk)),
         IndexKind::OmniSeq => Box::new(OmniSeqFile::build(objects, metric, pivots, disk)),
-        IndexKind::OmniBPlus => Box::new(OmniBPlus::build(
-            objects,
-            metric,
-            pivots,
-            disk,
-            opts.d_plus,
-        )),
+        IndexKind::OmniBPlus => {
+            Box::new(OmniBPlus::build(objects, metric, pivots, disk, opts.d_plus))
+        }
         IndexKind::OmniR => Box::new(OmniRTree::build(objects, metric, pivots, disk)),
         IndexKind::MIndex | IndexKind::MIndexStar => {
             if pivots.len() < 2 {
@@ -322,7 +318,7 @@ where
 mod tests {
     use super::*;
     use pmi_metric::datasets;
-    use pmi_metric::{BruteForce, L2, LInf};
+    use pmi_metric::{BruteForce, LInf, L2};
 
     #[test]
     fn builds_every_continuous_index() {
@@ -400,7 +396,14 @@ mod tests {
         assert_eq!(
             labels,
             vec![
-                "EPT*", "CPT", "BKT", "FQT", "MVPT", "SPB-tree", "M-index*", "PM-tree",
+                "EPT*",
+                "CPT",
+                "BKT",
+                "FQT",
+                "MVPT",
+                "SPB-tree",
+                "M-index*",
+                "PM-tree",
                 "OmniR-tree"
             ]
         );

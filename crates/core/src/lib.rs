@@ -35,17 +35,57 @@
 //! let c = index.counters();
 //! assert!(c.compdists > 0);
 //! ```
+//!
+//! # Serving batches with the sharded engine
+//!
+//! The [`engine`] module (crate `pmi-engine`) turns any of the indexes into
+//! a concurrent query-serving tier: the dataset is partitioned round-robin
+//! across `P` shards, each backed by its own index, and batches of mixed
+//! range/kNN queries execute on a scoped-thread worker pool with per-shard
+//! results merged per query (set union for range, a bounded binary heap for
+//! the global top-k). Cost counters aggregate exactly across shards.
+//!
+//! ```
+//! use pmi::{build_sharded_vector_engine, BuildOptions, EngineConfig, IndexKind, Query};
+//!
+//! let objects = pmi::datasets::la(2_000, 42);
+//! let engine = build_sharded_vector_engine(
+//!     IndexKind::Mvpt,
+//!     objects.clone(),
+//!     pmi::L2,
+//!     &BuildOptions { d_plus: 14143.0, ..BuildOptions::default() },
+//!     &EngineConfig { shards: 4, threads: 2 },
+//! )
+//! .unwrap();
+//!
+//! // Submit a mixed batch; read back answers plus a ServeReport.
+//! let batch = vec![
+//!     Query::range(objects[0].clone(), 500.0),
+//!     Query::knn(objects[1].clone(), 10),
+//! ];
+//! let out = engine.serve(&batch);
+//! assert_eq!(out.results.len(), 2);
+//! assert!(out.report.qps > 0.0);
+//! assert!(out.report.cost.compdists > 0);
+//! ```
 
 pub mod builder;
+pub mod serve;
 
 pub use builder::{BuildError, BuildOptions, IndexKind};
+pub use serve::{build_sharded_engine, build_sharded_vector_engine};
+
+pub use pmi_engine as engine;
+pub use pmi_engine::{
+    BatchOutcome, EngineConfig, LatencySummary, Query, QueryResult, ServeReport, ShardedEngine,
+};
 
 pub use pmi_metric::datasets;
 pub use pmi_metric::lemmas;
 pub use pmi_metric::object;
 pub use pmi_metric::{
-    BruteForce, CountingMetric, Counters, DistanceCounter, EditDistance, EncodeObject, L1, L2,
-    LInf, Lp, Metric, MetricIndex, Neighbor, ObjId, ObjTable, StorageFootprint, Vector,
+    BruteForce, Counters, CountingMetric, DistanceCounter, EditDistance, EncodeObject, LInf, Lp,
+    Metric, MetricIndex, Neighbor, ObjId, ObjTable, StorageFootprint, Vector, L1, L2,
 };
 
 pub use pmi_pivots as pivots;

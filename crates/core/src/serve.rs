@@ -1,0 +1,132 @@
+//! Convenience constructors wiring [`builder`](crate::builder) into the
+//! sharded serving engine (`pmi-engine`, re-exported as [`crate::engine`]).
+//!
+//! The engine itself is index-agnostic — it takes a shard factory. These
+//! helpers close the loop for the common case: "shard this dataset across
+//! `P` partitions, each backed by `IndexKind` X built with the paper's
+//! shared parameters".
+
+use crate::builder::{build_index, BuildError, BuildOptions, IndexKind};
+use pmi_engine::{EngineConfig, ShardedEngine};
+use pmi_metric::{EncodeObject, Metric};
+
+/// Builds a sharded engine whose shards are all `kind` indexes built with
+/// `opts`, sharing the caller-provided pivot set (the paper's equal-footing
+/// setup: pass one HFI set and every shard uses it).
+pub fn build_sharded_engine<O, M>(
+    kind: IndexKind,
+    objects: Vec<O>,
+    metric: M,
+    pivots: Vec<O>,
+    opts: &BuildOptions,
+    cfg: &EngineConfig,
+) -> Result<ShardedEngine<O>, BuildError>
+where
+    O: Clone + EncodeObject + Send + Sync + 'static,
+    M: Metric<O> + Clone + 'static,
+{
+    ShardedEngine::build_with(objects, cfg, |_, part| {
+        build_index(kind, part, metric.clone(), pivots.clone(), opts)
+    })
+}
+
+/// Vector-dataset convenience: selects one shared HFI pivot set over the
+/// *full* dataset (so shards stay on equal footing with an unsharded
+/// build), then shards.
+pub fn build_sharded_vector_engine<M>(
+    kind: IndexKind,
+    objects: Vec<Vec<f32>>,
+    metric: M,
+    opts: &BuildOptions,
+    cfg: &EngineConfig,
+) -> Result<ShardedEngine<Vec<f32>>, BuildError>
+where
+    M: Metric<Vec<f32>> + Clone + 'static,
+{
+    let ids = pmi_pivots::select_hfi(&objects, &metric, opts.num_pivots, opts.seed);
+    let pivots = ids.into_iter().map(|i| objects[i].clone()).collect();
+    build_sharded_engine(kind, objects, metric, pivots, opts, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmi_engine::Query;
+    use pmi_metric::{datasets, BruteForce, MetricIndex, L2};
+
+    #[test]
+    fn sharded_laesa_matches_oracle() {
+        let pts = datasets::la(400, 11);
+        let opts = BuildOptions {
+            d_plus: 14143.0,
+            ..BuildOptions::default()
+        };
+        let engine = build_sharded_vector_engine(
+            IndexKind::Laesa,
+            pts.clone(),
+            L2,
+            &opts,
+            &EngineConfig {
+                shards: 4,
+                threads: 2,
+            },
+        )
+        .unwrap();
+        assert_eq!(engine.len(), 400);
+        let oracle = BruteForce::new(pts.clone(), L2);
+        let mut want = oracle.range_query(&pts[3], 800.0);
+        want.sort_unstable();
+        assert_eq!(engine.range_query(&pts[3], 800.0), want);
+    }
+
+    #[test]
+    fn build_errors_surface() {
+        let pts = datasets::la(50, 1);
+        let err = build_sharded_vector_engine(
+            IndexKind::Bkt,
+            pts,
+            L2,
+            &BuildOptions::default(),
+            &EngineConfig::default(),
+        );
+        assert!(matches!(err, Err(BuildError::RequiresDiscreteMetric(_))));
+    }
+
+    #[test]
+    fn serve_mixed_batch() {
+        let pts = datasets::la(300, 5);
+        let opts = BuildOptions {
+            d_plus: 14143.0,
+            ..BuildOptions::default()
+        };
+        let engine = build_sharded_vector_engine(
+            IndexKind::Mvpt,
+            pts.clone(),
+            L2,
+            &opts,
+            &EngineConfig {
+                shards: 3,
+                threads: 2,
+            },
+        )
+        .unwrap();
+        let batch: Vec<Query<Vec<f32>>> = (0..40)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Query::range(pts[i].clone(), 500.0)
+                } else {
+                    Query::knn(pts[i].clone(), 10)
+                }
+            })
+            .collect();
+        engine.reset_counters();
+        let out = engine.serve(&batch);
+        assert_eq!(out.results.len(), 40);
+        assert!(out.report.cost.compdists > 0);
+        assert_eq!(
+            out.report.cost.compdists,
+            engine.counters().compdists,
+            "batch delta equals total on fresh counters"
+        );
+    }
+}

@@ -1,0 +1,568 @@
+//! The sharded engine: partitioning, the scoped-thread worker pool, and
+//! batch serving with exact aggregate cost accounting.
+
+use crate::merge::{merge_range, TopK};
+use crate::query::{Query, QueryResult};
+use crate::report::{LatencySummary, ServeReport};
+use crate::shard::{partition_round_robin, Partition, Shard};
+use pmi_metric::{Counters, MetricIndex, Neighbor, ObjId, StorageFootprint};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Engine shape: how many partitions and how many worker threads.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Number of shards `P`. Clamped to `1..=n` at build time so no shard
+    /// is ever empty.
+    pub shards: usize,
+    /// Worker threads for batch serving and parallel shard builds;
+    /// `0` means one per available hardware thread.
+    pub threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            shards: 4,
+            threads: 0,
+        }
+    }
+}
+
+fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// The answers plus the measurement of one served batch.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Per-query merged results, in batch order.
+    pub results: Vec<QueryResult>,
+    /// Throughput / latency / cost measurement.
+    pub report: ServeReport,
+}
+
+/// A dataset sharded across `P` independent [`MetricIndex`]es, serving
+/// batches of mixed range / kNN queries concurrently.
+///
+/// Every query probes every shard (shards partition the data, so all hold
+/// candidates); per-shard partial answers merge into one global answer —
+/// a sorted union for range queries, a bounded-heap top-k for kNN. Because
+/// shards are disjoint and each shard's own query processing is exact, the
+/// merged answers are identical to a single unsharded index over the same
+/// data (ties at the k-th distance excepted, as the trait allows either).
+pub struct ShardedEngine<O> {
+    shards: Vec<Shard<O>>,
+    threads: usize,
+    /// Global id → (shard, local id) for live objects.
+    locator: HashMap<ObjId, (u32, ObjId)>,
+    next_id: ObjId,
+}
+
+impl<O> ShardedEngine<O> {
+    /// Builds an engine by partitioning `objects` round-robin into
+    /// `cfg.shards` parts and handing each part to `factory`, which returns
+    /// the shard's index (the `pmi` facade passes `builder::build_index`
+    /// here). Shard builds run in parallel on scoped threads when more than
+    /// one worker thread is configured — the paper's §6.2 observation that
+    /// per-object pivot distances parallelize trivially.
+    ///
+    /// The factory receives `(shard_number, partition)` and must insert the
+    /// partition in order, so that local id `i` is the `i`-th object of the
+    /// partition (every index in this workspace does).
+    pub fn build_with<E, F>(objects: Vec<O>, cfg: &EngineConfig, factory: F) -> Result<Self, E>
+    where
+        O: Send,
+        E: Send,
+        F: Fn(usize, Vec<O>) -> Result<Box<dyn MetricIndex<O>>, E> + Sync,
+    {
+        let n = objects.len();
+        let num_shards = cfg.shards.max(1).min(n.max(1));
+        let threads = resolve_threads(cfg.threads);
+        let parts = partition_round_robin(objects, num_shards);
+
+        let built: Vec<Result<Shard<O>, E>> = if threads <= 1 || num_shards == 1 {
+            parts
+                .into_iter()
+                .enumerate()
+                .map(|(s, (objs, gids))| factory(s, objs).map(|idx| Shard::new(idx, gids)))
+                .collect()
+        } else {
+            // At most `threads` concurrent builders: distribute the shard
+            // slots round-robin across worker buckets.
+            let factory = &factory;
+            let workers = threads.min(num_shards);
+            let mut buckets: Vec<Vec<(usize, Partition<O>)>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (s, part) in parts.into_iter().enumerate() {
+                buckets[s % workers].push((s, part));
+            }
+            let mut slots: Vec<Option<Result<Shard<O>, E>>> =
+                (0..num_shards).map(|_| None).collect();
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = buckets
+                    .into_iter()
+                    .map(|bucket| {
+                        scope.spawn(move |_| {
+                            bucket
+                                .into_iter()
+                                .map(|(s, (objs, gids))| {
+                                    (s, factory(s, objs).map(|idx| Shard::new(idx, gids)))
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (s, r) in h.join().expect("shard build thread panicked") {
+                        slots[s] = Some(r);
+                    }
+                }
+            })
+            .expect("shard build scope panicked");
+            slots
+                .into_iter()
+                .map(|r| r.expect("every shard slot built exactly once"))
+                .collect()
+        };
+
+        let mut shards = Vec::with_capacity(num_shards);
+        for b in built {
+            shards.push(b?);
+        }
+
+        let mut locator = HashMap::with_capacity(n);
+        for (s, shard) in shards.iter().enumerate() {
+            for local in 0..shard.len() {
+                locator.insert(shard.global_id(local as ObjId), (s as u32, local as ObjId));
+            }
+        }
+
+        Ok(ShardedEngine {
+            shards,
+            threads,
+            locator,
+            next_id: n as ObjId,
+        })
+    }
+
+    /// Total live objects across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether the engine holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards `P`.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Resolved worker thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The shards, for inspection.
+    pub fn shards(&self) -> &[Shard<O>] {
+        &self.shards
+    }
+
+    /// Aggregate cost counters: the exact sum of every shard's atomic
+    /// counters.
+    pub fn counters(&self) -> Counters {
+        self.shards
+            .iter()
+            .fold(Counters::default(), |acc, s| acc + s.counters())
+    }
+
+    /// Per-shard counter snapshots, in shard order.
+    pub fn shard_counters(&self) -> Vec<Counters> {
+        self.shards.iter().map(|s| s.counters()).collect()
+    }
+
+    /// Resets every shard's counters.
+    pub fn reset_counters(&self) {
+        for s in &self.shards {
+            s.reset_counters();
+        }
+    }
+
+    /// Aggregate storage footprint.
+    pub fn storage(&self) -> StorageFootprint {
+        self.shards
+            .iter()
+            .fold(StorageFootprint::default(), |acc, s| acc + s.storage())
+    }
+
+    /// Configures the page cache on every shard (the paper's 128 KB MkNNQ
+    /// cache, applied per shard).
+    pub fn set_page_cache(&self, bytes: usize) {
+        for s in &self.shards {
+            s.set_page_cache(bytes);
+        }
+    }
+
+    /// Inserts an object into the currently smallest shard, returning its
+    /// global id.
+    pub fn insert(&mut self, o: O) -> ObjId {
+        let (si, _) = self
+            .shards
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.len())
+            .expect("engine always has at least one shard");
+        let gid = self.next_id;
+        self.next_id += 1;
+        let local = self.shards[si].insert(o, gid);
+        self.locator.insert(gid, (si as u32, local));
+        gid
+    }
+
+    /// Removes an object by global id; returns whether it was present.
+    pub fn remove(&mut self, id: ObjId) -> bool {
+        match self.locator.remove(&id) {
+            Some((s, local)) => self.shards[s as usize].remove_local(local),
+            None => false,
+        }
+    }
+
+    /// Fetches a copy of a live object by global id.
+    pub fn get(&self, id: ObjId) -> Option<O> {
+        let (s, local) = *self.locator.get(&id)?;
+        self.shards[s as usize].get_local(local)
+    }
+
+    /// Answers one query by probing shards serially on the calling thread
+    /// (the per-worker path of [`serve`](Self::serve)).
+    pub fn execute(&self, query: &Query<O>) -> QueryResult {
+        match query {
+            Query::Range { q, radius } => QueryResult::Range(self.range_serial(q, *radius)),
+            Query::Knn { q, k } => QueryResult::Knn(self.knn_serial(q, *k).into_sorted()),
+        }
+    }
+
+    /// Probes every shard serially and merges the range union.
+    fn range_serial(&self, q: &O, radius: f64) -> Vec<ObjId> {
+        merge_range(
+            self.shards
+                .iter()
+                .map(|s| s.range_global(q, radius))
+                .collect(),
+        )
+    }
+
+    /// Probes every shard serially into one bounded top-k collector.
+    fn knn_serial(&self, q: &O, k: usize) -> TopK {
+        let mut topk = TopK::new(k);
+        for s in &self.shards {
+            s.knn_into(q, k, &mut topk);
+        }
+        topk
+    }
+}
+
+impl<O: Send + Sync> ShardedEngine<O> {
+    /// Metric range query `MRQ(q, r)`, fanned across the shards on at most
+    /// `threads` scoped worker threads (the low-latency path for a single
+    /// query). Returns global ids sorted ascending.
+    pub fn range_query(&self, q: &O, radius: f64) -> Vec<ObjId> {
+        if self.shards.len() == 1 || self.threads <= 1 {
+            return self.range_serial(q, radius);
+        }
+        let chunk = self.shards.len().div_ceil(self.threads);
+        let partials: Vec<Vec<ObjId>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .chunks(chunk)
+                .map(|group| {
+                    scope.spawn(move |_| {
+                        group
+                            .iter()
+                            .map(|s| s.range_global(q, radius))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("range worker panicked"))
+                .collect()
+        })
+        .expect("range scope panicked");
+        merge_range(partials)
+    }
+
+    /// Metric kNN query `MkNNQ(q, k)`, fanned across the shards on at most
+    /// `threads` scoped worker threads, merged through a bounded binary
+    /// heap. Sorted ascending by `(distance, global id)`.
+    pub fn knn_query(&self, q: &O, k: usize) -> Vec<Neighbor> {
+        if self.shards.len() == 1 || self.threads <= 1 {
+            return self.knn_serial(q, k).into_sorted();
+        }
+        let chunk = self.shards.len().div_ceil(self.threads);
+        let partials: Vec<Vec<Neighbor>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .chunks(chunk)
+                .map(|group| {
+                    scope.spawn(move |_| {
+                        // Each worker pre-merges its shard group, so at most
+                        // k candidates per group reach the global merge.
+                        let mut topk = TopK::new(k);
+                        for s in group {
+                            s.knn_into(q, k, &mut topk);
+                        }
+                        topk.into_sorted()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("knn worker panicked"))
+                .collect()
+        })
+        .expect("knn scope panicked");
+        let mut topk = TopK::new(k);
+        for p in partials {
+            topk.offer_all(p);
+        }
+        topk.into_sorted()
+    }
+
+    /// Serves a batch of mixed queries on the worker pool: each worker
+    /// claims queries from a shared atomic cursor, executes them against
+    /// every shard, merges, and records the per-query latency from a
+    /// monotonic clock. Returns the merged answers in batch order plus a
+    /// [`ServeReport`].
+    ///
+    /// The report's `cost` is the delta of the aggregate counters across
+    /// the batch — exact for everything this engine's shards executed in
+    /// the batch window, because every shard counts atomically. If the
+    /// caller runs *other* queries on the same engine concurrently with
+    /// this batch (another `serve`, or single-query calls from another
+    /// thread), their cost lands in the same window and is included;
+    /// serve one batch at a time for per-batch attribution.
+    pub fn serve(&self, batch: &[Query<O>]) -> BatchOutcome {
+        let workers = self.threads.min(batch.len()).max(1);
+        let before = self.counters();
+        let cursor = AtomicUsize::new(0);
+        let t0 = Instant::now();
+
+        let collected: Vec<Vec<(usize, QueryResult, u64)>> = if workers <= 1 {
+            vec![batch
+                .iter()
+                .enumerate()
+                .map(|(i, q)| {
+                    let q0 = Instant::now();
+                    let res = self.execute(q);
+                    (i, res, q0.elapsed().as_nanos() as u64)
+                })
+                .collect()]
+        } else {
+            crossbeam::thread::scope(|scope| {
+                let cursor = &cursor;
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(move |_| {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                if i >= batch.len() {
+                                    break;
+                                }
+                                let q0 = Instant::now();
+                                let res = self.execute(&batch[i]);
+                                local.push((i, res, q0.elapsed().as_nanos() as u64));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("serve worker panicked"))
+                    .collect()
+            })
+            .expect("serve scope panicked")
+        };
+
+        let wall_secs = t0.elapsed().as_secs_f64();
+        let cost = self.counters().since(&before);
+
+        let mut results: Vec<Option<QueryResult>> = (0..batch.len()).map(|_| None).collect();
+        let mut nanos = Vec::with_capacity(batch.len());
+        let mut total_results = 0usize;
+        for (i, res, ns) in collected.into_iter().flatten() {
+            total_results += res.len();
+            nanos.push(ns);
+            results[i] = Some(res);
+        }
+        let results: Vec<QueryResult> = results
+            .into_iter()
+            .map(|r| r.expect("every batch slot served exactly once"))
+            .collect();
+
+        let range_queries = batch.iter().filter(|q| q.is_range()).count();
+        let report = ServeReport {
+            queries: batch.len(),
+            range_queries,
+            knn_queries: batch.len() - range_queries,
+            total_results,
+            shards: self.shards.len(),
+            threads: workers,
+            wall_secs,
+            qps: if wall_secs > 0.0 {
+                batch.len() as f64 / wall_secs
+            } else {
+                0.0
+            },
+            latency: LatencySummary::from_nanos(nanos),
+            cost,
+        };
+        BatchOutcome { results, report }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmi_metric::{BruteForce, L2};
+
+    fn grid(n: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| vec![(i % 37) as f32, (i / 37) as f32])
+            .collect()
+    }
+
+    fn brute_factory(part: Vec<Vec<f32>>) -> Result<Box<dyn MetricIndex<Vec<f32>>>, &'static str> {
+        Ok(Box::new(BruteForce::new(part, L2)))
+    }
+
+    fn engine(n: usize, shards: usize, threads: usize) -> ShardedEngine<Vec<f32>> {
+        ShardedEngine::build_with(grid(n), &EngineConfig { shards, threads }, |_, part| {
+            brute_factory(part)
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn sharded_matches_unsharded() {
+        let objects = grid(300);
+        let single = BruteForce::new(objects.clone(), L2);
+        for shards in [1usize, 2, 4, 7] {
+            let e = engine(300, shards, 2);
+            assert_eq!(e.len(), 300);
+            assert_eq!(e.num_shards(), shards);
+            for qi in [0usize, 17, 299] {
+                let mut want = single.range_query(&objects[qi], 5.0);
+                want.sort_unstable();
+                assert_eq!(e.range_query(&objects[qi], 5.0), want, "P={shards}");
+                let want_k = single.knn_query(&objects[qi], 12);
+                let got_k = e.knn_query(&objects[qi], 12);
+                assert_eq!(got_k.len(), want_k.len());
+                for (g, w) in got_k.iter().zip(&want_k) {
+                    assert_eq!(g.id, w.id, "P={shards} qi={qi}");
+                    assert!((g.dist - w.dist).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serve_returns_batch_order_and_exact_counts() {
+        let objects = grid(200);
+        let e = engine(200, 4, 3);
+        e.reset_counters();
+        let batch: Vec<Query<Vec<f32>>> = (0..50)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Query::range(objects[i].clone(), 3.0)
+                } else {
+                    Query::knn(objects[i].clone(), 5)
+                }
+            })
+            .collect();
+        let out = e.serve(&batch);
+        assert_eq!(out.results.len(), 50);
+        assert_eq!(out.report.queries, 50);
+        assert_eq!(out.report.range_queries, 25);
+        assert_eq!(out.report.knn_queries, 25);
+        // Brute force computes n distances per query per shard; the whole
+        // dataset is scanned for every query regardless of sharding.
+        assert_eq!(out.report.cost.compdists, 50 * 200);
+        // Aggregate equals the sum of shard counters.
+        let sum: u64 = e.shard_counters().iter().map(|c| c.compdists).sum();
+        assert_eq!(e.counters().compdists, sum);
+        assert_eq!(sum, 50 * 200);
+        // kNN answers carry k neighbors each.
+        for (i, r) in out.results.iter().enumerate() {
+            match r {
+                QueryResult::Range(ids) => {
+                    assert!(ids.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+                    assert!(ids.contains(&(i as u32)), "query object is a hit");
+                }
+                QueryResult::Knn(ns) => {
+                    assert_eq!(ns.len(), 5);
+                    assert_eq!(ns[0].id, i as u32);
+                    assert!(ns.windows(2).all(|w| w[0] <= w[1]));
+                }
+            }
+        }
+        assert!(out.report.qps > 0.0);
+        assert!(out.report.latency.max_secs >= out.report.latency.p50_secs);
+    }
+
+    #[test]
+    fn updates_preserve_global_ids() {
+        let mut e = engine(20, 3, 1);
+        let o = e.get(7).expect("live object");
+        assert!(e.remove(7));
+        assert!(!e.remove(7));
+        assert_eq!(e.len(), 19);
+        assert!(!e.range_query(&o, 0.0).contains(&7));
+        let gid = e.insert(o.clone());
+        assert_eq!(gid, 20);
+        assert!(e.range_query(&o, 0.0).contains(&gid));
+        assert_eq!(e.get(gid), Some(o));
+    }
+
+    #[test]
+    fn shard_clamp_and_empty_batch() {
+        let e = engine(3, 8, 2);
+        assert_eq!(e.num_shards(), 3, "shards clamp to n");
+        let out = e.serve(&[]);
+        assert_eq!(out.results.len(), 0);
+        assert_eq!(out.report.queries, 0);
+        assert_eq!(out.report.latency, LatencySummary::default());
+    }
+
+    #[test]
+    fn build_error_propagates() {
+        let r: Result<ShardedEngine<Vec<f32>>, &str> = ShardedEngine::build_with(
+            grid(10),
+            &EngineConfig {
+                shards: 2,
+                threads: 1,
+            },
+            |s, part| {
+                if s == 1 {
+                    Err("nope")
+                } else {
+                    brute_factory(part)
+                }
+            },
+        );
+        assert_eq!(r.err(), Some("nope"));
+    }
+}

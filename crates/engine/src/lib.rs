@@ -1,0 +1,62 @@
+//! `pmi-engine` — a sharded, concurrent batch query-serving engine over
+//! pivot-based metric indexes.
+//!
+//! The paper (§6.2) observes that pivot-distance work parallelizes
+//! naturally because objects are independent of each other. This crate
+//! extends that observation from index *construction* to query *serving*:
+//!
+//! * [`ShardedEngine`] partitions a dataset round-robin across `P`
+//!   independent shards, each backed by any [`MetricIndex`] implementation
+//!   (a shard factory closure decides which — the `pmi` facade wires its
+//!   `builder` module in, so every index of the paper can serve),
+//! * batches of mixed range / kNN queries ([`Query`]) execute on a
+//!   crossbeam scoped-thread worker pool ([`ShardedEngine::serve`]), with
+//!   per-shard partial results merged per query — a set union for range
+//!   queries, a bounded binary heap ([`merge::TopK`]) for the global top-k,
+//! * the paper's cost model aggregates exactly: every shard counts
+//!   `compdists` and page accesses through atomic counters, and the engine
+//!   sums the per-shard [`Counters`] snapshots,
+//! * every served batch produces a [`ServeReport`] — throughput,
+//!   monotonic-clock latency percentiles, and aggregate counters — so
+//!   benches and examples can measure QPS directly.
+//!
+//! Shard-level parallelism is also available per query:
+//! [`ShardedEngine::range_query`] and [`ShardedEngine::knn_query`] fan a
+//! single query across all shards on scoped threads and merge, which is the
+//! low-latency path for one-off queries.
+//!
+//! # Example
+//!
+//! ```
+//! use pmi_engine::{EngineConfig, Query, ShardedEngine};
+//! use pmi_metric::{BruteForce, MetricIndex, L2};
+//!
+//! let objects: Vec<Vec<f32>> = (0..1000)
+//!     .map(|i| vec![(i % 97) as f32, (i % 31) as f32])
+//!     .collect();
+//! let cfg = EngineConfig { shards: 4, threads: 2 };
+//! let engine = ShardedEngine::build_with(objects.clone(), &cfg, |_, part| {
+//!     Ok::<_, String>(Box::new(BruteForce::new(part, L2)) as Box<dyn MetricIndex<_>>)
+//! })
+//! .unwrap();
+//!
+//! let batch = vec![
+//!     Query::range(objects[0].clone(), 5.0),
+//!     Query::knn(objects[1].clone(), 10),
+//! ];
+//! let outcome = engine.serve(&batch);
+//! assert_eq!(outcome.results.len(), 2);
+//! assert!(outcome.report.cost.compdists > 0);
+//! ```
+
+pub mod engine;
+pub mod merge;
+pub mod query;
+pub mod report;
+pub mod shard;
+
+pub use engine::{BatchOutcome, EngineConfig, ShardedEngine};
+pub use merge::TopK;
+pub use query::{Query, QueryResult};
+pub use report::{LatencySummary, ServeReport};
+pub use shard::Shard;

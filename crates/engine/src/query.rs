@@ -1,0 +1,81 @@
+//! Batch query and result types.
+
+use pmi_metric::{Neighbor, ObjId};
+
+/// One query of a served batch: either of the paper's two query types
+/// (Definitions 1 and 2), carrying its own query object.
+#[derive(Clone, Debug)]
+pub enum Query<O> {
+    /// Metric range query `MRQ(q, r)`.
+    Range {
+        /// Query object.
+        q: O,
+        /// Search radius.
+        radius: f64,
+    },
+    /// Metric k-nearest-neighbor query `MkNNQ(q, k)`.
+    Knn {
+        /// Query object.
+        q: O,
+        /// Number of neighbors.
+        k: usize,
+    },
+}
+
+impl<O> Query<O> {
+    /// A range query.
+    pub fn range(q: O, radius: f64) -> Self {
+        Query::Range { q, radius }
+    }
+
+    /// A kNN query.
+    pub fn knn(q: O, k: usize) -> Self {
+        Query::Knn { q, k }
+    }
+
+    /// Whether this is a range query.
+    pub fn is_range(&self) -> bool {
+        matches!(self, Query::Range { .. })
+    }
+}
+
+/// The merged, global answer to one [`Query`]. All ids are global dataset
+/// ids (positions in the engine's build input), not shard-local ids.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryResult {
+    /// Range answer: global ids sorted ascending.
+    Range(Vec<ObjId>),
+    /// kNN answer: sorted by `(distance, global id)` ascending.
+    Knn(Vec<Neighbor>),
+}
+
+impl QueryResult {
+    /// Number of result objects.
+    pub fn len(&self) -> usize {
+        match self {
+            QueryResult::Range(v) => v.len(),
+            QueryResult::Knn(v) => v.len(),
+        }
+    }
+
+    /// Whether the result set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The range ids, if this is a range result.
+    pub fn as_range(&self) -> Option<&[ObjId]> {
+        match self {
+            QueryResult::Range(v) => Some(v),
+            QueryResult::Knn(_) => None,
+        }
+    }
+
+    /// The neighbors, if this is a kNN result.
+    pub fn as_knn(&self) -> Option<&[Neighbor]> {
+        match self {
+            QueryResult::Range(_) => None,
+            QueryResult::Knn(v) => Some(v),
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Serving metrics: throughput, latency percentiles, aggregate cost.
+
+use pmi_metric::Counters;
+
+/// Latency distribution of a served batch, from a monotonic clock
+/// (`std::time::Instant`), in seconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Arithmetic mean.
+    pub mean_secs: f64,
+    /// Median (50th percentile).
+    pub p50_secs: f64,
+    /// 90th percentile.
+    pub p90_secs: f64,
+    /// 99th percentile.
+    pub p99_secs: f64,
+    /// Worst observed latency.
+    pub max_secs: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes per-query latencies given in nanoseconds. Uses the
+    /// nearest-rank method; an empty input yields all zeros.
+    pub fn from_nanos(mut nanos: Vec<u64>) -> Self {
+        if nanos.is_empty() {
+            return LatencySummary::default();
+        }
+        nanos.sort_unstable();
+        let n = nanos.len();
+        let pick = |p: f64| -> f64 {
+            let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+            nanos[rank - 1] as f64 * 1e-9
+        };
+        let sum: u128 = nanos.iter().map(|&x| x as u128).sum();
+        LatencySummary {
+            mean_secs: sum as f64 * 1e-9 / n as f64,
+            p50_secs: pick(0.50),
+            p90_secs: pick(0.90),
+            p99_secs: pick(0.99),
+            max_secs: nanos[n - 1] as f64 * 1e-9,
+        }
+    }
+}
+
+/// What a call to [`ShardedEngine::serve`](crate::ShardedEngine::serve)
+/// measured: batch shape, wall-clock throughput, latency percentiles, and
+/// the paper's cost metrics aggregated across every shard.
+#[derive(Clone, Debug, Default)]
+pub struct ServeReport {
+    /// Total queries in the batch.
+    pub queries: usize,
+    /// How many were range queries.
+    pub range_queries: usize,
+    /// How many were kNN queries.
+    pub knn_queries: usize,
+    /// Total result objects returned across the batch.
+    pub total_results: usize,
+    /// Number of shards probed per query.
+    pub shards: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock duration of the whole batch, seconds.
+    pub wall_secs: f64,
+    /// Queries per second (`queries / wall_secs`).
+    pub qps: f64,
+    /// Per-query latency distribution.
+    pub latency: LatencySummary,
+    /// Aggregate cost of the batch: the sum over shards of the per-shard
+    /// counter deltas (`compdists`, page reads/writes). Exact — every shard
+    /// counts through atomic counters.
+    pub cost: Counters,
+}
+
+impl std::fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} queries ({} range, {} kNN) on {} shard(s) x {} thread(s)",
+            self.queries, self.range_queries, self.knn_queries, self.shards, self.threads
+        )?;
+        writeln!(
+            f,
+            "  wall {:.4}s  throughput {:.0} q/s  results {}",
+            self.wall_secs, self.qps, self.total_results
+        )?;
+        writeln!(
+            f,
+            "  latency mean {:.1}us  p50 {:.1}us  p90 {:.1}us  p99 {:.1}us  max {:.1}us",
+            self.latency.mean_secs * 1e6,
+            self.latency.p50_secs * 1e6,
+            self.latency.p90_secs * 1e6,
+            self.latency.p99_secs * 1e6,
+            self.latency.max_secs * 1e6
+        )?;
+        write!(
+            f,
+            "  cost: {} compdists, {} page accesses",
+            self.cost.compdists,
+            self.cost.page_accesses()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_latencies_are_zero() {
+        let s = LatencySummary::from_nanos(Vec::new());
+        assert_eq!(s, LatencySummary::default());
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        // 1..=100 microseconds.
+        let nanos: Vec<u64> = (1..=100).map(|i| i * 1_000).collect();
+        let s = LatencySummary::from_nanos(nanos);
+        assert!((s.p50_secs - 50e-6).abs() < 1e-12);
+        assert!((s.p90_secs - 90e-6).abs() < 1e-12);
+        assert!((s.p99_secs - 99e-6).abs() < 1e-12);
+        assert!((s.max_secs - 100e-6).abs() < 1e-12);
+        assert!((s.mean_secs - 50.5e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = LatencySummary::from_nanos(vec![2_000]);
+        assert!((s.p50_secs - 2e-6).abs() < 1e-12);
+        assert!((s.p99_secs - 2e-6).abs() < 1e-12);
+        assert!((s.max_secs - 2e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_displays() {
+        let r = ServeReport {
+            queries: 10,
+            range_queries: 4,
+            knn_queries: 6,
+            shards: 2,
+            threads: 3,
+            wall_secs: 0.5,
+            qps: 20.0,
+            ..ServeReport::default()
+        };
+        let s = format!("{r}");
+        assert!(s.contains("10 queries"));
+        assert!(s.contains("2 shard"));
+    }
+}

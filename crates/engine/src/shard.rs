@@ -1,0 +1,188 @@
+//! One partition of a sharded dataset: an index plus the local→global id
+//! mapping.
+
+use crate::merge::TopK;
+use pmi_metric::{Counters, MetricIndex, Neighbor, ObjId, StorageFootprint};
+
+/// One shard: any [`MetricIndex`] over a disjoint partition of the dataset,
+/// plus the mapping from the index's local object ids back to global
+/// dataset ids.
+///
+/// Local ids are whatever the wrapped index assigned at insertion time
+/// (positions in its object table); the shard records the global id for
+/// each local slot so merged answers always speak global ids.
+pub struct Shard<O> {
+    index: Box<dyn MetricIndex<O>>,
+    /// Local id → global id. Slots keep their last value after a removal;
+    /// they are overwritten if the index reuses the local id.
+    global_ids: Vec<ObjId>,
+}
+
+impl<O> Shard<O> {
+    /// Wraps a freshly built index whose insertion order matched
+    /// `global_ids` (i.e. local id `i` holds the object with global id
+    /// `global_ids[i]`).
+    pub fn new(index: Box<dyn MetricIndex<O>>, global_ids: Vec<ObjId>) -> Self {
+        debug_assert_eq!(index.len(), global_ids.len());
+        Shard { index, global_ids }
+    }
+
+    /// Number of live objects in this shard.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The wrapped index (for name / storage inspection).
+    pub fn index(&self) -> &dyn MetricIndex<O> {
+        self.index.as_ref()
+    }
+
+    /// Translates a local id to its global id.
+    #[inline]
+    pub fn global_id(&self, local: ObjId) -> ObjId {
+        self.global_ids[local as usize]
+    }
+
+    /// Range query answered in global ids (unsorted).
+    pub fn range_global(&self, q: &O, radius: f64) -> Vec<ObjId> {
+        self.index
+            .range_query(q, radius)
+            .into_iter()
+            .map(|local| self.global_id(local))
+            .collect()
+    }
+
+    /// Local top-k offered into a global [`TopK`] collector.
+    pub fn knn_into(&self, q: &O, k: usize, topk: &mut TopK) {
+        for n in self.index.knn_query(q, k) {
+            topk.offer(Neighbor::new(self.global_id(n.id), n.dist));
+        }
+    }
+
+    /// Inserts an object carrying a global id; records the mapping.
+    pub fn insert(&mut self, o: O, global: ObjId) -> ObjId {
+        let local = self.index.insert(o);
+        let slot = local as usize;
+        if slot == self.global_ids.len() {
+            self.global_ids.push(global);
+        } else if slot < self.global_ids.len() {
+            self.global_ids[slot] = global;
+        } else {
+            self.global_ids.resize(slot + 1, ObjId::MAX);
+            self.global_ids[slot] = global;
+        }
+        local
+    }
+
+    /// Removes by local id.
+    pub fn remove_local(&mut self, local: ObjId) -> bool {
+        self.index.remove(local)
+    }
+
+    /// Fetches a copy of a live object by local id.
+    pub fn get_local(&self, local: ObjId) -> Option<O> {
+        self.index.get(local)
+    }
+
+    /// Cost counter snapshot of the wrapped index.
+    pub fn counters(&self) -> Counters {
+        self.index.counters()
+    }
+
+    /// Resets the wrapped index's counters.
+    pub fn reset_counters(&self) {
+        self.index.reset_counters()
+    }
+
+    /// Storage footprint of the wrapped index.
+    pub fn storage(&self) -> StorageFootprint {
+        self.index.storage()
+    }
+
+    /// Forwards the page-cache knob to the wrapped index.
+    pub fn set_page_cache(&self, bytes: usize) {
+        self.index.set_page_cache(bytes)
+    }
+}
+
+/// One partition awaiting its index: the objects plus their global ids.
+pub type Partition<O> = (Vec<O>, Vec<ObjId>);
+
+/// Splits `objects` round-robin into `shards` partitions, returning each
+/// partition together with the global ids of its objects (the positions in
+/// the input vector).
+pub fn partition_round_robin<O>(objects: Vec<O>, shards: usize) -> Vec<Partition<O>> {
+    let shards = shards.max(1);
+    let n = objects.len();
+    let mut parts: Vec<Partition<O>> = (0..shards)
+        .map(|s| {
+            let cap = n / shards + usize::from(s < n % shards);
+            (Vec::with_capacity(cap), Vec::with_capacity(cap))
+        })
+        .collect();
+    for (i, o) in objects.into_iter().enumerate() {
+        let s = i % shards;
+        parts[s].0.push(o);
+        parts[s].1.push(i as ObjId);
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmi_metric::{BruteForce, L2};
+
+    #[test]
+    fn round_robin_covers_everything_disjointly() {
+        let objects: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32]).collect();
+        let parts = partition_round_robin(objects, 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].1, vec![0, 3, 6, 9]);
+        assert_eq!(parts[1].1, vec![1, 4, 7]);
+        assert_eq!(parts[2].1, vec![2, 5, 8]);
+        let mut all: Vec<u32> = parts.iter().flat_map(|(_, ids)| ids.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_shards_than_objects() {
+        let objects: Vec<Vec<f32>> = (0..2).map(|i| vec![i as f32]).collect();
+        let parts = partition_round_robin(objects, 5);
+        assert_eq!(parts.len(), 5);
+        assert_eq!(parts.iter().map(|(o, _)| o.len()).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn shard_speaks_global_ids() {
+        // Shard holds objects with global ids 4, 9, 14.
+        let objs = vec![vec![0.0f32], vec![10.0], vec![20.0]];
+        let idx = Box::new(BruteForce::new(objs.clone(), L2));
+        let shard = Shard::new(idx as Box<dyn MetricIndex<_>>, vec![4, 9, 14]);
+        let mut hits = shard.range_global(&vec![0.0f32], 10.5);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![4, 9]);
+        let mut topk = TopK::new(2);
+        shard.knn_into(&vec![21.0f32], 2, &mut topk);
+        let got = topk.into_sorted();
+        assert_eq!(got[0].id, 14);
+        assert_eq!(got[1].id, 9);
+    }
+
+    #[test]
+    fn insert_extends_mapping() {
+        let idx = Box::new(BruteForce::new(vec![vec![0.0f32]], L2));
+        let mut shard = Shard::new(idx as Box<dyn MetricIndex<_>>, vec![7]);
+        shard.insert(vec![5.0f32], 42);
+        assert_eq!(shard.len(), 2);
+        let mut hits = shard.range_global(&vec![5.0f32], 0.1);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![42]);
+    }
+}

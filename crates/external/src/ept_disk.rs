@@ -10,8 +10,7 @@
 //! the trade the conclusion asks for.
 
 use pmi_metric::{
-    CountingMetric, Counters, EncodeObject, Metric, MetricIndex, Neighbor, ObjId,
-    StorageFootprint,
+    Counters, CountingMetric, EncodeObject, Metric, MetricIndex, Neighbor, ObjId, StorageFootprint,
 };
 use pmi_pivots::PsaSelector;
 use pmi_storage::{DiskSim, PageId, Raf};
@@ -336,7 +335,12 @@ mod tests {
 
     fn build(n: usize) -> (Vec<Vec<f32>>, EptDisk<Vec<f32>, L2>) {
         let pts = datasets::la(n, 111);
-        let idx = EptDisk::build(pts.clone(), L2, DiskSim::new(1024), EptDiskConfig::default());
+        let idx = EptDisk::build(
+            pts.clone(),
+            L2,
+            DiskSim::new(1024),
+            EptDiskConfig::default(),
+        );
         (pts, idx)
     }
 
@@ -368,7 +372,12 @@ mod tests {
     fn construction_is_cheaper_than_ept_star() {
         // The future-work goal: EPT* pruning at a fraction of the build cost.
         let pts = datasets::la(400, 113);
-        let disk_idx = EptDisk::build(pts.clone(), L2, DiskSim::new(1024), EptDiskConfig::default());
+        let disk_idx = EptDisk::build(
+            pts.clone(),
+            L2,
+            DiskSim::new(1024),
+            EptDiskConfig::default(),
+        );
         let star = pmi_tables::Ept::build(
             pts.clone(),
             L2,

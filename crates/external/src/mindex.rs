@@ -17,7 +17,7 @@
 use pmi_bptree::{BpTree, F64Key, NoSummary};
 use pmi_metric::object::{decode_f64s, encode_f64s};
 use pmi_metric::{
-    lemmas, CountingMetric, Counters, EncodeObject, Metric, MetricIndex, Neighbor, ObjId,
+    lemmas, Counters, CountingMetric, EncodeObject, Metric, MetricIndex, Neighbor, ObjId,
     StorageFootprint,
 };
 use pmi_storage::{DiskSim, Raf};
@@ -98,7 +98,13 @@ where
     M: Metric<O>,
 {
     /// Builds the index; `cfg.starred` selects M-index*.
-    pub fn build(objects: Vec<O>, metric: M, pivots: Vec<O>, disk: DiskSim, cfg: MIndexConfig) -> Self {
+    pub fn build(
+        objects: Vec<O>,
+        metric: M,
+        pivots: Vec<O>,
+        disk: DiskSim,
+        cfg: MIndexConfig,
+    ) -> Self {
         assert!(pivots.len() >= 2, "hyperplane partitioning needs 2+ pivots");
         let l = pivots.len();
         let mut idx = MIndex {

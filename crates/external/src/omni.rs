@@ -12,8 +12,7 @@
 use pmi_bptree::{BpTree, F64Key, NoSummary};
 use pmi_metric::lemmas;
 use pmi_metric::{
-    CountingMetric, Counters, EncodeObject, Metric, MetricIndex, Neighbor, ObjId,
-    StorageFootprint,
+    Counters, CountingMetric, EncodeObject, Metric, MetricIndex, Neighbor, ObjId, StorageFootprint,
 };
 use pmi_rtree::{Mbb, NodeView, RTree};
 use pmi_storage::{DiskSim, PageId, Raf};
@@ -719,7 +718,13 @@ mod tests {
     #[test]
     fn bplus_correct() {
         let pts = datasets::la(300, 72);
-        let idx = OmniBPlus::build(pts.clone(), L2, pivots(&pts, 4), DiskSim::new(1024), 14143.0);
+        let idx = OmniBPlus::build(
+            pts.clone(),
+            L2,
+            pivots(&pts, 4),
+            DiskSim::new(1024),
+            14143.0,
+        );
         check_range(&idx, &pts, 600.0);
         check_knn(&idx, &pts, 10);
     }
@@ -757,11 +762,7 @@ mod tests {
         let mut seq = OmniSeqFile::build(pts.clone(), L2, pv.clone(), DiskSim::new(1024));
         let mut bp = OmniBPlus::build(pts.clone(), L2, pv.clone(), DiskSim::new(1024), 14143.0);
         let mut rt = OmniRTree::build(pts.clone(), L2, pv, DiskSim::new(1024));
-        for idx in [
-            &mut seq as &mut dyn MetricIndex<Vec<f32>>,
-            &mut bp,
-            &mut rt,
-        ] {
+        for idx in [&mut seq as &mut dyn MetricIndex<Vec<f32>>, &mut bp, &mut rt] {
             let o = idx.get(9).unwrap();
             assert!(idx.remove(9), "{}", idx.name());
             assert!(!idx.remove(9), "{}", idx.name());

@@ -9,8 +9,7 @@
 //! utilization on Color/Words (§6.5.2).
 
 use pmi_metric::{
-    CountingMetric, Counters, EncodeObject, Metric, MetricIndex, Neighbor, ObjId,
-    StorageFootprint,
+    Counters, CountingMetric, EncodeObject, Metric, MetricIndex, Neighbor, ObjId, StorageFootprint,
 };
 use pmi_mtree::MTree;
 use pmi_storage::DiskSim;

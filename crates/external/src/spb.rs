@@ -11,7 +11,7 @@
 
 use pmi_bptree::{BpTree, NodeView, Summarizer};
 use pmi_metric::{
-    lemmas, CountingMetric, Counters, EncodeObject, Metric, MetricIndex, Neighbor, ObjId,
+    lemmas, Counters, CountingMetric, EncodeObject, Metric, MetricIndex, Neighbor, ObjId,
     StorageFootprint,
 };
 use pmi_storage::sfc::Hilbert;
@@ -77,7 +77,9 @@ impl Summarizer<u128> for CellMbb {
         let mut lo = Vec::with_capacity(d);
         let mut hi = Vec::with_capacity(d);
         for i in 0..d {
-            lo.push(u32::from_le_bytes(buf[4 * i..4 * i + 4].try_into().unwrap()));
+            lo.push(u32::from_le_bytes(
+                buf[4 * i..4 * i + 4].try_into().unwrap(),
+            ));
         }
         for i in 0..d {
             hi.push(u32::from_le_bytes(
@@ -106,7 +108,13 @@ where
     M: Metric<O>,
 {
     /// Builds an SPB-tree (bulk-loads the B+-tree in SFC order).
-    pub fn build(objects: Vec<O>, metric: M, pivots: Vec<O>, disk: DiskSim, cfg: SpbConfig) -> Self {
+    pub fn build(
+        objects: Vec<O>,
+        metric: M,
+        pivots: Vec<O>,
+        disk: DiskSim,
+        cfg: SpbConfig,
+    ) -> Self {
         assert!(!pivots.is_empty(), "SPB-tree needs pivots");
         let hilbert = Hilbert::new(pivots.len(), cfg.bits);
         let metric = CountingMetric::new(metric);
@@ -130,8 +138,14 @@ where
             entries.push((key, id));
             raf.append(id as u64, &o.encode());
         }
-        entries.sort_by(|a, b| a.0.cmp(&b.0));
-        tmp.btree = BpTree::bulk_load(disk, CellMbb { hilbert: tmp.hilbert }, &entries);
+        entries.sort_by_key(|a| a.0);
+        tmp.btree = BpTree::bulk_load(
+            disk,
+            CellMbb {
+                hilbert: tmp.hilbert,
+            },
+            &entries,
+        );
         tmp.raf = raf;
         tmp.live = objects.len();
         tmp
@@ -196,7 +210,9 @@ where
     fn range_query(&self, q: &O, r: f64) -> Vec<ObjId> {
         let qd = self.map(q);
         let mut out = Vec::new();
-        let Some(root) = self.btree.root() else { return out };
+        let Some(root) = self.btree.root() else {
+            return out;
+        };
         let mut stack = vec![root];
         while let Some(pid) = stack.pop() {
             match self.btree.read_node(pid) {

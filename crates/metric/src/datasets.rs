@@ -27,7 +27,7 @@ pub const SYNTHETIC_FREE_DIMS: usize = 5;
 /// dimensionality of ≈ 5.4 and the skew noted in §6.5.2.
 pub fn la(n: usize, seed: u64) -> Vec<Vec<f32>> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x4c41);
-    let n_clusters = 64;
+    let n_clusters: usize = 64;
     let centers: Vec<(f64, f64, f64)> = (0..n_clusters)
         .map(|_| {
             (
@@ -60,8 +60,8 @@ pub fn la(n: usize, seed: u64) -> Vec<Vec<f32>> {
 /// of real word lists (maxD in the paper is 34 = longest word).
 pub fn words(n: usize, seed: u64) -> Vec<String> {
     const ONSETS: &[&str] = &[
-        "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w",
-        "z", "ch", "sh", "th", "br", "cr", "dr", "st", "tr", "pl", "gr", "",
+        "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z",
+        "ch", "sh", "th", "br", "cr", "dr", "st", "tr", "pl", "gr", "",
     ];
     const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "ou", "io"];
     const CODAS: &[&str] = &["", "", "n", "r", "s", "t", "l", "m", "ng", "rd", "st", "ck"];
@@ -125,7 +125,7 @@ pub fn words(n: usize, seed: u64) -> Vec<String> {
 pub fn color(n: usize, seed: u64) -> Vec<Vec<f32>> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x434f);
     let rank = 13;
-    let n_mix = 8;
+    let n_mix: usize = 8;
     // Mixing matrix: rank x COLOR_DIM.
     let mix: Vec<Vec<f64>> = (0..rank)
         .map(|_| (0..COLOR_DIM).map(|_| gauss(&mut rng) * 24.0).collect())
@@ -138,15 +138,16 @@ pub fn color(n: usize, seed: u64) -> Vec<Vec<f32>> {
     for _ in 0..n {
         let mean = &means[rng.random_range(0..n_mix)];
         let latent: Vec<f64> = mean.iter().map(|m| m + gauss(&mut rng)).collect();
-        let mut v = Vec::with_capacity(COLOR_DIM);
-        for d in 0..COLOR_DIM {
-            let mut x = 0.0;
-            for (k, l) in latent.iter().enumerate() {
-                x += l * mix[k][d];
+        let mut acc = vec![0.0f64; COLOR_DIM];
+        for (l, row) in latent.iter().zip(&mix) {
+            for (x, m) in acc.iter_mut().zip(row) {
+                *x += l * m;
             }
-            x += gauss(&mut rng) * 6.0; // per-dim noise
-            v.push(x.clamp(-255.0, 255.0) as f32);
         }
+        let v: Vec<f32> = acc
+            .into_iter()
+            .map(|x| (x + gauss(&mut rng) * 6.0).clamp(-255.0, 255.0) as f32) // per-dim noise
+            .collect();
         out.push(v);
     }
     out
@@ -235,7 +236,11 @@ pub fn dataset_stats<O, M: Metric<O>>(
         cardinality: objects.len(),
         mean_dist: mean,
         var_dist: var,
-        intrinsic_dim: if var > 0.0 { mean * mean / (2.0 * var) } else { 0.0 },
+        intrinsic_dim: if var > 0.0 {
+            mean * mean / (2.0 * var)
+        } else {
+            0.0
+        },
         max_dist: max,
     }
 }
@@ -278,7 +283,7 @@ fn gauss(rng: &mut StdRng) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::distance::{EditDistance, L1, L2, LInf};
+    use crate::distance::{EditDistance, LInf, L1, L2};
 
     #[test]
     fn la_shape() {
@@ -316,9 +321,9 @@ mod tests {
     fn synthetic_is_integral() {
         let s = synthetic(100, 7);
         assert!(s.iter().all(|v| v.len() == SYNTHETIC_DIM));
-        assert!(s
+        assert!(s.iter().all(|v| v
             .iter()
-            .all(|v| v.iter().all(|x| x.fract() == 0.0 && (0.0..=10000.0).contains(x))));
+            .all(|x| x.fract() == 0.0 && (0.0..=10000.0).contains(x))));
         // L∞ distances over integral vectors are integral -> discrete domain.
         let d = LInf::discrete().dist(&s[0], &s[1]);
         assert_eq!(d.fract(), 0.0);

@@ -7,7 +7,13 @@ use crate::stats::{Counters, Neighbor, ObjId, StorageFootprint};
 
 /// A metric index over objects of type `O`, supporting the paper's two query
 /// types (Definitions 1 and 2) and updates (§6.3).
-pub trait MetricIndex<O>: Send {
+///
+/// `Send + Sync` are supertraits so that boxed indexes can be sharded and
+/// queried concurrently by the serving engine (`pmi-engine`): all query
+/// methods take `&self`, and all interior mutability in this workspace is
+/// atomic (distance counters) or lock-guarded (the simulated disk), so
+/// concurrent queries keep the paper's cost accounting exact.
+pub trait MetricIndex<O>: Send + Sync {
     /// Index name as used in the paper's tables ("LAESA", "EPT*", ...).
     fn name(&self) -> &str;
 
@@ -80,7 +86,7 @@ impl<O, M: Metric<O>> BruteForce<O, M> {
     }
 }
 
-impl<O: Clone + Send, M: Metric<O>> MetricIndex<O> for BruteForce<O, M> {
+impl<O: Clone + Send + Sync, M: Metric<O>> MetricIndex<O> for BruteForce<O, M> {
     fn name(&self) -> &str {
         "BruteForce"
     }

@@ -135,10 +135,7 @@ pub fn hyperplane_lower_bound(d_q_pi: f64, min_d_q_pj: f64) -> f64 {
 #[inline]
 pub fn lemma4_validated(q_dists: &[f64], o_dists: &[f64], r: f64) -> bool {
     debug_assert_eq!(q_dists.len(), o_dists.len());
-    q_dists
-        .iter()
-        .zip(o_dists)
-        .any(|(qd, od)| *od <= r - *qd)
+    q_dists.iter().zip(o_dists).any(|(qd, od)| *od <= r - *qd)
 }
 
 #[cfg(test)]

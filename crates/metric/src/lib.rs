@@ -22,9 +22,7 @@ pub mod parallel;
 pub mod stats;
 pub mod table;
 
-pub use distance::{
-    CountingMetric, DistanceCounter, EditDistance, L1, L2, LInf, Lp, Metric,
-};
+pub use distance::{CountingMetric, DistanceCounter, EditDistance, LInf, Lp, Metric, L1, L2};
 pub use index::{BruteForce, MetricIndex};
 pub use object::EncodeObject;
 pub use stats::{Counters, Neighbor, ObjId, StorageFootprint};

@@ -166,17 +166,15 @@ impl<O: EncodeObject + Clone, M: Metric<O>> MTree<O, M> {
                 self.root = Some(pid);
                 self.height = 1;
             }
-            Some(root) => {
-                match self.insert_rec(root, 1, entry, None) {
-                    InsertOutcome::Done => {}
-                    InsertOutcome::Split(a, b) => {
-                        let new_root = self.alloc_page();
-                        self.write_node(new_root, &Node::Internal(vec![a, b]));
-                        self.root = Some(new_root);
-                        self.height += 1;
-                    }
+            Some(root) => match self.insert_rec(root, 1, entry, None) {
+                InsertOutcome::Done => {}
+                InsertOutcome::Split(a, b) => {
+                    let new_root = self.alloc_page();
+                    self.write_node(new_root, &Node::Internal(vec![a, b]));
+                    self.root = Some(new_root);
+                    self.height += 1;
                 }
-            }
+            },
         }
         self.len += 1;
     }
@@ -261,9 +259,7 @@ impl<O: EncodeObject + Clone, M: Metric<O>> MTree<O, M> {
                         }
                     }
                     for (i, m) in e.mapped.iter().enumerate() {
-                        if !mbb_lo.is_empty()
-                            && (*m < mbb_lo[i] - EPS || *m > mbb_hi[i] + EPS)
-                        {
+                        if !mbb_lo.is_empty() && (*m < mbb_lo[i] - EPS || *m > mbb_hi[i] + EPS) {
                             return Err(format!(
                                 "leaf {}: mapped[{i}]={m} outside MBB [{}, {}]",
                                 e.oid, mbb_lo[i], mbb_hi[i]
@@ -290,8 +286,7 @@ impl<O: EncodeObject + Clone, M: Metric<O>> MTree<O, M> {
                             }
                         }
                     }
-                    let subtree =
-                        self.check_rec(e.child, Some(&e.robj), &e.mbb_lo, &e.mbb_hi)?;
+                    let subtree = self.check_rec(e.child, Some(&e.robj), &e.mbb_lo, &e.mbb_hi)?;
                     // Covering-radius invariant over every object below.
                     for o in &subtree {
                         let d = self.metric.dist(o, &e.robj);
@@ -377,7 +372,9 @@ impl<O: EncodeObject + Clone, M: Metric<O>> MTree<O, M> {
         let mut result: BinaryHeap<(NotNan, u32)> = BinaryHeap::new(); // max-heap on dist
         let mut heap: BinaryHeap<Reverse<(NotNan, PageId, u64)>> = BinaryHeap::new();
         let mut seq = 0u64;
-        let Some(root) = self.root else { return Vec::new() };
+        let Some(root) = self.root else {
+            return Vec::new();
+        };
         if k == 0 {
             return Vec::new();
         }
@@ -607,7 +604,9 @@ impl<O: EncodeObject + Clone, M: Metric<O>> MTree<O, M> {
                 self.write_node(pid, &node);
                 InsertOutcome::Done
             } else {
-                let Node::Leaf(entries) = node else { unreachable!() };
+                let Node::Leaf(entries) = node else {
+                    unreachable!()
+                };
                 self.split_leaf(pid, entries, parent_robj)
             }
         } else {
@@ -622,10 +621,8 @@ impl<O: EncodeObject + Clone, M: Metric<O>> MTree<O, M> {
                 .collect();
             let mut best: Option<usize> = None;
             for (i, e) in entries.iter().enumerate() {
-                if dists[i] <= e.radius {
-                    if best.is_none_or(|b| dists[i] < dists[b]) {
-                        best = Some(i);
-                    }
+                if dists[i] <= e.radius && best.is_none_or(|b| dists[i] < dists[b]) {
+                    best = Some(i);
                 }
             }
             let idx = match best {
@@ -673,7 +670,9 @@ impl<O: EncodeObject + Clone, M: Metric<O>> MTree<O, M> {
                         self.write_node(pid, &node);
                         InsertOutcome::Done
                     } else {
-                        let Node::Internal(entries) = node else { unreachable!() };
+                        let Node::Internal(entries) = node else {
+                            unreachable!()
+                        };
                         self.split_internal(pid, entries, parent_robj)
                     }
                 }
@@ -947,6 +946,7 @@ mod tests {
     use super::*;
     use pmi_metric::{datasets, CountingMetric, L2};
 
+    #[allow(clippy::type_complexity)]
     fn build(n: usize, pivots: usize) -> (Vec<Vec<f32>>, MTree<Vec<f32>, CountingMetric<L2>>) {
         let pts = datasets::la(n, 77);
         let metric = CountingMetric::new(L2);
@@ -1055,7 +1055,11 @@ mod tests {
         }
         assert_eq!(t.len(), 250);
         let q = &pts[100];
-        let mut got: Vec<u32> = t.range(q, 1500.0, &[]).into_iter().map(|(i, _)| i).collect();
+        let mut got: Vec<u32> = t
+            .range(q, 1500.0, &[])
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
         got.sort();
         let want: Vec<u32> = brute_range(&pts, q, 1500.0)
             .into_iter()
@@ -1066,7 +1070,11 @@ mod tests {
         for i in 0..50u32 {
             t.insert(i, &pts[i as usize]);
         }
-        let mut got: Vec<u32> = t.range(q, 1500.0, &[]).into_iter().map(|(i, _)| i).collect();
+        let mut got: Vec<u32> = t
+            .range(q, 1500.0, &[])
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
         got.sort();
         assert_eq!(got, brute_range(&pts, q, 1500.0));
     }

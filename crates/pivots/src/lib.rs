@@ -131,12 +131,7 @@ pub fn hf_candidates<O, M: Metric<O>>(
 /// step adds the candidate that maximizes the mean ratio
 /// `max_i |d(x,p_i) − d(y,p_i)| / d(x,y)` over a sample of object pairs
 /// (the "precision" of the mapped space).
-pub fn select_hfi<O, M: Metric<O>>(
-    objects: &[O],
-    metric: &M,
-    k: usize,
-    seed: u64,
-) -> Vec<usize> {
+pub fn select_hfi<O, M: Metric<O>>(objects: &[O], metric: &M, k: usize, seed: u64) -> Vec<usize> {
     let n = objects.len();
     assert!(k <= n, "cannot select {k} pivots from {n} objects");
     if k == 0 {
@@ -153,7 +148,11 @@ pub fn select_hfi<O, M: Metric<O>>(
             (a != b).then_some((a, b))
         })
         .collect();
-    let pairs = if pairs.is_empty() { vec![(0, n - 1)] } else { pairs };
+    let pairs = if pairs.is_empty() {
+        vec![(0, n - 1)]
+    } else {
+        pairs
+    };
     let pair_dist: Vec<f64> = pairs
         .iter()
         .map(|&(a, b)| metric.dist(&objects[a], &objects[b]).max(1e-12))
@@ -281,13 +280,13 @@ impl<O: Clone, M: Metric<O>> PsaSelector<O, M> {
         for _ in 0..l {
             let mut best = None;
             let mut best_score = -1.0;
-            for ci in 0..self.candidates.len() {
+            for (ci, (cs_row, dc)) in self.cand_sample.iter().zip(&d_cand).enumerate() {
                 if chosen.contains(&ci) {
                     continue;
                 }
                 let mut score = 0.0;
                 for (si, lb0) in best_lb.iter().enumerate() {
-                    let lb = (self.cand_sample[ci][si] - d_cand[ci]).abs().max(*lb0);
+                    let lb = (cs_row[si] - dc).abs().max(*lb0);
                     score += lb / d_sample[si];
                 }
                 if score > best_score {

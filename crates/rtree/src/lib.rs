@@ -106,8 +106,7 @@ impl Mbb {
     /// (Lemma 1 applied to regions).
     pub fn mindist(&self, q: &[f64]) -> f64 {
         let mut m = 0.0f64;
-        for d in 0..self.dims as usize {
-            let x = q[d];
+        for (d, &x) in q.iter().enumerate().take(self.dims as usize) {
             let gap = if x < self.lo[d] as f64 {
                 self.lo[d] as f64 - x
             } else if x > self.hi[d] as f64 {
@@ -177,7 +176,11 @@ impl Mbb {
 /// Rounds `v` down if the cast rounded up.
 fn next_down(v: f32, exact: f64) -> f32 {
     if (v as f64) > exact {
-        f32::from_bits(if v > 0.0 { v.to_bits() - 1 } else { v.to_bits() + 1 })
+        f32::from_bits(if v > 0.0 {
+            v.to_bits() - 1
+        } else {
+            v.to_bits() + 1
+        })
     } else {
         v
     }
@@ -186,7 +189,11 @@ fn next_down(v: f32, exact: f64) -> f32 {
 /// Rounds `v` up if the cast rounded down.
 fn next_up(v: f32, exact: f64) -> f32 {
     if (v as f64) < exact {
-        f32::from_bits(if v >= 0.0 { v.to_bits() + 1 } else { v.to_bits() - 1 })
+        f32::from_bits(if v >= 0.0 {
+            v.to_bits() + 1
+        } else {
+            v.to_bits() - 1
+        })
     } else {
         v
     }
@@ -249,7 +256,11 @@ impl RTree {
             .into_iter()
             .map(|g| {
                 let pid = t.alloc_page();
-                t.write_node(pid, true, &g.iter().map(|(b, v)| (*b, *v)).collect::<Vec<_>>());
+                t.write_node(
+                    pid,
+                    true,
+                    &g.iter().map(|(b, v)| (*b, *v)).collect::<Vec<_>>(),
+                );
                 let mut mbb = g[0].0;
                 for (b, _) in &g[1..] {
                     mbb.union_with(b);
@@ -537,8 +548,7 @@ impl RTree {
             }
             NodeView::Internal { entries } => {
                 for (b, c) in &entries {
-                    if b.intersects(&mbb.lo_f64(), &mbb.hi_f64()) && self.remove_rec(*c, mbb, id)
-                    {
+                    if b.intersects(&mbb.lo_f64(), &mbb.hi_f64()) && self.remove_rec(*c, mbb, id) {
                         return true;
                     }
                 }
@@ -556,8 +566,11 @@ fn cover(entries: &[(Mbb, u32)]) -> Mbb {
     mbb
 }
 
+/// A node's entry list: boxes plus child page / object ids.
+type EntryList = Vec<(Mbb, u32)>;
+
 /// Guttman's quadratic split.
-fn quadratic_split(entries: Vec<(Mbb, u32)>, cap: usize) -> (Vec<(Mbb, u32)>, Vec<(Mbb, u32)>) {
+fn quadratic_split(entries: EntryList, cap: usize) -> (EntryList, EntryList) {
     let min_fill = (cap * 2) / 5;
     // Pick seeds with maximal dead space.
     let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
@@ -675,7 +688,9 @@ mod tests {
         points
             .iter()
             .enumerate()
-            .filter(|(_, p)| p.iter().zip(lo).all(|(x, l)| x >= l) && p.iter().zip(hi).all(|(x, h)| x <= h))
+            .filter(|(_, p)| {
+                p.iter().zip(lo).all(|(x, l)| x >= l) && p.iter().zip(hi).all(|(x, h)| x <= h)
+            })
             .map(|(i, _)| i as u32)
             .collect()
     }
@@ -684,7 +699,9 @@ mod tests {
         // Simple LCG to avoid a rand dev-dependency cycle.
         let mut s = seed | 1;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64) / (u32::MAX as f64) * 100.0
         };
         (0..n)
@@ -716,7 +733,11 @@ mod tests {
     fn bulk_load_matches_brute_force() {
         let dims = 3;
         let pts = gen_points(600, dims, 7);
-        let items: Vec<(Mbb, u32)> = pts.iter().enumerate().map(|(i, p)| (pt(p), i as u32)).collect();
+        let items: Vec<(Mbb, u32)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (pt(p), i as u32))
+            .collect();
         let t = RTree::bulk_load(DiskSim::new(512), dims, items);
         assert_eq!(t.len(), 600);
         assert!(t.height() >= 2);
@@ -732,7 +753,11 @@ mod tests {
     fn bulk_load_is_better_clustered_than_inserts() {
         let dims = 2;
         let pts = gen_points(2000, dims, 3);
-        let items: Vec<(Mbb, u32)> = pts.iter().enumerate().map(|(i, p)| (pt(p), i as u32)).collect();
+        let items: Vec<(Mbb, u32)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (pt(p), i as u32))
+            .collect();
         let bulk = RTree::bulk_load(DiskSim::new(512), dims, items.clone());
         let mut ins = RTree::new(DiskSim::new(512), dims);
         for (b, i) in items {

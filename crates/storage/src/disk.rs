@@ -155,7 +155,9 @@ impl DiskSim {
     pub fn alloc(&self) -> PageId {
         let mut pages = self.inner.pages.lock();
         let id = pages.len() as PageId;
-        pages.push(Arc::from(vec![0u8; self.inner.page_size].into_boxed_slice()));
+        pages.push(Arc::from(
+            vec![0u8; self.inner.page_size].into_boxed_slice(),
+        ));
         id
     }
 

@@ -79,7 +79,7 @@ impl Raf {
             if room < len {
                 self.tail += room; // pad to the next page
             }
-        } else if self.tail % ps != 0 {
+        } else if !self.tail.is_multiple_of(ps) {
             self.tail += ps - (self.tail % ps);
         }
         let offset = self.tail;

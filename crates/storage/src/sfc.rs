@@ -183,11 +183,7 @@ mod tests {
         let order: Vec<Vec<u32>> = (0..4).map(|i| h.decode(i)).collect();
         // Each consecutive pair differs by exactly 1 in exactly one dim.
         for w in order.windows(2) {
-            let diff: u32 = w[0]
-                .iter()
-                .zip(&w[1])
-                .map(|(a, b)| a.abs_diff(*b))
-                .sum();
+            let diff: u32 = w[0].iter().zip(&w[1]).map(|(a, b)| a.abs_diff(*b)).sum();
             assert_eq!(diff, 1, "{order:?}");
         }
     }
@@ -233,11 +229,7 @@ mod tests {
             let mut prev = h.decode(0);
             for i in 1..total.min(4096) {
                 let cur = h.decode(i);
-                let l1: u32 = prev
-                    .iter()
-                    .zip(&cur)
-                    .map(|(a, b)| a.abs_diff(*b))
-                    .sum();
+                let l1: u32 = prev.iter().zip(&cur).map(|(a, b)| a.abs_diff(*b)).sum();
                 assert_eq!(l1, 1, "dims={dims} bits={bits} at index {i}");
                 prev = cur;
             }

@@ -7,7 +7,7 @@
 //! completeness and as a strong lower bound on query compdists.
 
 use pmi_metric::{
-    CountingMetric, Counters, EncodeObject, Metric, MetricIndex, Neighbor, ObjId, ObjTable,
+    Counters, CountingMetric, EncodeObject, Metric, MetricIndex, Neighbor, ObjId, ObjTable,
     StorageFootprint,
 };
 
@@ -58,9 +58,9 @@ where
         let n = self.tri.len();
         let mut lb = vec![0.0f64; n];
         let mut state = vec![0u8; n]; // 0 = alive, 1 = computed, 2 = pruned
-        for i in 0..n {
+        for (i, st) in state.iter_mut().enumerate() {
             if self.table.get(i as ObjId).is_none() {
-                state[i] = 2;
+                *st = 2;
             }
         }
         loop {
@@ -77,7 +77,9 @@ where
                 break; // every remaining candidate is pruned
             }
             state[s] = 1;
-            let d = self.metric.dist(q, self.table.get(s as ObjId).expect("live"));
+            let d = self
+                .metric
+                .dist(q, self.table.get(s as ObjId).expect("live"));
             if d <= radius {
                 radius = on_hit(s as ObjId, d);
             }
@@ -209,7 +211,10 @@ mod tests {
         let _ = idx.knn_query(&pts[123], 1);
         let cd = idx.counters().compdists;
         // AESA's raison d'être: nearly constant distance computations.
-        assert!(cd < 50, "AESA used {cd} compdists for 1-NN over 500 objects");
+        assert!(
+            cd < 50,
+            "AESA used {cd} compdists for 1-NN over 500 objects"
+        );
     }
 
     #[test]

@@ -8,8 +8,7 @@
 
 use pmi_metric::lemmas;
 use pmi_metric::{
-    CountingMetric, Counters, EncodeObject, Metric, MetricIndex, Neighbor, ObjId,
-    StorageFootprint,
+    Counters, CountingMetric, EncodeObject, Metric, MetricIndex, Neighbor, ObjId, StorageFootprint,
 };
 use pmi_mtree::MTree;
 use pmi_storage::DiskSim;
@@ -129,7 +128,11 @@ where
     }
 
     fn insert(&mut self, o: O) -> ObjId {
-        let row: Vec<f64> = self.pivots.iter().map(|p| self.metric.dist(&o, p)).collect();
+        let row: Vec<f64> = self
+            .pivots
+            .iter()
+            .map(|p| self.metric.dist(&o, p))
+            .collect();
         let id = self.next_id;
         self.next_id += 1;
         debug_assert_eq!(id as usize, self.rows.len());
@@ -158,12 +161,7 @@ where
     }
 
     fn storage(&self) -> StorageFootprint {
-        let rows: u64 = self
-            .rows
-            .iter()
-            .flatten()
-            .map(|r| 8 * r.len() as u64)
-            .sum();
+        let rows: u64 = self.rows.iter().flatten().map(|r| 8 * r.len() as u64).sum();
         let pivots: u64 = self.pivots.iter().map(|p| p.encoded_len() as u64).sum();
         StorageFootprint {
             mem_bytes: rows + pivots,
@@ -257,7 +255,10 @@ mod tests {
         assert!(idx.remove(33));
         assert!(!idx.remove(33));
         assert_eq!(idx.len(), 199);
-        assert!(idx.range_query(&pts[33], 0.0).is_empty() || !idx.range_query(&pts[33], 0.0).contains(&33));
+        assert!(
+            idx.range_query(&pts[33], 0.0).is_empty()
+                || !idx.range_query(&pts[33], 0.0).contains(&33)
+        );
         let id = idx.insert(o);
         assert!(idx.range_query(&pts[33], 0.0).contains(&id));
         assert_eq!(idx.len(), 200);

@@ -9,7 +9,7 @@
 //! (Table 4), which is the trade-off Figure 14 measures.
 
 use pmi_metric::{
-    CountingMetric, Counters, EncodeObject, Metric, MetricIndex, Neighbor, ObjId, ObjTable,
+    Counters, CountingMetric, EncodeObject, Metric, MetricIndex, Neighbor, ObjId, ObjTable,
     StorageFootprint,
 };
 use pmi_pivots::PsaSelector;
@@ -268,10 +268,7 @@ where
         // EPT re-estimates μ_p before selecting pivots for the new object —
         // the estimation cost the paper blames for EPT's slow updates
         // (§6.3). EPT* reuses its prepared PSA selector.
-        if let Strategy::Random {
-            mus, mu_sample, ..
-        } = &mut self.strategy
-        {
+        if let Strategy::Random { mus, mu_sample, .. } = &mut self.strategy {
             let fresh = estimate_mus(&self.metric, &self.pivot_objs, mu_sample);
             *mus = fresh;
         }
@@ -306,11 +303,7 @@ where
             .map(|r| 12 * r.len() as u64)
             .sum();
         let objs: u64 = self.table.iter().map(|(_, o)| o.encoded_len() as u64).sum();
-        let pivots: u64 = self
-            .pivot_objs
-            .iter()
-            .map(|p| p.encoded_len() as u64)
-            .sum();
+        let pivots: u64 = self.pivot_objs.iter().map(|p| p.encoded_len() as u64).sum();
         StorageFootprint::mem(rows + objs + pivots)
     }
 

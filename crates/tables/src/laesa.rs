@@ -2,7 +2,7 @@
 
 use pmi_metric::lemmas;
 use pmi_metric::{
-    CountingMetric, Counters, EncodeObject, Metric, MetricIndex, Neighbor, ObjId, ObjTable,
+    Counters, CountingMetric, EncodeObject, Metric, MetricIndex, Neighbor, ObjId, ObjTable,
     StorageFootprint,
 };
 use std::collections::BinaryHeap;
@@ -115,7 +115,11 @@ where
     }
 
     fn insert(&mut self, o: O) -> ObjId {
-        let row = self.pivots.iter().map(|p| self.metric.dist(&o, p)).collect();
+        let row = self
+            .pivots
+            .iter()
+            .map(|p| self.metric.dist(&o, p))
+            .collect();
         let id = self.table.push(o);
         debug_assert_eq!(id as usize, self.rows.len());
         self.rows.push(Some(row));
@@ -139,12 +143,7 @@ where
     }
 
     fn storage(&self) -> StorageFootprint {
-        let rows: u64 = self
-            .rows
-            .iter()
-            .flatten()
-            .map(|r| 8 * r.len() as u64)
-            .sum();
+        let rows: u64 = self.rows.iter().flatten().map(|r| 8 * r.len() as u64).sum();
         let objs: u64 = self.table.iter().map(|(_, o)| o.encoded_len() as u64).sum();
         let pivots: u64 = self.pivots.iter().map(|p| p.encoded_len() as u64).sum();
         StorageFootprint::mem(rows + objs + pivots)

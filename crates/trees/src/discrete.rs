@@ -7,7 +7,7 @@
 //! (§4.1 discussion): children are distance *buckets* of equal width.
 
 use pmi_metric::{
-    CountingMetric, Counters, EncodeObject, Metric, MetricIndex, Neighbor, ObjId, ObjTable,
+    Counters, CountingMetric, EncodeObject, Metric, MetricIndex, Neighbor, ObjId, ObjTable,
     StorageFootprint,
 };
 use rand::rngs::StdRng;
@@ -178,7 +178,7 @@ where
         &self.metric
     }
 
-    fn range_rec(&self, node: &Node<O>, q: &O, r: f64, depth: usize, out: &mut Vec<ObjId>) {
+    fn range_rec(&self, node: &Node<O>, q: &O, r: f64, out: &mut Vec<ObjId>) {
         match node {
             Node::Leaf { ids } => {
                 for &id in ids {
@@ -205,7 +205,7 @@ where
                     if dq + r < lo || dq - r >= hi {
                         continue;
                     }
-                    self.range_rec(child, q, r, depth + 1, out);
+                    self.range_rec(child, q, r, out);
                 }
             }
         }
@@ -231,7 +231,7 @@ where
     fn range_query(&self, q: &O, r: f64) -> Vec<ObjId> {
         let mut out = Vec::new();
         if let Some(root) = &self.root {
-            self.range_rec(root, q, r, 0, &mut out);
+            self.range_rec(root, q, r, &mut out);
         }
         out
     }
@@ -265,7 +265,9 @@ where
             match node {
                 Node::Leaf { ids } => {
                     for &id in ids {
-                        let Some(o) = self.table.get(id) else { continue };
+                        let Some(o) = self.table.get(id) else {
+                            continue;
+                        };
                         let d = self.metric.dist(q, o);
                         if d < radius(&result) || result.len() < k {
                             result.push(Neighbor::new(id, d));
@@ -394,8 +396,8 @@ where
         let objs: u64 = self.table.iter().map(|(_, o)| o.encoded_len() as u64).sum();
         // Rough structural accounting: each node has a pivot id + bucket
         // pointers; leaves hold ids.
-        let structure = (self.node_count * (4 + self.cfg.buckets * 8)) as u64
-            + 4 * self.table.len() as u64;
+        let structure =
+            (self.node_count * (4 + self.cfg.buckets * 8)) as u64 + 4 * self.table.len() as u64;
         StorageFootprint::mem(objs + structure)
     }
 
@@ -509,11 +511,7 @@ mod tests {
             w.push(char::from(b'a' + (i % 26) as u8));
             idx.insert(w);
         }
-        let oracle_data: Vec<String> = idx
-            .table
-            .iter()
-            .map(|(_, o)| o.clone())
-            .collect();
+        let oracle_data: Vec<String> = idx.table.iter().map(|(_, o)| o.clone()).collect();
         let oracle = BruteForce::new(oracle_data, EditDistance);
         let got = idx.knn_query(&idx_target, 10);
         let want = oracle.knn_query(&idx_target, 10);

@@ -10,7 +10,7 @@
 //! settings.
 
 use pmi_metric::{
-    CountingMetric, Counters, EncodeObject, Metric, MetricIndex, Neighbor, ObjId, ObjTable,
+    Counters, CountingMetric, EncodeObject, Metric, MetricIndex, Neighbor, ObjId, ObjTable,
     StorageFootprint,
 };
 use std::cmp::Reverse;
@@ -192,7 +192,9 @@ where
             }
             if level == self.pivots.len() {
                 for (_, id) in &self.rows[lo..hi] {
-                    let Some(o) = self.table.get(*id) else { continue };
+                    let Some(o) = self.table.get(*id) else {
+                        continue;
+                    };
                     let d = self.metric.dist(q, o);
                     if d < radius(&result) || result.len() < k {
                         result.push(Neighbor::new(*id, d));
@@ -264,11 +266,7 @@ where
     fn storage(&self) -> StorageFootprint {
         let objs: u64 = self.table.iter().map(|(_, o)| o.encoded_len() as u64).sum();
         // Signatures are the compact part: l small integers per object.
-        let sigs: u64 = self
-            .rows
-            .iter()
-            .map(|(s, _)| 4 * s.len() as u64 + 4)
-            .sum();
+        let sigs: u64 = self.rows.iter().map(|(s, _)| 4 * s.len() as u64 + 4).sum();
         let pivots: u64 = self.pivots.iter().map(|p| p.encoded_len() as u64).sum();
         StorageFootprint::mem(objs + sigs + pivots)
     }
@@ -395,6 +393,12 @@ mod tests {
     #[should_panic]
     fn continuous_metric_rejected() {
         let pts = datasets::la(40, 1);
-        let _ = Fqa::build(pts.clone(), pmi_metric::L2, vec![pts[0].clone()], 14143.0, 16);
+        let _ = Fqa::build(
+            pts.clone(),
+            pmi_metric::L2,
+            vec![pts[0].clone()],
+            14143.0,
+            16,
+        );
     }
 }

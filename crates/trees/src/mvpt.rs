@@ -12,7 +12,7 @@
 
 use pmi_metric::lemmas;
 use pmi_metric::{
-    CountingMetric, Counters, EncodeObject, Metric, MetricIndex, Neighbor, ObjId, ObjTable,
+    Counters, CountingMetric, EncodeObject, Metric, MetricIndex, Neighbor, ObjId, ObjTable,
     StorageFootprint,
 };
 use std::cmp::Reverse;
@@ -82,26 +82,15 @@ where
             table,
             node_count: 0,
         };
-        let items: Vec<(ObjId, Vec<f64>)> = t
-            .table
-            .iter()
-            .map(|(id, _)| (id, Vec::new()))
-            .collect();
+        let items: Vec<(ObjId, Vec<f64>)> =
+            t.table.iter().map(|(id, _)| (id, Vec::new())).collect();
         t.root = t.build_node(items, 0);
         t
     }
 
     /// VPT: binary vantage point tree.
     pub fn vpt(objects: Vec<O>, metric: M, pivots: Vec<O>, leaf_cap: usize) -> Self {
-        Self::build(
-            objects,
-            metric,
-            pivots,
-            MvptConfig {
-                arity: 2,
-                leaf_cap,
-            },
-        )
+        Self::build(objects, metric, pivots, MvptConfig { arity: 2, leaf_cap })
     }
 
     /// Arity `m`.
@@ -185,7 +174,9 @@ where
         match node {
             Node::Leaf { ids, pdists } => {
                 for (idx, &id) in ids.iter().enumerate() {
-                    let Some(o) = self.table.get(id) else { continue };
+                    let Some(o) = self.table.get(id) else {
+                        continue;
+                    };
                     let pd = &pdists[idx];
                     if lemmas::lemma1_prunable(&q_dists[..pd.len()], pd, r) {
                         continue;
@@ -258,12 +249,12 @@ where
             match node {
                 Node::Leaf { ids, pdists } => {
                     for (i, &id) in ids.iter().enumerate() {
-                        let Some(o) = self.table.get(id) else { continue };
+                        let Some(o) = self.table.get(id) else {
+                            continue;
+                        };
                         let r = radius(&result);
                         let pd = &pdists[i];
-                        if r.is_finite()
-                            && lemmas::lemma1_prunable(&q_dists[..pd.len()], pd, r)
-                        {
+                        if r.is_finite() && lemmas::lemma1_prunable(&q_dists[..pd.len()], pd, r) {
                             continue;
                         }
                         let d = self.metric.dist(q, o);
@@ -308,6 +299,7 @@ where
         // without further distance computations.
         let mut pd: Vec<f64> = Vec::new();
         let mut path: Vec<usize> = Vec::new();
+        #[allow(clippy::type_complexity)]
         let mut split: Option<(Vec<(ObjId, Vec<f64>)>, usize)> = None;
         {
             let mut node = &mut self.root;
@@ -414,8 +406,7 @@ where
         fn node_bytes(n: &Node) -> u64 {
             match n {
                 Node::Leaf { ids, pdists } => {
-                    4 * ids.len() as u64
-                        + pdists.iter().map(|p| 8 * p.len() as u64).sum::<u64>()
+                    4 * ids.len() as u64 + pdists.iter().map(|p| 8 * p.len() as u64).sum::<u64>()
                 }
                 Node::Internal { cuts, children } => {
                     8 * cuts.len() as u64 + children.iter().map(node_bytes).sum::<u64>()
@@ -450,15 +441,7 @@ mod tests {
             .into_iter()
             .map(|i| pts[i].clone())
             .collect();
-        let idx = Mvpt::build(
-            pts.clone(),
-            L2,
-            pv,
-            MvptConfig {
-                arity,
-                leaf_cap: 8,
-            },
-        );
+        let idx = Mvpt::build(pts.clone(), L2, pv, MvptConfig { arity, leaf_cap: 8 });
         (pts, idx)
     }
 
@@ -535,8 +518,8 @@ mod tests {
         let nid = idx.insert(o);
         assert!(idx.range_query(&pts[40], 0.0).contains(&nid));
         // Bulk inserts to force leaf splits.
-        for i in 0..120 {
-            idx.insert(vec![pts[i][0] + 1.0, pts[i][1] + 1.0]);
+        for p in pts.iter().take(120) {
+            idx.insert(vec![p[0] + 1.0, p[1] + 1.0]);
         }
         let all: Vec<Vec<f32>> = idx.table.iter().map(|(_, o)| o.clone()).collect();
         let oracle = BruteForce::new(all, L2);

@@ -1,0 +1,56 @@
+//! Sharded batch serving: build a `ShardedEngine` over the LA dataset,
+//! submit a mixed range/kNN batch, and read the `ServeReport` — throughput,
+//! latency percentiles, and the paper's aggregate cost counters — for each
+//! shard count.
+//!
+//! Run with: `cargo run --release --example serve_batch`
+
+use pivot_metric_repro as pmr;
+use pmr::builder::{BuildOptions, IndexKind};
+use pmr::engine::{EngineConfig, Query};
+use pmr::{build_sharded_vector_engine, datasets, L2};
+
+fn main() {
+    let n = 20_000;
+    let pts = datasets::la(n, 42);
+    let radius = datasets::calibrate_radius(&pts, &L2, 0.04, 42);
+    let opts = BuildOptions {
+        d_plus: 14143.0,
+        maxnum: 256,
+        ..BuildOptions::default()
+    };
+
+    // A mixed workload: alternate 4%-selectivity range queries and 10-NN
+    // queries, query objects drawn from the dataset.
+    let batch: Vec<Query<Vec<f32>>> = (0..2_000)
+        .map(|i| {
+            let q = pts[(i * 131) % pts.len()].clone();
+            if i % 2 == 0 {
+                Query::range(q, radius)
+            } else {
+                Query::knn(q, 10)
+            }
+        })
+        .collect();
+
+    println!(
+        "LA n={n}, {} queries ({} range @ r={radius:.1}, {} kNN k=10), index = MVPT\n",
+        batch.len(),
+        batch.len() / 2,
+        batch.len() / 2
+    );
+
+    for shards in [1usize, 2, 4, 8] {
+        let engine = build_sharded_vector_engine(
+            IndexKind::Mvpt,
+            pts.clone(),
+            L2,
+            &opts,
+            &EngineConfig { shards, threads: 0 },
+        )
+        .expect("buildable");
+        engine.reset_counters();
+        let out = engine.serve(&batch);
+        println!("P={shards}:\n{}\n", out.report);
+    }
+}

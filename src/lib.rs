@@ -8,5 +8,24 @@
 //! let pts = pmr::datasets::la(100, 42);
 //! assert_eq!(pts.len(), 100);
 //! ```
+//!
+//! The sharded batch-serving engine is available as `pmr::engine` (see the
+//! `pmi` crate docs for a quickstart, and `examples/serve_batch.rs` for a
+//! runnable demo):
+//!
+//! ```
+//! use pivot_metric_repro as pmr;
+//! let objects = pmr::datasets::la(500, 42);
+//! let engine = pmr::build_sharded_vector_engine(
+//!     pmr::IndexKind::Laesa,
+//!     objects.clone(),
+//!     pmr::L2,
+//!     &pmr::BuildOptions { d_plus: 14143.0, ..Default::default() },
+//!     &pmr::EngineConfig { shards: 4, threads: 2 },
+//! )
+//! .unwrap();
+//! let out = engine.serve(&[pmr::Query::knn(objects[0].clone(), 5)]);
+//! assert_eq!(out.results[0].len(), 5);
+//! ```
 
 pub use pmi::*;

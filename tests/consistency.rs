@@ -5,7 +5,7 @@
 
 use pivot_metric_repro as pmr;
 use pmr::builder::{build_index, BuildOptions, IndexKind};
-use pmr::{datasets, BruteForce, EditDistance, Metric, MetricIndex, L1, L2, LInf};
+use pmr::{datasets, BruteForce, EditDistance, LInf, Metric, MetricIndex, L1, L2};
 
 const ALL_KINDS: [IndexKind; 15] = [
     IndexKind::Aesa,
@@ -41,8 +41,7 @@ where
     let queries: Vec<usize> = vec![0, objects.len() / 3, objects.len() - 1];
 
     for kind in ALL_KINDS {
-        let idx = match build_index(kind, objects.clone(), metric.clone(), pivots.clone(), &opts)
-        {
+        let idx = match build_index(kind, objects.clone(), metric.clone(), pivots.clone(), &opts) {
             Ok(idx) => idx,
             Err(_) => continue, // BKT/FQT on continuous metrics
         };
@@ -54,12 +53,7 @@ where
                 got.sort_unstable();
                 let mut want = oracle.range_query(q, r);
                 want.sort_unstable();
-                assert_eq!(
-                    got,
-                    want,
-                    "{label}/{} MRQ(q={qi}, r={r})",
-                    kind.label()
-                );
+                assert_eq!(got, want, "{label}/{} MRQ(q={qi}, r={r})", kind.label());
             }
             for k in [1usize, 10, 25] {
                 let got = idx.knn_query(q, k);

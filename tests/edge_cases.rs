@@ -72,7 +72,12 @@ fn degenerate_query_parameters() {
         let hits = idx.range_query(&pts[5], 0.0);
         assert_eq!(hits, vec![5], "{}", kind.label());
         // r covering everything returns all.
-        assert_eq!(idx.range_query(&pts[5], 999.0).len(), 40, "{}", kind.label());
+        assert_eq!(
+            idx.range_query(&pts[5], 999.0).len(),
+            40,
+            "{}",
+            kind.label()
+        );
     }
 }
 
@@ -94,7 +99,9 @@ fn duplicate_objects_are_all_found() {
 #[test]
 fn external_query_object() {
     // Query objects need not be dataset members.
-    let pts: Vec<Vec<f32>> = (0..60).map(|i| vec![(i * 3) as f32, (i % 7) as f32]).collect();
+    let pts: Vec<Vec<f32>> = (0..60)
+        .map(|i| vec![(i * 3) as f32, (i % 7) as f32])
+        .collect();
     let q = vec![50.5f32, 3.3];
     let oracle = pmr::BruteForce::new(pts.clone(), L2);
     for kind in CONTINUOUS_KINDS {
@@ -111,7 +118,9 @@ fn external_query_object() {
 fn removing_a_pivot_object_keeps_queries_correct() {
     // Pivots are cloned into the index; deleting the dataset object that
     // served as a pivot must not break routing or filtering.
-    let pts: Vec<Vec<f32>> = (0..50).map(|i| vec![i as f32, (i * i % 13) as f32]).collect();
+    let pts: Vec<Vec<f32>> = (0..50)
+        .map(|i| vec![i as f32, (i * i % 13) as f32])
+        .collect();
     for kind in [
         IndexKind::Laesa,
         IndexKind::Mvpt,

@@ -5,14 +5,11 @@
 use pivot_metric_repro as pmr;
 use pmr::builder::{build_index, BuildOptions, IndexKind};
 use pmr::storage::sfc::Hilbert;
-use pmr::{lemmas, BruteForce, EditDistance, EncodeObject, Metric, MetricIndex, L1, L2, LInf};
+use pmr::{lemmas, BruteForce, EditDistance, EncodeObject, LInf, Metric, MetricIndex, L1, L2};
 use proptest::prelude::*;
 
 fn vecs(dim: usize, n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec<f32>>> {
-    prop::collection::vec(
-        prop::collection::vec(-1000.0f32..1000.0, dim..=dim),
-        n,
-    )
+    prop::collection::vec(prop::collection::vec(-1000.0f32..1000.0, dim..=dim), n)
 }
 
 proptest! {

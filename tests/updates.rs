@@ -66,7 +66,12 @@ fn delete_reinsert_preserves_answers() {
 #[test]
 fn removing_everything_then_refilling_works() {
     let pts = datasets::la(150, 23);
-    for kind in [IndexKind::Laesa, IndexKind::OmniR, IndexKind::Spb, IndexKind::MIndexStar] {
+    for kind in [
+        IndexKind::Laesa,
+        IndexKind::OmniR,
+        IndexKind::Spb,
+        IndexKind::MIndexStar,
+    ] {
         let mut idx = build(kind, &pts);
         let objs: Vec<Vec<f32>> = (0..150u32).map(|i| idx.get(i).unwrap()).collect();
         for i in 0..150u32 {

@@ -1,0 +1,234 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmark-definition surface the workspace uses —
+//! [`Criterion::benchmark_group`], group knobs (`sample_size`,
+//! `warm_up_time`, `measurement_time`), `bench_function(|b| b.iter(..))`,
+//! and the [`criterion_group!`] / [`criterion_main!`] macros — with a plain
+//! wall-clock measurement loop instead of criterion's statistical machinery.
+//! Results (mean / min / max per iteration) are printed to stdout.
+//!
+//! When a bench binary is invoked by `cargo test` (cargo passes `--test`),
+//! every benchmark body runs exactly once as a smoke test so the target
+//! stays cheap under the test suite.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement settings shared by a group (or the whole run).
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+        }
+    }
+}
+
+/// The benchmark manager handed to `criterion_group!` targets.
+pub struct Criterion {
+    settings: Settings,
+    smoke_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke_only = std::env::args().any(|a| a == "--test");
+        Criterion {
+            settings: Settings::default(),
+            smoke_only,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings,
+            smoke_only: self.smoke_only,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let settings = self.settings;
+        let smoke = self.smoke_only;
+        run_one(&name.into(), settings, smoke, f);
+        self
+    }
+}
+
+/// A named group of benchmarks with shared measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    smoke_only: bool,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count (used as the minimum iteration count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    /// Defines one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(&full, self.settings, self.smoke_only, f);
+        self
+    }
+
+    /// Ends the group (formatting no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    settings: Settings,
+    smoke_only: bool,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly; per-iteration wall time is recorded.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke_only {
+            black_box(routine());
+            return;
+        }
+        let warm_end = Instant::now() + self.settings.warm_up;
+        while Instant::now() < warm_end {
+            black_box(routine());
+        }
+        let measure_start = Instant::now();
+        let measure_end = measure_start + self.settings.measurement;
+        loop {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed().as_secs_f64());
+            if Instant::now() >= measure_end && self.samples.len() >= self.settings.sample_size {
+                break;
+            }
+            // Hard cap so ultra-fast routines cannot accumulate unbounded
+            // sample vectors.
+            if self.samples.len() >= 5_000_000 {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, settings: Settings, smoke_only: bool, mut f: F) {
+    let mut b = Bencher {
+        settings,
+        smoke_only,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if smoke_only {
+        println!("{name}: ok (smoke)");
+        return;
+    }
+    if b.samples.is_empty() {
+        println!("{name}: no samples");
+        return;
+    }
+    let n = b.samples.len() as f64;
+    let mean = b.samples.iter().sum::<f64>() / n;
+    let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = b.samples.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{name}: mean {} (min {}, max {}, {} iters)",
+        fmt_secs(mean),
+        fmt_secs(min),
+        fmt_secs(max),
+        b.samples.len()
+    );
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Declares a group function that runs each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(5);
+        g.warm_up_time(Duration::from_millis(1));
+        g.measurement_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::thread::scope` with the crossbeam 0.8 call shape
+//! (`scope(|s| ...)` returning a `Result`, spawned closures receiving a
+//! `&Scope` argument), implemented on top of `std::thread::scope`. The one
+//! semantic difference: a panicking child thread propagates its panic when
+//! the scope exits instead of surfacing as `Err` — callers here use
+//! `.expect(...)`, so the observable behavior (test aborts with a panic) is
+//! the same.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// A handle to a scope in which threads can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope so that it
+        /// can spawn nested threads, as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || {
+                    let scope = Scope { inner };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow from the
+    /// enclosing stack frame. All spawned threads are joined before this
+    /// returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let scope = Scope { inner: s };
+            f(&scope)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let mut sums = vec![0u64; 4];
+        crate::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for chunk in data.chunks(2) {
+                handles.push(s.spawn(move |_| chunk.iter().sum::<u64>()));
+            }
+            for (slot, h) in sums.iter_mut().zip(handles) {
+                *slot = h.join().unwrap();
+            }
+        })
+        .expect("scope");
+        assert_eq!(sums, vec![3, 7, 11, 15]);
+    }
+
+    #[test]
+    fn chunks_mut_pattern() {
+        let mut out = vec![0usize; 10];
+        crate::thread::scope(|s| {
+            for (i, chunk) in out.chunks_mut(3).enumerate() {
+                s.spawn(move |_| {
+                    for slot in chunk.iter_mut() {
+                        *slot = i + 1;
+                    }
+                });
+            }
+        })
+        .expect("scope");
+        assert_eq!(out, vec![1, 1, 1, 2, 2, 2, 3, 3, 3, 4]);
+    }
+}

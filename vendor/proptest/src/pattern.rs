@@ -1,0 +1,151 @@
+//! A tiny regex-subset generator backing the `&'static str` strategy.
+//!
+//! Supported patterns — the only shapes the workspace's tests use:
+//!
+//! * `[a-z]{m,n}` — a character class of ranges / single characters with a
+//!   repetition count,
+//! * `\PC{m,n}` — "printable character" (generated as printable ASCII),
+//! * a bare class without `{m,n}` repeats exactly once,
+//! * concatenations of the above.
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    /// Explicit set of candidate chars (expanded from a class).
+    Class(Vec<char>),
+    /// Printable ASCII (`\PC`).
+    Printable,
+    /// A literal character.
+    Literal(char),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|c| *c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"));
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        assert!(lo <= hi, "inverted class range in {pattern:?}");
+                        for c in lo..=hi {
+                            set.push(char::from_u32(c).expect("class range"));
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in {pattern:?}");
+                i = close + 1;
+                Atom::Class(set)
+            }
+            '\\' => {
+                // Only `\PC` (printable) is supported.
+                assert!(
+                    i + 2 < chars.len() && chars[i + 1] == 'P' && chars[i + 2] == 'C',
+                    "unsupported escape in pattern {pattern:?}"
+                );
+                i += 3;
+                Atom::Printable
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|c| *c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed repetition in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            let (lo, hi) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().expect("repetition lower bound"),
+                    hi.parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = body.parse().expect("repetition count");
+                    (n, n)
+                }
+            };
+            assert!(lo <= hi, "inverted repetition in {pattern:?}");
+            i = close + 1;
+            (lo, hi)
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let span = (piece.max - piece.min) as u64 + 1;
+        let count = piece.min + rng.below(span) as usize;
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+                Atom::Printable => {
+                    out.push(char::from_u32(0x20 + rng.below(0x5f) as u32).expect("ascii"))
+                }
+                Atom::Literal(c) => out.push(*c),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = TestRng::for_case(0, "p");
+        for _ in 0..200 {
+            let s = generate("[a-z]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn printable() {
+        let mut rng = TestRng::for_case(1, "p");
+        for _ in 0..200 {
+            let s = generate("\\PC{0,40}", &mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.bytes().all(|b| (0x20..0x7f).contains(&b)));
+        }
+    }
+
+    #[test]
+    fn literals_and_fixed_counts() {
+        let mut rng = TestRng::for_case(2, "p");
+        assert_eq!(generate("abc", &mut rng), "abc");
+        let s = generate("[01]{4}", &mut rng);
+        assert_eq!(s.len(), 4);
+    }
+}
