@@ -1,12 +1,15 @@
 //! Bench target for the serving engine: batch throughput (QPS) vs shard
 //! count, against the serial single-index baseline, on the synthetic LA
 //! dataset (the ROADMAP's "serve heavy traffic" direction; not a figure of
-//! the paper).
+//! the paper). Each sharded configuration runs under both partition
+//! policies so the routed engine's QPS and shard-probe counts can be
+//! compared with round-robin directly; the exact probe/prune totals per
+//! configuration are printed once before measuring.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pmi::builder::{build_vector_index, BuildOptions, IndexKind};
 use pmi::engine::{EngineConfig, Query};
-use pmi::{build_sharded_vector_engine, L2};
+use pmi::{build_sharded_vector_engine, PartitionPolicy, L2};
 
 fn la_batch(pts: &[Vec<f32>], queries: usize, radius: f64) -> Vec<Query<Vec<f32>>> {
     (0..queries)
@@ -52,17 +55,33 @@ fn bench(c: &mut Criterion) {
     });
 
     for shards in [1usize, 2, 4, 8] {
-        let engine = build_sharded_vector_engine(
-            IndexKind::Mvpt,
-            pts.clone(),
-            L2,
-            &opts,
-            &EngineConfig { shards, threads: 0 },
-        )
-        .unwrap();
-        g.bench_function(format!("sharded/P{shards}"), |b| {
-            b.iter(|| engine.serve(&batch).report.total_results)
-        });
+        for policy in [PartitionPolicy::RoundRobin, PartitionPolicy::PivotSpace] {
+            let engine = build_sharded_vector_engine(
+                IndexKind::Mvpt,
+                pts.clone(),
+                L2,
+                &opts,
+                &EngineConfig { shards, threads: 0 },
+                policy,
+            )
+            .unwrap();
+            // One measured serve up front: the probe/prune counters are
+            // exact, so this is the policy comparison the bench exists for.
+            engine.reset_counters();
+            let probe = engine.serve(&batch);
+            println!(
+                "engine_qps_la8k P={shards} [{}]: {} probes / {} pruned ({:.1}% skipped), \
+                 {} compdists",
+                policy.label(),
+                probe.report.shards_probed,
+                probe.report.shards_pruned,
+                probe.report.prune_rate() * 100.0,
+                probe.report.cost.compdists
+            );
+            g.bench_function(format!("sharded/{}/P{shards}", policy.label()), |b| {
+                b.iter(|| engine.serve(&batch).report.total_results)
+            });
+        }
     }
     g.finish();
 }

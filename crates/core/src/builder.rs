@@ -110,6 +110,8 @@ pub enum BuildError {
     RequiresDiscreteMetric(IndexKind),
     /// The M-index needs at least two pivots (hyperplane partitioning).
     NotEnoughPivots(IndexKind, usize),
+    /// A sharded engine was requested with `EngineConfig::shards == 0`.
+    ZeroShards,
 }
 
 impl std::fmt::Display for BuildError {
@@ -120,6 +122,9 @@ impl std::fmt::Display for BuildError {
             }
             BuildError::NotEnoughPivots(k, n) => {
                 write!(f, "{} cannot be built with {n} pivot(s)", k.label())
+            }
+            BuildError::ZeroShards => {
+                write!(f, "a sharded engine requires at least one shard")
             }
         }
     }

@@ -39,14 +39,16 @@
 //! # Serving batches with the sharded engine
 //!
 //! The [`engine`] module (crate `pmi-engine`) turns any of the indexes into
-//! a concurrent query-serving tier: the dataset is partitioned round-robin
-//! across `P` shards, each backed by its own index, and batches of mixed
-//! range/kNN queries execute on a scoped-thread worker pool with per-shard
-//! results merged per query (set union for range, a bounded binary heap for
-//! the global top-k). Cost counters aggregate exactly across shards.
+//! a concurrent query-serving tier: the dataset is partitioned across `P`
+//! shards, each backed by its own index, and batches of mixed range/kNN
+//! queries execute on a scoped-thread worker pool with per-shard results
+//! merged per query (set union for range, a bounded binary heap for the
+//! global top-k). Cost counters aggregate exactly across shards.
 //!
 //! ```
-//! use pmi::{build_sharded_vector_engine, BuildOptions, EngineConfig, IndexKind, Query};
+//! use pmi::{
+//!     build_sharded_vector_engine, BuildOptions, EngineConfig, IndexKind, PartitionPolicy, Query,
+//! };
 //!
 //! let objects = pmi::datasets::la(2_000, 42);
 //! let engine = build_sharded_vector_engine(
@@ -55,6 +57,7 @@
 //!     pmi::L2,
 //!     &BuildOptions { d_plus: 14143.0, ..BuildOptions::default() },
 //!     &EngineConfig { shards: 4, threads: 2 },
+//!     PartitionPolicy::RoundRobin,
 //! )
 //! .unwrap();
 //!
@@ -68,6 +71,49 @@
 //! assert!(out.report.qps > 0.0);
 //! assert!(out.report.cost.compdists > 0);
 //! ```
+//!
+//! # Routing-aware sharding (`PartitionPolicy::PivotSpace`)
+//!
+//! Round-robin spreads every metric region across all shards, so every
+//! query probes all `P` of them. [`PartitionPolicy::PivotSpace`] instead
+//! clusters objects by their pivot-distance vectors (balanced k-means in
+//! pivot space, via the [`router`] module / crate `pmi-router`) and keeps a
+//! per-shard bounding box over the mapped points. Each query is then
+//! *routed*: range queries skip every shard whose box fails the Lemma 1
+//! intersection test, and kNN queries probe shards best-first by box lower
+//! bound, skipping the rest once the k-th distance undercuts them. Answers
+//! are identical to round-robin (pruning is conservative); the saved work
+//! shows up in `ServeReport::shards_pruned`.
+//!
+//! ```
+//! use pmi::{
+//!     build_sharded_vector_engine, BuildOptions, EngineConfig, IndexKind, PartitionPolicy, Query,
+//! };
+//!
+//! let objects = pmi::datasets::la(2_000, 42);
+//! let engine = build_sharded_vector_engine(
+//!     IndexKind::Mvpt,
+//!     objects.clone(),
+//!     pmi::L2,
+//!     &BuildOptions { d_plus: 14143.0, ..BuildOptions::default() },
+//!     &EngineConfig { shards: 8, threads: 2 },
+//!     PartitionPolicy::PivotSpace,
+//! )
+//! .unwrap();
+//! assert_eq!(engine.policy(), PartitionPolicy::PivotSpace);
+//!
+//! // Selective range queries on clustered data skip most shards.
+//! let batch: Vec<Query<Vec<f32>>> = (0..32)
+//!     .map(|i| Query::range(objects[i * 7].clone(), 150.0))
+//!     .collect();
+//! let out = engine.serve(&batch);
+//! assert_eq!(
+//!     out.report.shards_probed + out.report.shards_pruned,
+//!     32 * 8,
+//!     "every query accounts for all shards"
+//! );
+//! assert!(out.report.shards_pruned > 0, "routing skipped shard probes");
+//! ```
 
 pub mod builder;
 pub mod serve;
@@ -77,8 +123,12 @@ pub use serve::{build_sharded_engine, build_sharded_vector_engine};
 
 pub use pmi_engine as engine;
 pub use pmi_engine::{
-    BatchOutcome, EngineConfig, LatencySummary, Query, QueryResult, ServeReport, ShardedEngine,
+    BatchOutcome, EngineConfig, EngineError, LatencySummary, Query, QueryResult, ServeReport,
+    ShardedEngine,
 };
+
+pub use pmi_router as router;
+pub use pmi_router::{PartitionPolicy, RoutingTable};
 
 pub use pmi_metric::datasets;
 pub use pmi_metric::lemmas;

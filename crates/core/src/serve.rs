@@ -1,18 +1,42 @@
 //! Convenience constructors wiring [`builder`](crate::builder) into the
-//! sharded serving engine (`pmi-engine`, re-exported as [`crate::engine`]).
+//! sharded serving engine (`pmi-engine`, re-exported as [`crate::engine`])
+//! and the pivot-space router (`pmi-router`, re-exported as
+//! [`crate::router`]).
 //!
 //! The engine itself is index-agnostic — it takes a shard factory. These
 //! helpers close the loop for the common case: "shard this dataset across
 //! `P` partitions, each backed by `IndexKind` X built with the paper's
-//! shared parameters".
+//! shared parameters, partitioned per `PartitionPolicy`".
+//!
+//! With [`PartitionPolicy::PivotSpace`] the dataset is first mapped into
+//! pivot space (`o ↦ (d(o, p_1), …, d(o, p_l))` over the shared pivot
+//! set), clustered into balanced shards there, and served through a
+//! [`pmi_router::RoutingTable`] so that each query only probes the shards
+//! whose pivot-space bounding box survives Lemma 1 — identical answers,
+//! strictly fewer shard probes on clustered data. The mapping costs `l`
+//! distance computations per object at build time and `l` per query at
+//! serve time; these routing distances are planner overhead and are *not*
+//! part of the per-shard `Counters` the paper's cost model tracks.
 
 use crate::builder::{build_index, BuildError, BuildOptions, IndexKind};
-use pmi_engine::{EngineConfig, ShardedEngine};
+use pmi_engine::{EngineConfig, EngineError, ShardedEngine};
 use pmi_metric::{EncodeObject, Metric};
+use pmi_router::{assign_pivot_space, PartitionPolicy, RoutingTable};
+
+fn flatten<O>(
+    r: Result<ShardedEngine<O>, EngineError<BuildError>>,
+) -> Result<ShardedEngine<O>, BuildError> {
+    r.map_err(|e| match e {
+        EngineError::ZeroShards => BuildError::ZeroShards,
+        EngineError::Build(b) => b,
+    })
+}
 
 /// Builds a sharded engine whose shards are all `kind` indexes built with
 /// `opts`, sharing the caller-provided pivot set (the paper's equal-footing
-/// setup: pass one HFI set and every shard uses it).
+/// setup: pass one HFI set and every shard uses it). `policy` picks the
+/// partitioner: round-robin, or pivot-space clustering with routed
+/// (shard-pruning) query serving over the same pivots.
 pub fn build_sharded_engine<O, M>(
     kind: IndexKind,
     objects: Vec<O>,
@@ -20,32 +44,72 @@ pub fn build_sharded_engine<O, M>(
     pivots: Vec<O>,
     opts: &BuildOptions,
     cfg: &EngineConfig,
+    policy: PartitionPolicy,
 ) -> Result<ShardedEngine<O>, BuildError>
 where
     O: Clone + EncodeObject + Send + Sync + 'static,
     M: Metric<O> + Clone + 'static,
 {
-    ShardedEngine::build_with(objects, cfg, |_, part| {
-        build_index(kind, part, metric.clone(), pivots.clone(), opts)
-    })
+    if cfg.shards == 0 {
+        return Err(BuildError::ZeroShards);
+    }
+    match policy {
+        PartitionPolicy::RoundRobin => {
+            flatten(ShardedEngine::build_with(objects, cfg, |_, part| {
+                build_index(kind, part, metric.clone(), pivots.clone(), opts)
+            }))
+        }
+        PartitionPolicy::PivotSpace => {
+            let shards = cfg.resolved_shards(objects.len());
+            let mapped: Vec<Vec<f64>> = objects
+                .iter()
+                .map(|o| pivots.iter().map(|p| metric.dist(o, p)).collect())
+                .collect();
+            let assignment = assign_pivot_space(&mapped, shards, opts.seed);
+            let router = {
+                let metric = metric.clone();
+                let pivots_for_mapper = pivots.clone();
+                RoutingTable::from_assignment(
+                    move |o: &O| {
+                        pivots_for_mapper
+                            .iter()
+                            .map(|p| metric.dist(o, p))
+                            .collect()
+                    },
+                    pivots.len(),
+                    &mapped,
+                    &assignment,
+                    shards,
+                )
+            };
+            flatten(ShardedEngine::build_partitioned_with(
+                objects,
+                &assignment,
+                router,
+                cfg,
+                |_, part| build_index(kind, part, metric.clone(), pivots.clone(), opts),
+            ))
+        }
+    }
 }
 
 /// Vector-dataset convenience: selects one shared HFI pivot set over the
 /// *full* dataset (so shards stay on equal footing with an unsharded
-/// build), then shards.
+/// build), then shards per `policy`.
 pub fn build_sharded_vector_engine<M>(
     kind: IndexKind,
     objects: Vec<Vec<f32>>,
     metric: M,
     opts: &BuildOptions,
     cfg: &EngineConfig,
+    policy: PartitionPolicy,
 ) -> Result<ShardedEngine<Vec<f32>>, BuildError>
 where
     M: Metric<Vec<f32>> + Clone + 'static,
 {
     let ids = pmi_pivots::select_hfi(&objects, &metric, opts.num_pivots, opts.seed);
     let pivots = ids.into_iter().map(|i| objects[i].clone()).collect();
-    build_sharded_engine(kind, objects, metric, pivots, opts, cfg)
+    build_sharded_engine(kind, objects, metric, pivots, opts, cfg, policy)
 }
 
 #[cfg(test)]
@@ -61,22 +125,63 @@ mod tests {
             d_plus: 14143.0,
             ..BuildOptions::default()
         };
+        for policy in [PartitionPolicy::RoundRobin, PartitionPolicy::PivotSpace] {
+            let engine = build_sharded_vector_engine(
+                IndexKind::Laesa,
+                pts.clone(),
+                L2,
+                &opts,
+                &EngineConfig {
+                    shards: 4,
+                    threads: 2,
+                },
+                policy,
+            )
+            .unwrap();
+            assert_eq!(engine.len(), 400);
+            assert_eq!(engine.policy(), policy);
+            let oracle = BruteForce::new(pts.clone(), L2);
+            let mut want = oracle.range_query(&pts[3], 800.0);
+            want.sort_unstable();
+            assert_eq!(engine.range_query(&pts[3], 800.0), want);
+        }
+    }
+
+    #[test]
+    fn pivot_space_routing_prunes_on_clustered_data() {
+        // LA is clustered, so selective range queries must skip shards.
+        let pts = datasets::la(800, 5);
+        let radius = datasets::calibrate_radius(&pts, &L2, 0.01, 5);
+        let opts = BuildOptions {
+            d_plus: 14143.0,
+            ..BuildOptions::default()
+        };
         let engine = build_sharded_vector_engine(
             IndexKind::Laesa,
             pts.clone(),
             L2,
             &opts,
             &EngineConfig {
-                shards: 4,
-                threads: 2,
+                shards: 8,
+                threads: 1,
             },
+            PartitionPolicy::PivotSpace,
         )
         .unwrap();
-        assert_eq!(engine.len(), 400);
-        let oracle = BruteForce::new(pts.clone(), L2);
-        let mut want = oracle.range_query(&pts[3], 800.0);
-        want.sort_unstable();
-        assert_eq!(engine.range_query(&pts[3], 800.0), want);
+        engine.reset_counters();
+        let batch: Vec<Query<Vec<f32>>> = (0..50)
+            .map(|i| Query::range(pts[i].clone(), radius))
+            .collect();
+        let out = engine.serve(&batch);
+        assert!(
+            out.report.shards_pruned > 0,
+            "selective queries on clustered data must skip shards"
+        );
+        assert_eq!(
+            out.report.shards_probed + out.report.shards_pruned,
+            50 * 8,
+            "every query accounts for all 8 shards"
+        );
     }
 
     #[test]
@@ -88,8 +193,27 @@ mod tests {
             L2,
             &BuildOptions::default(),
             &EngineConfig::default(),
+            PartitionPolicy::RoundRobin,
         );
         assert!(matches!(err, Err(BuildError::RequiresDiscreteMetric(_))));
+    }
+
+    #[test]
+    fn zero_shards_is_a_build_error() {
+        for policy in [PartitionPolicy::RoundRobin, PartitionPolicy::PivotSpace] {
+            let err = build_sharded_vector_engine(
+                IndexKind::Laesa,
+                datasets::la(20, 1),
+                L2,
+                &BuildOptions::default(),
+                &EngineConfig {
+                    shards: 0,
+                    threads: 1,
+                },
+                policy,
+            );
+            assert_eq!(err.err(), Some(BuildError::ZeroShards), "{policy:?}");
+        }
     }
 
     #[test]
@@ -108,6 +232,7 @@ mod tests {
                 shards: 3,
                 threads: 2,
             },
+            PartitionPolicy::PivotSpace,
         )
         .unwrap();
         let batch: Vec<Query<Vec<f32>>> = (0..40)

@@ -1,20 +1,32 @@
 //! The sharded engine: partitioning, the scoped-thread worker pool, and
 //! batch serving with exact aggregate cost accounting.
+//!
+//! Two partitioning regimes exist (see [`PartitionPolicy`]): the original
+//! round-robin split, where every query probes every shard, and pivot-space
+//! routing ([`ShardedEngine::build_partitioned_with`]), where a
+//! [`RoutingTable`] prunes shards per query via Lemma 1 box bounds — range
+//! queries skip every shard whose bounding box cannot intersect the search
+//! ball, and kNN queries probe shards best-first, skipping those whose
+//! lower bound exceeds the current k-th distance. Both regimes return
+//! identical answers; routing only changes how much work is paid for them,
+//! which the engine accounts exactly through the `shards_probed` /
+//! `shards_pruned` counters.
 
 use crate::merge::{merge_range, TopK};
 use crate::query::{Query, QueryResult};
 use crate::report::{LatencySummary, ServeReport};
-use crate::shard::{partition_round_robin, Partition, Shard};
+use crate::shard::{partition_by_assignment, partition_round_robin, Partition, Shard};
 use pmi_metric::{Counters, MetricIndex, Neighbor, ObjId, StorageFootprint};
+use pmi_router::{PartitionPolicy, RoutingTable};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Engine shape: how many partitions and how many worker threads.
 #[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
-    /// Number of shards `P`. Clamped to `1..=n` at build time so no shard
-    /// is ever empty.
+    /// Number of shards `P`. Clamped to at most `n` at build time so no
+    /// shard is ever empty; `0` is a build error ([`EngineError::ZeroShards`]).
     pub shards: usize,
     /// Worker threads for batch serving and parallel shard builds;
     /// `0` means one per available hardware thread.
@@ -29,6 +41,41 @@ impl Default for EngineConfig {
         }
     }
 }
+
+impl EngineConfig {
+    /// The shard count actually built over `n` objects: `shards` clamped to
+    /// `1..=max(n, 1)` (no shard is ever empty). Callers that partition
+    /// externally (the pivot-space router) use the same clamp so that shard
+    /// counts agree with the round-robin path.
+    pub fn resolved_shards(&self, n: usize) -> usize {
+        self.shards.max(1).min(n.max(1))
+    }
+}
+
+/// Why a sharded engine could not be built.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError<E> {
+    /// `EngineConfig::shards` was 0 — an engine needs at least one shard.
+    ZeroShards,
+    /// A shard factory failed; carries the factory's own error.
+    Build(E),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for EngineError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::ZeroShards => {
+                write!(
+                    f,
+                    "engine requires at least one shard (EngineConfig.shards == 0)"
+                )
+            }
+            EngineError::Build(e) => write!(f, "shard build failed: {e}"),
+        }
+    }
+}
+
+impl<E: std::fmt::Display + std::fmt::Debug> std::error::Error for EngineError<E> {}
 
 fn resolve_threads(requested: usize) -> usize {
     if requested > 0 {
@@ -52,15 +99,27 @@ pub struct BatchOutcome {
 /// A dataset sharded across `P` independent [`MetricIndex`]es, serving
 /// batches of mixed range / kNN queries concurrently.
 ///
-/// Every query probes every shard (shards partition the data, so all hold
-/// candidates); per-shard partial answers merge into one global answer —
-/// a sorted union for range queries, a bounded-heap top-k for kNN. Because
-/// shards are disjoint and each shard's own query processing is exact, the
-/// merged answers are identical to a single unsharded index over the same
-/// data (ties at the k-th distance excepted, as the trait allows either).
+/// Under round-robin partitioning every query probes every shard (shards
+/// partition the data, so all hold candidates). Under pivot-space
+/// partitioning a [`RoutingTable`] summarizes each shard as a bounding box
+/// in pivot space and queries skip every shard those summaries prove
+/// answer-free (Lemma 1). Either way, per-shard partial answers merge into
+/// one global answer — a sorted union for range queries, a bounded-heap
+/// top-k for kNN — and because pruning is conservative and each shard's own
+/// query processing is exact, the merged answers are identical to a single
+/// unsharded index over the same data (ties at the k-th distance excepted,
+/// as the trait allows either).
 pub struct ShardedEngine<O> {
     shards: Vec<Shard<O>>,
     threads: usize,
+    /// Pivot-space routing state; `None` for round-robin engines.
+    router: Option<RoutingTable<O>>,
+    /// Exact count of shard probes executed (a query touching 3 of 8
+    /// shards adds 3).
+    probed: AtomicU64,
+    /// Exact count of shard probes avoided by routing (the same query adds
+    /// 5 here).
+    pruned: AtomicU64,
     /// Global id → (shard, local id) for live objects.
     locator: HashMap<ObjId, (u32, ObjId)>,
     next_id: ObjId,
@@ -77,16 +136,65 @@ impl<O> ShardedEngine<O> {
     /// The factory receives `(shard_number, partition)` and must insert the
     /// partition in order, so that local id `i` is the `i`-th object of the
     /// partition (every index in this workspace does).
-    pub fn build_with<E, F>(objects: Vec<O>, cfg: &EngineConfig, factory: F) -> Result<Self, E>
+    pub fn build_with<E, F>(
+        objects: Vec<O>,
+        cfg: &EngineConfig,
+        factory: F,
+    ) -> Result<Self, EngineError<E>>
     where
         O: Send,
         E: Send,
         F: Fn(usize, Vec<O>) -> Result<Box<dyn MetricIndex<O>>, E> + Sync,
     {
+        if cfg.shards == 0 {
+            return Err(EngineError::ZeroShards);
+        }
         let n = objects.len();
-        let num_shards = cfg.shards.max(1).min(n.max(1));
+        let parts = partition_round_robin(objects, cfg.resolved_shards(n));
+        Self::build_parts(parts, None, cfg, factory)
+    }
+
+    /// Builds a *routed* engine from an explicit per-object shard
+    /// assignment (the pivot-space clustering of `pmi-router`) plus the
+    /// matching [`RoutingTable`]. The shard count is the router's
+    /// `num_shards()`; `assignment[i]` must be a valid shard for object
+    /// `i`, and every object's mapped point must lie inside its shard's
+    /// box (`RoutingTable::from_assignment` guarantees both).
+    pub fn build_partitioned_with<E, F>(
+        objects: Vec<O>,
+        assignment: &[usize],
+        router: RoutingTable<O>,
+        cfg: &EngineConfig,
+        factory: F,
+    ) -> Result<Self, EngineError<E>>
+    where
+        O: Send,
+        E: Send,
+        F: Fn(usize, Vec<O>) -> Result<Box<dyn MetricIndex<O>>, E> + Sync,
+    {
+        if cfg.shards == 0 || router.num_shards() == 0 {
+            return Err(EngineError::ZeroShards);
+        }
+        let parts = partition_by_assignment(objects, assignment, router.num_shards());
+        Self::build_parts(parts, Some(router), cfg, factory)
+    }
+
+    /// Shared build tail: indexes every partition (in parallel when
+    /// configured), wires the locator, and attaches the optional router.
+    fn build_parts<E, F>(
+        parts: Vec<Partition<O>>,
+        router: Option<RoutingTable<O>>,
+        cfg: &EngineConfig,
+        factory: F,
+    ) -> Result<Self, EngineError<E>>
+    where
+        O: Send,
+        E: Send,
+        F: Fn(usize, Vec<O>) -> Result<Box<dyn MetricIndex<O>>, E> + Sync,
+    {
+        let num_shards = parts.len();
+        let n: usize = parts.iter().map(|(objs, _)| objs.len()).sum();
         let threads = resolve_threads(cfg.threads);
-        let parts = partition_round_robin(objects, num_shards);
 
         let built: Vec<Result<Shard<O>, E>> = if threads <= 1 || num_shards == 1 {
             parts
@@ -135,7 +243,7 @@ impl<O> ShardedEngine<O> {
 
         let mut shards = Vec::with_capacity(num_shards);
         for b in built {
-            shards.push(b?);
+            shards.push(b.map_err(EngineError::Build)?);
         }
 
         let mut locator = HashMap::with_capacity(n);
@@ -148,6 +256,9 @@ impl<O> ShardedEngine<O> {
         Ok(ShardedEngine {
             shards,
             threads,
+            router,
+            probed: AtomicU64::new(0),
+            pruned: AtomicU64::new(0),
             locator,
             next_id: n as ObjId,
         })
@@ -178,6 +289,38 @@ impl<O> ShardedEngine<O> {
         &self.shards
     }
 
+    /// Which partitioning regime this engine runs: `PivotSpace` when a
+    /// routing table is attached, `RoundRobin` otherwise.
+    pub fn policy(&self) -> PartitionPolicy {
+        if self.router.is_some() {
+            PartitionPolicy::PivotSpace
+        } else {
+            PartitionPolicy::RoundRobin
+        }
+    }
+
+    /// The routing table, when pivot-space partitioned.
+    pub fn routing(&self) -> Option<&RoutingTable<O>> {
+        self.router.as_ref()
+    }
+
+    /// Exact `(shards_probed, shards_pruned)` totals since construction or
+    /// the last [`reset_counters`](Self::reset_counters): every query adds
+    /// its probed shard count to the first and its routed-away shard count
+    /// to the second (round-robin engines always add `(P, 0)`).
+    pub fn probe_counts(&self) -> (u64, u64) {
+        (
+            self.probed.load(Ordering::Relaxed),
+            self.pruned.load(Ordering::Relaxed),
+        )
+    }
+
+    #[inline]
+    fn note_probes(&self, probed: usize, pruned: usize) {
+        self.probed.fetch_add(probed as u64, Ordering::Relaxed);
+        self.pruned.fetch_add(pruned as u64, Ordering::Relaxed);
+    }
+
     /// Aggregate cost counters: the exact sum of every shard's atomic
     /// counters.
     pub fn counters(&self) -> Counters {
@@ -191,11 +334,13 @@ impl<O> ShardedEngine<O> {
         self.shards.iter().map(|s| s.counters()).collect()
     }
 
-    /// Resets every shard's counters.
+    /// Resets every shard's counters and the engine's probe counters.
     pub fn reset_counters(&self) {
         for s in &self.shards {
             s.reset_counters();
         }
+        self.probed.store(0, Ordering::Relaxed);
+        self.pruned.store(0, Ordering::Relaxed);
     }
 
     /// Aggregate storage footprint.
@@ -213,15 +358,40 @@ impl<O> ShardedEngine<O> {
         }
     }
 
-    /// Inserts an object into the currently smallest shard, returning its
-    /// global id.
+    /// Inserts an object, returning its global id. Round-robin engines pick
+    /// the currently smallest shard; routed engines pick the shard whose
+    /// pivot-space box is closest to the object's mapped point (smallest
+    /// shard among ties) and grow that box to cover it, so routing stays
+    /// exact across inserts.
     pub fn insert(&mut self, o: O) -> ObjId {
-        let (si, _) = self
-            .shards
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, s)| s.len())
-            .expect("engine always has at least one shard");
+        let si = match &self.router {
+            Some(rt) => {
+                let mapped = rt.map(&o);
+                let bounds = rt.shard_lower_bounds(&mapped);
+                let best = bounds.iter().copied().fold(f64::INFINITY, f64::min);
+                let si = self
+                    .shards
+                    .iter()
+                    .enumerate()
+                    .filter(|(s, _)| bounds[*s] <= best)
+                    .min_by_key(|(_, sh)| sh.len())
+                    .map(|(s, _)| s)
+                    .expect("engine always has at least one shard");
+                self.router
+                    .as_mut()
+                    .expect("router checked above")
+                    .extend(si, &mapped);
+                si
+            }
+            None => {
+                self.shards
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.len())
+                    .expect("engine always has at least one shard")
+                    .0
+            }
+        };
         let gid = self.next_id;
         self.next_id += 1;
         let local = self.shards[si].insert(o, gid);
@@ -230,6 +400,8 @@ impl<O> ShardedEngine<O> {
     }
 
     /// Removes an object by global id; returns whether it was present.
+    /// Routed engines leave the shard's box untouched — a box that is too
+    /// large only costs extra probes, never answers.
     pub fn remove(&mut self, id: ObjId) -> bool {
         match self.locator.remove(&id) {
             Some((s, local)) => self.shards[s as usize].remove_local(local),
@@ -252,44 +424,86 @@ impl<O> ShardedEngine<O> {
         }
     }
 
-    /// Probes every shard serially and merges the range union.
-    fn range_serial(&self, q: &O, radius: f64) -> Vec<ObjId> {
+    /// The shards `MRQ(q, r)` must probe: all of them for round-robin
+    /// engines, the router's Lemma 1 survivors otherwise. Also records the
+    /// probe/prune counts.
+    fn range_probe_set(&self, q: &O, radius: f64) -> Vec<usize> {
+        let probe = match &self.router {
+            Some(rt) => {
+                let qd = rt.map(q);
+                rt.range_plan(&qd, radius)
+            }
+            None => (0..self.shards.len()).collect(),
+        };
+        self.note_probes(probe.len(), self.shards.len() - probe.len());
+        probe
+    }
+
+    /// Probes the given shards serially and merges the range union.
+    fn range_over(&self, probe: &[usize], q: &O, radius: f64) -> Vec<ObjId> {
         merge_range(
-            self.shards
+            probe
                 .iter()
-                .map(|s| s.range_global(q, radius))
+                .map(|&s| self.shards[s].range_global(q, radius))
                 .collect(),
         )
     }
 
-    /// Probes every shard serially into one bounded top-k collector.
+    /// Plans and probes serially: the per-worker path of [`serve`](Self::serve).
+    fn range_serial(&self, q: &O, radius: f64) -> Vec<ObjId> {
+        let probe = self.range_probe_set(q, radius);
+        self.range_over(&probe, q, radius)
+    }
+
+    /// Probes shards serially into one bounded top-k collector. Routed
+    /// engines go best-first by box lower bound and skip every shard whose
+    /// bound exceeds the current k-th distance (strictly — an equal bound
+    /// could still hide an id-tie winner).
     fn knn_serial(&self, q: &O, k: usize) -> TopK {
         let mut topk = TopK::new(k);
-        for s in &self.shards {
-            s.knn_into(q, k, &mut topk);
+        match &self.router {
+            Some(rt) => {
+                let qd = rt.map(q);
+                let (mut probed, mut pruned) = (0usize, 0usize);
+                for (s, lb) in rt.knn_order(&qd) {
+                    if lb > topk.threshold() {
+                        pruned += 1;
+                        continue;
+                    }
+                    probed += 1;
+                    self.shards[s].knn_into(q, k, &mut topk);
+                }
+                self.note_probes(probed, pruned);
+            }
+            None => {
+                self.note_probes(self.shards.len(), 0);
+                for s in &self.shards {
+                    s.knn_into(q, k, &mut topk);
+                }
+            }
         }
         topk
     }
 }
 
 impl<O: Send + Sync> ShardedEngine<O> {
-    /// Metric range query `MRQ(q, r)`, fanned across the shards on at most
-    /// `threads` scoped worker threads (the low-latency path for a single
-    /// query). Returns global ids sorted ascending.
+    /// Metric range query `MRQ(q, r)`, fanned across the shards the planner
+    /// selects on at most `threads` scoped worker threads (the low-latency
+    /// path for a single query). Returns global ids sorted ascending.
     pub fn range_query(&self, q: &O, radius: f64) -> Vec<ObjId> {
-        if self.shards.len() == 1 || self.threads <= 1 {
-            return self.range_serial(q, radius);
+        let probe = self.range_probe_set(q, radius);
+        if probe.len() <= 1 || self.threads <= 1 {
+            return self.range_over(&probe, q, radius);
         }
-        let chunk = self.shards.len().div_ceil(self.threads);
+        let chunk = probe.len().div_ceil(self.threads);
         let partials: Vec<Vec<ObjId>> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
+            let handles: Vec<_> = probe
                 .chunks(chunk)
                 .map(|group| {
                     scope.spawn(move |_| {
                         group
                             .iter()
-                            .map(|s| s.range_global(q, radius))
+                            .map(|&s| self.shards[s].range_global(q, radius))
                             .collect::<Vec<_>>()
                     })
                 })
@@ -303,13 +517,17 @@ impl<O: Send + Sync> ShardedEngine<O> {
         merge_range(partials)
     }
 
-    /// Metric kNN query `MkNNQ(q, k)`, fanned across the shards on at most
-    /// `threads` scoped worker threads, merged through a bounded binary
-    /// heap. Sorted ascending by `(distance, global id)`.
+    /// Metric kNN query `MkNNQ(q, k)`. Round-robin engines fan the query
+    /// across all shards on scoped worker threads and merge through a
+    /// bounded binary heap; routed engines probe best-first on the calling
+    /// thread instead, because each probe tightens the cutoff that prunes
+    /// the shards after it (batch serving still parallelizes across
+    /// queries). Sorted ascending by `(distance, global id)`.
     pub fn knn_query(&self, q: &O, k: usize) -> Vec<Neighbor> {
-        if self.shards.len() == 1 || self.threads <= 1 {
+        if self.router.is_some() || self.shards.len() == 1 || self.threads <= 1 {
             return self.knn_serial(q, k).into_sorted();
         }
+        self.note_probes(self.shards.len(), 0);
         let chunk = self.shards.len().div_ceil(self.threads);
         let partials: Vec<Vec<Neighbor>> = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = self
@@ -342,20 +560,22 @@ impl<O: Send + Sync> ShardedEngine<O> {
 
     /// Serves a batch of mixed queries on the worker pool: each worker
     /// claims queries from a shared atomic cursor, executes them against
-    /// every shard, merges, and records the per-query latency from a
-    /// monotonic clock. Returns the merged answers in batch order plus a
-    /// [`ServeReport`].
+    /// the shards the planner selects, merges, and records the per-query
+    /// latency from a monotonic clock. Returns the merged answers in batch
+    /// order plus a [`ServeReport`].
     ///
     /// The report's `cost` is the delta of the aggregate counters across
     /// the batch — exact for everything this engine's shards executed in
-    /// the batch window, because every shard counts atomically. If the
-    /// caller runs *other* queries on the same engine concurrently with
-    /// this batch (another `serve`, or single-query calls from another
-    /// thread), their cost lands in the same window and is included;
-    /// serve one batch at a time for per-batch attribution.
+    /// the batch window, because every shard counts atomically; the same
+    /// holds for `shards_probed` / `shards_pruned`. If the caller runs
+    /// *other* queries on the same engine concurrently with this batch
+    /// (another `serve`, or single-query calls from another thread), their
+    /// cost lands in the same window and is included; serve one batch at a
+    /// time for per-batch attribution.
     pub fn serve(&self, batch: &[Query<O>]) -> BatchOutcome {
         let workers = self.threads.min(batch.len()).max(1);
         let before = self.counters();
+        let (probed0, pruned0) = self.probe_counts();
         let cursor = AtomicUsize::new(0);
         let t0 = Instant::now();
 
@@ -399,6 +619,7 @@ impl<O: Send + Sync> ShardedEngine<O> {
 
         let wall_secs = t0.elapsed().as_secs_f64();
         let cost = self.counters().since(&before);
+        let (probed1, pruned1) = self.probe_counts();
 
         let mut results: Vec<Option<QueryResult>> = (0..batch.len()).map(|_| None).collect();
         let mut nanos = Vec::with_capacity(batch.len());
@@ -429,6 +650,8 @@ impl<O: Send + Sync> ShardedEngine<O> {
             },
             latency: LatencySummary::from_nanos(nanos),
             cost,
+            shards_probed: probed1 - probed0,
+            shards_pruned: pruned1 - pruned0,
         };
         BatchOutcome { results, report }
     }
@@ -437,7 +660,7 @@ impl<O: Send + Sync> ShardedEngine<O> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pmi_metric::{BruteForce, L2};
+    use pmi_metric::{BruteForce, Metric, L2};
 
     fn grid(n: usize) -> Vec<Vec<f32>> {
         (0..n)
@@ -456,6 +679,37 @@ mod tests {
         .unwrap()
     }
 
+    /// A routed engine over two well-separated 1-d clusters, one pivot at
+    /// the origin (mapping = |x|).
+    fn routed_two_clusters() -> (Vec<Vec<f32>>, ShardedEngine<Vec<f32>>) {
+        let objects: Vec<Vec<f32>> = (0..20)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![(i / 2) as f32] // cluster A: 0..10
+                } else {
+                    vec![100.0 + (i / 2) as f32] // cluster B: 100..110
+                }
+            })
+            .collect();
+        let pivot = vec![0.0f32];
+        let mapper = move |o: &Vec<f32>| vec![L2.dist(o.as_slice(), pivot.as_slice())];
+        let mapped: Vec<Vec<f64>> = objects.iter().map(&mapper).collect();
+        let assignment: Vec<usize> = objects.iter().map(|o| usize::from(o[0] >= 50.0)).collect();
+        let router = RoutingTable::from_assignment(mapper, 1, &mapped, &assignment, 2);
+        let e = ShardedEngine::build_partitioned_with(
+            objects.clone(),
+            &assignment,
+            router,
+            &EngineConfig {
+                shards: 2,
+                threads: 1,
+            },
+            |_, part| brute_factory(part),
+        )
+        .unwrap();
+        (objects, e)
+    }
+
     #[test]
     fn sharded_matches_unsharded() {
         let objects = grid(300);
@@ -464,6 +718,7 @@ mod tests {
             let e = engine(300, shards, 2);
             assert_eq!(e.len(), 300);
             assert_eq!(e.num_shards(), shards);
+            assert_eq!(e.policy(), PartitionPolicy::RoundRobin);
             for qi in [0usize, 17, 299] {
                 let mut want = single.range_query(&objects[qi], 5.0);
                 want.sort_unstable();
@@ -477,6 +732,96 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn zero_shards_is_an_error() {
+        let r: Result<ShardedEngine<Vec<f32>>, EngineError<&str>> = ShardedEngine::build_with(
+            grid(10),
+            &EngineConfig {
+                shards: 0,
+                threads: 1,
+            },
+            |_, part| brute_factory(part),
+        );
+        assert_eq!(r.err(), Some(EngineError::ZeroShards));
+        let msg = format!("{}", EngineError::<&str>::ZeroShards);
+        assert!(msg.contains("at least one shard"));
+    }
+
+    #[test]
+    fn routed_engine_prunes_and_stays_exact() {
+        let (objects, e) = routed_two_clusters();
+        assert_eq!(e.policy(), PartitionPolicy::PivotSpace);
+        let single = BruteForce::new(objects.clone(), L2);
+
+        // Selective range query inside cluster A: shard 1 is pruned.
+        let q = vec![3.0f32];
+        let mut want = single.range_query(&q, 2.5);
+        want.sort_unstable();
+        assert_eq!(e.range_query(&q, 2.5), want);
+        let (probed, pruned) = e.probe_counts();
+        assert_eq!((probed, pruned), (1, 1), "one shard probed, one pruned");
+
+        // kNN inside cluster A: best-first probes shard 0, whose 3 answers
+        // (all within distance <= 3) prune shard 1 (lower bound ~90).
+        e.reset_counters();
+        let got = e.knn_query(&q, 3);
+        let want_k = single.knn_query(&q, 3);
+        assert_eq!(got.len(), 3);
+        for (g, w) in got.iter().zip(&want_k) {
+            assert_eq!(g.id, w.id);
+            assert!((g.dist - w.dist).abs() < 1e-12);
+        }
+        let (probed, pruned) = e.probe_counts();
+        assert_eq!((probed, pruned), (1, 1));
+
+        // A huge radius must probe both shards and still be exact.
+        e.reset_counters();
+        let mut want_all = single.range_query(&q, 1000.0);
+        want_all.sort_unstable();
+        assert_eq!(e.range_query(&q, 1000.0), want_all);
+        assert_eq!(e.probe_counts(), (2, 0));
+
+        // Serve reports the probe/prune aggregate exactly.
+        e.reset_counters();
+        let batch = vec![
+            Query::range(vec![3.0f32], 2.5),
+            Query::range(vec![105.0f32], 2.5),
+            Query::knn(vec![3.0f32], 3),
+        ];
+        let out = e.serve(&batch);
+        assert_eq!(out.report.shards_probed, 3);
+        assert_eq!(out.report.shards_pruned, 3);
+        assert_eq!(
+            out.report.shards_probed + out.report.shards_pruned,
+            (batch.len() * e.num_shards()) as u64
+        );
+    }
+
+    #[test]
+    fn routed_insert_routes_and_extends() {
+        let (_, mut e) = routed_two_clusters();
+        // New object near cluster B must land in shard 1 and widen its box.
+        let gid = e.insert(vec![120.0f32]);
+        assert_eq!(e.get(gid), Some(vec![120.0f32]));
+        e.reset_counters();
+        let hits = e.range_query(&vec![120.0f32], 1.0);
+        assert_eq!(hits, vec![gid]);
+        let (probed, pruned) = e.probe_counts();
+        assert_eq!((probed, pruned), (1, 1), "cluster A shard still pruned");
+    }
+
+    #[test]
+    fn round_robin_counts_all_probes() {
+        let e = engine(100, 4, 1);
+        e.reset_counters();
+        let out = e.serve(&[
+            Query::range(vec![0.0f32, 0.0], 2.0),
+            Query::knn(vec![1.0f32, 1.0], 3),
+        ]);
+        assert_eq!(out.report.shards_probed, 8, "2 queries x 4 shards");
+        assert_eq!(out.report.shards_pruned, 0);
     }
 
     #[test]
@@ -549,7 +894,7 @@ mod tests {
 
     #[test]
     fn build_error_propagates() {
-        let r: Result<ShardedEngine<Vec<f32>>, &str> = ShardedEngine::build_with(
+        let r: Result<ShardedEngine<Vec<f32>>, EngineError<&str>> = ShardedEngine::build_with(
             grid(10),
             &EngineConfig {
                 shards: 2,
@@ -563,6 +908,6 @@ mod tests {
                 }
             },
         );
-        assert_eq!(r.err(), Some("nope"));
+        assert_eq!(r.err(), Some(EngineError::Build("nope")));
     }
 }

@@ -5,10 +5,17 @@
 //! naturally because objects are independent of each other. This crate
 //! extends that observation from index *construction* to query *serving*:
 //!
-//! * [`ShardedEngine`] partitions a dataset round-robin across `P`
-//!   independent shards, each backed by any [`MetricIndex`] implementation
-//!   (a shard factory closure decides which — the `pmi` facade wires its
-//!   `builder` module in, so every index of the paper can serve),
+//! * [`ShardedEngine`] partitions a dataset across `P` independent shards,
+//!   each backed by any [`MetricIndex`] implementation (a shard factory
+//!   closure decides which — the `pmi` facade wires its `builder` module
+//!   in, so every index of the paper can serve). Partitioning is either
+//!   round-robin ([`ShardedEngine::build_with`]) or pivot-space routed
+//!   ([`ShardedEngine::build_partitioned_with`], policy
+//!   [`PartitionPolicy::PivotSpace`] from `pmi-router`), where a
+//!   [`RoutingTable`] of per-shard pivot-space bounding boxes lets queries
+//!   *skip* shards: Lemma 1 box pruning for range queries, best-first
+//!   probing with a tightening cutoff for kNN. Skips are counted exactly
+//!   in every [`ServeReport`] (`shards_probed` / `shards_pruned`),
 //! * batches of mixed range / kNN queries ([`Query`]) execute on a
 //!   crossbeam scoped-thread worker pool ([`ShardedEngine::serve`]), with
 //!   per-shard partial results merged per query — a set union for range
@@ -55,8 +62,9 @@ pub mod query;
 pub mod report;
 pub mod shard;
 
-pub use engine::{BatchOutcome, EngineConfig, ShardedEngine};
+pub use engine::{BatchOutcome, EngineConfig, EngineError, ShardedEngine};
 pub use merge::TopK;
+pub use pmi_router::{PartitionPolicy, RoutingTable};
 pub use query::{Query, QueryResult};
 pub use report::{LatencySummary, ServeReport};
 pub use shard::Shard;

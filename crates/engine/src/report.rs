@@ -55,7 +55,8 @@ pub struct ServeReport {
     pub knn_queries: usize,
     /// Total result objects returned across the batch.
     pub total_results: usize,
-    /// Number of shards probed per query.
+    /// Number of shards in the engine (actual probes are in
+    /// `shards_probed` — routed queries touch a subset).
     pub shards: usize,
     /// Worker threads used.
     pub threads: usize,
@@ -69,6 +70,26 @@ pub struct ServeReport {
     /// counter deltas (`compdists`, page reads/writes). Exact — every shard
     /// counts through atomic counters.
     pub cost: Counters,
+    /// Exact number of shard probes executed across the batch (a query
+    /// touching 3 of 8 shards adds 3). Round-robin engines always probe
+    /// `queries × shards`.
+    pub shards_probed: u64,
+    /// Exact number of shard probes avoided by pivot-space routing across
+    /// the batch (the same query adds 5). Always 0 for round-robin engines.
+    pub shards_pruned: u64,
+}
+
+impl ServeReport {
+    /// Fraction of shard-probe candidates the router skipped
+    /// (`pruned / (probed + pruned)`); 0 when nothing was counted.
+    pub fn prune_rate(&self) -> f64 {
+        let total = self.shards_probed + self.shards_pruned;
+        if total == 0 {
+            0.0
+        } else {
+            self.shards_pruned as f64 / total as f64
+        }
+    }
 }
 
 impl std::fmt::Display for ServeReport {
@@ -91,6 +112,13 @@ impl std::fmt::Display for ServeReport {
             self.latency.p90_secs * 1e6,
             self.latency.p99_secs * 1e6,
             self.latency.max_secs * 1e6
+        )?;
+        writeln!(
+            f,
+            "  routing: {} shard probes, {} pruned ({:.1}% skipped)",
+            self.shards_probed,
+            self.shards_pruned,
+            self.prune_rate() * 100.0
         )?;
         write!(
             f,
@@ -141,10 +169,26 @@ mod tests {
             threads: 3,
             wall_secs: 0.5,
             qps: 20.0,
+            shards_probed: 15,
+            shards_pruned: 5,
             ..ServeReport::default()
         };
         let s = format!("{r}");
         assert!(s.contains("10 queries"));
         assert!(s.contains("2 shard"));
+        assert!(s.contains("15 shard probes"));
+        assert!(s.contains("5 pruned"));
+        assert!(s.contains("25.0% skipped"));
+    }
+
+    #[test]
+    fn prune_rate_handles_zero() {
+        assert_eq!(ServeReport::default().prune_rate(), 0.0);
+        let r = ServeReport {
+            shards_probed: 3,
+            shards_pruned: 1,
+            ..ServeReport::default()
+        };
+        assert!((r.prune_rate() - 0.25).abs() < 1e-12);
     }
 }

@@ -133,10 +133,44 @@ pub fn partition_round_robin<O>(objects: Vec<O>, shards: usize) -> Vec<Partition
     parts
 }
 
+/// Splits `objects` into `shards` partitions according to an explicit
+/// per-object shard assignment (the router's pivot-space clustering),
+/// preserving input order within each partition so global ids stay the
+/// positions in the input vector.
+pub fn partition_by_assignment<O>(
+    objects: Vec<O>,
+    assignment: &[usize],
+    shards: usize,
+) -> Vec<Partition<O>> {
+    assert_eq!(
+        objects.len(),
+        assignment.len(),
+        "one shard assignment per object"
+    );
+    let shards = shards.max(1);
+    let mut parts: Vec<Partition<O>> = (0..shards).map(|_| (Vec::new(), Vec::new())).collect();
+    for (i, o) in objects.into_iter().enumerate() {
+        let s = assignment[i];
+        parts[s].0.push(o);
+        parts[s].1.push(i as ObjId);
+    }
+    parts
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use pmi_metric::{BruteForce, L2};
+
+    #[test]
+    fn assignment_partitioning_preserves_order() {
+        let objects: Vec<Vec<f32>> = (0..6).map(|i| vec![i as f32]).collect();
+        let parts = partition_by_assignment(objects, &[1, 0, 1, 1, 0, 2], 3);
+        assert_eq!(parts[0].1, vec![1, 4]);
+        assert_eq!(parts[1].1, vec![0, 2, 3]);
+        assert_eq!(parts[2].1, vec![5]);
+        assert_eq!(parts[1].0[1], vec![2.0f32]);
+    }
 
     #[test]
     fn round_robin_covers_everything_disjointly() {

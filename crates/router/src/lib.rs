@@ -1,0 +1,60 @@
+//! `pmi-router` — pivot-space routing-aware sharding for the serving
+//! engine.
+//!
+//! The engine's original round-robin partitioning spreads every metric
+//! region across all `P` shards, so every query must probe every shard.
+//! The paper's whole contribution (§2.3, Lemmas 1–4) is that pivot-distance
+//! bounds let an index *skip* work; this crate lifts that from objects to
+//! shards:
+//!
+//! * [`partition::assign_pivot_space`] clusters the dataset's
+//!   pivot-distance vectors (balanced k-means-style in pivot space, with a
+//!   round-robin fallback for degenerate inputs), so each shard holds a
+//!   compact region of the pivot space,
+//! * [`RoutingTable`] summarizes each shard as a minimum bounding box
+//!   ([`pmi_metric::lemmas::Mbb`]) over its mapped points, and plans
+//!   queries against the summaries:
+//!   - **range**: a shard whose box satisfies `lemma1_box_prunable` cannot
+//!     hold any answer and is skipped outright ([`RoutingTable::range_plan`]),
+//!   - **kNN**: shards are ordered best-first by the box lower bound
+//!     ([`RoutingTable::knn_order`]); the engine probes in that order and
+//!     skips every shard whose lower bound exceeds the current k-th
+//!     distance as the global heap tightens.
+//!
+//! Both decisions are conservative applications of Lemma 1, so routed
+//! answers are *identical* to probing every shard — pruning only ever
+//! removes shards that provably contain no answers.
+//!
+//! The engine stores a [`RoutingTable`] when built with
+//! [`PartitionPolicy::PivotSpace`]; the table maps query objects into
+//! pivot space through a boxed closure so the engine itself stays
+//! metric-agnostic.
+
+pub mod partition;
+pub mod table;
+
+pub use partition::{assign_pivot_space, assign_round_robin};
+pub use table::RoutingTable;
+
+/// How a sharded engine partitions its dataset across shards.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PartitionPolicy {
+    /// Object `i` goes to shard `i mod P`: perfectly balanced, but every
+    /// query must probe all `P` shards.
+    #[default]
+    RoundRobin,
+    /// Objects are clustered by their pivot-distance vectors so that each
+    /// shard covers a compact pivot-space region; queries then prune shards
+    /// via Lemma 1 box bounds and probe the rest best-first.
+    PivotSpace,
+}
+
+impl PartitionPolicy {
+    /// Short display name, used by benches and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PartitionPolicy::RoundRobin => "round-robin",
+            PartitionPolicy::PivotSpace => "pivot-space",
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Balanced pivot-space partitioning.
+//!
+//! Objects are assigned to shards by clustering their pivot-distance
+//! vectors: a k-means-style loop in pivot space whose assignment step is
+//! *balanced* (no shard exceeds `ceil(n / P)` objects and none is left
+//! empty), so routing quality never comes at the price of a hot shard.
+//! Degenerate inputs — one shard, no pivots, fewer objects than shards, or
+//! a dataset whose mapped points are all identical — fall back to the
+//! engine's original round-robin assignment, which is always valid.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Assignment iterations; balanced k-means converges fast and the result
+/// only steers routing quality, never correctness.
+const MAX_ITERS: usize = 8;
+
+/// The engine's original policy: object `i` to shard `i % shards`.
+pub fn assign_round_robin(n: usize, shards: usize) -> Vec<usize> {
+    let shards = shards.max(1);
+    (0..n).map(|i| i % shards).collect()
+}
+
+#[inline]
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Clusters `mapped` (one pivot-distance vector per object) into `shards`
+/// balanced groups and returns the shard of each object.
+///
+/// Centroids are seeded farthest-first (deterministic per `seed`), then a
+/// few rounds of: balanced nearest-centroid assignment, centroid
+/// recomputation. The assignment step guarantees every shard gets at least
+/// one object and at most `ceil(n / shards)`, so shards stay within one
+/// object of perfectly balanced. Falls back to round-robin when clustering
+/// cannot help (see module docs). Runs in `O(iters · n · shards)` time and
+/// `O(n · shards)` memory.
+pub fn assign_pivot_space(mapped: &[Vec<f64>], shards: usize, seed: u64) -> Vec<usize> {
+    let n = mapped.len();
+    let p = shards.max(1).min(n.max(1));
+    let dim = mapped.first().map_or(0, |m| m.len());
+    if p <= 1 || dim == 0 || n <= p {
+        return assign_round_robin(n, p);
+    }
+
+    // Farthest-first (maximin) seeding: spreads centroids across the mapped
+    // point cloud, deterministic given the seed.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x524f_5554); // "ROUT"
+    let mut centroids: Vec<Vec<f64>> = vec![mapped[rng.random_range(0..n)].clone()];
+    let mut nearest = vec![f64::INFINITY; n];
+    while centroids.len() < p {
+        let newest = centroids.last().expect("at least one centroid");
+        let (mut far, mut far_d) = (0usize, -1.0f64);
+        for (i, m) in mapped.iter().enumerate() {
+            let d = sq_dist(m, newest).min(nearest[i]);
+            nearest[i] = d;
+            if d > far_d {
+                far_d = d;
+                far = i;
+            }
+        }
+        if far_d <= 0.0 {
+            // Every mapped point coincides with a centroid: the pivot space
+            // carries no routing signal, so balance is all that matters.
+            return assign_round_robin(n, p);
+        }
+        centroids.push(mapped[far].clone());
+    }
+
+    let cap = n.div_ceil(p);
+    let mut assignment = vec![usize::MAX; n];
+    for _ in 0..MAX_ITERS {
+        let next = balanced_assign(mapped, &centroids, cap);
+        if next == assignment {
+            break;
+        }
+        assignment = next;
+        // Standard k-means centroid update over the new groups.
+        let mut sums = vec![vec![0.0f64; dim]; p];
+        let mut counts = vec![0usize; p];
+        for (m, &s) in mapped.iter().zip(&assignment) {
+            counts[s] += 1;
+            for (acc, x) in sums[s].iter_mut().zip(m) {
+                *acc += x;
+            }
+        }
+        for s in 0..p {
+            if counts[s] > 0 {
+                for x in &mut sums[s] {
+                    *x /= counts[s] as f64;
+                }
+                centroids[s] = std::mem::take(&mut sums[s]);
+            }
+        }
+    }
+    assignment
+}
+
+/// Nearest-centroid assignment under a per-shard capacity: first every
+/// centroid claims its single nearest unassigned point (no shard left
+/// empty), then the remaining (point, centroid) pairs are taken globally
+/// in ascending distance order, skipping full shards. Total capacity
+/// `p · cap >= n` guarantees every point lands somewhere.
+fn balanced_assign(mapped: &[Vec<f64>], centroids: &[Vec<f64>], cap: usize) -> Vec<usize> {
+    let n = mapped.len();
+    let p = centroids.len();
+    let mut assignment = vec![usize::MAX; n];
+    let mut counts = vec![0usize; p];
+
+    for (s, c) in centroids.iter().enumerate() {
+        let mut pick = None;
+        let mut pick_d = f64::INFINITY;
+        for (i, m) in mapped.iter().enumerate() {
+            if assignment[i] == usize::MAX {
+                let d = sq_dist(m, c);
+                if d < pick_d {
+                    pick_d = d;
+                    pick = Some(i);
+                }
+            }
+        }
+        if let Some(i) = pick {
+            assignment[i] = s;
+            counts[s] += 1;
+        }
+    }
+
+    let mut pairs: Vec<(f64, u32, u32)> = Vec::with_capacity((n - p.min(n)) * p);
+    for (i, m) in mapped.iter().enumerate() {
+        if assignment[i] == usize::MAX {
+            for (s, c) in centroids.iter().enumerate() {
+                pairs.push((sq_dist(m, c), i as u32, s as u32));
+            }
+        }
+    }
+    pairs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    for (_, i, s) in pairs {
+        let (i, s) = (i as usize, s as usize);
+        if assignment[i] == usize::MAX && counts[s] < cap {
+            assignment[i] = s;
+            counts[s] += 1;
+        }
+    }
+    debug_assert!(assignment.iter().all(|&s| s < p));
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(per: usize, centers: &[(f64, f64)]) -> Vec<Vec<f64>> {
+        // Tiny deterministic jitter, no RNG needed.
+        let mut out = Vec::new();
+        for &(cx, cy) in centers {
+            for i in 0..per {
+                let dx = (i % 5) as f64 * 0.01;
+                let dy = (i % 7) as f64 * 0.01;
+                out.push(vec![cx + dx, cy + dy]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn round_robin_fallbacks() {
+        assert_eq!(assign_round_robin(5, 2), vec![0, 1, 0, 1, 0]);
+        // One shard.
+        assert_eq!(
+            assign_pivot_space(&blobs(4, &[(0.0, 0.0)]), 1, 7),
+            vec![0; 4]
+        );
+        // Zero-dimensional mapped points (no pivots).
+        assert_eq!(
+            assign_pivot_space(&[vec![], vec![], vec![]], 2, 7),
+            vec![0, 1, 0]
+        );
+        // All mapped points identical.
+        let same = vec![vec![3.0, 3.0]; 6];
+        assert_eq!(assign_pivot_space(&same, 3, 7), vec![0, 1, 2, 0, 1, 2]);
+        // Fewer objects than shards.
+        assert_eq!(
+            assign_pivot_space(&blobs(2, &[(0.0, 0.0)]), 5, 7),
+            vec![0, 1]
+        );
+    }
+
+    #[test]
+    fn balanced_and_total() {
+        let pts = blobs(10, &[(0.0, 0.0), (100.0, 0.0), (0.0, 100.0)]);
+        let a = assign_pivot_space(&pts, 3, 42);
+        assert_eq!(a.len(), 30);
+        let mut counts = [0usize; 3];
+        for &s in &a {
+            counts[s] += 1;
+        }
+        let cap = 30usize.div_ceil(3);
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(c >= 1, "shard {s} empty");
+            assert!(c <= cap, "shard {s} over capacity: {c} > {cap}");
+        }
+    }
+
+    #[test]
+    fn separated_blobs_land_in_distinct_shards() {
+        let pts = blobs(
+            8,
+            &[(0.0, 0.0), (1000.0, 0.0), (0.0, 1000.0), (1000.0, 1000.0)],
+        );
+        let a = assign_pivot_space(&pts, 4, 1);
+        // Each blob of 8 points must map to a single shard (capacity is
+        // exactly 8, and the blobs are far apart).
+        for blob in 0..4 {
+            let first = a[blob * 8];
+            for j in 0..8 {
+                assert_eq!(a[blob * 8 + j], first, "blob {blob} split");
+            }
+        }
+        // And the four blobs use four distinct shards.
+        let mut used: Vec<usize> = (0..4).map(|b| a[b * 8]).collect();
+        used.sort_unstable();
+        used.dedup();
+        assert_eq!(used.len(), 4);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let pts = blobs(6, &[(0.0, 0.0), (50.0, 50.0)]);
+        assert_eq!(
+            assign_pivot_space(&pts, 2, 9),
+            assign_pivot_space(&pts, 2, 9)
+        );
+    }
+}

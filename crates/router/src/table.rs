@@ -1,0 +1,171 @@
+//! The routing table: per-shard pivot-space summaries plus the query
+//! planner that decides which shards a query must probe.
+
+use pmi_metric::lemmas::Mbb;
+
+/// Boxed pivot-space mapper: `o ↦ (d(o, p_1), …, d(o, p_l))`.
+pub type Mapper<O> = Box<dyn Fn(&O) -> Vec<f64> + Send + Sync>;
+
+/// Per-shard routing state for a pivot-space-partitioned engine: a mapper
+/// from objects into pivot space (`o ↦ (d(o, p_1), …, d(o, p_l))`) and one
+/// minimum bounding box per shard over its members' mapped points.
+///
+/// Planning is a conservative application of Lemma 1 at shard granularity,
+/// so a routed engine returns exactly what probing every shard would:
+///
+/// * [`range_plan`](Self::range_plan) keeps only the shards whose box
+///   intersects the query's search box (`lemma1_box_prunable` on the rest);
+/// * [`knn_order`](Self::knn_order) sorts shards by ascending box lower
+///   bound, letting the engine probe best-first and stop paying for shards
+///   whose bound exceeds the current k-th distance.
+///
+/// Boxes are maintained on insert ([`extend`](Self::extend)) and left
+/// untouched on remove — a stale, too-large box can only cause extra
+/// probes, never a wrong answer.
+pub struct RoutingTable<O> {
+    mapper: Mapper<O>,
+    boxes: Vec<Mbb>,
+}
+
+impl<O> RoutingTable<O> {
+    /// Wraps a mapper and pre-computed per-shard boxes.
+    ///
+    /// Correctness contract: `mapper` must return the pivot-distance vector
+    /// of its argument under the *same* pivots and metric that produced the
+    /// boxes, and every object in shard `s` must have its mapped point
+    /// inside `boxes[s]`.
+    pub fn new(mapper: impl Fn(&O) -> Vec<f64> + Send + Sync + 'static, boxes: Vec<Mbb>) -> Self {
+        RoutingTable {
+            mapper: Box::new(mapper),
+            boxes,
+        }
+    }
+
+    /// Builds the table from a partitioning: `mapped[i]` is object `i`'s
+    /// pivot-distance vector, `assignment[i]` its shard.
+    pub fn from_assignment(
+        mapper: impl Fn(&O) -> Vec<f64> + Send + Sync + 'static,
+        dim: usize,
+        mapped: &[Vec<f64>],
+        assignment: &[usize],
+        shards: usize,
+    ) -> Self {
+        debug_assert_eq!(mapped.len(), assignment.len());
+        let mut boxes = vec![Mbb::empty(dim); shards];
+        for (m, &s) in mapped.iter().zip(assignment) {
+            boxes[s].extend(m);
+        }
+        Self::new(mapper, boxes)
+    }
+
+    /// Number of shards the table routes over.
+    pub fn num_shards(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// The per-shard boxes, for inspection.
+    pub fn boxes(&self) -> &[Mbb] {
+        &self.boxes
+    }
+
+    /// Maps a query object into pivot space (`l` distance computations).
+    pub fn map(&self, q: &O) -> Vec<f64> {
+        (self.mapper)(q)
+    }
+
+    /// Shards that `MRQ(q, r)` must probe: every shard whose box is not
+    /// prunable by Lemma 1. Ascending shard order.
+    pub fn range_plan(&self, q_dists: &[f64], r: f64) -> Vec<usize> {
+        (0..self.boxes.len())
+            .filter(|&s| !self.boxes[s].prunable(q_dists, r))
+            .collect()
+    }
+
+    /// All shards ordered best-first for `MkNNQ(q, k)`: ascending box lower
+    /// bound (`MINDIST` in pivot space), ties by shard id. The engine probes
+    /// in this order and skips every shard whose bound exceeds the current
+    /// k-th distance.
+    pub fn knn_order(&self, q_dists: &[f64]) -> Vec<(usize, f64)> {
+        let mut order: Vec<(usize, f64)> = self
+            .boxes
+            .iter()
+            .enumerate()
+            .map(|(s, b)| (s, b.lower_bound(q_dists)))
+            .collect();
+        order.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        order
+    }
+
+    /// Box lower bound of every shard for a mapped point, in shard order
+    /// (the engine routes inserts to the closest shard).
+    pub fn shard_lower_bounds(&self, point: &[f64]) -> Vec<f64> {
+        self.boxes.iter().map(|b| b.lower_bound(point)).collect()
+    }
+
+    /// Grows shard `s`'s box to cover a newly inserted object's mapped
+    /// point.
+    pub fn extend(&mut self, s: usize, point: &[f64]) {
+        self.boxes[s].extend(point);
+    }
+}
+
+impl<O> std::fmt::Debug for RoutingTable<O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoutingTable")
+            .field("shards", &self.boxes.len())
+            .field("boxes", &self.boxes)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1-d objects, one pivot at the origin: mapping is |x|.
+    fn table(points: &[(f64, usize)], shards: usize) -> RoutingTable<f64> {
+        let mapped: Vec<Vec<f64>> = points.iter().map(|&(x, _)| vec![x.abs()]).collect();
+        let assignment: Vec<usize> = points.iter().map(|&(_, s)| s).collect();
+        RoutingTable::from_assignment(|q: &f64| vec![q.abs()], 1, &mapped, &assignment, shards)
+    }
+
+    #[test]
+    fn range_plan_prunes_disjoint_boxes() {
+        // Shard 0 covers |x| in [1, 2], shard 1 covers [10, 12].
+        let t = table(&[(1.0, 0), (2.0, 0), (10.0, 1), (12.0, 1)], 2);
+        // Query at x = 1.5 (mapped 1.5), r = 1: shard 1's box is 8.5 away.
+        assert_eq!(t.range_plan(&[1.5], 1.0), vec![0]);
+        // Large radius reaches both.
+        assert_eq!(t.range_plan(&[1.5], 9.0), vec![0, 1]);
+        // A query between the boxes with a tiny radius reaches neither.
+        assert!(t.range_plan(&[5.0], 0.5).is_empty());
+    }
+
+    #[test]
+    fn knn_order_is_best_first() {
+        let t = table(&[(1.0, 0), (2.0, 0), (10.0, 1), (12.0, 1), (5.0, 2)], 3);
+        let order = t.knn_order(&[11.0]);
+        // Shard 1's box contains 11 (bound 0), shard 2 is 6 away, shard 0 is 9.
+        assert_eq!(order[0], (1, 0.0));
+        assert_eq!(order[1], (2, 6.0));
+        assert_eq!(order[2], (0, 9.0));
+    }
+
+    #[test]
+    fn empty_shard_box_always_prunes() {
+        // Shard 1 never receives a point.
+        let t = table(&[(1.0, 0), (2.0, 0)], 2);
+        assert_eq!(t.range_plan(&[1.0], 1e9), vec![0]);
+        let order = t.knn_order(&[1.0]);
+        assert_eq!(order[1], (1, f64::INFINITY));
+    }
+
+    #[test]
+    fn extend_grows_the_target_box() {
+        let mut t = table(&[(1.0, 0), (2.0, 0), (10.0, 1)], 2);
+        assert_eq!(t.range_plan(&[5.0], 1.0), Vec::<usize>::new());
+        t.extend(0, &[5.0]);
+        assert_eq!(t.range_plan(&[5.0], 1.0), vec![0]);
+        assert_eq!(t.shard_lower_bounds(&[5.0]), vec![0.0, 5.0]);
+    }
+}

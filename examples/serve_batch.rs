@@ -1,14 +1,18 @@
 //! Sharded batch serving: build a `ShardedEngine` over the LA dataset,
 //! submit a mixed range/kNN batch, and read the `ServeReport` — throughput,
-//! latency percentiles, and the paper's aggregate cost counters — for each
-//! shard count.
+//! latency percentiles, the paper's aggregate cost counters, and the
+//! routing counters (`shards_probed` / `shards_pruned`) — for each shard
+//! count and partition policy. With `PartitionPolicy::PivotSpace` the
+//! engine routes each query to the shards its pivot-space bounding boxes
+//! cannot rule out, so selective queries skip most shards while returning
+//! the same answers as round-robin.
 //!
 //! Run with: `cargo run --release --example serve_batch`
 
 use pivot_metric_repro as pmr;
 use pmr::builder::{BuildOptions, IndexKind};
 use pmr::engine::{EngineConfig, Query};
-use pmr::{build_sharded_vector_engine, datasets, L2};
+use pmr::{build_sharded_vector_engine, datasets, PartitionPolicy, L2};
 
 fn main() {
     let n = 20_000;
@@ -41,16 +45,24 @@ fn main() {
     );
 
     for shards in [1usize, 2, 4, 8] {
-        let engine = build_sharded_vector_engine(
-            IndexKind::Mvpt,
-            pts.clone(),
-            L2,
-            &opts,
-            &EngineConfig { shards, threads: 0 },
-        )
-        .expect("buildable");
-        engine.reset_counters();
-        let out = engine.serve(&batch);
-        println!("P={shards}:\n{}\n", out.report);
+        for policy in [PartitionPolicy::RoundRobin, PartitionPolicy::PivotSpace] {
+            let engine = build_sharded_vector_engine(
+                IndexKind::Mvpt,
+                pts.clone(),
+                L2,
+                &opts,
+                &EngineConfig { shards, threads: 0 },
+                policy,
+            )
+            .expect("buildable");
+            engine.reset_counters();
+            let out = engine.serve(&batch);
+            println!("P={shards} [{}]:\n{}", policy.label(), out.report);
+            println!(
+                "  probes/query {:.2} of {shards} shard(s), prune rate {:.1}%\n",
+                out.report.shards_probed as f64 / out.report.queries.max(1) as f64,
+                out.report.prune_rate() * 100.0
+            );
+        }
     }
 }

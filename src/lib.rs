@@ -22,6 +22,9 @@
 //!     pmr::L2,
 //!     &pmr::BuildOptions { d_plus: 14143.0, ..Default::default() },
 //!     &pmr::EngineConfig { shards: 4, threads: 2 },
+//!     // PartitionPolicy::PivotSpace clusters shards in pivot space so
+//!     // queries can skip shards (see the `pmi` crate docs).
+//!     pmr::PartitionPolicy::PivotSpace,
 //! )
 //! .unwrap();
 //! let out = engine.serve(&[pmr::Query::knn(objects[0].clone(), 5)]);

@@ -7,7 +7,9 @@
 use pivot_metric_repro as pmr;
 use pmr::builder::{build_vector_index, BuildOptions, IndexKind};
 use pmr::engine::{EngineConfig, Query, QueryResult};
-use pmr::{build_sharded_vector_engine, datasets, Counters, MetricIndex, Neighbor, L2};
+use pmr::{
+    build_sharded_vector_engine, datasets, Counters, MetricIndex, Neighbor, PartitionPolicy, L2,
+};
 use proptest::prelude::*;
 
 fn opts(maxnum: usize) -> BuildOptions {
@@ -43,31 +45,37 @@ fn sharded_equals_unsharded_across_kinds_and_shard_counts() {
         IndexKind::OmniR,
     ] {
         let single = build_vector_index(kind, pts.clone(), L2, &opts(64)).unwrap();
-        for shards in [1usize, 2, 4, 7] {
-            let engine = build_sharded_vector_engine(
-                kind,
-                pts.clone(),
-                L2,
-                &opts(64),
-                &EngineConfig { shards, threads: 2 },
-            )
-            .unwrap();
-            assert_eq!(engine.num_shards(), shards);
-            assert_eq!(engine.len(), pts.len());
-            for qi in [0usize, 13, 299, 599] {
-                let q = &pts[qi];
-                assert_eq!(
-                    engine.range_query(q, radius),
-                    sorted_range(single.as_ref(), q, radius),
-                    "{} P={shards} qi={qi} MRQ",
-                    kind.label()
-                );
-                assert_eq!(
-                    knn_multiset(&engine.knn_query(q, 10)),
-                    knn_multiset(&single.knn_query(q, 10)),
-                    "{} P={shards} qi={qi} MkNNQ",
-                    kind.label()
-                );
+        for policy in [PartitionPolicy::RoundRobin, PartitionPolicy::PivotSpace] {
+            for shards in [1usize, 2, 4, 7] {
+                let engine = build_sharded_vector_engine(
+                    kind,
+                    pts.clone(),
+                    L2,
+                    &opts(64),
+                    &EngineConfig { shards, threads: 2 },
+                    policy,
+                )
+                .unwrap();
+                assert_eq!(engine.num_shards(), shards);
+                assert_eq!(engine.len(), pts.len());
+                assert_eq!(engine.policy(), policy);
+                for qi in [0usize, 13, 299, 599] {
+                    let q = &pts[qi];
+                    assert_eq!(
+                        engine.range_query(q, radius),
+                        sorted_range(single.as_ref(), q, radius),
+                        "{} {} P={shards} qi={qi} MRQ",
+                        kind.label(),
+                        policy.label()
+                    );
+                    assert_eq!(
+                        knn_multiset(&engine.knn_query(q, 10)),
+                        knn_multiset(&single.knn_query(q, 10)),
+                        "{} {} P={shards} qi={qi} MkNNQ",
+                        kind.label(),
+                        policy.label()
+                    );
+                }
             }
         }
     }
@@ -86,6 +94,7 @@ fn aggregate_counters_equal_shard_sum_exactly() {
             shards: 4,
             threads: 3,
         },
+        PartitionPolicy::RoundRobin,
     )
     .unwrap();
     engine.reset_counters();
@@ -130,6 +139,7 @@ fn thousand_query_mixed_batch_matches_unsharded_baseline() {
             shards: 5,
             threads: 0,
         },
+        PartitionPolicy::RoundRobin,
     )
     .unwrap();
     let batch: Vec<Query<Vec<f32>>> = (0..1_000)
@@ -212,6 +222,7 @@ proptest! {
             L2,
             &opts,
             &EngineConfig { shards, threads: 2 },
+            PartitionPolicy::RoundRobin,
         )
         .unwrap();
         let q = &v[0];
