@@ -2,7 +2,7 @@
 //! parameters — the "equal footing" requirement of §6.1 (same HFI pivots,
 //! same page sizes, same defaults).
 
-use pmi_metric::{EncodeObject, Metric, MetricIndex};
+use pmi_metric::{EncodeObject, Metric, MetricIndex, PivotMatrix};
 use pmi_storage::DiskSim;
 
 /// Every index variant evaluated or surveyed by the paper.
@@ -100,6 +100,16 @@ impl IndexKind {
                 | IndexKind::MIndexStar
                 | IndexKind::Spb
         )
+    }
+
+    /// Whether [`build_index_with_matrix`] can *adopt* a pre-computed
+    /// pivot-distance matrix over the shared pivot set for this kind,
+    /// skipping the `n · l` table recomputation. True for the shared-pivot
+    /// tables (LAESA, CPT); every other kind either selects its own pivots
+    /// (EPT/EPT*, BKT) or derives a different structure from the pivot
+    /// distances at build time, and falls back to [`build_index`].
+    pub fn adopts_pivot_matrix(&self) -> bool {
+        matches!(self, IndexKind::Laesa | IndexKind::Cpt)
     }
 }
 
@@ -302,6 +312,40 @@ where
             },
         )),
     })
+}
+
+/// [`build_index`] over a pre-computed pivot-distance matrix: kinds whose
+/// [`IndexKind::adopts_pivot_matrix`] is true (LAESA, CPT) adopt `matrix`
+/// (row `i` = `objects[i]`'s distances to `pivots`) instead of recomputing
+/// the `n · l` table, with byte-identical query behavior; every other kind
+/// ignores the matrix and builds exactly as [`build_index`] does. This is
+/// the shard factory of the sharded engine's shared-matrix build path.
+pub fn build_index_with_matrix<O, M>(
+    kind: IndexKind,
+    objects: Vec<O>,
+    metric: M,
+    pivots: Vec<O>,
+    opts: &BuildOptions,
+    matrix: PivotMatrix,
+) -> Result<Box<dyn MetricIndex<O>>, BuildError>
+where
+    O: Clone + EncodeObject + Send + Sync + 'static,
+    M: Metric<O> + Clone + 'static,
+{
+    use pmi_tables::*;
+
+    match kind {
+        IndexKind::Laesa => Ok(Box::new(Laesa::build_with_matrix(
+            objects, metric, pivots, matrix,
+        ))),
+        IndexKind::Cpt => {
+            let disk = DiskSim::new(opts.inline_page_size);
+            Ok(Box::new(Cpt::build_with_matrix(
+                objects, metric, pivots, matrix, disk,
+            )))
+        }
+        _ => build_index(kind, objects, metric, pivots, opts),
+    }
 }
 
 /// Convenience wrapper for vector datasets: selects HFI pivots internally.

@@ -114,17 +114,55 @@
 //! );
 //! assert!(out.report.shards_pruned > 0, "routing skipped shard probes");
 //! ```
+//!
+//! # The shared pivot-distance matrix build path
+//!
+//! Every pivot-based index is a view over the paper's central `n × l`
+//! matrix `A[i][j] = d(o_i, p_j)`. The sharded build computes that matrix
+//! **once, in parallel** across the engine's worker threads
+//! ([`PivotMatrix`]), clusters/routes over its rows, and hands each shard
+//! its slice, so shared-pivot tables (LAESA, CPT —
+//! [`IndexKind::adopts_pivot_matrix`]) *adopt* their distances instead of
+//! recomputing them: a `PivotSpace` LAESA build computes each object-pivot
+//! distance exactly once instead of twice. The exact cost is recorded in
+//! [`BuildStats`] and rides along in every [`ServeReport`]:
+//!
+//! ```
+//! use pmi::{
+//!     build_sharded_vector_engine, BuildOptions, EngineConfig, IndexKind, PartitionPolicy,
+//! };
+//!
+//! let objects = pmi::datasets::la(2_000, 42);
+//! let opts = BuildOptions { d_plus: 14143.0, ..BuildOptions::default() };
+//! let engine = build_sharded_vector_engine(
+//!     IndexKind::Laesa,
+//!     objects.clone(),
+//!     pmi::L2,
+//!     &opts,
+//!     &EngineConfig { shards: 8, threads: 4 },
+//!     PartitionPolicy::PivotSpace,
+//! )
+//! .unwrap();
+//!
+//! // The matrix was computed once (n·l distances) and adopted by every
+//! // shard: the shards themselves computed zero build distances.
+//! assert_eq!(engine.counters().compdists, 0);
+//! assert_eq!(
+//!     engine.build_stats().build_compdists,
+//!     (objects.len() * opts.num_pivots) as u64
+//! );
+//! ```
 
 pub mod builder;
 pub mod serve;
 
-pub use builder::{BuildError, BuildOptions, IndexKind};
+pub use builder::{build_index_with_matrix, BuildError, BuildOptions, IndexKind};
 pub use serve::{build_sharded_engine, build_sharded_vector_engine};
 
 pub use pmi_engine as engine;
 pub use pmi_engine::{
-    BatchOutcome, EngineConfig, EngineError, LatencySummary, Query, QueryResult, ServeReport,
-    ShardedEngine,
+    BatchOutcome, BuildStats, EngineConfig, EngineError, EngineScratch, LatencySummary, Query,
+    QueryResult, ServeReport, ShardedEngine,
 };
 
 pub use pmi_router as router;
@@ -135,7 +173,8 @@ pub use pmi_metric::lemmas;
 pub use pmi_metric::object;
 pub use pmi_metric::{
     BruteForce, Counters, CountingMetric, DistanceCounter, EditDistance, EncodeObject, LInf, Lp,
-    Metric, MetricIndex, Neighbor, ObjId, ObjTable, StorageFootprint, Vector, L1, L2,
+    Metric, MetricIndex, Neighbor, ObjId, ObjTable, PivotMatrix, QueryScratch, StorageFootprint,
+    Vector, L1, L2,
 };
 
 pub use pmi_pivots as pivots;

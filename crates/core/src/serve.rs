@@ -8,20 +8,34 @@
 //! `P` partitions, each backed by `IndexKind` X built with the paper's
 //! shared parameters, partitioned per `PartitionPolicy`".
 //!
-//! With [`PartitionPolicy::PivotSpace`] the dataset is first mapped into
-//! pivot space (`o ↦ (d(o, p_1), …, d(o, p_l))` over the shared pivot
-//! set), clustered into balanced shards there, and served through a
-//! [`pmi_router::RoutingTable`] so that each query only probes the shards
-//! whose pivot-space bounding box survives Lemma 1 — identical answers,
-//! strictly fewer shard probes on clustered data. The mapping costs `l`
-//! distance computations per object at build time and `l` per query at
-//! serve time; these routing distances are planner overhead and are *not*
-//! part of the per-shard `Counters` the paper's cost model tracks.
+//! # The shared pivot-distance matrix
+//!
+//! The paper's central object — the `n × l` matrix of object-to-pivot
+//! distances — is computed **once, in parallel** across the engine's worker
+//! threads ([`pmi_metric::PivotMatrix::compute`]) and then reused
+//! everywhere it is needed:
+//!
+//! * with [`PartitionPolicy::PivotSpace`], the router clusters directly
+//!   over the matrix rows (balanced k-means in pivot space) and builds its
+//!   per-shard [`pmi_router::RoutingTable`] boxes from them, so each query
+//!   only probes the shards whose bounding box survives Lemma 1;
+//! * the engine slices/permutes the matrix per shard and hands each shard
+//!   factory its slice, so index kinds that adopt it
+//!   ([`IndexKind::adopts_pivot_matrix`]: LAESA, CPT) skip their own
+//!   `n · l` recomputation entirely — a `PivotSpace` build computes each
+//!   object-pivot distance exactly once instead of twice.
+//!
+//! The exact build cost (matrix + every shard's construction) and build
+//! wall-clock are recorded in the engine's
+//! [`BuildStats`](pmi_engine::BuildStats) and surfaced through every
+//! `ServeReport`. Query-time mapping distances (`l` per routed query)
+//! remain planner overhead outside the per-shard `Counters`, as before.
 
-use crate::builder::{build_index, BuildError, BuildOptions, IndexKind};
+use crate::builder::{build_index, build_index_with_matrix, BuildError, BuildOptions, IndexKind};
 use pmi_engine::{EngineConfig, EngineError, ShardedEngine};
-use pmi_metric::{EncodeObject, Metric};
+use pmi_metric::{CountingMetric, EncodeObject, Metric, PivotMatrix};
 use pmi_router::{assign_pivot_space, PartitionPolicy, RoutingTable};
+use std::time::Instant;
 
 fn flatten<O>(
     r: Result<ShardedEngine<O>, EngineError<BuildError>>,
@@ -36,7 +50,10 @@ fn flatten<O>(
 /// `opts`, sharing the caller-provided pivot set (the paper's equal-footing
 /// setup: pass one HFI set and every shard uses it). `policy` picks the
 /// partitioner: round-robin, or pivot-space clustering with routed
-/// (shard-pruning) query serving over the same pivots.
+/// (shard-pruning) query serving over the same pivots. Builds that need the
+/// shared pivot-distance matrix compute it once, in parallel, and reuse it
+/// for routing *and* for seeding the shards' own tables (see the module
+/// docs); the engine's `build_stats()` records the exact total.
 pub fn build_sharded_engine<O, M>(
     kind: IndexKind,
     objects: Vec<O>,
@@ -53,44 +70,79 @@ where
     if cfg.shards == 0 {
         return Err(BuildError::ZeroShards);
     }
-    match policy {
-        PartitionPolicy::RoundRobin => {
+    let t0 = Instant::now();
+
+    // The matrix pays for itself when the router clusters over it or the
+    // shards adopt it; round-robin engines over self-pivoting kinds skip it.
+    let needs_matrix = policy == PartitionPolicy::PivotSpace || kind.adopts_pivot_matrix();
+    let (matrix, matrix_compdists) = if needs_matrix {
+        let counting = CountingMetric::new(metric.clone());
+        let m = PivotMatrix::compute(&objects, &counting, &pivots, cfg.resolved_threads());
+        let cost = counting.count();
+        (m, cost)
+    } else {
+        (PivotMatrix::new(pivots.len()), 0)
+    };
+
+    let matrix_factory = |_s: usize, part: Vec<O>, m: PivotMatrix| {
+        build_index_with_matrix(kind, part, metric.clone(), pivots.clone(), opts, m)
+    };
+
+    let mut engine = match policy {
+        PartitionPolicy::RoundRobin if !needs_matrix => {
             flatten(ShardedEngine::build_with(objects, cfg, |_, part| {
                 build_index(kind, part, metric.clone(), pivots.clone(), opts)
-            }))
+            }))?
         }
+        PartitionPolicy::RoundRobin => flatten(ShardedEngine::build_with_matrix(
+            objects,
+            &matrix,
+            cfg,
+            matrix_factory,
+        ))?,
         PartitionPolicy::PivotSpace => {
             let shards = cfg.resolved_shards(objects.len());
-            let mapped: Vec<Vec<f64>> = objects
-                .iter()
-                .map(|o| pivots.iter().map(|p| metric.dist(o, p)).collect())
-                .collect();
-            let assignment = assign_pivot_space(&mapped, shards, opts.seed);
+            let assignment = assign_pivot_space(&matrix, shards, opts.seed);
             let router = {
                 let metric = metric.clone();
                 let pivots_for_mapper = pivots.clone();
                 RoutingTable::from_assignment(
-                    move |o: &O| {
-                        pivots_for_mapper
-                            .iter()
-                            .map(|p| metric.dist(o, p))
-                            .collect()
+                    move |o: &O, out: &mut Vec<f64>| {
+                        out.extend(pivots_for_mapper.iter().map(|p| metric.dist(o, p)))
                     },
                     pivots.len(),
-                    &mapped,
+                    &matrix,
                     &assignment,
                     shards,
                 )
             };
-            flatten(ShardedEngine::build_partitioned_with(
-                objects,
-                &assignment,
-                router,
-                cfg,
-                |_, part| build_index(kind, part, metric.clone(), pivots.clone(), opts),
-            ))
+            if kind.adopts_pivot_matrix() {
+                flatten(ShardedEngine::build_partitioned_with_matrix(
+                    objects,
+                    &assignment,
+                    router,
+                    &matrix,
+                    cfg,
+                    matrix_factory,
+                ))?
+            } else {
+                // Non-adopting kinds would drop their slices unread: route
+                // over the matrix but skip the per-shard slicing entirely.
+                flatten(ShardedEngine::build_partitioned_with(
+                    objects,
+                    &assignment,
+                    router,
+                    cfg,
+                    |_, part| build_index(kind, part, metric.clone(), pivots.clone(), opts),
+                ))?
+            }
         }
-    }
+    };
+
+    let stats = engine.build_stats_mut();
+    stats.build_compdists += matrix_compdists;
+    stats.build_wall_secs = t0.elapsed().as_secs_f64();
+    Ok(engine)
 }
 
 /// Vector-dataset convenience: selects one shared HFI pivot set over the
@@ -144,6 +196,44 @@ mod tests {
             let mut want = oracle.range_query(&pts[3], 800.0);
             want.sort_unstable();
             assert_eq!(engine.range_query(&pts[3], 800.0), want);
+        }
+    }
+
+    #[test]
+    fn shared_matrix_build_computes_each_distance_once() {
+        // LAESA adopts the shared matrix: the matrix is computed once
+        // (n·l, recorded in BuildStats) and the shards compute *zero*
+        // build distances — the recompute path paid n·l again there.
+        let pts = datasets::la(600, 7);
+        let opts = BuildOptions {
+            d_plus: 14143.0,
+            ..BuildOptions::default()
+        };
+        for policy in [PartitionPolicy::RoundRobin, PartitionPolicy::PivotSpace] {
+            let engine = build_sharded_vector_engine(
+                IndexKind::Laesa,
+                pts.clone(),
+                L2,
+                &opts,
+                &EngineConfig {
+                    shards: 4,
+                    threads: 2,
+                },
+                policy,
+            )
+            .unwrap();
+            assert_eq!(
+                engine.counters().compdists,
+                0,
+                "{policy:?}: shards must adopt, not recompute"
+            );
+            let stats = engine.build_stats();
+            assert_eq!(
+                stats.build_compdists,
+                600 * opts.num_pivots as u64,
+                "{policy:?}: matrix computed exactly once"
+            );
+            assert!(stats.build_wall_secs > 0.0);
         }
     }
 
@@ -252,6 +342,10 @@ mod tests {
             out.report.cost.compdists,
             engine.counters().compdists,
             "batch delta equals total on fresh counters"
+        );
+        assert!(
+            out.report.build.build_compdists > 0,
+            "build stats ride along in the report"
         );
     }
 }

@@ -11,12 +11,22 @@
 //! identical answers; routing only changes how much work is paid for them,
 //! which the engine accounts exactly through the `shards_probed` /
 //! `shards_pruned` counters.
+//!
+//! Construction can adopt a shared [`PivotMatrix`]
+//! ([`ShardedEngine::build_with_matrix`] /
+//! [`ShardedEngine::build_partitioned_with_matrix`]): the engine slices and
+//! permutes the one precomputed `n × l` matrix per shard and hands each
+//! shard factory its slice, so shard builds stop recomputing pivot
+//! distances. Serving reuses per-worker [`EngineScratch`] buffers so the
+//! batch hot loop performs no transient heap allocations per query.
 
 use crate::merge::{merge_range, TopK};
 use crate::query::{Query, QueryResult};
-use crate::report::{LatencySummary, ServeReport};
+use crate::report::{BuildStats, LatencySummary, ServeReport};
 use crate::shard::{partition_by_assignment, partition_round_robin, Partition, Shard};
-use pmi_metric::{Counters, MetricIndex, Neighbor, ObjId, StorageFootprint};
+use pmi_metric::{
+    Counters, MetricIndex, Neighbor, ObjId, PivotMatrix, QueryScratch, StorageFootprint,
+};
 use pmi_router::{PartitionPolicy, RoutingTable};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -49,6 +59,12 @@ impl EngineConfig {
     /// counts agree with the round-robin path.
     pub fn resolved_shards(&self, n: usize) -> usize {
         self.shards.max(1).min(n.max(1))
+    }
+
+    /// The worker thread count actually used: `threads`, or one per
+    /// available hardware thread when 0.
+    pub fn resolved_threads(&self) -> usize {
+        resolve_threads(self.threads)
     }
 }
 
@@ -87,6 +103,40 @@ fn resolve_threads(requested: usize) -> usize {
     }
 }
 
+/// Reusable per-worker buffers for the batch-serving hot loop: the
+/// query-pivot distance vector, the shard probe plan, the candidate/result
+/// staging buffers and the bounded top-k collector all persist across the
+/// queries one worker executes, so after warmup the only allocation a query
+/// performs is its exact-size answer.
+#[derive(Default)]
+pub struct EngineScratch {
+    /// Index-level scratch (query-pivot distances, kNN heap).
+    qs: QueryScratch,
+    /// The query's mapped point in pivot space (routed engines).
+    mapped: Vec<f64>,
+    /// Range probe plan: shards that must be probed.
+    probe: Vec<usize>,
+    /// kNN probe order: `(shard, box lower bound)` best-first.
+    order: Vec<(usize, f64)>,
+    /// Range answer staging buffer (global ids).
+    ids: Vec<ObjId>,
+    /// Per-shard kNN staging buffer.
+    nbrs: Vec<Neighbor>,
+    /// Global top-k collector.
+    topk: TopK,
+}
+
+impl EngineScratch {
+    /// Fresh, empty scratch buffers.
+    pub fn new() -> Self {
+        EngineScratch::default()
+    }
+}
+
+/// One partition awaiting its index, plus its optional slice of the shared
+/// pivot-distance matrix.
+type MatrixPart<O> = (Partition<O>, Option<PivotMatrix>);
+
 /// The answers plus the measurement of one served batch.
 #[derive(Debug)]
 pub struct BatchOutcome {
@@ -123,6 +173,9 @@ pub struct ShardedEngine<O> {
     /// Global id → (shard, local id) for live objects.
     locator: HashMap<ObjId, (u32, ObjId)>,
     next_id: ObjId,
+    /// Construction cost (per-shard builds; the facade adds the shared
+    /// matrix cost through [`build_stats_mut`](Self::build_stats_mut)).
+    build_stats: BuildStats,
 }
 
 impl<O> ShardedEngine<O> {
@@ -151,7 +204,46 @@ impl<O> ShardedEngine<O> {
         }
         let n = objects.len();
         let parts = partition_round_robin(objects, cfg.resolved_shards(n));
-        Self::build_parts(parts, None, cfg, factory)
+        let parts = parts.into_iter().map(|p| (p, None)).collect();
+        Self::build_parts(parts, None, cfg, |s, objs, _| factory(s, objs))
+    }
+
+    /// [`build_with`](Self::build_with) over a shared [`PivotMatrix`]: the
+    /// engine slices/permutes the one precomputed `n × l` matrix per shard
+    /// (row `i` of the input matrix belongs to `objects[i]`) and hands each
+    /// factory its shard's slice, so shard builds adopt pivot distances
+    /// instead of recomputing them.
+    pub fn build_with_matrix<E, F>(
+        objects: Vec<O>,
+        matrix: &PivotMatrix,
+        cfg: &EngineConfig,
+        factory: F,
+    ) -> Result<Self, EngineError<E>>
+    where
+        O: Send,
+        E: Send,
+        F: Fn(usize, Vec<O>, PivotMatrix) -> Result<Box<dyn MetricIndex<O>>, E> + Sync,
+    {
+        if cfg.shards == 0 {
+            return Err(EngineError::ZeroShards);
+        }
+        let n = objects.len();
+        assert_eq!(matrix.rows(), n, "one matrix row per object");
+        let parts = partition_round_robin(objects, cfg.resolved_shards(n));
+        let parts = parts
+            .into_iter()
+            .map(|(objs, gids)| {
+                let slice = matrix.select(&gids);
+                ((objs, gids), Some(slice))
+            })
+            .collect();
+        Self::build_parts(parts, None, cfg, |s, objs, m| {
+            factory(
+                s,
+                objs,
+                m.expect("every partition carries its matrix slice"),
+            )
+        })
     }
 
     /// Builds a *routed* engine from an explicit per-object shard
@@ -176,13 +268,55 @@ impl<O> ShardedEngine<O> {
             return Err(EngineError::ZeroShards);
         }
         let parts = partition_by_assignment(objects, assignment, router.num_shards());
-        Self::build_parts(parts, Some(router), cfg, factory)
+        let parts = parts.into_iter().map(|p| (p, None)).collect();
+        Self::build_parts(parts, Some(router), cfg, |s, objs, _| factory(s, objs))
+    }
+
+    /// [`build_partitioned_with`](Self::build_partitioned_with) over a
+    /// shared [`PivotMatrix`]: the matrix that produced the clustering is
+    /// sliced/permuted per shard and handed to each factory, closing the
+    /// loop of "compute the pivot-space mapping once, route with it, *and*
+    /// seed every shard's pivot table from it".
+    pub fn build_partitioned_with_matrix<E, F>(
+        objects: Vec<O>,
+        assignment: &[usize],
+        router: RoutingTable<O>,
+        matrix: &PivotMatrix,
+        cfg: &EngineConfig,
+        factory: F,
+    ) -> Result<Self, EngineError<E>>
+    where
+        O: Send,
+        E: Send,
+        F: Fn(usize, Vec<O>, PivotMatrix) -> Result<Box<dyn MetricIndex<O>>, E> + Sync,
+    {
+        if cfg.shards == 0 || router.num_shards() == 0 {
+            return Err(EngineError::ZeroShards);
+        }
+        assert_eq!(matrix.rows(), objects.len(), "one matrix row per object");
+        let parts = partition_by_assignment(objects, assignment, router.num_shards());
+        let parts = parts
+            .into_iter()
+            .map(|(objs, gids)| {
+                let slice = matrix.select(&gids);
+                ((objs, gids), Some(slice))
+            })
+            .collect();
+        Self::build_parts(parts, Some(router), cfg, |s, objs, m| {
+            factory(
+                s,
+                objs,
+                m.expect("every partition carries its matrix slice"),
+            )
+        })
     }
 
     /// Shared build tail: indexes every partition (in parallel when
-    /// configured), wires the locator, and attaches the optional router.
+    /// configured), wires the locator, attaches the optional router, and
+    /// records [`BuildStats`] (wall-clock plus the exact per-shard
+    /// construction compdists).
     fn build_parts<E, F>(
-        parts: Vec<Partition<O>>,
+        parts: Vec<MatrixPart<O>>,
         router: Option<RoutingTable<O>>,
         cfg: &EngineConfig,
         factory: F,
@@ -190,24 +324,25 @@ impl<O> ShardedEngine<O> {
     where
         O: Send,
         E: Send,
-        F: Fn(usize, Vec<O>) -> Result<Box<dyn MetricIndex<O>>, E> + Sync,
+        F: Fn(usize, Vec<O>, Option<PivotMatrix>) -> Result<Box<dyn MetricIndex<O>>, E> + Sync,
     {
+        let t0 = Instant::now();
         let num_shards = parts.len();
-        let n: usize = parts.iter().map(|(objs, _)| objs.len()).sum();
+        let n: usize = parts.iter().map(|((objs, _), _)| objs.len()).sum();
         let threads = resolve_threads(cfg.threads);
 
         let built: Vec<Result<Shard<O>, E>> = if threads <= 1 || num_shards == 1 {
             parts
                 .into_iter()
                 .enumerate()
-                .map(|(s, (objs, gids))| factory(s, objs).map(|idx| Shard::new(idx, gids)))
+                .map(|(s, ((objs, gids), m))| factory(s, objs, m).map(|idx| Shard::new(idx, gids)))
                 .collect()
         } else {
             // At most `threads` concurrent builders: distribute the shard
             // slots round-robin across worker buckets.
             let factory = &factory;
             let workers = threads.min(num_shards);
-            let mut buckets: Vec<Vec<(usize, Partition<O>)>> =
+            let mut buckets: Vec<Vec<(usize, MatrixPart<O>)>> =
                 (0..workers).map(|_| Vec::new()).collect();
             for (s, part) in parts.into_iter().enumerate() {
                 buckets[s % workers].push((s, part));
@@ -221,8 +356,8 @@ impl<O> ShardedEngine<O> {
                         scope.spawn(move |_| {
                             bucket
                                 .into_iter()
-                                .map(|(s, (objs, gids))| {
-                                    (s, factory(s, objs).map(|idx| Shard::new(idx, gids)))
+                                .map(|(s, ((objs, gids), m))| {
+                                    (s, factory(s, objs, m).map(|idx| Shard::new(idx, gids)))
                                 })
                                 .collect::<Vec<_>>()
                         })
@@ -253,6 +388,11 @@ impl<O> ShardedEngine<O> {
             }
         }
 
+        let build_stats = BuildStats {
+            build_compdists: shards.iter().map(|s| s.counters().compdists).sum(),
+            build_wall_secs: t0.elapsed().as_secs_f64(),
+        };
+
         Ok(ShardedEngine {
             shards,
             threads,
@@ -261,6 +401,7 @@ impl<O> ShardedEngine<O> {
             pruned: AtomicU64::new(0),
             locator,
             next_id: n as ObjId,
+            build_stats,
         })
     }
 
@@ -287,6 +428,21 @@ impl<O> ShardedEngine<O> {
     /// The shards, for inspection.
     pub fn shards(&self) -> &[Shard<O>] {
         &self.shards
+    }
+
+    /// Construction cost of this engine. The engine itself records the
+    /// per-shard build compdists and wall-clock; constructors that also pay
+    /// for a shared pivot matrix (the `pmi` facade) add that through
+    /// [`build_stats_mut`](Self::build_stats_mut).
+    pub fn build_stats(&self) -> BuildStats {
+        self.build_stats
+    }
+
+    /// Mutable access to the recorded build cost, for callers that layer
+    /// extra construction work (shared matrix, pivot selection) on top of
+    /// the engine build proper.
+    pub fn build_stats_mut(&mut self) -> &mut BuildStats {
+        &mut self.build_stats
     }
 
     /// Which partitioning regime this engine runs: `PivotSpace` when a
@@ -418,15 +574,92 @@ impl<O> ShardedEngine<O> {
     /// Answers one query by probing shards serially on the calling thread
     /// (the per-worker path of [`serve`](Self::serve)).
     pub fn execute(&self, query: &Query<O>) -> QueryResult {
+        self.execute_with(query, &mut EngineScratch::new())
+    }
+
+    /// [`execute`](Self::execute) with caller-owned scratch buffers — the
+    /// batch-serving hot path. After warmup the only per-query allocation
+    /// is the exact-size answer itself.
+    pub fn execute_with(&self, query: &Query<O>, scratch: &mut EngineScratch) -> QueryResult {
         match query {
-            Query::Range { q, radius } => QueryResult::Range(self.range_serial(q, *radius)),
-            Query::Knn { q, k } => QueryResult::Knn(self.knn_serial(q, *k).into_sorted()),
+            Query::Range { q, radius } => QueryResult::Range(self.range_with(q, *radius, scratch)),
+            Query::Knn { q, k } => QueryResult::Knn(self.knn_with(q, *k, scratch)),
         }
+    }
+
+    /// Plans and probes `MRQ(q, r)` serially through scratch buffers.
+    fn range_with(&self, q: &O, radius: f64, scratch: &mut EngineScratch) -> Vec<ObjId> {
+        let EngineScratch {
+            qs,
+            mapped,
+            probe,
+            ids,
+            ..
+        } = scratch;
+        match &self.router {
+            Some(rt) => {
+                rt.map_into(q, mapped);
+                rt.range_plan_into(mapped, radius, probe);
+            }
+            None => {
+                probe.clear();
+                probe.extend(0..self.shards.len());
+            }
+        }
+        self.note_probes(probe.len(), self.shards.len() - probe.len());
+        ids.clear();
+        for &s in probe.iter() {
+            self.shards[s].range_global_into(q, radius, qs, ids);
+        }
+        // Shards are disjoint partitions: the union is concatenation plus
+        // one sort for determinism.
+        ids.sort_unstable();
+        ids.clone()
+    }
+
+    /// Probes `MkNNQ(q, k)` serially into the scratch's bounded top-k
+    /// collector. Routed engines go best-first by box lower bound and skip
+    /// every shard whose bound exceeds the current k-th distance (strictly
+    /// — an equal bound could still hide an id-tie winner).
+    fn knn_with(&self, q: &O, k: usize, scratch: &mut EngineScratch) -> Vec<Neighbor> {
+        let EngineScratch {
+            qs,
+            mapped,
+            order,
+            nbrs,
+            topk,
+            ..
+        } = scratch;
+        topk.reset(k);
+        match &self.router {
+            Some(rt) => {
+                rt.map_into(q, mapped);
+                rt.knn_order_into(mapped, order);
+                let (mut probed, mut pruned) = (0usize, 0usize);
+                for &(s, lb) in order.iter() {
+                    if lb > topk.threshold() {
+                        pruned += 1;
+                        continue;
+                    }
+                    probed += 1;
+                    self.shards[s].knn_into_with(q, k, qs, nbrs, topk);
+                }
+                self.note_probes(probed, pruned);
+            }
+            None => {
+                self.note_probes(self.shards.len(), 0);
+                for s in &self.shards {
+                    s.knn_into_with(q, k, qs, nbrs, topk);
+                }
+            }
+        }
+        topk.drain_sorted()
     }
 
     /// The shards `MRQ(q, r)` must probe: all of them for round-robin
     /// engines, the router's Lemma 1 survivors otherwise. Also records the
-    /// probe/prune counts.
+    /// probe/prune counts. (Allocating planner for the parallel
+    /// single-query path; batch serving plans through [`EngineScratch`].)
     fn range_probe_set(&self, q: &O, radius: f64) -> Vec<usize> {
         let probe = match &self.router {
             Some(rt) => {
@@ -447,42 +680,6 @@ impl<O> ShardedEngine<O> {
                 .map(|&s| self.shards[s].range_global(q, radius))
                 .collect(),
         )
-    }
-
-    /// Plans and probes serially: the per-worker path of [`serve`](Self::serve).
-    fn range_serial(&self, q: &O, radius: f64) -> Vec<ObjId> {
-        let probe = self.range_probe_set(q, radius);
-        self.range_over(&probe, q, radius)
-    }
-
-    /// Probes shards serially into one bounded top-k collector. Routed
-    /// engines go best-first by box lower bound and skip every shard whose
-    /// bound exceeds the current k-th distance (strictly — an equal bound
-    /// could still hide an id-tie winner).
-    fn knn_serial(&self, q: &O, k: usize) -> TopK {
-        let mut topk = TopK::new(k);
-        match &self.router {
-            Some(rt) => {
-                let qd = rt.map(q);
-                let (mut probed, mut pruned) = (0usize, 0usize);
-                for (s, lb) in rt.knn_order(&qd) {
-                    if lb > topk.threshold() {
-                        pruned += 1;
-                        continue;
-                    }
-                    probed += 1;
-                    self.shards[s].knn_into(q, k, &mut topk);
-                }
-                self.note_probes(probed, pruned);
-            }
-            None => {
-                self.note_probes(self.shards.len(), 0);
-                for s in &self.shards {
-                    s.knn_into(q, k, &mut topk);
-                }
-            }
-        }
-        topk
     }
 }
 
@@ -525,7 +722,7 @@ impl<O: Send + Sync> ShardedEngine<O> {
     /// queries). Sorted ascending by `(distance, global id)`.
     pub fn knn_query(&self, q: &O, k: usize) -> Vec<Neighbor> {
         if self.router.is_some() || self.shards.len() == 1 || self.threads <= 1 {
-            return self.knn_serial(q, k).into_sorted();
+            return self.knn_with(q, k, &mut EngineScratch::new());
         }
         self.note_probes(self.shards.len(), 0);
         let chunk = self.shards.len().div_ceil(self.threads);
@@ -560,9 +757,10 @@ impl<O: Send + Sync> ShardedEngine<O> {
 
     /// Serves a batch of mixed queries on the worker pool: each worker
     /// claims queries from a shared atomic cursor, executes them against
-    /// the shards the planner selects, merges, and records the per-query
-    /// latency from a monotonic clock. Returns the merged answers in batch
-    /// order plus a [`ServeReport`].
+    /// the shards the planner selects through its own reused
+    /// [`EngineScratch`], merges, and records the per-query latency from a
+    /// monotonic clock. Returns the merged answers in batch order plus a
+    /// [`ServeReport`].
     ///
     /// The report's `cost` is the delta of the aggregate counters across
     /// the batch — exact for everything this engine's shards executed in
@@ -580,12 +778,13 @@ impl<O: Send + Sync> ShardedEngine<O> {
         let t0 = Instant::now();
 
         let collected: Vec<Vec<(usize, QueryResult, u64)>> = if workers <= 1 {
+            let mut scratch = EngineScratch::new();
             vec![batch
                 .iter()
                 .enumerate()
                 .map(|(i, q)| {
                     let q0 = Instant::now();
-                    let res = self.execute(q);
+                    let res = self.execute_with(q, &mut scratch);
                     (i, res, q0.elapsed().as_nanos() as u64)
                 })
                 .collect()]
@@ -595,6 +794,7 @@ impl<O: Send + Sync> ShardedEngine<O> {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         scope.spawn(move |_| {
+                            let mut scratch = EngineScratch::new();
                             let mut local = Vec::new();
                             loop {
                                 let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -602,7 +802,7 @@ impl<O: Send + Sync> ShardedEngine<O> {
                                     break;
                                 }
                                 let q0 = Instant::now();
-                                let res = self.execute(&batch[i]);
+                                let res = self.execute_with(&batch[i], &mut scratch);
                                 local.push((i, res, q0.elapsed().as_nanos() as u64));
                             }
                             local
@@ -652,6 +852,7 @@ impl<O: Send + Sync> ShardedEngine<O> {
             cost,
             shards_probed: probed1 - probed0,
             shards_pruned: pruned1 - pruned0,
+            build: self.build_stats,
         };
         BatchOutcome { results, report }
     }
@@ -692,8 +893,15 @@ mod tests {
             })
             .collect();
         let pivot = vec![0.0f32];
-        let mapper = move |o: &Vec<f32>| vec![L2.dist(o.as_slice(), pivot.as_slice())];
-        let mapped: Vec<Vec<f64>> = objects.iter().map(&mapper).collect();
+        let mapper = move |o: &Vec<f32>, out: &mut Vec<f64>| {
+            out.push(L2.dist(o.as_slice(), pivot.as_slice()))
+        };
+        let mapped = PivotMatrix::from_rows(
+            1,
+            objects
+                .iter()
+                .map(|o| [L2.dist(o.as_slice(), [0.0f32].as_slice())]),
+        );
         let assignment: Vec<usize> = objects.iter().map(|o| usize::from(o[0] >= 50.0)).collect();
         let router = RoutingTable::from_assignment(mapper, 1, &mapped, &assignment, 2);
         let e = ShardedEngine::build_partitioned_with(
@@ -732,6 +940,47 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn matrix_build_matches_plain_build() {
+        // A matrix-adopting factory must see exactly its shard's rows of
+        // the shared matrix, permuted to partition order.
+        let objects = grid(60);
+        let matrix = PivotMatrix::from_rows(2, objects.iter().map(|o| [o[0] as f64, o[1] as f64]));
+        let cfg = EngineConfig {
+            shards: 4,
+            threads: 2,
+        };
+        let e = ShardedEngine::build_with_matrix(objects.clone(), &matrix, &cfg, |_, part, m| {
+            assert_eq!(m.rows(), part.len());
+            assert_eq!(m.width(), 2);
+            for (i, o) in part.iter().enumerate() {
+                assert_eq!(m.row(i), &[o[0] as f64, o[1] as f64], "permuted slice");
+            }
+            brute_factory(part)
+        })
+        .unwrap();
+        let plain = engine(60, 4, 2);
+        for qi in [0usize, 30, 59] {
+            assert_eq!(
+                e.range_query(&objects[qi], 4.0),
+                plain.range_query(&objects[qi], 4.0)
+            );
+        }
+    }
+
+    #[test]
+    fn build_stats_record_shard_construction() {
+        let e = engine(100, 4, 2);
+        let stats = e.build_stats();
+        // BruteForce construction computes no distances but the stats must
+        // exist and carry a wall-clock.
+        assert_eq!(stats.build_compdists, 0);
+        assert!(stats.build_wall_secs >= 0.0);
+        // Serve copies the stats into the report.
+        let out = e.serve(&[Query::range(vec![0.0f32, 0.0], 1.0)]);
+        assert_eq!(out.report.build, stats);
     }
 
     #[test]
@@ -797,6 +1046,19 @@ mod tests {
             out.report.shards_probed + out.report.shards_pruned,
             (batch.len() * e.num_shards()) as u64
         );
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_execution() {
+        let (objects, e) = routed_two_clusters();
+        let mut scratch = EngineScratch::new();
+        // Interleave query types so every buffer is reused dirty.
+        for qi in [0usize, 11, 4, 19] {
+            let range = Query::range(objects[qi].clone(), 3.0);
+            let knn = Query::knn(objects[qi].clone(), 4);
+            assert_eq!(e.execute_with(&range, &mut scratch), e.execute(&range));
+            assert_eq!(e.execute_with(&knn, &mut scratch), e.execute(&knn));
+        }
     }
 
     #[test]

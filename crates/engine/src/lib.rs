@@ -62,9 +62,9 @@ pub mod query;
 pub mod report;
 pub mod shard;
 
-pub use engine::{BatchOutcome, EngineConfig, EngineError, ShardedEngine};
+pub use engine::{BatchOutcome, EngineConfig, EngineError, EngineScratch, ShardedEngine};
 pub use merge::TopK;
 pub use pmi_router::{PartitionPolicy, RoutingTable};
 pub use query::{Query, QueryResult};
-pub use report::{LatencySummary, ServeReport};
+pub use report::{BuildStats, LatencySummary, ServeReport};
 pub use shard::Shard;

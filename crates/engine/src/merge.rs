@@ -9,7 +9,7 @@ use std::collections::BinaryHeap;
 ///
 /// Ordering follows [`Neighbor`]'s total order `(distance, id)`, so merges
 /// are deterministic even across equal distances.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct TopK {
     k: usize,
     heap: BinaryHeap<Neighbor>,
@@ -73,6 +73,25 @@ impl TopK {
         v.sort_unstable();
         v
     }
+
+    /// Re-arms the collector for a new query with bound `k`, keeping the
+    /// heap's allocation — the reuse hook for the batch-serving hot loop.
+    pub fn reset(&mut self, k: usize) {
+        self.k = k;
+        self.heap.clear();
+    }
+
+    /// Drains the collected neighbors into a fresh exact-size vector sorted
+    /// ascending by `(distance, id)`, leaving the collector empty (capacity
+    /// intact) for reuse. The only allocation is the returned answer.
+    pub fn drain_sorted(&mut self) -> Vec<Neighbor> {
+        let mut v = Vec::with_capacity(self.heap.len());
+        while let Some(n) = self.heap.pop() {
+            v.push(n);
+        }
+        v.reverse();
+        v
+    }
 }
 
 /// Merges per-shard range answers (already mapped to global ids) into one
@@ -132,5 +151,18 @@ mod tests {
     fn merge_range_unions_sorted() {
         let merged = merge_range(vec![vec![7, 1], vec![], vec![4, 2]]);
         assert_eq!(merged, vec![1, 2, 4, 7]);
+    }
+
+    #[test]
+    fn reset_and_drain_reuse_the_collector() {
+        let mut t = TopK::new(2);
+        t.offer_all([n(0, 5.0), n(1, 1.0), n(2, 3.0)]);
+        let first = t.drain_sorted();
+        assert_eq!(first.iter().map(|x| x.id).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(first.capacity(), first.len(), "exact-size answer");
+        assert!(t.is_empty());
+        t.reset(1);
+        t.offer_all([n(7, 9.0), n(8, 2.0)]);
+        assert_eq!(t.drain_sorted()[0].id, 8);
     }
 }

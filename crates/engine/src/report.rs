@@ -42,6 +42,20 @@ impl LatencySummary {
     }
 }
 
+/// What building a [`ShardedEngine`](crate::ShardedEngine) cost: exact
+/// distance computations and wall-clock. The engine records the per-shard
+/// construction cost itself; the `pmi` facade adds the shared
+/// pivot-distance matrix cost on top, so the ~2× build-distance saving of
+/// the shared-matrix path is visible and regression-testable.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BuildStats {
+    /// Distance computations spent building the engine: the shared pivot
+    /// matrix (computed once) plus every shard's own construction cost.
+    pub build_compdists: u64,
+    /// Wall-clock duration of the whole build, seconds.
+    pub build_wall_secs: f64,
+}
+
 /// What a call to [`ShardedEngine::serve`](crate::ShardedEngine::serve)
 /// measured: batch shape, wall-clock throughput, latency percentiles, and
 /// the paper's cost metrics aggregated across every shard.
@@ -77,6 +91,10 @@ pub struct ServeReport {
     /// Exact number of shard probes avoided by pivot-space routing across
     /// the batch (the same query adds 5). Always 0 for round-robin engines.
     pub shards_pruned: u64,
+    /// Construction cost of the serving engine (copied from
+    /// [`ShardedEngine::build_stats`](crate::ShardedEngine::build_stats),
+    /// identical across batches).
+    pub build: BuildStats,
 }
 
 impl ServeReport {
@@ -120,11 +138,16 @@ impl std::fmt::Display for ServeReport {
             self.shards_pruned,
             self.prune_rate() * 100.0
         )?;
-        write!(
+        writeln!(
             f,
             "  cost: {} compdists, {} page accesses",
             self.cost.compdists,
             self.cost.page_accesses()
+        )?;
+        write!(
+            f,
+            "  build: {} compdists in {:.3}s",
+            self.build.build_compdists, self.build.build_wall_secs
         )
     }
 }

@@ -2,7 +2,7 @@
 //! mapping.
 
 use crate::merge::TopK;
-use pmi_metric::{Counters, MetricIndex, Neighbor, ObjId, StorageFootprint};
+use pmi_metric::{Counters, MetricIndex, Neighbor, ObjId, QueryScratch, StorageFootprint};
 
 /// One shard: any [`MetricIndex`] over a disjoint partition of the dataset,
 /// plus the mapping from the index's local object ids back to global
@@ -50,16 +50,47 @@ impl<O> Shard<O> {
 
     /// Range query answered in global ids (unsorted).
     pub fn range_global(&self, q: &O, radius: f64) -> Vec<ObjId> {
-        self.index
-            .range_query(q, radius)
-            .into_iter()
-            .map(|local| self.global_id(local))
-            .collect()
+        let mut out = Vec::new();
+        self.range_global_into(q, radius, &mut QueryScratch::new(), &mut out);
+        out
+    }
+
+    /// [`range_global`](Self::range_global) for the batch hot loop: appends
+    /// global-id answers to `out`, all transient state in `scratch`.
+    pub fn range_global_into(
+        &self,
+        q: &O,
+        radius: f64,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<ObjId>,
+    ) {
+        let start = out.len();
+        self.index.range_query_into(q, radius, scratch, out);
+        for id in &mut out[start..] {
+            *id = self.global_ids[*id as usize];
+        }
     }
 
     /// Local top-k offered into a global [`TopK`] collector.
     pub fn knn_into(&self, q: &O, k: usize, topk: &mut TopK) {
-        for n in self.index.knn_query(q, k) {
+        let mut tmp = Vec::new();
+        self.knn_into_with(q, k, &mut QueryScratch::new(), &mut tmp, topk);
+    }
+
+    /// [`knn_into`](Self::knn_into) for the batch hot loop: the shard's
+    /// local top-k lands in the reused `tmp` buffer and is offered into
+    /// `topk` under global ids.
+    pub fn knn_into_with(
+        &self,
+        q: &O,
+        k: usize,
+        scratch: &mut QueryScratch,
+        tmp: &mut Vec<Neighbor>,
+        topk: &mut TopK,
+    ) {
+        tmp.clear();
+        self.index.knn_query_into(q, k, scratch, tmp);
+        for n in tmp.drain(..) {
             topk.offer(Neighbor::new(self.global_id(n.id), n.dist));
         }
     }

@@ -3,6 +3,7 @@
 //! correctness oracle in tests.
 
 use crate::distance::{CountingMetric, Metric};
+use crate::scratch::QueryScratch;
 use crate::stats::{Counters, Neighbor, ObjId, StorageFootprint};
 
 /// A metric index over objects of type `O`, supporting the paper's two query
@@ -34,6 +35,24 @@ pub trait MetricIndex<O>: Send + Sync {
     /// fewer than `k` objects. Ties at the k-th distance are broken
     /// arbitrarily.
     fn knn_query(&self, q: &O, k: usize) -> Vec<Neighbor>;
+
+    /// [`range_query`](Self::range_query) variant for the batch-serving hot
+    /// path: answers are *appended* to `out` and all transient state lives
+    /// in `scratch`, so a worker that reuses both performs no per-query
+    /// heap allocations once the buffers are warm. The default falls back
+    /// to the allocating path; the flat pivot tables override it.
+    fn range_query_into(&self, q: &O, r: f64, scratch: &mut QueryScratch, out: &mut Vec<ObjId>) {
+        let _ = scratch;
+        out.extend(self.range_query(q, r));
+    }
+
+    /// [`knn_query`](Self::knn_query) variant for the batch-serving hot
+    /// path; appends the (ascending-sorted) neighbors to `out`. Same
+    /// scratch-reuse contract as [`range_query_into`](Self::range_query_into).
+    fn knn_query_into(&self, q: &O, k: usize, scratch: &mut QueryScratch, out: &mut Vec<Neighbor>) {
+        let _ = scratch;
+        out.extend(self.knn_query(q, k));
+    }
 
     /// Inserts an object, returning its id.
     fn insert(&mut self, o: O) -> ObjId;
@@ -97,6 +116,18 @@ impl<O: Clone + Send + Sync, M: Metric<O>> MetricIndex<O> for BruteForce<O, M> {
 
     fn range_query(&self, q: &O, r: f64) -> Vec<ObjId> {
         let mut out = Vec::new();
+        self.range_query_into(q, r, &mut QueryScratch::new(), &mut out);
+        out
+    }
+
+    fn knn_query(&self, q: &O, k: usize) -> Vec<Neighbor> {
+        let mut scratch = QueryScratch::new();
+        let mut out = Vec::new();
+        self.knn_query_into(q, k, &mut scratch, &mut out);
+        out
+    }
+
+    fn range_query_into(&self, q: &O, r: f64, _scratch: &mut QueryScratch, out: &mut Vec<ObjId>) {
         for (i, o) in self.objects.iter().enumerate() {
             if let Some(o) = o {
                 if self.metric.dist(q, o) <= r {
@@ -104,22 +135,24 @@ impl<O: Clone + Send + Sync, M: Metric<O>> MetricIndex<O> for BruteForce<O, M> {
                 }
             }
         }
-        out
     }
 
-    fn knn_query(&self, q: &O, k: usize) -> Vec<Neighbor> {
-        let mut all: Vec<Neighbor> = self
-            .objects
-            .iter()
-            .enumerate()
-            .filter_map(|(i, o)| {
-                o.as_ref()
-                    .map(|o| Neighbor::new(i as ObjId, self.metric.dist(q, o)))
-            })
-            .collect();
-        all.sort();
-        all.truncate(k);
-        all
+    fn knn_query_into(&self, q: &O, k: usize, scratch: &mut QueryScratch, out: &mut Vec<Neighbor>) {
+        if k == 0 {
+            return;
+        }
+        scratch.heap.clear();
+        for (i, o) in self.objects.iter().enumerate() {
+            let Some(o) = o else { continue };
+            let n = Neighbor::new(i as ObjId, self.metric.dist(q, o));
+            if scratch.heap.len() < k {
+                scratch.heap.push(n);
+            } else if n < *scratch.heap.peek().expect("heap is full") {
+                scratch.heap.push(n);
+                scratch.heap.pop();
+            }
+        }
+        crate::scratch::drain_heap_sorted(&mut scratch.heap, out);
     }
 
     fn insert(&mut self, o: O) -> ObjId {

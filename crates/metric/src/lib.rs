@@ -8,6 +8,10 @@
 //!   computes distances so that the `compdists` cost metric of the paper can
 //!   be measured uniformly,
 //! * the four pivot filtering / validation lemmas of the paper ([`lemmas`]),
+//! * the shared flat pivot-distance matrix ([`PivotMatrix`]) built once, in
+//!   parallel, and adopted by the pivot tables and the sharded engine,
+//! * reusable per-worker query scratch space ([`QueryScratch`]) for the
+//!   allocation-free batch query path,
 //! * the object-safe [`MetricIndex`] trait implemented by all thirteen index
 //!   variants,
 //! * binary object encoding ([`object`]) used by the disk-resident indexes,
@@ -17,14 +21,18 @@ pub mod datasets;
 pub mod distance;
 pub mod index;
 pub mod lemmas;
+pub mod matrix;
 pub mod object;
 pub mod parallel;
+pub mod scratch;
 pub mod stats;
 pub mod table;
 
 pub use distance::{CountingMetric, DistanceCounter, EditDistance, LInf, Lp, Metric, L1, L2};
 pub use index::{BruteForce, MetricIndex};
+pub use matrix::PivotMatrix;
 pub use object::EncodeObject;
+pub use scratch::QueryScratch;
 pub use stats::{Counters, Neighbor, ObjId, StorageFootprint};
 pub use table::ObjTable;
 

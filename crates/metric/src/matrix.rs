@@ -1,0 +1,240 @@
+//! The shared pivot-distance matrix: the paper's central `n × l` object.
+//!
+//! Every pivot-based index is, at its core, a view over the matrix
+//! `A[i][j] = d(o_i, p_j)`. Historically each index in this workspace
+//! recomputed (and re-stored) its own copy as `Vec<Option<Vec<f64>>>` — one
+//! heap allocation and one pointer chase per object on every Lemma 1 scan.
+//! [`PivotMatrix`] stores the matrix once, flat and row-major, so that
+//!
+//! * it can be **built once, in parallel** ([`PivotMatrix::compute`], on the
+//!   same scoped-thread worker pool as [`crate::parallel`]) and then shared
+//!   by the router and every shard of a sharded engine, and
+//! * Lemma 1 scanning is a branch-light sequential pass over contiguous
+//!   memory ([`PivotMatrix::row`] is a plain slice).
+//!
+//! Removal is handled *outside* the matrix: rows of tombstoned objects stay
+//! in place (ids remain row indices) and are simply never visited, because
+//! liveness lives in the index's slot map ([`crate::ObjTable`] /
+//! [`crate::ObjTable::iter_live_rows`]).
+
+use crate::distance::Metric;
+
+/// A flat, row-major `n × l` pivot-distance matrix with stable row ids.
+///
+/// Row `i` holds `(d(o_i, p_1), …, d(o_i, p_l))`. Rows are never removed —
+/// indexes with tombstoned deletion keep the row and skip it via their slot
+/// map — so row indices are stable object ids for the lifetime of the index.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PivotMatrix {
+    /// Row-major distances; `data[i * width + j] = d(o_i, p_j)`.
+    data: Vec<f64>,
+    /// Number of pivots `l` (row stride). A width of 0 is allowed (no
+    /// pivots): the matrix then has zero-length rows.
+    width: usize,
+    /// Number of rows `n` (tracked separately so `width == 0` still counts).
+    rows: usize,
+}
+
+impl PivotMatrix {
+    /// An empty matrix over `width` pivots.
+    pub fn new(width: usize) -> Self {
+        PivotMatrix {
+            data: Vec::new(),
+            width,
+            rows: 0,
+        }
+    }
+
+    /// An empty matrix with capacity reserved for `rows` rows.
+    pub fn with_capacity(width: usize, rows: usize) -> Self {
+        PivotMatrix {
+            data: Vec::with_capacity(width * rows),
+            width,
+            rows: 0,
+        }
+    }
+
+    /// Computes the full `objects × pivots` matrix, fanning rows across
+    /// `threads` scoped worker threads (1 ⇒ serial). Deterministic: the
+    /// output is identical for every thread count, and with a
+    /// [`CountingMetric`](crate::CountingMetric) exactly
+    /// `objects.len() * pivots.len()` evaluations are counted.
+    pub fn compute<O, M>(objects: &[O], metric: &M, pivots: &[O], threads: usize) -> Self
+    where
+        O: Sync,
+        M: Metric<O> + Sync,
+    {
+        let width = pivots.len();
+        let rows = objects.len();
+        let mut data = vec![0.0f64; width * rows];
+        let threads = threads.max(1);
+        if threads == 1 || rows < 2 * threads || width == 0 {
+            for (slot, o) in data.chunks_mut(width.max(1)).zip(objects) {
+                for (x, p) in slot.iter_mut().zip(pivots) {
+                    *x = metric.dist(o, p);
+                }
+            }
+        } else {
+            let chunk = rows.div_ceil(threads);
+            crossbeam::thread::scope(|s| {
+                for (slot_chunk, obj_chunk) in
+                    data.chunks_mut(chunk * width).zip(objects.chunks(chunk))
+                {
+                    s.spawn(move |_| {
+                        for (slot, o) in slot_chunk.chunks_mut(width).zip(obj_chunk) {
+                            for (x, p) in slot.iter_mut().zip(pivots) {
+                                *x = metric.dist(o, p);
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("matrix worker thread panicked");
+        }
+        PivotMatrix { data, width, rows }
+    }
+
+    /// Builds a matrix from per-object rows (each of length `width`).
+    pub fn from_rows<R: AsRef<[f64]>>(width: usize, rows: impl IntoIterator<Item = R>) -> Self {
+        let mut m = PivotMatrix::new(width);
+        for r in rows {
+            m.push_row(r.as_ref());
+        }
+        m
+    }
+
+    /// Number of rows `n` (including rows of tombstoned objects).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of pivots `l` (the row stride).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Whether the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Row `id` as a contiguous slice of `l` distances.
+    #[inline]
+    pub fn row(&self, id: usize) -> &[f64] {
+        &self.data[id * self.width..(id + 1) * self.width]
+    }
+
+    /// Appends one row, returning its row id.
+    pub fn push_row(&mut self, row: &[f64]) -> usize {
+        assert_eq!(row.len(), self.width, "row length must equal pivot count");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+        self.rows - 1
+    }
+
+    /// A new matrix holding the given rows of `self`, in `ids` order — the
+    /// per-shard slice/permutation of the shared matrix used when a sharded
+    /// engine hands each shard its part of the one precomputed matrix.
+    pub fn select(&self, ids: &[u32]) -> Self {
+        let mut out = PivotMatrix::with_capacity(self.width, ids.len());
+        for &id in ids {
+            out.data.extend_from_slice(self.row(id as usize));
+        }
+        out.rows = ids.len();
+        out
+    }
+
+    /// The whole matrix as one flat row-major slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Iterates `(row id, row)` over every row (tombstoned or not).
+    pub fn iter_rows(&self) -> impl Iterator<Item = (usize, &[f64])> {
+        (0..self.rows).map(|i| (i, self.row(i)))
+    }
+
+    /// In-memory footprint of the matrix in bytes.
+    pub fn mem_bytes(&self) -> u64 {
+        8 * self.data.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+    use crate::distance::{CountingMetric, L2};
+
+    #[test]
+    fn compute_matches_serial_for_all_thread_counts() {
+        let pts = datasets::la(500, 3);
+        let pivots: Vec<Vec<f32>> = vec![pts[1].clone(), pts[99].clone(), pts[200].clone()];
+        let serial = PivotMatrix::compute(&pts, &L2, &pivots, 1);
+        assert_eq!(serial.rows(), 500);
+        assert_eq!(serial.width(), 3);
+        for threads in [0usize, 2, 4, 7, 64] {
+            let par = PivotMatrix::compute(&pts, &L2, &pivots, threads);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+        for (i, o) in pts.iter().enumerate().step_by(97) {
+            for (j, p) in pivots.iter().enumerate() {
+                assert_eq!(serial.row(i)[j], L2.dist(o, p));
+            }
+        }
+    }
+
+    #[test]
+    fn compute_counts_exactly_n_times_l() {
+        let pts = datasets::la(400, 5);
+        let pivots: Vec<Vec<f32>> = vec![pts[0].clone(), pts[7].clone()];
+        let metric = CountingMetric::new(L2);
+        let _ = PivotMatrix::compute(&pts, &metric, &pivots, 4);
+        assert_eq!(metric.count(), 400 * 2);
+    }
+
+    #[test]
+    fn push_select_roundtrip() {
+        let mut m = PivotMatrix::new(2);
+        assert!(m.is_empty());
+        assert_eq!(m.push_row(&[1.0, 2.0]), 0);
+        assert_eq!(m.push_row(&[3.0, 4.0]), 1);
+        assert_eq!(m.push_row(&[5.0, 6.0]), 2);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        let s = m.select(&[2, 0]);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.row(0), &[5.0, 6.0]);
+        assert_eq!(s.row(1), &[1.0, 2.0]);
+        assert_eq!(m.as_slice().len(), 6);
+        assert_eq!(m.mem_bytes(), 48);
+        let rows: Vec<_> = m.iter_rows().collect();
+        assert_eq!(rows[2], (2, [5.0, 6.0].as_slice()));
+    }
+
+    #[test]
+    fn from_rows_matches_push() {
+        let m = PivotMatrix::from_rows(2, [[1.0, 2.0], [3.0, 4.0]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn zero_width_matrix_counts_rows() {
+        let mut m = PivotMatrix::new(0);
+        m.push_row(&[]);
+        m.push_row(&[]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.row(1), &[] as &[f64]);
+        let pts = datasets::la(10, 1);
+        let c = PivotMatrix::compute(&pts, &L2, &[], 4);
+        assert_eq!(c.rows(), 10);
+        assert_eq!(c.width(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn push_row_rejects_wrong_width() {
+        let mut m = PivotMatrix::new(2);
+        m.push_row(&[1.0]);
+    }
+}

@@ -1,43 +1,15 @@
-//! Parallel pre-computation of pivot distances.
+//! Parallel pre-computation helpers built on crossbeam scoped threads.
 //!
 //! The paper's §6.2 discussion notes that index construction parallelizes
 //! naturally: "since objects are independent of each other, the
 //! pre-computed distances for each object can be computed in parallel".
-//! This module implements that strategy with crossbeam scoped threads; the
+//! The parallel pivot-distance table itself lives in
+//! [`PivotMatrix::compute`](crate::PivotMatrix::compute); this module keeps
+//! the remaining worker-pool helper. The
 //! [`CountingMetric`](crate::CountingMetric) counter is atomic, so
 //! `compdists` accounting stays exact under parallelism.
 
 use crate::distance::Metric;
-
-/// Computes the `n × |pivots|` distance table in parallel over `threads`
-/// worker threads. Equivalent to the serial double loop; deterministic
-/// output.
-pub fn pivot_rows<O, M>(objects: &[O], metric: &M, pivots: &[O], threads: usize) -> Vec<Vec<f64>>
-where
-    O: Sync,
-    M: Metric<O> + Sync,
-{
-    let threads = threads.max(1);
-    if threads == 1 || objects.len() < 2 * threads {
-        return objects
-            .iter()
-            .map(|o| pivots.iter().map(|p| metric.dist(o, p)).collect())
-            .collect();
-    }
-    let mut rows: Vec<Vec<f64>> = vec![Vec::new(); objects.len()];
-    let chunk = objects.len().div_ceil(threads);
-    crossbeam::thread::scope(|s| {
-        for (slot_chunk, obj_chunk) in rows.chunks_mut(chunk).zip(objects.chunks(chunk)) {
-            s.spawn(move |_| {
-                for (slot, o) in slot_chunk.iter_mut().zip(obj_chunk) {
-                    *slot = pivots.iter().map(|p| metric.dist(o, p)).collect();
-                }
-            });
-        }
-    })
-    .expect("worker thread panicked");
-    rows
-}
 
 /// Parallel pairwise-distance sampling used to estimate dataset statistics
 /// on large inputs (each thread samples an independent stripe).
@@ -91,27 +63,7 @@ where
 mod tests {
     use super::*;
     use crate::datasets;
-    use crate::distance::{CountingMetric, L2};
-
-    #[test]
-    fn parallel_rows_match_serial() {
-        let pts = datasets::la(500, 3);
-        let pivots: Vec<Vec<f32>> = vec![pts[1].clone(), pts[99].clone(), pts[200].clone()];
-        let serial = pivot_rows(&pts, &L2, &pivots, 1);
-        for threads in [2usize, 4, 7] {
-            let par = pivot_rows(&pts, &L2, &pivots, threads);
-            assert_eq!(par, serial, "threads={threads}");
-        }
-    }
-
-    #[test]
-    fn counting_stays_exact_under_parallelism() {
-        let pts = datasets::la(400, 5);
-        let pivots: Vec<Vec<f32>> = vec![pts[0].clone(), pts[7].clone()];
-        let metric = CountingMetric::new(L2);
-        let _ = pivot_rows(&pts, &metric, &pivots, 4);
-        assert_eq!(metric.count(), 400 * 2);
-    }
+    use crate::distance::L2;
 
     #[test]
     fn sampling_produces_requested_count() {
@@ -122,13 +74,5 @@ mod tests {
         // Deterministic per seed.
         assert_eq!(sample_distances(&pts, &L2, 100, 3, 1), d);
         assert_ne!(sample_distances(&pts, &L2, 100, 3, 2), d);
-    }
-
-    #[test]
-    fn degenerate_thread_counts() {
-        let pts = datasets::la(10, 1);
-        let pivots = vec![pts[0].clone()];
-        assert_eq!(pivot_rows(&pts, &L2, &pivots, 0).len(), 10);
-        assert_eq!(pivot_rows(&pts, &L2, &pivots, 64).len(), 10);
     }
 }

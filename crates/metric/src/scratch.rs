@@ -1,0 +1,85 @@
+//! Reusable per-worker query scratch space.
+//!
+//! The batch-serving hot loop answers thousands of queries per worker
+//! thread; allocating a fresh query-pivot distance vector, candidate heap,
+//! and result buffers for every query is pure overhead. A [`QueryScratch`]
+//! owns those buffers once per worker and is threaded through
+//! [`MetricIndex::range_query_into`](crate::MetricIndex::range_query_into) /
+//! [`MetricIndex::knn_query_into`](crate::MetricIndex::knn_query_into), so
+//! that after a short warmup the scan path performs no transient heap
+//! allocations per query.
+
+use crate::stats::Neighbor;
+use std::collections::BinaryHeap;
+
+/// Reusable buffers for one query-serving worker.
+///
+/// All buffers keep their capacity across queries; callers `clear()` (or let
+/// the index methods clear) rather than reallocate. One scratch must not be
+/// shared across threads — each worker owns its own.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    /// Query-to-pivot distances (`d(q, p_1), …, d(q, p_l)`), recomputed per
+    /// query into the same buffer.
+    pub qd: Vec<f64>,
+    /// Bounded max-heap of current k best neighbors for kNN scans. Emptied
+    /// by each use; capacity persists.
+    pub heap: BinaryHeap<Neighbor>,
+}
+
+impl QueryScratch {
+    /// A fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        QueryScratch::default()
+    }
+
+    /// Clears all buffers, keeping capacity.
+    pub fn clear(&mut self) {
+        self.qd.clear();
+        self.heap.clear();
+    }
+}
+
+/// Drains `heap` (a max-heap of the k best) into `out` in ascending
+/// `(distance, id)` order, appending. Leaves the heap empty with its
+/// capacity intact.
+pub fn drain_heap_sorted(heap: &mut BinaryHeap<Neighbor>, out: &mut Vec<Neighbor>) {
+    let start = out.len();
+    while let Some(n) = heap.pop() {
+        out.push(n);
+    }
+    out[start..].reverse();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_sorts_ascending_and_keeps_capacity() {
+        let mut h = BinaryHeap::with_capacity(8);
+        for (id, d) in [(3u32, 5.0f64), (1, 1.0), (2, 3.0)] {
+            h.push(Neighbor::new(id, d));
+        }
+        let cap = h.capacity();
+        let mut out = vec![Neighbor::new(9, 0.0)];
+        drain_heap_sorted(&mut h, &mut out);
+        assert_eq!(
+            out.iter().map(|n| n.id).collect::<Vec<_>>(),
+            vec![9, 1, 2, 3]
+        );
+        assert!(h.is_empty());
+        assert_eq!(h.capacity(), cap);
+    }
+
+    #[test]
+    fn scratch_clear_keeps_capacity() {
+        let mut s = QueryScratch::new();
+        s.qd.extend_from_slice(&[1.0, 2.0, 3.0]);
+        s.heap.push(Neighbor::new(0, 1.0));
+        let cap = s.qd.capacity();
+        s.clear();
+        assert!(s.qd.is_empty() && s.heap.is_empty());
+        assert_eq!(s.qd.capacity(), cap);
+    }
+}

@@ -5,6 +5,7 @@
 //! structures, and store the objects in a separate table"). Ids are slot
 //! positions and stay stable until removal.
 
+use crate::matrix::PivotMatrix;
 use crate::stats::ObjId;
 
 /// Slotted object storage with stable ids.
@@ -41,7 +42,10 @@ impl<O> ObjTable<O> {
         self.live == 0
     }
 
-    /// Number of slots (live + tombstoned).
+    /// Number of slots. This **includes tombstones**: removal never shrinks
+    /// the slot vector (ids are slot positions and must stay stable), so
+    /// `slots() >= len()` always, with equality only while nothing has been
+    /// removed. Use [`len`](Self::len) for the live count.
     pub fn slots(&self) -> usize {
         self.slots.len()
     }
@@ -74,6 +78,25 @@ impl<O> ObjTable<O> {
             .filter_map(|(i, s)| s.as_ref().map(|o| (i as ObjId, o)))
     }
 
+    /// Iterates `(id, object, matrix row)` over live slots in id order,
+    /// pairing each live object with its row of a [`PivotMatrix`] whose row
+    /// ids are this table's slot ids. This is the flat-matrix scan loop of
+    /// the pivot tables: tombstoned slots are skipped (their matrix rows
+    /// stay in place, unread), so no `Option` unwrap ever runs on the scan
+    /// path.
+    ///
+    /// Panics (in the iterator) if the matrix has fewer rows than this
+    /// table has slots.
+    pub fn iter_live_rows<'a>(
+        &'a self,
+        matrix: &'a PivotMatrix,
+    ) -> impl Iterator<Item = (ObjId, &'a O, &'a [f64])> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, s)| s.as_ref().map(|o| (i as ObjId, o, matrix.row(i))))
+    }
+
     /// Linear lookup of an id, mimicking indexes whose deletion requires a
     /// sequential scan (paper §6.3 on LAESA/EPT*/CPT). Returns the number of
     /// slots visited and whether the id is live.
@@ -104,6 +127,19 @@ mod tests {
         assert_eq!(t.len(), 2);
         let ids: Vec<_> = t.iter().map(|(i, _)| i).collect();
         assert_eq!(ids, vec![0, 2]);
+    }
+
+    #[test]
+    fn live_rows_skip_tombstones() {
+        let mut t = ObjTable::new(vec!["a", "b", "c"]);
+        let m = PivotMatrix::from_rows(2, [[0.0, 1.0], [2.0, 3.0], [4.0, 5.0]]);
+        t.remove(1);
+        assert_eq!(t.slots(), 3, "slots() includes the tombstone");
+        assert_eq!(t.len(), 2);
+        let got: Vec<_> = t.iter_live_rows(&m).collect();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], (0, &"a", [0.0, 1.0].as_slice()));
+        assert_eq!(got[1], (2, &"c", [4.0, 5.0].as_slice()));
     }
 
     #[test]

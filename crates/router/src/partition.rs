@@ -1,13 +1,15 @@
 //! Balanced pivot-space partitioning.
 //!
 //! Objects are assigned to shards by clustering their pivot-distance
-//! vectors: a k-means-style loop in pivot space whose assignment step is
-//! *balanced* (no shard exceeds `ceil(n / P)` objects and none is left
-//! empty), so routing quality never comes at the price of a hot shard.
-//! Degenerate inputs — one shard, no pivots, fewer objects than shards, or
-//! a dataset whose mapped points are all identical — fall back to the
-//! engine's original round-robin assignment, which is always valid.
+//! vectors — the rows of the shared [`PivotMatrix`] — with a k-means-style
+//! loop in pivot space whose assignment step is *balanced* (no shard exceeds
+//! `ceil(n / P)` objects and none is left empty), so routing quality never
+//! comes at the price of a hot shard. Degenerate inputs — one shard, no
+//! pivots, fewer objects than shards, or a dataset whose mapped points are
+//! all identical — fall back to the engine's original round-robin
+//! assignment, which is always valid.
 
+use pmi_metric::PivotMatrix;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -26,8 +28,8 @@ fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
-/// Clusters `mapped` (one pivot-distance vector per object) into `shards`
-/// balanced groups and returns the shard of each object.
+/// Clusters the rows of `mapped` (one pivot-distance vector per object)
+/// into `shards` balanced groups and returns the shard of each object.
 ///
 /// Centroids are seeded farthest-first (deterministic per `seed`), then a
 /// few rounds of: balanced nearest-centroid assignment, centroid
@@ -35,11 +37,12 @@ fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
 /// one object and at most `ceil(n / shards)`, so shards stay within one
 /// object of perfectly balanced. Falls back to round-robin when clustering
 /// cannot help (see module docs). Runs in `O(iters · n · shards)` time and
-/// `O(n · shards)` memory.
-pub fn assign_pivot_space(mapped: &[Vec<f64>], shards: usize, seed: u64) -> Vec<usize> {
-    let n = mapped.len();
+/// `O(n · shards)` memory; the scan over mapped points is a sequential pass
+/// over the flat matrix.
+pub fn assign_pivot_space(mapped: &PivotMatrix, shards: usize, seed: u64) -> Vec<usize> {
+    let n = mapped.rows();
     let p = shards.max(1).min(n.max(1));
-    let dim = mapped.first().map_or(0, |m| m.len());
+    let dim = mapped.width();
     if p <= 1 || dim == 0 || n <= p {
         return assign_round_robin(n, p);
     }
@@ -47,12 +50,12 @@ pub fn assign_pivot_space(mapped: &[Vec<f64>], shards: usize, seed: u64) -> Vec<
     // Farthest-first (maximin) seeding: spreads centroids across the mapped
     // point cloud, deterministic given the seed.
     let mut rng = StdRng::seed_from_u64(seed ^ 0x524f_5554); // "ROUT"
-    let mut centroids: Vec<Vec<f64>> = vec![mapped[rng.random_range(0..n)].clone()];
+    let mut centroids: Vec<Vec<f64>> = vec![mapped.row(rng.random_range(0..n)).to_vec()];
     let mut nearest = vec![f64::INFINITY; n];
     while centroids.len() < p {
         let newest = centroids.last().expect("at least one centroid");
         let (mut far, mut far_d) = (0usize, -1.0f64);
-        for (i, m) in mapped.iter().enumerate() {
+        for (i, m) in mapped.iter_rows() {
             let d = sq_dist(m, newest).min(nearest[i]);
             nearest[i] = d;
             if d > far_d {
@@ -65,7 +68,7 @@ pub fn assign_pivot_space(mapped: &[Vec<f64>], shards: usize, seed: u64) -> Vec<
             // carries no routing signal, so balance is all that matters.
             return assign_round_robin(n, p);
         }
-        centroids.push(mapped[far].clone());
+        centroids.push(mapped.row(far).to_vec());
     }
 
     let cap = n.div_ceil(p);
@@ -79,7 +82,7 @@ pub fn assign_pivot_space(mapped: &[Vec<f64>], shards: usize, seed: u64) -> Vec<
         // Standard k-means centroid update over the new groups.
         let mut sums = vec![vec![0.0f64; dim]; p];
         let mut counts = vec![0usize; p];
-        for (m, &s) in mapped.iter().zip(&assignment) {
+        for ((_, m), &s) in mapped.iter_rows().zip(&assignment) {
             counts[s] += 1;
             for (acc, x) in sums[s].iter_mut().zip(m) {
                 *acc += x;
@@ -102,8 +105,8 @@ pub fn assign_pivot_space(mapped: &[Vec<f64>], shards: usize, seed: u64) -> Vec<
 /// empty), then the remaining (point, centroid) pairs are taken globally
 /// in ascending distance order, skipping full shards. Total capacity
 /// `p · cap >= n` guarantees every point lands somewhere.
-fn balanced_assign(mapped: &[Vec<f64>], centroids: &[Vec<f64>], cap: usize) -> Vec<usize> {
-    let n = mapped.len();
+fn balanced_assign(mapped: &PivotMatrix, centroids: &[Vec<f64>], cap: usize) -> Vec<usize> {
+    let n = mapped.rows();
     let p = centroids.len();
     let mut assignment = vec![usize::MAX; n];
     let mut counts = vec![0usize; p];
@@ -111,7 +114,7 @@ fn balanced_assign(mapped: &[Vec<f64>], centroids: &[Vec<f64>], cap: usize) -> V
     for (s, c) in centroids.iter().enumerate() {
         let mut pick = None;
         let mut pick_d = f64::INFINITY;
-        for (i, m) in mapped.iter().enumerate() {
+        for (i, m) in mapped.iter_rows() {
             if assignment[i] == usize::MAX {
                 let d = sq_dist(m, c);
                 if d < pick_d {
@@ -127,7 +130,7 @@ fn balanced_assign(mapped: &[Vec<f64>], centroids: &[Vec<f64>], cap: usize) -> V
     }
 
     let mut pairs: Vec<(f64, u32, u32)> = Vec::with_capacity((n - p.min(n)) * p);
-    for (i, m) in mapped.iter().enumerate() {
+    for (i, m) in mapped.iter_rows() {
         if assignment[i] == usize::MAX {
             for (s, c) in centroids.iter().enumerate() {
                 pairs.push((sq_dist(m, c), i as u32, s as u32));
@@ -150,14 +153,14 @@ fn balanced_assign(mapped: &[Vec<f64>], centroids: &[Vec<f64>], cap: usize) -> V
 mod tests {
     use super::*;
 
-    fn blobs(per: usize, centers: &[(f64, f64)]) -> Vec<Vec<f64>> {
+    fn blobs(per: usize, centers: &[(f64, f64)]) -> PivotMatrix {
         // Tiny deterministic jitter, no RNG needed.
-        let mut out = Vec::new();
+        let mut out = PivotMatrix::new(2);
         for &(cx, cy) in centers {
             for i in 0..per {
                 let dx = (i % 5) as f64 * 0.01;
                 let dy = (i % 7) as f64 * 0.01;
-                out.push(vec![cx + dx, cy + dy]);
+                out.push_row(&[cx + dx, cy + dy]);
             }
         }
         out
@@ -172,12 +175,13 @@ mod tests {
             vec![0; 4]
         );
         // Zero-dimensional mapped points (no pivots).
-        assert_eq!(
-            assign_pivot_space(&[vec![], vec![], vec![]], 2, 7),
-            vec![0, 1, 0]
-        );
+        let mut flat = PivotMatrix::new(0);
+        for _ in 0..3 {
+            flat.push_row(&[]);
+        }
+        assert_eq!(assign_pivot_space(&flat, 2, 7), vec![0, 1, 0]);
         // All mapped points identical.
-        let same = vec![vec![3.0, 3.0]; 6];
+        let same = PivotMatrix::from_rows(2, vec![[3.0, 3.0]; 6]);
         assert_eq!(assign_pivot_space(&same, 3, 7), vec![0, 1, 2, 0, 1, 2]);
         // Fewer objects than shards.
         assert_eq!(

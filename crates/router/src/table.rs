@@ -2,9 +2,12 @@
 //! planner that decides which shards a query must probe.
 
 use pmi_metric::lemmas::Mbb;
+use pmi_metric::PivotMatrix;
 
-/// Boxed pivot-space mapper: `o ↦ (d(o, p_1), …, d(o, p_l))`.
-pub type Mapper<O> = Box<dyn Fn(&O) -> Vec<f64> + Send + Sync>;
+/// Boxed pivot-space mapper: appends `(d(o, p_1), …, d(o, p_l))` to the
+/// caller's buffer. The write-into shape keeps the serving hot loop free of
+/// per-query allocations — workers reuse one buffer across a whole batch.
+pub type Mapper<O> = Box<dyn Fn(&O, &mut Vec<f64>) + Send + Sync>;
 
 /// Per-shard routing state for a pivot-space-partitioned engine: a mapper
 /// from objects into pivot space (`o ↦ (d(o, p_1), …, d(o, p_l))`) and one
@@ -30,29 +33,34 @@ pub struct RoutingTable<O> {
 impl<O> RoutingTable<O> {
     /// Wraps a mapper and pre-computed per-shard boxes.
     ///
-    /// Correctness contract: `mapper` must return the pivot-distance vector
+    /// Correctness contract: `mapper` must append the pivot-distance vector
     /// of its argument under the *same* pivots and metric that produced the
     /// boxes, and every object in shard `s` must have its mapped point
     /// inside `boxes[s]`.
-    pub fn new(mapper: impl Fn(&O) -> Vec<f64> + Send + Sync + 'static, boxes: Vec<Mbb>) -> Self {
+    pub fn new(
+        mapper: impl Fn(&O, &mut Vec<f64>) + Send + Sync + 'static,
+        boxes: Vec<Mbb>,
+    ) -> Self {
         RoutingTable {
             mapper: Box::new(mapper),
             boxes,
         }
     }
 
-    /// Builds the table from a partitioning: `mapped[i]` is object `i`'s
-    /// pivot-distance vector, `assignment[i]` its shard.
+    /// Builds the table from a partitioning: row `i` of `mapped` (the
+    /// shared pivot-distance matrix) is object `i`'s pivot-distance vector,
+    /// `assignment[i]` its shard.
     pub fn from_assignment(
-        mapper: impl Fn(&O) -> Vec<f64> + Send + Sync + 'static,
+        mapper: impl Fn(&O, &mut Vec<f64>) + Send + Sync + 'static,
         dim: usize,
-        mapped: &[Vec<f64>],
+        mapped: &PivotMatrix,
         assignment: &[usize],
         shards: usize,
     ) -> Self {
-        debug_assert_eq!(mapped.len(), assignment.len());
+        debug_assert_eq!(mapped.rows(), assignment.len());
+        debug_assert_eq!(mapped.width(), dim);
         let mut boxes = vec![Mbb::empty(dim); shards];
-        for (m, &s) in mapped.iter().zip(assignment) {
+        for ((_, m), &s) in mapped.iter_rows().zip(assignment) {
             boxes[s].extend(m);
         }
         Self::new(mapper, boxes)
@@ -70,15 +78,31 @@ impl<O> RoutingTable<O> {
 
     /// Maps a query object into pivot space (`l` distance computations).
     pub fn map(&self, q: &O) -> Vec<f64> {
-        (self.mapper)(q)
+        let mut out = Vec::new();
+        self.map_into(q, &mut out);
+        out
+    }
+
+    /// [`map`](Self::map) into a reused buffer: clears `out`, then appends
+    /// the mapped point. The batch-serving hot path.
+    pub fn map_into(&self, q: &O, out: &mut Vec<f64>) {
+        out.clear();
+        (self.mapper)(q, out);
     }
 
     /// Shards that `MRQ(q, r)` must probe: every shard whose box is not
     /// prunable by Lemma 1. Ascending shard order.
     pub fn range_plan(&self, q_dists: &[f64], r: f64) -> Vec<usize> {
-        (0..self.boxes.len())
-            .filter(|&s| !self.boxes[s].prunable(q_dists, r))
-            .collect()
+        let mut out = Vec::new();
+        self.range_plan_into(q_dists, r, &mut out);
+        out
+    }
+
+    /// [`range_plan`](Self::range_plan) into a reused buffer (cleared
+    /// first).
+    pub fn range_plan_into(&self, q_dists: &[f64], r: f64, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend((0..self.boxes.len()).filter(|&s| !self.boxes[s].prunable(q_dists, r)));
     }
 
     /// All shards ordered best-first for `MkNNQ(q, k)`: ascending box lower
@@ -86,14 +110,21 @@ impl<O> RoutingTable<O> {
     /// in this order and skips every shard whose bound exceeds the current
     /// k-th distance.
     pub fn knn_order(&self, q_dists: &[f64]) -> Vec<(usize, f64)> {
-        let mut order: Vec<(usize, f64)> = self
-            .boxes
-            .iter()
-            .enumerate()
-            .map(|(s, b)| (s, b.lower_bound(q_dists)))
-            .collect();
-        order.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-        order
+        let mut out = Vec::new();
+        self.knn_order_into(q_dists, &mut out);
+        out
+    }
+
+    /// [`knn_order`](Self::knn_order) into a reused buffer (cleared first).
+    pub fn knn_order_into(&self, q_dists: &[f64], out: &mut Vec<(usize, f64)>) {
+        out.clear();
+        out.extend(
+            self.boxes
+                .iter()
+                .enumerate()
+                .map(|(s, b)| (s, b.lower_bound(q_dists))),
+        );
+        out.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     }
 
     /// Box lower bound of every shard for a mapped point, in shard order
@@ -124,9 +155,15 @@ mod tests {
 
     /// 1-d objects, one pivot at the origin: mapping is |x|.
     fn table(points: &[(f64, usize)], shards: usize) -> RoutingTable<f64> {
-        let mapped: Vec<Vec<f64>> = points.iter().map(|&(x, _)| vec![x.abs()]).collect();
+        let mapped = PivotMatrix::from_rows(1, points.iter().map(|&(x, _)| [x.abs()]));
         let assignment: Vec<usize> = points.iter().map(|&(_, s)| s).collect();
-        RoutingTable::from_assignment(|q: &f64| vec![q.abs()], 1, &mapped, &assignment, shards)
+        RoutingTable::from_assignment(
+            |q: &f64, out: &mut Vec<f64>| out.push(q.abs()),
+            1,
+            &mapped,
+            &assignment,
+            shards,
+        )
     }
 
     #[test]
@@ -139,6 +176,19 @@ mod tests {
         assert_eq!(t.range_plan(&[1.5], 9.0), vec![0, 1]);
         // A query between the boxes with a tiny radius reaches neither.
         assert!(t.range_plan(&[5.0], 0.5).is_empty());
+        // The into-variant clears and reuses its buffer.
+        let mut buf = vec![42usize];
+        t.range_plan_into(&[1.5], 9.0, &mut buf);
+        assert_eq!(buf, vec![0, 1]);
+    }
+
+    #[test]
+    fn map_into_reuses_buffer() {
+        let t = table(&[(1.0, 0), (-2.0, 1)], 2);
+        let mut buf = vec![99.0];
+        t.map_into(&-3.5, &mut buf);
+        assert_eq!(buf, vec![3.5]);
+        assert_eq!(t.map(&-3.5), vec![3.5]);
     }
 
     #[test]

@@ -5,23 +5,29 @@
 //! object survives Lemma 1 it must first be *fetched from disk* (one page
 //! read through the M-tree leaf directory) before the distance can be
 //! computed. This is the CPU/I-O overhead the paper attributes to CPT.
+//!
+//! Like LAESA, the table is a flat row-major [`PivotMatrix`]; liveness is a
+//! separate slot bitmap so the Lemma 1 scan walks contiguous memory.
 
 use pmi_metric::lemmas;
+use pmi_metric::scratch::drain_heap_sorted;
 use pmi_metric::{
-    Counters, CountingMetric, EncodeObject, Metric, MetricIndex, Neighbor, ObjId, StorageFootprint,
+    Counters, CountingMetric, EncodeObject, Metric, MetricIndex, Neighbor, ObjId, PivotMatrix,
+    QueryScratch, StorageFootprint,
 };
 use pmi_mtree::MTree;
 use pmi_storage::DiskSim;
-use std::collections::BinaryHeap;
 
 /// CPT: in-memory pivot table + on-disk M-tree holding the objects.
 pub struct Cpt<O, M> {
     metric: CountingMetric<M>,
     pivots: Vec<O>,
-    rows: Vec<Option<Vec<f64>>>,
+    /// Flat pivot-distance rows, aligned with slot ids.
+    matrix: PivotMatrix,
+    /// Liveness per slot (tombstoned removal keeps ids stable).
+    alive: Vec<bool>,
     mtree: MTree<O, CountingMetric<M>>,
     live: usize,
-    next_id: u32,
 }
 
 impl<O, M> Cpt<O, M>
@@ -33,27 +39,60 @@ where
     /// because objects are stored inline in the M-tree).
     pub fn build(objects: Vec<O>, metric: M, pivots: Vec<O>, disk: DiskSim) -> Self {
         let metric = CountingMetric::new(metric);
+        let matrix = PivotMatrix::compute(&objects, &metric, &pivots, 1);
+        Self::finish(objects, metric, pivots, matrix, disk)
+    }
+
+    /// Builds CPT by *adopting* a pre-computed pivot-distance matrix (the
+    /// shard's slice of a shared [`PivotMatrix`]): the `n · l` table costs
+    /// nothing here; only the M-tree build computes distances. Queries are
+    /// byte-identical to [`build`](Self::build)'s.
+    pub fn build_with_matrix(
+        objects: Vec<O>,
+        metric: M,
+        pivots: Vec<O>,
+        matrix: PivotMatrix,
+        disk: DiskSim,
+    ) -> Self {
+        assert_eq!(matrix.rows(), objects.len(), "one matrix row per object");
+        assert_eq!(matrix.width(), pivots.len(), "one matrix column per pivot");
+        Self::finish(objects, CountingMetric::new(metric), pivots, matrix, disk)
+    }
+
+    fn finish(
+        objects: Vec<O>,
+        metric: CountingMetric<M>,
+        pivots: Vec<O>,
+        matrix: PivotMatrix,
+        disk: DiskSim,
+    ) -> Self {
         // Plain M-tree (no pivot augmentation): it only clusters objects.
         let mut mtree = MTree::new(disk, metric.clone(), Vec::new());
-        let mut rows = Vec::with_capacity(objects.len());
         for (i, o) in objects.iter().enumerate() {
-            rows.push(Some(
-                pivots.iter().map(|p| metric.dist(o, p)).collect::<Vec<_>>(),
-            ));
             mtree.insert(i as u32, o);
         }
         Cpt {
             metric,
             pivots,
-            rows,
+            matrix,
+            alive: vec![true; objects.len()],
             mtree,
             live: objects.len(),
-            next_id: objects.len() as u32,
         }
     }
 
-    fn query_dists(&self, q: &O) -> Vec<f64> {
-        self.pivots.iter().map(|p| self.metric.dist(q, p)).collect()
+    fn query_dists_into(&self, q: &O, qd: &mut Vec<f64>) {
+        qd.clear();
+        qd.extend(self.pivots.iter().map(|p| self.metric.dist(q, p)));
+    }
+
+    /// Iterates `(id, row)` over live slots in id order.
+    fn live_rows(&self) -> impl Iterator<Item = (ObjId, &[f64])> {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a)
+            .map(move |(i, _)| (i as ObjId, self.matrix.row(i)))
     }
 
     /// The instrumented metric.
@@ -81,50 +120,57 @@ where
     }
 
     fn range_query(&self, q: &O, r: f64) -> Vec<ObjId> {
-        let qd = self.query_dists(q);
         let mut out = Vec::new();
-        for (id, row) in self.rows.iter().enumerate() {
-            let Some(row) = row else { continue };
-            if lemmas::lemma1_prunable(&qd, row, r) {
-                continue;
-            }
-            // Survived filtering: load the object from disk to verify.
-            let o = self.mtree.fetch(id as u32).expect("object on disk");
-            if self.metric.dist(q, &o) <= r {
-                out.push(id as ObjId);
-            }
-        }
+        self.range_query_into(q, r, &mut QueryScratch::new(), &mut out);
         out
     }
 
     fn knn_query(&self, q: &O, k: usize) -> Vec<Neighbor> {
-        if k == 0 {
-            return Vec::new();
+        let mut out = Vec::new();
+        self.knn_query_into(q, k, &mut QueryScratch::new(), &mut out);
+        out
+    }
+
+    fn range_query_into(&self, q: &O, r: f64, scratch: &mut QueryScratch, out: &mut Vec<ObjId>) {
+        self.query_dists_into(q, &mut scratch.qd);
+        for (id, row) in self.live_rows() {
+            if lemmas::lemma1_prunable(&scratch.qd, row, r) {
+                continue;
+            }
+            // Survived filtering: load the object from disk to verify.
+            let o = self.mtree.fetch(id).expect("object on disk");
+            if self.metric.dist(q, &o) <= r {
+                out.push(id);
+            }
         }
-        let qd = self.query_dists(q);
-        let mut heap: BinaryHeap<Neighbor> = BinaryHeap::new();
-        for (id, row) in self.rows.iter().enumerate() {
-            let Some(row) = row else { continue };
+    }
+
+    fn knn_query_into(&self, q: &O, k: usize, scratch: &mut QueryScratch, out: &mut Vec<Neighbor>) {
+        if k == 0 {
+            return;
+        }
+        self.query_dists_into(q, &mut scratch.qd);
+        let heap = &mut scratch.heap;
+        heap.clear();
+        for (id, row) in self.live_rows() {
             let radius = if heap.len() < k {
                 f64::INFINITY
             } else {
-                heap.peek().unwrap().dist
+                heap.peek().expect("heap is full").dist
             };
-            if radius.is_finite() && lemmas::lemma1_prunable(&qd, row, radius) {
+            if radius.is_finite() && lemmas::lemma1_prunable(&scratch.qd, row, radius) {
                 continue;
             }
-            let o = self.mtree.fetch(id as u32).expect("object on disk");
+            let o = self.mtree.fetch(id).expect("object on disk");
             let d = self.metric.dist(q, &o);
             if d < radius || heap.len() < k {
-                heap.push(Neighbor::new(id as ObjId, d));
+                heap.push(Neighbor::new(id, d));
                 if heap.len() > k {
                     heap.pop();
                 }
             }
         }
-        let mut v = heap.into_sorted_vec();
-        v.truncate(k);
-        v
+        drain_heap_sorted(heap, out);
     }
 
     fn insert(&mut self, o: O) -> ObjId {
@@ -133,19 +179,18 @@ where
             .iter()
             .map(|p| self.metric.dist(&o, p))
             .collect();
-        let id = self.next_id;
-        self.next_id += 1;
-        debug_assert_eq!(id as usize, self.rows.len());
-        self.rows.push(Some(row));
+        let id = self.matrix.rows() as ObjId;
+        self.matrix.push_row(&row);
+        self.alive.push(true);
         self.mtree.insert(id, &o);
         self.live += 1;
         id
     }
 
     fn remove(&mut self, id: ObjId) -> bool {
-        match self.rows.get_mut(id as usize) {
-            Some(slot @ Some(_)) => {
-                *slot = None;
+        match self.alive.get_mut(id as usize) {
+            Some(slot @ true) => {
+                *slot = false;
                 let o = self.mtree.fetch(id).expect("object on disk");
                 assert!(self.mtree.remove(id, &o));
                 self.live -= 1;
@@ -156,15 +201,16 @@ where
     }
 
     fn get(&self, id: ObjId) -> Option<O> {
-        self.rows.get(id as usize)?.as_ref()?;
+        if !*self.alive.get(id as usize)? {
+            return None;
+        }
         self.mtree.fetch(id)
     }
 
     fn storage(&self) -> StorageFootprint {
-        let rows: u64 = self.rows.iter().flatten().map(|r| 8 * r.len() as u64).sum();
         let pivots: u64 = self.pivots.iter().map(|p| p.encoded_len() as u64).sum();
         StorageFootprint {
-            mem_bytes: rows + pivots,
+            mem_bytes: self.matrix.mem_bytes() + self.alive.len() as u64 + pivots,
             disk_bytes: self.mtree.disk_bytes(),
         }
     }
@@ -226,6 +272,31 @@ mod tests {
         for (g, w) in got.iter().zip(&want) {
             assert!((g.dist - w.dist).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn matrix_adoption_skips_the_table_cost() {
+        let (pts, idx) = build(250);
+        let adopted = Cpt::build_with_matrix(
+            pts.clone(),
+            L2,
+            idx.pivots.clone(),
+            idx.matrix.clone(),
+            DiskSim::new(1024),
+        );
+        // The adopted build pays only the M-tree construction: exactly the
+        // n·l table cost less than the recompute path.
+        assert_eq!(
+            idx.counters().compdists - adopted.counters().compdists,
+            250 * 4
+        );
+        for r in [100.0, 1200.0] {
+            assert_eq!(
+                adopted.range_query(&pts[11], r),
+                idx.range_query(&pts[11], r)
+            );
+        }
+        assert_eq!(adopted.knn_query(&pts[60], 8), idx.knn_query(&pts[60], 8));
     }
 
     #[test]

@@ -7,15 +7,20 @@
 //! candidate set that maximize the expected ratio `D(q,o)/d(q,o)` over a
 //! query sample — better pivots at a much higher construction cost
 //! (Table 4), which is the trade-off Figure 14 measures.
+//!
+//! Rows are stored flat (structure-of-arrays: one `u16` pivot-id array and
+//! one `f64` distance array, fixed stride `l`), so the per-object scan is a
+//! sequential pass with no per-row allocation; tombstoned removal keeps ids
+//! stable through the object table's slot map.
 
+use pmi_metric::scratch::drain_heap_sorted;
 use pmi_metric::{
     Counters, CountingMetric, EncodeObject, Metric, MetricIndex, Neighbor, ObjId, ObjTable,
-    StorageFootprint,
+    PivotMatrix, QueryScratch, StorageFootprint,
 };
 use pmi_pivots::PsaSelector;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::collections::BinaryHeap;
 
 /// Which pivot-selection strategy an [`Ept`] uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -71,8 +76,12 @@ pub struct Ept<O, M> {
     /// All pivot objects any row may reference.
     pivot_objs: Vec<O>,
     strategy: Strategy<O, M>,
-    /// Per-slot rows of `(pivot index, distance)`.
-    rows: Vec<Option<Vec<(u16, f64)>>>,
+    /// Flat SoA rows: `row_pivots[id·l ..][j]` is the pivot index of the
+    /// `j`-th pivot of slot `id`, `row_dists` the matching distance.
+    row_pivots: Vec<u16>,
+    row_dists: Vec<f64>,
+    /// Row stride: pivots stored per object.
+    stride: usize,
     table: ObjTable<O>,
     l: usize,
 }
@@ -84,6 +93,49 @@ where
 {
     /// Builds an EPT (`mode = Random`) or EPT* (`mode = Psa`).
     pub fn build(objects: Vec<O>, metric: M, mode: EptMode, cfg: EptConfig) -> Self {
+        Self::build_inner(objects, metric, mode, cfg, None)
+    }
+
+    /// Builds an EPT (`EptMode::Random` only) by *adopting* a pre-computed
+    /// distance matrix over its own pivot pool: `pool_matrix` row `i` must
+    /// hold `objects[i]`'s distances to [`Ept::random_pool_indices`]`(n, cfg)`
+    /// (e.g. computed once, in parallel, with [`PivotMatrix::compute`]).
+    /// Extreme-pivot selection then reads matrix rows instead of computing
+    /// `n · l · m` distances; queries are byte-identical to
+    /// [`build`](Self::build)'s.
+    ///
+    /// EPT* has no matrix-adoption path: its PSA candidate set is itself the
+    /// product of distance computations, so there is nothing a caller could
+    /// precompute without doing that work.
+    pub fn build_with_matrix(
+        objects: Vec<O>,
+        metric: M,
+        cfg: EptConfig,
+        pool_matrix: &PivotMatrix,
+    ) -> Self {
+        assert_eq!(
+            pool_matrix.rows(),
+            objects.len(),
+            "one pool-matrix row per object"
+        );
+        Self::build_inner(objects, metric, EptMode::Random, cfg, Some(pool_matrix))
+    }
+
+    /// The deterministic pivot pool [`build`](Self::build) draws random
+    /// groups from: indices into `objects` for a dataset of `n` objects.
+    /// Use this to precompute the pool matrix for
+    /// [`build_with_matrix`](Self::build_with_matrix).
+    pub fn random_pool_indices(n: usize, cfg: EptConfig) -> Vec<usize> {
+        pmi_pivots::select_random(n, (cfg.l * cfg.m).min(n), cfg.seed)
+    }
+
+    fn build_inner(
+        objects: Vec<O>,
+        metric: M,
+        mode: EptMode,
+        cfg: EptConfig,
+        pool_matrix: Option<&PivotMatrix>,
+    ) -> Self {
         let metric = CountingMetric::new(metric);
         let n = objects.len();
         assert!(n >= 2, "EPT needs at least two objects");
@@ -91,9 +143,12 @@ where
 
         let (pivot_objs, strategy) = match mode {
             EptMode::Random => {
-                let total = (cfg.l * cfg.m).min(n);
-                let picks = pmi_pivots::select_random(n, total, cfg.seed);
+                let picks = Self::random_pool_indices(n, cfg);
+                let total = picks.len();
                 let pivot_objs: Vec<O> = picks.iter().map(|&i| objects[i].clone()).collect();
+                if let Some(m) = pool_matrix {
+                    assert_eq!(m.width(), total, "one pool-matrix column per pool pivot");
+                }
                 let groups: Vec<Vec<u16>> = (0..cfg.l)
                     .map(|g| {
                         (0..cfg.m)
@@ -115,6 +170,10 @@ where
                 )
             }
             EptMode::Psa => {
+                assert!(
+                    pool_matrix.is_none(),
+                    "EPT* (PSA) has no matrix-adoption path"
+                );
                 let sel = PsaSelector::new(&objects, metric.clone(), cfg.sample, cfg.seed);
                 (sel.candidates.clone(), Strategy::Psa(sel))
             }
@@ -125,20 +184,45 @@ where
             mode,
             pivot_objs,
             strategy,
-            rows: Vec::with_capacity(n),
+            row_pivots: Vec::new(),
+            row_dists: Vec::new(),
+            stride: 0,
             table: ObjTable::empty(),
             l: cfg.l,
         };
-        for o in objects {
-            let row = ept.select_row(&o);
+        for (i, o) in objects.into_iter().enumerate() {
+            let row = ept.select_row_from(&o, pool_matrix.map(|m| m.row(i)));
             ept.table.push(o);
-            ept.rows.push(Some(row));
+            ept.push_row(row);
         }
         ept
     }
 
-    /// Selects the `(pivot, distance)` row for one object.
-    fn select_row(&self, o: &O) -> Vec<(u16, f64)> {
+    fn push_row(&mut self, row: Vec<(u16, f64)>) {
+        if self.stride == 0 && !row.is_empty() {
+            self.stride = row.len();
+        }
+        assert_eq!(row.len(), self.stride, "EPT rows have a fixed stride");
+        for (pi, d) in row {
+            self.row_pivots.push(pi);
+            self.row_dists.push(d);
+        }
+    }
+
+    /// The flat row of slot `id` as `(pivot indices, distances)`.
+    #[inline]
+    fn row(&self, id: usize) -> (&[u16], &[f64]) {
+        let s = id * self.stride;
+        (
+            &self.row_pivots[s..s + self.stride],
+            &self.row_dists[s..s + self.stride],
+        )
+    }
+
+    /// Selects the `(pivot, distance)` row for one object. In Random mode,
+    /// `pool_row` (the object's pre-computed distances to the whole pivot
+    /// pool) substitutes for computing them here.
+    fn select_row_from(&self, o: &O, pool_row: Option<&[f64]>) -> Vec<(u16, f64)> {
         match &self.strategy {
             Strategy::Random { groups, mus, .. } => {
                 let mut row = Vec::with_capacity(groups.len());
@@ -147,7 +231,10 @@ where
                     let mut best_score = f64::NEG_INFINITY;
                     let mut best_d = 0.0;
                     for &pi in group {
-                        let d = self.metric.dist(o, &self.pivot_objs[pi as usize]);
+                        let d = match pool_row {
+                            Some(r) => r[pi as usize],
+                            None => self.metric.dist(o, &self.pivot_objs[pi as usize]),
+                        };
                         let score = (d - mus[pi as usize]).abs();
                         if score > best_score {
                             best_score = score;
@@ -167,19 +254,21 @@ where
         }
     }
 
+    fn select_row(&self, o: &O) -> Vec<(u16, f64)> {
+        self.select_row_from(o, None)
+    }
+
     /// Distances from `q` to every pivot object (the `m × l` term of the
-    /// paper's cost equations).
-    fn query_dists(&self, q: &O) -> Vec<f64> {
-        self.pivot_objs
-            .iter()
-            .map(|p| self.metric.dist(q, p))
-            .collect()
+    /// paper's cost equations), written into `qd`.
+    fn query_dists_into(&self, q: &O, qd: &mut Vec<f64>) {
+        qd.clear();
+        qd.extend(self.pivot_objs.iter().map(|p| self.metric.dist(q, p)));
     }
 
     #[inline]
-    fn row_lower_bound(qd: &[f64], row: &[(u16, f64)]) -> f64 {
+    fn row_lower_bound(qd: &[f64], pivots: &[u16], dists: &[f64]) -> f64 {
         let mut lb = 0.0f64;
-        for (pi, d) in row {
+        for (pi, d) in pivots.iter().zip(dists) {
             let x = (qd[*pi as usize] - d).abs();
             if x > lb {
                 lb = x;
@@ -221,34 +310,45 @@ where
     }
 
     fn range_query(&self, q: &O, r: f64) -> Vec<ObjId> {
-        let qd = self.query_dists(q);
         let mut out = Vec::new();
+        self.range_query_into(q, r, &mut QueryScratch::new(), &mut out);
+        out
+    }
+
+    fn knn_query(&self, q: &O, k: usize) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        self.knn_query_into(q, k, &mut QueryScratch::new(), &mut out);
+        out
+    }
+
+    fn range_query_into(&self, q: &O, r: f64, scratch: &mut QueryScratch, out: &mut Vec<ObjId>) {
+        self.query_dists_into(q, &mut scratch.qd);
         for (id, o) in self.table.iter() {
-            let row = self.rows[id as usize].as_ref().expect("live row");
-            if Self::row_lower_bound(&qd, row) > r {
+            let (pis, ds) = self.row(id as usize);
+            if Self::row_lower_bound(&scratch.qd, pis, ds) > r {
                 continue;
             }
             if self.metric.dist(q, o) <= r {
                 out.push(id);
             }
         }
-        out
     }
 
-    fn knn_query(&self, q: &O, k: usize) -> Vec<Neighbor> {
+    fn knn_query_into(&self, q: &O, k: usize, scratch: &mut QueryScratch, out: &mut Vec<Neighbor>) {
         if k == 0 {
-            return Vec::new();
+            return;
         }
-        let qd = self.query_dists(q);
-        let mut heap: BinaryHeap<Neighbor> = BinaryHeap::new();
+        self.query_dists_into(q, &mut scratch.qd);
+        let heap = &mut scratch.heap;
+        heap.clear();
         for (id, o) in self.table.iter() {
             let radius = if heap.len() < k {
                 f64::INFINITY
             } else {
-                heap.peek().unwrap().dist
+                heap.peek().expect("heap is full").dist
             };
-            let row = self.rows[id as usize].as_ref().expect("live row");
-            if radius.is_finite() && Self::row_lower_bound(&qd, row) > radius {
+            let (pis, ds) = self.row(id as usize);
+            if radius.is_finite() && Self::row_lower_bound(&scratch.qd, pis, ds) > radius {
                 continue;
             }
             let d = self.metric.dist(q, o);
@@ -259,9 +359,7 @@ where
                 }
             }
         }
-        let mut v = heap.into_sorted_vec();
-        v.truncate(k);
-        v
+        drain_heap_sorted(heap, out);
     }
 
     fn insert(&mut self, o: O) -> ObjId {
@@ -274,8 +372,8 @@ where
         }
         let row = self.select_row(&o);
         let id = self.table.push(o);
-        debug_assert_eq!(id as usize, self.rows.len());
-        self.rows.push(Some(row));
+        debug_assert_eq!(id as usize * self.stride, self.row_pivots.len());
+        self.push_row(row);
         id
     }
 
@@ -285,7 +383,6 @@ where
             return false;
         }
         self.table.remove(id);
-        self.rows[id as usize] = None;
         true
     }
 
@@ -295,13 +392,10 @@ where
 
     fn storage(&self) -> StorageFootprint {
         // Rows store (pivot id, distance) pairs — the extra pivot-id bytes
-        // relative to LAESA that Table 4 points out.
-        let rows: u64 = self
-            .rows
-            .iter()
-            .flatten()
-            .map(|r| 12 * r.len() as u64)
-            .sum();
+        // relative to LAESA that Table 4 points out. Tombstoned slots keep
+        // their rows (ids stay stable), so slots are counted, not live
+        // objects.
+        let rows: u64 = 12 * self.row_dists.len() as u64;
         let objs: u64 = self.table.iter().map(|(_, o)| o.encoded_len() as u64).sum();
         let pivots: u64 = self.pivot_objs.iter().map(|p| p.encoded_len() as u64).sum();
         StorageFootprint::mem(rows + objs + pivots)
@@ -325,19 +419,18 @@ mod tests {
     use pmi_metric::datasets;
     use pmi_metric::{BruteForce, L2};
 
+    fn cfg() -> EptConfig {
+        EptConfig {
+            l: 4,
+            m: 6,
+            sample: 32,
+            seed: 13,
+        }
+    }
+
     fn build(mode: EptMode, n: usize) -> (Vec<Vec<f32>>, Ept<Vec<f32>, L2>) {
         let pts = datasets::la(n, 13);
-        let idx = Ept::build(
-            pts.clone(),
-            L2,
-            mode,
-            EptConfig {
-                l: 4,
-                m: 6,
-                sample: 32,
-                seed: 13,
-            },
-        );
+        let idx = Ept::build(pts.clone(), L2, mode, cfg());
         (pts, idx)
     }
 
@@ -366,6 +459,38 @@ mod tests {
             for (g, w) in got.iter().zip(&want) {
                 assert!((g.dist - w.dist).abs() < 1e-9, "{mode:?}");
             }
+        }
+    }
+
+    #[test]
+    fn pool_matrix_adoption_is_cheaper_and_byte_identical() {
+        let (pts, idx) = build(EptMode::Random, 400);
+        let pool: Vec<Vec<f32>> = Ept::<Vec<f32>, L2>::random_pool_indices(400, cfg())
+            .into_iter()
+            .map(|i| pts[i].clone())
+            .collect();
+        let matrix = PivotMatrix::compute(&pts, &L2, &pool, 4);
+        let adopted = Ept::build_with_matrix(pts.clone(), L2, cfg(), &matrix);
+        // Selection reads matrix rows: the n·l·m selection distances vanish;
+        // only μ estimation remains.
+        assert!(
+            adopted.counters().compdists < idx.counters().compdists,
+            "adoption must skip the selection distances: {} vs {}",
+            adopted.counters().compdists,
+            idx.counters().compdists
+        );
+        // Identical rows, hence byte-identical queries at identical cost.
+        assert_eq!(adopted.row_pivots, idx.row_pivots);
+        assert_eq!(adopted.row_dists, idx.row_dists);
+        for qi in [0usize, 99, 399] {
+            idx.reset_counters();
+            adopted.reset_counters();
+            assert_eq!(
+                adopted.range_query(&pts[qi], 600.0),
+                idx.range_query(&pts[qi], 600.0)
+            );
+            assert_eq!(adopted.knn_query(&pts[qi], 9), idx.knn_query(&pts[qi], 9));
+            assert_eq!(adopted.counters(), idx.counters(), "qi={qi}");
         }
     }
 

@@ -1,18 +1,23 @@
 //! LAESA (paper §3.1): a linear pivot table over a shared pivot set.
 
 use pmi_metric::lemmas;
+use pmi_metric::scratch::drain_heap_sorted;
 use pmi_metric::{
     Counters, CountingMetric, EncodeObject, Metric, MetricIndex, Neighbor, ObjId, ObjTable,
-    StorageFootprint,
+    PivotMatrix, QueryScratch, StorageFootprint,
 };
-use std::collections::BinaryHeap;
 
 /// LAESA: `n × l` pre-computed distances + linear scan with Lemma 1.
+///
+/// The distance table is a flat row-major [`PivotMatrix`] aligned with the
+/// object table's slots: removal tombstones the slot (the matrix row stays
+/// in place, unread), so the Lemma 1 scan is a branch-light sequential pass
+/// over contiguous memory with no per-row `Option` or pointer chase.
 pub struct Laesa<O, M> {
     metric: CountingMetric<M>,
     pivots: Vec<O>,
     /// Pivot-distance rows, aligned with the object table's slots.
-    rows: Vec<Option<Vec<f64>>>,
+    matrix: PivotMatrix,
     table: ObjTable<O>,
 }
 
@@ -26,21 +31,41 @@ where
     /// exactly `n · l` distances.
     pub fn build(objects: Vec<O>, metric: M, pivots: Vec<O>) -> Self {
         let metric = CountingMetric::new(metric);
-        let rows = objects
-            .iter()
-            .map(|o| Some(pivots.iter().map(|p| metric.dist(o, p)).collect()))
-            .collect();
+        let matrix = PivotMatrix::compute(&objects, &metric, &pivots, 1);
         Laesa {
             metric,
             pivots,
-            rows,
+            matrix,
             table: ObjTable::new(objects),
         }
     }
 
-    /// Distances from `q` to every pivot.
-    fn query_dists(&self, q: &O) -> Vec<f64> {
-        self.pivots.iter().map(|p| self.metric.dist(q, p)).collect()
+    /// Builds LAESA by *adopting* a pre-computed pivot-distance matrix
+    /// (row `i` = `objects[i]`'s distances to `pivots`, e.g. the shard's
+    /// slice of a shared [`PivotMatrix`]). Computes **zero** distances:
+    /// this is the shared-matrix build path that makes a sharded build cost
+    /// `n · l` once instead of once per shard. Queries are byte-identical
+    /// to [`build`](Self::build)'s.
+    pub fn build_with_matrix(
+        objects: Vec<O>,
+        metric: M,
+        pivots: Vec<O>,
+        matrix: PivotMatrix,
+    ) -> Self {
+        assert_eq!(matrix.rows(), objects.len(), "one matrix row per object");
+        assert_eq!(matrix.width(), pivots.len(), "one matrix column per pivot");
+        Laesa {
+            metric: CountingMetric::new(metric),
+            pivots,
+            matrix,
+            table: ObjTable::new(objects),
+        }
+    }
+
+    /// Distances from `q` to every pivot, written into `qd`.
+    fn query_dists_into(&self, q: &O, qd: &mut Vec<f64>) {
+        qd.clear();
+        qd.extend(self.pivots.iter().map(|p| self.metric.dist(q, p)));
     }
 
     /// The instrumented metric.
@@ -51,6 +76,12 @@ where
     /// Number of pivots.
     pub fn num_pivots(&self) -> usize {
         self.pivots.len()
+    }
+
+    /// The adopted pivot-distance matrix (rows aligned with slot ids,
+    /// including tombstoned slots).
+    pub fn matrix(&self) -> &PivotMatrix {
+        &self.matrix
     }
 }
 
@@ -68,37 +99,46 @@ where
     }
 
     fn range_query(&self, q: &O, r: f64) -> Vec<ObjId> {
-        let qd = self.query_dists(q);
         let mut out = Vec::new();
-        for (id, o) in self.table.iter() {
-            let row = self.rows[id as usize].as_ref().expect("live row");
-            if lemmas::lemma1_prunable(&qd, row, r) {
+        self.range_query_into(q, r, &mut QueryScratch::new(), &mut out);
+        out
+    }
+
+    fn knn_query(&self, q: &O, k: usize) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        self.knn_query_into(q, k, &mut QueryScratch::new(), &mut out);
+        out
+    }
+
+    fn range_query_into(&self, q: &O, r: f64, scratch: &mut QueryScratch, out: &mut Vec<ObjId>) {
+        self.query_dists_into(q, &mut scratch.qd);
+        for (id, o, row) in self.table.iter_live_rows(&self.matrix) {
+            if lemmas::lemma1_prunable(&scratch.qd, row, r) {
                 continue;
             }
             if self.metric.dist(q, o) <= r {
                 out.push(id);
             }
         }
-        out
     }
 
-    fn knn_query(&self, q: &O, k: usize) -> Vec<Neighbor> {
+    fn knn_query_into(&self, q: &O, k: usize, scratch: &mut QueryScratch, out: &mut Vec<Neighbor>) {
         if k == 0 {
-            return Vec::new();
+            return;
         }
-        let qd = self.query_dists(q);
+        self.query_dists_into(q, &mut scratch.qd);
         // Max-heap of current k best; radius = worst of the k (∞ until k
         // found). Objects verified in storage order — the paper notes this
         // is suboptimal but is how LAESA works (§3.1 discussion).
-        let mut heap: BinaryHeap<Neighbor> = BinaryHeap::new();
-        for (id, o) in self.table.iter() {
+        let heap = &mut scratch.heap;
+        heap.clear();
+        for (id, o, row) in self.table.iter_live_rows(&self.matrix) {
             let radius = if heap.len() < k {
                 f64::INFINITY
             } else {
-                heap.peek().unwrap().dist
+                heap.peek().expect("heap is full").dist
             };
-            let row = self.rows[id as usize].as_ref().expect("live row");
-            if radius.is_finite() && lemmas::lemma1_prunable(&qd, row, radius) {
+            if radius.is_finite() && lemmas::lemma1_prunable(&scratch.qd, row, radius) {
                 continue;
             }
             let d = self.metric.dist(q, o);
@@ -109,32 +149,30 @@ where
                 }
             }
         }
-        let mut v = heap.into_sorted_vec();
-        v.truncate(k);
-        v
+        drain_heap_sorted(heap, out);
     }
 
     fn insert(&mut self, o: O) -> ObjId {
-        let row = self
+        let row: Vec<f64> = self
             .pivots
             .iter()
             .map(|p| self.metric.dist(&o, p))
             .collect();
         let id = self.table.push(o);
-        debug_assert_eq!(id as usize, self.rows.len());
-        self.rows.push(Some(row));
+        debug_assert_eq!(id as usize, self.matrix.rows());
+        self.matrix.push_row(&row);
         id
     }
 
     fn remove(&mut self, id: ObjId) -> bool {
         // Deletion scans the table to locate the row (paper §6.3: LAESA
-        // "employ[s] sequential scans to perform deletions").
+        // "employ[s] sequential scans to perform deletions"). The matrix row
+        // stays in place — the tombstoned slot is simply never scanned.
         let (_visited, live) = self.table.scan_for(id);
         if !live {
             return false;
         }
         self.table.remove(id);
-        self.rows[id as usize] = None;
         true
     }
 
@@ -143,10 +181,11 @@ where
     }
 
     fn storage(&self) -> StorageFootprint {
-        let rows: u64 = self.rows.iter().flatten().map(|r| 8 * r.len() as u64).sum();
+        // The matrix keeps tombstoned rows (ids stay stable), so its
+        // footprint counts slots, not live objects.
         let objs: u64 = self.table.iter().map(|(_, o)| o.encoded_len() as u64).sum();
         let pivots: u64 = self.pivots.iter().map(|p| p.encoded_len() as u64).sum();
-        StorageFootprint::mem(rows + objs + pivots)
+        StorageFootprint::mem(self.matrix.mem_bytes() + objs + pivots)
     }
 
     fn counters(&self) -> Counters {
@@ -182,6 +221,21 @@ mod tests {
     fn construction_compdists_is_n_times_l() {
         let (_, idx) = build(300, 5);
         assert_eq!(idx.counters().compdists, 300 * 5);
+    }
+
+    #[test]
+    fn matrix_adoption_computes_zero_distances_and_matches() {
+        let (pts, idx) = build(400, 4);
+        let matrix = idx.matrix().clone();
+        let adopted = Laesa::build_with_matrix(pts.clone(), L2, idx.pivots.clone(), matrix);
+        assert_eq!(adopted.counters().compdists, 0, "adoption is free");
+        for qi in [0usize, 57, 399] {
+            assert_eq!(
+                adopted.range_query(&pts[qi], 700.0),
+                idx.range_query(&pts[qi], 700.0)
+            );
+            assert_eq!(adopted.knn_query(&pts[qi], 7), idx.knn_query(&pts[qi], 7));
+        }
     }
 
     #[test]
@@ -235,6 +289,22 @@ mod tests {
         assert_eq!(idx.len(), 200);
         let hits = idx.range_query(&pts[17], 0.0);
         assert!(hits.contains(&nid));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        let (pts, idx) = build(300, 4);
+        let mut scratch = QueryScratch::new();
+        let mut out_ids = Vec::new();
+        let mut out_nn = Vec::new();
+        for qi in [3usize, 150, 299] {
+            out_ids.clear();
+            idx.range_query_into(&pts[qi], 500.0, &mut scratch, &mut out_ids);
+            assert_eq!(out_ids, idx.range_query(&pts[qi], 500.0), "qi={qi}");
+            out_nn.clear();
+            idx.knn_query_into(&pts[qi], 9, &mut scratch, &mut out_nn);
+            assert_eq!(out_nn, idx.knn_query(&pts[qi], 9), "qi={qi}");
+        }
     }
 
     #[test]

@@ -7,9 +7,10 @@
 //! wall-clock measurement loop instead of criterion's statistical machinery.
 //! Results (mean / min / max per iteration) are printed to stdout.
 //!
-//! When a bench binary is invoked by `cargo test` (cargo passes `--test`),
-//! every benchmark body runs exactly once as a smoke test so the target
-//! stays cheap under the test suite.
+//! Real measurement requires `cargo bench` (cargo passes `--bench` to the
+//! binary). Any other invocation — notably `cargo test --bench <name>`,
+//! which passes no flags — runs every benchmark body exactly once as a
+//! smoke test so the target stays cheap under the test suite.
 
 use std::time::{Duration, Instant};
 
@@ -41,7 +42,7 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        let smoke_only = std::env::args().any(|a| a == "--test");
+        let smoke_only = !std::env::args().any(|a| a == "--bench");
         Criterion {
             settings: Settings::default(),
             smoke_only,
