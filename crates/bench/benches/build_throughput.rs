@@ -108,7 +108,11 @@ fn main() {
                         pts.clone(),
                         L2,
                         &opts,
-                        &EngineConfig { shards, threads },
+                        &EngineConfig {
+                            shards,
+                            threads,
+                            ..EngineConfig::default()
+                        },
                         policy,
                     )
                     .expect("buildable");
@@ -147,7 +151,11 @@ fn main() {
             pts.clone(),
             L2,
             &opts,
-            &EngineConfig { shards, threads: 0 },
+            &EngineConfig {
+                shards,
+                threads: 0,
+                ..EngineConfig::default()
+            },
             policy,
         )
         .expect("buildable");

@@ -61,7 +61,11 @@ fn bench(c: &mut Criterion) {
                 pts.clone(),
                 L2,
                 &opts,
-                &EngineConfig { shards, threads: 0 },
+                &EngineConfig {
+                    shards,
+                    threads: 0,
+                    ..EngineConfig::default()
+                },
                 policy,
             )
             .unwrap();

@@ -1,0 +1,210 @@
+//! Update-path throughput bench for the unified mutation path (ISSUE 4):
+//! batched inserts/removes through `ShardedEngine::apply`, box shrinking,
+//! and the re-cluster trigger, plus serve QPS before/after churn against a
+//! no-churn baseline built directly over the post-churn object set.
+//!
+//! Emitted as a machine-readable trajectory point at the workspace root
+//! when run as a real bench (`cargo bench -p pmi-bench --bench
+//! update_throughput`):
+//!
+//! * **`BENCH_update.json`** — inserts/sec and removes/sec through
+//!   `apply` (LAESA shards adopt one pushed matrix row per insert, so the
+//!   shard-side insert cost is exactly `l` map distances and zero remap),
+//!   the wall-clock overhead of one re-cluster pass (the same skewed batch
+//!   applied with the trigger disabled vs enabled), and batch-serving QPS
+//!   before churn, after churn (boxes shrunk by `apply`), and on a
+//!   from-scratch engine over the same surviving objects.
+//!
+//! Real measurement mode requires `cargo bench` (cargo passes `--bench`);
+//! any other invocation (e.g. `cargo test --bench update_throughput`) runs
+//! everything once at a reduced scale as a smoke test and writes no files.
+
+use pmi::builder::{BuildOptions, IndexKind};
+use pmi::engine::{EngineConfig, Query, ShardedEngine};
+use pmi::{build_sharded_vector_engine, datasets, PartitionPolicy, RefreshPolicy, UpdateBatch, L2};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SHARDS: usize = 8;
+
+fn build(pts: &[Vec<f32>], opts: &BuildOptions, refresh: RefreshPolicy) -> ShardedEngine<Vec<f32>> {
+    build_sharded_vector_engine(
+        IndexKind::Laesa,
+        pts.to_vec(),
+        L2,
+        opts,
+        &EngineConfig {
+            shards: SHARDS,
+            threads: 0,
+            refresh,
+        },
+        PartitionPolicy::PivotSpace,
+    )
+    .expect("buildable")
+}
+
+fn la_batch(pts: &[Vec<f32>], queries: usize, radius: f64) -> Vec<Query<Vec<f32>>> {
+    (0..queries)
+        .map(|i| {
+            let q = pts[(i * 131) % pts.len()].clone();
+            if i % 2 == 0 {
+                Query::range(q, radius)
+            } else {
+                Query::knn(q, 10)
+            }
+        })
+        .collect()
+}
+
+fn serve_qps(e: &ShardedEngine<Vec<f32>>, batch: &[Query<Vec<f32>>], iters: usize) -> f64 {
+    for _ in 0..iters.min(3) {
+        let _ = e.serve(batch);
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let _ = e.serve(batch);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    batch.len() as f64 / best
+}
+
+fn main() {
+    let smoke = !std::env::args().any(|a| a == "--bench");
+    let n = if smoke { 2_000 } else { 8_000 };
+    let churn = n / 4;
+    let apply_chunk = if smoke { 128 } else { 512 };
+    let serve_iters = if smoke { 1 } else { 30 };
+    let pts = datasets::la(n, 42);
+    let fresh = datasets::la(churn, 4242);
+    let opts = BuildOptions {
+        d_plus: 14143.0,
+        ..BuildOptions::default()
+    };
+    let l = opts.num_pivots as u64;
+    let radius = datasets::calibrate_radius(&pts, &L2, 0.04, 42);
+    let batch = la_batch(&pts, 256, radius);
+
+    // ---- Serve before churn.
+    let mut engine = build(&pts, &opts, RefreshPolicy::default());
+    let qps_before = serve_qps(&engine, &batch, serve_iters);
+
+    // ---- Insert throughput: apply_chunk-sized batches of routed inserts.
+    let mut insert_secs = 0.0;
+    let mut inserted = Vec::with_capacity(churn);
+    let mut map_compdists = 0u64;
+    let mut shard_compdists = 0u64;
+    for chunk in fresh.chunks(apply_chunk) {
+        let mut b = UpdateBatch::new();
+        for o in chunk {
+            b.insert(o.clone());
+        }
+        let r = engine.apply(&b);
+        insert_secs += r.wall_secs;
+        map_compdists += r.map_compdists;
+        shard_compdists += r.shard_compdists;
+        inserted.extend(r.inserted_ids);
+    }
+    assert_eq!(map_compdists, churn as u64 * l, "exactly l per insert");
+    assert_eq!(shard_compdists, 0, "LAESA adopts pushed rows — no remap");
+    let inserts_per_sec = churn as f64 / insert_secs;
+
+    // ---- Remove throughput: drop the same count of original objects
+    // (apply shrinks every affected shard's box once per batch).
+    let mut remove_secs = 0.0;
+    let mut reboxed = 0usize;
+    for chunk in (0..churn as u32).collect::<Vec<_>>().chunks(apply_chunk) {
+        let mut b = UpdateBatch::new();
+        for &g in chunk {
+            b.remove(g * 3 % n as u32);
+        }
+        let r = engine.apply(&b);
+        remove_secs += r.wall_secs;
+        reboxed += r.reboxed_shards;
+    }
+    let removed = engine.update_stats().removes;
+    let removes_per_sec = removed as f64 / remove_secs;
+
+    // ---- Serve after churn vs a no-churn baseline over the same objects.
+    let qps_after = serve_qps(&engine, &batch, serve_iters);
+    let survivors: Vec<Vec<f32>> = (0..(n + churn) as u32)
+        .filter_map(|g| engine.get(g))
+        .collect();
+    assert_eq!(survivors.len(), engine.len());
+    let baseline = build(&survivors, &opts, RefreshPolicy::default());
+    let qps_baseline = serve_qps(&baseline, &batch, serve_iters);
+
+    // ---- Re-cluster cost: one skewed batch (remove 7/8 of one shard's
+    // members, leaving it far below its siblings), applied with the
+    // trigger disabled vs enabled on identical engines; the difference is
+    // what a re-cluster pass costs (both sides pay the same box shrink).
+    let mut plain = build(&pts, &opts, RefreshPolicy::disabled());
+    let victims: Vec<u32> = (0..n as u32)
+        .filter(|&g| plain.locate(g).map(|(s, _)| s) == Some(0))
+        .collect();
+    let mut skew = UpdateBatch::new();
+    for &g in victims.iter().take(victims.len() * 7 / 8) {
+        skew.remove(g);
+    }
+    let wall_disabled = plain.apply(&skew).wall_secs;
+    let mut trig = build(
+        &pts,
+        &opts,
+        RefreshPolicy {
+            max_imbalance: 2.0,
+            min_objects: 64,
+        },
+    );
+    let r = trig.apply(&skew);
+    let (wall_enabled, moved, reclusters) = (r.wall_secs, r.moved_objects, r.reclusters);
+    let recluster_overhead_secs = (wall_enabled - wall_disabled).max(0.0);
+
+    println!(
+        "update_throughput/laesa/P{SHARDS}: {inserts_per_sec:.0} inserts/s, \
+         {removes_per_sec:.0} removes/s ({reboxed} reboxes)"
+    );
+    println!(
+        "  serve QPS: before churn {qps_before:.0}, after churn {qps_after:.0}, \
+         no-churn baseline {qps_baseline:.0}"
+    );
+    println!(
+        "  re-cluster: {reclusters} pass(es) moved {moved} object(s), \
+         overhead {recluster_overhead_secs:.4}s"
+    );
+
+    if smoke {
+        println!("update_throughput: ok (smoke)");
+        return;
+    }
+
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(
+        json,
+        "  \"bench\": \"update_throughput\", \"index\": \"LAESA\", \"dataset\": \"la\", \
+         \"n\": {n}, \"churn\": {churn}, \"shards\": {SHARDS}, \"apply_chunk\": {apply_chunk},"
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"inserts_per_sec\": {inserts_per_sec:.0}, \"removes_per_sec\": {removes_per_sec:.0}, \
+         \"insert_map_compdists\": {map_compdists}, \"insert_shard_compdists\": {shard_compdists},"
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"qps_before_churn\": {qps_before:.0}, \"qps_after_churn\": {qps_after:.0}, \
+         \"qps_no_churn_baseline\": {qps_baseline:.0},"
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"recluster_passes\": {reclusters}, \"recluster_moved\": {moved}, \
+         \"recluster_overhead_secs\": {recluster_overhead_secs:.6}"
+    )
+    .unwrap();
+    writeln!(json, "}}").unwrap();
+    std::fs::write(format!("{root}/BENCH_update.json"), json).expect("write BENCH_update.json");
+    println!("wrote BENCH_update.json");
+}

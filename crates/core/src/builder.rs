@@ -2,7 +2,7 @@
 //! parameters — the "equal footing" requirement of §6.1 (same HFI pivots,
 //! same page sizes, same defaults).
 
-use pmi_metric::{EncodeObject, Metric, MetricIndex, PivotMatrix};
+use pmi_metric::{EncodeObject, MatrixSlice, Metric, MetricIndex};
 use pmi_storage::DiskSim;
 
 /// Every index variant evaluated or surveyed by the paper.
@@ -104,12 +104,17 @@ impl IndexKind {
 
     /// Whether [`build_index_with_matrix`] can *adopt* a pre-computed
     /// pivot-distance matrix over the shared pivot set for this kind,
-    /// skipping the `n · l` table recomputation. True for the shared-pivot
-    /// tables (LAESA, CPT); every other kind either selects its own pivots
-    /// (EPT/EPT*, BKT) or derives a different structure from the pivot
-    /// distances at build time, and falls back to [`build_index`].
+    /// skipping the `n · l` table recomputation — and whether engine
+    /// inserts can push one shared row this kind takes by id
+    /// ([`MetricIndex::insert_adopted`](pmi_metric::MetricIndex::insert_adopted)).
+    /// True for the shared-pivot in-memory tables (LAESA, CPT, FQA); every
+    /// other kind either selects its own pivots (EPT/EPT*, BKT) or derives
+    /// a different structure from the pivot distances at build time, and
+    /// falls back to [`build_index`]. (The Omni family also stores
+    /// caller-pivot distance tables but interleaves them with its disk
+    /// layout; adoption there is an open item.)
     pub fn adopts_pivot_matrix(&self) -> bool {
-        matches!(self, IndexKind::Laesa | IndexKind::Cpt)
+        matches!(self, IndexKind::Laesa | IndexKind::Cpt | IndexKind::Fqa)
     }
 }
 
@@ -314,34 +319,52 @@ where
     })
 }
 
-/// [`build_index`] over a pre-computed pivot-distance matrix: kinds whose
-/// [`IndexKind::adopts_pivot_matrix`] is true (LAESA, CPT) adopt `matrix`
-/// (row `i` = `objects[i]`'s distances to `pivots`) instead of recomputing
-/// the `n · l` table, with byte-identical query behavior; every other kind
-/// ignores the matrix and builds exactly as [`build_index`] does. This is
-/// the shard factory of the sharded engine's shared-matrix build path.
+/// [`build_index`] over pre-computed pivot-distance rows (a
+/// [`MatrixSlice`] of the engine's shared matrix, or an owned
+/// `PivotMatrix` via `Into`): kinds whose
+/// [`IndexKind::adopts_pivot_matrix`] is true (LAESA, CPT, FQA) adopt
+/// `rows` (local row `i` = `objects[i]`'s distances to `pivots`) instead
+/// of recomputing the `n · l` table, with byte-identical query behavior —
+/// and keep the shared handle so engine inserts can push one row the index
+/// takes by id. Every other kind ignores the rows and builds exactly as
+/// [`build_index`] does. This is the shard factory of the sharded engine's
+/// shared-matrix build path.
 pub fn build_index_with_matrix<O, M>(
     kind: IndexKind,
     objects: Vec<O>,
     metric: M,
     pivots: Vec<O>,
     opts: &BuildOptions,
-    matrix: PivotMatrix,
+    rows: impl Into<MatrixSlice>,
 ) -> Result<Box<dyn MetricIndex<O>>, BuildError>
 where
     O: Clone + EncodeObject + Send + Sync + 'static,
     M: Metric<O> + Clone + 'static,
 {
     use pmi_tables::*;
+    use pmi_trees::Fqa;
 
     match kind {
         IndexKind::Laesa => Ok(Box::new(Laesa::build_with_matrix(
-            objects, metric, pivots, matrix,
+            objects, metric, pivots, rows,
         ))),
         IndexKind::Cpt => {
             let disk = DiskSim::new(opts.inline_page_size);
             Ok(Box::new(Cpt::build_with_matrix(
-                objects, metric, pivots, matrix, disk,
+                objects, metric, pivots, rows, disk,
+            )))
+        }
+        IndexKind::Fqa => {
+            if !metric.is_discrete() {
+                return Err(BuildError::RequiresDiscreteMetric(kind));
+            }
+            Ok(Box::new(Fqa::build_with_matrix(
+                objects,
+                metric,
+                pivots,
+                rows,
+                opts.d_plus,
+                opts.buckets as u32,
             )))
         }
         _ => build_index(kind, objects, metric, pivots, opts),

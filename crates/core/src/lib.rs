@@ -56,7 +56,7 @@
 //!     objects.clone(),
 //!     pmi::L2,
 //!     &BuildOptions { d_plus: 14143.0, ..BuildOptions::default() },
-//!     &EngineConfig { shards: 4, threads: 2 },
+//!     &EngineConfig { shards: 4, threads: 2, ..EngineConfig::default() },
 //!     PartitionPolicy::RoundRobin,
 //! )
 //! .unwrap();
@@ -96,7 +96,7 @@
 //!     objects.clone(),
 //!     pmi::L2,
 //!     &BuildOptions { d_plus: 14143.0, ..BuildOptions::default() },
-//!     &EngineConfig { shards: 8, threads: 2 },
+//!     &EngineConfig { shards: 8, threads: 2, ..EngineConfig::default() },
 //!     PartitionPolicy::PivotSpace,
 //! )
 //! .unwrap();
@@ -121,11 +121,12 @@
 //! matrix `A[i][j] = d(o_i, p_j)`. The sharded build computes that matrix
 //! **once, in parallel** across the engine's worker threads
 //! ([`PivotMatrix`]), clusters/routes over its rows, and hands each shard
-//! its slice, so shared-pivot tables (LAESA, CPT —
-//! [`IndexKind::adopts_pivot_matrix`]) *adopt* their distances instead of
-//! recomputing them: a `PivotSpace` LAESA build computes each object-pivot
-//! distance exactly once instead of twice. The exact cost is recorded in
-//! [`BuildStats`] and rides along in every [`ServeReport`]:
+//! a [`MatrixSlice`] — a row-index view of the one shared
+//! [`SharedPivotMatrix`], nothing copied — so shared-pivot tables (LAESA,
+//! CPT, FQA — [`IndexKind::adopts_pivot_matrix`]) *adopt* their distances
+//! instead of recomputing them: a `PivotSpace` LAESA build computes each
+//! object-pivot distance exactly once instead of twice. The exact cost is
+//! recorded in [`BuildStats`] and rides along in every [`ServeReport`]:
 //!
 //! ```
 //! use pmi::{
@@ -139,7 +140,7 @@
 //!     objects.clone(),
 //!     pmi::L2,
 //!     &opts,
-//!     &EngineConfig { shards: 8, threads: 4 },
+//!     &EngineConfig { shards: 8, threads: 4, ..EngineConfig::default() },
 //!     PartitionPolicy::PivotSpace,
 //! )
 //! .unwrap();
@@ -152,6 +153,58 @@
 //!     (objects.len() * opts.num_pivots) as u64
 //! );
 //! ```
+//!
+//! # Live updates: `engine.apply(&batch)`
+//!
+//! Mutations flow through the same layered path queries use. An
+//! [`UpdateBatch`] of inserts and removes is applied in order: each insert
+//! is routed via the routing table, its pivot row is computed **once** and
+//! pushed into the shared matrix as one row that the destination shard
+//! adopts by id (so a LAESA/CPT/FQA insert costs exactly `l` distance
+//! computations — no shard-side remap); removes shrink the affected
+//! shards' routing boxes back to their surviving members; and when a batch
+//! leaves live counts imbalanced past [`EngineConfig::refresh`]
+//! ([`RefreshPolicy`]), the worst shard pair is re-clustered incrementally
+//! (global ids and matrix rows are preserved — only membership moves).
+//! Routed answers after any churn are byte-identical to a from-scratch
+//! rebuild over the survivors; the [`ApplyReport`] accounts every step
+//! exactly, and cumulative totals ride along in `ServeReport::updates`.
+//!
+//! ```
+//! use pmi::{
+//!     build_sharded_vector_engine, BuildOptions, EngineConfig, IndexKind, PartitionPolicy,
+//!     RefreshPolicy, UpdateBatch,
+//! };
+//!
+//! let objects = pmi::datasets::la(2_000, 42);
+//! let opts = BuildOptions { d_plus: 14143.0, ..BuildOptions::default() };
+//! let mut engine = build_sharded_vector_engine(
+//!     IndexKind::Laesa,
+//!     objects.clone(),
+//!     pmi::L2,
+//!     &opts,
+//!     &EngineConfig {
+//!         shards: 8,
+//!         threads: 2,
+//!         // Re-cluster the worst shard pair when one holds 3x another.
+//!         refresh: RefreshPolicy { max_imbalance: 3.0, min_objects: 64 },
+//!     },
+//!     PartitionPolicy::PivotSpace,
+//! )
+//! .unwrap();
+//!
+//! engine.reset_counters();
+//! let mut batch = UpdateBatch::new();
+//! batch.insert(objects[7].clone()).remove(3).remove(11);
+//! let report = engine.apply(&batch);
+//! assert_eq!(report.inserts, 1);
+//! assert_eq!(report.removes, 2);
+//! // One l-wide matrix row for the routed insert, zero shard-side remap.
+//! assert_eq!(report.map_compdists, opts.num_pivots as u64);
+//! assert_eq!(report.shard_compdists, 0);
+//! assert!(report.reboxed_shards >= 1, "removes shrink boxes");
+//! assert_eq!(engine.len(), 1_999);
+//! ```
 
 pub mod builder;
 pub mod serve;
@@ -161,8 +214,9 @@ pub use serve::{build_sharded_engine, build_sharded_vector_engine};
 
 pub use pmi_engine as engine;
 pub use pmi_engine::{
-    BatchOutcome, BuildStats, EngineConfig, EngineError, EngineScratch, LatencySummary, Query,
-    QueryResult, ServeReport, ShardedEngine,
+    ApplyReport, BatchOutcome, BuildStats, EngineConfig, EngineError, EngineScratch,
+    LatencySummary, Query, QueryResult, RefreshPolicy, ServeReport, ShardedEngine, UpdateBatch,
+    UpdateOp, UpdateStats,
 };
 
 pub use pmi_router as router;
@@ -173,8 +227,8 @@ pub use pmi_metric::lemmas;
 pub use pmi_metric::object;
 pub use pmi_metric::{
     BruteForce, Counters, CountingMetric, DistanceCounter, EditDistance, EncodeObject, LInf, Lp,
-    Metric, MetricIndex, Neighbor, ObjId, ObjTable, PivotMatrix, QueryScratch, StorageFootprint,
-    Vector, L1, L2,
+    MatrixSlice, MatrixSliceReader, Metric, MetricIndex, Neighbor, ObjId, ObjTable, PivotMatrix,
+    QueryScratch, SharedPivotMatrix, StorageFootprint, Vector, L1, L2,
 };
 
 pub use pmi_pivots as pivots;

@@ -19,21 +19,29 @@
 //!   over the matrix rows (balanced k-means in pivot space) and builds its
 //!   per-shard [`pmi_router::RoutingTable`] boxes from them, so each query
 //!   only probes the shards whose bounding box survives Lemma 1;
-//! * the engine slices/permutes the matrix per shard and hands each shard
-//!   factory its slice, so index kinds that adopt it
-//!   ([`IndexKind::adopts_pivot_matrix`]: LAESA, CPT) skip their own
-//!   `n · l` recomputation entirely — a `PivotSpace` build computes each
-//!   object-pivot distance exactly once instead of twice.
+//! * each shard factory receives a [`pmi_metric::MatrixSlice`] — a
+//!   row-index view of the shared matrix, nothing copied — so index kinds
+//!   that adopt it ([`IndexKind::adopts_pivot_matrix`]: LAESA, CPT, FQA)
+//!   skip their own `n · l` recomputation entirely — a `PivotSpace` build
+//!   computes each object-pivot distance exactly once instead of twice;
+//! * the engine keeps the shared matrix (and, for round-robin matrix
+//!   builds, a pivot-space mapper) for its unified mutation path: an
+//!   `apply`-batch insert pushes exactly one row that the destination
+//!   shard adopts by id, removes shrink routing boxes over the surviving
+//!   rows, and the `RefreshPolicy` re-clusters the worst shard pair under
+//!   imbalance.
 //!
 //! The exact build cost (matrix + every shard's construction) and build
 //! wall-clock are recorded in the engine's
 //! [`BuildStats`](pmi_engine::BuildStats) and surfaced through every
 //! `ServeReport`. Query-time mapping distances (`l` per routed query)
-//! remain planner overhead outside the per-shard `Counters`, as before.
+//! remain planner overhead outside the per-shard `Counters`, as before;
+//! mutation-side mapping distances are accounted exactly in each
+//! [`ApplyReport`](pmi_engine::ApplyReport).
 
 use crate::builder::{build_index, build_index_with_matrix, BuildError, BuildOptions, IndexKind};
 use pmi_engine::{EngineConfig, EngineError, ShardedEngine};
-use pmi_metric::{CountingMetric, EncodeObject, Metric, PivotMatrix};
+use pmi_metric::{CountingMetric, EncodeObject, Metric, PivotMatrix, SharedPivotMatrix};
 use pmi_router::{assign_pivot_space, PartitionPolicy, RoutingTable};
 use std::time::Instant;
 
@@ -84,8 +92,15 @@ where
         (PivotMatrix::new(pivots.len()), 0)
     };
 
-    let matrix_factory = |_s: usize, part: Vec<O>, m: PivotMatrix| {
+    let matrix_factory = |_s: usize, part: Vec<O>, m: pmi_metric::MatrixSlice| {
         build_index_with_matrix(kind, part, metric.clone(), pivots.clone(), opts, m)
+    };
+    // The pivot-space mapper, shared by the router (query planning) and
+    // the engine's mutation path (insert rows): `o ↦ (d(o, p_1), …)`.
+    let make_mapper = || {
+        let metric = metric.clone();
+        let pivots = pivots.clone();
+        move |o: &O, out: &mut Vec<f64>| out.extend(pivots.iter().map(|p| metric.dist(o, p)))
     };
 
     let mut engine = match policy {
@@ -96,46 +111,33 @@ where
         }
         PartitionPolicy::RoundRobin => flatten(ShardedEngine::build_with_matrix(
             objects,
-            &matrix,
+            SharedPivotMatrix::new(matrix),
+            Box::new(make_mapper()),
             cfg,
             matrix_factory,
         ))?,
         PartitionPolicy::PivotSpace => {
             let shards = cfg.resolved_shards(objects.len());
             let assignment = assign_pivot_space(&matrix, shards, opts.seed);
-            let router = {
-                let metric = metric.clone();
-                let pivots_for_mapper = pivots.clone();
-                RoutingTable::from_assignment(
-                    move |o: &O, out: &mut Vec<f64>| {
-                        out.extend(pivots_for_mapper.iter().map(|p| metric.dist(o, p)))
-                    },
-                    pivots.len(),
-                    &matrix,
-                    &assignment,
-                    shards,
-                )
-            };
-            if kind.adopts_pivot_matrix() {
-                flatten(ShardedEngine::build_partitioned_with_matrix(
-                    objects,
-                    &assignment,
-                    router,
-                    &matrix,
-                    cfg,
-                    matrix_factory,
-                ))?
-            } else {
-                // Non-adopting kinds would drop their slices unread: route
-                // over the matrix but skip the per-shard slicing entirely.
-                flatten(ShardedEngine::build_partitioned_with(
-                    objects,
-                    &assignment,
-                    router,
-                    cfg,
-                    |_, part| build_index(kind, part, metric.clone(), pivots.clone(), opts),
-                ))?
-            }
+            let router = RoutingTable::from_assignment(
+                make_mapper(),
+                pivots.len(),
+                &matrix,
+                &assignment,
+                shards,
+            );
+            // Every kind routes over the shared matrix; adopting kinds
+            // (LAESA, CPT, FQA) additionally seed their tables from their
+            // slice, the rest build as usual and drop it (slices are row-id
+            // views, so nothing was copied for them).
+            flatten(ShardedEngine::build_partitioned_with_matrix(
+                objects,
+                &assignment,
+                router,
+                SharedPivotMatrix::new(matrix),
+                cfg,
+                matrix_factory,
+            ))?
         }
     };
 
@@ -186,6 +188,7 @@ mod tests {
                 &EngineConfig {
                     shards: 4,
                     threads: 2,
+                    ..EngineConfig::default()
                 },
                 policy,
             )
@@ -218,6 +221,7 @@ mod tests {
                 &EngineConfig {
                     shards: 4,
                     threads: 2,
+                    ..EngineConfig::default()
                 },
                 policy,
             )
@@ -254,6 +258,7 @@ mod tests {
             &EngineConfig {
                 shards: 8,
                 threads: 1,
+                ..EngineConfig::default()
             },
             PartitionPolicy::PivotSpace,
         )
@@ -299,6 +304,7 @@ mod tests {
                 &EngineConfig {
                     shards: 0,
                     threads: 1,
+                    ..EngineConfig::default()
                 },
                 policy,
             );
@@ -321,6 +327,7 @@ mod tests {
             &EngineConfig {
                 shards: 3,
                 threads: 2,
+                ..EngineConfig::default()
             },
             PartitionPolicy::PivotSpace,
         )

@@ -12,27 +12,40 @@
 //! which the engine accounts exactly through the `shards_probed` /
 //! `shards_pruned` counters.
 //!
-//! Construction can adopt a shared [`PivotMatrix`]
+//! Construction can adopt a shared [`SharedPivotMatrix`]
 //! ([`ShardedEngine::build_with_matrix`] /
-//! [`ShardedEngine::build_partitioned_with_matrix`]): the engine slices and
-//! permutes the one precomputed `n × l` matrix per shard and hands each
-//! shard factory its slice, so shard builds stop recomputing pivot
-//! distances. Serving reuses per-worker [`EngineScratch`] buffers so the
-//! batch hot loop performs no transient heap allocations per query.
+//! [`ShardedEngine::build_partitioned_with_matrix`]): each shard factory
+//! receives a [`MatrixSlice`] — a row-index view of the one precomputed
+//! `n × l` matrix — so shard builds stop recomputing pivot distances and
+//! nothing is copied. The engine keeps the shared matrix for its unified
+//! mutation path ([`ShardedEngine::apply`]): inserts compute their pivot
+//! row once, push it as one shared row (global id == row id), and the
+//! destination shard adopts the id; removes shrink the affected routing
+//! boxes back over the surviving rows; and a [`RefreshPolicy`] re-clusters
+//! the worst shard pair when live counts drift apart. Serving reuses
+//! per-worker [`EngineScratch`] buffers so the batch hot loop performs no
+//! transient heap allocations per query.
 
 use crate::merge::{merge_range, TopK};
 use crate::query::{Query, QueryResult};
-use crate::report::{BuildStats, LatencySummary, ServeReport};
+use crate::report::{BuildStats, LatencySummary, ServeReport, UpdateStats};
 use crate::shard::{partition_by_assignment, partition_round_robin, Partition, Shard};
+use crate::update::{ApplyReport, RefreshPolicy, UpdateBatch, UpdateOp};
+use pmi_metric::lemmas::Mbb;
 use pmi_metric::{
-    Counters, MetricIndex, Neighbor, ObjId, PivotMatrix, QueryScratch, StorageFootprint,
+    Counters, MatrixSlice, MetricIndex, Neighbor, ObjId, QueryScratch, SharedPivotMatrix,
+    StorageFootprint,
 };
-use pmi_router::{PartitionPolicy, RoutingTable};
+use pmi_router::{Mapper, PartitionPolicy, RoutingTable};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
-/// Engine shape: how many partitions and how many worker threads.
+/// Seed for the deterministic 2-means re-split of the worst shard pair.
+const RECLUSTER_SEED: u64 = 0x5245_434C; // "RECL"
+
+/// Engine shape: how many partitions, how many worker threads, and when the
+/// mutation path re-clusters.
 #[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
     /// Number of shards `P`. Clamped to at most `n` at build time so no
@@ -41,6 +54,9 @@ pub struct EngineConfig {
     /// Worker threads for batch serving and parallel shard builds;
     /// `0` means one per available hardware thread.
     pub threads: usize,
+    /// When [`apply`](ShardedEngine::apply) re-clusters the worst shard
+    /// pair (routed engines only).
+    pub refresh: RefreshPolicy,
 }
 
 impl Default for EngineConfig {
@@ -48,6 +64,7 @@ impl Default for EngineConfig {
         EngineConfig {
             shards: 4,
             threads: 0,
+            refresh: RefreshPolicy::default(),
         }
     }
 }
@@ -133,9 +150,27 @@ impl EngineScratch {
     }
 }
 
-/// One partition awaiting its index, plus its optional slice of the shared
-/// pivot-distance matrix.
-type MatrixPart<O> = (Partition<O>, Option<PivotMatrix>);
+/// One partition awaiting its index, plus its optional adopted slice of
+/// the shared pivot-distance matrix.
+type MatrixPart<O> = (Partition<O>, Option<MatrixSlice>);
+
+/// The live members of shard `s` as `(local slot, global id)` pairs: walks
+/// the shard's own slot table and keeps only the slots the locator still
+/// maps to this shard (a slot keeps its last global id after a removal or
+/// a re-cluster move), so box maintenance touches one shard's slots
+/// instead of the whole dataset.
+fn live_members<'a, O>(
+    shard: &'a Shard<O>,
+    s: usize,
+    locator: &'a HashMap<ObjId, (u32, ObjId)>,
+) -> impl Iterator<Item = (ObjId, ObjId)> + 'a {
+    shard
+        .global_ids()
+        .iter()
+        .enumerate()
+        .filter(move |&(local, gid)| locator.get(gid) == Some(&(s as u32, local as ObjId)))
+        .map(|(local, &gid)| (local as ObjId, gid))
+}
 
 /// The answers plus the measurement of one served batch.
 #[derive(Debug)]
@@ -164,6 +199,18 @@ pub struct ShardedEngine<O> {
     threads: usize,
     /// Pivot-space routing state; `None` for round-robin engines.
     router: Option<RoutingTable<O>>,
+    /// The shared pivot-distance matrix the router and the shards adopted;
+    /// present for matrix builds. The mutation path pushes exactly one row
+    /// per insert, so **global id == shared row id** for the engine's
+    /// lifetime — which is what lets removes recompute routing boxes and
+    /// re-clustering move objects without recomputing any distance.
+    matrix: Option<SharedPivotMatrix>,
+    /// Maps objects into pivot space for the mutation path of
+    /// matrix-bearing round-robin engines (routed engines map through the
+    /// router instead).
+    insert_mapper: Option<Mapper<O>>,
+    /// When [`apply`](Self::apply) re-clusters the worst shard pair.
+    refresh: RefreshPolicy,
     /// Exact count of shard probes executed (a query touching 3 of 8
     /// shards adds 3).
     probed: AtomicU64,
@@ -176,6 +223,8 @@ pub struct ShardedEngine<O> {
     /// Construction cost (per-shard builds; the facade adds the shared
     /// matrix cost through [`build_stats_mut`](Self::build_stats_mut)).
     build_stats: BuildStats,
+    /// Lifetime mutation totals (copied into every [`ServeReport`]).
+    update_stats: UpdateStats,
 }
 
 impl<O> ShardedEngine<O> {
@@ -205,24 +254,27 @@ impl<O> ShardedEngine<O> {
         let n = objects.len();
         let parts = partition_round_robin(objects, cfg.resolved_shards(n));
         let parts = parts.into_iter().map(|p| (p, None)).collect();
-        Self::build_parts(parts, None, cfg, |s, objs, _| factory(s, objs))
+        Self::build_parts(parts, None, None, None, cfg, |s, objs, _| factory(s, objs))
     }
 
-    /// [`build_with`](Self::build_with) over a shared [`PivotMatrix`]: the
-    /// engine slices/permutes the one precomputed `n × l` matrix per shard
-    /// (row `i` of the input matrix belongs to `objects[i]`) and hands each
-    /// factory its shard's slice, so shard builds adopt pivot distances
-    /// instead of recomputing them.
+    /// [`build_with`](Self::build_with) over a [`SharedPivotMatrix`]: each
+    /// shard factory receives a [`MatrixSlice`] — its partition's row-index
+    /// view of the one shared matrix (row `i` of the matrix belongs to
+    /// `objects[i]`) — so shard builds adopt pivot distances instead of
+    /// recomputing them, without copying a single row. `mapper` maps new
+    /// objects into pivot space for the mutation path, which pushes one
+    /// shared row per insert that the destination shard adopts by id.
     pub fn build_with_matrix<E, F>(
         objects: Vec<O>,
-        matrix: &PivotMatrix,
+        matrix: SharedPivotMatrix,
+        mapper: Mapper<O>,
         cfg: &EngineConfig,
         factory: F,
     ) -> Result<Self, EngineError<E>>
     where
         O: Send,
         E: Send,
-        F: Fn(usize, Vec<O>, PivotMatrix) -> Result<Box<dyn MetricIndex<O>>, E> + Sync,
+        F: Fn(usize, Vec<O>, MatrixSlice) -> Result<Box<dyn MetricIndex<O>>, E> + Sync,
     {
         if cfg.shards == 0 {
             return Err(EngineError::ZeroShards);
@@ -233,17 +285,49 @@ impl<O> ShardedEngine<O> {
         let parts = parts
             .into_iter()
             .map(|(objs, gids)| {
-                let slice = matrix.select(&gids);
+                let slice = MatrixSlice::new(matrix.clone(), gids.clone());
                 ((objs, gids), Some(slice))
             })
             .collect();
-        Self::build_parts(parts, None, cfg, |s, objs, m| {
-            factory(
-                s,
-                objs,
-                m.expect("every partition carries its matrix slice"),
-            )
-        })
+        Self::build_parts(
+            parts,
+            None,
+            Some(matrix),
+            Some(mapper),
+            cfg,
+            |s, objs, m| {
+                factory(
+                    s,
+                    objs,
+                    m.expect("every partition carries its matrix slice"),
+                )
+            },
+        )
+    }
+
+    /// Builds an engine from an explicit per-object shard assignment with
+    /// **no** routing table: every query probes every shard, like
+    /// [`build_with`](Self::build_with), but the caller controls membership
+    /// — e.g. reproducing another engine's final shard layout for parity
+    /// testing or migration. `assignment[i]` must be `< shards`.
+    pub fn build_assigned_with<E, F>(
+        objects: Vec<O>,
+        assignment: &[usize],
+        shards: usize,
+        cfg: &EngineConfig,
+        factory: F,
+    ) -> Result<Self, EngineError<E>>
+    where
+        O: Send,
+        E: Send,
+        F: Fn(usize, Vec<O>) -> Result<Box<dyn MetricIndex<O>>, E> + Sync,
+    {
+        if cfg.shards == 0 || shards == 0 {
+            return Err(EngineError::ZeroShards);
+        }
+        let parts = partition_by_assignment(objects, assignment, shards);
+        let parts = parts.into_iter().map(|p| (p, None)).collect();
+        Self::build_parts(parts, None, None, None, cfg, |s, objs, _| factory(s, objs))
     }
 
     /// Builds a *routed* engine from an explicit per-object shard
@@ -269,26 +353,31 @@ impl<O> ShardedEngine<O> {
         }
         let parts = partition_by_assignment(objects, assignment, router.num_shards());
         let parts = parts.into_iter().map(|p| (p, None)).collect();
-        Self::build_parts(parts, Some(router), cfg, |s, objs, _| factory(s, objs))
+        Self::build_parts(parts, Some(router), None, None, cfg, |s, objs, _| {
+            factory(s, objs)
+        })
     }
 
     /// [`build_partitioned_with`](Self::build_partitioned_with) over a
-    /// shared [`PivotMatrix`]: the matrix that produced the clustering is
-    /// sliced/permuted per shard and handed to each factory, closing the
-    /// loop of "compute the pivot-space mapping once, route with it, *and*
-    /// seed every shard's pivot table from it".
+    /// [`SharedPivotMatrix`]: the matrix that produced the clustering is
+    /// viewed per shard (a [`MatrixSlice`] row-index indirection, no
+    /// copying) and handed to each factory, closing the loop of "compute
+    /// the pivot-space mapping once, route with it, *and* seed every
+    /// shard's pivot table from it". The engine keeps the matrix: the
+    /// mutation path pushes one row per routed insert and removes shrink
+    /// routing boxes from the surviving rows.
     pub fn build_partitioned_with_matrix<E, F>(
         objects: Vec<O>,
         assignment: &[usize],
         router: RoutingTable<O>,
-        matrix: &PivotMatrix,
+        matrix: SharedPivotMatrix,
         cfg: &EngineConfig,
         factory: F,
     ) -> Result<Self, EngineError<E>>
     where
         O: Send,
         E: Send,
-        F: Fn(usize, Vec<O>, PivotMatrix) -> Result<Box<dyn MetricIndex<O>>, E> + Sync,
+        F: Fn(usize, Vec<O>, MatrixSlice) -> Result<Box<dyn MetricIndex<O>>, E> + Sync,
     {
         if cfg.shards == 0 || router.num_shards() == 0 {
             return Err(EngineError::ZeroShards);
@@ -298,17 +387,24 @@ impl<O> ShardedEngine<O> {
         let parts = parts
             .into_iter()
             .map(|(objs, gids)| {
-                let slice = matrix.select(&gids);
+                let slice = MatrixSlice::new(matrix.clone(), gids.clone());
                 ((objs, gids), Some(slice))
             })
             .collect();
-        Self::build_parts(parts, Some(router), cfg, |s, objs, m| {
-            factory(
-                s,
-                objs,
-                m.expect("every partition carries its matrix slice"),
-            )
-        })
+        Self::build_parts(
+            parts,
+            Some(router),
+            Some(matrix),
+            None,
+            cfg,
+            |s, objs, m| {
+                factory(
+                    s,
+                    objs,
+                    m.expect("every partition carries its matrix slice"),
+                )
+            },
+        )
     }
 
     /// Shared build tail: indexes every partition (in parallel when
@@ -318,13 +414,15 @@ impl<O> ShardedEngine<O> {
     fn build_parts<E, F>(
         parts: Vec<MatrixPart<O>>,
         router: Option<RoutingTable<O>>,
+        matrix: Option<SharedPivotMatrix>,
+        insert_mapper: Option<Mapper<O>>,
         cfg: &EngineConfig,
         factory: F,
     ) -> Result<Self, EngineError<E>>
     where
         O: Send,
         E: Send,
-        F: Fn(usize, Vec<O>, Option<PivotMatrix>) -> Result<Box<dyn MetricIndex<O>>, E> + Sync,
+        F: Fn(usize, Vec<O>, Option<MatrixSlice>) -> Result<Box<dyn MetricIndex<O>>, E> + Sync,
     {
         let t0 = Instant::now();
         let num_shards = parts.len();
@@ -397,11 +495,15 @@ impl<O> ShardedEngine<O> {
             shards,
             threads,
             router,
+            matrix,
+            insert_mapper,
+            refresh: cfg.refresh,
             probed: AtomicU64::new(0),
             pruned: AtomicU64::new(0),
             locator,
             next_id: n as ObjId,
             build_stats,
+            update_stats: UpdateStats::default(),
         })
     }
 
@@ -514,30 +616,128 @@ impl<O> ShardedEngine<O> {
         }
     }
 
-    /// Inserts an object, returning its global id. Round-robin engines pick
-    /// the currently smallest shard; routed engines pick the shard whose
-    /// pivot-space box is closest to the object's mapped point (smallest
-    /// shard among ties) and grow that box to cover it, so routing stays
-    /// exact across inserts.
+    /// Inserts an object, returning its global id — the single-op form of
+    /// [`apply`](Self::apply), sharing its unified path: the pivot row is
+    /// computed once, pushed into the shared matrix (when present), the
+    /// destination shard adopts it by id, and the routing box grows to
+    /// cover it.
     pub fn insert(&mut self, o: O) -> ObjId {
+        let mut mapped = Vec::new();
+        self.insert_one(o, &mut mapped)
+    }
+
+    /// Removes an object by global id; returns whether it was present.
+    /// This is the cheap single-op path: routed engines leave the shard's
+    /// box untouched (a too-large box only costs extra probes, never
+    /// answers). [`apply`](Self::apply) additionally shrinks the affected
+    /// boxes back to the surviving members, restoring pruning power.
+    pub fn remove(&mut self, id: ObjId) -> bool {
+        self.remove_one(id).is_some()
+    }
+
+    /// Lifetime totals of the mutation path.
+    pub fn update_stats(&self) -> UpdateStats {
+        self.update_stats
+    }
+
+    /// Shard and shard-local slot of a live object.
+    pub fn locate(&self, id: ObjId) -> Option<(usize, ObjId)> {
+        self.locator.get(&id).map(|&(s, local)| (s as usize, local))
+    }
+
+    /// Applies an ordered batch of inserts and removes through the same
+    /// layered path queries use, returning exact accounting.
+    ///
+    /// * **Inserts** are routed via the routing table (nearest box lower
+    ///   bound, smallest shard among ties; round-robin engines pick the
+    ///   smallest shard). The object's pivot row is computed **once**,
+    ///   pushed into the shared [`SharedPivotMatrix`], and adopted by the
+    ///   destination shard by row id — matrix-adopting kinds (LAESA, CPT,
+    ///   FQA) pay zero shard-side remap distances.
+    /// * **Removes** tombstone the object; after the last op every
+    ///   affected shard's routing box is recomputed from its surviving
+    ///   members' matrix rows in one pass ([`RoutingTable::shrink`]), so
+    ///   pruning does not decay under churn.
+    /// * If the batch leaves live counts imbalanced past the
+    ///   [`RefreshPolicy`], the worst shard pair is incrementally
+    ///   re-clustered: a deterministic 2-means re-split over the members'
+    ///   mapped rows, moving only the objects that change side (their
+    ///   matrix rows and global ids are preserved; the locator and the
+    ///   shards' adopted slices are fixed up).
+    ///
+    /// Routed answers after any sequence of `apply` calls are identical to
+    /// a from-scratch rebuild over the surviving objects — box maintenance
+    /// is exact and shard membership never affects correctness.
+    ///
+    /// Box shrinking and re-clustering need the engine's shared matrix
+    /// (any matrix build path — the `pmi` facade always provides it). On
+    /// an engine built without one (e.g. [`build_partitioned_with`]
+    /// (Self::build_partitioned_with)), `apply` still applies every op
+    /// correctly but keeps conservative boxes: `reboxed_shards` and
+    /// `reclusters` report 0.
+    pub fn apply(&mut self, batch: &UpdateBatch<O>) -> ApplyReport
+    where
+        O: Clone,
+    {
+        let t0 = Instant::now();
+        let shard_cd0 = self.counters().compdists;
+        let map_cd0 = self.update_stats.map_compdists;
+        let mut report = ApplyReport::default();
+        let mut mapped = Vec::new();
+        let mut dirty = vec![false; self.shards.len()];
+        for op in batch.ops() {
+            match op {
+                UpdateOp::Insert(o) => {
+                    let gid = self.insert_one(o.clone(), &mut mapped);
+                    report.inserted_ids.push(gid);
+                    report.inserts += 1;
+                }
+                UpdateOp::Remove(id) => match self.remove_one(*id) {
+                    Some(s) => {
+                        dirty[s] = true;
+                        report.removes += 1;
+                    }
+                    None => report.missing_removes += 1,
+                },
+            }
+        }
+        report.reboxed_shards = self.rebox(&dirty);
+        let (reclusters, moved, recluster_reboxed) = self.maybe_recluster();
+        report.reclusters = reclusters;
+        report.moved_objects = moved;
+        report.reboxed_shards += recluster_reboxed;
+        self.update_stats.reclusters += reclusters as u64;
+        self.update_stats.moved_objects += moved;
+        report.map_compdists = self.update_stats.map_compdists - map_cd0;
+        report.shard_compdists = self.counters().compdists - shard_cd0;
+        report.wall_secs = t0.elapsed().as_secs_f64();
+        report
+    }
+
+    /// The one insert path: map once, push one shared row, adopt by id.
+    fn insert_one(&mut self, o: O, mapped: &mut Vec<f64>) -> ObjId {
+        mapped.clear();
+        match (&self.router, &self.insert_mapper) {
+            (Some(rt), _) => rt.map_into(&o, mapped),
+            (None, Some(m)) => m(&o, mapped),
+            (None, None) => debug_assert!(
+                self.matrix.is_none(),
+                "a matrix-bearing engine always has a mapper"
+            ),
+        }
+        self.update_stats.map_compdists += mapped.len() as u64;
         let si = match &self.router {
             Some(rt) => {
-                let mapped = rt.map(&o);
-                let bounds = rt.shard_lower_bounds(&mapped);
-                let best = bounds.iter().copied().fold(f64::INFINITY, f64::min);
-                let si = self
-                    .shards
-                    .iter()
-                    .enumerate()
-                    .filter(|(s, _)| bounds[*s] <= best)
-                    .min_by_key(|(_, sh)| sh.len())
-                    .map(|(s, _)| s)
-                    .expect("engine always has at least one shard");
-                self.router
-                    .as_mut()
-                    .expect("router checked above")
-                    .extend(si, &mapped);
-                si
+                // Nearest box lower bound; ties go to the smallest shard,
+                // then the lowest shard id.
+                let mut best = (f64::INFINITY, usize::MAX, 0usize);
+                for (s, b) in rt.boxes().iter().enumerate() {
+                    let cand = (b.lower_bound(mapped), self.shards[s].len());
+                    if cand.0 < best.0 || (cand.0 == best.0 && cand.1 < best.1) {
+                        best = (cand.0, cand.1, s);
+                    }
+                }
+                best.2
             }
             None => {
                 self.shards
@@ -550,19 +750,132 @@ impl<O> ShardedEngine<O> {
         };
         let gid = self.next_id;
         self.next_id += 1;
-        let local = self.shards[si].insert(o, gid);
+        let local = match &self.matrix {
+            Some(mx) => {
+                let row = mx.push_row(mapped);
+                debug_assert_eq!(row as ObjId, gid, "global id tracks shared row id");
+                self.shards[si].insert_adopted(o, gid, row as ObjId)
+            }
+            None => self.shards[si].insert(o, gid),
+        };
+        if let Some(rt) = self.router.as_mut() {
+            rt.extend(si, mapped);
+        }
         self.locator.insert(gid, (si as u32, local));
+        self.update_stats.inserts += 1;
         gid
     }
 
-    /// Removes an object by global id; returns whether it was present.
-    /// Routed engines leave the shard's box untouched — a box that is too
-    /// large only costs extra probes, never answers.
-    pub fn remove(&mut self, id: ObjId) -> bool {
-        match self.locator.remove(&id) {
-            Some((s, local)) => self.shards[s as usize].remove_local(local),
-            None => false,
+    /// The one remove path: tombstone and report the affected shard (box
+    /// maintenance is the caller's choice — `apply` shrinks, `remove`
+    /// doesn't).
+    fn remove_one(&mut self, id: ObjId) -> Option<usize> {
+        let (s, local) = self.locator.remove(&id)?;
+        if self.shards[s as usize].remove_local(local) {
+            self.update_stats.removes += 1;
+            Some(s as usize)
+        } else {
+            None
         }
+    }
+
+    /// Recomputes the routing boxes of the flagged shards from their live
+    /// members' shared-matrix rows. Work is bounded by the dirty shards'
+    /// own slot tables — untouched shards are never visited. Returns how
+    /// many boxes were recomputed (0 when the engine has no router or no
+    /// matrix).
+    fn rebox(&mut self, dirty: &[bool]) -> usize {
+        if !dirty.iter().any(|&d| d) {
+            return 0;
+        }
+        let (Some(rt), Some(mx)) = (self.router.as_mut(), self.matrix.as_ref()) else {
+            return 0;
+        };
+        let m = mx.read();
+        let mut reboxed = 0;
+        for (s, _) in dirty.iter().enumerate().filter(|&(_, &d)| d) {
+            let mut b = Mbb::empty(m.width());
+            for (_, gid) in live_members(&self.shards[s], s, &self.locator) {
+                b.extend(m.row(gid as usize));
+            }
+            rt.shrink(s, b);
+            reboxed += 1;
+        }
+        reboxed
+    }
+
+    /// Incremental re-clustering: when the live counts of the fullest and
+    /// emptiest shards trip the [`RefreshPolicy`], their members are
+    /// re-split by a deterministic balanced 2-means over mapped rows and
+    /// only the objects that changed side move (global ids and matrix rows
+    /// stay; locator and boxes are fixed up). Returns
+    /// `(passes, moved, boxes recomputed)`.
+    fn maybe_recluster(&mut self) -> (usize, u64, usize) {
+        if self.router.is_none() || self.shards.len() < 2 {
+            return (0, 0, 0);
+        }
+        let Some(mx) = self.matrix.clone() else {
+            return (0, 0, 0);
+        };
+        let (mut hi, mut lo) = (0usize, 0usize);
+        for (s, shard) in self.shards.iter().enumerate() {
+            if shard.len() > self.shards[hi].len() {
+                hi = s;
+            }
+            if shard.len() < self.shards[lo].len() {
+                lo = s;
+            }
+        }
+        let (max_len, min_len) = (self.shards[hi].len(), self.shards[lo].len());
+        if hi == lo || !self.refresh.triggers(max_len, min_len) {
+            return (0, 0, 0);
+        }
+
+        // The pair's live members in ascending global id order (slot
+        // tables carry no order guarantee; sorting keeps the re-split
+        // deterministic). Only the two shards are walked.
+        let mut members: Vec<(ObjId, usize, ObjId)> = Vec::new();
+        for s in [hi, lo] {
+            for (local, gid) in live_members(&self.shards[s], s, &self.locator) {
+                members.push((gid, s, local));
+            }
+        }
+        members.sort_unstable_by_key(|&(gid, _, _)| gid);
+        let gids: Vec<u32> = members.iter().map(|&(gid, _, _)| gid).collect();
+        let pair_rows = mx.read().select(&gids);
+        let split = pmi_router::assign_pivot_space(&pair_rows, 2, RECLUSTER_SEED);
+
+        // Orient the two clusters onto (hi, lo) so the fewest objects move.
+        let stays = |flip: bool| {
+            members
+                .iter()
+                .zip(&split)
+                .filter(|((_, s, _), &c)| ((c == 0) != flip) == (*s == hi))
+                .count()
+        };
+        let flip = stays(true) > stays(false);
+        let mut moved = 0u64;
+        for (&(gid, s, local), &c) in members.iter().zip(&split) {
+            let target = if (c == 0) != flip { hi } else { lo };
+            if target == s {
+                continue;
+            }
+            let Some(o) = self.shards[s].get_local(local) else {
+                continue;
+            };
+            self.shards[s].remove_local(local);
+            let new_local = self.shards[target].insert_adopted(o, gid, gid);
+            self.locator.insert(gid, (target as u32, new_local));
+            moved += 1;
+        }
+        let mut reboxed = 0;
+        if moved > 0 {
+            let mut dirty = vec![false; self.shards.len()];
+            dirty[hi] = true;
+            dirty[lo] = true;
+            reboxed = self.rebox(&dirty);
+        }
+        (1, moved, reboxed)
     }
 
     /// Fetches a copy of a live object by global id.
@@ -661,13 +974,15 @@ impl<O> ShardedEngine<O> {
     /// probe/prune counts. (Allocating planner for the parallel
     /// single-query path; batch serving plans through [`EngineScratch`].)
     fn range_probe_set(&self, q: &O, radius: f64) -> Vec<usize> {
-        let probe = match &self.router {
+        let mut probe = Vec::new();
+        match &self.router {
             Some(rt) => {
-                let qd = rt.map(q);
-                rt.range_plan(&qd, radius)
+                let mut qd = Vec::new();
+                rt.map_into(q, &mut qd);
+                rt.range_plan_into(&qd, radius, &mut probe);
             }
-            None => (0..self.shards.len()).collect(),
-        };
+            None => probe.extend(0..self.shards.len()),
+        }
         self.note_probes(probe.len(), self.shards.len() - probe.len());
         probe
     }
@@ -853,6 +1168,7 @@ impl<O: Send + Sync> ShardedEngine<O> {
             shards_probed: probed1 - probed0,
             shards_pruned: pruned1 - pruned0,
             build: self.build_stats,
+            updates: self.update_stats,
         };
         BatchOutcome { results, report }
     }
@@ -861,7 +1177,7 @@ impl<O: Send + Sync> ShardedEngine<O> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pmi_metric::{BruteForce, Metric, L2};
+    use pmi_metric::{BruteForce, Metric, PivotMatrix, L2};
 
     fn grid(n: usize) -> Vec<Vec<f32>> {
         (0..n)
@@ -874,9 +1190,15 @@ mod tests {
     }
 
     fn engine(n: usize, shards: usize, threads: usize) -> ShardedEngine<Vec<f32>> {
-        ShardedEngine::build_with(grid(n), &EngineConfig { shards, threads }, |_, part| {
-            brute_factory(part)
-        })
+        ShardedEngine::build_with(
+            grid(n),
+            &EngineConfig {
+                shards,
+                threads,
+                ..EngineConfig::default()
+            },
+            |_, part| brute_factory(part),
+        )
         .unwrap()
     }
 
@@ -911,6 +1233,7 @@ mod tests {
             &EngineConfig {
                 shards: 2,
                 threads: 1,
+                ..EngineConfig::default()
             },
             |_, part| brute_factory(part),
         )
@@ -945,21 +1268,35 @@ mod tests {
     #[test]
     fn matrix_build_matches_plain_build() {
         // A matrix-adopting factory must see exactly its shard's rows of
-        // the shared matrix, permuted to partition order.
+        // the shared matrix, viewed in partition order.
         let objects = grid(60);
-        let matrix = PivotMatrix::from_rows(2, objects.iter().map(|o| [o[0] as f64, o[1] as f64]));
+        let matrix = SharedPivotMatrix::new(PivotMatrix::from_rows(
+            2,
+            objects.iter().map(|o| [o[0] as f64, o[1] as f64]),
+        ));
         let cfg = EngineConfig {
             shards: 4,
             threads: 2,
+            ..EngineConfig::default()
         };
-        let e = ShardedEngine::build_with_matrix(objects.clone(), &matrix, &cfg, |_, part, m| {
-            assert_eq!(m.rows(), part.len());
-            assert_eq!(m.width(), 2);
-            for (i, o) in part.iter().enumerate() {
-                assert_eq!(m.row(i), &[o[0] as f64, o[1] as f64], "permuted slice");
-            }
-            brute_factory(part)
-        })
+        let mapper: Mapper<Vec<f32>> =
+            Box::new(|o: &Vec<f32>, out: &mut Vec<f64>| out.extend([o[0] as f64, o[1] as f64]));
+        let e = ShardedEngine::build_with_matrix(
+            objects.clone(),
+            matrix,
+            mapper,
+            &cfg,
+            |_, part, m| {
+                assert_eq!(m.len(), part.len());
+                assert_eq!(m.width(), 2);
+                let r = m.reader();
+                for (i, o) in part.iter().enumerate() {
+                    assert_eq!(r.row(i), &[o[0] as f64, o[1] as f64], "adopted slice");
+                }
+                drop(r);
+                brute_factory(part)
+            },
+        )
         .unwrap();
         let plain = engine(60, 4, 2);
         for qi in [0usize, 30, 59] {
@@ -968,6 +1305,198 @@ mod tests {
                 plain.range_query(&objects[qi], 4.0)
             );
         }
+    }
+
+    #[test]
+    fn apply_batches_update_through_the_shared_path() {
+        // A matrix-bearing round-robin engine: inserts push one shared row
+        // each (gid == row id), removes tombstone, counters stay exact.
+        let objects = grid(30);
+        let matrix = SharedPivotMatrix::new(PivotMatrix::from_rows(
+            2,
+            objects.iter().map(|o| [o[0] as f64, o[1] as f64]),
+        ));
+        let mapper: Mapper<Vec<f32>> =
+            Box::new(|o: &Vec<f32>, out: &mut Vec<f64>| out.extend([o[0] as f64, o[1] as f64]));
+        let shared = matrix.clone();
+        let mut e = ShardedEngine::build_with_matrix(
+            objects.clone(),
+            matrix,
+            mapper,
+            &EngineConfig {
+                shards: 3,
+                threads: 1,
+                ..EngineConfig::default()
+            },
+            |_, part, _| brute_factory(part),
+        )
+        .unwrap();
+        let mut batch = UpdateBatch::new();
+        batch
+            .insert(vec![100.0f32, 100.0])
+            .remove(7)
+            .insert(vec![200.0f32, 200.0])
+            .remove(7) // already gone: counted as missing
+            .remove(9999); // never existed
+        let report = e.apply(&batch);
+        assert_eq!(report.inserts, 2);
+        assert_eq!(report.removes, 1);
+        assert_eq!(report.missing_removes, 2);
+        assert_eq!(report.inserted_ids, vec![30, 31]);
+        assert_eq!(report.map_compdists, 4, "one 2-wide row per insert");
+        assert_eq!(report.shard_compdists, 0, "BruteForce inserts are free");
+        assert_eq!(report.reboxed_shards, 0, "no router, nothing to shrink");
+        assert_eq!(shared.rows(), 32, "one pushed row per insert");
+        assert_eq!(e.len(), 31);
+        assert_eq!(e.locate(30), Some((e.locate(30).unwrap().0, 10)));
+        assert_eq!(
+            e.range_query(&vec![100.0f32, 100.0], 0.5),
+            vec![30],
+            "inserted object is served"
+        );
+        assert!(e.range_query(&objects[7], 0.25).is_empty(), "removed");
+        let stats = e.update_stats();
+        assert_eq!((stats.inserts, stats.removes), (2, 1));
+        // The serve report carries the cumulative update totals.
+        let out = e.serve(&[Query::range(vec![0.0f32, 0.0], 1.0)]);
+        assert_eq!(out.report.updates, stats);
+    }
+
+    #[test]
+    fn apply_shrinks_boxes_and_restores_pruning() {
+        let (objects, mut e) = routed_two_clusters();
+        // Stale-path baseline: single-op removes leave cluster B's box at
+        // its build extent, so a query there still probes shard 1.
+        let b_ids: Vec<ObjId> = (0..20).filter(|i| i % 2 == 1).collect();
+        let mut batch = UpdateBatch::new();
+        for &id in &b_ids[..b_ids.len() - 1] {
+            batch.remove(id);
+        }
+        // routed_two_clusters has no matrix, so apply cannot shrink there —
+        // rebuild the same engine with the matrix attached.
+        let pivot = vec![0.0f32];
+        let mapper = move |o: &Vec<f32>, out: &mut Vec<f64>| {
+            out.push(L2.dist(o.as_slice(), pivot.as_slice()))
+        };
+        let mapped = PivotMatrix::from_rows(
+            1,
+            objects
+                .iter()
+                .map(|o| [L2.dist(o.as_slice(), [0.0f32].as_slice())]),
+        );
+        let assignment: Vec<usize> = objects.iter().map(|o| usize::from(o[0] >= 50.0)).collect();
+        let router = RoutingTable::from_assignment(mapper, 1, &mapped, &assignment, 2);
+        let mut shrunk = ShardedEngine::build_partitioned_with_matrix(
+            objects.clone(),
+            &assignment,
+            router,
+            SharedPivotMatrix::new(mapped),
+            &EngineConfig {
+                shards: 2,
+                threads: 1,
+                refresh: RefreshPolicy::disabled(),
+            },
+            |_, part, _| brute_factory(part),
+        )
+        .unwrap();
+
+        // Stale path: legacy removes on the matrix-free engine.
+        for &id in &b_ids[..b_ids.len() - 1] {
+            assert!(e.remove(id));
+        }
+        // Maintained path: the same removes through apply.
+        let report = shrunk.apply(&batch);
+        assert_eq!(report.removes, b_ids.len() - 1);
+        assert_eq!(report.reboxed_shards, 1, "only shard 1 lost members");
+
+        // Query around the removed members: the stale box still matches,
+        // the shrunk box prunes.
+        let q = vec![102.0f32]; // cluster B's low end, removed above
+        e.reset_counters();
+        let stale_hits = e.range_query(&q, 1.0);
+        let (stale_probed, _) = e.probe_counts();
+        shrunk.reset_counters();
+        let shrunk_hits = shrunk.range_query(&q, 1.0);
+        let (shrunk_probed, shrunk_pruned) = shrunk.probe_counts();
+        assert_eq!(stale_hits, shrunk_hits, "identical answers either way");
+        assert_eq!(stale_probed, 1, "stale box still probes shard 1");
+        assert_eq!((shrunk_probed, shrunk_pruned), (0, 2), "shrunk box prunes");
+        // The survivor is still found through the shrunk box.
+        let survivor = objects[b_ids[b_ids.len() - 1] as usize].clone();
+        assert_eq!(
+            shrunk.range_query(&survivor, 0.5),
+            vec![b_ids[b_ids.len() - 1]]
+        );
+    }
+
+    #[test]
+    fn recluster_rebalances_worst_pair_and_keeps_answers() {
+        // Start from two tight clusters, then grow cluster A only: the
+        // imbalance trips RefreshPolicy and the pair is re-split.
+        let (objects, _) = routed_two_clusters();
+        let pivot = vec![0.0f32];
+        let mapper = move |o: &Vec<f32>, out: &mut Vec<f64>| {
+            out.push(L2.dist(o.as_slice(), pivot.as_slice()))
+        };
+        let mapped = PivotMatrix::from_rows(
+            1,
+            objects
+                .iter()
+                .map(|o| [L2.dist(o.as_slice(), [0.0f32].as_slice())]),
+        );
+        let assignment: Vec<usize> = objects.iter().map(|o| usize::from(o[0] >= 50.0)).collect();
+        let router = RoutingTable::from_assignment(mapper, 1, &mapped, &assignment, 2);
+        let mut e = ShardedEngine::build_partitioned_with_matrix(
+            objects.clone(),
+            &assignment,
+            router,
+            SharedPivotMatrix::new(mapped),
+            &EngineConfig {
+                shards: 2,
+                threads: 1,
+                refresh: RefreshPolicy {
+                    max_imbalance: 2.0,
+                    min_objects: 10,
+                },
+            },
+            |_, part, _| brute_factory(part),
+        )
+        .unwrap();
+        // 40 inserts spread across cluster A's neighborhood: all route to
+        // shard 0, leaving 50 vs 10.
+        let mut batch = UpdateBatch::new();
+        for i in 0..40 {
+            batch.insert(vec![(i % 12) as f32]);
+        }
+        let report = e.apply(&batch);
+        assert_eq!(report.inserts, 40);
+        assert_eq!(report.reclusters, 1, "imbalance trips the policy");
+        assert!(report.moved_objects > 0, "the re-split moved objects");
+        let lens: Vec<usize> = e.shards().iter().map(|s| s.len()).collect();
+        let (max, min) = (*lens.iter().max().unwrap(), *lens.iter().min().unwrap());
+        assert!(
+            (max as f64) <= 2.0 * min.max(1) as f64,
+            "rebalanced under the threshold: {lens:?}"
+        );
+        // Every object is still served exactly once, with exact answers.
+        let single: Vec<Vec<f32>> = (0..e.next_id).filter_map(|gid| e.get(gid)).collect();
+        assert_eq!(single.len(), e.len());
+        let oracle = BruteForce::new(single, L2);
+        for q in [vec![3.0f32], vec![105.0f32], vec![11.0f32]] {
+            let got = e.knn_query(&q, 5);
+            let want = oracle.knn_query(&q, 5);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.dist - w.dist).abs() < 1e-12, "post-recluster kNN");
+            }
+            assert_eq!(
+                e.range_query(&q, 2.0).len(),
+                oracle.range_query(&q, 2.0).len(),
+                "post-recluster MRQ"
+            );
+        }
+        let stats = e.update_stats();
+        assert_eq!(stats.reclusters, 1);
+        assert_eq!(stats.moved_objects, report.moved_objects);
     }
 
     #[test]
@@ -990,6 +1519,7 @@ mod tests {
             &EngineConfig {
                 shards: 0,
                 threads: 1,
+                ..EngineConfig::default()
             },
             |_, part| brute_factory(part),
         );
@@ -1161,6 +1691,7 @@ mod tests {
             &EngineConfig {
                 shards: 2,
                 threads: 1,
+                ..EngineConfig::default()
             },
             |s, part| {
                 if s == 1 {

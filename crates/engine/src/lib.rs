@@ -25,7 +25,15 @@
 //!   sums the per-shard [`Counters`] snapshots,
 //! * every served batch produces a [`ServeReport`] — throughput,
 //!   monotonic-clock latency percentiles, and aggregate counters — so
-//!   benches and examples can measure QPS directly.
+//!   benches and examples can measure QPS directly,
+//! * mutations flow through the same layered path as queries
+//!   ([`ShardedEngine::apply`] over an [`UpdateBatch`]): inserts are routed
+//!   via the routing table and push **one** pivot row into the engine's
+//!   shared matrix (the destination shard adopts it by id — no remap),
+//!   removes shrink the affected routing boxes back to the surviving
+//!   members, and a [`RefreshPolicy`] re-clusters the worst shard pair
+//!   when a batch leaves the shards imbalanced. Every [`ApplyReport`]
+//!   counter is exact.
 //!
 //! Shard-level parallelism is also available per query:
 //! [`ShardedEngine::range_query`] and [`ShardedEngine::knn_query`] fan a
@@ -41,7 +49,7 @@
 //! let objects: Vec<Vec<f32>> = (0..1000)
 //!     .map(|i| vec![(i % 97) as f32, (i % 31) as f32])
 //!     .collect();
-//! let cfg = EngineConfig { shards: 4, threads: 2 };
+//! let cfg = EngineConfig { shards: 4, threads: 2, ..EngineConfig::default() };
 //! let engine = ShardedEngine::build_with(objects.clone(), &cfg, |_, part| {
 //!     Ok::<_, String>(Box::new(BruteForce::new(part, L2)) as Box<dyn MetricIndex<_>>)
 //! })
@@ -61,10 +69,12 @@ pub mod merge;
 pub mod query;
 pub mod report;
 pub mod shard;
+pub mod update;
 
 pub use engine::{BatchOutcome, EngineConfig, EngineError, EngineScratch, ShardedEngine};
 pub use merge::TopK;
 pub use pmi_router::{PartitionPolicy, RoutingTable};
 pub use query::{Query, QueryResult};
-pub use report::{BuildStats, LatencySummary, ServeReport};
+pub use report::{BuildStats, LatencySummary, ServeReport, UpdateStats};
 pub use shard::Shard;
+pub use update::{ApplyReport, RefreshPolicy, UpdateBatch, UpdateOp};

@@ -56,6 +56,26 @@ pub struct BuildStats {
     pub build_wall_secs: f64,
 }
 
+/// Lifetime totals of the engine's unified mutation path
+/// ([`ShardedEngine::apply`](crate::ShardedEngine::apply) and the
+/// single-op wrappers), copied into every [`ServeReport`] so serving
+/// dashboards see the churn the engine has absorbed. Every counter is
+/// exact; none is reset by [`reset_counters`](crate::ShardedEngine::reset_counters).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Objects inserted since construction.
+    pub inserts: u64,
+    /// Objects removed since construction.
+    pub removes: u64,
+    /// Distance computations spent mapping inserts into pivot space
+    /// (exactly one `l`-wide matrix row per mapped insert).
+    pub map_compdists: u64,
+    /// Objects moved between shards by incremental re-clustering.
+    pub moved_objects: u64,
+    /// Re-clustering passes run.
+    pub reclusters: u64,
+}
+
 /// What a call to [`ShardedEngine::serve`](crate::ShardedEngine::serve)
 /// measured: batch shape, wall-clock throughput, latency percentiles, and
 /// the paper's cost metrics aggregated across every shard.
@@ -95,6 +115,10 @@ pub struct ServeReport {
     /// [`ShardedEngine::build_stats`](crate::ShardedEngine::build_stats),
     /// identical across batches).
     pub build: BuildStats,
+    /// Cumulative mutation totals (copied from
+    /// [`ShardedEngine::update_stats`](crate::ShardedEngine::update_stats)
+    /// at serve time).
+    pub updates: UpdateStats,
 }
 
 impl ServeReport {
@@ -144,10 +168,18 @@ impl std::fmt::Display for ServeReport {
             self.cost.compdists,
             self.cost.page_accesses()
         )?;
-        write!(
+        writeln!(
             f,
             "  build: {} compdists in {:.3}s",
             self.build.build_compdists, self.build.build_wall_secs
+        )?;
+        write!(
+            f,
+            "  updates: {} inserted, {} removed, {} moved by {} re-cluster(s)",
+            self.updates.inserts,
+            self.updates.removes,
+            self.updates.moved_objects,
+            self.updates.reclusters
         )
     }
 }

@@ -48,6 +48,15 @@ impl<O> Shard<O> {
         self.global_ids[local as usize]
     }
 
+    /// The full local→global slot table, **including stale slots**: a slot
+    /// keeps its last global id after a removal, so only the engine's
+    /// locator can say whether slot `i` still speaks for a live member of
+    /// this shard. Lets the engine walk one shard's members without
+    /// scanning the whole dataset.
+    pub fn global_ids(&self) -> &[ObjId] {
+        &self.global_ids
+    }
+
     /// Range query answered in global ids (unsorted).
     pub fn range_global(&self, q: &O, radius: f64) -> Vec<ObjId> {
         let mut out = Vec::new();
@@ -98,6 +107,25 @@ impl<O> Shard<O> {
     /// Inserts an object carrying a global id; records the mapping.
     pub fn insert(&mut self, o: O, global: ObjId) -> ObjId {
         let local = self.index.insert(o);
+        self.note_mapping(local, global);
+        local
+    }
+
+    /// Inserts an object whose pivot row the engine already pushed into the
+    /// shared matrix at shared row `row`: matrix-adopting indexes take the
+    /// row by id (no remap); everything else falls back to a plain
+    /// [`insert`](Self::insert).
+    pub fn insert_adopted(&mut self, o: O, global: ObjId, row: ObjId) -> ObjId {
+        match self.index.insert_adopted(o, row) {
+            Ok(local) => {
+                self.note_mapping(local, global);
+                local
+            }
+            Err(o) => self.insert(o, global),
+        }
+    }
+
+    fn note_mapping(&mut self, local: ObjId, global: ObjId) {
         let slot = local as usize;
         if slot == self.global_ids.len() {
             self.global_ids.push(global);
@@ -107,7 +135,6 @@ impl<O> Shard<O> {
             self.global_ids.resize(slot + 1, ObjId::MAX);
             self.global_ids[slot] = global;
         }
-        local
     }
 
     /// Removes by local id.

@@ -57,6 +57,24 @@ pub trait MetricIndex<O>: Send + Sync {
     /// Inserts an object, returning its id.
     fn insert(&mut self, o: O) -> ObjId;
 
+    /// Inserts an object whose pivot-distance row already exists in the
+    /// index's adopted shared matrix
+    /// ([`MatrixSlice`](crate::matrix::MatrixSlice)) at shared row `row` —
+    /// the sharded engine's unified mutation path, which computes each
+    /// insert's pivot row exactly once, pushes it into the shared
+    /// [`SharedPivotMatrix`](crate::matrix::SharedPivotMatrix), and hands
+    /// indexes the row *id*. Implementations adopt the row without
+    /// computing any distance beyond what their auxiliary structures need
+    /// (e.g. CPT's M-tree clustering).
+    ///
+    /// Indexes without an adopted shared matrix return `Err(o)`, handing
+    /// the object back so the caller can fall back to
+    /// [`insert`](Self::insert).
+    fn insert_adopted(&mut self, o: O, row: ObjId) -> Result<ObjId, O> {
+        let _ = row;
+        Err(o)
+    }
+
     /// Removes an object by id; returns whether it was present.
     fn remove(&mut self, id: ObjId) -> bool;
 

@@ -30,7 +30,7 @@ pub mod table;
 
 pub use distance::{CountingMetric, DistanceCounter, EditDistance, LInf, Lp, Metric, L1, L2};
 pub use index::{BruteForce, MetricIndex};
-pub use matrix::PivotMatrix;
+pub use matrix::{MatrixSlice, MatrixSliceReader, PivotMatrix, SharedPivotMatrix};
 pub use object::EncodeObject;
 pub use scratch::QueryScratch;
 pub use stats::{Counters, Neighbor, ObjId, StorageFootprint};

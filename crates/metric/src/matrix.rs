@@ -16,8 +16,18 @@
 //! in place (ids remain row indices) and are simply never visited, because
 //! liveness lives in the index's slot map ([`crate::ObjTable`] /
 //! [`crate::ObjTable::iter_live_rows`]).
+//!
+//! For sharded engines the matrix is wrapped in a [`SharedPivotMatrix`] and
+//! every shard adopts a [`MatrixSlice`] — a row-index indirection into the
+//! one shared matrix instead of a contiguous permuted copy. That makes the
+//! mutation path cheap and exact: inserting an object pushes **one** row
+//! into the shared matrix and every interested party (router boxes, the
+//! destination shard's table) adopts the row id, with no per-shard
+//! recomputation and no copying.
 
 use crate::distance::Metric;
+use parking_lot::{RwLock, RwLockReadGuard};
+use std::sync::Arc;
 
 /// A flat, row-major `n × l` pivot-distance matrix with stable row ids.
 ///
@@ -160,6 +170,173 @@ impl PivotMatrix {
     }
 }
 
+/// A [`PivotMatrix`] shared between the engine, the router, and every
+/// shard's pivot table, behind a reader-writer lock so the engine's
+/// mutation path can *grow* it in place while adopted slices keep reading.
+///
+/// Cloning shares the same matrix (the handle is an `Arc`). Reads are
+/// uncontended in steady state — query scans take one read guard per query;
+/// the write lock is only taken by [`push_row`](Self::push_row) on the
+/// (exclusive-borrow) mutation path.
+///
+/// Rows are append-only: removal tombstones live in the indexes' slot maps,
+/// so a row id handed out by `push_row` is valid forever.
+#[derive(Clone, Debug, Default)]
+pub struct SharedPivotMatrix(Arc<RwLock<PivotMatrix>>);
+
+impl SharedPivotMatrix {
+    /// Wraps an already-computed matrix for sharing.
+    pub fn new(matrix: PivotMatrix) -> Self {
+        SharedPivotMatrix(Arc::new(RwLock::new(matrix)))
+    }
+
+    /// Read access for the duration of a query scan.
+    pub fn read(&self) -> RwLockReadGuard<'_, PivotMatrix> {
+        self.0.read()
+    }
+
+    /// Appends one row, returning its stable row id.
+    pub fn push_row(&self, row: &[f64]) -> usize {
+        self.0.write().push_row(row)
+    }
+
+    /// Current number of rows (including rows of tombstoned objects).
+    pub fn rows(&self) -> usize {
+        self.0.read().rows()
+    }
+
+    /// Number of pivots `l` (the row stride).
+    pub fn width(&self) -> usize {
+        self.0.read().width()
+    }
+
+    /// An owned copy of the current matrix (tests / diagnostics).
+    pub fn snapshot(&self) -> PivotMatrix {
+        self.0.read().clone()
+    }
+}
+
+/// One shard's adopted view of a [`SharedPivotMatrix`]: local row `i` reads
+/// shared row `index[i]`.
+///
+/// This replaces the contiguous permuted per-shard matrix copies: adopting
+/// a partition is `O(|partition|)` row *ids* instead of `O(|partition| · l)`
+/// copied distances, and — the point of the indirection — a row pushed into
+/// the shared matrix by the engine's mutation path is adopted by appending
+/// its id ([`adopt`](Self::adopt)), with no copy and no recomputation.
+///
+/// A standalone index (no engine) wraps its own freshly computed matrix via
+/// [`from_owned`](Self::from_owned), becoming the sole owner of a shared
+/// handle with an identity indirection; the code paths are the same.
+#[derive(Clone, Debug)]
+pub struct MatrixSlice {
+    shared: SharedPivotMatrix,
+    /// Local row id → shared row id.
+    index: Vec<u32>,
+}
+
+impl MatrixSlice {
+    /// Adopts the given shared rows, in `index` order (local row `i` is
+    /// shared row `index[i]`).
+    pub fn new(shared: SharedPivotMatrix, index: Vec<u32>) -> Self {
+        debug_assert!(
+            index.iter().all(|&r| (r as usize) < shared.rows()),
+            "every adopted row must exist in the shared matrix"
+        );
+        MatrixSlice { shared, index }
+    }
+
+    /// Wraps an owned matrix as its own sole-owner slice (identity
+    /// indirection) — the standalone-index construction path.
+    pub fn from_owned(matrix: PivotMatrix) -> Self {
+        let index = (0..matrix.rows() as u32).collect();
+        MatrixSlice {
+            shared: SharedPivotMatrix::new(matrix),
+            index,
+        }
+    }
+
+    /// The shared matrix this slice reads.
+    pub fn shared(&self) -> &SharedPivotMatrix {
+        &self.shared
+    }
+
+    /// Number of local rows (including rows of tombstoned slots).
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the slice has adopted no rows.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Number of pivots `l`.
+    pub fn width(&self) -> usize {
+        self.shared.width()
+    }
+
+    /// The shared row id behind a local row.
+    pub fn shared_row_of(&self, local: usize) -> usize {
+        self.index[local] as usize
+    }
+
+    /// Adopts one more shared row, returning its local row id. The row must
+    /// already exist in the shared matrix (the caller pushed it).
+    pub fn adopt(&mut self, shared_row: usize) -> usize {
+        debug_assert!(shared_row < self.shared.rows(), "adopting a missing row");
+        self.index.push(shared_row as u32);
+        self.index.len() - 1
+    }
+
+    /// Locks the shared matrix for reading and returns a row accessor valid
+    /// for the duration of one query scan.
+    pub fn reader(&self) -> MatrixSliceReader<'_> {
+        MatrixSliceReader {
+            matrix: self.shared.read(),
+            index: &self.index,
+        }
+    }
+
+    /// This slice's share of the matrix footprint: its rows' distances plus
+    /// the indirection itself.
+    pub fn mem_bytes(&self) -> u64 {
+        (8 * self.width() as u64 + 4) * self.index.len() as u64
+    }
+}
+
+impl From<PivotMatrix> for MatrixSlice {
+    fn from(matrix: PivotMatrix) -> Self {
+        MatrixSlice::from_owned(matrix)
+    }
+}
+
+/// A read guard over a [`MatrixSlice`]: resolves local rows through the
+/// indirection into the locked shared matrix. Holds the read lock until
+/// dropped, so scans resolve rows with no per-row locking.
+pub struct MatrixSliceReader<'a> {
+    matrix: RwLockReadGuard<'a, PivotMatrix>,
+    index: &'a [u32],
+}
+
+impl MatrixSliceReader<'_> {
+    /// Local row `local` as a contiguous slice of `l` distances.
+    #[inline]
+    pub fn row(&self, local: usize) -> &[f64] {
+        self.matrix.row(self.index[local] as usize)
+    }
+
+    /// Number of local rows.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the slice has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,5 +413,49 @@ mod tests {
     fn push_row_rejects_wrong_width() {
         let mut m = PivotMatrix::new(2);
         m.push_row(&[1.0]);
+    }
+
+    #[test]
+    fn shared_matrix_grows_under_adopted_slices() {
+        let shared = SharedPivotMatrix::new(PivotMatrix::from_rows(
+            2,
+            [[0.0, 1.0], [2.0, 3.0], [4.0, 5.0], [6.0, 7.0]],
+        ));
+        // Two "shards" adopt disjoint permuted views of the same matrix.
+        let mut a = MatrixSlice::new(shared.clone(), vec![3, 0]);
+        let b = MatrixSlice::new(shared.clone(), vec![1, 2]);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.width(), 2);
+        assert_eq!(a.shared_row_of(0), 3);
+        {
+            let r = a.reader();
+            assert_eq!(r.row(0), &[6.0, 7.0]);
+            assert_eq!(r.row(1), &[0.0, 1.0]);
+            assert_eq!(r.len(), 2);
+        }
+        // The mutation path pushes one row and the target slice adopts it.
+        let row_id = shared.push_row(&[8.0, 9.0]);
+        assert_eq!(row_id, 4);
+        let local = a.adopt(row_id);
+        assert_eq!(local, 2);
+        assert_eq!(a.reader().row(2), &[8.0, 9.0]);
+        // The sibling slice is untouched but reads the same grown matrix.
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.shared().rows(), 5);
+        assert_eq!(b.reader().row(1), &[4.0, 5.0]);
+        assert_eq!(shared.snapshot().rows(), 5);
+    }
+
+    #[test]
+    fn from_owned_is_identity_indirection() {
+        let m = PivotMatrix::from_rows(1, [[1.0], [2.0], [3.0]]);
+        let s: MatrixSlice = m.into();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        let r = s.reader();
+        for i in 0..3 {
+            assert_eq!(r.row(i), &[(i + 1) as f64]);
+        }
+        assert_eq!(s.mem_bytes(), 3 * (8 + 4));
     }
 }

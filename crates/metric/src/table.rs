@@ -5,7 +5,7 @@
 //! structures, and store the objects in a separate table"). Ids are slot
 //! positions and stay stable until removal.
 
-use crate::matrix::PivotMatrix;
+use crate::matrix::MatrixSliceReader;
 use crate::stats::ObjId;
 
 /// Slotted object storage with stable ids.
@@ -79,22 +79,24 @@ impl<O> ObjTable<O> {
     }
 
     /// Iterates `(id, object, matrix row)` over live slots in id order,
-    /// pairing each live object with its row of a [`PivotMatrix`] whose row
-    /// ids are this table's slot ids. This is the flat-matrix scan loop of
-    /// the pivot tables: tombstoned slots are skipped (their matrix rows
-    /// stay in place, unread), so no `Option` unwrap ever runs on the scan
-    /// path.
+    /// pairing each live object with its row of an adopted
+    /// [`MatrixSlice`](crate::matrix::MatrixSlice) whose local row ids are
+    /// this table's slot ids. This is the flat-matrix scan loop of the
+    /// pivot tables: tombstoned slots are skipped (their matrix rows stay
+    /// in place, unread), so no `Option` unwrap ever runs on the scan path,
+    /// and the caller's [`MatrixSliceReader`] holds the shared matrix's
+    /// read lock exactly once per scan.
     ///
-    /// Panics (in the iterator) if the matrix has fewer rows than this
+    /// Panics (in the iterator) if the slice has fewer rows than this
     /// table has slots.
     pub fn iter_live_rows<'a>(
         &'a self,
-        matrix: &'a PivotMatrix,
+        rows: &'a MatrixSliceReader<'a>,
     ) -> impl Iterator<Item = (ObjId, &'a O, &'a [f64])> {
         self.slots
             .iter()
             .enumerate()
-            .filter_map(move |(i, s)| s.as_ref().map(|o| (i as ObjId, o, matrix.row(i))))
+            .filter_map(move |(i, s)| s.as_ref().map(|o| (i as ObjId, o, rows.row(i))))
     }
 
     /// Linear lookup of an id, mimicking indexes whose deletion requires a
@@ -131,12 +133,14 @@ mod tests {
 
     #[test]
     fn live_rows_skip_tombstones() {
+        use crate::matrix::{MatrixSlice, PivotMatrix};
         let mut t = ObjTable::new(vec!["a", "b", "c"]);
-        let m = PivotMatrix::from_rows(2, [[0.0, 1.0], [2.0, 3.0], [4.0, 5.0]]);
+        let m: MatrixSlice = PivotMatrix::from_rows(2, [[0.0, 1.0], [2.0, 3.0], [4.0, 5.0]]).into();
         t.remove(1);
         assert_eq!(t.slots(), 3, "slots() includes the tombstone");
         assert_eq!(t.len(), 2);
-        let got: Vec<_> = t.iter_live_rows(&m).collect();
+        let r = m.reader();
+        let got: Vec<_> = t.iter_live_rows(&r).collect();
         assert_eq!(got.len(), 2);
         assert_eq!(got[0], (0, &"a", [0.0, 1.0].as_slice()));
         assert_eq!(got[1], (2, &"c", [4.0, 5.0].as_slice()));

@@ -15,11 +15,17 @@
 //!   ([`pmi_metric::lemmas::Mbb`]) over its mapped points, and plans
 //!   queries against the summaries:
 //!   - **range**: a shard whose box satisfies `lemma1_box_prunable` cannot
-//!     hold any answer and is skipped outright ([`RoutingTable::range_plan`]),
+//!     hold any answer and is skipped outright
+//!     ([`RoutingTable::range_plan_into`]),
 //!   - **kNN**: shards are ordered best-first by the box lower bound
-//!     ([`RoutingTable::knn_order`]); the engine probes in that order and
-//!     skips every shard whose lower bound exceeds the current k-th
+//!     ([`RoutingTable::knn_order_into`]); the engine probes in that order
+//!     and skips every shard whose lower bound exceeds the current k-th
 //!     distance as the global heap tightens.
+//!
+//! Boxes stay exact under churn: the engine's mutation path grows a box on
+//! insert ([`RoutingTable::extend`]) and recomputes it from the surviving
+//! members on remove ([`RoutingTable::shrink`] /
+//! [`RoutingTable::rebox_from_rows`]).
 //!
 //! Both decisions are conservative applications of Lemma 1, so routed
 //! answers are *identical* to probing every shard — pruning only ever
@@ -34,7 +40,7 @@ pub mod partition;
 pub mod table;
 
 pub use partition::{assign_pivot_space, assign_round_robin};
-pub use table::RoutingTable;
+pub use table::{Mapper, RoutingTable};
 
 /// How a sharded engine partitions its dataset across shards.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]

@@ -16,15 +16,23 @@ pub type Mapper<O> = Box<dyn Fn(&O, &mut Vec<f64>) + Send + Sync>;
 /// Planning is a conservative application of Lemma 1 at shard granularity,
 /// so a routed engine returns exactly what probing every shard would:
 ///
-/// * [`range_plan`](Self::range_plan) keeps only the shards whose box
-///   intersects the query's search box (`lemma1_box_prunable` on the rest);
-/// * [`knn_order`](Self::knn_order) sorts shards by ascending box lower
-///   bound, letting the engine probe best-first and stop paying for shards
-///   whose bound exceeds the current k-th distance.
+/// * [`range_plan_into`](Self::range_plan_into) keeps only the shards whose
+///   box intersects the query's search box (`lemma1_box_prunable` on the
+///   rest);
+/// * [`knn_order_into`](Self::knn_order_into) sorts shards by ascending box
+///   lower bound, letting the engine probe best-first and stop paying for
+///   shards whose bound exceeds the current k-th distance.
 ///
-/// Boxes are maintained on insert ([`extend`](Self::extend)) and left
-/// untouched on remove — a stale, too-large box can only cause extra
-/// probes, never a wrong answer.
+/// All planning entry points are write-into (the serving hot loop reuses
+/// one buffer per worker); the old allocating wrappers are gone.
+///
+/// Boxes are maintained exactly through the engine's mutation path: grown
+/// on insert ([`extend`](Self::extend)) and recomputed from the surviving
+/// members' mapped points on remove ([`shrink`](Self::shrink) /
+/// [`rebox_from_rows`](Self::rebox_from_rows)), so pruning power does not
+/// decay under churn. A caller that skips the shrink (the engine's legacy
+/// single-`remove` fast path) merely keeps a too-large box, which can only
+/// cost extra probes, never a wrong answer.
 pub struct RoutingTable<O> {
     mapper: Mapper<O>,
     boxes: Vec<Mbb>,
@@ -76,46 +84,26 @@ impl<O> RoutingTable<O> {
         &self.boxes
     }
 
-    /// Maps a query object into pivot space (`l` distance computations).
-    pub fn map(&self, q: &O) -> Vec<f64> {
-        let mut out = Vec::new();
-        self.map_into(q, &mut out);
-        out
-    }
-
-    /// [`map`](Self::map) into a reused buffer: clears `out`, then appends
-    /// the mapped point. The batch-serving hot path.
+    /// Maps a query object into pivot space (`l` distance computations)
+    /// into a reused buffer: clears `out`, then appends the mapped point.
+    /// The batch-serving hot path.
     pub fn map_into(&self, q: &O, out: &mut Vec<f64>) {
         out.clear();
         (self.mapper)(q, out);
     }
 
-    /// Shards that `MRQ(q, r)` must probe: every shard whose box is not
-    /// prunable by Lemma 1. Ascending shard order.
-    pub fn range_plan(&self, q_dists: &[f64], r: f64) -> Vec<usize> {
-        let mut out = Vec::new();
-        self.range_plan_into(q_dists, r, &mut out);
-        out
-    }
-
-    /// [`range_plan`](Self::range_plan) into a reused buffer (cleared
-    /// first).
+    /// Shards that `MRQ(q, r)` must probe, written into a reused buffer
+    /// (cleared first): every shard whose box is not prunable by Lemma 1,
+    /// ascending shard order.
     pub fn range_plan_into(&self, q_dists: &[f64], r: f64, out: &mut Vec<usize>) {
         out.clear();
         out.extend((0..self.boxes.len()).filter(|&s| !self.boxes[s].prunable(q_dists, r)));
     }
 
-    /// All shards ordered best-first for `MkNNQ(q, k)`: ascending box lower
-    /// bound (`MINDIST` in pivot space), ties by shard id. The engine probes
-    /// in this order and skips every shard whose bound exceeds the current
-    /// k-th distance.
-    pub fn knn_order(&self, q_dists: &[f64]) -> Vec<(usize, f64)> {
-        let mut out = Vec::new();
-        self.knn_order_into(q_dists, &mut out);
-        out
-    }
-
-    /// [`knn_order`](Self::knn_order) into a reused buffer (cleared first).
+    /// All shards ordered best-first for `MkNNQ(q, k)`, written into a
+    /// reused buffer (cleared first): ascending box lower bound (`MINDIST`
+    /// in pivot space), ties by shard id. The engine probes in this order
+    /// and skips every shard whose bound exceeds the current k-th distance.
     pub fn knn_order_into(&self, q_dists: &[f64], out: &mut Vec<(usize, f64)>) {
         out.clear();
         out.extend(
@@ -127,16 +115,30 @@ impl<O> RoutingTable<O> {
         out.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     }
 
-    /// Box lower bound of every shard for a mapped point, in shard order
-    /// (the engine routes inserts to the closest shard).
-    pub fn shard_lower_bounds(&self, point: &[f64]) -> Vec<f64> {
-        self.boxes.iter().map(|b| b.lower_bound(point)).collect()
-    }
-
     /// Grows shard `s`'s box to cover a newly inserted object's mapped
     /// point.
     pub fn extend(&mut self, s: usize, point: &[f64]) {
         self.boxes[s].extend(point);
+    }
+
+    /// Replaces shard `s`'s box with an exactly recomputed one — the
+    /// engine's remove path shrinks stale boxes back to the minimum box
+    /// over the shard's surviving members (it recomputes several shards'
+    /// boxes in one pass over its locator and installs each here).
+    ///
+    /// Correctness contract: `to` must cover every live member's mapped
+    /// point; passing the tight box restores full pruning power.
+    pub fn shrink(&mut self, s: usize, to: Mbb) {
+        debug_assert_eq!(to.dim(), self.boxes[s].dim());
+        self.boxes[s] = to;
+    }
+
+    /// Recomputes shard `s`'s box from its live members' mapped points (an
+    /// empty iterator leaves the always-prunable empty box). The one-shard
+    /// form of [`shrink`](Self::shrink).
+    pub fn rebox_from_rows<'a>(&mut self, s: usize, rows: impl IntoIterator<Item = &'a [f64]>) {
+        let dim = self.boxes[s].dim();
+        self.shrink(s, Mbb::from_points(dim, rows));
     }
 }
 
@@ -166,17 +168,29 @@ mod tests {
         )
     }
 
+    fn range_plan(t: &RoutingTable<f64>, q: &[f64], r: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        t.range_plan_into(q, r, &mut out);
+        out
+    }
+
+    fn knn_order(t: &RoutingTable<f64>, q: &[f64]) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        t.knn_order_into(q, &mut out);
+        out
+    }
+
     #[test]
     fn range_plan_prunes_disjoint_boxes() {
         // Shard 0 covers |x| in [1, 2], shard 1 covers [10, 12].
         let t = table(&[(1.0, 0), (2.0, 0), (10.0, 1), (12.0, 1)], 2);
         // Query at x = 1.5 (mapped 1.5), r = 1: shard 1's box is 8.5 away.
-        assert_eq!(t.range_plan(&[1.5], 1.0), vec![0]);
+        assert_eq!(range_plan(&t, &[1.5], 1.0), vec![0]);
         // Large radius reaches both.
-        assert_eq!(t.range_plan(&[1.5], 9.0), vec![0, 1]);
+        assert_eq!(range_plan(&t, &[1.5], 9.0), vec![0, 1]);
         // A query between the boxes with a tiny radius reaches neither.
-        assert!(t.range_plan(&[5.0], 0.5).is_empty());
-        // The into-variant clears and reuses its buffer.
+        assert!(range_plan(&t, &[5.0], 0.5).is_empty());
+        // The buffer is cleared and reused.
         let mut buf = vec![42usize];
         t.range_plan_into(&[1.5], 9.0, &mut buf);
         assert_eq!(buf, vec![0, 1]);
@@ -188,13 +202,12 @@ mod tests {
         let mut buf = vec![99.0];
         t.map_into(&-3.5, &mut buf);
         assert_eq!(buf, vec![3.5]);
-        assert_eq!(t.map(&-3.5), vec![3.5]);
     }
 
     #[test]
     fn knn_order_is_best_first() {
         let t = table(&[(1.0, 0), (2.0, 0), (10.0, 1), (12.0, 1), (5.0, 2)], 3);
-        let order = t.knn_order(&[11.0]);
+        let order = knn_order(&t, &[11.0]);
         // Shard 1's box contains 11 (bound 0), shard 2 is 6 away, shard 0 is 9.
         assert_eq!(order[0], (1, 0.0));
         assert_eq!(order[1], (2, 6.0));
@@ -205,17 +218,42 @@ mod tests {
     fn empty_shard_box_always_prunes() {
         // Shard 1 never receives a point.
         let t = table(&[(1.0, 0), (2.0, 0)], 2);
-        assert_eq!(t.range_plan(&[1.0], 1e9), vec![0]);
-        let order = t.knn_order(&[1.0]);
+        assert_eq!(range_plan(&t, &[1.0], 1e9), vec![0]);
+        let order = knn_order(&t, &[1.0]);
         assert_eq!(order[1], (1, f64::INFINITY));
     }
 
     #[test]
     fn extend_grows_the_target_box() {
         let mut t = table(&[(1.0, 0), (2.0, 0), (10.0, 1)], 2);
-        assert_eq!(t.range_plan(&[5.0], 1.0), Vec::<usize>::new());
+        assert_eq!(range_plan(&t, &[5.0], 1.0), Vec::<usize>::new());
         t.extend(0, &[5.0]);
-        assert_eq!(t.range_plan(&[5.0], 1.0), vec![0]);
-        assert_eq!(t.shard_lower_bounds(&[5.0]), vec![0.0, 5.0]);
+        assert_eq!(range_plan(&t, &[5.0], 1.0), vec![0]);
+        assert_eq!(t.boxes()[0].lower_bound(&[5.0]), 0.0);
+        assert_eq!(t.boxes()[1].lower_bound(&[5.0]), 5.0);
+    }
+
+    #[test]
+    fn shrink_and_rebox_restore_pruning() {
+        // Shard 0 holds |x| in {1, 2, 9}; removing the 9 leaves the box
+        // stale at [1, 9] until it is recomputed from the survivors.
+        let mut t = table(&[(1.0, 0), (2.0, 0), (9.0, 0), (30.0, 1)], 2);
+        assert_eq!(
+            range_plan(&t, &[8.0], 0.5),
+            vec![0],
+            "stale box still matches near the removed member"
+        );
+        t.rebox_from_rows(0, [[1.0].as_slice(), [2.0].as_slice()]);
+        assert_eq!(
+            range_plan(&t, &[8.0], 0.5),
+            Vec::<usize>::new(),
+            "recomputed box prunes the query again"
+        );
+        assert_eq!(range_plan(&t, &[1.5], 0.5), vec![0], "members still found");
+        // shrink() installs a caller-built box; an empty one (the shard
+        // lost its last member) is always pruned.
+        t.shrink(0, Mbb::empty(1));
+        assert_eq!(range_plan(&t, &[1.5], 1e9), vec![1]);
+        assert_eq!(knn_order(&t, &[1.5])[1], (0, f64::INFINITY));
     }
 }

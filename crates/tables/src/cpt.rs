@@ -12,8 +12,8 @@
 use pmi_metric::lemmas;
 use pmi_metric::scratch::drain_heap_sorted;
 use pmi_metric::{
-    Counters, CountingMetric, EncodeObject, Metric, MetricIndex, Neighbor, ObjId, PivotMatrix,
-    QueryScratch, StorageFootprint,
+    Counters, CountingMetric, EncodeObject, MatrixSlice, MatrixSliceReader, Metric, MetricIndex,
+    Neighbor, ObjId, PivotMatrix, QueryScratch, StorageFootprint,
 };
 use pmi_mtree::MTree;
 use pmi_storage::DiskSim;
@@ -22,8 +22,8 @@ use pmi_storage::DiskSim;
 pub struct Cpt<O, M> {
     metric: CountingMetric<M>,
     pivots: Vec<O>,
-    /// Flat pivot-distance rows, aligned with slot ids.
-    matrix: PivotMatrix,
+    /// Adopted pivot-distance rows, aligned with slot ids.
+    rows: MatrixSlice,
     /// Liveness per slot (tombstoned removal keeps ids stable).
     alive: Vec<bool>,
     mtree: MTree<O, CountingMetric<M>>,
@@ -40,30 +40,39 @@ where
     pub fn build(objects: Vec<O>, metric: M, pivots: Vec<O>, disk: DiskSim) -> Self {
         let metric = CountingMetric::new(metric);
         let matrix = PivotMatrix::compute(&objects, &metric, &pivots, 1);
-        Self::finish(objects, metric, pivots, matrix, disk)
+        Self::finish(
+            objects,
+            metric,
+            pivots,
+            MatrixSlice::from_owned(matrix),
+            disk,
+        )
     }
 
-    /// Builds CPT by *adopting* a pre-computed pivot-distance matrix (the
-    /// shard's slice of a shared [`PivotMatrix`]): the `n · l` table costs
-    /// nothing here; only the M-tree build computes distances. Queries are
-    /// byte-identical to [`build`](Self::build)'s.
+    /// Builds CPT by *adopting* pre-computed pivot-distance rows (an owned
+    /// [`PivotMatrix`] or the shard's [`MatrixSlice`] of the engine's
+    /// shared matrix): the `n · l` table costs nothing here; only the
+    /// M-tree build computes distances. Queries are byte-identical to
+    /// [`build`](Self::build)'s, and engine inserts can push one shared
+    /// row this index adopts by id ([`MetricIndex::insert_adopted`]).
     pub fn build_with_matrix(
         objects: Vec<O>,
         metric: M,
         pivots: Vec<O>,
-        matrix: PivotMatrix,
+        rows: impl Into<MatrixSlice>,
         disk: DiskSim,
     ) -> Self {
-        assert_eq!(matrix.rows(), objects.len(), "one matrix row per object");
-        assert_eq!(matrix.width(), pivots.len(), "one matrix column per pivot");
-        Self::finish(objects, CountingMetric::new(metric), pivots, matrix, disk)
+        let rows = rows.into();
+        assert_eq!(rows.len(), objects.len(), "one matrix row per object");
+        assert_eq!(rows.width(), pivots.len(), "one matrix column per pivot");
+        Self::finish(objects, CountingMetric::new(metric), pivots, rows, disk)
     }
 
     fn finish(
         objects: Vec<O>,
         metric: CountingMetric<M>,
         pivots: Vec<O>,
-        matrix: PivotMatrix,
+        rows: MatrixSlice,
         disk: DiskSim,
     ) -> Self {
         // Plain M-tree (no pivot augmentation): it only clusters objects.
@@ -74,7 +83,7 @@ where
         Cpt {
             metric,
             pivots,
-            matrix,
+            rows,
             alive: vec![true; objects.len()],
             mtree,
             live: objects.len(),
@@ -86,13 +95,17 @@ where
         qd.extend(self.pivots.iter().map(|p| self.metric.dist(q, p)));
     }
 
-    /// Iterates `(id, row)` over live slots in id order.
-    fn live_rows(&self) -> impl Iterator<Item = (ObjId, &[f64])> {
+    /// Iterates `(id, row)` over live slots in id order, resolving rows
+    /// through the caller's slice reader (one lock per scan).
+    fn live_rows<'a>(
+        &'a self,
+        rows: &'a MatrixSliceReader<'a>,
+    ) -> impl Iterator<Item = (ObjId, &'a [f64])> {
         self.alive
             .iter()
             .enumerate()
             .filter(|&(_, &a)| a)
-            .map(move |(i, _)| (i as ObjId, self.matrix.row(i)))
+            .map(move |(i, _)| (i as ObjId, rows.row(i)))
     }
 
     /// The instrumented metric.
@@ -133,7 +146,8 @@ where
 
     fn range_query_into(&self, q: &O, r: f64, scratch: &mut QueryScratch, out: &mut Vec<ObjId>) {
         self.query_dists_into(q, &mut scratch.qd);
-        for (id, row) in self.live_rows() {
+        let rows = self.rows.reader();
+        for (id, row) in self.live_rows(&rows) {
             if lemmas::lemma1_prunable(&scratch.qd, row, r) {
                 continue;
             }
@@ -152,7 +166,8 @@ where
         self.query_dists_into(q, &mut scratch.qd);
         let heap = &mut scratch.heap;
         heap.clear();
-        for (id, row) in self.live_rows() {
+        let rows = self.rows.reader();
+        for (id, row) in self.live_rows(&rows) {
             let radius = if heap.len() < k {
                 f64::INFINITY
             } else {
@@ -179,12 +194,25 @@ where
             .iter()
             .map(|p| self.metric.dist(&o, p))
             .collect();
-        let id = self.matrix.rows() as ObjId;
-        self.matrix.push_row(&row);
+        let shared_row = self.rows.shared().push_row(&row);
+        let id = self.rows.adopt(shared_row) as ObjId;
         self.alive.push(true);
         self.mtree.insert(id, &o);
         self.live += 1;
         id
+    }
+
+    fn insert_adopted(&mut self, o: O, row: ObjId) -> Result<ObjId, O> {
+        // The `n · l` table row is adopted by id; only the M-tree
+        // clustering computes distances (its normal insert cost).
+        if (row as usize) >= self.rows.shared().rows() {
+            return Err(o);
+        }
+        let id = self.rows.adopt(row as usize) as ObjId;
+        self.alive.push(true);
+        self.mtree.insert(id, &o);
+        self.live += 1;
+        Ok(id)
     }
 
     fn remove(&mut self, id: ObjId) -> bool {
@@ -210,7 +238,7 @@ where
     fn storage(&self) -> StorageFootprint {
         let pivots: u64 = self.pivots.iter().map(|p| p.encoded_len() as u64).sum();
         StorageFootprint {
-            mem_bytes: self.matrix.mem_bytes() + self.alive.len() as u64 + pivots,
+            mem_bytes: self.rows.mem_bytes() + self.alive.len() as u64 + pivots,
             disk_bytes: self.mtree.disk_bytes(),
         }
     }
@@ -281,7 +309,7 @@ mod tests {
             pts.clone(),
             L2,
             idx.pivots.clone(),
-            idx.matrix.clone(),
+            idx.rows.shared().snapshot(),
             DiskSim::new(1024),
         );
         // The adopted build pays only the M-tree construction: exactly the

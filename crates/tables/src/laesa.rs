@@ -3,21 +3,25 @@
 use pmi_metric::lemmas;
 use pmi_metric::scratch::drain_heap_sorted;
 use pmi_metric::{
-    Counters, CountingMetric, EncodeObject, Metric, MetricIndex, Neighbor, ObjId, ObjTable,
-    PivotMatrix, QueryScratch, StorageFootprint,
+    Counters, CountingMetric, EncodeObject, MatrixSlice, Metric, MetricIndex, Neighbor, ObjId,
+    ObjTable, PivotMatrix, QueryScratch, StorageFootprint,
 };
 
 /// LAESA: `n × l` pre-computed distances + linear scan with Lemma 1.
 ///
-/// The distance table is a flat row-major [`PivotMatrix`] aligned with the
-/// object table's slots: removal tombstones the slot (the matrix row stays
-/// in place, unread), so the Lemma 1 scan is a branch-light sequential pass
-/// over contiguous memory with no per-row `Option` or pointer chase.
+/// The distance table is an adopted [`MatrixSlice`] — a row-index view of a
+/// flat row-major shared [`PivotMatrix`] — aligned with the object table's
+/// slots: removal tombstones the slot (the matrix row stays in place,
+/// unread), so the Lemma 1 scan is a branch-light sequential pass over
+/// contiguous memory with no per-row `Option` or pointer chase. A sharded
+/// engine hands every shard a slice of the one shared matrix and grows it
+/// through [`MetricIndex::insert_adopted`]; a standalone build owns its
+/// matrix through the same slice type.
 pub struct Laesa<O, M> {
     metric: CountingMetric<M>,
     pivots: Vec<O>,
     /// Pivot-distance rows, aligned with the object table's slots.
-    matrix: PivotMatrix,
+    rows: MatrixSlice,
     table: ObjTable<O>,
 }
 
@@ -35,29 +39,32 @@ where
         Laesa {
             metric,
             pivots,
-            matrix,
+            rows: MatrixSlice::from_owned(matrix),
             table: ObjTable::new(objects),
         }
     }
 
-    /// Builds LAESA by *adopting* a pre-computed pivot-distance matrix
-    /// (row `i` = `objects[i]`'s distances to `pivots`, e.g. the shard's
-    /// slice of a shared [`PivotMatrix`]). Computes **zero** distances:
-    /// this is the shared-matrix build path that makes a sharded build cost
-    /// `n · l` once instead of once per shard. Queries are byte-identical
-    /// to [`build`](Self::build)'s.
+    /// Builds LAESA by *adopting* pre-computed pivot-distance rows (local
+    /// row `i` = `objects[i]`'s distances to `pivots`): either an owned
+    /// [`PivotMatrix`] or — the sharded build path — a [`MatrixSlice`] of
+    /// the engine's shared matrix, so a sharded build costs `n · l` once
+    /// instead of once per shard *and* later engine inserts can push one
+    /// shared row that this index adopts by id
+    /// ([`MetricIndex::insert_adopted`]). Computes **zero** distances;
+    /// queries are byte-identical to [`build`](Self::build)'s.
     pub fn build_with_matrix(
         objects: Vec<O>,
         metric: M,
         pivots: Vec<O>,
-        matrix: PivotMatrix,
+        rows: impl Into<MatrixSlice>,
     ) -> Self {
-        assert_eq!(matrix.rows(), objects.len(), "one matrix row per object");
-        assert_eq!(matrix.width(), pivots.len(), "one matrix column per pivot");
+        let rows = rows.into();
+        assert_eq!(rows.len(), objects.len(), "one matrix row per object");
+        assert_eq!(rows.width(), pivots.len(), "one matrix column per pivot");
         Laesa {
             metric: CountingMetric::new(metric),
             pivots,
-            matrix,
+            rows,
             table: ObjTable::new(objects),
         }
     }
@@ -78,10 +85,10 @@ where
         self.pivots.len()
     }
 
-    /// The adopted pivot-distance matrix (rows aligned with slot ids,
-    /// including tombstoned slots).
-    pub fn matrix(&self) -> &PivotMatrix {
-        &self.matrix
+    /// The adopted pivot-distance rows (aligned with slot ids, including
+    /// tombstoned slots).
+    pub fn rows(&self) -> &MatrixSlice {
+        &self.rows
     }
 }
 
@@ -112,7 +119,8 @@ where
 
     fn range_query_into(&self, q: &O, r: f64, scratch: &mut QueryScratch, out: &mut Vec<ObjId>) {
         self.query_dists_into(q, &mut scratch.qd);
-        for (id, o, row) in self.table.iter_live_rows(&self.matrix) {
+        let rows = self.rows.reader();
+        for (id, o, row) in self.table.iter_live_rows(&rows) {
             if lemmas::lemma1_prunable(&scratch.qd, row, r) {
                 continue;
             }
@@ -132,7 +140,8 @@ where
         // is suboptimal but is how LAESA works (§3.1 discussion).
         let heap = &mut scratch.heap;
         heap.clear();
-        for (id, o, row) in self.table.iter_live_rows(&self.matrix) {
+        let rows = self.rows.reader();
+        for (id, o, row) in self.table.iter_live_rows(&rows) {
             let radius = if heap.len() < k {
                 f64::INFINITY
             } else {
@@ -153,15 +162,29 @@ where
     }
 
     fn insert(&mut self, o: O) -> ObjId {
+        // |P| distance computations (Table 6), pushed as one shared row.
         let row: Vec<f64> = self
             .pivots
             .iter()
             .map(|p| self.metric.dist(&o, p))
             .collect();
+        let shared_row = self.rows.shared().push_row(&row);
+        let local = self.rows.adopt(shared_row);
         let id = self.table.push(o);
-        debug_assert_eq!(id as usize, self.matrix.rows());
-        self.matrix.push_row(&row);
+        debug_assert_eq!(id as usize, local);
         id
+    }
+
+    fn insert_adopted(&mut self, o: O, row: ObjId) -> Result<ObjId, O> {
+        // The engine already pushed the row into the shared matrix: adopt
+        // its id — zero distance computations, no remap.
+        if (row as usize) >= self.rows.shared().rows() {
+            return Err(o);
+        }
+        let local = self.rows.adopt(row as usize);
+        let id = self.table.push(o);
+        debug_assert_eq!(id as usize, local);
+        Ok(id)
     }
 
     fn remove(&mut self, id: ObjId) -> bool {
@@ -185,7 +208,7 @@ where
         // footprint counts slots, not live objects.
         let objs: u64 = self.table.iter().map(|(_, o)| o.encoded_len() as u64).sum();
         let pivots: u64 = self.pivots.iter().map(|p| p.encoded_len() as u64).sum();
-        StorageFootprint::mem(self.matrix.mem_bytes() + objs + pivots)
+        StorageFootprint::mem(self.rows.mem_bytes() + objs + pivots)
     }
 
     fn counters(&self) -> Counters {
@@ -226,7 +249,7 @@ mod tests {
     #[test]
     fn matrix_adoption_computes_zero_distances_and_matches() {
         let (pts, idx) = build(400, 4);
-        let matrix = idx.matrix().clone();
+        let matrix = idx.rows().shared().snapshot();
         let adopted = Laesa::build_with_matrix(pts.clone(), L2, idx.pivots.clone(), matrix);
         assert_eq!(adopted.counters().compdists, 0, "adoption is free");
         for qi in [0usize, 57, 399] {
@@ -236,6 +259,37 @@ mod tests {
             );
             assert_eq!(adopted.knn_query(&pts[qi], 7), idx.knn_query(&pts[qi], 7));
         }
+    }
+
+    #[test]
+    fn insert_adopted_is_free_and_byte_identical() {
+        let (pts, mut plain) = build(200, 3);
+        let matrix = plain.rows().shared().snapshot();
+        let mut adopted =
+            Laesa::build_with_matrix(pts.clone(), L2, plain.pivots.clone(), matrix.clone());
+        // Push the row the way the engine does, then adopt it by id; the
+        // plain index pays |P| distances to remap the same object.
+        let o = pts[17].clone();
+        let row: Vec<f64> = plain.pivots.iter().map(|p| L2.dist(&o, p)).collect();
+        let shared_row = adopted.rows().shared().push_row(&row);
+        adopted.reset_counters();
+        plain.reset_counters();
+        let a = adopted
+            .insert_adopted(o.clone(), shared_row as ObjId)
+            .expect("adopting index accepts the row");
+        let b = plain.insert(o.clone());
+        assert_eq!(a, b, "same slot id");
+        assert_eq!(adopted.counters().compdists, 0, "adoption computes nothing");
+        assert_eq!(plain.counters().compdists, 3, "remap pays |P|");
+        assert_eq!(
+            adopted.range_query(&o, 0.0),
+            plain.range_query(&o, 0.0),
+            "identical answers after the insert"
+        );
+        // A row id beyond the shared matrix is rejected, returning the
+        // object for the caller's fallback.
+        let missing = adopted.rows().shared().rows() as ObjId + 7;
+        assert!(adopted.insert_adopted(o, missing).is_err());
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! settings.
 
 use pmi_metric::{
-    Counters, CountingMetric, EncodeObject, Metric, MetricIndex, Neighbor, ObjId, ObjTable,
-    StorageFootprint,
+    Counters, CountingMetric, EncodeObject, MatrixSlice, Metric, MetricIndex, Neighbor, ObjId,
+    ObjTable, StorageFootprint,
 };
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -26,6 +26,22 @@ pub struct Fqa<O, M> {
     /// Lexicographically sorted `(signature, id)` pairs.
     rows: Vec<(Vec<u32>, ObjId)>,
     table: ObjTable<O>,
+    /// Slot-aligned adopted pivot-distance rows, when built with
+    /// [`build_with_matrix`](Self::build_with_matrix): signatures for
+    /// engine-pushed rows are bucketed from the shared matrix
+    /// ([`MetricIndex::insert_adopted`]) and removals re-derive the removed
+    /// object's signature from its row — neither computes any distance.
+    adopted: Option<MatrixSlice>,
+}
+
+/// The one bucketing rule of the FQA: distance `d` to a level pivot falls
+/// in bucket `min(⌊d / width⌋, buckets - 1)`. Every signature — built from
+/// the metric, from an adopted matrix row at build time, or from an
+/// engine-pushed row at insert time — goes through this function, so the
+/// sorted-row binary searches always agree.
+#[inline]
+fn bucket(d: f64, width: f64, buckets: u32) -> u32 {
+    ((d / width) as u32).min(buckets - 1)
 }
 
 impl<O, M> Fqa<O, M>
@@ -68,14 +84,86 @@ where
             buckets,
             rows,
             table,
+            adopted: None,
+        }
+    }
+
+    /// Builds an FQA by *adopting* pre-computed pivot-distance rows (local
+    /// row `i` = `objects[i]`'s distances to `pivots`, e.g. the shard's
+    /// [`MatrixSlice`] of an engine's shared matrix): signatures are
+    /// bucketed straight from the rows, so construction computes **zero**
+    /// distances beyond what the caller already paid for the matrix, and
+    /// later engine inserts push one shared row this FQA buckets by id
+    /// ([`MetricIndex::insert_adopted`]). Queries are byte-identical to
+    /// [`build`](Self::build)'s.
+    pub fn build_with_matrix(
+        objects: Vec<O>,
+        metric: M,
+        pivots: Vec<O>,
+        matrix_rows: impl Into<MatrixSlice>,
+        max_distance: f64,
+        buckets: u32,
+    ) -> Self {
+        assert!(
+            metric.is_discrete(),
+            "FQA requires a discrete distance function (paper §4.2)"
+        );
+        assert!(!pivots.is_empty() && buckets >= 2 && max_distance > 0.0);
+        let matrix_rows = matrix_rows.into();
+        assert_eq!(
+            matrix_rows.len(),
+            objects.len(),
+            "one matrix row per object"
+        );
+        assert_eq!(
+            matrix_rows.width(),
+            pivots.len(),
+            "one matrix column per pivot"
+        );
+        let width = (max_distance / buckets as f64).max(1.0);
+        let table = ObjTable::new(objects);
+        let mut rows: Vec<(Vec<u32>, ObjId)> = {
+            let r = matrix_rows.reader();
+            table
+                .iter()
+                .map(|(id, _)| {
+                    let sig = r
+                        .row(id as usize)
+                        .iter()
+                        .map(|&d| bucket(d, width, buckets))
+                        .collect();
+                    (sig, id)
+                })
+                .collect()
+        };
+        rows.sort();
+        Fqa {
+            metric: CountingMetric::new(metric),
+            pivots,
+            width,
+            buckets,
+            rows,
+            table,
+            adopted: Some(matrix_rows),
         }
     }
 
     fn signature(&self, o: &O) -> Vec<u32> {
         self.pivots
             .iter()
-            .map(|p| ((self.metric.dist(o, p) / self.width) as u32).min(self.buckets - 1))
+            .map(|p| bucket(self.metric.dist(o, p), self.width, self.buckets))
             .collect()
+    }
+
+    fn signature_of_row(&self, row: &[f64]) -> Vec<u32> {
+        row.iter()
+            .map(|&d| bucket(d, self.width, self.buckets))
+            .collect()
+    }
+
+    fn insert_sorted(&mut self, sig: Vec<u32>, id: ObjId) {
+        let pos = self.rows.partition_point(|(s, _)| (s, 0) < (&sig, 1));
+        self.rows.insert(pos, (sig, id));
     }
 
     /// Bucket value range compatible with `d(q,p) = dq` and radius `r` at
@@ -229,18 +317,66 @@ where
     }
 
     fn insert(&mut self, o: O) -> ObjId {
-        let sig = self.signature(&o);
+        // An adopted FQA keeps its slice slot-aligned even on the plain
+        // path: compute the raw row once, push it as one shared row, and
+        // bucket the signature from it.
+        let sig = if self.adopted.is_some() {
+            let row: Vec<f64> = self
+                .pivots
+                .iter()
+                .map(|p| self.metric.dist(&o, p))
+                .collect();
+            let sig = self.signature_of_row(&row);
+            if let Some(slice) = &mut self.adopted {
+                let shared_row = slice.shared().push_row(&row);
+                slice.adopt(shared_row);
+            }
+            sig
+        } else {
+            self.signature(&o)
+        };
         let id = self.table.push(o);
-        let pos = self.rows.partition_point(|(s, _)| (s, 0) < (&sig, 1));
-        self.rows.insert(pos, (sig, id));
+        self.insert_sorted(sig, id);
         id
     }
 
-    fn remove(&mut self, id: ObjId) -> bool {
-        let Some(o) = self.table.get(id).cloned() else {
-            return false;
+    fn insert_adopted(&mut self, o: O, row: ObjId) -> Result<ObjId, O> {
+        // Bucket the signature straight from the engine-pushed matrix row:
+        // zero distance computations.
+        let Some(slice) = &mut self.adopted else {
+            return Err(o);
         };
-        let sig = self.signature(&o);
+        if (row as usize) >= slice.shared().rows() {
+            return Err(o);
+        }
+        let (width, buckets) = (self.width, self.buckets);
+        let local = slice.adopt(row as usize);
+        let sig: Vec<u32> = {
+            let r = slice.reader();
+            r.row(local)
+                .iter()
+                .map(|&d| bucket(d, width, buckets))
+                .collect()
+        };
+        let id = self.table.push(o);
+        debug_assert_eq!(id as usize, local, "slice stays slot-aligned");
+        self.insert_sorted(sig, id);
+        Ok(id)
+    }
+
+    fn remove(&mut self, id: ObjId) -> bool {
+        if self.table.get(id).is_none() {
+            return false;
+        }
+        // Re-derive the signature from the adopted row when present (no
+        // distance computations); fall back to the metric otherwise.
+        let sig = match &self.adopted {
+            Some(slice) => self.signature_of_row(slice.reader().row(id as usize)),
+            None => {
+                let o = self.table.get(id).cloned().expect("checked live above");
+                self.signature(&o)
+            }
+        };
         // Locate the run of equal signatures, then the id within it.
         let start = self.rows.partition_point(|(s, _)| s < &sig);
         let mut pos = None;
@@ -375,6 +511,49 @@ mod tests {
             },
         );
         assert!(fqa.storage().mem_bytes < fqt.storage().mem_bytes);
+    }
+
+    #[test]
+    fn matrix_adoption_is_free_and_byte_identical() {
+        use pmi_metric::{MetricIndex as _, PivotMatrix};
+        let (ws, plain) = build_words(300);
+        let matrix = PivotMatrix::compute(&ws, &EditDistance, &plain.pivots, 2);
+        let mut adopted = Fqa::build_with_matrix(
+            ws.clone(),
+            EditDistance,
+            plain.pivots.clone(),
+            matrix,
+            34.0,
+            16,
+        );
+        assert_eq!(
+            adopted.counters().compdists,
+            0,
+            "signatures bucket matrix rows"
+        );
+        assert_eq!(adopted.rows, plain.rows, "identical signature array");
+        for r in [1.0, 4.0] {
+            assert_eq!(adopted.range_query(&ws[9], r), plain.range_query(&ws[9], r));
+        }
+        assert_eq!(adopted.knn_query(&ws[55], 7), plain.knn_query(&ws[55], 7));
+        // Engine-style insert: push the row into the shared matrix, adopt
+        // by id — still zero distance computations.
+        let o = ws[11].clone();
+        let row: Vec<f64> = plain
+            .pivots
+            .iter()
+            .map(|p| EditDistance.dist(&o, p))
+            .collect();
+        let shared_row = adopted.adopted.as_ref().unwrap().shared().push_row(&row);
+        adopted.reset_counters();
+        let id = adopted
+            .insert_adopted(o.clone(), shared_row as ObjId)
+            .expect("adopting FQA accepts the row");
+        assert_eq!(adopted.counters().compdists, 0, "adoption computes nothing");
+        assert!(adopted.range_query(&o, 0.0).contains(&id));
+        // A plain-built FQA has no adopted matrix and hands the object back.
+        let (_, mut bare) = build_words(50);
+        assert!(bare.insert_adopted(o, 0).is_err());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use pivot_metric_repro as pmr;
 use pmr::builder::{BuildOptions, IndexKind};
 use pmr::engine::{EngineConfig, Query};
-use pmr::{build_sharded_vector_engine, datasets, PartitionPolicy, L2};
+use pmr::{build_sharded_vector_engine, datasets, PartitionPolicy, UpdateBatch, L2};
 
 fn main() {
     let n = 20_000;
@@ -51,7 +51,11 @@ fn main() {
                 pts.clone(),
                 L2,
                 &opts,
-                &EngineConfig { shards, threads: 0 },
+                &EngineConfig {
+                    shards,
+                    threads: 0,
+                    ..EngineConfig::default()
+                },
                 policy,
             )
             .expect("buildable");
@@ -78,6 +82,7 @@ fn main() {
         &EngineConfig {
             shards: 8,
             threads: 0,
+            ..EngineConfig::default()
         },
         PartitionPolicy::PivotSpace,
     )
@@ -90,5 +95,32 @@ fn main() {
         opts.num_pivots,
         b.build_wall_secs,
         engine.counters().compdists,
+    );
+
+    // The unified mutation path: one apply() batch routes inserts through
+    // the routing table (each pushes ONE row into the shared matrix — the
+    // shard adopts it by id, no remap), shrinks the boxes of shards that
+    // lost members, and re-clusters the worst pair if live counts drift.
+    let mut engine = engine;
+    let mut churn = UpdateBatch::new();
+    for i in 0..1_000u32 {
+        churn.remove(i * 7 % n as u32);
+    }
+    for i in 0..1_000usize {
+        let mut o = pts[(i * 53) % n].clone();
+        o[0] += (i % 97) as f32;
+        churn.insert(o);
+    }
+    let report = engine.apply(&churn);
+    println!("\nchurn batch through engine.apply (LAESA, P=8, pivot-space):");
+    println!("{report}");
+    engine.reset_counters();
+    let out = engine.serve(&batch);
+    println!(
+        "  post-churn serving: {:.0} q/s, prune rate {:.1}%, updates so far: {} in / {} out",
+        out.report.qps,
+        out.report.prune_rate() * 100.0,
+        out.report.updates.inserts,
+        out.report.updates.removes,
     );
 }

@@ -52,7 +52,11 @@ fn sharded_equals_unsharded_across_kinds_and_shard_counts() {
                     pts.clone(),
                     L2,
                     &opts(64),
-                    &EngineConfig { shards, threads: 2 },
+                    &EngineConfig {
+                        shards,
+                        threads: 2,
+                        ..EngineConfig::default()
+                    },
                     policy,
                 )
                 .unwrap();
@@ -93,6 +97,7 @@ fn aggregate_counters_equal_shard_sum_exactly() {
         &EngineConfig {
             shards: 4,
             threads: 3,
+            ..EngineConfig::default()
         },
         PartitionPolicy::RoundRobin,
     )
@@ -138,6 +143,7 @@ fn thousand_query_mixed_batch_matches_unsharded_baseline() {
         &EngineConfig {
             shards: 5,
             threads: 0,
+            ..EngineConfig::default()
         },
         PartitionPolicy::RoundRobin,
     )
@@ -221,7 +227,7 @@ proptest! {
             v.clone(),
             L2,
             &opts,
-            &EngineConfig { shards, threads: 2 },
+            &EngineConfig { shards, threads: 2, ..EngineConfig::default() },
             PartitionPolicy::RoundRobin,
         )
         .unwrap();

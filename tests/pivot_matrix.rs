@@ -84,6 +84,7 @@ fn pivot_space_build_saves_n_times_l_distance_computations() {
     let cfg = EngineConfig {
         shards: 6,
         threads: 2,
+        ..EngineConfig::default()
     };
 
     let shared = build_sharded_vector_engine(
@@ -174,6 +175,7 @@ fn matrix_and_recompute_engines_scan_identically() {
     let cfg = EngineConfig {
         shards: 5,
         threads: 2,
+        ..EngineConfig::default()
     };
     for kind in [IndexKind::Laesa, IndexKind::Cpt] {
         for policy in [PartitionPolicy::RoundRobin, PartitionPolicy::PivotSpace] {
@@ -237,7 +239,7 @@ proptest! {
             num_pivots: 3,
             ..BuildOptions::default()
         };
-        let cfg = EngineConfig { shards, threads: 2 };
+        let cfg = EngineConfig { shards, threads: 2, ..EngineConfig::default() };
         let single = build_vector_index(kind, v.clone(), L2, &opts).unwrap();
         let shared =
             build_sharded_vector_engine(kind, v.clone(), L2, &opts, &cfg, policy).unwrap();

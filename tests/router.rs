@@ -70,6 +70,7 @@ fn blobs_prune_shards_and_match_baseline_exactly() {
     let cfg = EngineConfig {
         shards: 8,
         threads: 2,
+        ..EngineConfig::default()
     };
     let build = |policy| {
         build_sharded_vector_engine(IndexKind::Mvpt, pts.clone(), L2, &opts(), &cfg, policy)
@@ -152,6 +153,7 @@ fn routed_mixed_batch_matches_unsharded_baseline() {
         &EngineConfig {
             shards: 6,
             threads: 3,
+            ..EngineConfig::default()
         },
         PartitionPolicy::PivotSpace,
     )
@@ -220,7 +222,7 @@ proptest! {
             v.clone(),
             L2,
             &opts,
-            &EngineConfig { shards, threads: 2 },
+            &EngineConfig { shards, threads: 2, ..EngineConfig::default() },
             PartitionPolicy::PivotSpace,
         )
         .unwrap();

@@ -1,10 +1,20 @@
-//! Update consistency across all indexes: delete + reinsert batches must
-//! leave query answers identical to a rebuilt brute-force oracle, and the
-//! paper's Table 6 cost relations must hold.
+//! Update consistency across all indexes and through the sharded engine's
+//! unified mutation path: delete + reinsert batches must leave query
+//! answers identical to a rebuilt brute-force oracle, the paper's Table 6
+//! cost relations must hold, and — the engine-level contract — after any
+//! sequence of `apply` batches, routed serving must return byte-identical
+//! results (and exact compdist/probe parity) to an engine rebuilt from
+//! scratch over the surviving objects.
 
 use pivot_metric_repro as pmr;
-use pmr::builder::{build_index, BuildOptions, IndexKind};
-use pmr::{datasets, BruteForce, MetricIndex, L2};
+use pmr::builder::{build_index, build_index_with_matrix, BuildOptions, IndexKind};
+use pmr::engine::{EngineConfig, Query, QueryResult, ShardedEngine};
+use pmr::{
+    build_sharded_engine, datasets, BruteForce, Metric, MetricIndex, Neighbor, ObjId,
+    PartitionPolicy, PivotMatrix, RefreshPolicy, RoutingTable, SharedPivotMatrix, UpdateBatch, L2,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 fn build(kind: IndexKind, pts: &[Vec<f32>]) -> Box<dyn MetricIndex<Vec<f32>>> {
     let opts = BuildOptions {
@@ -85,6 +95,601 @@ fn removing_everything_then_refilling_works() {
         }
         assert_eq!(idx.len(), 150);
         assert_eq!(idx.range_query(&pts[0], 1e9).len(), 150);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level: the unified mutation path (ISSUE 4).
+// ---------------------------------------------------------------------------
+
+/// The four shardable kinds the engine-level update tests sweep: the two
+/// matrix-adopting tables plus two tree/disk kinds on the fallback path.
+const ENGINE_KINDS: [IndexKind; 4] = [
+    IndexKind::Laesa,
+    IndexKind::Cpt,
+    IndexKind::Mvpt,
+    IndexKind::OmniR,
+];
+
+fn engine_opts(num_pivots: usize) -> BuildOptions {
+    BuildOptions {
+        num_pivots,
+        d_plus: 14143.0,
+        maxnum: 48,
+        ..BuildOptions::default()
+    }
+}
+
+fn hfi_pivots(pts: &[Vec<f32>], l: usize) -> Vec<Vec<f32>> {
+    pmr::pivots::select_hfi(pts, &L2, l, 21)
+        .into_iter()
+        .map(|i| pts[i].clone())
+        .collect()
+}
+
+fn build_engine(
+    kind: IndexKind,
+    pts: &[Vec<f32>],
+    pivots: &[Vec<f32>],
+    opts: &BuildOptions,
+    shards: usize,
+    policy: PartitionPolicy,
+) -> ShardedEngine<Vec<f32>> {
+    build_sharded_engine(
+        kind,
+        pts.to_vec(),
+        L2,
+        pivots.to_vec(),
+        opts,
+        &EngineConfig {
+            shards,
+            threads: 1,
+            refresh: RefreshPolicy::disabled(),
+        },
+        policy,
+    )
+    .unwrap()
+}
+
+/// The live objects of an engine in ascending global-id order, given an
+/// upper bound on assigned ids.
+fn live_objects(e: &ShardedEngine<Vec<f32>>, id_bound: u32) -> Vec<(ObjId, Vec<f32>)> {
+    (0..id_bound)
+        .filter_map(|g| e.get(g).map(|o| (g, o)))
+        .collect()
+}
+
+/// Maps an updated engine's global ids onto the compact 0..m ids of an
+/// engine rebuilt over the survivors in ascending-gid order. The bijection
+/// is monotone, so it preserves `(distance, id)` orderings — byte-identical
+/// answers stay byte-identical after mapping.
+fn gid_map(live: &[(ObjId, Vec<f32>)]) -> BTreeMap<ObjId, ObjId> {
+    live.iter()
+        .enumerate()
+        .map(|(rank, &(gid, _))| (gid, rank as ObjId))
+        .collect()
+}
+
+fn map_result(r: &QueryResult, map: &BTreeMap<ObjId, ObjId>) -> QueryResult {
+    match r {
+        QueryResult::Range(ids) => QueryResult::Range(ids.iter().map(|i| map[i]).collect()),
+        QueryResult::Knn(ns) => QueryResult::Knn(
+            ns.iter()
+                .map(|n| Neighbor::new(map[&n.id], n.dist))
+                .collect(),
+        ),
+    }
+}
+
+fn mixed_batch(pts: &[Vec<f32>], n: usize, r: f64, k: usize) -> Vec<Query<Vec<f32>>> {
+    (0..n)
+        .map(|i| {
+            let q = pts[(i * 131) % pts.len()].clone();
+            if i % 2 == 0 {
+                Query::range(q, r)
+            } else {
+                Query::knn(q, k)
+            }
+        })
+        .collect()
+}
+
+/// The acceptance criterion of ISSUE 4, strict form: after a sequence of
+/// `apply` batches (interleaved inserts and removes), serving through the
+/// updated engine is **byte-identical** — results, compdists, probe/prune
+/// counts — to an engine rebuilt from scratch over the surviving objects
+/// with the same shard membership and pivots. Boxes shrunk by the apply
+/// path must equal the tight boxes a fresh build computes.
+#[test]
+fn apply_batches_equal_rebuild_exactly() {
+    let pts = datasets::la(400, 21);
+    let extra = datasets::la(80, 77);
+    let opts = engine_opts(5);
+    let pivots = hfi_pivots(&pts, 5);
+    let shards = 4usize;
+
+    for kind in [IndexKind::Laesa, IndexKind::Cpt] {
+        for policy in [PartitionPolicy::PivotSpace, PartitionPolicy::RoundRobin] {
+            let mut e = build_engine(kind, &pts, &pivots, &opts, shards, policy);
+
+            // Two apply batches: removes across the id range interleaved
+            // with inserts, then removes that also hit batch-1 inserts.
+            let mut b1 = UpdateBatch::new();
+            for step in 0..60u32 {
+                b1.remove((step * 13) % 400);
+            }
+            for o in &extra[..40] {
+                b1.insert(o.clone());
+            }
+            let r1 = e.apply(&b1);
+            assert_eq!(r1.inserts, 40);
+            assert!(r1.removes > 0);
+            let mut b2 = UpdateBatch::new();
+            for o in &extra[40..] {
+                b2.insert(o.clone());
+            }
+            b2.remove(r1.inserted_ids[3]).remove(5).remove(5);
+            let r2 = e.apply(&b2);
+            assert_eq!(r2.inserts, 40);
+            let id_bound = 400 + 80;
+
+            // Rebuild from scratch over the survivors, reproducing the
+            // updated engine's final shard membership (answers never depend
+            // on membership; compdists and probe counts do).
+            let live = live_objects(&e, id_bound);
+            assert_eq!(live.len(), e.len());
+            let map = gid_map(&live);
+            let objs: Vec<Vec<f32>> = live.iter().map(|(_, o)| o.clone()).collect();
+            let assignment: Vec<usize> = live
+                .iter()
+                .map(|&(g, _)| e.locate(g).expect("live object located").0)
+                .collect();
+            let cfg = EngineConfig {
+                shards,
+                threads: 1,
+                refresh: RefreshPolicy::disabled(),
+            };
+            let rebuilt = match policy {
+                PartitionPolicy::PivotSpace => {
+                    let matrix = PivotMatrix::compute(&objs, &L2, &pivots, 1);
+                    let mapper_pivots = pivots.clone();
+                    let router = RoutingTable::from_assignment(
+                        move |o: &Vec<f32>, out: &mut Vec<f64>| {
+                            out.extend(mapper_pivots.iter().map(|p| L2.dist(o, p)))
+                        },
+                        pivots.len(),
+                        &matrix,
+                        &assignment,
+                        shards,
+                    );
+                    ShardedEngine::build_partitioned_with_matrix(
+                        objs.clone(),
+                        &assignment,
+                        router,
+                        SharedPivotMatrix::new(matrix),
+                        &cfg,
+                        |_, part, m| {
+                            build_index_with_matrix(kind, part, L2, pivots.clone(), &opts, m)
+                        },
+                    )
+                    .unwrap()
+                }
+                PartitionPolicy::RoundRobin => ShardedEngine::build_assigned_with(
+                    objs.clone(),
+                    &assignment,
+                    shards,
+                    &cfg,
+                    |_, part| build_index(kind, part, L2, pivots.clone(), &opts),
+                )
+                .unwrap(),
+            };
+
+            // Boxes shrunk/extended by apply equal the fresh tight boxes.
+            if policy == PartitionPolicy::PivotSpace {
+                assert_eq!(
+                    e.routing().unwrap().boxes(),
+                    rebuilt.routing().unwrap().boxes(),
+                    "{kind:?}: maintained boxes are the tight boxes"
+                );
+            }
+
+            let radius = datasets::calibrate_radius(&pts, &L2, 0.02, 21);
+            let batch = mixed_batch(&pts, 80, radius, 9);
+            e.reset_counters();
+            rebuilt.reset_counters();
+            let out_updated = e.serve(&batch);
+            let out_rebuilt = rebuilt.serve(&batch);
+            for (i, (a, b)) in out_updated
+                .results
+                .iter()
+                .zip(&out_rebuilt.results)
+                .enumerate()
+            {
+                assert_eq!(
+                    map_result(a, &map),
+                    *b,
+                    "{kind:?} {policy:?} query {i}: updated vs rebuilt"
+                );
+            }
+            assert_eq!(
+                out_updated.report.cost.compdists, out_rebuilt.report.cost.compdists,
+                "{kind:?} {policy:?}: exact serve compdist parity"
+            );
+            assert_eq!(
+                (
+                    out_updated.report.shards_probed,
+                    out_updated.report.shards_pruned
+                ),
+                (
+                    out_rebuilt.report.shards_probed,
+                    out_rebuilt.report.shards_pruned
+                ),
+                "{kind:?} {policy:?}: exact probe/prune parity"
+            );
+            if kind == IndexKind::Laesa {
+                assert_eq!(
+                    e.shard_counters(),
+                    rebuilt.shard_counters(),
+                    "{kind:?} {policy:?}: per-shard counter parity"
+                );
+            }
+        }
+    }
+}
+
+/// Table 6 through the engine: a routed insert into a matrix-adopting kind
+/// costs exactly `l` distance computations — one shared matrix row, pushed
+/// once, adopted by id; the shard performs **zero** remap work.
+#[test]
+fn routed_insert_costs_exactly_l() {
+    let pts = datasets::la(500, 21);
+    let extra = datasets::la(25, 99);
+    let l = 5usize;
+    let opts = engine_opts(l);
+    let pivots = hfi_pivots(&pts, l);
+    for policy in [PartitionPolicy::PivotSpace, PartitionPolicy::RoundRobin] {
+        let mut e = build_engine(IndexKind::Laesa, &pts, &pivots, &opts, 4, policy);
+        e.reset_counters();
+        let mut batch = UpdateBatch::new();
+        for o in &extra {
+            batch.insert(o.clone());
+        }
+        let report = e.apply(&batch);
+        assert_eq!(
+            report.map_compdists,
+            (extra.len() * l) as u64,
+            "{policy:?}: exactly one l-wide row per insert"
+        );
+        assert_eq!(
+            report.shard_compdists, 0,
+            "{policy:?}: LAESA shards adopt the row — no remap"
+        );
+        assert_eq!(
+            e.counters().compdists,
+            0,
+            "{policy:?}: shard counters agree"
+        );
+        // The inserted objects are served exactly.
+        for (i, o) in extra.iter().enumerate() {
+            let hits = e.range_query(o, 0.0);
+            assert!(
+                hits.contains(&report.inserted_ids[i]),
+                "{policy:?}: insert {i} is queryable"
+            );
+        }
+    }
+}
+
+/// FQA rides the same adopted path (the satellite: `build_with_matrix` for
+/// the in-memory discrete side): engine inserts push one row and the FQA
+/// buckets it by id, with zero shard-side distance computations.
+#[test]
+fn fqa_adopts_engine_inserts() {
+    let pts = datasets::synthetic(300, 17);
+    let extra = datasets::synthetic(20, 18);
+    let metric = pmr::LInf::discrete();
+    let opts = BuildOptions {
+        d_plus: 10000.0,
+        ..BuildOptions::default()
+    };
+    let pivots: Vec<Vec<f32>> = pmr::pivots::select_hfi(&pts, &metric, 5, 17)
+        .into_iter()
+        .map(|i| pts[i].clone())
+        .collect();
+    assert!(IndexKind::Fqa.adopts_pivot_matrix());
+    for policy in [PartitionPolicy::PivotSpace, PartitionPolicy::RoundRobin] {
+        let mut e = build_sharded_engine(
+            IndexKind::Fqa,
+            pts.clone(),
+            metric,
+            pivots.clone(),
+            &opts,
+            &EngineConfig {
+                shards: 3,
+                threads: 1,
+                refresh: RefreshPolicy::disabled(),
+            },
+            policy,
+        )
+        .unwrap();
+        // Build-side: every shard bucketed matrix rows, no recomputation.
+        assert_eq!(e.counters().compdists, 0, "{policy:?}: adopted build");
+        let mut batch = UpdateBatch::new();
+        for o in &extra {
+            batch.insert(o.clone());
+        }
+        for id in [3u32, 33, 111] {
+            batch.remove(id);
+        }
+        let report = e.apply(&batch);
+        assert_eq!(report.shard_compdists, 0, "{policy:?}: adopted inserts");
+        assert_eq!(report.map_compdists, (extra.len() * 5) as u64);
+        assert_eq!(report.removes, 3);
+        // Exactness against a brute-force oracle over the survivors.
+        let live = live_objects(&e, 320);
+        let oracle = BruteForce::new(
+            live.iter().map(|(_, o)| o.clone()).collect::<Vec<_>>(),
+            metric,
+        );
+        let map = gid_map(&live);
+        for q in extra.iter().take(4).chain(pts.iter().take(4)) {
+            let got: Vec<ObjId> = e.range_query(q, 1500.0).iter().map(|i| map[i]).collect();
+            let mut want = oracle.range_query(q, 1500.0);
+            want.sort_unstable();
+            assert_eq!(got, want, "{policy:?}: FQA post-apply MRQ");
+        }
+    }
+}
+
+/// The shrink regression test of the acceptance criteria: after removes,
+/// the apply path's recomputed boxes must prune at least as well as — and
+/// on emptied regions strictly better than — the stale-box single-op path,
+/// with byte-identical answers.
+#[test]
+fn box_shrinking_beats_stale_boxes() {
+    let pts = datasets::la(600, 21);
+    let opts = engine_opts(5);
+    let pivots = hfi_pivots(&pts, 5);
+    let mut shrunk = build_engine(
+        IndexKind::Laesa,
+        &pts,
+        &pivots,
+        &opts,
+        8,
+        PartitionPolicy::PivotSpace,
+    );
+    let mut stale = build_engine(
+        IndexKind::Laesa,
+        &pts,
+        &pivots,
+        &opts,
+        8,
+        PartitionPolicy::PivotSpace,
+    );
+
+    // Empty out two whole shards (a hot region being migrated away).
+    let victims: Vec<usize> = vec![0, 5];
+    let doomed: Vec<ObjId> = (0..600u32)
+        .filter(|&g| victims.contains(&shrunk.locate(g).unwrap().0))
+        .collect();
+    assert!(!doomed.is_empty());
+    let mut batch = UpdateBatch::new();
+    for &g in &doomed {
+        batch.remove(g);
+    }
+    let report = shrunk.apply(&batch); // maintained path: shrinks boxes
+    assert_eq!(report.removes, doomed.len());
+    assert_eq!(report.reboxed_shards, victims.len());
+    for &g in &doomed {
+        assert!(stale.remove(g)); // legacy path: boxes left stale
+    }
+    assert_eq!(shrunk.len(), stale.len());
+
+    // Serve the same batch, query points drawn from the removed region
+    // (small radii — the case stale boxes hurt most).
+    let batch: Vec<Query<Vec<f32>>> = doomed
+        .iter()
+        .take(60)
+        .enumerate()
+        .map(|(i, &g)| {
+            let q = pts[g as usize].clone();
+            if i % 2 == 0 {
+                Query::range(q, 30.0)
+            } else {
+                Query::knn(q, 3)
+            }
+        })
+        .collect();
+    shrunk.reset_counters();
+    stale.reset_counters();
+    let out_shrunk = shrunk.serve(&batch);
+    let out_stale = stale.serve(&batch);
+    assert_eq!(
+        out_shrunk.results, out_stale.results,
+        "shrinking never changes answers"
+    );
+    assert!(
+        out_shrunk.report.prune_rate() >= out_stale.report.prune_rate(),
+        "shrunk boxes prune at least as well: {:.3} vs {:.3}",
+        out_shrunk.report.prune_rate(),
+        out_stale.report.prune_rate()
+    );
+    assert!(
+        out_shrunk.report.shards_pruned > out_stale.report.shards_pruned,
+        "emptied shards must be pruned strictly more often: {} vs {}",
+        out_shrunk.report.shards_pruned,
+        out_stale.report.shards_pruned
+    );
+}
+
+/// Skewed growth trips the `RefreshPolicy`: the worst shard pair is
+/// re-clustered incrementally (locator + adopted-row fixup, no distance
+/// recomputation for LAESA), live counts rebalance, and answers stay exact.
+#[test]
+fn recluster_trigger_rebalances_under_skewed_growth() {
+    let pts = datasets::la(400, 21);
+    let opts = engine_opts(5);
+    let pivots = hfi_pivots(&pts, 5);
+    let mut e = build_sharded_engine(
+        IndexKind::Laesa,
+        pts.clone(),
+        L2,
+        pivots.clone(),
+        &opts,
+        &EngineConfig {
+            shards: 4,
+            threads: 1,
+            refresh: RefreshPolicy {
+                max_imbalance: 2.0,
+                min_objects: 50,
+            },
+        },
+        PartitionPolicy::PivotSpace,
+    )
+    .unwrap();
+
+    // Feed 300 near-duplicates of one region: they all route to one shard.
+    let hot = pts[7].clone();
+    let mut batch = UpdateBatch::new();
+    for i in 0..300 {
+        let mut o = hot.clone();
+        o[0] += (i % 17) as f32;
+        o[1] += (i % 13) as f32;
+        batch.insert(o);
+    }
+    let report = e.apply(&batch);
+    assert_eq!(report.inserts, 300);
+    assert_eq!(report.reclusters, 1, "skew trips the refresh policy");
+    assert!(report.moved_objects > 0);
+    assert_eq!(
+        report.shard_compdists, 0,
+        "LAESA moves adopt existing rows — no recomputation"
+    );
+    let stats = e.update_stats();
+    assert_eq!(stats.reclusters, 1);
+    assert_eq!(stats.inserts, 300);
+
+    // Still exactly correct against the oracle over the union.
+    let live = live_objects(&e, 700);
+    assert_eq!(live.len(), 700);
+    let oracle = BruteForce::new(live.iter().map(|(_, o)| o.clone()).collect::<Vec<_>>(), L2);
+    let map = gid_map(&live);
+    for q in [&pts[7], &pts[100], &hot] {
+        let got: Vec<ObjId> = e.range_query(q, 300.0).iter().map(|i| map[i]).collect();
+        let mut want = oracle.range_query(q, 300.0);
+        want.sort_unstable();
+        assert_eq!(got, want, "post-recluster MRQ");
+        let got_k = e.knn_query(q, 10);
+        let want_k = oracle.knn_query(q, 10);
+        for (g, w) in got_k.iter().zip(&want_k) {
+            assert!((g.dist - w.dist).abs() < 1e-9, "post-recluster kNN");
+        }
+    }
+}
+
+fn vecs(dim: usize, n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(prop::collection::vec(-1000.0f32..1000.0, dim..=dim), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Interleaves `apply` batches (inserts + removes) with mixed
+    /// range/kNN serving across kinds × policies × shard counts: after
+    /// every batch, answers must equal both a brute-force oracle over the
+    /// survivors and a freshly rebuilt engine of the same kind/policy
+    /// (identical pivots), under the monotone gid bijection.
+    #[test]
+    fn apply_interleaved_with_serving_matches_rebuild(
+        v in vecs(3, 70..120),
+        extra in vecs(3, 24..40),
+        k in 1usize..8,
+        r in 100.0f64..2500.0,
+        shards_pick in 0usize..3,
+        kind_pick in 0usize..4,
+        policy_pick in 0usize..2,
+        churn_seed in 0u32..1000,
+    ) {
+        let shards = [1usize, 2, 5][shards_pick];
+        let kind = ENGINE_KINDS[kind_pick];
+        let policy = [PartitionPolicy::RoundRobin, PartitionPolicy::PivotSpace][policy_pick];
+        let opts = BuildOptions {
+            num_pivots: 3,
+            d_plus: 8000.0,
+            maxnum: 48,
+            ..BuildOptions::default()
+        };
+        let pivots = hfi_pivots(&v, 3);
+        let mut e = build_engine(kind, &v, &pivots, &opts, shards, policy);
+        let id_bound = (v.len() + extra.len()) as u32;
+
+        let half = extra.len() / 2;
+        for (round, chunk) in [&extra[..half], &extra[half..]].iter().enumerate() {
+            // One apply batch: a few removes spread over live ids, then
+            // this round's inserts.
+            let live_before = live_objects(&e, id_bound);
+            let picks: std::collections::BTreeSet<usize> = (0..(live_before.len() / 6).max(1))
+                .map(|j| (churn_seed as usize + round * 31 + j * 13) % live_before.len())
+                .collect();
+            let mut batch = UpdateBatch::new();
+            for &pick in &picks {
+                batch.remove(live_before[pick].0);
+            }
+            for o in chunk.iter() {
+                batch.insert(o.clone());
+            }
+            let report = e.apply(&batch);
+            prop_assert_eq!(report.inserts, chunk.len());
+            prop_assert!(report.removes >= 1);
+            prop_assert_eq!(report.missing_removes, 0);
+            prop_assert_eq!(
+                report.map_compdists,
+                if policy == PartitionPolicy::PivotSpace || kind.adopts_pivot_matrix() {
+                    (chunk.len() * 3) as u64
+                } else {
+                    0
+                }
+            );
+
+            // Serve a mixed batch and check against oracle + fresh rebuild.
+            let live = live_objects(&e, id_bound);
+            prop_assert_eq!(live.len(), e.len());
+            let map = gid_map(&live);
+            let objs: Vec<Vec<f32>> = live.iter().map(|(_, o)| o.clone()).collect();
+            let oracle = BruteForce::new(objs.clone(), L2);
+            let rebuilt = build_engine(kind, &objs, &pivots, &opts, shards, policy);
+            let queries = mixed_batch(&v, 10, r, k);
+            let out = e.serve(&queries);
+            let out_rebuilt = rebuilt.serve(&queries);
+            // Probe accounting stays exact under churn.
+            prop_assert_eq!(
+                out.report.shards_probed + out.report.shards_pruned,
+                (queries.len() * e.num_shards()) as u64
+            );
+            for (i, q) in queries.iter().enumerate() {
+                let mapped = map_result(&out.results[i], &map);
+                prop_assert_eq!(
+                    &mapped, &out_rebuilt.results[i],
+                    "{} {:?} P={} round {} query {}: updated vs rebuilt",
+                    kind.label(), policy, shards, round, i
+                );
+                match (q, &mapped) {
+                    (Query::Range { q, radius }, QueryResult::Range(ids)) => {
+                        let mut want = oracle.range_query(q, *radius);
+                        want.sort_unstable();
+                        prop_assert_eq!(ids, &want, "round {} query {} vs oracle", round, i);
+                    }
+                    (Query::Knn { q, k }, QueryResult::Knn(ns)) => {
+                        let want = oracle.knn_query(q, *k);
+                        prop_assert_eq!(ns.len(), want.len());
+                        for (g, w) in ns.iter().zip(&want) {
+                            prop_assert!((g.dist - w.dist).abs() < 1e-9);
+                        }
+                    }
+                    _ => prop_assert!(false, "result variant mismatch"),
+                }
+            }
+        }
     }
 }
 

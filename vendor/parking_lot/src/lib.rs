@@ -6,9 +6,11 @@
 //! inner guard, matching parking_lot's behavior of simply not tracking
 //! poisoning.
 
-use std::sync::{
-    Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
-};
+use std::sync::{Mutex as StdMutex, RwLock as StdRwLock};
+
+// Guard types are std's (parking_lot exposes its own equivalents; callers
+// only name them in signatures, where the std API surface matches).
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock with parking_lot's panic-free `lock`.
 #[derive(Debug, Default)]
