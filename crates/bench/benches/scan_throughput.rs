@@ -1,0 +1,407 @@
+//! Scan-kernel and serve-path throughput bench for the vectorized
+//! pivot-filter work (ISSUE 5): blocked vs scalar lower-bound kernel,
+//! locked vs snapshot matrix reads in the serve loop, and post-churn QPS
+//! recovery through matrix compaction.
+//!
+//! Emitted as a machine-readable trajectory point at the workspace root
+//! when run as a real bench (`cargo bench -p pmi-bench --bench
+//! scan_throughput`):
+//!
+//! * **`BENCH_scan.json`** — three measurement groups:
+//!   1. `kernel`: lower-bound throughput (rows/s) of the blocked
+//!      [`ScanKernel`] against the scalar per-row `pivot_lower_bound`
+//!      reference over the same LAESA-shaped `8k × 5` flat matrix,
+//!      interleaved in-process so machine drift cancels.
+//!   2. `serve`: batch-serving QPS at `P = 8` of two engines over
+//!      identical shards and queries — one whose shards are the *old*
+//!      scan shape (`RwLock::read` per scan + per-row scalar lower
+//!      bounds), one with the real snapshot + blocked-kernel LAESA — the
+//!      locked-vs-lock-free A/B of the serve hot loop.
+//!   3. `compaction`: serve QPS after the PR-4 churn workload (2k routed
+//!      inserts + 2k removes on LA `n = 8k`) with tombstoned matrix rows
+//!      still in place, after `engine.compact()`, and on a no-churn
+//!      baseline engine built fresh over the same surviving objects.
+//!
+//! Real measurement mode requires `cargo bench` (cargo passes `--bench`);
+//! any other invocation (e.g. `cargo test --bench scan_throughput`) runs
+//! everything once at a reduced scale as a smoke test and writes no files.
+
+use pmi::builder::{BuildOptions, IndexKind};
+use pmi::engine::{EngineConfig, Query, ShardedEngine};
+use pmi::lemmas::{self, pivot_lower_bound};
+use pmi::{
+    build_sharded_vector_engine, datasets, Counters, CountingMetric, Metric, MetricIndex, Neighbor,
+    ObjId, PartitionPolicy, PivotMatrix, QueryScratch, RefreshPolicy, ScanKernel, StorageFootprint,
+    UpdateBatch, L2,
+};
+use std::fmt::Write as _;
+use std::sync::RwLock;
+use std::time::Instant;
+
+const SHARDS: usize = 8;
+const BATCH: usize = 256;
+
+/// The pre-ISSUE-5 scan shape, kept here as the measurement counterpart:
+/// the pivot matrix behind a reader-writer lock, one `read()` guard
+/// acquired per query scan, and one scalar `pivot_lower_bound` call per
+/// row. Queries are byte-identical to the real LAESA's; only the
+/// synchronization discipline and the filter loop differ.
+struct LockedLaesa {
+    metric: CountingMetric<L2>,
+    pivots: Vec<Vec<f32>>,
+    matrix: RwLock<PivotMatrix>,
+    objects: Vec<Vec<f32>>,
+}
+
+impl LockedLaesa {
+    fn build(objects: Vec<Vec<f32>>, pivots: Vec<Vec<f32>>) -> Self {
+        let metric = CountingMetric::new(L2);
+        let matrix = PivotMatrix::compute(&objects, &metric, &pivots, 1);
+        metric.reset();
+        LockedLaesa {
+            metric,
+            pivots,
+            matrix: RwLock::new(matrix),
+            objects,
+        }
+    }
+}
+
+impl MetricIndex<Vec<f32>> for LockedLaesa {
+    fn name(&self) -> &str {
+        "LockedLAESA"
+    }
+
+    fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    fn range_query(&self, q: &Vec<f32>, r: f64) -> Vec<ObjId> {
+        let mut out = Vec::new();
+        self.range_query_into(q, r, &mut QueryScratch::new(), &mut out);
+        out
+    }
+
+    fn knn_query(&self, q: &Vec<f32>, k: usize) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        self.knn_query_into(q, k, &mut QueryScratch::new(), &mut out);
+        out
+    }
+
+    fn range_query_into(
+        &self,
+        q: &Vec<f32>,
+        r: f64,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<ObjId>,
+    ) {
+        scratch.qd.clear();
+        scratch
+            .qd
+            .extend(self.pivots.iter().map(|p| self.metric.dist(q, p)));
+        // One lock acquire per scan, one scalar lower bound per row.
+        let rows = self.matrix.read().expect("matrix lock");
+        for (i, o) in self.objects.iter().enumerate() {
+            if lemmas::lemma1_prunable(&scratch.qd, rows.row(i), r) {
+                continue;
+            }
+            if self.metric.dist(q, o) <= r {
+                out.push(i as ObjId);
+            }
+        }
+    }
+
+    fn knn_query_into(
+        &self,
+        q: &Vec<f32>,
+        k: usize,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
+        if k == 0 {
+            return;
+        }
+        scratch.qd.clear();
+        scratch
+            .qd
+            .extend(self.pivots.iter().map(|p| self.metric.dist(q, p)));
+        scratch.heap.clear();
+        let rows = self.matrix.read().expect("matrix lock");
+        for (i, o) in self.objects.iter().enumerate() {
+            let radius = if scratch.heap.len() < k {
+                f64::INFINITY
+            } else {
+                scratch.heap.peek().expect("heap is full").dist
+            };
+            if radius.is_finite() && lemmas::lemma1_prunable(&scratch.qd, rows.row(i), radius) {
+                continue;
+            }
+            let d = self.metric.dist(q, o);
+            if d < radius || scratch.heap.len() < k {
+                scratch.heap.push(Neighbor::new(i as ObjId, d));
+                if scratch.heap.len() > k {
+                    scratch.heap.pop();
+                }
+            }
+        }
+        let start = out.len();
+        while let Some(nb) = scratch.heap.pop() {
+            out.push(nb);
+        }
+        out[start..].reverse();
+    }
+
+    fn insert(&mut self, _o: Vec<f32>) -> ObjId {
+        unimplemented!("measurement-only index")
+    }
+
+    fn remove(&mut self, _id: ObjId) -> bool {
+        false
+    }
+
+    fn get(&self, id: ObjId) -> Option<Vec<f32>> {
+        self.objects.get(id as usize).cloned()
+    }
+
+    fn storage(&self) -> StorageFootprint {
+        StorageFootprint::mem(0)
+    }
+
+    fn counters(&self) -> Counters {
+        Counters {
+            compdists: self.metric.count(),
+            ..Counters::default()
+        }
+    }
+
+    fn reset_counters(&self) {
+        self.metric.reset();
+    }
+}
+
+fn la_batch(pts: &[Vec<f32>], queries: usize, radius: f64) -> Vec<Query<Vec<f32>>> {
+    (0..queries)
+        .map(|i| {
+            let q = pts[(i * 131) % pts.len()].clone();
+            if i % 2 == 0 {
+                Query::range(q, radius)
+            } else {
+                Query::knn(q, 10)
+            }
+        })
+        .collect()
+}
+
+fn serve_qps(e: &ShardedEngine<Vec<f32>>, batch: &[Query<Vec<f32>>], iters: usize) -> f64 {
+    for _ in 0..iters.min(3) {
+        let _ = e.serve(batch);
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let _ = e.serve(batch);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    batch.len() as f64 / best
+}
+
+/// Routing quality of one served batch (fraction of shard probes skipped).
+fn prune_rate(e: &ShardedEngine<Vec<f32>>, batch: &[Query<Vec<f32>>]) -> f64 {
+    e.reset_counters();
+    let out = e.serve(batch);
+    out.report.prune_rate()
+}
+
+fn main() {
+    let smoke = !std::env::args().any(|a| a == "--bench");
+    let n = if smoke { 2_000 } else { 8_000 };
+    let serve_iters = if smoke { 1 } else { 30 };
+    let kernel_reps = if smoke { 2 } else { 200 };
+    let pts = datasets::la(n, 42);
+    let opts = BuildOptions {
+        d_plus: 14143.0,
+        ..BuildOptions::default()
+    };
+    let l = opts.num_pivots;
+    let pivots: Vec<Vec<f32>> = pmi::pivots::select_hfi(&pts, &L2, l, opts.seed)
+        .into_iter()
+        .map(|i| pts[i].clone())
+        .collect();
+    let radius = datasets::calibrate_radius(&pts, &L2, 0.04, 42);
+    let batch = la_batch(&pts, BATCH, radius);
+
+    // ---- 1. Blocked vs scalar kernel throughput over the LAESA matrix.
+    let matrix = PivotMatrix::compute(&pts, &L2, &pivots, 1);
+    let qd: Vec<f64> = pivots.iter().map(|p| L2.dist(&pts[17], p)).collect();
+    let mut blocked = Vec::new();
+    let mut scalar = Vec::new();
+    let (mut blocked_best, mut scalar_best) = (f64::INFINITY, f64::INFINITY);
+    let run_scalar = |out: &mut Vec<f64>, best: &mut f64| {
+        let t0 = Instant::now();
+        out.clear();
+        out.extend((0..n).map(|i| pivot_lower_bound(&qd, matrix.row(i))));
+        *best = best.min(t0.elapsed().as_secs_f64());
+    };
+    let run_blocked = |out: &mut Vec<f64>, best: &mut f64| {
+        let t0 = Instant::now();
+        ScanKernel::lower_bounds(&qd, matrix.as_slice(), n, out);
+        *best = best.min(t0.elapsed().as_secs_f64());
+    };
+    for rep in 0..kernel_reps {
+        // Alternate order per rep so neither side benefits from cache
+        // warmup or interference asymmetrically.
+        if rep % 2 == 0 {
+            run_scalar(&mut scalar, &mut scalar_best);
+            run_blocked(&mut blocked, &mut blocked_best);
+        } else {
+            run_blocked(&mut blocked, &mut blocked_best);
+            run_scalar(&mut scalar, &mut scalar_best);
+        }
+        std::hint::black_box((&blocked, &scalar));
+    }
+    assert_eq!(blocked, scalar, "kernel must be bit-identical to scalar");
+    let blocked_rows_per_sec = n as f64 / blocked_best;
+    let scalar_rows_per_sec = n as f64 / scalar_best;
+    let kernel_speedup = blocked_rows_per_sec / scalar_rows_per_sec;
+    println!(
+        "scan_kernel/laesa/n{n}/l{l}: blocked {blocked_rows_per_sec:.3e} rows/s, \
+         scalar {scalar_rows_per_sec:.3e} rows/s, speedup {kernel_speedup:.2}x"
+    );
+
+    // ---- 2. Locked vs snapshot serve QPS at P = 8 (round-robin, so both
+    // engines probe every shard and the scan path is the whole difference).
+    let cfg = EngineConfig {
+        shards: SHARDS,
+        threads: 0,
+        ..EngineConfig::default()
+    };
+    let locked_engine = ShardedEngine::build_with::<&str, _>(pts.clone(), &cfg, |_, part| {
+        Ok(Box::new(LockedLaesa::build(part, pivots.clone())))
+    })
+    .expect("buildable");
+    let snapshot_engine = build_sharded_vector_engine(
+        IndexKind::Laesa,
+        pts.clone(),
+        L2,
+        &opts,
+        &cfg,
+        PartitionPolicy::RoundRobin,
+    )
+    .expect("buildable");
+    // Same answers, same verification work — the A/B is pure scan path.
+    let a = locked_engine.serve(&batch[..8.min(batch.len())]);
+    let b = snapshot_engine.serve(&batch[..8.min(batch.len())]);
+    assert_eq!(a.results, b.results, "identical serving either way");
+    let locked_qps = serve_qps(&locked_engine, &batch, serve_iters);
+    let snapshot_qps = serve_qps(&snapshot_engine, &batch, serve_iters);
+    let serve_speedup = snapshot_qps / locked_qps;
+    println!(
+        "serve_scan/laesa/P{SHARDS}: snapshot {snapshot_qps:.0} q/s vs locked {locked_qps:.0} q/s \
+         ({serve_speedup:.2}x)"
+    );
+
+    // ---- 3. Post-churn QPS with tombstones, after compaction, and the
+    // no-churn baseline (the PR-4 churn workload).
+    let churn = n / 4;
+    let fresh = datasets::la(churn, 4242);
+    let build = |objects: &[Vec<f32>]| {
+        build_sharded_vector_engine(
+            IndexKind::Laesa,
+            objects.to_vec(),
+            L2,
+            &opts,
+            &EngineConfig {
+                shards: SHARDS,
+                threads: 0,
+                refresh: RefreshPolicy::default(),
+                ..EngineConfig::default()
+            },
+            PartitionPolicy::PivotSpace,
+        )
+        .expect("buildable")
+    };
+    let mut engine = build(&pts);
+    let apply_chunk = if smoke { 128 } else { 512 };
+    for chunk in fresh.chunks(apply_chunk) {
+        let mut b = UpdateBatch::new();
+        for o in chunk {
+            b.insert(o.clone());
+        }
+        engine.apply(&b);
+    }
+    for chunk in (0..churn as u32).collect::<Vec<_>>().chunks(apply_chunk) {
+        let mut b = UpdateBatch::new();
+        for &g in chunk {
+            b.remove(g * 3 % n as u32);
+        }
+        engine.apply(&b);
+    }
+    let qps_churn = serve_qps(&engine, &batch, serve_iters);
+    let dropped = engine.compact();
+    let qps_compacted = serve_qps(&engine, &batch, serve_iters);
+    let survivors: Vec<Vec<f32>> = (0..engine.len() as u32)
+        .filter_map(|g| engine.get(g))
+        .collect();
+    assert_eq!(survivors.len(), engine.len(), "ids are dense post-compact");
+    let baseline = build(&survivors);
+    let qps_baseline = serve_qps(&baseline, &batch, serve_iters);
+    let churn_frac = qps_churn / qps_baseline;
+    let recovered_frac = qps_compacted / qps_baseline;
+    println!(
+        "compaction/laesa/P{SHARDS}: churned {qps_churn:.0} q/s ({churn_frac:.2} of baseline), \
+         compacted {qps_compacted:.0} q/s ({recovered_frac:.2} of baseline {qps_baseline:.0}), \
+         {dropped} dead rows dropped"
+    );
+    println!(
+        "  prune rates: compacted {:.3} vs fresh-build baseline {:.3} \
+         (the routing-quality gap that remains after the dead rows are gone)",
+        prune_rate(&engine, &batch),
+        prune_rate(&baseline, &batch)
+    );
+    let sizes = |e: &ShardedEngine<Vec<f32>>| -> Vec<usize> {
+        e.shards().iter().map(|s| s.len()).collect()
+    };
+    println!(
+        "  shard sizes: compacted {:?} vs baseline {:?}",
+        sizes(&engine),
+        sizes(&baseline)
+    );
+
+    if smoke {
+        println!("scan_throughput: ok (smoke)");
+        return;
+    }
+
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(
+        json,
+        "  \"bench\": \"scan_throughput\", \"index\": \"LAESA\", \"dataset\": \"la\", \
+         \"n\": {n}, \"pivots\": {l}, \"shards\": {SHARDS}, \"batch\": {BATCH},"
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"kernel\": {{\"blocked_rows_per_sec\": {blocked_rows_per_sec:.0}, \
+         \"scalar_rows_per_sec\": {scalar_rows_per_sec:.0}, \"speedup\": {kernel_speedup:.3}}},"
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"serve\": {{\"snapshot_qps\": {snapshot_qps:.0}, \"locked_qps\": {locked_qps:.0}, \
+         \"speedup\": {serve_speedup:.3}}},"
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"compaction\": {{\"qps_after_churn\": {qps_churn:.0}, \
+         \"qps_after_compaction\": {qps_compacted:.0}, \"qps_no_churn_baseline\": {qps_baseline:.0}, \
+         \"churn_frac_of_baseline\": {churn_frac:.3}, \"recovered_frac_of_baseline\": {recovered_frac:.3}, \
+         \"dead_rows_dropped\": {dropped}}}"
+    )
+    .unwrap();
+    writeln!(json, "}}").unwrap();
+    std::fs::write(format!("{root}/BENCH_scan.json"), json).expect("write BENCH_scan.json");
+    println!("wrote BENCH_scan.json");
+}

@@ -37,6 +37,7 @@ fn build(pts: &[Vec<f32>], opts: &BuildOptions, refresh: RefreshPolicy) -> Shard
             shards: SHARDS,
             threads: 0,
             refresh,
+            ..EngineConfig::default()
         },
         PartitionPolicy::PivotSpace,
     )

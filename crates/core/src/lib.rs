@@ -170,10 +170,20 @@
 //! rebuild over the survivors; the [`ApplyReport`] accounts every step
 //! exactly, and cumulative totals ride along in `ServeReport::updates`.
 //!
+//! Sustained churn leaves tombstoned rows in the shared matrix — dead
+//! weight the scan kernel still pays lower-bound arithmetic for. A
+//! [`CompactionPolicy`] (next to `refresh` on [`EngineConfig`]) lets
+//! `apply` drop them once the dead fraction crosses a threshold:
+//! survivors are renumbered **densely in ascending global-id order** (the
+//! ids a fresh rebuild would assign — old ids are invalidated, which is
+//! why the default policy is disabled), the matrix is rewritten without
+//! the dead rows, and serving afterwards is byte-identical to that
+//! rebuild. `engine.compact()` runs the same pass on demand.
+//!
 //! ```
 //! use pmi::{
-//!     build_sharded_vector_engine, BuildOptions, EngineConfig, IndexKind, PartitionPolicy,
-//!     RefreshPolicy, UpdateBatch,
+//!     build_sharded_vector_engine, BuildOptions, CompactionPolicy, EngineConfig, IndexKind,
+//!     PartitionPolicy, RefreshPolicy, UpdateBatch,
 //! };
 //!
 //! let objects = pmi::datasets::la(2_000, 42);
@@ -188,6 +198,10 @@
 //!         threads: 2,
 //!         // Re-cluster the worst shard pair when one holds 3x another.
 //!         refresh: RefreshPolicy { max_imbalance: 3.0, min_objects: 64 },
+//!         // Drop tombstoned matrix rows (renumbering ids!) once more
+//!         // than 30% of the rows are dead.
+//!         compaction: CompactionPolicy::at_dead_fraction(0.3),
+//!         ..EngineConfig::default()
 //!     },
 //!     PartitionPolicy::PivotSpace,
 //! )
@@ -203,7 +217,19 @@
 //! assert_eq!(report.map_compdists, opts.num_pivots as u64);
 //! assert_eq!(report.shard_compdists, 0);
 //! assert!(report.reboxed_shards >= 1, "removes shrink boxes");
+//! assert_eq!(report.compactions, 0, "2 dead rows is under every floor");
 //! assert_eq!(engine.len(), 1_999);
+//!
+//! // Heavy churn: remove a third of the dataset, then watch apply
+//! // compact the matrix back to dense (ids renumber to 0..n_live).
+//! let mut churn = UpdateBatch::new();
+//! for id in 100..800 {
+//!     churn.remove(id);
+//! }
+//! let report = engine.apply(&churn);
+//! assert_eq!(report.compactions, 1);
+//! assert_eq!(report.compacted_rows, 702, "all dead rows dropped");
+//! assert_eq!(engine.len(), 1_299);
 //! ```
 
 pub mod builder;
@@ -214,9 +240,9 @@ pub use serve::{build_sharded_engine, build_sharded_vector_engine};
 
 pub use pmi_engine as engine;
 pub use pmi_engine::{
-    ApplyReport, BatchOutcome, BuildStats, EngineConfig, EngineError, EngineScratch,
-    LatencySummary, Query, QueryResult, RefreshPolicy, ServeReport, ShardedEngine, UpdateBatch,
-    UpdateOp, UpdateStats,
+    ApplyReport, BatchOutcome, BuildStats, CompactionPolicy, EngineConfig, EngineError,
+    EngineScratch, LatencySummary, Query, QueryResult, RefreshPolicy, ServeReport, ShardedEngine,
+    UpdateBatch, UpdateOp, UpdateStats,
 };
 
 pub use pmi_router as router;
@@ -227,8 +253,8 @@ pub use pmi_metric::lemmas;
 pub use pmi_metric::object;
 pub use pmi_metric::{
     BruteForce, Counters, CountingMetric, DistanceCounter, EditDistance, EncodeObject, LInf, Lp,
-    MatrixSlice, MatrixSliceReader, Metric, MetricIndex, Neighbor, ObjId, ObjTable, PivotMatrix,
-    QueryScratch, SharedPivotMatrix, StorageFootprint, Vector, L1, L2,
+    MatrixSlice, Metric, MetricIndex, Neighbor, ObjId, ObjTable, PivotMatrix, QueryScratch,
+    ScanKernel, SharedPivotMatrix, StorageFootprint, Vector, L1, L2,
 };
 
 pub use pmi_pivots as pivots;

@@ -79,6 +79,12 @@ where
         return Err(BuildError::ZeroShards);
     }
     let t0 = Instant::now();
+    // One seed governs every partitioning decision, including the
+    // survivor re-partition at compaction time.
+    let cfg = &EngineConfig {
+        partition_seed: opts.seed,
+        ..*cfg
+    };
 
     // The matrix pays for itself when the router clusters over it or the
     // shards adopt it; round-robin engines over self-pivoting kinds skip it.

@@ -30,11 +30,11 @@ use crate::merge::{merge_range, TopK};
 use crate::query::{Query, QueryResult};
 use crate::report::{BuildStats, LatencySummary, ServeReport, UpdateStats};
 use crate::shard::{partition_by_assignment, partition_round_robin, Partition, Shard};
-use crate::update::{ApplyReport, RefreshPolicy, UpdateBatch, UpdateOp};
+use crate::update::{ApplyReport, CompactionPolicy, RefreshPolicy, UpdateBatch, UpdateOp};
 use pmi_metric::lemmas::Mbb;
 use pmi_metric::{
-    Counters, MatrixSlice, MetricIndex, Neighbor, ObjId, QueryScratch, SharedPivotMatrix,
-    StorageFootprint,
+    Counters, MatrixSlice, MetricIndex, Neighbor, ObjId, PivotMatrix, QueryScratch,
+    SharedPivotMatrix, StorageFootprint,
 };
 use pmi_router::{Mapper, PartitionPolicy, RoutingTable};
 use std::collections::HashMap;
@@ -57,6 +57,16 @@ pub struct EngineConfig {
     /// When [`apply`](ShardedEngine::apply) re-clusters the worst shard
     /// pair (routed engines only).
     pub refresh: RefreshPolicy,
+    /// When [`apply`](ShardedEngine::apply) compacts the shared pivot
+    /// matrix (matrix-bearing engines only; renumbers global ids —
+    /// disabled by default, see [`CompactionPolicy`]).
+    pub compaction: CompactionPolicy,
+    /// Seed for the engine's own partitioning decisions — the full
+    /// survivor re-partition a [`compact`](ShardedEngine::compact) runs on
+    /// routed engines. The `pmi` facade sets it to `BuildOptions::seed`,
+    /// so a compaction reproduces exactly the clustering a fresh build
+    /// over the survivors would compute.
+    pub partition_seed: u64,
 }
 
 impl Default for EngineConfig {
@@ -65,6 +75,8 @@ impl Default for EngineConfig {
             shards: 4,
             threads: 0,
             refresh: RefreshPolicy::default(),
+            compaction: CompactionPolicy::default(),
+            partition_seed: 42,
         }
     }
 }
@@ -211,6 +223,10 @@ pub struct ShardedEngine<O> {
     insert_mapper: Option<Mapper<O>>,
     /// When [`apply`](Self::apply) re-clusters the worst shard pair.
     refresh: RefreshPolicy,
+    /// When [`apply`](Self::apply) compacts the shared matrix.
+    compaction: CompactionPolicy,
+    /// Seed for the survivor re-partition at compaction.
+    partition_seed: u64,
     /// Exact count of shard probes executed (a query touching 3 of 8
     /// shards adds 3).
     probed: AtomicU64,
@@ -498,6 +514,8 @@ impl<O> ShardedEngine<O> {
             matrix,
             insert_mapper,
             refresh: cfg.refresh,
+            compaction: cfg.compaction,
+            partition_seed: cfg.partition_seed,
             probed: AtomicU64::new(0),
             pruned: AtomicU64::new(0),
             locator,
@@ -618,12 +636,14 @@ impl<O> ShardedEngine<O> {
 
     /// Inserts an object, returning its global id — the single-op form of
     /// [`apply`](Self::apply), sharing its unified path: the pivot row is
-    /// computed once, pushed into the shared matrix (when present), the
-    /// destination shard adopts it by id, and the routing box grows to
-    /// cover it.
+    /// computed once, staged in the shared matrix (when present), the
+    /// destination shard adopts it by id, the routing box grows to cover
+    /// it, and the snapshot is published before returning.
     pub fn insert(&mut self, o: O) -> ObjId {
         let mut mapped = Vec::new();
-        self.insert_one(o, &mut mapped)
+        let gid = self.insert_one(o, &mut mapped);
+        self.publish_staged();
+        gid
     }
 
     /// Removes an object by global id; returns whether it was present.
@@ -685,6 +705,9 @@ impl<O> ShardedEngine<O> {
         let mut report = ApplyReport::default();
         let mut mapped = Vec::new();
         let mut dirty = vec![false; self.shards.len()];
+        // Inserts *stage* their matrix rows; one snapshot publication
+        // covers the whole batch (or the prefix before a remove, whose
+        // bookkeeping may need to read an earlier insert's row).
         for op in batch.ops() {
             match op {
                 UpdateOp::Insert(o) => {
@@ -692,15 +715,19 @@ impl<O> ShardedEngine<O> {
                     report.inserted_ids.push(gid);
                     report.inserts += 1;
                 }
-                UpdateOp::Remove(id) => match self.remove_one(*id) {
-                    Some(s) => {
-                        dirty[s] = true;
-                        report.removes += 1;
+                UpdateOp::Remove(id) => {
+                    self.publish_staged();
+                    match self.remove_one(*id) {
+                        Some(s) => {
+                            dirty[s] = true;
+                            report.removes += 1;
+                        }
+                        None => report.missing_removes += 1,
                     }
-                    None => report.missing_removes += 1,
-                },
+                }
             }
         }
+        self.publish_staged();
         report.reboxed_shards = self.rebox(&dirty);
         let (reclusters, moved, recluster_reboxed) = self.maybe_recluster();
         report.reclusters = reclusters;
@@ -708,13 +735,40 @@ impl<O> ShardedEngine<O> {
         report.reboxed_shards += recluster_reboxed;
         self.update_stats.reclusters += reclusters as u64;
         self.update_stats.moved_objects += moved;
+        let compacted = self.maybe_compact();
+        report.compactions = usize::from(compacted > 0);
+        report.compacted_rows = compacted as u64;
         report.map_compdists = self.update_stats.map_compdists - map_cd0;
         report.shard_compdists = self.counters().compdists - shard_cd0;
         report.wall_secs = t0.elapsed().as_secs_f64();
         report
     }
 
-    /// The one insert path: map once, push one shared row, adopt by id.
+    /// Publishes staged matrix rows (if any) and hands the fresh snapshot
+    /// to every shard. Every adopting shard *releases* its cached
+    /// snapshot first, so the shared storage is sole-owned and the
+    /// publication appends in place — no matrix copy — and the
+    /// refresh-all afterwards also unpins any older snapshot generations.
+    /// Cheap no-op when nothing is staged.
+    fn publish_staged(&mut self) {
+        let Some(mx) = self.matrix.clone() else {
+            return;
+        };
+        if !mx.has_staged() {
+            return;
+        }
+        for s in &mut self.shards {
+            s.release_rows();
+        }
+        mx.publish();
+        for s in &mut self.shards {
+            s.refresh_rows();
+        }
+    }
+
+    /// The one insert path: map once, stage one shared row, adopt by id.
+    /// The caller publishes ([`publish_staged`](Self::publish_staged))
+    /// before any query can run.
     fn insert_one(&mut self, o: O, mapped: &mut Vec<f64>) -> ObjId {
         mapped.clear();
         match (&self.router, &self.insert_mapper) {
@@ -752,9 +806,9 @@ impl<O> ShardedEngine<O> {
         self.next_id += 1;
         let local = match &self.matrix {
             Some(mx) => {
-                let row = mx.push_row(mapped);
+                let row = mx.stage_row(mapped);
                 debug_assert_eq!(row as ObjId, gid, "global id tracks shared row id");
-                self.shards[si].insert_adopted(o, gid, row as ObjId)
+                self.shards[si].insert_adopted(o, gid, row as ObjId, mapped)
             }
             None => self.shards[si].insert(o, gid),
         };
@@ -791,7 +845,8 @@ impl<O> ShardedEngine<O> {
         let (Some(rt), Some(mx)) = (self.router.as_mut(), self.matrix.as_ref()) else {
             return 0;
         };
-        let m = mx.read();
+        debug_assert!(!mx.has_staged(), "publish before reboxing");
+        let m = mx.snapshot();
         let mut reboxed = 0;
         for (s, _) in dirty.iter().enumerate().filter(|&(_, &d)| d) {
             let mut b = Mbb::empty(m.width());
@@ -842,7 +897,7 @@ impl<O> ShardedEngine<O> {
         }
         members.sort_unstable_by_key(|&(gid, _, _)| gid);
         let gids: Vec<u32> = members.iter().map(|&(gid, _, _)| gid).collect();
-        let pair_rows = mx.read().select(&gids);
+        let pair_rows = mx.snapshot().select(&gids);
         let split = pmi_router::assign_pivot_space(&pair_rows, 2, RECLUSTER_SEED);
 
         // Orient the two clusters onto (hi, lo) so the fewest objects move.
@@ -855,7 +910,7 @@ impl<O> ShardedEngine<O> {
         };
         let flip = stays(true) > stays(false);
         let mut moved = 0u64;
-        for (&(gid, s, local), &c) in members.iter().zip(&split) {
+        for (i, (&(gid, s, local), &c)) in members.iter().zip(&split).enumerate() {
             let target = if (c == 0) != flip { hi } else { lo };
             if target == s {
                 continue;
@@ -864,7 +919,9 @@ impl<O> ShardedEngine<O> {
                 continue;
             };
             self.shards[s].remove_local(local);
-            let new_local = self.shards[target].insert_adopted(o, gid, gid);
+            // The moved object's row is already published; its distances
+            // ride along from the pair's selected rows.
+            let new_local = self.shards[target].insert_adopted(o, gid, gid, pair_rows.row(i));
             self.locator.insert(gid, (target as u32, new_local));
             moved += 1;
         }
@@ -876,6 +933,121 @@ impl<O> ShardedEngine<O> {
             reboxed = self.rebox(&dirty);
         }
         (1, moved, reboxed)
+    }
+
+    /// Runs [`compact`](Self::compact) when the dead-row fraction trips
+    /// the engine's [`CompactionPolicy`]. Returns the rows dropped.
+    fn maybe_compact(&mut self) -> usize {
+        let Some(mx) = &self.matrix else { return 0 };
+        let total = mx.snapshot().rows();
+        let dead = total - self.len();
+        if !self.compaction.triggers(dead, total) {
+            return 0;
+        }
+        self.compact()
+    }
+
+    /// Compacts the shared pivot matrix under sustained churn — a **major
+    /// compaction**, restoring the engine to what a from-scratch rebuild
+    /// over the survivors would produce:
+    ///
+    /// 1. Routed engines first **re-partition** the survivors with the
+    ///    same balanced k-means a fresh build runs (churn drifts shard
+    ///    membership away from the balanced clustering; probing an
+    ///    oversized shard costs extra kernel work on every query).
+    ///    Objects that change side move through the normal adopted path —
+    ///    matrix-adopting kinds compute no distances for a move.
+    /// 2. Every long-tombstoned matrix row is dropped and the survivors
+    ///    are renumbered **densely in ascending global-id order**
+    ///    (survivor of rank `i` becomes global id — and shared row — `i`,
+    ///    exactly the ids a rebuild would assign). The dense matrix is
+    ///    installed as the new published snapshot, and every shard is
+    ///    remapped: matrix-adopting kinds rebuild their slot tables
+    ///    tombstone-free ([`MetricIndex::compact_rows`]), other kinds
+    ///    keep their local tombstones and only have their live slots'
+    ///    global ids rewritten.
+    /// 3. Routed engines recompute every routing box from the final
+    ///    membership, so pruning is exactly a fresh build's.
+    ///
+    /// Serving afterwards is byte-identical — results, compdists,
+    /// probe/prune counts — to a rebuild over the survivors with this
+    /// membership. **Renumbers global ids**: ids returned by earlier
+    /// inserts are invalidated, exactly as a rebuild would. Returns the
+    /// number of dead rows dropped (0 on an engine without a shared
+    /// matrix, or with nothing dead).
+    pub fn compact(&mut self) -> usize {
+        let Some(mx) = self.matrix.clone() else {
+            return 0;
+        };
+        self.publish_staged();
+        let snap = mx.snapshot();
+        let dead = snap.rows() - self.len();
+        if dead == 0 {
+            return 0;
+        }
+        // Survivors in ascending (old) global-id order; their rank is the
+        // new global id == new shared row id.
+        let mut survivors: Vec<ObjId> = self.locator.keys().copied().collect();
+        survivors.sort_unstable();
+
+        // (1) Full re-partition of the survivors on routed engines. The
+        // movement tombstones this leaves behind are folded away by the
+        // dense rebuild below.
+        if self.router.is_some() && self.shards.len() >= 2 {
+            let live_rows = snap.select(&survivors);
+            let assignment =
+                pmi_router::assign_pivot_space(&live_rows, self.shards.len(), self.partition_seed);
+            for (rank, &gid) in survivors.iter().enumerate() {
+                let target = assignment[rank];
+                let (s, local) = self.locator[&gid];
+                if s as usize == target {
+                    continue;
+                }
+                let Some(o) = self.shards[s as usize].get_local(local) else {
+                    continue;
+                };
+                self.shards[s as usize].remove_local(local);
+                let new_local =
+                    self.shards[target].insert_adopted(o, gid, gid, live_rows.row(rank));
+                self.locator.insert(gid, (target as u32, new_local));
+            }
+        }
+
+        let mut dense = PivotMatrix::with_capacity(snap.width(), survivors.len());
+        let mut keep: Vec<Vec<ObjId>> = vec![Vec::new(); self.shards.len()];
+        let mut rows: Vec<Vec<ObjId>> = vec![Vec::new(); self.shards.len()];
+        for (new_gid, &old_gid) in survivors.iter().enumerate() {
+            dense.push_row(snap.row(old_gid as usize));
+            let (s, local) = self.locator[&old_gid];
+            keep[s as usize].push(local);
+            rows[s as usize].push(new_gid as ObjId);
+        }
+        mx.replace(dense);
+        let mut locator = HashMap::with_capacity(survivors.len());
+        for (s, (keep, rows)) in keep.iter().zip(&rows).enumerate() {
+            if self.shards[s].compact_rows(keep, rows) {
+                // Dense rebuild: new local id i holds new global id rows[i].
+                for (local, &gid) in rows.iter().enumerate() {
+                    locator.insert(gid, (s as u32, local as ObjId));
+                }
+            } else {
+                // Tombstones kept: local ids unchanged, global ids remapped.
+                for (&local, &gid) in keep.iter().zip(rows) {
+                    locator.insert(gid, (s as u32, local));
+                }
+            }
+        }
+        self.locator = locator;
+        self.next_id = survivors.len() as ObjId;
+
+        // (3) Tight boxes over the final membership.
+        if self.router.is_some() {
+            let dirty = vec![true; self.shards.len()];
+            self.rebox(&dirty);
+        }
+        self.update_stats.compactions += 1;
+        self.update_stats.compacted_rows += dead as u64;
+        dead
     }
 
     /// Fetches a copy of a live object by global id.
@@ -1289,11 +1461,9 @@ mod tests {
             |_, part, m| {
                 assert_eq!(m.len(), part.len());
                 assert_eq!(m.width(), 2);
-                let r = m.reader();
                 for (i, o) in part.iter().enumerate() {
-                    assert_eq!(r.row(i), &[o[0] as f64, o[1] as f64], "adopted slice");
+                    assert_eq!(m.row(i), &[o[0] as f64, o[1] as f64], "adopted slice");
                 }
-                drop(r);
                 brute_factory(part)
             },
         )
@@ -1395,6 +1565,7 @@ mod tests {
                 shards: 2,
                 threads: 1,
                 refresh: RefreshPolicy::disabled(),
+                ..EngineConfig::default()
             },
             |_, part, _| brute_factory(part),
         )
@@ -1458,6 +1629,7 @@ mod tests {
                     max_imbalance: 2.0,
                     min_objects: 10,
                 },
+                ..EngineConfig::default()
             },
             |_, part, _| brute_factory(part),
         )
@@ -1497,6 +1669,101 @@ mod tests {
         let stats = e.update_stats();
         assert_eq!(stats.reclusters, 1);
         assert_eq!(stats.moved_objects, report.moved_objects);
+    }
+
+    #[test]
+    fn compaction_renumbers_and_keeps_serving_exact() {
+        // Matrix-bearing round-robin engine over BruteForce shards (the
+        // non-adopting fallback: tombstones stay local, gids remap).
+        let objects = grid(40);
+        let matrix = SharedPivotMatrix::new(PivotMatrix::from_rows(
+            2,
+            objects.iter().map(|o| [o[0] as f64, o[1] as f64]),
+        ));
+        let mapper: Mapper<Vec<f32>> =
+            Box::new(|o: &Vec<f32>, out: &mut Vec<f64>| out.extend([o[0] as f64, o[1] as f64]));
+        let mut e = ShardedEngine::build_with_matrix(
+            objects.clone(),
+            matrix.clone(),
+            mapper,
+            &EngineConfig {
+                shards: 3,
+                threads: 1,
+                ..EngineConfig::default()
+            },
+            |_, part, _| brute_factory(part),
+        )
+        .unwrap();
+        let mut batch = UpdateBatch::new();
+        for id in [1u32, 5, 9, 13, 17, 21] {
+            batch.remove(id);
+        }
+        batch.insert(vec![500.0f32, 500.0]);
+        let r = e.apply(&batch);
+        assert_eq!((r.removes, r.inserts), (6, 1));
+        assert_eq!(r.compactions, 0, "default policy never compacts");
+        assert_eq!(matrix.rows(), 41, "tombstoned rows still in the matrix");
+
+        // Survivors in ascending old-gid order are the expected new order.
+        let survivors: Vec<Vec<f32>> = (0..41u32).filter_map(|g| e.get(g)).collect();
+        let dropped = e.compact();
+        assert_eq!(dropped, 6, "one dead row per remove");
+        assert_eq!(matrix.rows(), 35, "matrix is dense again");
+        assert_eq!(e.len(), 35);
+        let stats = e.update_stats();
+        assert_eq!((stats.compactions, stats.compacted_rows), (1, 6));
+        // Ids are now dense 0..35 and every survivor is served under its
+        // rank, identical to a fresh engine over the survivors.
+        for (new_gid, o) in survivors.iter().enumerate() {
+            assert_eq!(e.get(new_gid as u32).as_ref(), Some(o));
+            assert_eq!(e.range_query(o, 0.0), vec![new_gid as u32]);
+        }
+        assert_eq!(e.get(35), None);
+        // The next insert takes the next dense id and serving stays exact.
+        let gid = e.insert(vec![600.0f32, 600.0]);
+        assert_eq!(gid, 35);
+        assert_eq!(matrix.rows(), 36);
+        assert_eq!(e.range_query(&vec![600.0f32, 600.0], 0.5), vec![35]);
+        // compact with nothing dead is a no-op.
+        assert_eq!(e.compact(), 0);
+    }
+
+    #[test]
+    fn compaction_policy_triggers_inside_apply() {
+        let objects = grid(32);
+        let matrix = SharedPivotMatrix::new(PivotMatrix::from_rows(
+            2,
+            objects.iter().map(|o| [o[0] as f64, o[1] as f64]),
+        ));
+        let mapper: Mapper<Vec<f32>> =
+            Box::new(|o: &Vec<f32>, out: &mut Vec<f64>| out.extend([o[0] as f64, o[1] as f64]));
+        let mut e = ShardedEngine::build_with_matrix(
+            objects.clone(),
+            matrix.clone(),
+            mapper,
+            &EngineConfig {
+                shards: 2,
+                threads: 1,
+                compaction: CompactionPolicy {
+                    max_dead_fraction: 0.25,
+                    min_dead_rows: 4,
+                },
+                ..EngineConfig::default()
+            },
+            |_, part, _| brute_factory(part),
+        )
+        .unwrap();
+        let mut batch = UpdateBatch::new();
+        for id in 0..12u32 {
+            batch.remove(id);
+        }
+        let r = e.apply(&batch);
+        assert_eq!(r.removes, 12);
+        assert_eq!(r.compactions, 1, "12/32 dead trips the 25% policy");
+        assert_eq!(r.compacted_rows, 12);
+        assert_eq!(matrix.rows(), 20);
+        assert_eq!(e.len(), 20);
+        assert_eq!(e.range_query(&e.get(0).unwrap(), 0.0), vec![0]);
     }
 
     #[test]

@@ -77,4 +77,4 @@ pub use pmi_router::{PartitionPolicy, RoutingTable};
 pub use query::{Query, QueryResult};
 pub use report::{BuildStats, LatencySummary, ServeReport, UpdateStats};
 pub use shard::Shard;
-pub use update::{ApplyReport, RefreshPolicy, UpdateBatch, UpdateOp};
+pub use update::{ApplyReport, CompactionPolicy, RefreshPolicy, UpdateBatch, UpdateOp};

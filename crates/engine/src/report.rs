@@ -74,6 +74,10 @@ pub struct UpdateStats {
     pub moved_objects: u64,
     /// Re-clustering passes run.
     pub reclusters: u64,
+    /// Shared-matrix compactions run (dead rows dropped, ids renumbered).
+    pub compactions: u64,
+    /// Dead matrix rows dropped by compaction in total.
+    pub compacted_rows: u64,
 }
 
 /// What a call to [`ShardedEngine::serve`](crate::ShardedEngine::serve)

@@ -111,17 +111,48 @@ impl<O> Shard<O> {
         local
     }
 
-    /// Inserts an object whose pivot row the engine already pushed into the
-    /// shared matrix at shared row `row`: matrix-adopting indexes take the
-    /// row by id (no remap); everything else falls back to a plain
-    /// [`insert`](Self::insert).
-    pub fn insert_adopted(&mut self, o: O, global: ObjId, row: ObjId) -> ObjId {
-        match self.index.insert_adopted(o, row) {
+    /// Inserts an object whose pivot row the engine already staged in the
+    /// shared matrix at shared row `row` (distances in `row_data`):
+    /// matrix-adopting indexes take the row by id (no remap); everything
+    /// else falls back to a plain [`insert`](Self::insert).
+    pub fn insert_adopted(&mut self, o: O, global: ObjId, row: ObjId, row_data: &[f64]) -> ObjId {
+        match self.index.insert_adopted(o, row, row_data) {
             Ok(local) => {
                 self.note_mapping(local, global);
                 local
             }
             Err(o) => self.insert(o, global),
+        }
+    }
+
+    /// Re-fetches the wrapped index's adopted matrix snapshot after the
+    /// engine published staged rows (no-op for non-adopting kinds).
+    pub fn refresh_rows(&mut self) {
+        self.index.refresh_rows();
+    }
+
+    /// Releases the wrapped index's snapshot ahead of a publication so the
+    /// publish can append in place (no-op for non-adopting kinds).
+    pub fn release_rows(&mut self) {
+        self.index.release_rows();
+    }
+
+    /// Engine-level compaction of the wrapped index: `keep` are the old
+    /// local ids of this shard's survivors (ascending global id), `rows`
+    /// their row ids in the freshly compacted shared matrix — which are
+    /// also their new global ids, so a successful compaction replaces the
+    /// local→global table wholesale. Returns whether the index compacted
+    /// (non-adopting kinds keep their tombstones; only the live slots'
+    /// global ids are remapped then).
+    pub fn compact_rows(&mut self, keep: &[ObjId], rows: &[ObjId]) -> bool {
+        if self.index.compact_rows(keep, rows) {
+            self.global_ids = rows.to_vec();
+            true
+        } else {
+            for (&local, &gid) in keep.iter().zip(rows) {
+                self.global_ids[local as usize] = gid;
+            }
+            false
         }
     }
 

@@ -118,6 +118,62 @@ impl Default for RefreshPolicy {
     }
 }
 
+/// When `apply` compacts the shared pivot matrix: after a batch, if the
+/// fraction of dead (tombstoned) rows among all matrix rows exceeds
+/// `max_dead_fraction` (and there are at least `min_dead_rows` of them),
+/// the engine drops the dead rows, renumbers the survivors densely, and
+/// remaps every adopting shard plus its own id tables — see
+/// [`ShardedEngine::compact`](crate::ShardedEngine::compact). Serving after
+/// a compaction is byte-identical to a from-scratch rebuild over the
+/// survivors (with the rebuild's dense ids), which is exactly what closes
+/// the post-churn QPS gap: tombstoned rows stop costing lower-bound
+/// arithmetic and cache space.
+///
+/// **Compaction renumbers global ids** (survivor rank order), invalidating
+/// ids the caller holds from before — the same contract as rebuilding. The
+/// default is therefore *disabled*; opt in via `EngineConfig.compaction`
+/// or call `compact()` explicitly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompactionPolicy {
+    /// Trigger threshold: compact when
+    /// `dead_rows > max_dead_fraction * total_rows`.
+    pub max_dead_fraction: f64,
+    /// Minimum dead rows before compaction is worth a matrix rewrite.
+    pub min_dead_rows: usize,
+}
+
+impl CompactionPolicy {
+    /// Never compact automatically (the default; `compact()` stays
+    /// available as an explicit call).
+    pub fn disabled() -> Self {
+        CompactionPolicy {
+            max_dead_fraction: f64::INFINITY,
+            min_dead_rows: usize::MAX,
+        }
+    }
+
+    /// Compact when more than `fraction` of the matrix rows are dead
+    /// (with a small absolute floor so tiny engines don't thrash).
+    pub fn at_dead_fraction(fraction: f64) -> Self {
+        CompactionPolicy {
+            max_dead_fraction: fraction,
+            min_dead_rows: 256,
+        }
+    }
+
+    /// Whether a `(dead, total)` row count pair trips the trigger.
+    pub fn triggers(&self, dead_rows: usize, total_rows: usize) -> bool {
+        dead_rows >= self.min_dead_rows
+            && dead_rows as f64 > self.max_dead_fraction * total_rows as f64
+    }
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy::disabled()
+    }
+}
+
 /// What one [`apply`](crate::ShardedEngine::apply) did and what it cost —
 /// every counter is exact.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -145,6 +201,10 @@ pub struct ApplyReport {
     pub reclusters: usize,
     /// Objects moved between shards by re-clustering.
     pub moved_objects: u64,
+    /// Matrix compactions run (0 or 1 per apply; see [`CompactionPolicy`]).
+    pub compactions: usize,
+    /// Dead matrix rows dropped by compaction.
+    pub compacted_rows: u64,
     /// Wall-clock duration of the apply, seconds.
     pub wall_secs: f64,
 }
@@ -169,8 +229,13 @@ impl std::fmt::Display for ApplyReport {
         )?;
         write!(
             f,
-            "  routing: {} box(es) shrunk, {} re-cluster(s) moving {} object(s)",
-            self.reboxed_shards, self.reclusters, self.moved_objects
+            "  routing: {} box(es) shrunk, {} re-cluster(s) moving {} object(s), \
+             {} compaction(s) dropping {} row(s)",
+            self.reboxed_shards,
+            self.reclusters,
+            self.moved_objects,
+            self.compactions,
+            self.compacted_rows
         )
     }
 }
@@ -191,6 +256,21 @@ mod tests {
             .into_iter()
             .collect();
         assert_eq!(collected.len(), 2);
+    }
+
+    #[test]
+    fn compaction_policy_triggers() {
+        let p = CompactionPolicy {
+            max_dead_fraction: 0.25,
+            min_dead_rows: 100,
+        };
+        assert!(p.triggers(300, 1000), "30% dead over the floor");
+        assert!(!p.triggers(200, 1000), "20% is under the threshold");
+        assert!(!p.triggers(50, 100), "too few dead rows to matter");
+        assert!(!CompactionPolicy::disabled().triggers(1_000_000, 1_000_001));
+        assert!(CompactionPolicy::at_dead_fraction(0.3).triggers(400, 1000));
+        assert!(!CompactionPolicy::at_dead_fraction(0.3).triggers(100, 200));
+        assert_eq!(CompactionPolicy::default(), CompactionPolicy::disabled());
     }
 
     #[test]

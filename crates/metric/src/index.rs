@@ -61,18 +61,51 @@ pub trait MetricIndex<O>: Send + Sync {
     /// index's adopted shared matrix
     /// ([`MatrixSlice`](crate::matrix::MatrixSlice)) at shared row `row` —
     /// the sharded engine's unified mutation path, which computes each
-    /// insert's pivot row exactly once, pushes it into the shared
+    /// insert's pivot row exactly once, stages it in the shared
     /// [`SharedPivotMatrix`](crate::matrix::SharedPivotMatrix), and hands
-    /// indexes the row *id*. Implementations adopt the row without
-    /// computing any distance beyond what their auxiliary structures need
-    /// (e.g. CPT's M-tree clustering).
+    /// indexes the row *id* plus the row's distances (`row_data`, so no
+    /// implementation ever needs to read a still-staged row back).
+    /// Implementations adopt the row without computing any distance beyond
+    /// what their auxiliary structures need (e.g. CPT's M-tree clustering).
     ///
-    /// Indexes without an adopted shared matrix return `Err(o)`, handing
-    /// the object back so the caller can fall back to
+    /// The row may still be *staged*: the engine publishes the snapshot
+    /// (and calls [`refresh_rows`](Self::refresh_rows)) before any query
+    /// can run. Indexes without an adopted shared matrix return `Err(o)`,
+    /// handing the object back so the caller can fall back to
     /// [`insert`](Self::insert).
-    fn insert_adopted(&mut self, o: O, row: ObjId) -> Result<ObjId, O> {
-        let _ = row;
+    fn insert_adopted(&mut self, o: O, row: ObjId, row_data: &[f64]) -> Result<ObjId, O> {
+        let _ = (row, row_data);
         Err(o)
+    }
+
+    /// Re-fetches the index's adopted matrix snapshot after the engine
+    /// published staged rows (see the publication rule in
+    /// [`matrix`](crate::matrix)). No-op for kinds without an adopted
+    /// slice.
+    fn refresh_rows(&mut self) {}
+
+    /// Releases the index's adopted matrix snapshot ahead of a
+    /// publication ([`MatrixSlice::release`](crate::matrix::MatrixSlice::release)):
+    /// with every slice released the shared storage is sole-owned and the
+    /// publish appends in place instead of copying the matrix. The engine
+    /// always pairs this with [`refresh_rows`](Self::refresh_rows) before
+    /// any query can run. No-op for kinds without an adopted slice.
+    fn release_rows(&mut self) {}
+
+    /// Engine-level compaction: drops every tombstoned slot, re-adding the
+    /// survivors in `keep` order (old local ids — ascending global id, the
+    /// order a from-scratch rebuild would use) and adopting `rows` — the
+    /// survivors' row ids in the freshly compacted shared matrix, aligned
+    /// with `keep`. After a successful compaction local id `i` holds the
+    /// object previously at `keep[i]` and serving is byte-identical to a
+    /// rebuild over the survivors.
+    ///
+    /// Returns `false` (and must change nothing) for kinds without an
+    /// adopted matrix slice; the engine then only remaps its own id
+    /// tables and leaves the index's tombstones in place.
+    fn compact_rows(&mut self, keep: &[ObjId], rows: &[ObjId]) -> bool {
+        let _ = (keep, rows);
+        false
     }
 
     /// Removes an object by id; returns whether it was present.

@@ -9,7 +9,9 @@
 //!   be measured uniformly,
 //! * the four pivot filtering / validation lemmas of the paper ([`lemmas`]),
 //! * the shared flat pivot-distance matrix ([`PivotMatrix`]) built once, in
-//!   parallel, and adopted by the pivot tables and the sharded engine,
+//!   parallel, and adopted by the pivot tables and the sharded engine —
+//!   read through lock-free published snapshots and filtered through the
+//!   blocked [`ScanKernel`] (see [`matrix`] for the publication rule),
 //! * reusable per-worker query scratch space ([`QueryScratch`]) for the
 //!   allocation-free batch query path,
 //! * the object-safe [`MetricIndex`] trait implemented by all thirteen index
@@ -30,7 +32,7 @@ pub mod table;
 
 pub use distance::{CountingMetric, DistanceCounter, EditDistance, LInf, Lp, Metric, L1, L2};
 pub use index::{BruteForce, MetricIndex};
-pub use matrix::{MatrixSlice, MatrixSliceReader, PivotMatrix, SharedPivotMatrix};
+pub use matrix::{MatrixSlice, PivotMatrix, ScanKernel, SharedPivotMatrix};
 pub use object::EncodeObject;
 pub use scratch::QueryScratch;
 pub use stats::{Counters, Neighbor, ObjId, StorageFootprint};

@@ -8,32 +8,52 @@
 //!
 //! * it can be **built once, in parallel** ([`PivotMatrix::compute`], on the
 //!   same scoped-thread worker pool as [`crate::parallel`]) and then shared
-//!   by the router and every shard of a sharded engine, and
+//!   by the router and every shard of a sharded engine,
 //! * Lemma 1 scanning is a branch-light sequential pass over contiguous
-//!   memory ([`PivotMatrix::row`] is a plain slice).
+//!   memory ([`PivotMatrix::row`] is a plain slice), and
+//! * the per-object lower-bound filter runs through a cache-blocked,
+//!   auto-vectorizable [`ScanKernel`] instead of one function call per row.
+//!
+//! # The snapshot publication rule
+//!
+//! For sharded engines the matrix lives in a [`SharedPivotMatrix`] and every
+//! shard adopts a [`MatrixSlice`] — a row-index indirection plus a cached
+//! [`Arc<PivotMatrix>`] **snapshot** of the shared storage. The discipline:
+//!
+//! * **Readers never block.** A query scan resolves rows through the
+//!   slice's cached snapshot — a plain `Arc` field, no lock, no atomic
+//!   read-modify-write. The old `MatrixSliceReader` guard (one
+//!   `RwLock::read` per scan) is gone; there is no lock on the serve path
+//!   at all, enforced at compile time by the API shape.
+//! * **Writers publish on push/compact.** Mutation goes through `&mut`
+//!   paths (the engine's `apply`, a standalone index's `insert`), which
+//!   first *stage* rows ([`SharedPivotMatrix::stage_row`]) and then
+//!   *publish* a new snapshot ([`SharedPivotMatrix::publish`]) that the
+//!   affected slices re-fetch ([`MatrixSlice::refresh`]). Staging makes a
+//!   batch of inserts pay one snapshot publication, not one per row.
+//!   Rust's aliasing rules guarantee no query is concurrently reading the
+//!   structure that publishes, so publication is a plain `Arc` swap under
+//!   the writers' mutex.
 //!
 //! Removal is handled *outside* the matrix: rows of tombstoned objects stay
-//! in place (ids remain row indices) and are simply never visited, because
-//! liveness lives in the index's slot map ([`crate::ObjTable`] /
-//! [`crate::ObjTable::iter_live_rows`]).
-//!
-//! For sharded engines the matrix is wrapped in a [`SharedPivotMatrix`] and
-//! every shard adopts a [`MatrixSlice`] — a row-index indirection into the
-//! one shared matrix instead of a contiguous permuted copy. That makes the
-//! mutation path cheap and exact: inserting an object pushes **one** row
-//! into the shared matrix and every interested party (router boxes, the
-//! destination shard's table) adopts the row id, with no per-shard
-//! recomputation and no copying.
+//! in place (ids remain row indices) and are simply never verified, because
+//! liveness lives in the index's slot map ([`crate::ObjTable`]). Under
+//! sustained churn those dead rows still cost lower-bound arithmetic and
+//! cache space, which is what [`SharedPivotMatrix::replace`]-based
+//! compaction (driven by the engine's `CompactionPolicy`) reclaims: the
+//! engine builds a dense matrix over the survivors, installs it as the new
+//! snapshot, and remaps every slice's row ids ([`MatrixSlice::reindex`]).
 
 use crate::distance::Metric;
-use parking_lot::{RwLock, RwLockReadGuard};
+use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// A flat, row-major `n × l` pivot-distance matrix with stable row ids.
 ///
 /// Row `i` holds `(d(o_i, p_1), …, d(o_i, p_l))`. Rows are never removed —
 /// indexes with tombstoned deletion keep the row and skip it via their slot
-/// map — so row indices are stable object ids for the lifetime of the index.
+/// map — so row indices are stable object ids for the lifetime of the index
+/// (until an explicit engine-level compaction renumbers them wholesale).
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct PivotMatrix {
     /// Row-major distances; `data[i * width + j] = d(o_i, p_j)`.
@@ -144,7 +164,8 @@ impl PivotMatrix {
 
     /// A new matrix holding the given rows of `self`, in `ids` order — the
     /// per-shard slice/permutation of the shared matrix used when a sharded
-    /// engine hands each shard its part of the one precomputed matrix.
+    /// engine hands each shard its part of the one precomputed matrix, and
+    /// the dense-survivor rebuild of engine-level compaction.
     pub fn select(&self, ids: &[u32]) -> Self {
         let mut out = PivotMatrix::with_capacity(self.width, ids.len());
         for &id in ids {
@@ -170,60 +191,259 @@ impl PivotMatrix {
     }
 }
 
+/// The cache-blocked, branchless pivot-filter kernel: computes the Lemma 1
+/// lower bound `max_j |qd_j - row_j|` for whole *blocks* of candidate rows
+/// at once over the flat row-major storage, instead of one
+/// [`pivot_lower_bound`](crate::lemmas::pivot_lower_bound) call per row.
+///
+/// Processing [`ScanKernel::LANES`] rows per step keeps that many
+/// independent `max` dependency chains in flight (the scalar loop is a
+/// single serial chain of `l` compare-selects per row) and lets LLVM
+/// auto-vectorize the fixed-stride inner loop; there is no per-row slot
+/// branch, no `Option` unwrap, and no enumeration overhead inside the
+/// block. The arithmetic is *identical* to the scalar path — `|a − b|` and
+/// `max` are exact and each row's reduction runs in the same pivot order —
+/// so blocked results equal scalar results **bit for bit** (unit-tested
+/// below), which is what lets every index route its filter through the
+/// kernel without changing a single exact counter.
+pub struct ScanKernel;
+
+impl ScanKernel {
+    /// Rows processed per unrolled step (independent max-chains in flight).
+    pub const LANES: usize = 4;
+
+    #[inline(always)]
+    fn row_max(qd: &[f64], row: &[f64]) -> f64 {
+        let mut m = 0.0f64;
+        for (q, x) in qd.iter().zip(row) {
+            let d = (q - x).abs();
+            m = if d > m { d } else { m };
+        }
+        m
+    }
+
+    /// The one 4-lane reduction both blocked entry points share: four
+    /// independent `max |q - x|` chains over four rows of width `qd.len()`.
+    /// Keeping a single copy is load-bearing for the exact-counter
+    /// guarantee — every caller must produce bit-identical bounds.
+    #[inline(always)]
+    fn block_max(qd: &[f64], r0: &[f64], r1: &[f64], r2: &[f64], r3: &[f64]) -> [f64; 4] {
+        let (mut m0, mut m1, mut m2, mut m3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for ((((q, x0), x1), x2), x3) in qd.iter().zip(r0).zip(r1).zip(r2).zip(r3) {
+            let d0 = (q - x0).abs();
+            let d1 = (q - x1).abs();
+            let d2 = (q - x2).abs();
+            let d3 = (q - x3).abs();
+            m0 = if d0 > m0 { d0 } else { m0 };
+            m1 = if d1 > m1 { d1 } else { m1 };
+            m2 = if d2 > m2 { d2 } else { m2 };
+            m3 = if d3 > m3 { d3 } else { m3 };
+        }
+        [m0, m1, m2, m3]
+    }
+
+    /// Lower bounds for `n` contiguous rows of flat row-major storage
+    /// (`rows.len() == n * qd.len()`), appended-into `out` (cleared first).
+    pub fn lower_bounds(qd: &[f64], rows: &[f64], n: usize, out: &mut Vec<f64>) {
+        let w = qd.len();
+        out.clear();
+        if w == 0 {
+            out.resize(n, 0.0);
+            return;
+        }
+        debug_assert_eq!(rows.len(), n * w);
+        out.reserve(n);
+        let mut blocks = rows.chunks_exact(Self::LANES * w);
+        for block in &mut blocks {
+            let (r0, rest) = block.split_at(w);
+            let (r1, rest) = rest.split_at(w);
+            let (r2, r3) = rest.split_at(w);
+            out.extend_from_slice(&Self::block_max(qd, r0, r1, r2, r3));
+        }
+        for row in blocks.remainder().chunks_exact(w) {
+            out.push(Self::row_max(qd, row));
+        }
+    }
+
+    /// [`lower_bounds`](Self::lower_bounds) through a row-id indirection:
+    /// entry `i` of `out` is the lower bound of `matrix` row `index[i]`.
+    /// The gather variant of the kernel, used by permuted shard slices;
+    /// the inner loop is still the fixed-stride blocked reduction.
+    pub fn lower_bounds_indexed(
+        qd: &[f64],
+        matrix: &PivotMatrix,
+        index: &[u32],
+        out: &mut Vec<f64>,
+    ) {
+        let w = qd.len();
+        out.clear();
+        if w == 0 {
+            out.resize(index.len(), 0.0);
+            return;
+        }
+        debug_assert_eq!(matrix.width(), w);
+        out.reserve(index.len());
+        let data = matrix.as_slice();
+        let mut blocks = index.chunks_exact(Self::LANES);
+        for ids in &mut blocks {
+            let r0 = &data[ids[0] as usize * w..ids[0] as usize * w + w];
+            let r1 = &data[ids[1] as usize * w..ids[1] as usize * w + w];
+            let r2 = &data[ids[2] as usize * w..ids[2] as usize * w + w];
+            let r3 = &data[ids[3] as usize * w..ids[3] as usize * w + w];
+            out.extend_from_slice(&Self::block_max(qd, r0, r1, r2, r3));
+        }
+        for &id in blocks.remainder() {
+            out.push(Self::row_max(qd, matrix.row(id as usize)));
+        }
+    }
+
+    /// The scalar reference: one [`pivot_lower_bound`]-style reduction per
+    /// row, no blocking. Exists for the bit-for-bit kernel tests and the
+    /// blocked-vs-scalar throughput bench; indexes use the blocked paths.
+    ///
+    /// [`pivot_lower_bound`]: crate::lemmas::pivot_lower_bound
+    pub fn lower_bounds_scalar(qd: &[f64], rows: &[f64], n: usize, out: &mut Vec<f64>) {
+        let w = qd.len();
+        out.clear();
+        if w == 0 {
+            out.resize(n, 0.0);
+            return;
+        }
+        debug_assert_eq!(rows.len(), n * w);
+        out.extend(rows.chunks_exact(w).map(|row| Self::row_max(qd, row)));
+    }
+}
+
+/// Writer-side state of a [`SharedPivotMatrix`]: the published snapshot
+/// plus rows staged since the last publication.
+#[derive(Debug, Default)]
+struct Shared {
+    /// The currently published snapshot. Slices hold clones of this `Arc`.
+    snap: Arc<PivotMatrix>,
+    /// Rows staged since the last publication, row-major.
+    staged: Vec<f64>,
+    staged_rows: usize,
+}
+
 /// A [`PivotMatrix`] shared between the engine, the router, and every
-/// shard's pivot table, behind a reader-writer lock so the engine's
-/// mutation path can *grow* it in place while adopted slices keep reading.
+/// shard's pivot table, with **snapshot publication** instead of a
+/// read-write lock: readers hold a plain [`Arc<PivotMatrix>`] (cloned at
+/// adoption/refresh time, on the write path), so a query scan performs no
+/// lock acquisition and no atomic read-modify-write — see the module docs
+/// for the publication rule. The internal mutex serializes *writers* only
+/// (`stage_row` / `publish` / `replace`), which all sit behind `&mut`
+/// engine or index borrows anyway.
 ///
-/// Cloning shares the same matrix (the handle is an `Arc`). Reads are
-/// uncontended in steady state — query scans take one read guard per query;
-/// the write lock is only taken by [`push_row`](Self::push_row) on the
-/// (exclusive-borrow) mutation path.
-///
-/// Rows are append-only: removal tombstones live in the indexes' slot maps,
-/// so a row id handed out by `push_row` is valid forever.
+/// Cloning shares the same matrix (the handle is an `Arc`). Rows are
+/// append-only: removal tombstones live in the indexes' slot maps, so a row
+/// id handed out by `stage_row`/`push_row` is valid until an engine-level
+/// compaction installs a renumbered snapshot via [`replace`](Self::replace).
 #[derive(Clone, Debug, Default)]
-pub struct SharedPivotMatrix(Arc<RwLock<PivotMatrix>>);
+pub struct SharedPivotMatrix(Arc<Mutex<Shared>>);
 
 impl SharedPivotMatrix {
     /// Wraps an already-computed matrix for sharing.
     pub fn new(matrix: PivotMatrix) -> Self {
-        SharedPivotMatrix(Arc::new(RwLock::new(matrix)))
+        SharedPivotMatrix(Arc::new(Mutex::new(Shared {
+            snap: Arc::new(matrix),
+            staged: Vec::new(),
+            staged_rows: 0,
+        })))
     }
 
-    /// Read access for the duration of a query scan.
-    pub fn read(&self) -> RwLockReadGuard<'_, PivotMatrix> {
-        self.0.read()
+    /// The currently published snapshot (staged rows not yet included).
+    pub fn snapshot(&self) -> Arc<PivotMatrix> {
+        self.0.lock().snap.clone()
     }
 
-    /// Appends one row, returning its stable row id.
-    pub fn push_row(&self, row: &[f64]) -> usize {
-        self.0.write().push_row(row)
+    /// An owned deep copy of the published snapshot (tests / diagnostics).
+    pub fn snapshot_owned(&self) -> PivotMatrix {
+        (*self.snapshot()).clone()
     }
 
-    /// Current number of rows (including rows of tombstoned objects).
+    /// Total rows: published plus staged.
     pub fn rows(&self) -> usize {
-        self.0.read().rows()
+        let g = self.0.lock();
+        g.snap.rows() + g.staged_rows
     }
 
     /// Number of pivots `l` (the row stride).
     pub fn width(&self) -> usize {
-        self.0.read().width()
+        self.0.lock().snap.width()
     }
 
-    /// An owned copy of the current matrix (tests / diagnostics).
-    pub fn snapshot(&self) -> PivotMatrix {
-        self.0.read().clone()
+    /// Whether rows have been staged but not yet published.
+    pub fn has_staged(&self) -> bool {
+        self.0.lock().staged_rows > 0
+    }
+
+    /// Stages one row without publishing, returning its (future) stable row
+    /// id. The row becomes readable only after [`publish`](Self::publish);
+    /// the engine stages a whole `apply` batch and publishes once.
+    pub fn stage_row(&self, row: &[f64]) -> usize {
+        let mut g = self.0.lock();
+        assert_eq!(
+            row.len(),
+            g.snap.width(),
+            "row length must equal pivot count"
+        );
+        g.staged.extend_from_slice(row);
+        g.staged_rows += 1;
+        g.snap.rows() + g.staged_rows - 1
+    }
+
+    /// Stages one row and publishes immediately — the standalone-index
+    /// insert path (see [`MatrixSlice::push_adopt`], which also makes the
+    /// publication in-place by releasing its own snapshot first).
+    pub fn push_row(&self, row: &[f64]) -> usize {
+        let id = self.stage_row(row);
+        self.publish();
+        id
+    }
+
+    /// Publishes a new snapshot containing every staged row. When no other
+    /// snapshot holders remain (a sole-owner standalone index), the rows
+    /// are appended in place — amortized `O(l)` per row; otherwise one copy
+    /// of the matrix is made, amortized across the whole staged batch.
+    pub fn publish(&self) {
+        let mut g = self.0.lock();
+        if g.staged_rows == 0 {
+            return;
+        }
+        let Shared {
+            snap,
+            staged,
+            staged_rows,
+        } = &mut *g;
+        let m = Arc::make_mut(snap);
+        m.data.append(staged);
+        m.rows += *staged_rows;
+        *staged_rows = 0;
+    }
+
+    /// Installs `matrix` as the new published snapshot, discarding the old
+    /// rows — the engine-level compaction path (the caller has already
+    /// remapped every row id). Panics if rows are staged but unpublished.
+    pub fn replace(&self, matrix: PivotMatrix) {
+        let mut g = self.0.lock();
+        assert_eq!(g.staged_rows, 0, "publish staged rows before replacing");
+        g.snap = Arc::new(matrix);
     }
 }
 
 /// One shard's adopted view of a [`SharedPivotMatrix`]: local row `i` reads
-/// shared row `index[i]`.
+/// shared row `index[i]` of the slice's cached snapshot.
 ///
-/// This replaces the contiguous permuted per-shard matrix copies: adopting
-/// a partition is `O(|partition|)` row *ids* instead of `O(|partition| · l)`
-/// copied distances, and — the point of the indirection — a row pushed into
-/// the shared matrix by the engine's mutation path is adopted by appending
-/// its id ([`adopt`](Self::adopt)), with no copy and no recomputation.
+/// The indirection makes adoption free — a partition is `O(|partition|)`
+/// row *ids*, and a row pushed by the engine's mutation path is adopted by
+/// appending its id ([`adopt`](Self::adopt)) — while the cached
+/// [`Arc<PivotMatrix>`] snapshot makes reads free: [`row`](Self::row) and
+/// [`lower_bounds_into`](Self::lower_bounds_into) touch no lock and no
+/// atomic, per the module-level publication rule. The snapshot is
+/// re-fetched only on the `&mut` write paths ([`refresh`](Self::refresh),
+/// called by the engine after it publishes staged rows, and by
+/// [`adopt`]/[`reindex`](Self::reindex) themselves when the adopted row is
+/// already published).
 ///
 /// A standalone index (no engine) wraps its own freshly computed matrix via
 /// [`from_owned`](Self::from_owned), becoming the sole owner of a shared
@@ -231,34 +451,55 @@ impl SharedPivotMatrix {
 #[derive(Clone, Debug)]
 pub struct MatrixSlice {
     shared: SharedPivotMatrix,
+    /// Cached published snapshot; always covers every row in `index` by
+    /// the publication rule (the engine refreshes after publishing).
+    snap: Arc<PivotMatrix>,
     /// Local row id → shared row id.
     index: Vec<u32>,
+    /// Whether `index` is one consecutive run (`index[i] = index[0] + i`),
+    /// which lets the scan kernel run over contiguous storage with no
+    /// gather. True for standalone identity slices and single-shard
+    /// engines; maintained incrementally on adopt/reindex.
+    consecutive: bool,
+}
+
+fn is_consecutive(index: &[u32]) -> bool {
+    index.windows(2).all(|w| w[1] == w[0] + 1)
 }
 
 impl MatrixSlice {
     /// Adopts the given shared rows, in `index` order (local row `i` is
-    /// shared row `index[i]`).
+    /// shared row `index[i]`). Every row must already be published.
     pub fn new(shared: SharedPivotMatrix, index: Vec<u32>) -> Self {
+        let snap = shared.snapshot();
         debug_assert!(
-            index.iter().all(|&r| (r as usize) < shared.rows()),
+            index.iter().all(|&r| (r as usize) < snap.rows()),
             "every adopted row must exist in the shared matrix"
         );
-        MatrixSlice { shared, index }
+        let consecutive = is_consecutive(&index);
+        MatrixSlice {
+            shared,
+            snap,
+            index,
+            consecutive,
+        }
     }
 
     /// Wraps an owned matrix as its own sole-owner slice (identity
     /// indirection) — the standalone-index construction path.
     pub fn from_owned(matrix: PivotMatrix) -> Self {
         let index = (0..matrix.rows() as u32).collect();
-        MatrixSlice {
-            shared: SharedPivotMatrix::new(matrix),
-            index,
-        }
+        MatrixSlice::new(SharedPivotMatrix::new(matrix), index)
     }
 
     /// The shared matrix this slice reads.
     pub fn shared(&self) -> &SharedPivotMatrix {
         &self.shared
+    }
+
+    /// The cached published snapshot this slice resolves rows through.
+    pub fn snapshot(&self) -> &Arc<PivotMatrix> {
+        &self.snap
     }
 
     /// Number of local rows (including rows of tombstoned slots).
@@ -273,7 +514,7 @@ impl MatrixSlice {
 
     /// Number of pivots `l`.
     pub fn width(&self) -> usize {
-        self.shared.width()
+        self.snap.width()
     }
 
     /// The shared row id behind a local row.
@@ -281,21 +522,94 @@ impl MatrixSlice {
         self.index[local] as usize
     }
 
+    /// Local row `local` as a contiguous slice of `l` distances — resolved
+    /// through the cached snapshot: no lock, no guard, the serve hot path.
+    #[inline]
+    pub fn row(&self, local: usize) -> &[f64] {
+        self.snap.row(self.index[local] as usize)
+    }
+
+    /// Lemma 1 lower bounds for **all** local rows at once, through the
+    /// blocked [`ScanKernel`] (contiguous fast path when the indirection is
+    /// one consecutive run, gather otherwise), into a reused buffer. Rows
+    /// of tombstoned slots are included — computing their bound is cheaper
+    /// than branching on liveness inside the kernel; the caller's
+    /// slot map skips them in the verification pass.
+    pub fn lower_bounds_into(&self, qd: &[f64], out: &mut Vec<f64>) {
+        debug_assert_eq!(qd.len(), self.width());
+        if self.consecutive && !self.index.is_empty() {
+            let w = self.snap.width();
+            let start = self.index[0] as usize * w;
+            let rows = &self.snap.as_slice()[start..start + self.index.len() * w];
+            ScanKernel::lower_bounds(qd, rows, self.index.len(), out);
+        } else {
+            ScanKernel::lower_bounds_indexed(qd, &self.snap, &self.index, out);
+        }
+    }
+
+    /// Re-fetches the published snapshot — the engine calls this (through
+    /// `MetricIndex::refresh_rows`) after publishing staged rows.
+    pub fn refresh(&mut self) {
+        self.snap = self.shared.snapshot();
+    }
+
+    /// Drops the cached snapshot (replacing it with an empty placeholder)
+    /// so that an imminent publication finds the shared storage sole-owned
+    /// and appends **in place** instead of deep-copying the matrix — the
+    /// engine releases every shard's slice, publishes, then refreshes
+    /// them, all under its `&mut` borrow, so no query can observe the
+    /// placeholder. ([`push_adopt`](Self::push_adopt) is the one-slice
+    /// standalone form of the same discipline.)
+    pub fn release(&mut self) {
+        self.snap = Arc::new(PivotMatrix::default());
+    }
+
     /// Adopts one more shared row, returning its local row id. The row must
-    /// already exist in the shared matrix (the caller pushed it).
+    /// exist in the shared matrix, published **or staged**: adopting a
+    /// still-staged row defers the snapshot refresh to the engine's
+    /// publication step (no query can run in between — the engine holds
+    /// `&mut` for the whole batch); adopting a published row the cached
+    /// snapshot predates refreshes immediately.
     pub fn adopt(&mut self, shared_row: usize) -> usize {
         debug_assert!(shared_row < self.shared.rows(), "adopting a missing row");
+        if shared_row >= self.snap.rows() {
+            let published = self.shared.snapshot();
+            if shared_row < published.rows() {
+                self.snap = published;
+            }
+        }
+        self.consecutive = self.consecutive
+            && (self.index.is_empty() || shared_row as u32 == self.index[self.index.len() - 1] + 1);
         self.index.push(shared_row as u32);
         self.index.len() - 1
     }
 
-    /// Locks the shared matrix for reading and returns a row accessor valid
-    /// for the duration of one query scan.
-    pub fn reader(&self) -> MatrixSliceReader<'_> {
-        MatrixSliceReader {
-            matrix: self.shared.read(),
-            index: &self.index,
-        }
+    /// Computes, stages, publishes and adopts one row — the standalone
+    /// insert path. Releases this slice's own snapshot first so that a
+    /// sole-owner publication appends in place (amortized `O(l)`); an
+    /// engine-shared matrix falls back to one copy (engines batch through
+    /// `stage_row` + `publish` instead).
+    pub fn push_adopt(&mut self, row: &[f64]) -> usize {
+        self.snap = Arc::new(PivotMatrix::default());
+        let id = self.shared.push_row(row);
+        self.snap = self.shared.snapshot();
+        self.consecutive = self.consecutive
+            && (self.index.is_empty() || id as u32 == self.index[self.index.len() - 1] + 1);
+        self.index.push(id as u32);
+        self.index.len() - 1
+    }
+
+    /// Replaces the whole indirection and re-fetches the snapshot — the
+    /// compaction path, after the engine installed a renumbered matrix via
+    /// [`SharedPivotMatrix::replace`].
+    pub fn reindex(&mut self, index: Vec<u32>) {
+        self.snap = self.shared.snapshot();
+        debug_assert!(
+            index.iter().all(|&r| (r as usize) < self.snap.rows()),
+            "every reindexed row must exist in the compacted matrix"
+        );
+        self.consecutive = is_consecutive(&index);
+        self.index = index;
     }
 
     /// This slice's share of the matrix footprint: its rows' distances plus
@@ -311,37 +625,12 @@ impl From<PivotMatrix> for MatrixSlice {
     }
 }
 
-/// A read guard over a [`MatrixSlice`]: resolves local rows through the
-/// indirection into the locked shared matrix. Holds the read lock until
-/// dropped, so scans resolve rows with no per-row locking.
-pub struct MatrixSliceReader<'a> {
-    matrix: RwLockReadGuard<'a, PivotMatrix>,
-    index: &'a [u32],
-}
-
-impl MatrixSliceReader<'_> {
-    /// Local row `local` as a contiguous slice of `l` distances.
-    #[inline]
-    pub fn row(&self, local: usize) -> &[f64] {
-        self.matrix.row(self.index[local] as usize)
-    }
-
-    /// Number of local rows.
-    pub fn len(&self) -> usize {
-        self.index.len()
-    }
-
-    /// Whether the slice has no rows.
-    pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::datasets;
     use crate::distance::{CountingMetric, L2};
+    use crate::lemmas::pivot_lower_bound;
 
     #[test]
     fn compute_matches_serial_for_all_thread_counts() {
@@ -415,6 +704,85 @@ mod tests {
         m.push_row(&[1.0]);
     }
 
+    // -----------------------------------------------------------------
+    // ScanKernel: bit-for-bit equality with the scalar lower bound.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn blocked_kernel_equals_scalar_bit_for_bit() {
+        // Sizes straddling the block width, including remainders; widths
+        // including degenerate 0 and 1.
+        for w in [0usize, 1, 3, 5, 21] {
+            for n in [0usize, 1, 3, 4, 5, 63, 64, 65, 257] {
+                // Deterministic pseudo-data with negative and repeated
+                // values (no RNG needed).
+                let rows: Vec<f64> = (0..n * w)
+                    .map(|i| ((i * 37 % 101) as f64 - 50.0) * 0.75)
+                    .collect();
+                let qd: Vec<f64> = (0..w).map(|j| (j * 13 % 17) as f64 - 8.0).collect();
+                let mut blocked = Vec::new();
+                let mut scalar = Vec::new();
+                ScanKernel::lower_bounds(&qd, &rows, n, &mut blocked);
+                ScanKernel::lower_bounds_scalar(&qd, &rows, n, &mut scalar);
+                assert_eq!(blocked.len(), n);
+                for i in 0..n {
+                    assert_eq!(
+                        blocked[i].to_bits(),
+                        scalar[i].to_bits(),
+                        "w={w} n={n} row {i}: blocked != scalar"
+                    );
+                    if w > 0 {
+                        let want = pivot_lower_bound(&qd, &rows[i * w..(i + 1) * w]);
+                        assert_eq!(blocked[i].to_bits(), want.to_bits(), "vs lemmas");
+                    }
+                }
+                // The gather variant agrees too, under a permutation.
+                if w > 0 {
+                    let m = PivotMatrix::from_rows(w, rows.chunks(w.max(1)));
+                    let index: Vec<u32> = (0..n as u32).rev().collect();
+                    let mut gathered = Vec::new();
+                    ScanKernel::lower_bounds_indexed(&qd, &m, &index, &mut gathered);
+                    for (i, &id) in index.iter().enumerate() {
+                        assert_eq!(gathered[i].to_bits(), scalar[id as usize].to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slice_lower_bounds_match_per_row_scan() {
+        let pts = datasets::la(300, 11);
+        let pivots: Vec<Vec<f32>> = vec![pts[0].clone(), pts[10].clone(), pts[20].clone()];
+        let matrix = PivotMatrix::compute(&pts, &L2, &pivots, 1);
+        let qd: Vec<f64> = pivots.iter().map(|p| L2.dist(&pts[42], p)).collect();
+        // Identity (consecutive fast path).
+        let ident = MatrixSlice::from_owned(matrix.clone());
+        let mut lbs = Vec::new();
+        ident.lower_bounds_into(&qd, &mut lbs);
+        for (i, lb) in lbs.iter().enumerate() {
+            assert_eq!(
+                lb.to_bits(),
+                pivot_lower_bound(&qd, matrix.row(i)).to_bits()
+            );
+        }
+        // Permuted (gather path).
+        let shared = SharedPivotMatrix::new(matrix.clone());
+        let index: Vec<u32> = (0..300u32).map(|i| (i * 7) % 300).collect();
+        let slice = MatrixSlice::new(shared, index.clone());
+        slice.lower_bounds_into(&qd, &mut lbs);
+        for (i, &id) in index.iter().enumerate() {
+            assert_eq!(
+                lbs[i].to_bits(),
+                pivot_lower_bound(&qd, matrix.row(id as usize)).to_bits()
+            );
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Snapshot publication.
+    // -----------------------------------------------------------------
+
     #[test]
     fn shared_matrix_grows_under_adopted_slices() {
         let shared = SharedPivotMatrix::new(PivotMatrix::from_rows(
@@ -427,23 +795,77 @@ mod tests {
         assert_eq!(a.len(), 2);
         assert_eq!(a.width(), 2);
         assert_eq!(a.shared_row_of(0), 3);
-        {
-            let r = a.reader();
-            assert_eq!(r.row(0), &[6.0, 7.0]);
-            assert_eq!(r.row(1), &[0.0, 1.0]);
-            assert_eq!(r.len(), 2);
-        }
-        // The mutation path pushes one row and the target slice adopts it.
+        assert_eq!(a.row(0), &[6.0, 7.0]);
+        assert_eq!(a.row(1), &[0.0, 1.0]);
+        // The mutation path pushes one row (stage + publish) and the target
+        // slice adopts it; the adopt refreshes the cached snapshot because
+        // the row is already published.
         let row_id = shared.push_row(&[8.0, 9.0]);
         assert_eq!(row_id, 4);
         let local = a.adopt(row_id);
         assert_eq!(local, 2);
-        assert_eq!(a.reader().row(2), &[8.0, 9.0]);
-        // The sibling slice is untouched but reads the same grown matrix.
+        assert_eq!(a.row(2), &[8.0, 9.0]);
+        // The sibling slice still reads its own (older but sufficient)
+        // snapshot; a refresh brings it to the latest.
         assert_eq!(b.len(), 2);
-        assert_eq!(b.shared().rows(), 5);
-        assert_eq!(b.reader().row(1), &[4.0, 5.0]);
-        assert_eq!(shared.snapshot().rows(), 5);
+        assert_eq!(shared.rows(), 5);
+        assert_eq!(b.row(1), &[4.0, 5.0]);
+        let mut b = b;
+        b.refresh();
+        assert_eq!(b.snapshot().rows(), 5);
+    }
+
+    #[test]
+    fn staged_rows_publish_in_one_step() {
+        let shared = SharedPivotMatrix::new(PivotMatrix::from_rows(1, [[1.0], [2.0]]));
+        let mut s = MatrixSlice::new(shared.clone(), vec![0, 1]);
+        assert!(!shared.has_staged());
+        let r2 = shared.stage_row(&[3.0]);
+        let r3 = shared.stage_row(&[4.0]);
+        assert_eq!((r2, r3), (2, 3));
+        assert_eq!(shared.rows(), 4, "total counts staged rows");
+        assert_eq!(shared.snapshot().rows(), 2, "snapshot does not");
+        assert!(shared.has_staged());
+        // Adopting a staged row defers the refresh (no queries can run
+        // while the engine holds &mut); publish + refresh completes it.
+        let local = s.adopt(r2);
+        assert_eq!(local, 2);
+        shared.publish();
+        assert!(!shared.has_staged());
+        s.refresh();
+        assert_eq!(s.row(2), &[3.0]);
+        assert_eq!(s.snapshot().rows(), 4);
+    }
+
+    #[test]
+    fn sole_owner_publish_appends_in_place() {
+        // A standalone slice's push_adopt releases its snapshot so the
+        // publish mutates the sole-owner Arc without copying; observable
+        // effect: the data pointer is stable across small pushes once
+        // capacity exists.
+        let mut s = MatrixSlice::from_owned(PivotMatrix::with_capacity(1, 16));
+        for i in 0..10 {
+            let local = s.push_adopt(&[i as f64]);
+            assert_eq!(local, i);
+            assert_eq!(s.row(i), &[i as f64]);
+        }
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.shared().rows(), 10);
+    }
+
+    #[test]
+    fn replace_installs_compacted_snapshot() {
+        let shared =
+            SharedPivotMatrix::new(PivotMatrix::from_rows(1, [[0.0], [1.0], [2.0], [3.0]]));
+        let mut s = MatrixSlice::new(shared.clone(), vec![0, 1, 2, 3]);
+        // "Compact away" rows 1 and 3: survivors 0, 2 renumber to 0, 1.
+        let dense = shared.snapshot().select(&[0, 2]);
+        shared.replace(dense);
+        s.reindex(vec![0, 1]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.row(0), &[0.0]);
+        assert_eq!(s.row(1), &[2.0]);
+        assert_eq!(shared.rows(), 2);
     }
 
     #[test]
@@ -452,9 +874,8 @@ mod tests {
         let s: MatrixSlice = m.into();
         assert_eq!(s.len(), 3);
         assert!(!s.is_empty());
-        let r = s.reader();
         for i in 0..3 {
-            assert_eq!(r.row(i), &[(i + 1) as f64]);
+            assert_eq!(s.row(i), &[(i + 1) as f64]);
         }
         assert_eq!(s.mem_bytes(), 3 * (8 + 4));
     }

@@ -25,6 +25,13 @@ pub struct QueryScratch {
     /// Bounded max-heap of current k best neighbors for kNN scans. Emptied
     /// by each use; capacity persists.
     pub heap: BinaryHeap<Neighbor>,
+    /// Per-slot Lemma 1 lower bounds, filled by the blocked
+    /// [`ScanKernel`](crate::matrix::ScanKernel) once per scan (entry `i`
+    /// is the bound of slot `i`, tombstoned slots included).
+    pub lbs: Vec<f64>,
+    /// Slot ids that survived the lower-bound filter of a range scan,
+    /// collected before the exact-distance verification pass.
+    pub survivors: Vec<u32>,
 }
 
 impl QueryScratch {
@@ -37,6 +44,8 @@ impl QueryScratch {
     pub fn clear(&mut self) {
         self.qd.clear();
         self.heap.clear();
+        self.lbs.clear();
+        self.survivors.clear();
     }
 }
 

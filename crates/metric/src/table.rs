@@ -5,7 +5,6 @@
 //! structures, and store the objects in a separate table"). Ids are slot
 //! positions and stay stable until removal.
 
-use crate::matrix::MatrixSliceReader;
 use crate::stats::ObjId;
 
 /// Slotted object storage with stable ids.
@@ -78,25 +77,29 @@ impl<O> ObjTable<O> {
             .filter_map(|(i, s)| s.as_ref().map(|o| (i as ObjId, o)))
     }
 
-    /// Iterates `(id, object, matrix row)` over live slots in id order,
-    /// pairing each live object with its row of an adopted
-    /// [`MatrixSlice`](crate::matrix::MatrixSlice) whose local row ids are
-    /// this table's slot ids. This is the flat-matrix scan loop of the
-    /// pivot tables: tombstoned slots are skipped (their matrix rows stay
-    /// in place, unread), so no `Option` unwrap ever runs on the scan path,
-    /// and the caller's [`MatrixSliceReader`] holds the shared matrix's
-    /// read lock exactly once per scan.
-    ///
-    /// Panics (in the iterator) if the slice has fewer rows than this
-    /// table has slots.
-    pub fn iter_live_rows<'a>(
-        &'a self,
-        rows: &'a MatrixSliceReader<'a>,
-    ) -> impl Iterator<Item = (ObjId, &'a O, &'a [f64])> {
-        self.slots
+    /// Drops every tombstoned slot, re-adding the live objects in `keep`
+    /// order (old slot ids) so that old slot `keep[i]` becomes new slot
+    /// `i` — the engine-level compaction path, where `keep` is the shard's
+    /// surviving members in ascending global-id order (exactly the slot
+    /// order a from-scratch rebuild over the survivors would produce).
+    /// Panics if any `keep` entry is not live or a live slot is omitted.
+    pub fn compact(&mut self, keep: &[ObjId]) {
+        assert_eq!(
+            keep.len(),
+            self.live,
+            "compaction must keep every live slot"
+        );
+        let mut old = std::mem::take(&mut self.slots);
+        self.slots = keep
             .iter()
-            .enumerate()
-            .filter_map(move |(i, s)| s.as_ref().map(|o| (i as ObjId, o, rows.row(i))))
+            .map(|&id| {
+                Some(
+                    old[id as usize]
+                        .take()
+                        .expect("compaction keeps only live slots"),
+                )
+            })
+            .collect();
     }
 
     /// Linear lookup of an id, mimicking indexes whose deletion requires a
@@ -132,18 +135,27 @@ mod tests {
     }
 
     #[test]
-    fn live_rows_skip_tombstones() {
-        use crate::matrix::{MatrixSlice, PivotMatrix};
-        let mut t = ObjTable::new(vec!["a", "b", "c"]);
-        let m: MatrixSlice = PivotMatrix::from_rows(2, [[0.0, 1.0], [2.0, 3.0], [4.0, 5.0]]).into();
+    fn compact_drops_tombstones_in_keep_order() {
+        let mut t = ObjTable::new(vec!["a", "b", "c", "d"]);
         t.remove(1);
-        assert_eq!(t.slots(), 3, "slots() includes the tombstone");
-        assert_eq!(t.len(), 2);
-        let r = m.reader();
-        let got: Vec<_> = t.iter_live_rows(&r).collect();
-        assert_eq!(got.len(), 2);
-        assert_eq!(got[0], (0, &"a", [0.0, 1.0].as_slice()));
-        assert_eq!(got[1], (2, &"c", [4.0, 5.0].as_slice()));
+        assert_eq!(t.slots(), 4, "slots() includes the tombstone");
+        assert_eq!(t.len(), 3);
+        // Keep order need not be slot order (post-recluster shards sort by
+        // global id).
+        t.compact(&[0, 3, 2]);
+        assert_eq!(t.slots(), 3);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(0), Some(&"a"));
+        assert_eq!(t.get(1), Some(&"d"));
+        assert_eq!(t.get(2), Some(&"c"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn compact_rejects_dead_slots() {
+        let mut t = ObjTable::new(vec!["a", "b"]);
+        t.remove(0);
+        t.compact(&[0]);
     }
 
     #[test]

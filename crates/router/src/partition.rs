@@ -102,10 +102,30 @@ pub fn assign_pivot_space(mapped: &PivotMatrix, shards: usize, seed: u64) -> Vec
 
 /// Nearest-centroid assignment under a per-shard capacity: first every
 /// centroid claims its single nearest unassigned point (no shard left
-/// empty), then the remaining (point, centroid) pairs are taken globally
-/// in ascending distance order, skipping full shards. Total capacity
+/// empty), then the remaining points are taken in globally ascending
+/// (distance, point, centroid) order, skipping full shards. Total capacity
 /// `p · cap >= n` guarantees every point lands somewhere.
+///
+/// The global order is realized **lazily**: each point keeps its own
+/// centroid preference list sorted ascending, and a binary heap holds one
+/// candidate pair per unassigned point — popping the heap yields exactly
+/// the pairs a full `sort` of all `n · p` pairs would visit, in the same
+/// order (a point's pairs enter the heap in its own ascending order, which
+/// is consistent with the global order; shard fullness only ever grows).
+/// This replaced an eager build-and-sort of all `n · p` pairs per k-means
+/// iteration — the superlinear-in-`P` term behind the pivot-space build
+/// wall at `P = 8` — with `O(n · p)` list setup plus one heap op per
+/// assignment (and per skip of a full shard), while producing the
+/// **identical** assignment (unit-tested against the reference below).
+///
+/// Distances are compared as raw `f64` bits: squared distances are
+/// non-negative, where bit order equals numeric order, so the tuple key
+/// `(bits, point, centroid)` reproduces the reference
+/// `total_cmp`-then-id order exactly.
 fn balanced_assign(mapped: &PivotMatrix, centroids: &[Vec<f64>], cap: usize) -> Vec<usize> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
     let n = mapped.rows();
     let p = centroids.len();
     let mut assignment = vec![usize::MAX; n];
@@ -129,20 +149,49 @@ fn balanced_assign(mapped: &PivotMatrix, centroids: &[Vec<f64>], cap: usize) -> 
         }
     }
 
-    let mut pairs: Vec<(f64, u32, u32)> = Vec::with_capacity((n - p.min(n)) * p);
+    // Per-point preference lists over the centroids, ascending by
+    // (distance bits, centroid id); `cursor[j]` is the next untried
+    // preference of the j-th unassigned point.
+    let mut points: Vec<u32> = Vec::new();
+    let mut prefs: Vec<(u64, u32)> = Vec::new();
     for (i, m) in mapped.iter_rows() {
-        if assignment[i] == usize::MAX {
-            for (s, c) in centroids.iter().enumerate() {
-                pairs.push((sq_dist(m, c), i as u32, s as u32));
-            }
+        if assignment[i] != usize::MAX {
+            continue;
         }
+        let start = prefs.len();
+        prefs.extend(
+            centroids
+                .iter()
+                .enumerate()
+                .map(|(s, c)| (sq_dist(m, c).to_bits(), s as u32)),
+        );
+        prefs[start..].sort_unstable();
+        points.push(i as u32);
     }
-    pairs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
-    for (_, i, s) in pairs {
-        let (i, s) = (i as usize, s as usize);
-        if assignment[i] == usize::MAX && counts[s] < cap {
-            assignment[i] = s;
-            counts[s] += 1;
+    let pref_of = |j: usize, rank: usize| prefs[j * p + rank];
+
+    let mut cursor = vec![0usize; points.len()];
+    let mut heap: BinaryHeap<Reverse<(u64, u32, u32)>> = BinaryHeap::with_capacity(points.len());
+    let mut list_of = vec![0u32; n];
+    for (j, &i) in points.iter().enumerate() {
+        let (d, s) = pref_of(j, 0);
+        // The heap key carries the point id (global tie order); `list_of`
+        // maps it back to its preference list on pop.
+        heap.push(Reverse((d, i, s)));
+        list_of[i as usize] = j as u32;
+    }
+    while let Some(Reverse((_, i, s))) = heap.pop() {
+        let j = list_of[i as usize] as usize;
+        if counts[s as usize] < cap {
+            assignment[i as usize] = s as usize;
+            counts[s as usize] += 1;
+        } else {
+            // Shard full: advance this point to its next preference. A
+            // non-full shard always exists among the untried ones because
+            // total capacity covers every point.
+            cursor[j] += 1;
+            let (d, s) = pref_of(j, cursor[j]);
+            heap.push(Reverse((d, i, s)));
         }
     }
     debug_assert!(assignment.iter().all(|&s| s < p));
@@ -235,5 +284,80 @@ mod tests {
             assign_pivot_space(&pts, 2, 9),
             assign_pivot_space(&pts, 2, 9)
         );
+    }
+
+    /// The eager reference the lazy-heap assignment replaced: build every
+    /// `(distance, point, centroid)` pair, sort, scan. Kept only to prove
+    /// the fast path produces the identical assignment.
+    fn balanced_assign_reference(
+        mapped: &PivotMatrix,
+        centroids: &[Vec<f64>],
+        cap: usize,
+    ) -> Vec<usize> {
+        let n = mapped.rows();
+        let p = centroids.len();
+        let mut assignment = vec![usize::MAX; n];
+        let mut counts = vec![0usize; p];
+        for (s, c) in centroids.iter().enumerate() {
+            let mut pick = None;
+            let mut pick_d = f64::INFINITY;
+            for (i, m) in mapped.iter_rows() {
+                if assignment[i] == usize::MAX {
+                    let d = sq_dist(m, c);
+                    if d < pick_d {
+                        pick_d = d;
+                        pick = Some(i);
+                    }
+                }
+            }
+            if let Some(i) = pick {
+                assignment[i] = s;
+                counts[s] += 1;
+            }
+        }
+        let mut pairs: Vec<(f64, u32, u32)> = Vec::new();
+        for (i, m) in mapped.iter_rows() {
+            if assignment[i] == usize::MAX {
+                for (s, c) in centroids.iter().enumerate() {
+                    pairs.push((sq_dist(m, c), i as u32, s as u32));
+                }
+            }
+        }
+        pairs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        for (_, i, s) in pairs {
+            let (i, s) = (i as usize, s as usize);
+            if assignment[i] == usize::MAX && counts[s] < cap {
+                assignment[i] = s;
+                counts[s] += 1;
+            }
+        }
+        assignment
+    }
+
+    #[test]
+    fn lazy_heap_assignment_equals_sorted_reference() {
+        // Mixed shapes, including heavy capacity pressure (all points near
+        // one centroid), duplicate points (distance ties broken by ids),
+        // and p not dividing n.
+        let cases: Vec<(PivotMatrix, usize)> = vec![
+            (blobs(10, &[(0.0, 0.0), (100.0, 0.0), (0.0, 100.0)]), 3),
+            (blobs(23, &[(1.0, 1.0), (1.5, 1.2)]), 4),
+            (PivotMatrix::from_rows(2, vec![[5.0, 5.0]; 17]), 5),
+            (
+                PivotMatrix::from_rows(2, (0..40).map(|i| [(i % 7) as f64, (i % 11) as f64])),
+                6,
+            ),
+        ];
+        for (mapped, p) in cases {
+            let n = mapped.rows();
+            let cap = n.div_ceil(p);
+            // Centroids straight from farthest-first over the data, like
+            // the real loop would produce.
+            let centroids: Vec<Vec<f64>> =
+                (0..p).map(|s| mapped.row((s * n) / p).to_vec()).collect();
+            let fast = balanced_assign(&mapped, &centroids, cap);
+            let slow = balanced_assign_reference(&mapped, &centroids, cap);
+            assert_eq!(fast, slow, "n={n} p={p}");
+        }
     }
 }

@@ -7,13 +7,15 @@
 //! computed. This is the CPU/I-O overhead the paper attributes to CPT.
 //!
 //! Like LAESA, the table is a flat row-major [`PivotMatrix`]; liveness is a
-//! separate slot bitmap so the Lemma 1 scan walks contiguous memory.
+//! separate slot bitmap, and the Lemma 1 filter runs through the blocked
+//! [`ScanKernel`](pmi_metric::ScanKernel) over the slice's lock-free
+//! published snapshot, with survivors collected before the fetch+verify
+//! pass.
 
-use pmi_metric::lemmas;
 use pmi_metric::scratch::drain_heap_sorted;
 use pmi_metric::{
-    Counters, CountingMetric, EncodeObject, MatrixSlice, MatrixSliceReader, Metric, MetricIndex,
-    Neighbor, ObjId, PivotMatrix, QueryScratch, StorageFootprint,
+    Counters, CountingMetric, EncodeObject, MatrixSlice, Metric, MetricIndex, Neighbor, ObjId,
+    PivotMatrix, QueryScratch, StorageFootprint,
 };
 use pmi_mtree::MTree;
 use pmi_storage::DiskSim;
@@ -90,24 +92,6 @@ where
         }
     }
 
-    fn query_dists_into(&self, q: &O, qd: &mut Vec<f64>) {
-        qd.clear();
-        qd.extend(self.pivots.iter().map(|p| self.metric.dist(q, p)));
-    }
-
-    /// Iterates `(id, row)` over live slots in id order, resolving rows
-    /// through the caller's slice reader (one lock per scan).
-    fn live_rows<'a>(
-        &'a self,
-        rows: &'a MatrixSliceReader<'a>,
-    ) -> impl Iterator<Item = (ObjId, &'a [f64])> {
-        self.alive
-            .iter()
-            .enumerate()
-            .filter(|&(_, &a)| a)
-            .map(move |(i, _)| (i as ObjId, rows.row(i)))
-    }
-
     /// The instrumented metric.
     pub fn metric(&self) -> &CountingMetric<M> {
         &self.metric
@@ -145,13 +129,23 @@ where
     }
 
     fn range_query_into(&self, q: &O, r: f64, scratch: &mut QueryScratch, out: &mut Vec<ObjId>) {
-        self.query_dists_into(q, &mut scratch.qd);
-        let rows = self.rows.reader();
-        for (id, row) in self.live_rows(&rows) {
-            if lemmas::lemma1_prunable(&scratch.qd, row, r) {
-                continue;
-            }
-            // Survived filtering: load the object from disk to verify.
+        let QueryScratch {
+            qd, lbs, survivors, ..
+        } = scratch;
+        qd.clear();
+        qd.extend(self.pivots.iter().map(|p| self.metric.dist(q, p)));
+        // Blocked kernel over all slots, survivors collected, then the
+        // fetch-from-disk verification pass.
+        self.rows.lower_bounds_into(qd, lbs);
+        survivors.clear();
+        survivors.extend(
+            self.alive
+                .iter()
+                .enumerate()
+                .filter(|&(i, &a)| a && lbs[i] <= r)
+                .map(|(i, _)| i as ObjId),
+        );
+        for &id in survivors.iter() {
             let o = self.mtree.fetch(id).expect("object on disk");
             if self.metric.dist(q, &o) <= r {
                 out.push(id);
@@ -163,23 +157,24 @@ where
         if k == 0 {
             return;
         }
-        self.query_dists_into(q, &mut scratch.qd);
-        let heap = &mut scratch.heap;
+        let QueryScratch { qd, heap, lbs, .. } = scratch;
+        qd.clear();
+        qd.extend(self.pivots.iter().map(|p| self.metric.dist(q, p)));
+        self.rows.lower_bounds_into(qd, lbs);
         heap.clear();
-        let rows = self.rows.reader();
-        for (id, row) in self.live_rows(&rows) {
+        for (id, _) in self.alive.iter().enumerate().filter(|&(_, &a)| a) {
             let radius = if heap.len() < k {
                 f64::INFINITY
             } else {
                 heap.peek().expect("heap is full").dist
             };
-            if radius.is_finite() && lemmas::lemma1_prunable(&scratch.qd, row, radius) {
+            if radius.is_finite() && lbs[id] > radius {
                 continue;
             }
-            let o = self.mtree.fetch(id).expect("object on disk");
+            let o = self.mtree.fetch(id as ObjId).expect("object on disk");
             let d = self.metric.dist(q, &o);
             if d < radius || heap.len() < k {
-                heap.push(Neighbor::new(id, d));
+                heap.push(Neighbor::new(id as ObjId, d));
                 if heap.len() > k {
                     heap.pop();
                 }
@@ -194,15 +189,14 @@ where
             .iter()
             .map(|p| self.metric.dist(&o, p))
             .collect();
-        let shared_row = self.rows.shared().push_row(&row);
-        let id = self.rows.adopt(shared_row) as ObjId;
+        let id = self.rows.push_adopt(&row) as ObjId;
         self.alive.push(true);
         self.mtree.insert(id, &o);
         self.live += 1;
         id
     }
 
-    fn insert_adopted(&mut self, o: O, row: ObjId) -> Result<ObjId, O> {
+    fn insert_adopted(&mut self, o: O, row: ObjId, _row_data: &[f64]) -> Result<ObjId, O> {
         // The `n · l` table row is adopted by id; only the M-tree
         // clustering computes distances (its normal insert cost).
         if (row as usize) >= self.rows.shared().rows() {
@@ -213,6 +207,37 @@ where
         self.mtree.insert(id, &o);
         self.live += 1;
         Ok(id)
+    }
+
+    fn refresh_rows(&mut self) {
+        self.rows.refresh();
+    }
+
+    fn release_rows(&mut self) {
+        self.rows.release();
+    }
+
+    fn compact_rows(&mut self, keep: &[ObjId], rows: &[ObjId]) -> bool {
+        debug_assert_eq!(keep.len(), rows.len());
+        // Relabel the M-tree's entries onto the dense new local ids: fetch
+        // every survivor, empty the tree, reinsert under the new id. This
+        // pays the normal M-tree clustering cost (like a rebuild would);
+        // the n × l table itself is remapped for free.
+        let objs: Vec<O> = keep
+            .iter()
+            .map(|&id| self.mtree.fetch(id).expect("survivor on disk"))
+            .collect();
+        for (&id, o) in keep.iter().zip(&objs) {
+            assert!(self.mtree.remove(id, o), "survivor removable");
+        }
+        for (new_id, o) in objs.iter().enumerate() {
+            self.mtree.insert(new_id as ObjId, o);
+        }
+        self.alive.clear();
+        self.alive.resize(keep.len(), true);
+        self.live = keep.len();
+        self.rows.reindex(rows.to_vec());
+        true
     }
 
     fn remove(&mut self, id: ObjId) -> bool {
@@ -309,7 +334,7 @@ mod tests {
             pts.clone(),
             L2,
             idx.pivots.clone(),
-            idx.rows.shared().snapshot(),
+            idx.rows.shared().snapshot_owned(),
             DiskSim::new(1024),
         );
         // The adopted build pays only the M-tree construction: exactly the

@@ -11,7 +11,11 @@
 //! Rows are stored flat (structure-of-arrays: one `u16` pivot-id array and
 //! one `f64` distance array, fixed stride `l`), so the per-object scan is a
 //! sequential pass with no per-row allocation; tombstoned removal keeps ids
-//! stable through the object table's slot map.
+//! stable through the object table's slot map. The Lemma 1 filter runs as a
+//! blocked kernel over the SoA rows — the EPT-shaped sibling of
+//! [`pmi_metric::ScanKernel`], gathering `qd[pivot_id]` at fixed stride for
+//! several rows at once — with the same bit-for-bit guarantee: blocking
+//! only reorders lower-bound arithmetic across rows, never within one.
 
 use pmi_metric::scratch::drain_heap_sorted;
 use pmi_metric::{
@@ -209,14 +213,62 @@ where
         }
     }
 
-    /// The flat row of slot `id` as `(pivot indices, distances)`.
+    /// The flat row of slot `id` as `(pivot indices, distances)`. Public
+    /// for diagnostics and the exact-counter tests, which recompute the
+    /// scalar lower bound per row and compare against the blocked kernel.
     #[inline]
-    fn row(&self, id: usize) -> (&[u16], &[f64]) {
-        let s = id * self.stride;
+    pub fn row_of(&self, id: ObjId) -> (&[u16], &[f64]) {
+        let s = id as usize * self.stride;
         (
             &self.row_pivots[s..s + self.stride],
             &self.row_dists[s..s + self.stride],
         )
+    }
+
+    /// All pivot objects any row may reference (the `m × l` pool of the
+    /// paper's cost equations; queries pay one distance to each).
+    pub fn pivot_objects(&self) -> &[O] {
+        &self.pivot_objs
+    }
+
+    /// Blocked Lemma 1 lower bounds for **all** slots (tombstoned
+    /// included) over the flat SoA rows, into a reused buffer: the
+    /// EPT-shaped scan kernel. [`ScanKernel::LANES`] independent max-chains
+    /// run per step; each row's reduction visits its pivots in storage
+    /// order, so results are bit-identical to the per-row scalar
+    /// [`row_lower_bound`](Self::row_lower_bound).
+    fn lower_bounds_into(&self, qd: &[f64], out: &mut Vec<f64>) {
+        use pmi_metric::ScanKernel;
+        let w = self.stride;
+        out.clear();
+        if w == 0 {
+            out.resize(self.table.slots(), 0.0);
+            return;
+        }
+        out.reserve(self.row_dists.len() / w);
+        let mut pi_blocks = self.row_pivots.chunks_exact(ScanKernel::LANES * w);
+        let mut d_blocks = self.row_dists.chunks_exact(ScanKernel::LANES * w);
+        for (pis, ds) in (&mut pi_blocks).zip(&mut d_blocks) {
+            let (mut m0, mut m1, mut m2, mut m3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            for j in 0..w {
+                let d0 = (qd[pis[j] as usize] - ds[j]).abs();
+                let d1 = (qd[pis[w + j] as usize] - ds[w + j]).abs();
+                let d2 = (qd[pis[2 * w + j] as usize] - ds[2 * w + j]).abs();
+                let d3 = (qd[pis[3 * w + j] as usize] - ds[3 * w + j]).abs();
+                m0 = if d0 > m0 { d0 } else { m0 };
+                m1 = if d1 > m1 { d1 } else { m1 };
+                m2 = if d2 > m2 { d2 } else { m2 };
+                m3 = if d3 > m3 { d3 } else { m3 };
+            }
+            out.extend_from_slice(&[m0, m1, m2, m3]);
+        }
+        for (pis, ds) in pi_blocks
+            .remainder()
+            .chunks_exact(w)
+            .zip(d_blocks.remainder().chunks_exact(w))
+        {
+            out.push(Self::row_lower_bound(qd, pis, ds));
+        }
     }
 
     /// Selects the `(pivot, distance)` row for one object. In Random mode,
@@ -258,15 +310,10 @@ where
         self.select_row_from(o, None)
     }
 
-    /// Distances from `q` to every pivot object (the `m × l` term of the
-    /// paper's cost equations), written into `qd`.
-    fn query_dists_into(&self, q: &O, qd: &mut Vec<f64>) {
-        qd.clear();
-        qd.extend(self.pivot_objs.iter().map(|p| self.metric.dist(q, p)));
-    }
-
+    /// The scalar per-row lower bound (`max_j |qd[p_j] - d_j|`), shared by
+    /// the kernel's remainder path and the exact-counter tests.
     #[inline]
-    fn row_lower_bound(qd: &[f64], pivots: &[u16], dists: &[f64]) -> f64 {
+    pub fn row_lower_bound(qd: &[f64], pivots: &[u16], dists: &[f64]) -> f64 {
         let mut lb = 0.0f64;
         for (pi, d) in pivots.iter().zip(dists) {
             let x = (qd[*pi as usize] - d).abs();
@@ -322,12 +369,21 @@ where
     }
 
     fn range_query_into(&self, q: &O, r: f64, scratch: &mut QueryScratch, out: &mut Vec<ObjId>) {
-        self.query_dists_into(q, &mut scratch.qd);
-        for (id, o) in self.table.iter() {
-            let (pis, ds) = self.row(id as usize);
-            if Self::row_lower_bound(&scratch.qd, pis, ds) > r {
-                continue;
-            }
+        let QueryScratch {
+            qd, lbs, survivors, ..
+        } = scratch;
+        qd.clear();
+        qd.extend(self.pivot_objs.iter().map(|p| self.metric.dist(q, p)));
+        self.lower_bounds_into(qd, lbs);
+        survivors.clear();
+        survivors.extend(
+            self.table
+                .iter()
+                .filter(|&(id, _)| lbs[id as usize] <= r)
+                .map(|(id, _)| id),
+        );
+        for &id in survivors.iter() {
+            let o = self.table.get(id).expect("survivor is live");
             if self.metric.dist(q, o) <= r {
                 out.push(id);
             }
@@ -338,8 +394,10 @@ where
         if k == 0 {
             return;
         }
-        self.query_dists_into(q, &mut scratch.qd);
-        let heap = &mut scratch.heap;
+        let QueryScratch { qd, heap, lbs, .. } = scratch;
+        qd.clear();
+        qd.extend(self.pivot_objs.iter().map(|p| self.metric.dist(q, p)));
+        self.lower_bounds_into(qd, lbs);
         heap.clear();
         for (id, o) in self.table.iter() {
             let radius = if heap.len() < k {
@@ -347,8 +405,7 @@ where
             } else {
                 heap.peek().expect("heap is full").dist
             };
-            let (pis, ds) = self.row(id as usize);
-            if radius.is_finite() && Self::row_lower_bound(&scratch.qd, pis, ds) > radius {
+            if radius.is_finite() && lbs[id as usize] > radius {
                 continue;
             }
             let d = self.metric.dist(q, o);

@@ -1,6 +1,5 @@
 //! LAESA (paper §3.1): a linear pivot table over a shared pivot set.
 
-use pmi_metric::lemmas;
 use pmi_metric::scratch::drain_heap_sorted;
 use pmi_metric::{
     Counters, CountingMetric, EncodeObject, MatrixSlice, Metric, MetricIndex, Neighbor, ObjId,
@@ -12,11 +11,14 @@ use pmi_metric::{
 /// The distance table is an adopted [`MatrixSlice`] — a row-index view of a
 /// flat row-major shared [`PivotMatrix`] — aligned with the object table's
 /// slots: removal tombstones the slot (the matrix row stays in place,
-/// unread), so the Lemma 1 scan is a branch-light sequential pass over
-/// contiguous memory with no per-row `Option` or pointer chase. A sharded
-/// engine hands every shard a slice of the one shared matrix and grows it
-/// through [`MetricIndex::insert_adopted`]; a standalone build owns its
-/// matrix through the same slice type.
+/// unverified). The Lemma 1 filter runs through the blocked
+/// [`ScanKernel`](pmi_metric::ScanKernel): one pass computes every slot's
+/// lower bound over contiguous flat storage (no lock — rows resolve through
+/// the slice's published snapshot), survivors are collected into the
+/// caller's [`QueryScratch`], and only then does the exact-distance
+/// verification pass run. A sharded engine hands every shard a slice of the
+/// one shared matrix and grows it through [`MetricIndex::insert_adopted`];
+/// a standalone build owns its matrix through the same slice type.
 pub struct Laesa<O, M> {
     metric: CountingMetric<M>,
     pivots: Vec<O>,
@@ -69,12 +71,6 @@ where
         }
     }
 
-    /// Distances from `q` to every pivot, written into `qd`.
-    fn query_dists_into(&self, q: &O, qd: &mut Vec<f64>) {
-        qd.clear();
-        qd.extend(self.pivots.iter().map(|p| self.metric.dist(q, p)));
-    }
-
     /// The instrumented metric.
     pub fn metric(&self) -> &CountingMetric<M> {
         &self.metric
@@ -118,12 +114,23 @@ where
     }
 
     fn range_query_into(&self, q: &O, r: f64, scratch: &mut QueryScratch, out: &mut Vec<ObjId>) {
-        self.query_dists_into(q, &mut scratch.qd);
-        let rows = self.rows.reader();
-        for (id, o, row) in self.table.iter_live_rows(&rows) {
-            if lemmas::lemma1_prunable(&scratch.qd, row, r) {
-                continue;
-            }
+        let QueryScratch {
+            qd, lbs, survivors, ..
+        } = scratch;
+        qd.clear();
+        qd.extend(self.pivots.iter().map(|p| self.metric.dist(q, p)));
+        // Blocked kernel over all slots, then collect survivors (live and
+        // under the bound) before the exact-distance pass.
+        self.rows.lower_bounds_into(qd, lbs);
+        survivors.clear();
+        survivors.extend(
+            self.table
+                .iter()
+                .filter(|&(id, _)| lbs[id as usize] <= r)
+                .map(|(id, _)| id),
+        );
+        for &id in survivors.iter() {
+            let o = self.table.get(id).expect("survivor is live");
             if self.metric.dist(q, o) <= r {
                 out.push(id);
             }
@@ -134,20 +141,23 @@ where
         if k == 0 {
             return;
         }
-        self.query_dists_into(q, &mut scratch.qd);
-        // Max-heap of current k best; radius = worst of the k (∞ until k
-        // found). Objects verified in storage order — the paper notes this
-        // is suboptimal but is how LAESA works (§3.1 discussion).
-        let heap = &mut scratch.heap;
+        let QueryScratch { qd, heap, lbs, .. } = scratch;
+        qd.clear();
+        qd.extend(self.pivots.iter().map(|p| self.metric.dist(q, p)));
+        // Lower bounds are radius-independent: one blocked kernel pass,
+        // then the usual tightening scan. Max-heap of current k best;
+        // radius = worst of the k (∞ until k found). Objects verified in
+        // storage order — the paper notes this is suboptimal but is how
+        // LAESA works (§3.1 discussion).
+        self.rows.lower_bounds_into(qd, lbs);
         heap.clear();
-        let rows = self.rows.reader();
-        for (id, o, row) in self.table.iter_live_rows(&rows) {
+        for (id, o) in self.table.iter() {
             let radius = if heap.len() < k {
                 f64::INFINITY
             } else {
                 heap.peek().expect("heap is full").dist
             };
-            if radius.is_finite() && lemmas::lemma1_prunable(&scratch.qd, row, radius) {
+            if radius.is_finite() && lbs[id as usize] > radius {
                 continue;
             }
             let d = self.metric.dist(q, o);
@@ -162,21 +172,22 @@ where
     }
 
     fn insert(&mut self, o: O) -> ObjId {
-        // |P| distance computations (Table 6), pushed as one shared row.
+        // |P| distance computations (Table 6), pushed as one shared row
+        // (staged, published, adopted in one step — sole-owner standalone
+        // slices append in place).
         let row: Vec<f64> = self
             .pivots
             .iter()
             .map(|p| self.metric.dist(&o, p))
             .collect();
-        let shared_row = self.rows.shared().push_row(&row);
-        let local = self.rows.adopt(shared_row);
+        let local = self.rows.push_adopt(&row);
         let id = self.table.push(o);
         debug_assert_eq!(id as usize, local);
         id
     }
 
-    fn insert_adopted(&mut self, o: O, row: ObjId) -> Result<ObjId, O> {
-        // The engine already pushed the row into the shared matrix: adopt
+    fn insert_adopted(&mut self, o: O, row: ObjId, _row_data: &[f64]) -> Result<ObjId, O> {
+        // The engine already staged the row in the shared matrix: adopt
         // its id — zero distance computations, no remap.
         if (row as usize) >= self.rows.shared().rows() {
             return Err(o);
@@ -185,6 +196,21 @@ where
         let id = self.table.push(o);
         debug_assert_eq!(id as usize, local);
         Ok(id)
+    }
+
+    fn refresh_rows(&mut self) {
+        self.rows.refresh();
+    }
+
+    fn release_rows(&mut self) {
+        self.rows.release();
+    }
+
+    fn compact_rows(&mut self, keep: &[ObjId], rows: &[ObjId]) -> bool {
+        debug_assert_eq!(keep.len(), rows.len());
+        self.table.compact(keep);
+        self.rows.reindex(rows.to_vec());
+        true
     }
 
     fn remove(&mut self, id: ObjId) -> bool {
@@ -249,7 +275,7 @@ mod tests {
     #[test]
     fn matrix_adoption_computes_zero_distances_and_matches() {
         let (pts, idx) = build(400, 4);
-        let matrix = idx.rows().shared().snapshot();
+        let matrix = idx.rows().shared().snapshot_owned();
         let adopted = Laesa::build_with_matrix(pts.clone(), L2, idx.pivots.clone(), matrix);
         assert_eq!(adopted.counters().compdists, 0, "adoption is free");
         for qi in [0usize, 57, 399] {
@@ -264,7 +290,7 @@ mod tests {
     #[test]
     fn insert_adopted_is_free_and_byte_identical() {
         let (pts, mut plain) = build(200, 3);
-        let matrix = plain.rows().shared().snapshot();
+        let matrix = plain.rows().shared().snapshot_owned();
         let mut adopted =
             Laesa::build_with_matrix(pts.clone(), L2, plain.pivots.clone(), matrix.clone());
         // Push the row the way the engine does, then adopt it by id; the
@@ -275,7 +301,7 @@ mod tests {
         adopted.reset_counters();
         plain.reset_counters();
         let a = adopted
-            .insert_adopted(o.clone(), shared_row as ObjId)
+            .insert_adopted(o.clone(), shared_row as ObjId, &row)
             .expect("adopting index accepts the row");
         let b = plain.insert(o.clone());
         assert_eq!(a, b, "same slot id");
@@ -289,7 +315,7 @@ mod tests {
         // A row id beyond the shared matrix is rejected, returning the
         // object for the caller's fallback.
         let missing = adopted.rows().shared().rows() as ObjId + 7;
-        assert!(adopted.insert_adopted(o, missing).is_err());
+        assert!(adopted.insert_adopted(o, missing, &row).is_err());
     }
 
     #[test]

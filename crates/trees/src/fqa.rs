@@ -8,10 +8,22 @@
 //! trades pointer chasing for `log n` searches and is far more compact —
 //! the reason it historically scaled past the FQT in memory-constrained
 //! settings.
+//!
+//! A matrix-adopting FQA ([`Fqa::build_with_matrix`]) additionally holds
+//! the *exact* (unbucketed) pivot distances as a slot-aligned
+//! [`MatrixSlice`], and its hot-path queries
+//! ([`MetricIndex::range_query_into`] / [`MetricIndex::knn_query_into`] and
+//! the allocating wrappers) filter through the blocked
+//! [`ScanKernel`](pmi_metric::ScanKernel) over those rows instead of
+//! descending bucketed signature runs: the exact Lemma 1 bound is at least
+//! as tight as the bucket bound, the scan is a lock-free linear kernel
+//! pass, and results remain exact. A plain-built FQA (no matrix) keeps the
+//! classic signature descent.
 
+use pmi_metric::scratch::drain_heap_sorted;
 use pmi_metric::{
     Counters, CountingMetric, EncodeObject, MatrixSlice, Metric, MetricIndex, Neighbor, ObjId,
-    ObjTable, StorageFootprint,
+    ObjTable, QueryScratch, StorageFootprint,
 };
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -122,20 +134,17 @@ where
         );
         let width = (max_distance / buckets as f64).max(1.0);
         let table = ObjTable::new(objects);
-        let mut rows: Vec<(Vec<u32>, ObjId)> = {
-            let r = matrix_rows.reader();
-            table
-                .iter()
-                .map(|(id, _)| {
-                    let sig = r
-                        .row(id as usize)
-                        .iter()
-                        .map(|&d| bucket(d, width, buckets))
-                        .collect();
-                    (sig, id)
-                })
-                .collect()
-        };
+        let mut rows: Vec<(Vec<u32>, ObjId)> = table
+            .iter()
+            .map(|(id, _)| {
+                let sig = matrix_rows
+                    .row(id as usize)
+                    .iter()
+                    .map(|&d| bucket(d, width, buckets))
+                    .collect();
+                (sig, id)
+            })
+            .collect();
         rows.sort();
         Fqa {
             metric: CountingMetric::new(metric),
@@ -208,22 +217,11 @@ where
             0.0
         }
     }
-}
 
-impl<O, M> MetricIndex<O> for Fqa<O, M>
-where
-    O: Clone + EncodeObject + Send + Sync + 'static,
-    M: Metric<O>,
-{
-    fn name(&self) -> &str {
-        "FQA"
-    }
-
-    fn len(&self) -> usize {
-        self.table.len()
-    }
-
-    fn range_query(&self, q: &O, r: f64) -> Vec<ObjId> {
+    /// The classic FQA range query: best-case `log n` descent over bucketed
+    /// signature runs. The only range path for plain builds; adopted
+    /// builds filter through the exact-row kernel instead (module docs).
+    fn range_by_signature(&self, q: &O, r: f64) -> Vec<ObjId> {
         let qd: Vec<f64> = self.pivots.iter().map(|p| self.metric.dist(q, p)).collect();
         let mut out = Vec::new();
         // Iterative stack of (slice start, slice end, level).
@@ -253,7 +251,9 @@ where
         out
     }
 
-    fn knn_query(&self, q: &O, k: usize) -> Vec<Neighbor> {
+    /// The classic FQA kNN query: best-first over signature runs, keyed by
+    /// the accumulated bucket lower bound.
+    fn knn_by_signature(&self, q: &O, k: usize) -> Vec<Neighbor> {
         if k == 0 || self.table.is_empty() {
             return Vec::new();
         }
@@ -266,8 +266,6 @@ where
                 res.peek().unwrap().dist
             }
         };
-        // Best-first over signature runs, keyed by the accumulated bucket
-        // lower bound.
         let mut heap: BinaryHeap<Reverse<(u64, usize, usize, usize)>> = BinaryHeap::new();
         heap.push(Reverse((0, 0, self.rows.len(), 0)));
         while let Some(Reverse((lb_bits, lo, hi, level))) = heap.pop() {
@@ -315,11 +313,104 @@ where
         out.truncate(k);
         out
     }
+}
+
+impl<O, M> MetricIndex<O> for Fqa<O, M>
+where
+    O: Clone + EncodeObject + Send + Sync + 'static,
+    M: Metric<O>,
+{
+    fn name(&self) -> &str {
+        "FQA"
+    }
+
+    fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    fn range_query(&self, q: &O, r: f64) -> Vec<ObjId> {
+        if self.adopted.is_some() {
+            let mut out = Vec::new();
+            self.range_query_into(q, r, &mut QueryScratch::new(), &mut out);
+            return out;
+        }
+        self.range_by_signature(q, r)
+    }
+
+    fn knn_query(&self, q: &O, k: usize) -> Vec<Neighbor> {
+        if self.adopted.is_some() {
+            let mut out = Vec::new();
+            self.knn_query_into(q, k, &mut QueryScratch::new(), &mut out);
+            return out;
+        }
+        self.knn_by_signature(q, k)
+    }
+
+    fn range_query_into(&self, q: &O, r: f64, scratch: &mut QueryScratch, out: &mut Vec<ObjId>) {
+        let Some(slice) = &self.adopted else {
+            out.extend(self.range_by_signature(q, r));
+            return;
+        };
+        // Adopted hot path: blocked kernel over the exact rows, survivors
+        // collected, then verification — same shape as LAESA.
+        let QueryScratch {
+            qd, lbs, survivors, ..
+        } = scratch;
+        qd.clear();
+        qd.extend(self.pivots.iter().map(|p| self.metric.dist(q, p)));
+        slice.lower_bounds_into(qd, lbs);
+        survivors.clear();
+        survivors.extend(
+            self.table
+                .iter()
+                .filter(|&(id, _)| lbs[id as usize] <= r)
+                .map(|(id, _)| id),
+        );
+        for &id in survivors.iter() {
+            let o = self.table.get(id).expect("survivor is live");
+            if self.metric.dist(q, o) <= r {
+                out.push(id);
+            }
+        }
+    }
+
+    fn knn_query_into(&self, q: &O, k: usize, scratch: &mut QueryScratch, out: &mut Vec<Neighbor>) {
+        if k == 0 {
+            return;
+        }
+        let Some(slice) = &self.adopted else {
+            out.extend(self.knn_by_signature(q, k));
+            return;
+        };
+        let QueryScratch { qd, heap, lbs, .. } = scratch;
+        qd.clear();
+        qd.extend(self.pivots.iter().map(|p| self.metric.dist(q, p)));
+        slice.lower_bounds_into(qd, lbs);
+        heap.clear();
+        for (id, o) in self.table.iter() {
+            let radius = if heap.len() < k {
+                f64::INFINITY
+            } else {
+                heap.peek().expect("heap is full").dist
+            };
+            if radius.is_finite() && lbs[id as usize] > radius {
+                continue;
+            }
+            let d = self.metric.dist(q, o);
+            if d < radius || heap.len() < k {
+                heap.push(Neighbor::new(id, d));
+                if heap.len() > k {
+                    heap.pop();
+                }
+            }
+        }
+        drain_heap_sorted(heap, out);
+    }
 
     fn insert(&mut self, o: O) -> ObjId {
         // An adopted FQA keeps its slice slot-aligned even on the plain
-        // path: compute the raw row once, push it as one shared row, and
-        // bucket the signature from it.
+        // path: compute the raw row once, push it as one shared row
+        // (staged + published + adopted), and bucket the signature from it.
         let sig = if self.adopted.is_some() {
             let row: Vec<f64> = self
                 .pivots
@@ -328,8 +419,7 @@ where
                 .collect();
             let sig = self.signature_of_row(&row);
             if let Some(slice) = &mut self.adopted {
-                let shared_row = slice.shared().push_row(&row);
-                slice.adopt(shared_row);
+                slice.push_adopt(&row);
             }
             sig
         } else {
@@ -340,28 +430,60 @@ where
         id
     }
 
-    fn insert_adopted(&mut self, o: O, row: ObjId) -> Result<ObjId, O> {
-        // Bucket the signature straight from the engine-pushed matrix row:
-        // zero distance computations.
-        let Some(slice) = &mut self.adopted else {
+    fn insert_adopted(&mut self, o: O, row: ObjId, row_data: &[f64]) -> Result<ObjId, O> {
+        // Bucket the signature straight from the engine-staged row's data:
+        // zero distance computations, and no read of the (possibly still
+        // unpublished) shared matrix.
+        if self.adopted.is_none() {
             return Err(o);
-        };
+        }
+        debug_assert_eq!(row_data.len(), self.pivots.len());
+        let sig = self.signature_of_row(row_data);
+        let slice = self.adopted.as_mut().expect("checked adopted above");
         if (row as usize) >= slice.shared().rows() {
             return Err(o);
         }
-        let (width, buckets) = (self.width, self.buckets);
         let local = slice.adopt(row as usize);
-        let sig: Vec<u32> = {
-            let r = slice.reader();
-            r.row(local)
-                .iter()
-                .map(|&d| bucket(d, width, buckets))
-                .collect()
-        };
         let id = self.table.push(o);
         debug_assert_eq!(id as usize, local, "slice stays slot-aligned");
         self.insert_sorted(sig, id);
         Ok(id)
+    }
+
+    fn refresh_rows(&mut self) {
+        if let Some(slice) = &mut self.adopted {
+            slice.refresh();
+        }
+    }
+
+    fn release_rows(&mut self) {
+        if let Some(slice) = &mut self.adopted {
+            slice.release();
+        }
+    }
+
+    fn compact_rows(&mut self, keep: &[ObjId], rows: &[ObjId]) -> bool {
+        if self.adopted.is_none() {
+            return false;
+        }
+        debug_assert_eq!(keep.len(), rows.len());
+        // Remap slot ids in the sorted signature array (signatures are
+        // unchanged — zero distance computations), re-sorting because keep
+        // order is ascending global id, not necessarily ascending old slot.
+        let mut remap = vec![u32::MAX; self.table.slots()];
+        for (new, &old) in keep.iter().enumerate() {
+            remap[old as usize] = new as u32;
+        }
+        for (_, id) in self.rows.iter_mut() {
+            *id = remap[*id as usize];
+            debug_assert_ne!(*id, u32::MAX, "signature rows hold only live ids");
+        }
+        self.rows.sort();
+        self.table.compact(keep);
+        if let Some(slice) = &mut self.adopted {
+            slice.reindex(rows.to_vec());
+        }
+        true
     }
 
     fn remove(&mut self, id: ObjId) -> bool {
@@ -371,7 +493,7 @@ where
         // Re-derive the signature from the adopted row when present (no
         // distance computations); fall back to the metric otherwise.
         let sig = match &self.adopted {
-            Some(slice) => self.signature_of_row(slice.reader().row(id as usize)),
+            Some(slice) => self.signature_of_row(slice.row(id as usize)),
             None => {
                 let o = self.table.get(id).cloned().expect("checked live above");
                 self.signature(&o)
@@ -533,9 +655,21 @@ mod tests {
         );
         assert_eq!(adopted.rows, plain.rows, "identical signature array");
         for r in [1.0, 4.0] {
-            assert_eq!(adopted.range_query(&ws[9], r), plain.range_query(&ws[9], r));
+            let mut got = adopted.range_query(&ws[9], r);
+            got.sort_unstable();
+            let mut want = plain.range_query(&ws[9], r);
+            want.sort_unstable();
+            assert_eq!(got, want);
         }
-        assert_eq!(adopted.knn_query(&ws[55], 7), plain.knn_query(&ws[55], 7));
+        // The adopted kernel scan and the plain signature descent agree on
+        // every distance; ties at the k-th distance may resolve to a
+        // different id (the trait allows either).
+        let got = adopted.knn_query(&ws[55], 7);
+        let want = plain.knn_query(&ws[55], 7);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.dist, w.dist);
+        }
         // Engine-style insert: push the row into the shared matrix, adopt
         // by id — still zero distance computations.
         let o = ws[11].clone();
@@ -547,13 +681,13 @@ mod tests {
         let shared_row = adopted.adopted.as_ref().unwrap().shared().push_row(&row);
         adopted.reset_counters();
         let id = adopted
-            .insert_adopted(o.clone(), shared_row as ObjId)
+            .insert_adopted(o.clone(), shared_row as ObjId, &row)
             .expect("adopting FQA accepts the row");
         assert_eq!(adopted.counters().compdists, 0, "adoption computes nothing");
         assert!(adopted.range_query(&o, 0.0).contains(&id));
         // A plain-built FQA has no adopted matrix and hands the object back.
         let (_, mut bare) = build_words(50);
-        assert!(bare.insert_adopted(o, 0).is_err());
+        assert!(bare.insert_adopted(o, 0, &row).is_err());
     }
 
     #[test]

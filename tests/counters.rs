@@ -1,10 +1,13 @@
 //! Cost-accounting invariants: the paper's three metrics must be observable
 //! and behave as §6 describes (in-memory indexes have zero PA, disk indexes
-//! pay PA on queries, the kNN cache absorbs repeat reads, counters reset).
+//! pay PA on queries, the kNN cache absorbs repeat reads, counters reset) —
+//! and the blocked scan kernel must change **no** exact counter: it only
+//! reorders lower-bound arithmetic, never distance evaluations.
 
 use pivot_metric_repro as pmr;
 use pmr::builder::{build_index, BuildOptions, IndexKind};
-use pmr::{datasets, MetricIndex, L2};
+use pmr::lemmas::pivot_lower_bound;
+use pmr::{datasets, Ept, EptConfig, EptMode, Fqa, Metric, MetricIndex, PivotMatrix, L2};
 
 fn build(kind: IndexKind, n: usize) -> (Vec<Vec<f32>>, Box<dyn MetricIndex<Vec<f32>>>) {
     let pts = datasets::la(n, 31);
@@ -99,6 +102,187 @@ fn compdists_scale_with_radius() {
         let cd = idx.counters().compdists;
         assert!(cd >= prev, "r={r}: {cd} < {prev}");
         prev = cd;
+    }
+}
+
+/// Scalar reference for a Lemma 1 pivot-table scan: given every live
+/// slot's (lower bound, exact distance) pair, replay the exact filter the
+/// index runs — range keeps `lb <= r`, kNN tightens a k-bounded max-heap in
+/// slot order — and return how many exact distance evaluations it performs.
+fn scalar_range_verifications(rows: &[(f64, f64)], r: f64) -> u64 {
+    rows.iter().filter(|&&(lb, _)| lb <= r).count() as u64
+}
+
+fn scalar_knn_verifications(rows: &[(f64, f64)], k: usize) -> u64 {
+    let mut heap: std::collections::BinaryHeap<pmr::Neighbor> = std::collections::BinaryHeap::new();
+    let mut verified = 0u64;
+    for (id, &(lb, d)) in rows.iter().enumerate() {
+        let radius = if heap.len() < k {
+            f64::INFINITY
+        } else {
+            heap.peek().unwrap().dist
+        };
+        if radius.is_finite() && lb > radius {
+            continue;
+        }
+        verified += 1;
+        if d < radius || heap.len() < k {
+            heap.push(pmr::Neighbor::new(id as u32, d));
+            if heap.len() > k {
+                heap.pop();
+            }
+        }
+    }
+    verified
+}
+
+/// The blocked-kernel satellite: for every pivot-table kind the kernel now
+/// drives (LAESA, CPT, EPT, adopted FQA), measured compdists for range and
+/// kNN queries must equal the scalar-path prediction exactly — `|pivots|`
+/// query-mapping distances plus the verifications the scalar Lemma 1 filter
+/// (per-row `pivot_lower_bound`, no blocking) would perform. Bit-for-bit
+/// kernel-vs-scalar equality is unit-tested in `pmi_metric::matrix`; this
+/// test closes the loop end to end through real indexes and real counters.
+#[test]
+fn blocked_kernel_changes_no_exact_counters() {
+    let n = 500usize;
+    let pts = datasets::la(n, 31);
+    let l = 5usize;
+    let pivots: Vec<Vec<f32>> = pmr::pivots::select_hfi(&pts, &L2, l, 31)
+        .into_iter()
+        .map(|i| pts[i].clone())
+        .collect();
+    let queries = [0usize, 123, 499];
+    let radii = [200.0f64, 1500.0, 9000.0];
+    let ks = [1usize, 10, 40];
+
+    // The scalar oracle's view of the shared-pivot tables' rows.
+    let matrix = PivotMatrix::compute(&pts, &L2, &pivots, 1);
+    let table_rows = |q: &Vec<f32>| -> (Vec<f64>, Vec<(f64, f64)>) {
+        let qd: Vec<f64> = pivots.iter().map(|p| L2.dist(q, p)).collect();
+        let rows = (0..n)
+            .map(|i| (pivot_lower_bound(&qd, matrix.row(i)), L2.dist(q, &pts[i])))
+            .collect();
+        (qd, rows)
+    };
+
+    // LAESA and CPT share the scan shape (CPT additionally pays page
+    // reads, which the kernel does not touch either way).
+    let check = |idx: &dyn MetricIndex<Vec<f32>>, label: &str| {
+        for &qi in &queries {
+            let (qd, rows) = table_rows(&pts[qi]);
+            for &r in &radii {
+                idx.reset_counters();
+                let _ = idx.range_query(&pts[qi], r);
+                assert_eq!(
+                    idx.counters().compdists,
+                    qd.len() as u64 + scalar_range_verifications(&rows, r),
+                    "{label} range q={qi} r={r}"
+                );
+            }
+            for &k in &ks {
+                idx.reset_counters();
+                let _ = idx.knn_query(&pts[qi], k);
+                assert_eq!(
+                    idx.counters().compdists,
+                    qd.len() as u64 + scalar_knn_verifications(&rows, k),
+                    "{label} knn q={qi} k={k}"
+                );
+            }
+        }
+    };
+    let opts = BuildOptions {
+        d_plus: 14143.0,
+        ..BuildOptions::default()
+    };
+    let laesa = build_index(IndexKind::Laesa, pts.clone(), L2, pivots.clone(), &opts).unwrap();
+    check(laesa.as_ref(), "LAESA");
+    let cpt = build_index(IndexKind::Cpt, pts.clone(), L2, pivots.clone(), &opts).unwrap();
+    check(cpt.as_ref(), "CPT");
+
+    // EPT: per-object extreme pivots over its own pool; the scalar oracle
+    // reads the SoA rows back through the public accessors.
+    let ept = Ept::build(pts.clone(), L2, EptMode::Random, EptConfig::default());
+    for &qi in &queries {
+        let qd: Vec<f64> = ept
+            .pivot_objects()
+            .iter()
+            .map(|p| L2.dist(&pts[qi], p))
+            .collect();
+        let rows: Vec<(f64, f64)> = (0..n as u32)
+            .map(|id| {
+                let (pis, ds) = ept.row_of(id);
+                (
+                    Ept::<Vec<f32>, L2>::row_lower_bound(&qd, pis, ds),
+                    L2.dist(&pts[qi], &pts[id as usize]),
+                )
+            })
+            .collect();
+        for &r in &radii {
+            ept.reset_counters();
+            let _ = ept.range_query(&pts[qi], r);
+            assert_eq!(
+                ept.counters().compdists,
+                qd.len() as u64 + scalar_range_verifications(&rows, r),
+                "EPT range q={qi} r={r}"
+            );
+        }
+        for &k in &ks {
+            ept.reset_counters();
+            let _ = ept.knn_query(&pts[qi], k);
+            assert_eq!(
+                ept.counters().compdists,
+                qd.len() as u64 + scalar_knn_verifications(&rows, k),
+                "EPT knn q={qi} k={k}"
+            );
+        }
+    }
+
+    // Adopted FQA runs the same kernel over its exact rows (discrete
+    // metric; the slot-aligned slice is the oracle's matrix).
+    let m = pmr::LInf::discrete();
+    let dpts = datasets::synthetic(n, 17);
+    let dpivots: Vec<Vec<f32>> = pmr::pivots::select_hfi(&dpts, &m, l, 17)
+        .into_iter()
+        .map(|i| dpts[i].clone())
+        .collect();
+    let dmatrix = PivotMatrix::compute(&dpts, &m, &dpivots, 1);
+    let fqa = Fqa::build_with_matrix(
+        dpts.clone(),
+        m,
+        dpivots.clone(),
+        dmatrix.clone(),
+        10000.0,
+        32,
+    );
+    for &qi in &queries {
+        let qd: Vec<f64> = dpivots.iter().map(|p| m.dist(&dpts[qi], p)).collect();
+        let rows: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                (
+                    pivot_lower_bound(&qd, dmatrix.row(i)),
+                    m.dist(&dpts[qi], &dpts[i]),
+                )
+            })
+            .collect();
+        for &r in &[500.0f64, 1800.0] {
+            fqa.reset_counters();
+            let _ = fqa.range_query(&dpts[qi], r);
+            assert_eq!(
+                fqa.counters().compdists,
+                qd.len() as u64 + scalar_range_verifications(&rows, r),
+                "FQA range q={qi} r={r}"
+            );
+        }
+        for &k in &ks {
+            fqa.reset_counters();
+            let _ = fqa.knn_query(&dpts[qi], k);
+            assert_eq!(
+                fqa.counters().compdists,
+                qd.len() as u64 + scalar_knn_verifications(&rows, k),
+                "FQA knn q={qi} k={k}"
+            );
+        }
     }
 }
 

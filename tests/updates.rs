@@ -145,6 +145,7 @@ fn build_engine(
             shards,
             threads: 1,
             refresh: RefreshPolicy::disabled(),
+            ..EngineConfig::default()
         },
         policy,
     )
@@ -248,6 +249,7 @@ fn apply_batches_equal_rebuild_exactly() {
                 shards,
                 threads: 1,
                 refresh: RefreshPolicy::disabled(),
+                ..EngineConfig::default()
             };
             let rebuilt = match policy {
                 PartitionPolicy::PivotSpace => {
@@ -408,6 +410,7 @@ fn fqa_adopts_engine_inserts() {
                 shards: 3,
                 threads: 1,
                 refresh: RefreshPolicy::disabled(),
+                ..EngineConfig::default()
             },
             policy,
         )
@@ -438,6 +441,264 @@ fn fqa_adopts_engine_inserts() {
             want.sort_unstable();
             assert_eq!(got, want, "{policy:?}: FQA post-apply MRQ");
         }
+    }
+}
+
+/// The compaction-equivalence satellite: after churn plus `compact()`,
+/// routed serving is **byte-identical** — results, compdists, probe/prune
+/// counts — to a from-scratch rebuild over the survivors, with no id
+/// mapping at all: compaction renumbers survivors to exactly the dense ids
+/// the rebuild assigns. Swept across the adopting kinds × both policies
+/// (FQA, which needs a discrete metric, has its own case below).
+#[test]
+fn compaction_equals_rebuild_exactly() {
+    let pts = datasets::la(400, 21);
+    let extra = datasets::la(60, 77);
+    let opts = engine_opts(5);
+    let pivots = hfi_pivots(&pts, 5);
+    let shards = 4usize;
+    let cfg = EngineConfig {
+        shards,
+        threads: 1,
+        refresh: RefreshPolicy::disabled(),
+        ..EngineConfig::default()
+    };
+
+    for kind in [IndexKind::Laesa, IndexKind::Cpt] {
+        for policy in [PartitionPolicy::PivotSpace, PartitionPolicy::RoundRobin] {
+            let mut e = build_engine(kind, &pts, &pivots, &opts, shards, policy);
+            // Churn: two apply batches of interleaved removes + inserts.
+            let mut b1 = UpdateBatch::new();
+            for step in 0..80u32 {
+                b1.remove((step * 7) % 400);
+            }
+            for o in &extra[..30] {
+                b1.insert(o.clone());
+            }
+            let r1 = e.apply(&b1);
+            assert_eq!(r1.compactions, 0, "compaction is opt-in");
+            let mut b2 = UpdateBatch::new();
+            for o in &extra[30..] {
+                b2.insert(o.clone());
+            }
+            b2.remove(r1.inserted_ids[5]).remove(399);
+            e.apply(&b2);
+
+            // Explicit compaction: every dead row drops, ids densify.
+            // Total matrix rows = 400 seed + 60 inserted.
+            let live_before = live_objects(&e, 460);
+            let dead = 460 - live_before.len();
+            let dropped = e.compact();
+            assert_eq!(dropped, dead, "{kind:?} {policy:?}: all dead rows dropped");
+            assert_eq!(e.len(), live_before.len());
+
+            // Survivor rank == new gid: objects are served under 0..m.
+            let objs: Vec<Vec<f32>> = live_before.iter().map(|(_, o)| o.clone()).collect();
+            for (gid, o) in objs.iter().enumerate() {
+                assert_eq!(e.get(gid as u32).as_ref(), Some(o), "{kind:?} {policy:?}");
+            }
+            let assignment: Vec<usize> = (0..objs.len() as u32)
+                .map(|g| e.locate(g).expect("live object located").0)
+                .collect();
+
+            // From-scratch rebuild over the survivors with the same
+            // membership; shards adopt matrices in both engines so the
+            // serve paths are structurally identical.
+            let rebuilt = match policy {
+                PartitionPolicy::PivotSpace => {
+                    let matrix = PivotMatrix::compute(&objs, &L2, &pivots, 1);
+                    let mapper_pivots = pivots.clone();
+                    let router = RoutingTable::from_assignment(
+                        move |o: &Vec<f32>, out: &mut Vec<f64>| {
+                            out.extend(mapper_pivots.iter().map(|p| L2.dist(o, p)))
+                        },
+                        pivots.len(),
+                        &matrix,
+                        &assignment,
+                        shards,
+                    );
+                    ShardedEngine::build_partitioned_with_matrix(
+                        objs.clone(),
+                        &assignment,
+                        router,
+                        SharedPivotMatrix::new(matrix),
+                        &cfg,
+                        |_, part, m| {
+                            build_index_with_matrix(kind, part, L2, pivots.clone(), &opts, m)
+                        },
+                    )
+                    .unwrap()
+                }
+                PartitionPolicy::RoundRobin => ShardedEngine::build_assigned_with(
+                    objs.clone(),
+                    &assignment,
+                    shards,
+                    &cfg,
+                    |_, part| {
+                        let pm = PivotMatrix::compute(&part, &L2, &pivots, 1);
+                        build_index_with_matrix(kind, part, L2, pivots.clone(), &opts, pm)
+                    },
+                )
+                .unwrap(),
+            };
+
+            if policy == PartitionPolicy::PivotSpace {
+                assert_eq!(
+                    e.routing().unwrap().boxes(),
+                    rebuilt.routing().unwrap().boxes(),
+                    "{kind:?}: compaction preserves the tight boxes"
+                );
+            }
+
+            let radius = datasets::calibrate_radius(&pts, &L2, 0.02, 21);
+            let batch = mixed_batch(&pts, 80, radius, 9);
+            e.reset_counters();
+            rebuilt.reset_counters();
+            let out_compacted = e.serve(&batch);
+            let out_rebuilt = rebuilt.serve(&batch);
+            assert_eq!(
+                out_compacted.results, out_rebuilt.results,
+                "{kind:?} {policy:?}: byte-identical results, no id mapping"
+            );
+            assert_eq!(
+                out_compacted.report.cost.compdists, out_rebuilt.report.cost.compdists,
+                "{kind:?} {policy:?}: exact serve compdist parity"
+            );
+            assert_eq!(
+                (
+                    out_compacted.report.shards_probed,
+                    out_compacted.report.shards_pruned
+                ),
+                (
+                    out_rebuilt.report.shards_probed,
+                    out_rebuilt.report.shards_pruned
+                ),
+                "{kind:?} {policy:?}: exact probe/prune parity"
+            );
+            if kind == IndexKind::Laesa {
+                assert_eq!(
+                    e.shard_counters(),
+                    rebuilt.shard_counters(),
+                    "{kind:?} {policy:?}: per-shard counter parity"
+                );
+            }
+        }
+    }
+}
+
+/// Compaction equivalence for the discrete adopting kind: FQA under both
+/// policies, against a rebuild whose shards adopt matrices the same way.
+#[test]
+fn fqa_compaction_equals_rebuild() {
+    let metric = pmr::LInf::discrete();
+    let pts = datasets::synthetic(300, 17);
+    let extra = datasets::synthetic(40, 18);
+    let opts = BuildOptions {
+        d_plus: 10000.0,
+        ..BuildOptions::default()
+    };
+    let pivots: Vec<Vec<f32>> = pmr::pivots::select_hfi(&pts, &metric, 5, 17)
+        .into_iter()
+        .map(|i| pts[i].clone())
+        .collect();
+    let shards = 3usize;
+    let cfg = EngineConfig {
+        shards,
+        threads: 1,
+        refresh: RefreshPolicy::disabled(),
+        ..EngineConfig::default()
+    };
+    for policy in [PartitionPolicy::PivotSpace, PartitionPolicy::RoundRobin] {
+        let mut e = build_sharded_engine(
+            IndexKind::Fqa,
+            pts.clone(),
+            metric,
+            pivots.clone(),
+            &opts,
+            &cfg,
+            policy,
+        )
+        .unwrap();
+        let mut batch = UpdateBatch::new();
+        for step in 0..70u32 {
+            batch.remove((step * 11) % 300);
+        }
+        for o in &extra {
+            batch.insert(o.clone());
+        }
+        e.apply(&batch);
+        let live = live_objects(&e, 340);
+        let dropped = e.compact();
+        assert!(dropped > 0);
+        assert_eq!(e.len(), live.len());
+        let objs: Vec<Vec<f32>> = live.iter().map(|(_, o)| o.clone()).collect();
+        let assignment: Vec<usize> = (0..objs.len() as u32)
+            .map(|g| e.locate(g).expect("live object located").0)
+            .collect();
+        let rebuilt = match policy {
+            PartitionPolicy::PivotSpace => {
+                let matrix = PivotMatrix::compute(&objs, &metric, &pivots, 1);
+                let mapper_pivots = pivots.clone();
+                let router = RoutingTable::from_assignment(
+                    move |o: &Vec<f32>, out: &mut Vec<f64>| {
+                        out.extend(mapper_pivots.iter().map(|p| metric.dist(o, p)))
+                    },
+                    pivots.len(),
+                    &matrix,
+                    &assignment,
+                    shards,
+                );
+                ShardedEngine::build_partitioned_with_matrix(
+                    objs.clone(),
+                    &assignment,
+                    router,
+                    SharedPivotMatrix::new(matrix),
+                    &cfg,
+                    |_, part, m| {
+                        build_index_with_matrix(
+                            IndexKind::Fqa,
+                            part,
+                            metric,
+                            pivots.clone(),
+                            &opts,
+                            m,
+                        )
+                    },
+                )
+                .unwrap()
+            }
+            PartitionPolicy::RoundRobin => ShardedEngine::build_assigned_with(
+                objs.clone(),
+                &assignment,
+                shards,
+                &cfg,
+                |_, part| {
+                    let pm = PivotMatrix::compute(&part, &metric, &pivots, 1);
+                    build_index_with_matrix(IndexKind::Fqa, part, metric, pivots.clone(), &opts, pm)
+                },
+            )
+            .unwrap(),
+        };
+        let batch = mixed_batch(&pts, 60, 1500.0, 7);
+        e.reset_counters();
+        rebuilt.reset_counters();
+        let a = e.serve(&batch);
+        let b = rebuilt.serve(&batch);
+        assert_eq!(a.results, b.results, "FQA {policy:?}: byte-identical");
+        assert_eq!(
+            a.report.cost.compdists, b.report.cost.compdists,
+            "FQA {policy:?}: compdist parity"
+        );
+        assert_eq!(
+            (a.report.shards_probed, a.report.shards_pruned),
+            (b.report.shards_probed, b.report.shards_pruned),
+            "FQA {policy:?}: probe/prune parity"
+        );
+        assert_eq!(
+            e.shard_counters(),
+            rebuilt.shard_counters(),
+            "FQA {policy:?}: per-shard counter parity"
+        );
     }
 }
 
@@ -543,6 +804,7 @@ fn recluster_trigger_rebalances_under_skewed_growth() {
                 max_imbalance: 2.0,
                 min_objects: 50,
             },
+            ..EngineConfig::default()
         },
         PartitionPolicy::PivotSpace,
     )
