@@ -2,7 +2,7 @@
 //! (§4.3: "we set m as 5"), SPB-tree SFC resolution (§5.4 discretization
 //! trade-off), and the PM-tree's pivot rings versus a plain M-tree.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use pmi::builder::{build_index, BuildOptions, IndexKind};
 
 fn la_setup(n: usize, l: usize) -> (Vec<Vec<f32>>, Vec<Vec<f32>>, pmi::builder::BuildOptions) {
@@ -131,4 +131,10 @@ fn bench(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let t0 = std::time::Instant::now();
+    benches();
+    // Every bench appends a JSONL run-log line (real runs only; smoke
+    // invocations via `cargo test --bench` write nothing).
+    pmi_bench::harness::finish_criterion_runlog("ablation", t0);
+}

@@ -29,6 +29,7 @@
 use pmi::builder::{BuildOptions, IndexKind};
 use pmi::engine::{EngineConfig, Query};
 use pmi::{build_sharded_vector_engine, datasets, PartitionPolicy, L2};
+use pmi_bench::harness::{append_runlog, TrajectoryPoint};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -140,6 +141,7 @@ fn main() {
     let radius = datasets::calibrate_radius(&pts, &L2, 0.04, 42);
     let batch = la_batch(&pts, BATCH, radius);
     let mut serve_points = Vec::new();
+    let mut last_engine = None;
     for &(policy_label, shards, baseline_ms) in BASELINE_BATCH_MS {
         let policy = if policy_label == "round-robin" {
             PartitionPolicy::RoundRobin
@@ -220,6 +222,7 @@ fn main() {
             baseline_qps,
             scratch_speedup,
         });
+        last_engine = Some(engine);
     }
 
     if smoke {
@@ -227,20 +230,12 @@ fn main() {
         return;
     }
 
-    // ---- Emit trajectory points at the workspace root.
-    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-    let mut build_json = String::new();
-    writeln!(build_json, "{{").unwrap();
-    writeln!(
-        build_json,
-        "  \"bench\": \"build_throughput\", \"index\": \"LAESA\", \"dataset\": \"la\", \"n\": {n}, \"pivots\": {},",
-        opts.num_pivots
-    )
-    .unwrap();
-    writeln!(build_json, "  \"points\": [").unwrap();
+    // ---- Emit trajectory points at the workspace root (shared writer:
+    // schema version + config fingerprint stamped uniformly).
+    let mut points_json = String::from("[\n");
     for (i, p) in build_points.iter().enumerate() {
         writeln!(
-            build_json,
+            points_json,
             "    {{\"policy\": \"{}\", \"shards\": {}, \"threads\": {}, \"build_wall_secs\": {:.6}, \"build_compdists\": {}}}{}",
             p.policy,
             p.shards,
@@ -251,9 +246,29 @@ fn main() {
         )
         .unwrap();
     }
-    writeln!(build_json, "  ]").unwrap();
-    writeln!(build_json, "}}").unwrap();
-    std::fs::write(format!("{root}/BENCH_build.json"), build_json).expect("write BENCH_build.json");
+    points_json.push_str("  ]");
+    let build_traj = TrajectoryPoint::new(
+        "build_throughput",
+        &[
+            ("index", "\"LAESA\"".into()),
+            ("dataset", "\"la\"".into()),
+            ("n", n.to_string()),
+            ("pivots", opts.num_pivots.to_string()),
+        ],
+    );
+    let mut build_log = build_traj.runlog();
+    for p in &build_points {
+        build_log.record(
+            &format!("build.{}.P{}.T{}", p.policy, p.shards, p.threads),
+            1,
+            p.wall_secs,
+            &[("compdists", p.compdists)],
+        );
+    }
+    build_traj
+        .field_raw("points", &points_json)
+        .write("BENCH_build.json");
+    append_runlog(&build_log);
 
     // The regression gate is the drift-immune in-process A/B: the
     // scratch-reusing hot path must never be slower than the allocating
@@ -262,23 +277,10 @@ fn main() {
     // shared single-core box it moves several percent between runs in both
     // directions, so it informs but does not gate.
     let regression_ok = serve_points.iter().all(|p| p.scratch_speedup >= 1.0);
-    let mut engine_json = String::new();
-    writeln!(engine_json, "{{").unwrap();
-    writeln!(
-        engine_json,
-        "  \"bench\": \"engine_qps\", \"index\": \"MVPT\", \"dataset\": \"la\", \"n\": {n}, \"batch\": {BATCH},"
-    )
-    .unwrap();
-    writeln!(
-        engine_json,
-        "  \"baseline_commit\": \"e09c6a2 (pre shared-matrix / zero-allocation serve)\","
-    )
-    .unwrap();
-    writeln!(engine_json, "  \"regression_ok\": {regression_ok},").unwrap();
-    writeln!(engine_json, "  \"points\": [").unwrap();
+    let mut points_json = String::from("[\n");
     for (i, p) in serve_points.iter().enumerate() {
         writeln!(
-            engine_json,
+            points_json,
             "    {{\"policy\": \"{}\", \"shards\": {}, \"qps_mean\": {:.0}, \"qps_best\": {:.0}, \
              \"baseline_qps\": {:.0}, \"scratch_speedup\": {:.3}}}{}",
             p.policy,
@@ -291,9 +293,38 @@ fn main() {
         )
         .unwrap();
     }
-    writeln!(engine_json, "  ]").unwrap();
-    writeln!(engine_json, "}}").unwrap();
-    std::fs::write(format!("{root}/BENCH_engine.json"), engine_json)
-        .expect("write BENCH_engine.json");
-    println!("wrote BENCH_build.json + BENCH_engine.json (regression_ok = {regression_ok})");
+    points_json.push_str("  ]");
+    let engine_traj = TrajectoryPoint::new(
+        "engine_qps",
+        &[
+            ("index", "\"MVPT\"".into()),
+            ("dataset", "\"la\"".into()),
+            ("n", n.to_string()),
+            ("batch", BATCH.to_string()),
+        ],
+    );
+    let mut serve_log = engine_traj.runlog();
+    for p in &serve_points {
+        serve_log.record(
+            &format!("serve.{}.P{}", p.policy, p.shards),
+            1,
+            BATCH as f64 / p.qps_best,
+            &[("batch", BATCH as u64), ("shards", p.shards as u64)],
+        );
+    }
+    // The last engine's own phase tree (build/serve.plan/serve.scan/...,
+    // exact counter deltas included) rides along when obs is compiled in.
+    if let Some(engine) = last_engine {
+        serve_log.extend_from(&engine.metrics());
+    }
+    engine_traj
+        .field_str(
+            "baseline_commit",
+            "e09c6a2 (pre shared-matrix / zero-allocation serve)",
+        )
+        .field_bool("regression_ok", regression_ok)
+        .field_raw("points", &points_json)
+        .write("BENCH_engine.json");
+    append_runlog(&serve_log);
+    println!("regression_ok = {regression_ok}");
 }

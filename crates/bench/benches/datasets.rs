@@ -1,6 +1,6 @@
 //! Bench target for Table 2: dataset generation + statistics.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("table2_datasets");
@@ -25,4 +25,10 @@ fn bench(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let t0 = std::time::Instant::now();
+    benches();
+    // Every bench appends a JSONL run-log line (real runs only; smoke
+    // invocations via `cargo test --bench` write nothing).
+    pmi_bench::harness::finish_criterion_runlog("datasets", t0);
+}

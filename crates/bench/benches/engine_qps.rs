@@ -6,7 +6,7 @@
 //! compared with round-robin directly; the exact probe/prune totals per
 //! configuration are printed once before measuring.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use pmi::builder::{build_vector_index, BuildOptions, IndexKind};
 use pmi::engine::{EngineConfig, Query};
 use pmi::{build_sharded_vector_engine, PartitionPolicy, L2};
@@ -91,4 +91,10 @@ fn bench(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let t0 = std::time::Instant::now();
+    benches();
+    // Every bench appends a JSONL run-log line (real runs only; smoke
+    // invocations via `cargo test --bench` write nothing).
+    pmi_bench::harness::finish_criterion_runlog("engine_qps", t0);
+}

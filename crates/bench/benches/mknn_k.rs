@@ -1,6 +1,6 @@
 //! Bench target for Figure 17: MkNNQ vs k.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use pmi::builder::{build_index, IndexKind};
 
 fn la_setup(n: usize, l: usize) -> (Vec<Vec<f32>>, Vec<Vec<f32>>, pmi::builder::BuildOptions) {
@@ -49,4 +49,10 @@ fn bench(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let t0 = std::time::Instant::now();
+    benches();
+    // Every bench appends a JSONL run-log line (real runs only; smoke
+    // invocations via `cargo test --bench` write nothing).
+    pmi_bench::harness::finish_criterion_runlog("mknn_k", t0);
+}

@@ -22,7 +22,7 @@
 use pmi::builder::{BuildOptions, IndexKind};
 use pmi::engine::{EngineConfig, Query, ShardedEngine};
 use pmi::{build_sharded_vector_engine, datasets, PartitionPolicy, RefreshPolicy, UpdateBatch, L2};
-use std::fmt::Write as _;
+use pmi_bench::harness::{append_runlog, TrajectoryPoint};
 use std::time::Instant;
 
 const SHARDS: usize = 8;
@@ -178,34 +178,59 @@ fn main() {
         return;
     }
 
-    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-    let mut json = String::new();
-    writeln!(json, "{{").unwrap();
-    writeln!(
-        json,
-        "  \"bench\": \"update_throughput\", \"index\": \"LAESA\", \"dataset\": \"la\", \
-         \"n\": {n}, \"churn\": {churn}, \"shards\": {SHARDS}, \"apply_chunk\": {apply_chunk},"
-    )
-    .unwrap();
-    writeln!(
-        json,
-        "  \"inserts_per_sec\": {inserts_per_sec:.0}, \"removes_per_sec\": {removes_per_sec:.0}, \
-         \"insert_map_compdists\": {map_compdists}, \"insert_shard_compdists\": {shard_compdists},"
-    )
-    .unwrap();
-    writeln!(
-        json,
-        "  \"qps_before_churn\": {qps_before:.0}, \"qps_after_churn\": {qps_after:.0}, \
-         \"qps_no_churn_baseline\": {qps_baseline:.0},"
-    )
-    .unwrap();
-    writeln!(
-        json,
-        "  \"recluster_passes\": {reclusters}, \"recluster_moved\": {moved}, \
-         \"recluster_overhead_secs\": {recluster_overhead_secs:.6}"
-    )
-    .unwrap();
-    writeln!(json, "}}").unwrap();
-    std::fs::write(format!("{root}/BENCH_update.json"), json).expect("write BENCH_update.json");
-    println!("wrote BENCH_update.json");
+    let traj = TrajectoryPoint::new(
+        "update_throughput",
+        &[
+            ("index", "\"LAESA\"".into()),
+            ("dataset", "\"la\"".into()),
+            ("n", n.to_string()),
+            ("churn", churn.to_string()),
+            ("shards", SHARDS.to_string()),
+            ("apply_chunk", apply_chunk.to_string()),
+        ],
+    );
+    let mut log = traj.runlog();
+    log.record(
+        "insert",
+        (churn / apply_chunk + 1) as u64,
+        insert_secs,
+        &[
+            ("inserts", churn as u64),
+            ("map_compdists", map_compdists),
+            ("shard_compdists", shard_compdists),
+        ],
+    );
+    log.record(
+        "remove",
+        (churn / apply_chunk + 1) as u64,
+        remove_secs,
+        &[("removes", removed), ("reboxed_shards", reboxed as u64)],
+    );
+    log.record(
+        "serve.after_churn",
+        serve_iters as u64,
+        batch.len() as f64 / qps_after * serve_iters as f64,
+        &[("batch", batch.len() as u64)],
+    );
+    log.record(
+        "recluster",
+        reclusters as u64,
+        recluster_overhead_secs,
+        &[("moved_objects", moved)],
+    );
+    // The churned engine's own phase tree (build/apply.*/serve.*) carries
+    // the exact per-phase wall + counter deltas when obs is compiled in.
+    log.extend_from(&engine.metrics());
+    traj.field_f64("inserts_per_sec", inserts_per_sec)
+        .field_f64("removes_per_sec", removes_per_sec)
+        .field_u64("insert_map_compdists", map_compdists)
+        .field_u64("insert_shard_compdists", shard_compdists)
+        .field_f64("qps_before_churn", qps_before)
+        .field_f64("qps_after_churn", qps_after)
+        .field_f64("qps_no_churn_baseline", qps_baseline)
+        .field_u64("recluster_passes", reclusters as u64)
+        .field_u64("recluster_moved", moved)
+        .field_f64("recluster_overhead_secs", recluster_overhead_secs)
+        .write("BENCH_update.json");
+    append_runlog(&log);
 }

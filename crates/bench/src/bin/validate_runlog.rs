@@ -1,0 +1,114 @@
+//! Structural validator for the JSONL run-metrics sink (`RUNLOG.jsonl`).
+//!
+//! Two modes:
+//!
+//! * `validate_runlog <file>...` — check every line of each file against
+//!   the `pmi-runlog-v1` schema via [`pmi::obs::validate_runlog_line`];
+//!   exits non-zero on the first malformed line. This is what CI runs
+//!   against a real bench emission.
+//! * `validate_runlog --generate` — self-contained smoke: build a small
+//!   engine, serve a batch, turn the resulting metrics snapshot into a
+//!   run-log, and validate every generated line without touching disk.
+//!   Proves the emitter and the validator agree even when no bench has
+//!   run yet (and regardless of whether the `obs` feature is compiled in:
+//!   with it off the snapshot is empty and only the hand-recorded lines
+//!   are checked).
+
+use pmi::builder::{BuildOptions, IndexKind};
+use pmi::engine::{EngineConfig, Query};
+use pmi::obs::{fingerprint, validate_runlog_line, RunLog};
+use pmi::{build_sharded_vector_engine, datasets, PartitionPolicy, L2};
+
+fn generate_and_validate() -> Result<(), String> {
+    let pts = datasets::la(500, 7);
+    let engine = build_sharded_vector_engine(
+        IndexKind::Laesa,
+        pts.clone(),
+        L2,
+        &BuildOptions {
+            d_plus: 14143.0,
+            ..BuildOptions::default()
+        },
+        &EngineConfig {
+            shards: 4,
+            threads: 2,
+            ..EngineConfig::default()
+        },
+        PartitionPolicy::PivotSpace,
+    )
+    .map_err(|e| format!("build failed: {e}"))?;
+    let radius = datasets::calibrate_radius(&pts, &L2, 0.05, 7);
+    let batch: Vec<Query<Vec<f32>>> = (0..32)
+        .map(|i| {
+            let q = pts[(i * 17) % pts.len()].clone();
+            if i % 2 == 0 {
+                Query::range(q, radius)
+            } else {
+                Query::knn(q, 5)
+            }
+        })
+        .collect();
+    let out = engine.serve(&batch);
+
+    let mut log = RunLog::new(
+        "validate_runlog_smoke",
+        fingerprint(&["laesa", "P=4", "n=500"]),
+    );
+    log.record(
+        "serve",
+        1,
+        out.report.wall_secs,
+        &[
+            ("queries", batch.len() as u64),
+            ("shards_probed", out.report.shards_probed),
+        ],
+    );
+    log.extend_from(&engine.metrics());
+
+    let compiled = pmi::obs::Registry::compiled_in();
+    if compiled && log.lines().len() < 2 {
+        return Err("obs is compiled in but the snapshot produced no phase lines".into());
+    }
+    for line in log.lines() {
+        validate_runlog_line(line).map_err(|e| format!("{e}: {line}"))?;
+    }
+    println!(
+        "validate_runlog --generate: {} line(s) ok (obs compiled_in = {compiled})",
+        log.lines().len()
+    );
+    Ok(())
+}
+
+fn validate_files(paths: &[String]) -> Result<(), String> {
+    for path in paths {
+        let body = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let mut count = 0usize;
+        for (i, line) in body.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            validate_runlog_line(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+            count += 1;
+        }
+        if count == 0 {
+            return Err(format!("{path}: no run-log lines"));
+        }
+        println!("{path}: {count} line(s) ok");
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = if args.iter().any(|a| a == "--generate") {
+        generate_and_validate()
+    } else if args.is_empty() {
+        Err("usage: validate_runlog <RUNLOG.jsonl>... | validate_runlog --generate".into())
+    } else {
+        validate_files(&args)
+    };
+    if let Err(e) = result {
+        eprintln!("validate_runlog: {e}");
+        std::process::exit(1);
+    }
+}

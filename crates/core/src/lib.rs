@@ -231,6 +231,61 @@
 //! assert_eq!(report.compacted_rows, 702, "all dead rows dropped");
 //! assert_eq!(engine.len(), 1_299);
 //! ```
+//!
+//! # Observability: `engine.metrics()` and the `obs` feature
+//!
+//! Every engine carries a lock-free-on-the-hot-path metrics registry
+//! ([`obs`], crate `pmi-obs`): build/serve/apply/compact run as
+//! instrumented phases (per-worker state is plain writes, folded once per
+//! batch), every served query lands in a latency histogram, and each
+//! [`ServeReport`] breaks the batch down per shard
+//! ([`ShardServeStats`]: exact probe/compdists/page counts, sampled
+//! p50/p99 probe wall) so shard skew is visible directly.
+//!
+//! The whole subsystem sits behind the `obs` cargo feature (on by
+//! default). The contract is **zero overhead when off**: disabled at
+//! compile time (`--no-default-features`) every hook is a no-op the
+//! optimizer erases; disabled at runtime
+//! ([`ShardedEngine::set_obs_enabled`]) the serve path performs no clock
+//! reads. Either way, *results and the paper's exact cost counters are
+//! byte-identical* — observability never changes what is computed, only
+//! what is recorded (`tests/counters.rs` proves it).
+//!
+//! ```
+//! use pmi::{
+//!     build_sharded_vector_engine, BuildOptions, EngineConfig, IndexKind, PartitionPolicy, Query,
+//! };
+//!
+//! let objects = pmi::datasets::la(2_000, 42);
+//! let engine = build_sharded_vector_engine(
+//!     IndexKind::Laesa,
+//!     objects.clone(),
+//!     pmi::L2,
+//!     &BuildOptions { d_plus: 14143.0, ..BuildOptions::default() },
+//!     &EngineConfig { shards: 4, threads: 2, ..EngineConfig::default() },
+//!     PartitionPolicy::PivotSpace,
+//! )
+//! .unwrap();
+//! let batch: Vec<Query<Vec<f32>>> = (0..64)
+//!     .map(|i| Query::range(objects[i].clone(), 200.0))
+//!     .collect();
+//! let out = engine.serve(&batch);
+//!
+//! // Per-shard breakdown: exact counts, regardless of the obs switch.
+//! assert_eq!(out.report.per_shard.len(), 4);
+//! let probes: u64 = out.report.per_shard.iter().map(|s| s.probes).sum();
+//! assert_eq!(probes, out.report.shards_probed);
+//!
+//! // The phase tree (build.matrix, serve.scan, ...) — populated when the
+//! // `obs` feature is on, empty (and free) when compiled out.
+//! let snap = engine.metrics();
+//! if pmi::obs::Registry::compiled_in() {
+//!     assert!(snap.phases.iter().any(|p| p.path == "serve"));
+//!     println!("{}", snap.render());
+//! } else {
+//!     assert!(snap.phases.is_empty());
+//! }
+//! ```
 
 pub mod builder;
 pub mod serve;
@@ -241,9 +296,11 @@ pub use serve::{build_sharded_engine, build_sharded_vector_engine};
 pub use pmi_engine as engine;
 pub use pmi_engine::{
     ApplyReport, BatchOutcome, BuildStats, CompactionPolicy, EngineConfig, EngineError,
-    EngineScratch, LatencySummary, Query, QueryResult, RefreshPolicy, ServeReport, ShardedEngine,
-    UpdateBatch, UpdateOp, UpdateStats,
+    EngineScratch, LatencySummary, Query, QueryResult, RefreshPolicy, ServeReport, ShardServeStats,
+    ShardedEngine, UpdateBatch, UpdateOp, UpdateStats,
 };
+
+pub use pmi_obs as obs;
 
 pub use pmi_router as router;
 pub use pmi_router::{PartitionPolicy, RoutingTable};

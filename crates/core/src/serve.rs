@@ -89,6 +89,7 @@ where
     // The matrix pays for itself when the router clusters over it or the
     // shards adopt it; round-robin engines over self-pivoting kinds skip it.
     let needs_matrix = policy == PartitionPolicy::PivotSpace || kind.adopts_pivot_matrix();
+    let m0 = Instant::now();
     let (matrix, matrix_compdists) = if needs_matrix {
         let counting = CountingMetric::new(metric.clone());
         let m = PivotMatrix::compute(&objects, &counting, &pivots, cfg.resolved_threads());
@@ -97,6 +98,7 @@ where
     } else {
         (PivotMatrix::new(pivots.len()), 0)
     };
+    let matrix_nanos = needs_matrix.then(|| m0.elapsed().as_nanos() as u64);
 
     let matrix_factory = |_s: usize, part: Vec<O>, m: pmi_metric::MatrixSlice| {
         build_index_with_matrix(kind, part, metric.clone(), pivots.clone(), opts, m)
@@ -109,6 +111,7 @@ where
         move |o: &O, out: &mut Vec<f64>| out.extend(pivots.iter().map(|p| metric.dist(o, p)))
     };
 
+    let mut partition_phase: Option<(usize, u64)> = None;
     let mut engine = match policy {
         PartitionPolicy::RoundRobin if !needs_matrix => {
             flatten(ShardedEngine::build_with(objects, cfg, |_, part| {
@@ -123,6 +126,7 @@ where
             matrix_factory,
         ))?,
         PartitionPolicy::PivotSpace => {
+            let p0 = Instant::now();
             let shards = cfg.resolved_shards(objects.len());
             let assignment = assign_pivot_space(&matrix, shards, opts.seed);
             let router = RoutingTable::from_assignment(
@@ -132,6 +136,8 @@ where
                 &assignment,
                 shards,
             );
+            let partition_nanos = p0.elapsed().as_nanos() as u64;
+            partition_phase = Some((shards, partition_nanos));
             // Every kind routes over the shared matrix; adopting kinds
             // (LAESA, CPT, FQA) additionally seed their tables from their
             // slice, the rest build as usual and drop it (slices are row-id
@@ -150,6 +156,18 @@ where
     let stats = engine.build_stats_mut();
     stats.build_compdists += matrix_compdists;
     stats.build_wall_secs = t0.elapsed().as_secs_f64();
+    // Facade-side build phases (the engine itself recorded `build` /
+    // `build.shards` for the part it ran). No-ops with obs off.
+    if let Some(nanos) = matrix_nanos {
+        engine
+            .obs()
+            .phase_add("build.matrix", 1, nanos, &[("compdists", matrix_compdists)]);
+    }
+    if let Some((shards, nanos)) = partition_phase {
+        engine
+            .obs()
+            .phase_add("build.partition", 1, nanos, &[("shards", shards as u64)]);
+    }
     Ok(engine)
 }
 

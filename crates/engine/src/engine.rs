@@ -28,7 +28,7 @@
 
 use crate::merge::{merge_range, TopK};
 use crate::query::{Query, QueryResult};
-use crate::report::{BuildStats, LatencySummary, ServeReport, UpdateStats};
+use crate::report::{BuildStats, LatencySummary, ServeReport, ShardServeStats, UpdateStats};
 use crate::shard::{partition_by_assignment, partition_round_robin, Partition, Shard};
 use crate::update::{ApplyReport, CompactionPolicy, RefreshPolicy, UpdateBatch, UpdateOp};
 use pmi_metric::lemmas::Mbb;
@@ -36,6 +36,7 @@ use pmi_metric::{
     Counters, MatrixSlice, MetricIndex, Neighbor, ObjId, PivotMatrix, QueryScratch,
     SharedPivotMatrix, StorageFootprint,
 };
+use pmi_obs::{Hist, MetricsSnapshot, Registry, Span};
 use pmi_router::{Mapper, PartitionPolicy, RoutingTable};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -153,6 +154,8 @@ pub struct EngineScratch {
     nbrs: Vec<Neighbor>,
     /// Global top-k collector.
     topk: TopK,
+    /// Per-worker observability buffers, merged once per batch.
+    obs: ScratchObs,
 }
 
 impl EngineScratch {
@@ -160,6 +163,168 @@ impl EngineScratch {
     pub fn new() -> Self {
         EngineScratch::default()
     }
+}
+
+/// One-in-N query sampling rate for probe-wall timing. Exact per-shard
+/// probe/cost counts are always kept; only *wall-clock* attribution is
+/// sampled, so the per-probe clock-read cost amortizes to well under the
+/// 2% serve-overhead budget. Power of two (cheap mask).
+const OBS_SAMPLE: u64 = 8;
+
+/// Cap on raw probe-wall samples retained per (worker, shard) per batch,
+/// bounding memory on very large batches.
+const OBS_SAMPLE_CAP: usize = 65_536;
+
+/// Per-worker observability state, recorded with plain (non-atomic)
+/// writes on the serve path and folded into the engine's [`Registry`] and
+/// the batch's [`ServeReport`] once per batch. Exact probe counts are
+/// always maintained (they feed `ServeReport::per_shard` regardless of
+/// the obs switch); everything timed is gated on `timing`/`sampled` —
+/// both constant `false` when the `obs` feature is compiled out, so the
+/// optimizer erases every clock read.
+#[derive(Default)]
+struct ScratchObs {
+    /// Runtime obs switch, copied from the registry once per batch.
+    timing: bool,
+    /// Whether the in-flight query is one of the 1-in-[`OBS_SAMPLE`]
+    /// timing samples.
+    sampled: bool,
+    /// Exact probe count per shard (always on — one plain add per probe).
+    probes: Vec<u64>,
+    /// Sampled probe wall per shard, summed nanoseconds.
+    shard_nanos: Vec<u64>,
+    /// Raw sampled probe walls per shard (for exact sample quantiles).
+    shard_samples: Vec<Vec<u64>>,
+    /// Sampled wall of the plan step (query mapping + shard selection).
+    plan_nanos: u64,
+    /// Sampled wall of the shard-probe step.
+    scan_nanos: u64,
+    /// Sampled wall of the merge step.
+    merge_nanos: u64,
+    /// How many queries this worker sampled for timing.
+    sampled_queries: u64,
+    /// Pivot distances paid mapping sampled+unsampled queries (timing on).
+    map_dists: u64,
+    /// Every query's wall (not sampled — one histogram record per query).
+    query_wall: Hist,
+    /// Scan-kernel tally harvested from [`QueryScratch`] at worker exit.
+    kernel_rows: u64,
+    /// See `kernel_rows`.
+    kernel_blocks: u64,
+    /// This worker's busy wall across the batch, nanoseconds.
+    busy_nanos: u64,
+}
+
+impl ScratchObs {
+    /// Sizes the per-shard buffers and arms the runtime switch for one
+    /// batch.
+    fn prepare(&mut self, shards: usize, timing: bool) {
+        self.timing = timing;
+        self.sampled = false;
+        if self.probes.len() < shards {
+            self.probes.resize(shards, 0);
+        }
+        if timing && self.shard_samples.len() < shards {
+            self.shard_nanos.resize(shards, 0);
+            self.shard_samples.resize_with(shards, Vec::new);
+        }
+    }
+
+    /// Exact probe tally (always on; resilient to unprepared scratch from
+    /// the public single-query paths).
+    #[inline]
+    fn note_probe(&mut self, s: usize) {
+        if self.probes.len() <= s {
+            self.probes.resize(s + 1, 0);
+        }
+        self.probes[s] += 1;
+    }
+
+    /// Records one sampled probe wall against shard `s`.
+    fn note_probe_wall(&mut self, s: usize, nanos: u64) {
+        if self.shard_samples.len() <= s {
+            self.shard_nanos.resize(s + 1, 0);
+            self.shard_samples.resize_with(s + 1, Vec::new);
+        }
+        self.shard_nanos[s] += nanos;
+        self.scan_nanos += nanos;
+        if self.shard_samples[s].len() < OBS_SAMPLE_CAP {
+            self.shard_samples[s].push(nanos);
+        }
+    }
+
+    /// Folds another worker's state into this one (report aggregation).
+    fn merge(&mut self, other: ScratchObs) {
+        let shards = self.probes.len().max(other.probes.len());
+        if self.probes.len() < shards {
+            self.probes.resize(shards, 0);
+        }
+        for (s, p) in other.probes.into_iter().enumerate() {
+            self.probes[s] += p;
+        }
+        if !other.shard_samples.is_empty() {
+            if self.shard_samples.len() < other.shard_samples.len() {
+                self.shard_nanos.resize(other.shard_nanos.len(), 0);
+                self.shard_samples
+                    .resize_with(other.shard_samples.len(), Vec::new);
+            }
+            for (s, (ns, mut samples)) in other
+                .shard_nanos
+                .into_iter()
+                .zip(other.shard_samples)
+                .enumerate()
+            {
+                self.shard_nanos[s] += ns;
+                self.shard_samples[s].append(&mut samples);
+            }
+        }
+        self.plan_nanos += other.plan_nanos;
+        self.scan_nanos += other.scan_nanos;
+        self.merge_nanos += other.merge_nanos;
+        self.sampled_queries += other.sampled_queries;
+        self.map_dists += other.map_dists;
+        self.query_wall.merge(&other.query_wall);
+        self.kernel_rows += other.kernel_rows;
+        self.kernel_blocks += other.kernel_blocks;
+        self.busy_nanos += other.busy_nanos;
+    }
+}
+
+/// A lap timer that reads the monotonic clock only when armed: `lap()`
+/// returns the nanoseconds since the previous lap (or construction) and
+/// re-arms, so a sampled query pays exactly one clock read per measured
+/// segment. Disarmed (`ObsClock::start(false)`, the non-sampled and
+/// obs-off paths), every call is a constant 0 the optimizer folds away.
+struct ObsClock(Option<Instant>);
+
+impl ObsClock {
+    #[inline]
+    fn start(armed: bool) -> Self {
+        ObsClock(if armed { Some(Instant::now()) } else { None })
+    }
+
+    #[inline]
+    fn lap(&mut self) -> u64 {
+        match &mut self.0 {
+            Some(t) => {
+                let now = Instant::now();
+                let d = now.duration_since(*t).as_nanos() as u64;
+                *t = now;
+                d
+            }
+            None => 0,
+        }
+    }
+}
+
+/// Nearest-rank quantile over an already-sorted sample set (seconds).
+fn sample_quantile(sorted_nanos: &[u64], q: f64) -> f64 {
+    if sorted_nanos.is_empty() {
+        return 0.0;
+    }
+    let n = sorted_nanos.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted_nanos[rank - 1] as f64 * 1e-9
 }
 
 /// One partition awaiting its index, plus its optional adopted slice of
@@ -241,6 +406,11 @@ pub struct ShardedEngine<O> {
     build_stats: BuildStats,
     /// Lifetime mutation totals (copied into every [`ServeReport`]).
     update_stats: UpdateStats,
+    /// The engine's metrics registry: build/serve/apply/compact phases,
+    /// latency histograms, counters. Zero-sized and inert when the `obs`
+    /// feature is compiled out; runtime-toggleable via
+    /// [`set_obs_enabled`](Self::set_obs_enabled) otherwise.
+    obs: Registry,
 }
 
 impl<O> ShardedEngine<O> {
@@ -444,12 +614,26 @@ impl<O> ShardedEngine<O> {
         let num_shards = parts.len();
         let n: usize = parts.iter().map(|((objs, _), _)| objs.len()).sum();
         let threads = resolve_threads(cfg.threads);
-
+        let obs = Registry::new();
+        // Per-shard build wall: one clock pair per shard build — vanishes
+        // entirely when the obs feature is compiled out.
+        let timing = obs.is_enabled();
+        let mut shard_wall = Hist::new();
+        let mut shards_nanos: u64 = 0;
         let built: Vec<Result<Shard<O>, E>> = if threads <= 1 || num_shards == 1 {
             parts
                 .into_iter()
                 .enumerate()
-                .map(|(s, ((objs, gids), m))| factory(s, objs, m).map(|idx| Shard::new(idx, gids)))
+                .map(|(s, ((objs, gids), m))| {
+                    let b0 = timing.then(Instant::now);
+                    let r = factory(s, objs, m).map(|idx| Shard::new(idx, gids));
+                    if let Some(t) = b0 {
+                        let nanos = t.elapsed().as_nanos() as u64;
+                        shard_wall.record(nanos);
+                        shards_nanos += nanos;
+                    }
+                    r
+                })
                 .collect()
         } else {
             // At most `threads` concurrent builders: distribute the shard
@@ -471,14 +655,22 @@ impl<O> ShardedEngine<O> {
                             bucket
                                 .into_iter()
                                 .map(|(s, ((objs, gids), m))| {
-                                    (s, factory(s, objs, m).map(|idx| Shard::new(idx, gids)))
+                                    let b0 = timing.then(Instant::now);
+                                    let r = factory(s, objs, m).map(|idx| Shard::new(idx, gids));
+                                    let nanos =
+                                        b0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+                                    (s, r, nanos)
                                 })
                                 .collect::<Vec<_>>()
                         })
                     })
                     .collect();
                 for h in handles {
-                    for (s, r) in h.join().expect("shard build thread panicked") {
+                    for (s, r, nanos) in h.join().expect("shard build thread panicked") {
+                        if timing {
+                            shard_wall.record(nanos);
+                            shards_nanos += nanos;
+                        }
                         slots[s] = Some(r);
                     }
                 }
@@ -506,6 +698,23 @@ impl<O> ShardedEngine<O> {
             build_compdists: shards.iter().map(|s| s.counters().compdists).sum(),
             build_wall_secs: t0.elapsed().as_secs_f64(),
         };
+        if timing {
+            obs.phase_add(
+                "build",
+                1,
+                t0.elapsed().as_nanos() as u64,
+                &[("objects", n as u64), ("shards", num_shards as u64)],
+            );
+            obs.phase_add(
+                "build.shards",
+                num_shards as u64,
+                shards_nanos,
+                &[("compdists", build_stats.build_compdists)],
+            );
+            obs.hist_merge("build.shard_wall", &shard_wall);
+            obs.gauge_set("engine.shards", num_shards as u64);
+            obs.gauge_set("engine.live_objects", n as u64);
+        }
 
         Ok(ShardedEngine {
             shards,
@@ -522,6 +731,7 @@ impl<O> ShardedEngine<O> {
             next_id: n as ObjId,
             build_stats,
             update_stats: UpdateStats::default(),
+            obs,
         })
     }
 
@@ -608,6 +818,27 @@ impl<O> ShardedEngine<O> {
     /// Per-shard counter snapshots, in shard order.
     pub fn shard_counters(&self) -> Vec<Counters> {
         self.shards.iter().map(|s| s.counters()).collect()
+    }
+
+    /// The engine's metrics registry — phase walls, counters, histograms
+    /// for build/serve/apply/compact. Hand it to [`pmi_obs::Span`] or
+    /// record custom metrics against the same snapshot.
+    pub fn obs(&self) -> &Registry {
+        &self.obs
+    }
+
+    /// Snapshot of everything the registry has recorded so far. With the
+    /// `obs` feature compiled out this is the empty snapshot (`enabled:
+    /// false`) — callers need no cfg of their own.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
+    }
+
+    /// Flips the runtime observability switch. Off (or compiled out), the
+    /// serve path performs no clock reads and records nothing; results
+    /// and the exact cost counters are identical either way.
+    pub fn set_obs_enabled(&self, on: bool) {
+        self.obs.set_enabled(on);
     }
 
     /// Resets every shard's counters and the engine's probe counters.
@@ -700,6 +931,8 @@ impl<O> ShardedEngine<O> {
         O: Clone,
     {
         let t0 = Instant::now();
+        let span = Span::enter("apply");
+        let mut clock = ObsClock::start(self.obs.is_enabled());
         let shard_cd0 = self.counters().compdists;
         let map_cd0 = self.update_stats.map_compdists;
         let mut report = ApplyReport::default();
@@ -728,19 +961,54 @@ impl<O> ShardedEngine<O> {
             }
         }
         self.publish_staged();
+        self.obs.phase_add(
+            "apply.ops",
+            batch.ops().len() as u64,
+            clock.lap(),
+            &[
+                ("inserts", report.inserts as u64),
+                ("removes", report.removes as u64),
+            ],
+        );
         report.reboxed_shards = self.rebox(&dirty);
+        self.obs.phase_add(
+            "apply.rebox",
+            1,
+            clock.lap(),
+            &[("reboxed_shards", report.reboxed_shards as u64)],
+        );
         let (reclusters, moved, recluster_reboxed) = self.maybe_recluster();
         report.reclusters = reclusters;
         report.moved_objects = moved;
         report.reboxed_shards += recluster_reboxed;
         self.update_stats.reclusters += reclusters as u64;
         self.update_stats.moved_objects += moved;
+        self.obs.phase_add(
+            "apply.recluster",
+            reclusters as u64,
+            clock.lap(),
+            &[("moved_objects", moved)],
+        );
         let compacted = self.maybe_compact();
         report.compactions = usize::from(compacted > 0);
         report.compacted_rows = compacted as u64;
+        self.obs.phase_add(
+            "apply.compact",
+            report.compactions as u64,
+            clock.lap(),
+            &[("compacted_rows", report.compacted_rows)],
+        );
         report.map_compdists = self.update_stats.map_compdists - map_cd0;
         report.shard_compdists = self.counters().compdists - shard_cd0;
         report.wall_secs = t0.elapsed().as_secs_f64();
+        span.finish_with(
+            &self.obs,
+            &[
+                ("map_compdists", report.map_compdists),
+                ("shard_compdists", report.shard_compdists),
+            ],
+        );
+        self.obs.gauge_set("engine.live_objects", self.len() as u64);
         report
     }
 
@@ -985,6 +1253,9 @@ impl<O> ShardedEngine<O> {
         if dead == 0 {
             return 0;
         }
+        // The no-op early returns above record nothing: a `compact` phase
+        // in the snapshot always means rows actually moved.
+        let span = Span::enter("compact");
         // Survivors in ascending (old) global-id order; their rank is the
         // new global id == new shared row id.
         let mut survivors: Vec<ObjId> = self.locator.keys().copied().collect();
@@ -1047,6 +1318,14 @@ impl<O> ShardedEngine<O> {
         }
         self.update_stats.compactions += 1;
         self.update_stats.compacted_rows += dead as u64;
+        span.finish_with(
+            &self.obs,
+            &[
+                ("compacted_rows", dead as u64),
+                ("survivors", survivors.len() as u64),
+            ],
+        );
+        self.obs.gauge_set("engine.live_objects", self.len() as u64);
         dead
     }
 
@@ -1079,27 +1358,41 @@ impl<O> ShardedEngine<O> {
             mapped,
             probe,
             ids,
+            obs,
             ..
         } = scratch;
+        // Sampled queries pay one extra clock read per phase boundary; the
+        // rest see only the plain per-shard probe tally.
+        let mut clock = ObsClock::start(obs.sampled);
         match &self.router {
             Some(rt) => {
                 rt.map_into(q, mapped);
                 rt.range_plan_into(mapped, radius, probe);
+                if obs.timing {
+                    obs.map_dists += mapped.len() as u64;
+                }
             }
             None => {
                 probe.clear();
                 probe.extend(0..self.shards.len());
             }
         }
+        obs.plan_nanos += clock.lap();
         self.note_probes(probe.len(), self.shards.len() - probe.len());
         ids.clear();
         for &s in probe.iter() {
+            obs.note_probe(s);
             self.shards[s].range_global_into(q, radius, qs, ids);
+            if obs.sampled {
+                obs.note_probe_wall(s, clock.lap());
+            }
         }
         // Shards are disjoint partitions: the union is concatenation plus
         // one sort for determinism.
         ids.sort_unstable();
-        ids.clone()
+        let out = ids.clone();
+        obs.merge_nanos += clock.lap();
+        out
     }
 
     /// Probes `MkNNQ(q, k)` serially into the scratch's bounded top-k
@@ -1113,13 +1406,19 @@ impl<O> ShardedEngine<O> {
             order,
             nbrs,
             topk,
+            obs,
             ..
         } = scratch;
         topk.reset(k);
+        let mut clock = ObsClock::start(obs.sampled);
         match &self.router {
             Some(rt) => {
                 rt.map_into(q, mapped);
                 rt.knn_order_into(mapped, order);
+                if obs.timing {
+                    obs.map_dists += mapped.len() as u64;
+                }
+                obs.plan_nanos += clock.lap();
                 let (mut probed, mut pruned) = (0usize, 0usize);
                 for &(s, lb) in order.iter() {
                     if lb > topk.threshold() {
@@ -1127,18 +1426,29 @@ impl<O> ShardedEngine<O> {
                         continue;
                     }
                     probed += 1;
+                    obs.note_probe(s);
                     self.shards[s].knn_into_with(q, k, qs, nbrs, topk);
+                    if obs.sampled {
+                        obs.note_probe_wall(s, clock.lap());
+                    }
                 }
                 self.note_probes(probed, pruned);
             }
             None => {
+                obs.plan_nanos += clock.lap();
                 self.note_probes(self.shards.len(), 0);
-                for s in &self.shards {
-                    s.knn_into_with(q, k, qs, nbrs, topk);
+                for (s, shard) in self.shards.iter().enumerate() {
+                    obs.note_probe(s);
+                    shard.knn_into_with(q, k, qs, nbrs, topk);
+                    if obs.sampled {
+                        obs.note_probe_wall(s, clock.lap());
+                    }
                 }
             }
         }
-        topk.drain_sorted()
+        let out = topk.drain_sorted();
+        obs.merge_nanos += clock.lap();
+        out
     }
 
     /// The shards `MRQ(q, r)` must probe: all of them for round-robin
@@ -1259,42 +1569,65 @@ impl<O: Send + Sync> ShardedEngine<O> {
     /// time for per-batch attribution.
     pub fn serve(&self, batch: &[Query<O>]) -> BatchOutcome {
         let workers = self.threads.min(batch.len()).max(1);
-        let before = self.counters();
+        let shard_before = self.shard_counters();
+        let before = shard_before
+            .iter()
+            .fold(Counters::default(), |acc, c| acc + *c);
         let (probed0, pruned0) = self.probe_counts();
+        // One registry read per batch: the runtime switch never sits on the
+        // per-query path.
+        let timing = self.obs.is_enabled();
         let cursor = AtomicUsize::new(0);
         let t0 = Instant::now();
 
-        let collected: Vec<Vec<(usize, QueryResult, u64)>> = if workers <= 1 {
+        // Each worker claims queries from the shared cursor and returns its
+        // answered slice plus its private observability state (probe
+        // tallies, sampled walls, kernel tally) — plain writes only, folded
+        // after the scope joins.
+        let run_worker = || {
+            let b0 = timing.then(Instant::now);
             let mut scratch = EngineScratch::new();
-            vec![batch
-                .iter()
-                .enumerate()
-                .map(|(i, q)| {
-                    let q0 = Instant::now();
-                    let res = self.execute_with(q, &mut scratch);
-                    (i, res, q0.elapsed().as_nanos() as u64)
-                })
-                .collect()]
+            scratch.obs.prepare(self.shards.len(), timing);
+            let mut local = Vec::new();
+            let mut served = 0u64;
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= batch.len() {
+                    break;
+                }
+                // 1-in-OBS_SAMPLE queries pay the per-segment clock reads;
+                // every query still lands in the latency histogram.
+                scratch.obs.sampled = timing && served.is_multiple_of(OBS_SAMPLE);
+                served += 1;
+                let q0 = Instant::now();
+                let res = self.execute_with(&batch[i], &mut scratch);
+                let ns = q0.elapsed().as_nanos() as u64;
+                if timing {
+                    scratch.obs.query_wall.record(ns);
+                    scratch.obs.sampled_queries += scratch.obs.sampled as u64;
+                }
+                local.push((i, res, ns));
+            }
+            let (kernel_rows, kernel_blocks) = scratch.qs.take_kernel_tally();
+            let mut obs = std::mem::take(&mut scratch.obs);
+            if timing {
+                obs.kernel_rows += kernel_rows;
+                obs.kernel_blocks += kernel_blocks;
+                if let Some(t) = b0 {
+                    obs.busy_nanos = t.elapsed().as_nanos() as u64;
+                }
+            }
+            (local, obs)
+        };
+
+        type WorkerOut = (Vec<(usize, QueryResult, u64)>, ScratchObs);
+        let collected: Vec<WorkerOut> = if workers <= 1 {
+            vec![run_worker()]
         } else {
             crossbeam::thread::scope(|scope| {
-                let cursor = &cursor;
+                let run_worker = &run_worker;
                 let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        scope.spawn(move |_| {
-                            let mut scratch = EngineScratch::new();
-                            let mut local = Vec::new();
-                            loop {
-                                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                                if i >= batch.len() {
-                                    break;
-                                }
-                                let q0 = Instant::now();
-                                let res = self.execute_with(&batch[i], &mut scratch);
-                                local.push((i, res, q0.elapsed().as_nanos() as u64));
-                            }
-                            local
-                        })
-                    })
+                    .map(|_| scope.spawn(move |_| run_worker()))
                     .collect();
                 handles
                     .into_iter()
@@ -1304,22 +1637,118 @@ impl<O: Send + Sync> ShardedEngine<O> {
             .expect("serve scope panicked")
         };
 
-        let wall_secs = t0.elapsed().as_secs_f64();
-        let cost = self.counters().since(&before);
+        let wall_nanos = t0.elapsed().as_nanos() as u64;
+        let wall_secs = wall_nanos as f64 / 1e9;
+        let shard_after = self.shard_counters();
+        let cost = shard_after
+            .iter()
+            .fold(Counters::default(), |acc, c| acc + *c)
+            .since(&before);
         let (probed1, pruned1) = self.probe_counts();
 
         let mut results: Vec<Option<QueryResult>> = (0..batch.len()).map(|_| None).collect();
-        let mut nanos = Vec::with_capacity(batch.len());
+        let mut nanos = Vec::with_capacity(if timing { 0 } else { batch.len() });
         let mut total_results = 0usize;
-        for (i, res, ns) in collected.into_iter().flatten() {
-            total_results += res.len();
-            nanos.push(ns);
-            results[i] = Some(res);
+        let mut agg = ScratchObs::default();
+        for (local, wobs) in collected {
+            for (i, res, ns) in local {
+                total_results += res.len();
+                if !timing {
+                    nanos.push(ns);
+                }
+                results[i] = Some(res);
+            }
+            agg.merge(wobs);
         }
         let results: Vec<QueryResult> = results
             .into_iter()
             .map(|r| r.expect("every batch slot served exactly once"))
             .collect();
+
+        // Per-shard breakdown: probe counts and counter deltas are exact
+        // regardless of the obs switch; the wall columns come from the
+        // 1-in-OBS_SAMPLE timed queries (sums extrapolated, quantiles taken
+        // over the raw samples) and stay zero with obs off.
+        let per_shard: Vec<ShardServeStats> = (0..self.shards.len())
+            .map(|s| {
+                let delta = shard_after[s].since(&shard_before[s]);
+                let (wall_secs, p50_secs, p99_secs) = if timing {
+                    let (p50, p99) = match agg.shard_samples.get_mut(s) {
+                        Some(v) if !v.is_empty() => {
+                            v.sort_unstable();
+                            (sample_quantile(v, 0.50), sample_quantile(v, 0.99))
+                        }
+                        _ => (0.0, 0.0),
+                    };
+                    let sum = agg.shard_nanos.get(s).copied().unwrap_or(0);
+                    ((sum * OBS_SAMPLE) as f64 / 1e9, p50, p99)
+                } else {
+                    (0.0, 0.0, 0.0)
+                };
+                ShardServeStats {
+                    shard: s,
+                    probes: agg.probes.get(s).copied().unwrap_or(0),
+                    compdists: delta.compdists,
+                    page_accesses: delta.page_accesses(),
+                    wall_secs,
+                    p50_secs,
+                    p99_secs,
+                }
+            })
+            .collect();
+
+        let latency = if timing && !agg.query_wall.is_empty() {
+            LatencySummary::from_hist(&agg.query_wall)
+        } else {
+            LatencySummary::from_nanos(nanos)
+        };
+
+        if timing {
+            // Phase walls for plan/scan/merge cover the sampled queries
+            // only; extrapolate by the sampling stride so they read as
+            // batch-level estimates next to the exact `serve` wall.
+            let idle_nanos = (wall_nanos * workers as u64).saturating_sub(agg.busy_nanos);
+            self.obs.phase_add(
+                "serve",
+                1,
+                wall_nanos,
+                &[
+                    ("queries", batch.len() as u64),
+                    ("results", total_results as u64),
+                    ("workers", workers as u64),
+                    ("shards_probed", probed1 - probed0),
+                    ("shards_pruned", pruned1 - pruned0),
+                    ("compdists", cost.compdists),
+                    ("idle_nanos", idle_nanos),
+                ],
+            );
+            self.obs.phase_add(
+                "serve.plan",
+                batch.len() as u64,
+                agg.plan_nanos * OBS_SAMPLE,
+                &[("map_dists", agg.map_dists)],
+            );
+            self.obs.phase_add(
+                "serve.scan",
+                agg.probes.iter().sum(),
+                agg.scan_nanos * OBS_SAMPLE,
+                &[
+                    ("kernel_rows", agg.kernel_rows),
+                    ("kernel_blocks", agg.kernel_blocks),
+                    ("compdists", cost.compdists),
+                    ("page_accesses", cost.page_accesses()),
+                ],
+            );
+            self.obs.phase_add(
+                "serve.merge",
+                batch.len() as u64,
+                agg.merge_nanos * OBS_SAMPLE,
+                &[],
+            );
+            self.obs.hist_merge("serve.query_wall", &agg.query_wall);
+            self.obs
+                .counter_add("serve.sampled_queries", agg.sampled_queries);
+        }
 
         let range_queries = batch.iter().filter(|q| q.is_range()).count();
         let report = ServeReport {
@@ -1335,12 +1764,13 @@ impl<O: Send + Sync> ShardedEngine<O> {
             } else {
                 0.0
             },
-            latency: LatencySummary::from_nanos(nanos),
+            latency,
             cost,
             shards_probed: probed1 - probed0,
             shards_pruned: pruned1 - pruned0,
             build: self.build_stats,
             updates: self.update_stats,
+            per_shard,
         };
         BatchOutcome { results, report }
     }

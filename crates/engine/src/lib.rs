@@ -75,6 +75,6 @@ pub use engine::{BatchOutcome, EngineConfig, EngineError, EngineScratch, Sharded
 pub use merge::TopK;
 pub use pmi_router::{PartitionPolicy, RoutingTable};
 pub use query::{Query, QueryResult};
-pub use report::{BuildStats, LatencySummary, ServeReport, UpdateStats};
+pub use report::{BuildStats, LatencySummary, ServeReport, ShardServeStats, UpdateStats};
 pub use shard::Shard;
 pub use update::{ApplyReport, CompactionPolicy, RefreshPolicy, UpdateBatch, UpdateOp};

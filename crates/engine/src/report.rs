@@ -1,6 +1,7 @@
 //! Serving metrics: throughput, latency percentiles, aggregate cost.
 
 use pmi_metric::Counters;
+use pmi_obs::Hist;
 
 /// Latency distribution of a served batch, from a monotonic clock
 /// (`std::time::Instant`), in seconds.
@@ -8,19 +9,26 @@ use pmi_metric::Counters;
 pub struct LatencySummary {
     /// Arithmetic mean.
     pub mean_secs: f64,
+    /// Best observed latency.
+    pub min_secs: f64,
     /// Median (50th percentile).
     pub p50_secs: f64,
     /// 90th percentile.
     pub p90_secs: f64,
     /// 99th percentile.
     pub p99_secs: f64,
+    /// 99.9th percentile — the tail the MVCC work will be judged on.
+    pub p999_secs: f64,
     /// Worst observed latency.
     pub max_secs: f64,
 }
 
 impl LatencySummary {
     /// Summarizes per-query latencies given in nanoseconds. Uses the
-    /// nearest-rank method; an empty input yields all zeros.
+    /// nearest-rank method; an empty input yields all zeros. This is the
+    /// sort-based exact path used when observability is off; with it on,
+    /// the engine summarizes the merged per-worker histogram via
+    /// [`LatencySummary::from_hist`] and never sorts.
     pub fn from_nanos(mut nanos: Vec<u64>) -> Self {
         if nanos.is_empty() {
             return LatencySummary::default();
@@ -34,12 +42,57 @@ impl LatencySummary {
         let sum: u128 = nanos.iter().map(|&x| x as u128).sum();
         LatencySummary {
             mean_secs: sum as f64 * 1e-9 / n as f64,
+            min_secs: nanos[0] as f64 * 1e-9,
             p50_secs: pick(0.50),
             p90_secs: pick(0.90),
             p99_secs: pick(0.99),
+            p999_secs: pick(0.999),
             max_secs: nanos[n - 1] as f64 * 1e-9,
         }
     }
+
+    /// Summarizes a latency histogram without sorting anything: mean, min,
+    /// and max are exact; percentiles carry the histogram's sub-bucket
+    /// resolution (< 1/32 relative error). An empty histogram yields all
+    /// zeros.
+    pub fn from_hist(h: &Hist) -> Self {
+        if h.is_empty() {
+            return LatencySummary::default();
+        }
+        LatencySummary {
+            mean_secs: h.mean_secs(),
+            min_secs: h.min_secs(),
+            p50_secs: h.quantile(0.50),
+            p90_secs: h.quantile(0.90),
+            p99_secs: h.quantile(0.99),
+            p999_secs: h.quantile(0.999),
+            max_secs: h.max_secs(),
+        }
+    }
+}
+
+/// Per-shard serving breakdown for one batch: exact probe and cost
+/// accounting always, probe-wall timing when observability is enabled
+/// (zeros otherwise). This is what makes shard skew — the P=8 round-robin
+/// straggler — visible in a [`ServeReport`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ShardServeStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Exact probes this shard served in the batch.
+    pub probes: u64,
+    /// Exact distance computations the probes cost (per-shard atomic
+    /// counter delta).
+    pub compdists: u64,
+    /// Exact page accesses (reads + writes) the probes cost.
+    pub page_accesses: u64,
+    /// Total probe wall-clock attributed to this shard, seconds
+    /// (0 with observability off).
+    pub wall_secs: f64,
+    /// Median probe wall (0 with observability off).
+    pub p50_secs: f64,
+    /// 99th-percentile probe wall (0 with observability off).
+    pub p99_secs: f64,
 }
 
 /// What building a [`ShardedEngine`](crate::ShardedEngine) cost: exact
@@ -123,6 +176,10 @@ pub struct ServeReport {
     /// [`ShardedEngine::update_stats`](crate::ShardedEngine::update_stats)
     /// at serve time).
     pub updates: UpdateStats,
+    /// Per-shard breakdown of the batch, indexed by shard. Probe and cost
+    /// counts are exact regardless of the observability switch; the wall
+    /// fields need it on.
+    pub per_shard: Vec<ShardServeStats>,
 }
 
 impl ServeReport {
@@ -152,13 +209,28 @@ impl std::fmt::Display for ServeReport {
         )?;
         writeln!(
             f,
-            "  latency mean {:.1}us  p50 {:.1}us  p90 {:.1}us  p99 {:.1}us  max {:.1}us",
+            "  latency mean {:.1}us  min {:.1}us  p50 {:.1}us  p90 {:.1}us  p99 {:.1}us  p999 {:.1}us  max {:.1}us",
             self.latency.mean_secs * 1e6,
+            self.latency.min_secs * 1e6,
             self.latency.p50_secs * 1e6,
             self.latency.p90_secs * 1e6,
             self.latency.p99_secs * 1e6,
+            self.latency.p999_secs * 1e6,
             self.latency.max_secs * 1e6
         )?;
+        for s in &self.per_shard {
+            writeln!(
+                f,
+                "  shard {}: {} probes  {} compdists  {} page accesses  wall {:.4}s  p50 {:.1}us  p99 {:.1}us",
+                s.shard,
+                s.probes,
+                s.compdists,
+                s.page_accesses,
+                s.wall_secs,
+                s.p50_secs * 1e6,
+                s.p99_secs * 1e6
+            )?;
+        }
         writeln!(
             f,
             "  routing: {} shard probes, {} pruned ({:.1}% skipped)",
@@ -212,10 +284,83 @@ mod tests {
 
     #[test]
     fn single_sample() {
+        // n=1: every rank clamps to the only sample.
         let s = LatencySummary::from_nanos(vec![2_000]);
+        assert!((s.mean_secs - 2e-6).abs() < 1e-12);
+        assert!((s.min_secs - 2e-6).abs() < 1e-12);
         assert!((s.p50_secs - 2e-6).abs() < 1e-12);
         assert!((s.p99_secs - 2e-6).abs() < 1e-12);
+        assert!((s.p999_secs - 2e-6).abs() < 1e-12);
         assert!((s.max_secs - 2e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_equal_ties() {
+        let s = LatencySummary::from_nanos(vec![5_000; 97]);
+        for v in [
+            s.mean_secs,
+            s.min_secs,
+            s.p50_secs,
+            s.p90_secs,
+            s.p99_secs,
+            s.p999_secs,
+            s.max_secs,
+        ] {
+            assert!((v - 5e-6).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mean_survives_u64_scale_sums() {
+        // Two samples near u64::MAX would wrap a u64 accumulator; the u128
+        // sum keeps the mean exact.
+        let big = u64::MAX - 1;
+        let s = LatencySummary::from_nanos(vec![big, big]);
+        assert!((s.mean_secs - big as f64 * 1e-9).abs() / s.mean_secs < 1e-12);
+        assert_eq!(s.min_secs, s.max_secs);
+    }
+
+    #[test]
+    fn p999_separates_the_tail() {
+        // 999 fast samples and one slow one: p99 stays fast, p999 finds it.
+        let mut nanos = vec![1_000u64; 999];
+        nanos.push(1_000_000);
+        let s = LatencySummary::from_nanos(nanos);
+        assert!((s.p99_secs - 1e-6).abs() < 1e-12);
+        assert!((s.p999_secs - 1e-6).abs() < 1e-12, "rank 999 is still fast");
+        assert!((s.max_secs - 1e-3).abs() < 1e-12);
+        // With 1000 slow-tail samples in 10_000, p999 crosses into the tail.
+        let mut nanos = vec![1_000u64; 9_000];
+        nanos.extend(std::iter::repeat_n(1_000_000, 1_000));
+        let s = LatencySummary::from_nanos(nanos);
+        assert!((s.p999_secs - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_hist_matches_from_nanos_envelope() {
+        let mut h = pmi_obs::Hist::new();
+        let nanos: Vec<u64> = (1..=1000).map(|i| i * 997).collect();
+        for &v in &nanos {
+            h.record(v);
+        }
+        let exact = LatencySummary::from_nanos(nanos);
+        let approx = LatencySummary::from_hist(&h);
+        // Exact side fields agree exactly; quantiles within sub-bucket error.
+        assert!((approx.mean_secs - exact.mean_secs).abs() < 1e-15);
+        assert_eq!(approx.min_secs, exact.min_secs);
+        assert_eq!(approx.max_secs, exact.max_secs);
+        for (a, e) in [
+            (approx.p50_secs, exact.p50_secs),
+            (approx.p90_secs, exact.p90_secs),
+            (approx.p99_secs, exact.p99_secs),
+            (approx.p999_secs, exact.p999_secs),
+        ] {
+            assert!((a - e).abs() / e < 1.0 / 32.0, "approx {a} vs exact {e}");
+        }
+        assert_eq!(
+            LatencySummary::from_hist(&pmi_obs::Hist::new()),
+            LatencySummary::default()
+        );
     }
 
     #[test]

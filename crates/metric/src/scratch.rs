@@ -32,6 +32,12 @@ pub struct QueryScratch {
     /// Slot ids that survived the lower-bound filter of a range scan,
     /// collected before the exact-distance verification pass.
     pub survivors: Vec<u32>,
+    /// Rows pushed through the blocked scan kernel since the last engine
+    /// harvest (observability tally; stays 0 with the `obs` feature off).
+    pub kernel_rows: u64,
+    /// Kernel blocks those rows amounted to (rows / `ScanKernel::LANES`,
+    /// rounded up per scan; stays 0 with the `obs` feature off).
+    pub kernel_blocks: u64,
 }
 
 impl QueryScratch {
@@ -40,12 +46,37 @@ impl QueryScratch {
         QueryScratch::default()
     }
 
-    /// Clears all buffers, keeping capacity.
+    /// Clears all buffers, keeping capacity. The kernel tally is *not*
+    /// cleared here — it is a cross-query accumulator the engine reads and
+    /// resets at batch boundaries via [`QueryScratch::take_kernel_tally`].
     pub fn clear(&mut self) {
         self.qd.clear();
         self.heap.clear();
         self.lbs.clear();
         self.survivors.clear();
+    }
+
+    /// Tallies one blocked-kernel scan over `rows` table slots. A plain
+    /// integer add on thread-local state — no atomics; with the `obs`
+    /// feature off the body compiles to nothing.
+    #[inline]
+    pub fn note_kernel(&mut self, rows: usize) {
+        #[cfg(feature = "obs")]
+        {
+            self.kernel_rows += rows as u64;
+            self.kernel_blocks += rows.div_ceil(crate::matrix::ScanKernel::LANES) as u64;
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = rows;
+    }
+
+    /// Returns and resets the `(rows, blocks)` kernel tally.
+    #[inline]
+    pub fn take_kernel_tally(&mut self) -> (u64, u64) {
+        let t = (self.kernel_rows, self.kernel_blocks);
+        self.kernel_rows = 0;
+        self.kernel_blocks = 0;
+        t
     }
 }
 

@@ -1,0 +1,286 @@
+//! Fixed-bucket log-scale latency histogram.
+//!
+//! An HDR-style layout: values below [`Hist::SUB`] land in exact
+//! unit-width buckets; above that, each power-of-two octave is split into
+//! [`Hist::SUB`] sub-buckets, so any recorded value is represented with a
+//! relative error under `1 / SUB` (≈ 3%). Count, sum, min, and max are
+//! kept exactly on the side, so mean and extrema never suffer bucket
+//! error — only the interior quantiles are approximate.
+//!
+//! Recording is a plain (non-atomic) increment: one `Hist` belongs to one
+//! worker thread and is merged into shared state at batch boundaries,
+//! which is the crate's no-hot-path-atomics rule.
+
+/// Log-scale histogram over `u64` samples (nanoseconds by convention; the
+/// `*_secs` accessors convert).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Hist {
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+    /// Lazily sized to [`Hist::BUCKETS`] on first record, so an unused
+    /// histogram costs a few words.
+    buckets: Vec<u64>,
+}
+
+impl Hist {
+    /// Sub-buckets per octave (mantissa resolution).
+    pub const SUB: usize = 32;
+    const SUB_BITS: u32 = 5;
+    /// Total bucket count: `SUB` exact unit buckets plus `SUB` per octave
+    /// for the 59 octaves a `u64` sample can occupy above them.
+    pub const BUCKETS: usize = Self::SUB + 59 * Self::SUB;
+
+    /// An empty histogram (no allocation until the first record).
+    pub fn new() -> Self {
+        Hist::default()
+    }
+
+    #[inline]
+    fn bucket(v: u64) -> usize {
+        if v < Self::SUB as u64 {
+            return v as usize;
+        }
+        let msb = 63 - v.leading_zeros();
+        let exp = msb - Self::SUB_BITS;
+        let sub = ((v >> exp) as usize) & (Self::SUB - 1);
+        ((exp as usize) << Self::SUB_BITS) + sub + Self::SUB
+    }
+
+    /// Upper bound of a bucket — the conservative representative used for
+    /// quantiles (clamped to the exact max on read-out).
+    fn bucket_upper(b: usize) -> u64 {
+        if b < Self::SUB {
+            return b as u64;
+        }
+        let rel = b - Self::SUB;
+        let exp = (rel >> Self::SUB_BITS) as u32;
+        let sub = (rel & (Self::SUB - 1)) as u64;
+        ((Self::SUB as u64 + sub) << exp) + ((1u64 << exp) - 1)
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        if self.buckets.is_empty() {
+            self.buckets.resize(Self::BUCKETS, 0);
+            self.min = u64::MAX;
+        }
+        self.buckets[Self::bucket(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another histogram in (bucket-wise add, exact side fields
+    /// combined exactly).
+    pub fn merge(&mut self, other: &Hist) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.is_empty() {
+            self.buckets.resize(Self::BUCKETS, 0);
+            self.min = u64::MAX;
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact smallest sample, in seconds (0 when empty).
+    pub fn min_secs(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min as f64 * 1e-9
+        }
+    }
+
+    /// Exact largest sample, in seconds (0 when empty).
+    pub fn max_secs(&self) -> f64 {
+        self.max as f64 * 1e-9
+    }
+
+    /// Exact arithmetic mean, in seconds (0 when empty). The sum is kept
+    /// in `u128`, so it cannot overflow for any realistic sample stream.
+    pub fn mean_secs(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 * 1e-9 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile in seconds, accurate to one sub-bucket
+    /// (relative error < `1/SUB`), clamped into the exact `[min, max]`
+    /// envelope. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let v = Self::bucket_upper(b).clamp(self.min, self.max);
+                return v as f64 * 1e-9;
+            }
+        }
+        self.max as f64 * 1e-9
+    }
+
+    /// Clears every bucket and the exact side fields, keeping capacity.
+    pub fn clear(&mut self) {
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+        for b in &mut self.buckets {
+            *b = 0;
+        }
+    }
+}
+
+/// Read-out of one [`Hist`]: exact count/mean/min/max plus sub-bucket
+/// quantiles, all in seconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistSummary {
+    /// Samples recorded (exact).
+    pub count: u64,
+    /// Exact arithmetic mean.
+    pub mean_secs: f64,
+    /// Exact smallest sample.
+    pub min_secs: f64,
+    /// Exact largest sample.
+    pub max_secs: f64,
+    /// Median (bucket-resolution).
+    pub p50_secs: f64,
+    /// 90th percentile (bucket-resolution).
+    pub p90_secs: f64,
+    /// 99th percentile (bucket-resolution).
+    pub p99_secs: f64,
+    /// 99.9th percentile (bucket-resolution).
+    pub p999_secs: f64,
+}
+
+impl HistSummary {
+    /// Summarizes a histogram.
+    pub fn of(h: &Hist) -> Self {
+        HistSummary {
+            count: h.count(),
+            mean_secs: h.mean_secs(),
+            min_secs: h.min_secs(),
+            max_secs: h.max_secs(),
+            p50_secs: h.quantile(0.50),
+            p90_secs: h.quantile(0.90),
+            p99_secs: h.quantile(0.99),
+            p999_secs: h.quantile(0.999),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Hist::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.min_secs(), 0.0);
+        assert!((h.max_secs() - 31e-9).abs() < 1e-18);
+        // Buckets below SUB are unit-width: quantiles are exact.
+        assert!((h.quantile(0.5) - 15e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn quantiles_bounded_by_sub_bucket_error() {
+        let mut h = Hist::new();
+        for v in 1..=100_000u64 {
+            h.record(v * 10);
+        }
+        for (q, want) in [(0.5, 500_000.0), (0.9, 900_000.0), (0.99, 990_000.0)] {
+            let got = h.quantile(q) * 1e9;
+            let rel = (got - want).abs() / want;
+            assert!(rel < 1.0 / Hist::SUB as f64, "q={q}: got {got} want {want}");
+        }
+        assert_eq!(h.max_secs(), 1_000_000e-9, "max is exact");
+        assert_eq!(h.min_secs(), 10e-9, "min is exact");
+        assert!((h.mean_secs() * 1e9 - 500_005.0).abs() < 1e-3, "mean exact");
+    }
+
+    #[test]
+    fn all_equal_ties_collapse() {
+        let mut h = Hist::new();
+        for _ in 0..1000 {
+            h.record(77_777);
+        }
+        // Every quantile must read back the same bucket, clamped into the
+        // exact [min, max] = [v, v] envelope.
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert!((h.quantile(q) - 77_777e-9).abs() < 1e-18, "q={q}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let (mut a, mut b, mut whole) = (Hist::new(), Hist::new(), Hist::new());
+        for v in [5u64, 900, 31, 1 << 40, 123_456, 0, u64::MAX] {
+            whole.record(v);
+            if v % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        // Merging an empty histogram is a no-op.
+        let before = a.clone();
+        a.merge(&Hist::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        let mut h = Hist::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        // The u128 sum keeps the mean exact where a u64 sum would wrap.
+        assert!((h.mean_secs() - u64::MAX as f64 * 1e-9).abs() < 1e-3);
+        assert_eq!(h.quantile(0.5), h.max_secs());
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_resets() {
+        let mut h = Hist::new();
+        h.record(42);
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0.0);
+        h.record(7);
+        assert_eq!(h.count(), 1);
+        assert!((h.quantile(0.9) - 7e-9).abs() < 1e-18);
+    }
+}

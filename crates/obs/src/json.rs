@@ -1,0 +1,144 @@
+//! A tiny chainable JSON object builder — the workspace has no serde, and
+//! the bench emitters plus the run-log only ever need flat objects with a
+//! couple of nested raw values.
+
+/// Appends `s` to `buf` with JSON string escaping (quotes not included).
+pub(crate) fn escape_into(buf: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                buf.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => buf.push(c),
+        }
+    }
+}
+
+/// Serializes an `f64` as a JSON value. JSON has no NaN/Infinity, so
+/// non-finite values become `null`; Rust's `Display` for finite floats
+/// never uses exponent notation, which keeps the output valid JSON.
+pub(crate) fn f64_value(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Builder for one JSON object. Methods consume and return `self` so
+/// emitters read as a single chain ending in [`JsonObj::finish`].
+#[derive(Debug, Default)]
+pub struct JsonObj {
+    buf: String,
+    any: bool,
+}
+
+impl JsonObj {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObj {
+            buf: String::from("{"),
+            any: false,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        self.buf.push('"');
+        escape_into(&mut self.buf, k);
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field (escaped).
+    pub fn field_str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push('"');
+        escape_into(&mut self.buf, v);
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a float field (`null` for non-finite values).
+    pub fn field_f64(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        self.buf.push_str(&f64_value(v));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn field_bool(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a pre-rendered JSON value verbatim — for nested arrays or
+    /// objects the caller assembled (the caller vouches for its validity).
+    pub fn field_raw(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_flat_objects() {
+        let s = JsonObj::new()
+            .field_str("name", "scan")
+            .field_u64("n", 42)
+            .field_f64("qps", 1.5)
+            .field_bool("ok", true)
+            .field_raw("inner", "[1,2]")
+            .finish();
+        assert_eq!(
+            s,
+            r#"{"name":"scan","n":42,"qps":1.5,"ok":true,"inner":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(JsonObj::new().finish(), "{}");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let s = JsonObj::new().field_str("k\"ey", "a\\b\n\tc\u{1}").finish();
+        assert_eq!(s, "{\"k\\\"ey\":\"a\\\\b\\n\\tc\\u0001\"}");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let s = JsonObj::new()
+            .field_f64("nan", f64::NAN)
+            .field_f64("inf", f64::INFINITY)
+            .field_f64("tiny", 1e-9)
+            .finish();
+        assert_eq!(s, r#"{"nan":null,"inf":null,"tiny":0.000000001}"#);
+    }
+}

@@ -1,0 +1,447 @@
+//! The JSONL run-metrics sink: one line per phase observation, appended to
+//! a `RUNLOG.jsonl` next to the `BENCH_*.json` trajectories so bench runs
+//! become a queryable per-phase log across PRs.
+//!
+//! Every line is a flat JSON object with a fixed schema
+//! ([`RUNLOG_SCHEMA`]): `schema`, `bench`, `fingerprint` (hex string —
+//! JSON numbers can't carry 64 bits losslessly), `phase`, `calls`,
+//! `wall_secs`, and a `counters` object of named `u64` deltas.
+//! [`validate_runlog_line`] checks a line structurally with a
+//! self-contained JSON parser (no serde in this workspace), which is what
+//! CI's smoke-validation step runs against a real bench emission.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::json::{escape_into, JsonObj};
+use crate::registry::{MetricsSnapshot, PhaseSnapshot};
+
+/// Schema tag stamped into every run-log line; bump when the line shape
+/// changes so downstream queries can dispatch on it.
+pub const RUNLOG_SCHEMA: &str = "pmi-runlog-v1";
+
+/// Accumulates run-log lines for one bench run, then appends them to a
+/// JSONL file in one shot.
+#[derive(Debug, Default)]
+pub struct RunLog {
+    bench: String,
+    fingerprint: u64,
+    lines: Vec<String>,
+}
+
+impl RunLog {
+    /// A log for one bench (`bench` names it, `fingerprint` stamps the
+    /// config — see [`crate::fingerprint`]).
+    pub fn new(bench: &str, fingerprint: u64) -> Self {
+        RunLog {
+            bench: bench.to_string(),
+            fingerprint,
+            lines: Vec::new(),
+        }
+    }
+
+    /// Records one phase observation as a line.
+    pub fn record(&mut self, phase: &str, calls: u64, wall_secs: f64, counters: &[(&str, u64)]) {
+        let mut inner = String::from("{");
+        for (i, &(k, v)) in counters.iter().enumerate() {
+            if i > 0 {
+                inner.push(',');
+            }
+            inner.push('"');
+            escape_into(&mut inner, k);
+            inner.push_str("\":");
+            inner.push_str(&v.to_string());
+        }
+        inner.push('}');
+        let line = JsonObj::new()
+            .field_str("schema", RUNLOG_SCHEMA)
+            .field_str("bench", &self.bench)
+            .field_str("fingerprint", &format!("{:#018x}", self.fingerprint))
+            .field_str("phase", phase)
+            .field_u64("calls", calls)
+            .field_f64("wall_secs", wall_secs)
+            .field_raw("counters", &inner)
+            .finish();
+        self.lines.push(line);
+    }
+
+    /// Records one phase-tree node from a snapshot.
+    pub fn phase(&mut self, p: &PhaseSnapshot) {
+        let cs: Vec<(&str, u64)> = p.counters.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        self.record(&p.path, p.calls, p.wall_secs, &cs);
+    }
+
+    /// Records every phase of a snapshot (the usual post-run call).
+    pub fn extend_from(&mut self, snap: &MetricsSnapshot) {
+        for p in &snap.phases {
+            self.phase(p);
+        }
+    }
+
+    /// The accumulated lines (no trailing newlines).
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Appends all lines to `path` (created if absent).
+    pub fn append_to(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        for l in &self.lines {
+            writeln!(f, "{l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Structurally validates one run-log line: parseable JSON, exactly the
+/// [`RUNLOG_SCHEMA`] fields with the right types, nothing extra. Returns
+/// a human-readable reason on failure.
+pub fn validate_runlog_line(line: &str) -> Result<(), String> {
+    let v = Parser::parse_complete(line)?;
+    let Val::Obj(fields) = v else {
+        return Err("top level is not an object".into());
+    };
+    let mut seen = [false; 7];
+    const KEYS: [&str; 7] = [
+        "schema",
+        "bench",
+        "fingerprint",
+        "phase",
+        "calls",
+        "wall_secs",
+        "counters",
+    ];
+    for (k, v) in &fields {
+        let Some(i) = KEYS.iter().position(|n| n == k) else {
+            return Err(format!("unknown field {k:?}"));
+        };
+        if seen[i] {
+            return Err(format!("duplicate field {k:?}"));
+        }
+        seen[i] = true;
+        match (i, v) {
+            (0, Val::Str(s)) if s == RUNLOG_SCHEMA => {}
+            (0, Val::Str(s)) => return Err(format!("schema {s:?}, expected {RUNLOG_SCHEMA:?}")),
+            (1, Val::Str(s)) if !s.is_empty() => {}
+            (3, Val::Str(s)) if !s.is_empty() => {}
+            (2, Val::Str(s)) => {
+                let hex = s
+                    .strip_prefix("0x")
+                    .ok_or_else(|| format!("fingerprint {s:?} missing 0x prefix"))?;
+                if hex.is_empty() || hex.len() > 16 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    return Err(format!("fingerprint {s:?} is not a u64 hex literal"));
+                }
+            }
+            (4, Val::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => {}
+            (5, Val::Num(n)) if *n >= 0.0 => {}
+            (6, Val::Obj(cs)) => {
+                for (ck, cv) in cs {
+                    match cv {
+                        Val::Num(n) if *n >= 0.0 && n.fract() == 0.0 => {}
+                        _ => return Err(format!("counter {ck:?} is not a non-negative integer")),
+                    }
+                }
+            }
+            _ => return Err(format!("field {k:?} has the wrong type")),
+        }
+    }
+    if let Some(i) = seen.iter().position(|s| !s) {
+        return Err(format!("missing field {:?}", KEYS[i]));
+    }
+    Ok(())
+}
+
+/// Minimal JSON value for validation.
+enum Val {
+    Str(String),
+    Num(f64),
+    Bool(#[allow(dead_code)] bool),
+    Null,
+    Obj(Vec<(String, Val)>),
+    Arr(#[allow(dead_code)] Vec<Val>),
+}
+
+/// Minimal recursive-descent JSON parser — enough to validate the lines
+/// this module generates (strings with escapes, numbers, bools, null,
+/// objects, arrays).
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse_complete(s: &'a str) -> Result<Val, String> {
+        let mut p = Parser {
+            b: s.as_bytes(),
+            i: 0,
+        };
+        let v = p.value()?;
+        p.ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing bytes at offset {}", p.i));
+        }
+        Ok(v)
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Val, String> {
+        self.ws();
+        match self.peek() {
+            Some(b'"') => Ok(Val::Str(self.string()?)),
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b't') => self.lit("true").map(|_| Val::Bool(true)),
+            Some(b'f') => self.lit("false").map(|_| Val::Bool(false)),
+            Some(b'n') => self.lit("null").map(|_| Val::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected byte at offset {}", self.i)),
+        }
+    }
+
+    fn lit(&mut self, word: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at offset {}", self.i))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.i + 4 >= self.b.len() {
+                                return Err("truncated \\u escape".into());
+                            }
+                            let hex = std::str::from_utf8(&self.b[self.i + 1..self.i + 5])
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            self.i += 4;
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.i)),
+                    }
+                    self.i += 1;
+                }
+                Some(c) if c < 0x80 => {
+                    if c < 0x20 {
+                        return Err("raw control byte in string".into());
+                    }
+                    out.push(c as char);
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: the input is a &str, so decode one char.
+                    let rest = std::str::from_utf8(&self.b[self.i..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Val, String> {
+        let start = self.i;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        let txt = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+        txt.parse::<f64>()
+            .map(Val::Num)
+            .map_err(|_| format!("bad number {txt:?}"))
+    }
+
+    fn object(&mut self) -> Result<Val, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Val::Obj(fields));
+        }
+        loop {
+            self.ws();
+            let k = self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            let v = self.value()?;
+            fields.push((k, v));
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Val::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.i)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Val, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Val::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Val::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.i)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{MetricsSnapshot, PhaseSnapshot};
+
+    #[test]
+    fn generated_lines_validate() {
+        let mut log = RunLog::new("scan", crate::fingerprint(&["laesa", "P=8"]));
+        log.record("serve", 3, 0.0123, &[("queries", 3000), ("kernel_rows", 7)]);
+        log.record("serve.scan", 3, 0.009, &[]);
+        let snap = MetricsSnapshot {
+            enabled: true,
+            phases: vec![PhaseSnapshot {
+                path: "apply.rebox".into(),
+                calls: 2,
+                wall_secs: 0.5,
+                counters: vec![("moved".into(), 9)],
+            }],
+            ..MetricsSnapshot::default()
+        };
+        log.extend_from(&snap);
+        assert_eq!(log.lines().len(), 3);
+        for l in log.lines() {
+            validate_runlog_line(l).unwrap_or_else(|e| panic!("{e}: {l}"));
+        }
+        assert!(log.lines()[2].contains("\"phase\":\"apply.rebox\""));
+    }
+
+    #[test]
+    fn append_to_writes_jsonl() {
+        let dir = std::env::temp_dir().join("pmi_obs_runlog_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("RUNLOG.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut log = RunLog::new("t", 1);
+        log.record("p", 1, 0.0, &[]);
+        log.append_to(&path).unwrap();
+        log.append_to(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2, "append, not truncate");
+        for l in lines {
+            validate_runlog_line(l).unwrap();
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let good = {
+            let mut log = RunLog::new("b", 0xdead_beef);
+            log.record("p", 1, 0.5, &[("c", 2)]);
+            log.lines()[0].clone()
+        };
+        validate_runlog_line(&good).unwrap();
+
+        for (label, bad) in [
+            ("not json", "nope".to_string()),
+            ("not an object", "[1,2]".to_string()),
+            ("trailing junk", format!("{good} extra")),
+            ("wrong schema", good.replace(RUNLOG_SCHEMA, "pmi-runlog-v0")),
+            ("missing field", good.replace("\"calls\":1,", "")),
+            ("unknown field", good.replace("\"calls\":1", "\"kalls\":1")),
+            (
+                "negative wall",
+                good.replace("\"wall_secs\":0.5", "\"wall_secs\":-1"),
+            ),
+            ("float calls", good.replace("\"calls\":1", "\"calls\":1.5")),
+            (
+                "non-numeric counter",
+                good.replace("{\"c\":2}", "{\"c\":\"2\"}"),
+            ),
+            (
+                "bad fingerprint",
+                good.replace("\"fingerprint\":\"0x", "\"fingerprint\":\"zx"),
+            ),
+        ] {
+            assert!(
+                validate_runlog_line(&bad).is_err(),
+                "{label} accepted: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let v = Parser::parse_complete(r#"{"a":"x\n\"A","b":[1,-2.5,true,null],"c":{"d":{}}}"#)
+            .unwrap();
+        let Val::Obj(fs) = v else { panic!() };
+        let Val::Str(s) = &fs[0].1 else { panic!() };
+        assert_eq!(s, "x\n\"A");
+    }
+}

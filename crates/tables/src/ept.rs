@@ -369,6 +369,7 @@ where
     }
 
     fn range_query_into(&self, q: &O, r: f64, scratch: &mut QueryScratch, out: &mut Vec<ObjId>) {
+        scratch.note_kernel(self.table.slots());
         let QueryScratch {
             qd, lbs, survivors, ..
         } = scratch;
@@ -394,6 +395,7 @@ where
         if k == 0 {
             return;
         }
+        scratch.note_kernel(self.table.slots());
         let QueryScratch { qd, heap, lbs, .. } = scratch;
         qd.clear();
         qd.extend(self.pivot_objs.iter().map(|p| self.metric.dist(q, p)));

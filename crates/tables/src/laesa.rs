@@ -114,6 +114,7 @@ where
     }
 
     fn range_query_into(&self, q: &O, r: f64, scratch: &mut QueryScratch, out: &mut Vec<ObjId>) {
+        scratch.note_kernel(self.rows.len());
         let QueryScratch {
             qd, lbs, survivors, ..
         } = scratch;
@@ -141,6 +142,7 @@ where
         if k == 0 {
             return;
         }
+        scratch.note_kernel(self.rows.len());
         let QueryScratch { qd, heap, lbs, .. } = scratch;
         qd.clear();
         qd.extend(self.pivots.iter().map(|p| self.metric.dist(q, p)));

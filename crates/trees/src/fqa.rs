@@ -353,6 +353,7 @@ where
         };
         // Adopted hot path: blocked kernel over the exact rows, survivors
         // collected, then verification — same shape as LAESA.
+        scratch.note_kernel(slice.len());
         let QueryScratch {
             qd, lbs, survivors, ..
         } = scratch;
@@ -382,6 +383,7 @@ where
             out.extend(self.knn_by_signature(q, k));
             return;
         };
+        scratch.note_kernel(slice.len());
         let QueryScratch { qd, heap, lbs, .. } = scratch;
         qd.clear();
         qd.extend(self.pivots.iter().map(|p| self.metric.dist(q, p)));

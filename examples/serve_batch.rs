@@ -7,6 +7,17 @@
 //! cannot rule out, so selective queries skip most shards while returning
 //! the same answers as round-robin.
 //!
+//! Also demonstrates the observability surface: the per-shard serve
+//! breakdown (`report.per_shard` — probes, exact compdists, sampled
+//! p50/p99 wall per shard, which makes shard skew visible at a glance)
+//! and the engine-lifetime phase tree (`engine.metrics().render()` —
+//! build/serve/apply/compact phases with wall clock and counter deltas).
+//! Both are populated when the default `obs` feature is on; with
+//! `--no-default-features` the same code compiles and runs, the phase
+//! tree is simply empty and per-shard walls read zero (exact counters
+//! remain). `engine.set_obs_enabled(false)` is the runtime switch — it
+//! never changes results, only whether timings are collected.
+//!
 //! Run with: `cargo run --release --example serve_batch`
 
 use pivot_metric_repro as pmr;
@@ -63,10 +74,23 @@ fn main() {
             let out = engine.serve(&batch);
             println!("P={shards} [{}]:\n{}", policy.label(), out.report);
             println!(
-                "  probes/query {:.2} of {shards} shard(s), prune rate {:.1}%\n",
+                "  probes/query {:.2} of {shards} shard(s), prune rate {:.1}%",
                 out.report.shards_probed as f64 / out.report.queries.max(1) as f64,
                 out.report.prune_rate() * 100.0
             );
+            // The per-shard breakdown (printed above as part of the
+            // report) makes skew visible: under pivot-space routing the
+            // probe counts — and so compdists and wall — concentrate on
+            // the shards whose boxes overlap the workload.
+            if shards == 8 {
+                let probes: Vec<u64> = out.report.per_shard.iter().map(|s| s.probes).collect();
+                println!(
+                    "  shard skew: hottest shard {} probes vs coldest {}",
+                    probes.iter().max().unwrap_or(&0),
+                    probes.iter().min().unwrap_or(&0)
+                );
+            }
+            println!();
         }
     }
 
@@ -123,4 +147,18 @@ fn main() {
         out.report.updates.inserts,
         out.report.updates.removes,
     );
+
+    // The engine-lifetime phase tree: every phase this engine has run
+    // (build, apply.ops/rebox/recluster, serve.plan/scan/merge) with wall
+    // clock, call counts, and the counter deltas attributed to it. Empty
+    // when built with `--no-default-features` — the hooks compile away.
+    let snap = engine.metrics();
+    if snap.phases.is_empty() {
+        println!("\nphase tree: (obs feature compiled out)");
+    } else {
+        println!(
+            "\nphase tree (engine.metrics().render()):\n{}",
+            snap.render()
+        );
+    }
 }

@@ -30,5 +30,11 @@
 //! let out = engine.serve(&[pmr::Query::knn(objects[0].clone(), 5)]);
 //! assert_eq!(out.results[0].len(), 5);
 //! ```
+//!
+//! Observability — per-shard serve stats (`out.report.per_shard`), the
+//! engine phase tree (`engine.metrics()`), and the JSONL run-log sink
+//! (`pmr::obs::RunLog`) — is behind the default-on `obs` feature; see the
+//! `pmi` crate docs ("Observability") for the zero-overhead rule and the
+//! `--no-default-features` build.
 
 pub use pmi::*;

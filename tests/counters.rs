@@ -286,6 +286,127 @@ fn blocked_kernel_changes_no_exact_counters() {
     }
 }
 
+/// The observability tentpole's core contract: flipping the obs switch
+/// changes *what is recorded*, never *what is computed*. Serving the same
+/// batch with obs on and obs off must produce byte-identical answers and
+/// identical exact counters (compdists, page accesses, probe/prune counts,
+/// per-shard breakdowns) across every instrumented engine kind — tables
+/// driven by the scan kernel (LAESA, CPT, EPT) and a tree (MVPT) — under
+/// both partition policies. With the `obs` feature compiled out the two
+/// runs are trivially the same code path; with it on, this pins the
+/// sampling clocks and phase recording strictly outside the query math.
+#[test]
+fn obs_toggle_changes_no_results_and_no_exact_counters() {
+    let pts = datasets::la(600, 23);
+    let opts = BuildOptions {
+        d_plus: 14143.0,
+        ..BuildOptions::default()
+    };
+    let radius = datasets::calibrate_radius(&pts, &L2, 0.02, 5);
+    for kind in [
+        IndexKind::Laesa,
+        IndexKind::Cpt,
+        IndexKind::Ept,
+        IndexKind::Mvpt,
+    ] {
+        for policy in [
+            pmr::PartitionPolicy::RoundRobin,
+            pmr::PartitionPolicy::PivotSpace,
+        ] {
+            let engine = pmr::build_sharded_vector_engine(
+                kind,
+                pts.clone(),
+                L2,
+                &opts,
+                &pmr::EngineConfig {
+                    shards: 4,
+                    threads: 2,
+                    ..pmr::EngineConfig::default()
+                },
+                policy,
+            )
+            .unwrap();
+            let batch: Vec<pmr::Query<Vec<f32>>> = (0..48)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        pmr::Query::range(pts[i * 11].clone(), radius)
+                    } else {
+                        pmr::Query::knn(pts[i * 7].clone(), 10)
+                    }
+                })
+                .collect();
+            let run = |on: bool| {
+                engine.set_obs_enabled(on);
+                engine.reset_counters();
+                engine.serve(&batch)
+            };
+            let on = run(true);
+            let off = run(false);
+            let label = format!("{} {policy:?}", kind.label());
+
+            assert_eq!(on.results, off.results, "{label}: answers must match");
+            assert_eq!(on.report.cost, off.report.cost, "{label}: exact cost");
+            assert_eq!(on.report.shards_probed, off.report.shards_probed, "{label}");
+            assert_eq!(on.report.shards_pruned, off.report.shards_pruned, "{label}");
+            assert_eq!(on.report.total_results, off.report.total_results, "{label}");
+
+            // The per-shard breakdown's exact columns are toggle-invariant;
+            // its wall columns are all-zero when nothing was timed.
+            assert_eq!(on.report.per_shard.len(), 4, "{label}");
+            for (a, b) in on.report.per_shard.iter().zip(&off.report.per_shard) {
+                assert_eq!(
+                    (a.shard, a.probes, a.compdists, a.page_accesses),
+                    (b.shard, b.probes, b.compdists, b.page_accesses),
+                    "{label}: per-shard exact columns"
+                );
+            }
+            assert!(
+                off.report
+                    .per_shard
+                    .iter()
+                    .all(|s| s.wall_secs == 0.0 && s.p50_secs == 0.0 && s.p99_secs == 0.0),
+                "{label}: obs off must record no walls"
+            );
+            let probe_sum: u64 = on.report.per_shard.iter().map(|s| s.probes).sum();
+            assert_eq!(probe_sum, on.report.shards_probed, "{label}: probes add up");
+            let cd_sum: u64 = on.report.per_shard.iter().map(|s| s.compdists).sum();
+            assert_eq!(
+                cd_sum, on.report.cost.compdists,
+                "{label}: compdists add up"
+            );
+
+            // Phase tree: populated exactly when the feature is compiled in
+            // and the switch was on.
+            let snap = engine.metrics();
+            if pmr::obs::Registry::compiled_in() {
+                assert!(
+                    snap.phases.iter().any(|p| p.path == "serve"),
+                    "{label}: serve phase recorded"
+                );
+                let scan = snap
+                    .phases
+                    .iter()
+                    .find(|p| p.path == "serve.scan")
+                    .unwrap_or_else(|| panic!("{label}: serve.scan phase missing"));
+                assert_eq!(
+                    scan.calls, on.report.shards_probed,
+                    "{label}: scan calls == probes (obs-off serve recorded nothing)"
+                );
+                if kind != IndexKind::Mvpt {
+                    assert!(
+                        scan.counters
+                            .iter()
+                            .any(|(k, v)| k == "kernel_rows" && *v > 0),
+                        "{label}: kernel tally surfaced"
+                    );
+                }
+            } else {
+                assert!(snap.phases.is_empty(), "{label}: compiled out, no phases");
+            }
+        }
+    }
+}
+
 #[test]
 fn storage_split_matches_index_family() {
     // Table 4's (I)/(D) annotations: tables/trees in memory, external on
