@@ -17,7 +17,11 @@
 //!      scan shape (`RwLock::read` per scan + per-row scalar lower
 //!      bounds), one with the real snapshot + blocked-kernel LAESA — the
 //!      locked-vs-lock-free A/B of the serve hot loop.
-//!   3. `compaction`: serve QPS after the PR-4 churn workload (2k routed
+//!   3. `obs` / `trace`: the zero-overhead acceptance gates — serve QPS
+//!      with the obs runtime switch on vs off, and with a live 1-in-8
+//!      sampling `TracePolicy` vs tracing disabled, each interleaved
+//!      in-process and gated at ≤ 2% (`overhead_ok`).
+//!   4. `compaction`: serve QPS after the PR-4 churn workload (2k routed
 //!      inserts + 2k removes on LA `n = 8k`) with tombstoned matrix rows
 //!      still in place, after `engine.compact()`, and on a no-churn
 //!      baseline engine built fresh over the same surviving objects.
@@ -335,6 +339,50 @@ fn main() {
          (ratio {obs_ratio:.3}, overhead_ok = {overhead_ok})"
     );
 
+    // ---- 2c. Tracing overhead: serve QPS with a live sampling trace
+    // policy vs tracing disabled, obs on for both sides so the delta is
+    // tracing alone. Untraced queries pay one branch per pipeline
+    // segment; sampled queries (1-in-8 here, a deliberately heavy rate)
+    // pay ring writes, clock laps, and per-probe counter snapshots. Same
+    // ≤2% gate and interleaved best-of discipline as the obs A/B above.
+    let trace_policy = pmi::engine::TracePolicy::sample(8).with_max_captured(4);
+    let (mut trace_on_best, mut trace_off_best) = (f64::INFINITY, f64::INFINITY);
+    let mut trace_captured = 0usize;
+    let mut run_trace_side = |on: bool, best: &mut f64| {
+        snapshot_engine.set_trace_policy(if on {
+            trace_policy
+        } else {
+            pmi::engine::TracePolicy::disabled()
+        });
+        let t0 = Instant::now();
+        let out = std::hint::black_box(snapshot_engine.serve(&batch));
+        *best = best.min(t0.elapsed().as_secs_f64());
+        if on {
+            trace_captured = trace_captured.max(out.report.traces.len());
+        } else {
+            assert!(out.report.traces.is_empty(), "disabled tracing captured");
+        }
+    };
+    for rep in 0..obs_reps {
+        if rep % 2 == 0 {
+            run_trace_side(true, &mut trace_on_best);
+            run_trace_side(false, &mut trace_off_best);
+        } else {
+            run_trace_side(false, &mut trace_off_best);
+            run_trace_side(true, &mut trace_on_best);
+        }
+    }
+    snapshot_engine.set_trace_policy(pmi::engine::TracePolicy::disabled());
+    assert!(trace_captured > 0, "sampling 1/8 must capture traces");
+    let trace_on_qps = BATCH as f64 / trace_on_best;
+    let trace_off_qps = BATCH as f64 / trace_off_best;
+    let trace_ratio = trace_on_qps / trace_off_qps;
+    let trace_overhead_ok = trace_on_qps >= 0.98 * trace_off_qps;
+    println!(
+        "trace_overhead/laesa/P{SHARDS}: on {trace_on_qps:.0} q/s vs off {trace_off_qps:.0} q/s \
+         (ratio {trace_ratio:.3}, {trace_captured} captured, overhead_ok = {trace_overhead_ok})"
+    );
+
     // ---- 3. Post-churn QPS with tombstones, after compaction, and the
     // no-churn baseline (the PR-4 churn workload).
     let churn = n / 4;
@@ -456,6 +504,18 @@ fn main() {
         &[("batch", BATCH as u64)],
     );
     log.record(
+        "serve.trace_on",
+        obs_reps as u64,
+        trace_on_best,
+        &[("batch", BATCH as u64), ("captured", trace_captured as u64)],
+    );
+    log.record(
+        "serve.trace_off",
+        obs_reps as u64,
+        trace_off_best,
+        &[("batch", BATCH as u64)],
+    );
+    log.record(
         "compaction.serve",
         serve_iters as u64,
         BATCH as f64 / qps_compacted,
@@ -486,6 +546,15 @@ fn main() {
         pmi::obs::Registry::compiled_in()
     )
     .unwrap();
+    let mut trace_json = String::new();
+    write!(
+        trace_json,
+        "{{\"sample_every\": {}, \"on_qps\": {trace_on_qps:.0}, \"off_qps\": {trace_off_qps:.0}, \
+         \"ratio\": {trace_ratio:.3}, \"captured\": {trace_captured}, \
+         \"overhead_ok\": {trace_overhead_ok}}}",
+        trace_policy.sample_every
+    )
+    .unwrap();
     let mut compaction_json = String::new();
     write!(
         compaction_json,
@@ -498,6 +567,7 @@ fn main() {
     traj.field_raw("kernel", &kernel_json)
         .field_raw("serve", &serve_json)
         .field_raw("obs", &obs_json)
+        .field_raw("trace", &trace_json)
         .field_raw("compaction", &compaction_json)
         .write("BENCH_scan.json");
     append_runlog(&log);

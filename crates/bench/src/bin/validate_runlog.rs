@@ -90,8 +90,13 @@ fn validate_files(paths: &[String]) -> Result<(), String> {
             validate_runlog_line(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
             count += 1;
         }
+        // Distinct from any malformed-line error: an empty sink usually
+        // means the emitting bench never ran (or obs was compiled out),
+        // which CI should surface differently from a schema violation.
         if count == 0 {
-            return Err(format!("{path}: no run-log lines"));
+            return Err(format!(
+                "{path}: empty run-log — zero lines to validate (did the bench run with obs on?)"
+            ));
         }
         println!("{path}: {count} line(s) ok");
     }

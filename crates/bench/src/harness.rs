@@ -316,13 +316,18 @@ impl TrajectoryPoint {
 }
 
 /// Appends a bench's run-log lines to `<workspace root>/RUNLOG.jsonl`
-/// (no-op when the log is empty, e.g. with the `obs` feature off).
+/// (no-op when the log is empty, e.g. with the `obs` feature off). The
+/// sink is size-capped: once the file would exceed
+/// [`pmi::obs::RUNLOG_MAX_LINES`] lines it is rotated down to the newest
+/// lines, so the committed trajectory never grows without bound while the
+/// recent history `pmi-analyze` diffs against stays intact.
 pub fn append_runlog(log: &RunLog) {
     if log.is_empty() {
         return;
     }
     let path = std::path::Path::new(workspace_root()).join("RUNLOG.jsonl");
-    log.append_to(&path).expect("append RUNLOG.jsonl");
+    log.append_to_capped(&path, pmi::obs::RUNLOG_MAX_LINES)
+        .expect("append RUNLOG.jsonl");
     println!(
         "appended {} run-log line(s) to RUNLOG.jsonl",
         log.lines().len()

@@ -296,8 +296,9 @@ pub use serve::{build_sharded_engine, build_sharded_vector_engine};
 pub use pmi_engine as engine;
 pub use pmi_engine::{
     ApplyReport, BatchOutcome, BuildStats, CompactionPolicy, EngineConfig, EngineError,
-    EngineScratch, LatencySummary, Query, QueryResult, RefreshPolicy, ServeReport, ShardServeStats,
-    ShardedEngine, UpdateBatch, UpdateOp, UpdateStats,
+    EngineScratch, LatencySummary, Query, QueryResult, QueryTrace, RefreshPolicy, ServeReport,
+    ShardServeStats, ShardedEngine, TraceEvent, TraceKind, TracePolicy, UpdateBatch, UpdateOp,
+    UpdateStats,
 };
 
 pub use pmi_obs as obs;

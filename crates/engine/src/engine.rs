@@ -36,10 +36,14 @@ use pmi_metric::{
     Counters, MatrixSlice, MetricIndex, Neighbor, ObjId, PivotMatrix, QueryScratch,
     SharedPivotMatrix, StorageFootprint,
 };
-use pmi_obs::{Hist, MetricsSnapshot, Registry, Span};
+use pmi_obs::{
+    Hist, MetricsSnapshot, QueryTrace, Registry, Span, TraceEvent, TraceKind, TracePolicy,
+    TraceRing,
+};
 use pmi_router::{Mapper, PartitionPolicy, RoutingTable};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Seed for the deterministic 2-means re-split of the worst shard pair.
@@ -68,6 +72,11 @@ pub struct EngineConfig {
     /// so a compaction reproduces exactly the clustering a fresh build
     /// over the survivors would compute.
     pub partition_seed: u64,
+    /// Per-query trace capture: sample 1-in-N and/or retroactively keep
+    /// slow queries (see [`TracePolicy`]). Disabled by default — the serve
+    /// hot path stays untraced; swap at runtime with
+    /// [`set_trace_policy`](ShardedEngine::set_trace_policy).
+    pub trace: TracePolicy,
 }
 
 impl Default for EngineConfig {
@@ -78,6 +87,7 @@ impl Default for EngineConfig {
             refresh: RefreshPolicy::default(),
             compaction: CompactionPolicy::default(),
             partition_seed: 42,
+            trace: TracePolicy::disabled(),
         }
     }
 }
@@ -156,6 +166,9 @@ pub struct EngineScratch {
     topk: TopK,
     /// Per-worker observability buffers, merged once per batch.
     obs: ScratchObs,
+    /// Per-worker trace ring and captured traces (inert unless a
+    /// [`TracePolicy`] arms it for the batch).
+    trace: ScratchTrace,
 }
 
 impl EngineScratch {
@@ -290,6 +303,83 @@ impl ScratchObs {
     }
 }
 
+/// Per-worker trace state. Untraced queries (the default policy) cost one
+/// branch per serve-loop iteration and nothing on the query path itself —
+/// no allocation, no atomics, no clock reads. A traced query records
+/// [`TraceEvent`]s into the worker's fixed-capacity ring with plain slot
+/// writes; only *capture* (the decided-to-keep path) allocates, by copying
+/// the ring into an owned [`QueryTrace`].
+#[derive(Default)]
+struct ScratchTrace {
+    /// The batch's policy, copied once per batch.
+    policy: TracePolicy,
+    /// Whether the policy enables any capture mode this batch.
+    armed: bool,
+    /// Whether the in-flight query is recording events.
+    active: bool,
+    /// Whether the in-flight query was chosen by 1-in-N sampling (slow
+    /// capture decides retroactively at [`finish`](Self::finish)).
+    sampled: bool,
+    /// The per-worker event ring, reused across queries.
+    ring: TraceRing,
+    /// Traces this worker captured, in serve order.
+    captured: Vec<QueryTrace>,
+}
+
+impl ScratchTrace {
+    /// Arms (or disarms) tracing for one batch.
+    fn prepare(&mut self, policy: TracePolicy) {
+        self.policy = policy;
+        self.armed = policy.enabled() && policy.max_captured > 0;
+        self.active = false;
+        self.sampled = false;
+        self.captured.clear();
+    }
+
+    /// Decides whether the `served`-th query of this worker records events.
+    #[inline]
+    fn begin(&mut self, served: u64) {
+        if !self.armed {
+            return;
+        }
+        if self.captured.len() >= self.policy.max_captured {
+            // The worker's capture budget is spent: stop recording.
+            self.active = false;
+            return;
+        }
+        self.sampled =
+            self.policy.sample_every > 0 && served.is_multiple_of(self.policy.sample_every);
+        // With a slow-query threshold set, every query records — the
+        // keep/drop decision is made after the wall is known.
+        self.active = self.sampled || self.policy.slow_query_nanos > 0;
+        if self.active {
+            self.ring.clear();
+        }
+    }
+
+    /// Concludes the in-flight query: captures the ring if the query was
+    /// sampled or its wall met the slow-query threshold.
+    fn finish(&mut self, query: usize, kind: TraceKind, wall_nanos: u64) {
+        if !self.active {
+            return;
+        }
+        self.active = false;
+        let slow = self.policy.slow_query_nanos > 0 && wall_nanos >= self.policy.slow_query_nanos;
+        if !(self.sampled || slow) {
+            return;
+        }
+        self.captured.push(QueryTrace {
+            query,
+            kind,
+            wall_nanos,
+            sampled: self.sampled,
+            slow,
+            dropped_events: self.ring.dropped(),
+            events: self.ring.events().copied().collect(),
+        });
+    }
+}
+
 /// A lap timer that reads the monotonic clock only when armed: `lap()`
 /// returns the nanoseconds since the previous lap (or construction) and
 /// re-arms, so a sampled query pays exactly one clock read per measured
@@ -411,6 +501,10 @@ pub struct ShardedEngine<O> {
     /// feature is compiled out; runtime-toggleable via
     /// [`set_obs_enabled`](Self::set_obs_enabled) otherwise.
     obs: Registry,
+    /// The per-query trace capture policy, read once per batch (the mutex
+    /// never sits on the query path) and runtime-swappable via
+    /// [`set_trace_policy`](Self::set_trace_policy).
+    trace: Mutex<TracePolicy>,
 }
 
 impl<O> ShardedEngine<O> {
@@ -732,6 +826,7 @@ impl<O> ShardedEngine<O> {
             build_stats,
             update_stats: UpdateStats::default(),
             obs,
+            trace: Mutex::new(cfg.trace),
         })
     }
 
@@ -839,6 +934,20 @@ impl<O> ShardedEngine<O> {
     /// and the exact cost counters are identical either way.
     pub fn set_obs_enabled(&self, on: bool) {
         self.obs.set_enabled(on);
+    }
+
+    /// The current per-query trace capture policy.
+    pub fn trace_policy(&self) -> TracePolicy {
+        *self.trace.lock().expect("trace policy lock poisoned")
+    }
+
+    /// Swaps the per-query trace capture policy at runtime (takes effect
+    /// for the next [`serve`](Self::serve) batch — the policy is read once
+    /// per batch, never on the query path). Pass
+    /// [`TracePolicy::disabled`] to return the serve loop to its untraced
+    /// form; results and exact counters are identical either way.
+    pub fn set_trace_policy(&self, policy: TracePolicy) {
+        *self.trace.lock().expect("trace policy lock poisoned") = policy;
     }
 
     /// Resets every shard's counters and the engine's probe counters.
@@ -1359,11 +1468,15 @@ impl<O> ShardedEngine<O> {
             probe,
             ids,
             obs,
+            trace,
             ..
         } = scratch;
         // Sampled queries pay one extra clock read per phase boundary; the
-        // rest see only the plain per-shard probe tally.
+        // rest see only the plain per-shard probe tally. Traced queries
+        // (trace.active) run their own lap timer and per-probe counter
+        // snapshots — neither exists on the untraced path.
         let mut clock = ObsClock::start(obs.sampled);
+        let mut tclock = ObsClock::start(trace.active);
         match &self.router {
             Some(rt) => {
                 rt.map_into(q, mapped);
@@ -1378,13 +1491,78 @@ impl<O> ShardedEngine<O> {
             }
         }
         obs.plan_nanos += clock.lap();
+        if trace.active {
+            // Per-shard plan verdicts: range planning keeps shard order, so
+            // the probe rank is the position in the (ascending) probe set.
+            match &self.router {
+                Some(rt) => {
+                    let mut next = probe.iter().peekable();
+                    let mut rank = 0u32;
+                    for (s, b) in rt.boxes().iter().enumerate() {
+                        let probed = next.peek() == Some(&&s);
+                        let order = if probed {
+                            next.next();
+                            rank += 1;
+                            rank - 1
+                        } else {
+                            u32::MAX
+                        };
+                        trace.ring.push(TraceEvent::Plan {
+                            shard: s as u32,
+                            lower_bound: b.lower_bound(mapped),
+                            probed,
+                            order,
+                        });
+                    }
+                }
+                None => {
+                    for s in 0..self.shards.len() {
+                        trace.ring.push(TraceEvent::Plan {
+                            shard: s as u32,
+                            lower_bound: 0.0,
+                            probed: true,
+                            order: s as u32,
+                        });
+                    }
+                }
+            }
+            trace.ring.push(TraceEvent::PlanDone {
+                shards: self.shards.len() as u32,
+                probed: probe.len() as u32,
+                pruned: (self.shards.len() - probe.len()) as u32,
+                map_dists: mapped.len() as u64,
+                nanos: tclock.lap(),
+            });
+        }
         self.note_probes(probe.len(), self.shards.len() - probe.len());
         ids.clear();
         for &s in probe.iter() {
             obs.note_probe(s);
+            let snap = trace
+                .active
+                .then(|| (self.shards[s].counters(), qs.kernel_rows, qs.kernel_blocks));
             self.shards[s].range_global_into(q, radius, qs, ids);
             if obs.sampled {
                 obs.note_probe_wall(s, clock.lap());
+            }
+            if let Some((c0, kr0, kb0)) = snap {
+                let d = self.shards[s].counters().since(&c0);
+                let kernel_rows = qs.kernel_rows - kr0;
+                trace.ring.push(TraceEvent::Scan {
+                    shard: s as u32,
+                    dists: d.compdists,
+                    page_accesses: d.page_accesses(),
+                    kernel_rows,
+                    kernel_blocks: qs.kernel_blocks - kb0,
+                    // The survivor buffer belongs to kernel scans; a tree
+                    // shard leaves it untouched from the previous probe.
+                    survivors: if kernel_rows > 0 {
+                        qs.survivors.len() as u64
+                    } else {
+                        0
+                    },
+                    nanos: tclock.lap(),
+                });
             }
         }
         // Shards are disjoint partitions: the union is concatenation plus
@@ -1392,6 +1570,12 @@ impl<O> ShardedEngine<O> {
         ids.sort_unstable();
         let out = ids.clone();
         obs.merge_nanos += clock.lap();
+        if trace.active {
+            trace.ring.push(TraceEvent::Merge {
+                results: out.len() as u64,
+                nanos: tclock.lap(),
+            });
+        }
         out
     }
 
@@ -1407,10 +1591,12 @@ impl<O> ShardedEngine<O> {
             nbrs,
             topk,
             obs,
+            trace,
             ..
         } = scratch;
         topk.reset(k);
         let mut clock = ObsClock::start(obs.sampled);
+        let mut tclock = ObsClock::start(trace.active);
         match &self.router {
             Some(rt) => {
                 rt.map_into(q, mapped);
@@ -1419,35 +1605,114 @@ impl<O> ShardedEngine<O> {
                     obs.map_dists += mapped.len() as u64;
                 }
                 obs.plan_nanos += clock.lap();
+                let plan_nanos = tclock.lap();
                 let (mut probed, mut pruned) = (0usize, 0usize);
-                for &(s, lb) in order.iter() {
+                for (rank, &(s, lb)) in order.iter().enumerate() {
                     if lb > topk.threshold() {
                         pruned += 1;
+                        if trace.active {
+                            // Best-first order: the rank is both the plan
+                            // position and the point where pruning struck.
+                            trace.ring.push(TraceEvent::Plan {
+                                shard: s as u32,
+                                lower_bound: lb,
+                                probed: false,
+                                order: rank as u32,
+                            });
+                        }
                         continue;
                     }
                     probed += 1;
                     obs.note_probe(s);
+                    let snap = trace.active.then(|| {
+                        trace.ring.push(TraceEvent::Plan {
+                            shard: s as u32,
+                            lower_bound: lb,
+                            probed: true,
+                            order: rank as u32,
+                        });
+                        (self.shards[s].counters(), qs.kernel_rows, qs.kernel_blocks)
+                    });
                     self.shards[s].knn_into_with(q, k, qs, nbrs, topk);
                     if obs.sampled {
                         obs.note_probe_wall(s, clock.lap());
                     }
+                    if let Some((c0, kr0, kb0)) = snap {
+                        let d = self.shards[s].counters().since(&c0);
+                        trace.ring.push(TraceEvent::Scan {
+                            shard: s as u32,
+                            dists: d.compdists,
+                            page_accesses: d.page_accesses(),
+                            kernel_rows: qs.kernel_rows - kr0,
+                            kernel_blocks: qs.kernel_blocks - kb0,
+                            // kNN scans verify through the heap, not the
+                            // range survivor buffer.
+                            survivors: 0,
+                            nanos: tclock.lap(),
+                        });
+                    }
+                }
+                if trace.active {
+                    trace.ring.push(TraceEvent::PlanDone {
+                        shards: order.len() as u32,
+                        probed: probed as u32,
+                        pruned: pruned as u32,
+                        map_dists: mapped.len() as u64,
+                        nanos: plan_nanos,
+                    });
                 }
                 self.note_probes(probed, pruned);
             }
             None => {
                 obs.plan_nanos += clock.lap();
+                if trace.active {
+                    trace.ring.push(TraceEvent::PlanDone {
+                        shards: self.shards.len() as u32,
+                        probed: self.shards.len() as u32,
+                        pruned: 0,
+                        map_dists: 0,
+                        nanos: tclock.lap(),
+                    });
+                }
                 self.note_probes(self.shards.len(), 0);
                 for (s, shard) in self.shards.iter().enumerate() {
                     obs.note_probe(s);
+                    let snap = trace.active.then(|| {
+                        trace.ring.push(TraceEvent::Plan {
+                            shard: s as u32,
+                            lower_bound: 0.0,
+                            probed: true,
+                            order: s as u32,
+                        });
+                        (self.shards[s].counters(), qs.kernel_rows, qs.kernel_blocks)
+                    });
                     shard.knn_into_with(q, k, qs, nbrs, topk);
                     if obs.sampled {
                         obs.note_probe_wall(s, clock.lap());
+                    }
+                    if let Some((c0, kr0, kb0)) = snap {
+                        let d = self.shards[s].counters().since(&c0);
+                        trace.ring.push(TraceEvent::Scan {
+                            shard: s as u32,
+                            dists: d.compdists,
+                            page_accesses: d.page_accesses(),
+                            kernel_rows: qs.kernel_rows - kr0,
+                            kernel_blocks: qs.kernel_blocks - kb0,
+                            survivors: 0,
+                            nanos: tclock.lap(),
+                        });
                     }
                 }
             }
         }
         let out = topk.drain_sorted();
         obs.merge_nanos += clock.lap();
+        if trace.active {
+            trace.ring.push(TraceEvent::Merge {
+                results: out.len() as u64,
+                nanos: tclock.lap(),
+            });
+        }
         out
     }
 
@@ -1575,8 +1840,10 @@ impl<O: Send + Sync> ShardedEngine<O> {
             .fold(Counters::default(), |acc, c| acc + *c);
         let (probed0, pruned0) = self.probe_counts();
         // One registry read per batch: the runtime switch never sits on the
-        // per-query path.
+        // per-query path. Same for the trace policy — one mutex lock here,
+        // then a per-worker copy.
         let timing = self.obs.is_enabled();
+        let tpolicy = self.trace_policy();
         let cursor = AtomicUsize::new(0);
         let t0 = Instant::now();
 
@@ -1588,6 +1855,7 @@ impl<O: Send + Sync> ShardedEngine<O> {
             let b0 = timing.then(Instant::now);
             let mut scratch = EngineScratch::new();
             scratch.obs.prepare(self.shards.len(), timing);
+            scratch.trace.prepare(tpolicy);
             let mut local = Vec::new();
             let mut served = 0u64;
             loop {
@@ -1598,6 +1866,7 @@ impl<O: Send + Sync> ShardedEngine<O> {
                 // 1-in-OBS_SAMPLE queries pay the per-segment clock reads;
                 // every query still lands in the latency histogram.
                 scratch.obs.sampled = timing && served.is_multiple_of(OBS_SAMPLE);
+                scratch.trace.begin(served);
                 served += 1;
                 let q0 = Instant::now();
                 let res = self.execute_with(&batch[i], &mut scratch);
@@ -1605,6 +1874,13 @@ impl<O: Send + Sync> ShardedEngine<O> {
                 if timing {
                     scratch.obs.query_wall.record(ns);
                     scratch.obs.sampled_queries += scratch.obs.sampled as u64;
+                }
+                if scratch.trace.active {
+                    let kind = match &batch[i] {
+                        Query::Range { radius, .. } => TraceKind::Range { radius: *radius },
+                        Query::Knn { k, .. } => TraceKind::Knn { k: *k },
+                    };
+                    scratch.trace.finish(i, kind, ns);
                 }
                 local.push((i, res, ns));
             }
@@ -1617,10 +1893,10 @@ impl<O: Send + Sync> ShardedEngine<O> {
                     obs.busy_nanos = t.elapsed().as_nanos() as u64;
                 }
             }
-            (local, obs)
+            (local, obs, std::mem::take(&mut scratch.trace.captured))
         };
 
-        type WorkerOut = (Vec<(usize, QueryResult, u64)>, ScratchObs);
+        type WorkerOut = (Vec<(usize, QueryResult, u64)>, ScratchObs, Vec<QueryTrace>);
         let collected: Vec<WorkerOut> = if workers <= 1 {
             vec![run_worker()]
         } else {
@@ -1650,7 +1926,8 @@ impl<O: Send + Sync> ShardedEngine<O> {
         let mut nanos = Vec::with_capacity(if timing { 0 } else { batch.len() });
         let mut total_results = 0usize;
         let mut agg = ScratchObs::default();
-        for (local, wobs) in collected {
+        let mut traces: Vec<QueryTrace> = Vec::new();
+        for (local, wobs, wtraces) in collected {
             for (i, res, ns) in local {
                 total_results += res.len();
                 if !timing {
@@ -1659,7 +1936,12 @@ impl<O: Send + Sync> ShardedEngine<O> {
                 results[i] = Some(res);
             }
             agg.merge(wobs);
+            traces.extend(wtraces);
         }
+        // Batch order; the cap is per batch (each worker already respected
+        // it individually, the merge enforces it globally).
+        traces.sort_by_key(|t| t.query);
+        traces.truncate(tpolicy.max_captured);
         let results: Vec<QueryResult> = results
             .into_iter()
             .map(|r| r.expect("every batch slot served exactly once"))
@@ -1771,6 +2053,7 @@ impl<O: Send + Sync> ShardedEngine<O> {
             build: self.build_stats,
             updates: self.update_stats,
             per_shard,
+            traces,
         };
         BatchOutcome { results, report }
     }
@@ -2399,5 +2682,145 @@ mod tests {
             },
         );
         assert_eq!(r.err(), Some(EngineError::Build("nope")));
+    }
+
+    #[test]
+    fn untraced_serve_captures_nothing() {
+        let (objects, e) = routed_two_clusters();
+        assert_eq!(e.trace_policy(), TracePolicy::disabled());
+        let out = e.serve(&[Query::Range {
+            q: objects[0].clone(),
+            radius: 2.0,
+        }]);
+        assert!(out.report.traces.is_empty());
+    }
+
+    #[test]
+    fn trace_every_query_sums_exactly_to_report() {
+        // One worker thread: per-probe counter deltas cannot interleave, so
+        // summing the per-trace counters must reproduce the report totals.
+        let (objects, e) = routed_two_clusters();
+        e.set_trace_policy(TracePolicy::sample(1).with_max_captured(usize::MAX));
+        let batch: Vec<Query<Vec<f32>>> = (0..10)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Query::Range {
+                        q: objects[i].clone(),
+                        radius: 2.0,
+                    }
+                } else {
+                    Query::Knn {
+                        q: objects[i].clone(),
+                        k: 3,
+                    }
+                }
+            })
+            .collect();
+        let out = e.serve(&batch);
+        let r = &out.report;
+        assert_eq!(r.traces.len(), batch.len(), "every query captured");
+        for (i, t) in r.traces.iter().enumerate() {
+            assert_eq!(t.query, i, "batch order");
+            assert!(t.sampled && !t.slow);
+        }
+        let probed: u64 = r.traces.iter().map(|t| t.shards_probed()).sum();
+        let pruned: u64 = r.traces.iter().map(|t| t.shards_pruned()).sum();
+        let dists: u64 = r.traces.iter().map(|t| t.compdists()).sum();
+        let pages: u64 = r.traces.iter().map(|t| t.page_accesses()).sum();
+        let results: u64 = r.traces.iter().map(|t| t.results()).sum();
+        assert_eq!(probed, r.shards_probed);
+        assert_eq!(pruned, r.shards_pruned);
+        assert_eq!(dists, r.cost.compdists);
+        assert_eq!(pages, r.cost.page_accesses());
+        assert_eq!(results, r.total_results as u64);
+        // The two clusters are far apart, so routing pruned something and
+        // the explain output shows both verdicts.
+        assert!(pruned > 0, "two-cluster routing must prune");
+        let rendered = r.traces[0].explain();
+        assert!(rendered.contains("probe #0"), "{rendered}");
+        assert!(rendered.contains("pruned"), "{rendered}");
+    }
+
+    #[test]
+    fn slow_query_capture_is_retroactive() {
+        let (objects, e) = routed_two_clusters();
+        // 1ns threshold: every query qualifies once its wall is known —
+        // without being a 1-in-N sample.
+        e.set_trace_policy(TracePolicy {
+            sample_every: 0,
+            slow_query_nanos: 1,
+            max_captured: 3,
+        });
+        let batch: Vec<Query<Vec<f32>>> = (0..8)
+            .map(|i| Query::Knn {
+                q: objects[i].clone(),
+                k: 2,
+            })
+            .collect();
+        let out = e.serve(&batch);
+        assert_eq!(out.report.traces.len(), 3, "cap respected");
+        for t in &out.report.traces {
+            assert!(t.slow && !t.sampled);
+            assert!(t.wall_nanos >= 1);
+            assert!(t.explain().contains("[slow]"));
+        }
+        // An impossible threshold captures nothing.
+        e.set_trace_policy(TracePolicy {
+            sample_every: 0,
+            slow_query_nanos: u64::MAX,
+            max_captured: 3,
+        });
+        assert!(e.serve(&batch).report.traces.is_empty());
+    }
+
+    #[test]
+    fn tracing_changes_no_results() {
+        let (objects, e) = routed_two_clusters();
+        let batch: Vec<Query<Vec<f32>>> = (0..12)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Query::Range {
+                        q: objects[i].clone(),
+                        radius: 3.0,
+                    }
+                } else {
+                    Query::Knn {
+                        q: objects[i].clone(),
+                        k: 4,
+                    }
+                }
+            })
+            .collect();
+        let plain = e.serve(&batch);
+        e.set_trace_policy(TracePolicy::sample(1));
+        let traced = e.serve(&batch);
+        assert_eq!(plain.results, traced.results);
+        assert_eq!(plain.report.shards_probed, traced.report.shards_probed);
+        assert_eq!(plain.report.shards_pruned, traced.report.shards_pruned);
+        assert_eq!(plain.report.cost, traced.report.cost);
+        assert_eq!(
+            traced.report.traces.len(),
+            TracePolicy::disabled().max_captured
+        );
+    }
+
+    #[test]
+    fn round_robin_traces_probe_every_shard() {
+        let e = engine(40, 4, 1);
+        e.set_trace_policy(TracePolicy::sample(1).with_max_captured(16));
+        let q = grid(40)[7].clone();
+        let out = e.serve(&[
+            Query::Range {
+                q: q.clone(),
+                radius: 2.0,
+            },
+            Query::Knn { q, k: 5 },
+        ]);
+        assert_eq!(out.report.traces.len(), 2);
+        for t in &out.report.traces {
+            assert_eq!(t.shards_probed(), 4, "round-robin probes all shards");
+            assert_eq!(t.shards_pruned(), 0);
+            assert!(t.explain().contains("probed 4/4 shards"));
+        }
     }
 }

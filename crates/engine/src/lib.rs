@@ -73,6 +73,7 @@ pub mod update;
 
 pub use engine::{BatchOutcome, EngineConfig, EngineError, EngineScratch, ShardedEngine};
 pub use merge::TopK;
+pub use pmi_obs::{QueryTrace, TraceEvent, TraceKind, TracePolicy};
 pub use pmi_router::{PartitionPolicy, RoutingTable};
 pub use query::{Query, QueryResult};
 pub use report::{BuildStats, LatencySummary, ServeReport, ShardServeStats, UpdateStats};

@@ -1,7 +1,7 @@
 //! Serving metrics: throughput, latency percentiles, aggregate cost.
 
 use pmi_metric::Counters;
-use pmi_obs::Hist;
+use pmi_obs::{Hist, QueryTrace};
 
 /// Latency distribution of a served batch, from a monotonic clock
 /// (`std::time::Instant`), in seconds.
@@ -180,6 +180,11 @@ pub struct ServeReport {
     /// counts are exact regardless of the observability switch; the wall
     /// fields need it on.
     pub per_shard: Vec<ShardServeStats>,
+    /// Per-query traces captured under the engine's
+    /// [`TracePolicy`](pmi_obs::TracePolicy), in batch order — empty with
+    /// the default (disabled) policy. Render one with
+    /// [`QueryTrace::explain`].
+    pub traces: Vec<QueryTrace>,
 }
 
 impl ServeReport {
@@ -256,7 +261,11 @@ impl std::fmt::Display for ServeReport {
             self.updates.removes,
             self.updates.moved_objects,
             self.updates.reclusters
-        )
+        )?;
+        if !self.traces.is_empty() {
+            write!(f, "\n  traces: {} captured", self.traces.len())?;
+        }
+        Ok(())
     }
 }
 

@@ -1,6 +1,8 @@
 //! `pmi-obs` — the workspace's observability layer: a lock-free metrics
 //! registry, fixed-bucket log-scale latency histograms, lightweight phase
-//! spans, and the JSONL run-metrics sink the benches write.
+//! spans, per-query traces with an EXPLAIN renderer ([`trace`]), and the
+//! JSONL run-metrics sink the benches write. `docs/observability.md` in
+//! the repository root covers the whole layer end-to-end.
 //!
 //! # Design rules
 //!
@@ -47,11 +49,13 @@ pub mod hist;
 pub mod json;
 pub mod registry;
 pub mod runlog;
+pub mod trace;
 
 pub use hist::{Hist, HistSummary};
-pub use json::JsonObj;
+pub use json::{JsonObj, JsonValue};
 pub use registry::{MetricsSnapshot, PhaseSnapshot, Registry, Span};
-pub use runlog::{validate_runlog_line, RunLog, RUNLOG_SCHEMA};
+pub use runlog::{rotate_runlog, validate_runlog_line, RunLog, RUNLOG_MAX_LINES, RUNLOG_SCHEMA};
+pub use trace::{QueryTrace, TraceEvent, TraceKind, TracePolicy, TraceRing};
 
 /// FNV-1a 64-bit fingerprint of a configuration, used to stamp every
 /// trajectory point and run-log line so points from different configs are

@@ -13,8 +13,13 @@
 use std::io::Write as _;
 use std::path::Path;
 
-use crate::json::{escape_into, JsonObj};
+use crate::json::{escape_into, JsonObj, JsonValue};
 use crate::registry::{MetricsSnapshot, PhaseSnapshot};
+
+/// Default line cap for [`RunLog::append_to_capped`]: generous enough for
+/// hundreds of bench runs, small enough that the committed file stays
+/// reviewable.
+pub const RUNLOG_MAX_LINES: usize = 4096;
 
 /// Schema tag stamped into every run-log line; bump when the line shape
 /// changes so downstream queries can dispatch on it.
@@ -99,14 +104,45 @@ impl RunLog {
         }
         Ok(())
     }
+
+    /// [`append_to`](Self::append_to) with size-capped rotation: after
+    /// appending, if the file holds more than `max_lines` lines, the oldest
+    /// lines are dropped so exactly the newest `max_lines` remain. Repeated
+    /// bench runs therefore cannot grow a committed `RUNLOG.jsonl` without
+    /// bound; the tail always keeps the most recent trajectory.
+    pub fn append_to_capped(&self, path: &Path, max_lines: usize) -> std::io::Result<()> {
+        self.append_to(path)?;
+        rotate_runlog(path, max_lines)
+    }
+}
+
+/// Truncates a JSONL file in place to its newest `max_lines` lines (no-op
+/// when it is already within the cap). The rewrite goes through a `.tmp`
+/// sibling plus rename so a crash cannot leave a half-written log.
+pub fn rotate_runlog(path: &Path, max_lines: usize) -> std::io::Result<()> {
+    let body = std::fs::read_to_string(path)?;
+    let total = body.lines().count();
+    if total <= max_lines {
+        return Ok(());
+    }
+    let mut out = String::with_capacity(body.len());
+    for l in body.lines().skip(total - max_lines) {
+        out.push_str(l);
+        out.push('\n');
+    }
+    let tmp = path.with_extension("jsonl.tmp");
+    std::fs::write(&tmp, out)?;
+    std::fs::rename(&tmp, path)
 }
 
 /// Structurally validates one run-log line: parseable JSON, exactly the
 /// [`RUNLOG_SCHEMA`] fields with the right types, nothing extra. Returns
-/// a human-readable reason on failure.
+/// a human-readable reason on failure that names the offending key
+/// wherever one exists (`validate_runlog` prefixes the file and line
+/// number, so a failure reads `path:line: field "calls" ...`).
 pub fn validate_runlog_line(line: &str) -> Result<(), String> {
-    let v = Parser::parse_complete(line)?;
-    let Val::Obj(fields) = v else {
+    let v = JsonValue::parse(line)?;
+    let JsonValue::Obj(fields) = v else {
         return Err("top level is not an object".into());
     };
     let mut seen = [false; 7];
@@ -128,11 +164,13 @@ pub fn validate_runlog_line(line: &str) -> Result<(), String> {
         }
         seen[i] = true;
         match (i, v) {
-            (0, Val::Str(s)) if s == RUNLOG_SCHEMA => {}
-            (0, Val::Str(s)) => return Err(format!("schema {s:?}, expected {RUNLOG_SCHEMA:?}")),
-            (1, Val::Str(s)) if !s.is_empty() => {}
-            (3, Val::Str(s)) if !s.is_empty() => {}
-            (2, Val::Str(s)) => {
+            (0, JsonValue::Str(s)) if s == RUNLOG_SCHEMA => {}
+            (0, JsonValue::Str(s)) => {
+                return Err(format!("schema {s:?}, expected {RUNLOG_SCHEMA:?}"))
+            }
+            (1, JsonValue::Str(s)) if !s.is_empty() => {}
+            (3, JsonValue::Str(s)) if !s.is_empty() => {}
+            (2, JsonValue::Str(s)) => {
                 let hex = s
                     .strip_prefix("0x")
                     .ok_or_else(|| format!("fingerprint {s:?} missing 0x prefix"))?;
@@ -140,12 +178,12 @@ pub fn validate_runlog_line(line: &str) -> Result<(), String> {
                     return Err(format!("fingerprint {s:?} is not a u64 hex literal"));
                 }
             }
-            (4, Val::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => {}
-            (5, Val::Num(n)) if *n >= 0.0 => {}
-            (6, Val::Obj(cs)) => {
+            (4, JsonValue::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => {}
+            (5, JsonValue::Num(n)) if *n >= 0.0 => {}
+            (6, JsonValue::Obj(cs)) => {
                 for (ck, cv) in cs {
                     match cv {
-                        Val::Num(n) if *n >= 0.0 && n.fract() == 0.0 => {}
+                        JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => {}
                         _ => return Err(format!("counter {ck:?} is not a non-negative integer")),
                     }
                 }
@@ -157,199 +195,6 @@ pub fn validate_runlog_line(line: &str) -> Result<(), String> {
         return Err(format!("missing field {:?}", KEYS[i]));
     }
     Ok(())
-}
-
-/// Minimal JSON value for validation.
-enum Val {
-    Str(String),
-    Num(f64),
-    Bool(#[allow(dead_code)] bool),
-    Null,
-    Obj(Vec<(String, Val)>),
-    Arr(#[allow(dead_code)] Vec<Val>),
-}
-
-/// Minimal recursive-descent JSON parser — enough to validate the lines
-/// this module generates (strings with escapes, numbers, bools, null,
-/// objects, arrays).
-struct Parser<'a> {
-    b: &'a [u8],
-    i: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn parse_complete(s: &'a str) -> Result<Val, String> {
-        let mut p = Parser {
-            b: s.as_bytes(),
-            i: 0,
-        };
-        let v = p.value()?;
-        p.ws();
-        if p.i != p.b.len() {
-            return Err(format!("trailing bytes at offset {}", p.i));
-        }
-        Ok(v)
-    }
-
-    fn ws(&mut self) {
-        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
-            self.i += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.b.get(self.i).copied()
-    }
-
-    fn eat(&mut self, c: u8) -> Result<(), String> {
-        if self.peek() == Some(c) {
-            self.i += 1;
-            Ok(())
-        } else {
-            Err(format!("expected {:?} at offset {}", c as char, self.i))
-        }
-    }
-
-    fn value(&mut self) -> Result<Val, String> {
-        self.ws();
-        match self.peek() {
-            Some(b'"') => Ok(Val::Str(self.string()?)),
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b't') => self.lit("true").map(|_| Val::Bool(true)),
-            Some(b'f') => self.lit("false").map(|_| Val::Bool(false)),
-            Some(b'n') => self.lit("null").map(|_| Val::Null),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            _ => Err(format!("unexpected byte at offset {}", self.i)),
-        }
-    }
-
-    fn lit(&mut self, word: &str) -> Result<(), String> {
-        if self.b[self.i..].starts_with(word.as_bytes()) {
-            self.i += word.len();
-            Ok(())
-        } else {
-            Err(format!("bad literal at offset {}", self.i))
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.eat(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    self.i += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.i += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'b') => out.push('\u{8}'),
-                        Some(b'f') => out.push('\u{c}'),
-                        Some(b'u') => {
-                            if self.i + 4 >= self.b.len() {
-                                return Err("truncated \\u escape".into());
-                            }
-                            let hex = std::str::from_utf8(&self.b[self.i + 1..self.i + 5])
-                                .map_err(|_| "bad \\u escape".to_string())?;
-                            let cp = u32::from_str_radix(hex, 16)
-                                .map_err(|_| "bad \\u escape".to_string())?;
-                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
-                            self.i += 4;
-                        }
-                        _ => return Err(format!("bad escape at offset {}", self.i)),
-                    }
-                    self.i += 1;
-                }
-                Some(c) if c < 0x80 => {
-                    if c < 0x20 {
-                        return Err("raw control byte in string".into());
-                    }
-                    out.push(c as char);
-                    self.i += 1;
-                }
-                Some(_) => {
-                    // Multi-byte UTF-8: the input is a &str, so decode one char.
-                    let rest = std::str::from_utf8(&self.b[self.i..]).map_err(|e| e.to_string())?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.i += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Val, String> {
-        let start = self.i;
-        while let Some(c) = self.peek() {
-            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
-                self.i += 1;
-            } else {
-                break;
-            }
-        }
-        let txt = std::str::from_utf8(&self.b[start..self.i]).unwrap();
-        txt.parse::<f64>()
-            .map(Val::Num)
-            .map_err(|_| format!("bad number {txt:?}"))
-    }
-
-    fn object(&mut self) -> Result<Val, String> {
-        self.eat(b'{')?;
-        let mut fields = Vec::new();
-        self.ws();
-        if self.peek() == Some(b'}') {
-            self.i += 1;
-            return Ok(Val::Obj(fields));
-        }
-        loop {
-            self.ws();
-            let k = self.string()?;
-            self.ws();
-            self.eat(b':')?;
-            let v = self.value()?;
-            fields.push((k, v));
-            self.ws();
-            match self.peek() {
-                Some(b',') => self.i += 1,
-                Some(b'}') => {
-                    self.i += 1;
-                    return Ok(Val::Obj(fields));
-                }
-                _ => return Err(format!("expected ',' or '}}' at offset {}", self.i)),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Val, String> {
-        self.eat(b'[')?;
-        let mut items = Vec::new();
-        self.ws();
-        if self.peek() == Some(b']') {
-            self.i += 1;
-            return Ok(Val::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.ws();
-            match self.peek() {
-                Some(b',') => self.i += 1,
-                Some(b']') => {
-                    self.i += 1;
-                    return Ok(Val::Arr(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at offset {}", self.i)),
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -437,11 +282,39 @@ mod tests {
     }
 
     #[test]
-    fn parser_handles_escapes_and_nesting() {
-        let v = Parser::parse_complete(r#"{"a":"x\n\"A","b":[1,-2.5,true,null],"c":{"d":{}}}"#)
-            .unwrap();
-        let Val::Obj(fs) = v else { panic!() };
-        let Val::Str(s) = &fs[0].1 else { panic!() };
-        assert_eq!(s, "x\n\"A");
+    fn capped_append_keeps_only_the_tail() {
+        let dir = std::env::temp_dir().join("pmi_obs_runlog_rotate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("RUNLOG.jsonl");
+        let _ = std::fs::remove_file(&path);
+        for round in 0..5u64 {
+            let mut log = RunLog::new("t", round);
+            log.record("p", round, 0.0, &[("round", round)]);
+            log.append_to_capped(&path, 3).unwrap();
+        }
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 3, "rotation keeps exactly the cap");
+        // The newest lines survive, in order.
+        for (l, round) in lines.iter().zip(2u64..) {
+            validate_runlog_line(l).unwrap();
+            assert!(l.contains(&format!("\"round\":{round}")), "{l}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rotation_is_a_noop_under_the_cap() {
+        let dir = std::env::temp_dir().join("pmi_obs_runlog_noop_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("RUNLOG.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut log = RunLog::new("t", 1);
+        log.record("p", 1, 0.0, &[]);
+        log.append_to_capped(&path, RUNLOG_MAX_LINES).unwrap();
+        let before = std::fs::read_to_string(&path).unwrap();
+        rotate_runlog(&path, RUNLOG_MAX_LINES).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), before);
+        let _ = std::fs::remove_file(&path);
     }
 }

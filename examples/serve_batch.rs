@@ -16,7 +16,10 @@
 //! `--no-default-features` the same code compiles and runs, the phase
 //! tree is simply empty and per-shard walls read zero (exact counters
 //! remain). `engine.set_obs_enabled(false)` is the runtime switch — it
-//! never changes results, only whether timings are collected.
+//! never changes results, only whether timings are collected. The final
+//! section turns on per-query tracing (`engine.set_trace_policy`) and
+//! prints captured traces' `explain()` plan trees — see
+//! `docs/observability.md`.
 //!
 //! Run with: `cargo run --release --example serve_batch`
 
@@ -160,5 +163,25 @@ fn main() {
             "\nphase tree (engine.metrics().render()):\n{}",
             snap.render()
         );
+    }
+
+    // Per-query tracing: sample 1-in-256 queries (and retroactively keep
+    // anything slower than 2 ms), then EXPLAIN the captured traces — the
+    // router's per-shard probe/prune verdicts with their Lemma 1 box
+    // lower bounds, each probe's exact counter deltas, and the merge.
+    // Tracing is runtime-only: untraced queries pay one branch, and
+    // `TracePolicy::disabled()` (the default) restores the zero-cost path.
+    engine.set_trace_policy(pmr::TracePolicy {
+        sample_every: 256,
+        ..pmr::TracePolicy::slow(0.002)
+    });
+    let out = engine.serve(&batch);
+    engine.set_trace_policy(pmr::TracePolicy::disabled());
+    println!(
+        "\ntraced serve: {} trace(s) captured (sampled 1/256, slow > 2ms):",
+        out.report.traces.len()
+    );
+    for trace in out.report.traces.iter().take(2) {
+        println!("{}", trace.explain());
     }
 }

@@ -32,9 +32,13 @@
 //! ```
 //!
 //! Observability — per-shard serve stats (`out.report.per_shard`), the
-//! engine phase tree (`engine.metrics()`), and the JSONL run-log sink
-//! (`pmr::obs::RunLog`) — is behind the default-on `obs` feature; see the
-//! `pmi` crate docs ("Observability") for the zero-overhead rule and the
-//! `--no-default-features` build.
+//! engine phase tree (`engine.metrics()`), per-query traces with an
+//! EXPLAIN renderer (`engine.set_trace_policy(..)` then
+//! `out.report.traces[..].explain()`), and the JSONL run-log sink
+//! (`pmr::obs::RunLog`) — is behind the default-on `obs` feature (trace
+//! and run-log data types are unconditional). `docs/observability.md`
+//! is the quickstart for the whole layer: the zero-overhead rule, the
+//! `pmi-runlog-v1` schema, the trace format, and the `pmi-analyze`
+//! regression sentinel.
 
 pub use pmi::*;

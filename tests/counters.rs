@@ -407,6 +407,92 @@ fn obs_toggle_changes_no_results_and_no_exact_counters() {
     }
 }
 
+/// The tracing tentpole's acceptance contract: a traced query's
+/// `explain()` output shows the router's per-shard prune/probe decisions,
+/// and the captured traces' counters sum **exactly** to the batch's
+/// `ServeReport` totals. One worker thread keeps per-probe counter deltas
+/// exactly attributable (concurrent workers probing the same shard would
+/// interleave in the shared atomics); `sample_every = 1` traces every
+/// query so the sums must close with no remainder.
+#[test]
+fn traced_queries_sum_exactly_to_serve_report() {
+    let pts = datasets::la(600, 23);
+    let opts = BuildOptions {
+        d_plus: 14143.0,
+        ..BuildOptions::default()
+    };
+    let radius = datasets::calibrate_radius(&pts, &L2, 0.02, 5);
+    let engine = pmr::build_sharded_vector_engine(
+        IndexKind::Laesa,
+        pts.clone(),
+        L2,
+        &opts,
+        &pmr::EngineConfig {
+            shards: 4,
+            threads: 1,
+            ..pmr::EngineConfig::default()
+        },
+        pmr::PartitionPolicy::PivotSpace,
+    )
+    .unwrap();
+    let batch: Vec<pmr::Query<Vec<f32>>> = (0..32)
+        .map(|i| {
+            if i % 2 == 0 {
+                pmr::Query::range(pts[i * 17].clone(), radius)
+            } else {
+                pmr::Query::knn(pts[i * 13].clone(), 10)
+            }
+        })
+        .collect();
+    engine.set_trace_policy(pmr::TracePolicy::sample(1).with_max_captured(batch.len()));
+    let out = engine.serve(&batch);
+    let report = &out.report;
+    let traces = &report.traces;
+    assert_eq!(traces.len(), batch.len(), "every query traced");
+
+    // Exact closure: per-trace event counters roll up to the report.
+    let probed: u64 = traces.iter().map(|t| t.shards_probed()).sum();
+    let pruned: u64 = traces.iter().map(|t| t.shards_pruned()).sum();
+    let dists: u64 = traces.iter().map(|t| t.compdists()).sum();
+    let pages: u64 = traces.iter().map(|t| t.page_accesses()).sum();
+    let results: u64 = traces.iter().map(|t| t.results()).sum();
+    assert_eq!(probed, report.shards_probed, "probed sums exactly");
+    assert_eq!(pruned, report.shards_pruned, "pruned sums exactly");
+    assert_eq!(dists, report.cost.compdists, "compdists sums exactly");
+    assert_eq!(pages, report.cost.page_accesses(), "pages sum exactly");
+    assert_eq!(results, report.total_results as u64, "results sum exactly");
+    assert!(
+        pruned > 0,
+        "routed clusters must actually prune somewhere in the batch"
+    );
+
+    // explain() renders the plan tree: every trace names each shard's
+    // verdict, and its headline ratio matches the trace's own counters.
+    for t in traces {
+        let text = t.explain();
+        assert!(
+            text.contains(&format!(
+                "probed {}/{} shards (pruned {})",
+                t.shards_probed(),
+                t.shards_probed() + t.shards_pruned(),
+                t.shards_pruned()
+            )),
+            "plan headline mismatch:\n{text}"
+        );
+        for ev in &t.events {
+            if let pmr::TraceEvent::Plan { shard, probed, .. } = ev {
+                let tag = if *probed { "→ shard" } else { "· shard" };
+                assert!(
+                    text.lines()
+                        .any(|l| l.contains(tag) && l.contains(&format!("shard {shard}"))),
+                    "shard {shard} verdict missing:\n{text}"
+                );
+            }
+        }
+        assert!(text.contains("merge:"), "merge line present:\n{text}");
+    }
+}
+
 #[test]
 fn storage_split_matches_index_family() {
     // Table 4's (I)/(D) annotations: tables/trees in memory, external on

@@ -1,0 +1,116 @@
+//! Property-based tests on the observability layer: the log-scale
+//! histogram's quantiles stay within one sub-bucket of the exact sorted
+//! quantiles, and every line the run-log writer emits is accepted — and
+//! read back faithfully — by the validator's independent parser.
+
+use pivot_metric_repro as pmr;
+use pmr::obs::{validate_runlog_line, Hist, JsonValue, RunLog};
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile over the raw samples, mirroring
+/// [`Hist::quantile`]'s rank rule (`ceil(q·n)` clamped into `[1, n]`).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The histogram's p50/p99/p999 must land in the same sub-bucket as
+    /// the exact nearest-rank sample: never below it, and at most one
+    /// bucket width (relative error `1/SUB`, ≈3%) above it.
+    #[test]
+    fn hist_quantiles_within_one_bucket_of_exact(
+        samples in prop::collection::vec(0u64..10_000_000_000, 1..200),
+    ) {
+        let mut h = Hist::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.99, 0.999] {
+            let exact = exact_quantile(&sorted, q) as f64;
+            let approx = h.quantile(q) * 1e9;
+            prop_assert!(
+                approx + 0.5 >= exact,
+                "q={q}: approx {approx} below exact {exact}"
+            );
+            prop_assert!(
+                approx <= exact + exact / Hist::SUB as f64 + 1.5,
+                "q={q}: approx {approx} more than one bucket above exact {exact}"
+            );
+        }
+        // The exact side fields never suffer bucket error at all.
+        prop_assert_eq!(h.min_secs(), sorted[0] as f64 * 1e-9);
+        prop_assert_eq!(h.max_secs(), *sorted.last().unwrap() as f64 * 1e-9);
+    }
+
+    /// Splitting a sample stream across worker histograms and merging must
+    /// be indistinguishable from recording the whole stream into one — the
+    /// engine's per-worker-then-merge discipline relies on this.
+    #[test]
+    fn hist_merge_is_stream_order_independent(
+        samples in prop::collection::vec(0u64..1_000_000_000, 2..100),
+        split in 1usize..8,
+    ) {
+        let mut whole = Hist::new();
+        let mut parts: Vec<Hist> = (0..split).map(|_| Hist::new()).collect();
+        for (i, &v) in samples.iter().enumerate() {
+            whole.record(v);
+            parts[i % split].record(v);
+        }
+        let mut merged = Hist::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        prop_assert_eq!(merged, whole);
+    }
+
+    /// Writer ↔ validator round-trip: any line [`RunLog::record`] emits —
+    /// arbitrary printable bench/phase names (quotes and backslashes
+    /// included, exercising the escaper), any fingerprint, any calls
+    /// count, any finite non-negative wall, arbitrary counter maps — must
+    /// validate, and parsing it back must recover the exact fields.
+    #[test]
+    fn runlog_writer_validator_roundtrip(
+        bench in "\\PC{1,16}",
+        phase in "\\PC{1,16}",
+        fingerprint in any::<u64>(),
+        calls in 0u64..(1 << 53),
+        wall_secs in 0.0f64..1e6,
+        counters in prop::collection::vec(("\\PC{0,8}", 0u64..(1 << 53)), 0..6),
+    ) {
+        let mut log = RunLog::new(&bench, fingerprint);
+        let pairs: Vec<(&str, u64)> =
+            counters.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        log.record(&phase, calls, wall_secs, &pairs);
+        prop_assert_eq!(log.lines().len(), 1);
+        let line = &log.lines()[0];
+
+        validate_runlog_line(line)
+            .unwrap_or_else(|e| panic!("emitted line rejected: {e}: {line}"));
+
+        let v = JsonValue::parse(line).expect("emitted line parses");
+        prop_assert_eq!(v.get("bench").and_then(|b| b.as_str()), Some(bench.as_str()));
+        prop_assert_eq!(v.get("phase").and_then(|p| p.as_str()), Some(phase.as_str()));
+        prop_assert_eq!(
+            v.get("fingerprint").and_then(|f| f.as_str()),
+            Some(format!("{fingerprint:#018x}").as_str())
+        );
+        prop_assert_eq!(v.get("calls").and_then(|c| c.as_u64()), Some(calls));
+        let wall_back = v.get("wall_secs").and_then(|w| w.as_f64()).unwrap();
+        prop_assert!(
+            (wall_back - wall_secs).abs() <= wall_secs.abs() * 1e-12,
+            "wall {wall_secs} read back as {wall_back}"
+        );
+        let cs = v.get("counters").unwrap().entries().unwrap();
+        prop_assert_eq!(cs.len(), counters.len());
+        for ((wk, wv), (rk, rv)) in counters.iter().zip(cs) {
+            prop_assert_eq!(wk, rk);
+            prop_assert_eq!(rv.as_u64(), Some(*wv));
+        }
+    }
+}
