@@ -21,7 +21,14 @@
 //!      with the obs runtime switch on vs off, and with a live 1-in-8
 //!      sampling `TracePolicy` vs tracing disabled, each interleaved
 //!      in-process and gated at ≤ 2% (`overhead_ok`).
-//!   4. `compaction`: serve QPS after the PR-4 churn workload (2k routed
+//!   4. `robust`: the fault-tolerance gates — serve QPS with a
+//!      never-binding query budget armed vs budgets disabled (same ≤ 2%
+//!      interleaved A/B, `overhead_ok`), plus a deadline-pressure sweep
+//!      on a single-threaded engine where tightening compdist caps must
+//!      degrade monotonically more queries to subsets of the exact
+//!      answer and a 1 ns batch deadline must shed the whole batch
+//!      (`degraded_ok`).
+//!   5. `compaction`: serve QPS after the PR-4 churn workload (2k routed
 //!      inserts + 2k removes on LA `n = 8k`) with tombstoned matrix rows
 //!      still in place, after `engine.compact()`, and on a no-churn
 //!      baseline engine built fresh over the same surviving objects.
@@ -35,8 +42,8 @@ use pmi::engine::{EngineConfig, Query, ShardedEngine};
 use pmi::lemmas::{self, pivot_lower_bound};
 use pmi::{
     build_sharded_vector_engine, datasets, Counters, CountingMetric, Metric, MetricIndex, Neighbor,
-    ObjId, PartitionPolicy, PivotMatrix, QueryScratch, RefreshPolicy, ScanKernel, StorageFootprint,
-    UpdateBatch, L2,
+    ObjId, PartitionPolicy, PivotMatrix, QueryBudget, QueryScratch, RefreshPolicy, ScanKernel,
+    ServeBudget, StorageFootprint, UpdateBatch, L2,
 };
 use pmi_bench::harness::{append_runlog, TrajectoryPoint};
 use std::fmt::Write as _;
@@ -210,6 +217,33 @@ fn serve_qps(e: &ShardedEngine<Vec<f32>>, batch: &[Query<Vec<f32>>], iters: usiz
     batch.len() as f64 / best
 }
 
+/// Interleaved paired A/B: per rep, runs `side(true)` and `side(false)`
+/// back to back in alternating order, returning each side's best wall and
+/// the **median of per-rep off/on wall ratios**. Best-of per side cannot
+/// cancel machine-wide drift (a noisy-neighbor patch can hand one side a
+/// lucky floor the other never sees); a paired ratio can, because both
+/// sides of a pair share the same patch of machine time — so the ≤2%
+/// overhead gates are decided by the median ratio, while the best walls
+/// still report each side's observed throughput ceiling.
+fn paired_ab(reps: usize, mut side: impl FnMut(bool) -> f64) -> (f64, f64, f64) {
+    let (mut best_on, mut best_off) = (f64::INFINITY, f64::INFINITY);
+    let mut ratios = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let (t_on, t_off) = if rep % 2 == 0 {
+            let on = side(true);
+            (on, side(false))
+        } else {
+            let off = side(false);
+            (side(true), off)
+        };
+        best_on = best_on.min(t_on);
+        best_off = best_off.min(t_off);
+        ratios.push(t_off / t_on);
+    }
+    ratios.sort_by(f64::total_cmp);
+    (best_on, best_off, ratios[ratios.len() / 2])
+}
+
 /// Routing quality of one served batch (fraction of shard probes skipped).
 fn prune_rate(e: &ShardedEngine<Vec<f32>>, batch: &[Query<Vec<f32>>]) -> f64 {
     e.reset_counters();
@@ -310,30 +344,19 @@ fn main() {
     // sides equally. This is the acceptance gate for the zero-overhead
     // rule: the instrumented hot path (one registry load per batch, one
     // histogram record per query, clock laps on 1-in-8 sampled queries)
-    // must stay within 2% of the uninstrumented path. Best-of-reps is the
-    // right statistic — interference only ever slows a rep down.
+    // must stay within 2% of the uninstrumented path, judged by the
+    // median paired ratio (see `paired_ab`).
     let obs_reps = if smoke { 1 } else { 40 };
-    let (mut obs_on_best, mut obs_off_best) = (f64::INFINITY, f64::INFINITY);
-    let run_side = |on: bool, best: &mut f64| {
+    let (obs_on_best, obs_off_best, obs_ratio) = paired_ab(obs_reps, |on| {
         snapshot_engine.set_obs_enabled(on);
         let t0 = Instant::now();
         std::hint::black_box(snapshot_engine.serve(&batch));
-        *best = best.min(t0.elapsed().as_secs_f64());
-    };
-    for rep in 0..obs_reps {
-        if rep % 2 == 0 {
-            run_side(true, &mut obs_on_best);
-            run_side(false, &mut obs_off_best);
-        } else {
-            run_side(false, &mut obs_off_best);
-            run_side(true, &mut obs_on_best);
-        }
-    }
+        t0.elapsed().as_secs_f64()
+    });
     snapshot_engine.set_obs_enabled(true);
     let obs_on_qps = BATCH as f64 / obs_on_best;
     let obs_off_qps = BATCH as f64 / obs_off_best;
-    let obs_ratio = obs_on_qps / obs_off_qps;
-    let overhead_ok = obs_on_qps >= 0.98 * obs_off_qps;
+    let overhead_ok = obs_ratio >= 0.98;
     println!(
         "obs_overhead/laesa/P{SHARDS}: on {obs_on_qps:.0} q/s vs off {obs_off_qps:.0} q/s \
          (ratio {obs_ratio:.3}, overhead_ok = {overhead_ok})"
@@ -344,11 +367,10 @@ fn main() {
     // tracing alone. Untraced queries pay one branch per pipeline
     // segment; sampled queries (1-in-8 here, a deliberately heavy rate)
     // pay ring writes, clock laps, and per-probe counter snapshots. Same
-    // ≤2% gate and interleaved best-of discipline as the obs A/B above.
+    // ≤2% median-paired-ratio gate and interleaving as the obs A/B above.
     let trace_policy = pmi::engine::TracePolicy::sample(8).with_max_captured(4);
-    let (mut trace_on_best, mut trace_off_best) = (f64::INFINITY, f64::INFINITY);
     let mut trace_captured = 0usize;
-    let mut run_trace_side = |on: bool, best: &mut f64| {
+    let (trace_on_best, trace_off_best, trace_ratio) = paired_ab(obs_reps, |on| {
         snapshot_engine.set_trace_policy(if on {
             trace_policy
         } else {
@@ -356,32 +378,148 @@ fn main() {
         });
         let t0 = Instant::now();
         let out = std::hint::black_box(snapshot_engine.serve(&batch));
-        *best = best.min(t0.elapsed().as_secs_f64());
+        let t = t0.elapsed().as_secs_f64();
         if on {
             trace_captured = trace_captured.max(out.report.traces.len());
         } else {
             assert!(out.report.traces.is_empty(), "disabled tracing captured");
         }
-    };
-    for rep in 0..obs_reps {
-        if rep % 2 == 0 {
-            run_trace_side(true, &mut trace_on_best);
-            run_trace_side(false, &mut trace_off_best);
-        } else {
-            run_trace_side(false, &mut trace_off_best);
-            run_trace_side(true, &mut trace_on_best);
-        }
-    }
+        t
+    });
     snapshot_engine.set_trace_policy(pmi::engine::TracePolicy::disabled());
     assert!(trace_captured > 0, "sampling 1/8 must capture traces");
     let trace_on_qps = BATCH as f64 / trace_on_best;
     let trace_off_qps = BATCH as f64 / trace_off_best;
-    let trace_ratio = trace_on_qps / trace_off_qps;
-    let trace_overhead_ok = trace_on_qps >= 0.98 * trace_off_qps;
+    let trace_overhead_ok = trace_ratio >= 0.98;
     println!(
         "trace_overhead/laesa/P{SHARDS}: on {trace_on_qps:.0} q/s vs off {trace_off_qps:.0} q/s \
          (ratio {trace_ratio:.3}, {trace_captured} captured, overhead_ok = {trace_overhead_ok})"
     );
+
+    // ---- 2d. Budget-guard overhead: serve QPS with a never-binding
+    // per-query budget armed vs budgets disabled, interleaved like the
+    // obs/trace A/Bs above. An armed budget costs one arm per query plus
+    // one deadline/cap check per probe; the ≤2% gate (`robust.overhead_ok`)
+    // enforces the "zero cost when disabled, near-zero when idle" rule of
+    // docs/robustness.md.
+    let huge_budget = ServeBudget {
+        query: QueryBudget {
+            wall_nanos: 3_600_000_000_000, // one hour: armed, never binds
+            compdists: u64::MAX,
+        },
+        batch_wall_nanos: 0,
+    };
+    // Same answers either way — a non-binding budget must not degrade.
+    snapshot_engine.set_budget(huge_budget);
+    let c = snapshot_engine.serve(&batch[..8.min(batch.len())]);
+    snapshot_engine.set_budget(ServeBudget::unlimited());
+    let d = snapshot_engine.serve(&batch[..8.min(batch.len())]);
+    assert_eq!(c.results, d.results, "non-binding budget changed answers");
+    assert_eq!(c.report.degraded + c.report.shed + c.report.failed, 0);
+    // The true budget overhead (one clock read per query, one check per
+    // probe) is well under 1%, so the ≤2% verdict rides almost entirely
+    // on the measurement statistic — the median paired ratio.
+    let budget_reps = obs_reps * 3;
+    let (bud_on_best, bud_off_best, robust_ratio) = paired_ab(budget_reps, |on| {
+        snapshot_engine.set_budget(if on {
+            huge_budget
+        } else {
+            ServeBudget::unlimited()
+        });
+        let t0 = Instant::now();
+        std::hint::black_box(snapshot_engine.serve(&batch));
+        t0.elapsed().as_secs_f64()
+    });
+    snapshot_engine.set_budget(ServeBudget::unlimited());
+    let bud_on_qps = BATCH as f64 / bud_on_best;
+    let bud_off_qps = BATCH as f64 / bud_off_best;
+    let robust_overhead_ok = robust_ratio >= 0.98;
+    println!(
+        "robust_overhead/laesa/P{SHARDS}: budgets on {bud_on_qps:.0} q/s vs off \
+         {bud_off_qps:.0} q/s (ratio {robust_ratio:.3}, overhead_ok = {robust_overhead_ok})"
+    );
+
+    // ---- 2e. Deadline pressure: tightening per-query compdist caps on a
+    // single-threaded engine (exact, deterministic accounting) must
+    // degrade monotonically more queries while every returned result stays
+    // a subset of the exact answer; a 1 ns batch deadline then sheds the
+    // whole batch. All checks fold into the `robust.degraded_ok` gate.
+    let pressure_engine = build_sharded_vector_engine(
+        IndexKind::Laesa,
+        pts.clone(),
+        L2,
+        &opts,
+        &EngineConfig {
+            shards: SHARDS,
+            threads: 1,
+            ..EngineConfig::default()
+        },
+        PartitionPolicy::RoundRobin,
+    )
+    .expect("buildable");
+    let pressure_batch: Vec<Query<Vec<f32>>> = (0..BATCH)
+        .map(|i| Query::range(pts[(i * 131) % pts.len()].clone(), radius))
+        .collect();
+    let exact_out = pressure_engine.serve(&pressure_batch);
+    let caps: [u64; 4] = [0, 1_000, 100, 1]; // 0 = budgets disabled
+    let mut degraded_ok = true;
+    let mut prev_degraded = 0usize;
+    let mut pressure_json = String::from("[");
+    for (ci, &cap) in caps.iter().enumerate() {
+        pressure_engine.set_budget(ServeBudget {
+            query: QueryBudget {
+                wall_nanos: 0,
+                compdists: cap,
+            },
+            batch_wall_nanos: 0,
+        });
+        let out = pressure_engine.serve(&pressure_batch);
+        for (r, x) in out.results.iter().zip(&exact_out.results) {
+            let (Some(got), Some(want)) = (r.as_range(), x.as_range()) else {
+                degraded_ok = false;
+                break;
+            };
+            if !got.iter().all(|id| want.contains(id)) {
+                degraded_ok = false;
+                break;
+            }
+        }
+        if out.report.degraded < prev_degraded {
+            degraded_ok = false;
+        }
+        prev_degraded = out.report.degraded;
+        if ci > 0 {
+            pressure_json.push_str(", ");
+        }
+        write!(
+            pressure_json,
+            "{{\"cap\": {cap}, \"degraded\": {}, \"shed\": {}}}",
+            out.report.degraded, out.report.shed
+        )
+        .unwrap();
+        println!(
+            "robust_pressure/laesa/P{SHARDS}: cap {cap} -> {} degraded, {} shed",
+            out.report.degraded, out.report.shed
+        );
+    }
+    pressure_json.push(']');
+    // A 1-distance cap degrades every query; a 1 ns batch deadline sheds
+    // every query without touching a shard.
+    degraded_ok &= prev_degraded == BATCH;
+    pressure_engine.set_budget(ServeBudget {
+        query: QueryBudget::unlimited(),
+        batch_wall_nanos: 1,
+    });
+    let shed_out = pressure_engine.serve(&pressure_batch);
+    degraded_ok &= shed_out.report.shed == BATCH;
+    pressure_engine.set_budget(ServeBudget::unlimited());
+    println!(
+        "robust_pressure/laesa/P{SHARDS}: batch deadline -> {} shed, degraded_ok = {degraded_ok}",
+        shed_out.report.shed
+    );
+    // Unlike the timing ratios, these are deterministic invariants: fail
+    // fast in smoke/test runs too, not just through the JSON gate.
+    assert!(degraded_ok, "deadline-pressure invariants violated");
 
     // ---- 3. Post-churn QPS with tombstones, after compaction, and the
     // no-churn baseline (the PR-4 churn workload).
@@ -516,6 +654,18 @@ fn main() {
         &[("batch", BATCH as u64)],
     );
     log.record(
+        "serve.budget_on",
+        budget_reps as u64,
+        bud_on_best,
+        &[("batch", BATCH as u64)],
+    );
+    log.record(
+        "serve.budget_off",
+        budget_reps as u64,
+        bud_off_best,
+        &[("batch", BATCH as u64)],
+    );
+    log.record(
         "compaction.serve",
         serve_iters as u64,
         BATCH as f64 / qps_compacted,
@@ -555,6 +705,16 @@ fn main() {
         trace_policy.sample_every
     )
     .unwrap();
+    let mut robust_json = String::new();
+    write!(
+        robust_json,
+        "{{\"on_qps\": {bud_on_qps:.0}, \"off_qps\": {bud_off_qps:.0}, \
+         \"ratio\": {robust_ratio:.3}, \"overhead_ok\": {robust_overhead_ok}, \
+         \"pressure\": {pressure_json}, \
+         \"shed_at_batch_deadline\": {}, \"degraded_ok\": {degraded_ok}}}",
+        shed_out.report.shed
+    )
+    .unwrap();
     let mut compaction_json = String::new();
     write!(
         compaction_json,
@@ -568,6 +728,7 @@ fn main() {
         .field_raw("serve", &serve_json)
         .field_raw("obs", &obs_json)
         .field_raw("trace", &trace_json)
+        .field_raw("robust", &robust_json)
         .field_raw("compaction", &compaction_json)
         .write("BENCH_scan.json");
     append_runlog(&log);

@@ -386,6 +386,28 @@ mod tests {
     }
 
     #[test]
+    fn robust_gates_are_collected_from_the_scan_point() {
+        // Pins the fault-tolerance gates of BENCH_scan.json's `robust`
+        // section to the sentinel: a `degraded_ok: false` (or
+        // `overhead_ok: false`) emitted by the deadline-pressure bench
+        // must fail `--check`, with no analyzer changes needed.
+        let v = JsonValue::parse(
+            r#"{"bench":"scan_throughput","robust":{"on_qps":1000,"off_qps":1010,
+                "ratio":0.990,"overhead_ok":true,
+                "pressure":[{"cap":0,"degraded":0,"shed":0},{"cap":1,"degraded":256,"shed":0}],
+                "shed_at_batch_deadline":256,"degraded_ok":false}}"#,
+        )
+        .unwrap();
+        let mut gates = Vec::new();
+        collect_gates("BENCH_scan.json", "", &v, &mut gates);
+        let paths: Vec<&str> = gates.iter().map(|g| g.path.as_str()).collect();
+        assert_eq!(paths, ["robust.overhead_ok", "robust.degraded_ok"]);
+        let r = analyze(&Groups::new(), &[], &gates, 3.0);
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert!(r.violations[0].contains("robust.degraded_ok"));
+    }
+
+    #[test]
     fn runlog_lines_group_by_bench_fp_phase() {
         let body = concat!(
             r#"{"schema":"pmi-runlog-v1","bench":"a","fingerprint":"0x1","phase":"p","calls":10,"wall_secs":0.5}"#,

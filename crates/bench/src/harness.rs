@@ -321,17 +321,22 @@ impl TrajectoryPoint {
 /// [`pmi::obs::RUNLOG_MAX_LINES`] lines it is rotated down to the newest
 /// lines, so the committed trajectory never grows without bound while the
 /// recent history `pmi-analyze` diffs against stays intact.
+///
+/// The run log is telemetry, not a result: an unwritable sink (read-only
+/// checkout, full disk) must not fail the bench that produced the numbers,
+/// so I/O errors are reported on stderr and otherwise ignored.
 pub fn append_runlog(log: &RunLog) {
     if log.is_empty() {
         return;
     }
     let path = std::path::Path::new(workspace_root()).join("RUNLOG.jsonl");
-    log.append_to_capped(&path, pmi::obs::RUNLOG_MAX_LINES)
-        .expect("append RUNLOG.jsonl");
-    println!(
-        "appended {} run-log line(s) to RUNLOG.jsonl",
-        log.lines().len()
-    );
+    match log.append_to_capped(&path, pmi::obs::RUNLOG_MAX_LINES) {
+        Ok(()) => println!(
+            "appended {} run-log line(s) to RUNLOG.jsonl",
+            log.lines().len()
+        ),
+        Err(e) => eprintln!("warning: could not append RUNLOG.jsonl: {e} (continuing)"),
+    }
 }
 
 /// The uniform run-log trailer for the criterion figure benches: records

@@ -295,10 +295,11 @@ pub use serve::{build_sharded_engine, build_sharded_vector_engine};
 
 pub use pmi_engine as engine;
 pub use pmi_engine::{
-    ApplyReport, BatchOutcome, BuildStats, CompactionPolicy, EngineConfig, EngineError,
-    EngineScratch, LatencySummary, Query, QueryResult, QueryTrace, RefreshPolicy, ServeReport,
-    ShardServeStats, ShardedEngine, TraceEvent, TraceKind, TracePolicy, UpdateBatch, UpdateOp,
-    UpdateStats,
+    ApplyReport, BatchOutcome, BuildStats, CompactionPolicy, Completeness, DegradeReason, Degraded,
+    EngineConfig, EngineError, EngineScratch, FaultPolicy, LatencySummary, OpError, OpErrorKind,
+    Query, QueryBudget, QueryError, QueryResult, QueryTrace, RefreshPolicy, ServeBudget,
+    ServeReport, ShardFaultState, ShardServeStats, ShardedEngine, TraceEvent, TraceKind,
+    TracePolicy, UpdateBatch, UpdateOp, UpdateStats,
 };
 
 pub use pmi_obs as obs;
@@ -307,6 +308,7 @@ pub use pmi_router as router;
 pub use pmi_router::{PartitionPolicy, RoutingTable};
 
 pub use pmi_metric::datasets;
+pub use pmi_metric::fault;
 pub use pmi_metric::lemmas;
 pub use pmi_metric::object;
 pub use pmi_metric::{

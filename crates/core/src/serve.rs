@@ -174,6 +174,11 @@ where
 /// Vector-dataset convenience: selects one shared HFI pivot set over the
 /// *full* dataset (so shards stay on equal footing with an unsharded
 /// build), then shards per `policy`.
+///
+/// Vector queries additionally get an input validator: a query object with
+/// a non-finite coordinate is rejected at the serve boundary as
+/// [`pmi_engine::QueryError::InvalidObject`] instead of poisoning distance
+/// comparisons (NaN breaks metric axioms silently). See `docs/robustness.md`.
 pub fn build_sharded_vector_engine<M>(
     kind: IndexKind,
     objects: Vec<Vec<f32>>,
@@ -187,7 +192,9 @@ where
 {
     let ids = pmi_pivots::select_hfi(&objects, &metric, opts.num_pivots, opts.seed);
     let pivots = ids.into_iter().map(|i| objects[i].clone()).collect();
-    build_sharded_engine(kind, objects, metric, pivots, opts, cfg, policy)
+    let mut engine = build_sharded_engine(kind, objects, metric, pivots, opts, cfg, policy)?;
+    engine.set_query_validator(|o: &Vec<f32>| o.iter().all(|c| c.is_finite()));
+    Ok(engine)
 }
 
 #[cfg(test)]

@@ -25,12 +25,31 @@
 //! the worst shard pair when live counts drift apart. Serving reuses
 //! per-worker [`EngineScratch`] buffers so the batch hot loop performs no
 //! transient heap allocations per query.
+//!
+//! # Panic policy
+//!
+//! No input reachable through the public API may panic this module:
+//! malformed queries are rejected up front by [`ShardedEngine::serve`] as
+//! [`QueryError`]s, malformed update ops surface as [`OpError`]s, and a
+//! panic that *does* escape a shard (a buggy index or metric) is caught at
+//! the serve boundary, turned into `QueryResult::Failed`, and counted
+//! toward that shard's quarantine (see `docs/robustness.md`). The
+//! `expect`s that remain state internal invariants — every worker slot is
+//! claimed exactly once, scoped worker threads cannot outlive the scope,
+//! partitioned builds carry one matrix slice per shard, a built engine has
+//! ≥ 1 shard (`EngineError::ZeroShards` otherwise) — whose violation is an
+//! engine bug, not bad input.
 
 use crate::merge::{merge_range, TopK};
 use crate::query::{Query, QueryResult};
 use crate::report::{BuildStats, LatencySummary, ServeReport, ShardServeStats, UpdateStats};
+use crate::robust::{
+    DegradeReason, Degraded, FaultPolicy, OpError, OpErrorKind, QuarantineState, QueryBudget,
+    QueryError, ServeBudget, ShardFaultState,
+};
 use crate::shard::{partition_by_assignment, partition_round_robin, Partition, Shard};
 use crate::update::{ApplyReport, CompactionPolicy, RefreshPolicy, UpdateBatch, UpdateOp};
+use pmi_metric::fault;
 use pmi_metric::lemmas::Mbb;
 use pmi_metric::{
     Counters, MatrixSlice, MetricIndex, Neighbor, ObjId, PivotMatrix, QueryScratch,
@@ -41,10 +60,11 @@ use pmi_obs::{
     TraceRing,
 };
 use pmi_router::{Mapper, PartitionPolicy, RoutingTable};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Seed for the deterministic 2-means re-split of the worst shard pair.
 const RECLUSTER_SEED: u64 = 0x5245_434C; // "RECL"
@@ -77,6 +97,13 @@ pub struct EngineConfig {
     /// hot path stays untraced; swap at runtime with
     /// [`set_trace_policy`](ShardedEngine::set_trace_policy).
     pub trace: TracePolicy,
+    /// Per-query / per-batch serving budgets (see [`ServeBudget`]).
+    /// Unlimited by default — the serve hot path pays nothing; swap at
+    /// runtime with [`set_budget`](ShardedEngine::set_budget).
+    pub budget: ServeBudget,
+    /// When repeated per-shard query panics quarantine a shard (see
+    /// [`FaultPolicy`]; default: after 3).
+    pub faults: FaultPolicy,
 }
 
 impl Default for EngineConfig {
@@ -88,6 +115,8 @@ impl Default for EngineConfig {
             compaction: CompactionPolicy::default(),
             partition_seed: 42,
             trace: TracePolicy::disabled(),
+            budget: ServeBudget::unlimited(),
+            faults: FaultPolicy::default(),
         }
     }
 }
@@ -169,6 +198,10 @@ pub struct EngineScratch {
     /// Per-worker trace ring and captured traces (inert unless a
     /// [`TracePolicy`] arms it for the batch).
     trace: ScratchTrace,
+    /// Per-query degradation control: budget clocks, compdist spending,
+    /// panic attribution, skip accounting. Disarmed (the default), probe
+    /// loops pay one branch per probe.
+    ctl: QueryCtl,
 }
 
 impl EngineScratch {
@@ -380,6 +413,109 @@ impl ScratchTrace {
     }
 }
 
+/// Per-query degradation control, living in [`EngineScratch`] so the
+/// `range_with`/`knn_with` signatures stay put: `begin` arms it from the
+/// batch's [`QueryBudget`] and the engine's quarantine fast-path bit,
+/// probe loops consult [`allow_probe`](Self::allow_probe) before each
+/// shard, and `execute_with` harvests the outcome via
+/// [`take_degraded`](Self::take_degraded). With budgets off and nothing
+/// quarantined the whole structure costs one branch per probe.
+///
+/// `probing` is written unconditionally (one plain store per probe) so a
+/// panic caught by `serve` can attribute itself to the shard that was
+/// being probed.
+#[derive(Default)]
+struct QueryCtl {
+    /// The batch's per-query budget, set once per batch by `serve`
+    /// (unlimited for direct `execute_with` callers).
+    batch_budget: QueryBudget,
+    /// Whether any budget or quarantine is active for this query.
+    armed: bool,
+    /// The per-query budget (meaningful only when `armed`).
+    budget: QueryBudget,
+    /// Precomputed wall deadline for the in-flight query.
+    deadline: Option<Instant>,
+    /// Distance computations this query has spent (per-probe shard-counter
+    /// deltas; exact single-threaded, conservative under concurrent
+    /// serving of the same shard).
+    spent: u64,
+    /// The shard currently being probed (panic attribution).
+    probing: Option<u32>,
+    /// Planned probes skipped so far for this query.
+    skipped: u32,
+    /// Why the first skip happened.
+    reason: Option<DegradeReason>,
+}
+
+impl QueryCtl {
+    /// Arms (or disarms) the control for one query; returns whether probe
+    /// loops need the guarded path.
+    #[inline]
+    fn begin(&mut self, budget: QueryBudget, quarantine_active: bool) -> bool {
+        self.spent = 0;
+        self.skipped = 0;
+        self.reason = None;
+        self.probing = None;
+        self.armed = budget.enabled() || quarantine_active;
+        if self.armed {
+            self.budget = budget;
+            self.deadline = (budget.wall_nanos > 0)
+                .then(|| Instant::now() + Duration::from_nanos(budget.wall_nanos));
+        } else {
+            self.deadline = None;
+        }
+        self.armed
+    }
+
+    /// Budget check at a shard-probe boundary: `true` to probe, `false` to
+    /// skip the remaining plan. Only called on the guarded path.
+    #[inline]
+    fn allow_probe(&mut self) -> bool {
+        if self.reason == Some(DegradeReason::Deadline)
+            || self.reason == Some(DegradeReason::CompdistCap)
+        {
+            // Already over budget: skip the rest of the plan outright.
+            self.skipped += 1;
+            return false;
+        }
+        if self.budget.compdists > 0 && self.spent >= self.budget.compdists {
+            self.skip(DegradeReason::CompdistCap);
+            return false;
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                self.skip(DegradeReason::Deadline);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Records one skipped probe.
+    #[inline]
+    fn skip(&mut self, reason: DegradeReason) {
+        self.skipped += 1;
+        self.reason.get_or_insert(reason);
+    }
+
+    /// Concludes the query: the degradation marker if any probe was
+    /// skipped.
+    #[inline]
+    fn take_degraded(&mut self) -> Option<Degraded> {
+        self.probing = None;
+        if self.skipped == 0 {
+            return None;
+        }
+        let d = Degraded {
+            shards_skipped: self.skipped,
+            reason: self.reason.unwrap_or(DegradeReason::Deadline),
+        };
+        self.skipped = 0;
+        self.reason = None;
+        Some(d)
+    }
+}
+
 /// A lap timer that reads the monotonic clock only when armed: `lap()`
 /// returns the nanoseconds since the previous lap (or construction) and
 /// re-arms, so a sampled query pays exactly one clock read per measured
@@ -505,7 +641,21 @@ pub struct ShardedEngine<O> {
     /// never sits on the query path) and runtime-swappable via
     /// [`set_trace_policy`](Self::set_trace_policy).
     trace: Mutex<TracePolicy>,
+    /// Serving budgets, read once per batch (same discipline as `trace`)
+    /// and runtime-swappable via [`set_budget`](Self::set_budget).
+    budget: Mutex<ServeBudget>,
+    /// When repeated per-shard panics quarantine a shard.
+    faults: FaultPolicy,
+    /// Per-shard panic counts and quarantine flags.
+    quarantine: QuarantineState,
+    /// Optional query/insert object validator (e.g. finite-coords for
+    /// vector engines); rejected objects fail per-item, never the batch.
+    validator: Option<Validator<O>>,
 }
+
+/// A shared per-item object validator (see
+/// [`set_query_validator`](ShardedEngine::set_query_validator)).
+type Validator<O> = Arc<dyn Fn(&O) -> bool + Send + Sync>;
 
 impl<O> ShardedEngine<O> {
     /// Builds an engine by partitioning `objects` round-robin into
@@ -827,6 +977,10 @@ impl<O> ShardedEngine<O> {
             update_stats: UpdateStats::default(),
             obs,
             trace: Mutex::new(cfg.trace),
+            budget: Mutex::new(cfg.budget),
+            faults: cfg.faults,
+            quarantine: QuarantineState::new(num_shards),
+            validator: None,
         })
     }
 
@@ -938,7 +1092,9 @@ impl<O> ShardedEngine<O> {
 
     /// The current per-query trace capture policy.
     pub fn trace_policy(&self) -> TracePolicy {
-        *self.trace.lock().expect("trace policy lock poisoned")
+        // A panic while holding this lock (a panicking traced query) must
+        // not wedge the engine: the data is a Copy policy, always valid.
+        *self.trace.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Swaps the per-query trace capture policy at runtime (takes effect
@@ -947,7 +1103,59 @@ impl<O> ShardedEngine<O> {
     /// [`TracePolicy::disabled`] to return the serve loop to its untraced
     /// form; results and exact counters are identical either way.
     pub fn set_trace_policy(&self, policy: TracePolicy) {
-        *self.trace.lock().expect("trace policy lock poisoned") = policy;
+        *self.trace.lock().unwrap_or_else(|e| e.into_inner()) = policy;
+    }
+
+    /// The current serving budgets.
+    pub fn serve_budget(&self) -> ServeBudget {
+        *self.budget.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Swaps the serving budgets at runtime (takes effect for the next
+    /// [`serve`](Self::serve) batch — budgets are read once per batch,
+    /// never on the query path). Pass [`ServeBudget::unlimited`] to return
+    /// the serve loop to its unbudgeted form.
+    pub fn set_budget(&self, budget: ServeBudget) {
+        *self.budget.lock().unwrap_or_else(|e| e.into_inner()) = budget;
+    }
+
+    /// The engine's shard quarantine policy.
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.faults
+    }
+
+    /// Installs a query/insert object validator: objects it rejects fail
+    /// per-item ([`QueryError::InvalidObject`] on serve,
+    /// [`OpErrorKind::InvalidObject`](crate::OpErrorKind) on apply)
+    /// instead of reaching the shards. The facade's vector builder installs
+    /// a finite-coordinates check here.
+    pub fn set_query_validator(&mut self, validator: impl Fn(&O) -> bool + Send + Sync + 'static) {
+        self.validator = Some(Arc::new(validator));
+    }
+
+    /// Per-shard panic/quarantine state, in shard order.
+    pub fn fault_states(&self) -> Vec<ShardFaultState> {
+        self.quarantine.snapshot()
+    }
+
+    /// Currently quarantined shards, in shard order.
+    pub fn quarantined_shards(&self) -> Vec<usize> {
+        self.quarantine
+            .snapshot()
+            .into_iter()
+            .filter(|s| s.quarantined)
+            .map(|s| s.shard)
+            .collect()
+    }
+
+    /// Clears all quarantine flags and panic counts, returning the number
+    /// of shards that were quarantined. Call after fixing (or rebuilding)
+    /// whatever made a shard panic; planning immediately resumes probing
+    /// every shard.
+    pub fn heal(&self) -> usize {
+        let cleared = self.quarantine.heal();
+        self.obs.gauge_set("engine.quarantined_shards", 0);
+        cleared
     }
 
     /// Resets every shard's counters and the engine's probe counters.
@@ -1047,12 +1255,25 @@ impl<O> ShardedEngine<O> {
         let mut report = ApplyReport::default();
         let mut mapped = Vec::new();
         let mut dirty = vec![false; self.shards.len()];
+        let validator = self.validator.clone();
+        // Global ids this batch successfully removed, to tell a duplicate
+        // remove apart from a remove of an id that was never live.
+        let mut removed_here: HashSet<ObjId> = HashSet::new();
         // Inserts *stage* their matrix rows; one snapshot publication
         // covers the whole batch (or the prefix before a remove, whose
         // bookkeeping may need to read an earlier insert's row).
-        for op in batch.ops() {
+        for (i, op) in batch.ops().iter().enumerate() {
             match op {
                 UpdateOp::Insert(o) => {
+                    if let Some(v) = &validator {
+                        if !v(o) {
+                            report.op_errors.push(OpError {
+                                op: i,
+                                kind: OpErrorKind::InvalidObject,
+                            });
+                            continue;
+                        }
+                    }
                     let gid = self.insert_one(o.clone(), &mut mapped);
                     report.inserted_ids.push(gid);
                     report.inserts += 1;
@@ -1063,8 +1284,17 @@ impl<O> ShardedEngine<O> {
                         Some(s) => {
                             dirty[s] = true;
                             report.removes += 1;
+                            removed_here.insert(*id);
                         }
-                        None => report.missing_removes += 1,
+                        None => {
+                            report.missing_removes += 1;
+                            let kind = if removed_here.contains(id) {
+                                OpErrorKind::DuplicateRemove(*id)
+                            } else {
+                                OpErrorKind::UnknownGid(*id)
+                            };
+                            report.op_errors.push(OpError { op: i, kind });
+                        }
                     }
                 }
             }
@@ -1453,10 +1683,30 @@ impl<O> ShardedEngine<O> {
     /// [`execute`](Self::execute) with caller-owned scratch buffers — the
     /// batch-serving hot path. After warmup the only per-query allocation
     /// is the exact-size answer itself.
+    ///
+    /// Degradation flows through the scratch: [`serve`](Self::serve) arms
+    /// the per-query budget once per batch; direct callers run unbudgeted
+    /// (budgets are a serve-path contract) but still route around
+    /// quarantined shards, so a degraded answer comes back as
+    /// `PartialRange`/`PartialKnn` here too.
     pub fn execute_with(&self, query: &Query<O>, scratch: &mut EngineScratch) -> QueryResult {
+        let budget = scratch.ctl.batch_budget;
+        scratch.ctl.begin(budget, self.quarantine.any());
         match query {
-            Query::Range { q, radius } => QueryResult::Range(self.range_with(q, *radius, scratch)),
-            Query::Knn { q, k } => QueryResult::Knn(self.knn_with(q, *k, scratch)),
+            Query::Range { q, radius } => {
+                let ids = self.range_with(q, *radius, scratch);
+                match scratch.ctl.take_degraded() {
+                    Some(d) => QueryResult::PartialRange(ids, d),
+                    None => QueryResult::Range(ids),
+                }
+            }
+            Query::Knn { q, k } => {
+                let nbrs = self.knn_with(q, *k, scratch);
+                match scratch.ctl.take_degraded() {
+                    Some(d) => QueryResult::PartialKnn(nbrs, d),
+                    None => QueryResult::Knn(nbrs),
+                }
+            }
         }
     }
 
@@ -1469,6 +1719,7 @@ impl<O> ShardedEngine<O> {
             ids,
             obs,
             trace,
+            ctl,
             ..
         } = scratch;
         // Sampled queries pay one extra clock read per phase boundary; the
@@ -1534,14 +1785,34 @@ impl<O> ShardedEngine<O> {
                 nanos: tclock.lap(),
             });
         }
-        self.note_probes(probe.len(), self.shards.len() - probe.len());
         ids.clear();
+        let guarded = ctl.armed;
+        let mut executed = 0usize;
         for &s in probe.iter() {
+            if guarded {
+                if self.quarantine.is_quarantined(s) {
+                    ctl.skip(DegradeReason::Quarantined);
+                    continue;
+                }
+                if !ctl.allow_probe() {
+                    continue;
+                }
+            }
+            // Unconditional plain store: a panic caught by `serve` reads
+            // this to attribute itself to the shard under probe.
+            ctl.probing = Some(s as u32);
+            fault::at("engine.probe", s as u64);
+            executed += 1;
             obs.note_probe(s);
+            let cd0 =
+                (guarded && ctl.budget.compdists > 0).then(|| self.shards[s].counters().compdists);
             let snap = trace
                 .active
                 .then(|| (self.shards[s].counters(), qs.kernel_rows, qs.kernel_blocks));
             self.shards[s].range_global_into(q, radius, qs, ids);
+            if let Some(c0) = cd0 {
+                ctl.spent += self.shards[s].counters().compdists.saturating_sub(c0);
+            }
             if obs.sampled {
                 obs.note_probe_wall(s, clock.lap());
             }
@@ -1565,6 +1836,9 @@ impl<O> ShardedEngine<O> {
                 });
             }
         }
+        // Skipped probes count as neither probed nor pruned: the plan
+        // wanted them, the budget (or quarantine) withheld them.
+        self.note_probes(executed, self.shards.len() - probe.len());
         // Shards are disjoint partitions: the union is concatenation plus
         // one sort for determinism.
         ids.sort_unstable();
@@ -1592,9 +1866,11 @@ impl<O> ShardedEngine<O> {
             topk,
             obs,
             trace,
+            ctl,
             ..
         } = scratch;
         topk.reset(k);
+        let guarded = ctl.armed;
         let mut clock = ObsClock::start(obs.sampled);
         let mut tclock = ObsClock::start(trace.active);
         match &self.router {
@@ -1622,8 +1898,21 @@ impl<O> ShardedEngine<O> {
                         }
                         continue;
                     }
+                    if guarded {
+                        if self.quarantine.is_quarantined(s) {
+                            ctl.skip(DegradeReason::Quarantined);
+                            continue;
+                        }
+                        if !ctl.allow_probe() {
+                            continue;
+                        }
+                    }
+                    ctl.probing = Some(s as u32);
+                    fault::at("engine.probe", s as u64);
                     probed += 1;
                     obs.note_probe(s);
+                    let cd0 = (guarded && ctl.budget.compdists > 0)
+                        .then(|| self.shards[s].counters().compdists);
                     let snap = trace.active.then(|| {
                         trace.ring.push(TraceEvent::Plan {
                             shard: s as u32,
@@ -1634,6 +1923,9 @@ impl<O> ShardedEngine<O> {
                         (self.shards[s].counters(), qs.kernel_rows, qs.kernel_blocks)
                     });
                     self.shards[s].knn_into_with(q, k, qs, nbrs, topk);
+                    if let Some(c0) = cd0 {
+                        ctl.spent += self.shards[s].counters().compdists.saturating_sub(c0);
+                    }
                     if obs.sampled {
                         obs.note_probe_wall(s, clock.lap());
                     }
@@ -1674,9 +1966,23 @@ impl<O> ShardedEngine<O> {
                         nanos: tclock.lap(),
                     });
                 }
-                self.note_probes(self.shards.len(), 0);
+                let mut probed = 0usize;
                 for (s, shard) in self.shards.iter().enumerate() {
+                    if guarded {
+                        if self.quarantine.is_quarantined(s) {
+                            ctl.skip(DegradeReason::Quarantined);
+                            continue;
+                        }
+                        if !ctl.allow_probe() {
+                            continue;
+                        }
+                    }
+                    ctl.probing = Some(s as u32);
+                    fault::at("engine.probe", s as u64);
+                    probed += 1;
                     obs.note_probe(s);
+                    let cd0 = (guarded && ctl.budget.compdists > 0)
+                        .then(|| self.shards[s].counters().compdists);
                     let snap = trace.active.then(|| {
                         trace.ring.push(TraceEvent::Plan {
                             shard: s as u32,
@@ -1687,6 +1993,9 @@ impl<O> ShardedEngine<O> {
                         (self.shards[s].counters(), qs.kernel_rows, qs.kernel_blocks)
                     });
                     shard.knn_into_with(q, k, qs, nbrs, topk);
+                    if let Some(c0) = cd0 {
+                        ctl.spent += self.shards[s].counters().compdists.saturating_sub(c0);
+                    }
                     if obs.sampled {
                         obs.note_probe_wall(s, clock.lap());
                     }
@@ -1703,6 +2012,7 @@ impl<O> ShardedEngine<O> {
                         });
                     }
                 }
+                self.note_probes(probed, 0);
             }
         }
         let out = topk.drain_sorted();
@@ -1730,7 +2040,12 @@ impl<O> ShardedEngine<O> {
             }
             None => probe.extend(0..self.shards.len()),
         }
-        self.note_probes(probe.len(), self.shards.len() - probe.len());
+        let pruned = self.shards.len() - probe.len();
+        if self.quarantine.any() {
+            // Quarantine skips count as neither probed nor pruned.
+            probe.retain(|&s| !self.quarantine.is_quarantined(s));
+        }
+        self.note_probes(probe.len(), pruned);
         probe
     }
 
@@ -1784,13 +2099,29 @@ impl<O: Send + Sync> ShardedEngine<O> {
     /// queries). Sorted ascending by `(distance, global id)`.
     pub fn knn_query(&self, q: &O, k: usize) -> Vec<Neighbor> {
         if self.router.is_some() || self.shards.len() == 1 || self.threads <= 1 {
-            return self.knn_with(q, k, &mut EngineScratch::new());
+            let mut scratch = EngineScratch::new();
+            // Arm the quarantine guard (no budget — single-query calls are
+            // unbudgeted by contract) so planning routes around
+            // quarantined shards here too.
+            scratch
+                .ctl
+                .begin(QueryBudget::unlimited(), self.quarantine.any());
+            return self.knn_with(q, k, &mut scratch);
         }
-        self.note_probes(self.shards.len(), 0);
-        let chunk = self.shards.len().div_ceil(self.threads);
+        let live: Vec<&Shard<O>> = if self.quarantine.any() {
+            self.shards
+                .iter()
+                .enumerate()
+                .filter(|(s, _)| !self.quarantine.is_quarantined(*s))
+                .map(|(_, sh)| sh)
+                .collect()
+        } else {
+            self.shards.iter().collect()
+        };
+        self.note_probes(live.len(), 0);
+        let chunk = live.len().max(1).div_ceil(self.threads);
         let partials: Vec<Vec<Neighbor>> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
+            let handles: Vec<_> = live
                 .chunks(chunk)
                 .map(|group| {
                     scope.spawn(move |_| {
@@ -1817,6 +2148,34 @@ impl<O: Send + Sync> ShardedEngine<O> {
         topk.into_sorted()
     }
 
+    /// Up-front validation of one query: the typed error a malformed query
+    /// fails with, decided before any shard is touched. Index-level k=0
+    /// stays an empty answer (the trait contract); the serve boundary
+    /// rejects it so callers notice the likely bug.
+    fn validate(&self, query: &Query<O>) -> Option<QueryError> {
+        let q = match query {
+            Query::Range { q, radius } => {
+                if radius.is_nan() {
+                    return Some(QueryError::NanRadius);
+                }
+                if *radius < 0.0 {
+                    return Some(QueryError::NegativeRadius);
+                }
+                q
+            }
+            Query::Knn { q, k } => {
+                if *k == 0 {
+                    return Some(QueryError::ZeroK);
+                }
+                q
+            }
+        };
+        match &self.validator {
+            Some(v) if !v(q) => Some(QueryError::InvalidObject),
+            _ => None,
+        }
+    }
+
     /// Serves a batch of mixed queries on the worker pool: each worker
     /// claims queries from a shared atomic cursor, executes them against
     /// the shards the planner selects through its own reused
@@ -1832,6 +2191,11 @@ impl<O: Send + Sync> ShardedEngine<O> {
     /// (another `serve`, or single-query calls from another thread), their
     /// cost lands in the same window and is included; serve one batch at a
     /// time for per-batch attribution.
+    ///
+    /// This is also the failure boundary (`docs/robustness.md`): malformed
+    /// queries come back `Failed` with a typed [`QueryError`], budgets
+    /// degrade or shed per item rather than erroring, and a panicking
+    /// query is contained here while the rest of the batch completes.
     pub fn serve(&self, batch: &[Query<O>]) -> BatchOutcome {
         let workers = self.threads.min(batch.len()).max(1);
         let shard_before = self.shard_counters();
@@ -1840,12 +2204,17 @@ impl<O: Send + Sync> ShardedEngine<O> {
             .fold(Counters::default(), |acc, c| acc + *c);
         let (probed0, pruned0) = self.probe_counts();
         // One registry read per batch: the runtime switch never sits on the
-        // per-query path. Same for the trace policy — one mutex lock here,
-        // then a per-worker copy.
+        // per-query path. Same for the trace policy and the serving
+        // budgets — one mutex lock each here, then a per-worker copy.
         let timing = self.obs.is_enabled();
         let tpolicy = self.trace_policy();
+        let budget = self.serve_budget();
         let cursor = AtomicUsize::new(0);
         let t0 = Instant::now();
+        // Batch-level admission deadline: once blown, still-unclaimed
+        // queries are shed without executing.
+        let batch_deadline = (budget.batch_wall_nanos > 0)
+            .then(|| t0 + Duration::from_nanos(budget.batch_wall_nanos));
 
         // Each worker claims queries from the shared cursor and returns its
         // answered slice plus its private observability state (probe
@@ -1856,6 +2225,7 @@ impl<O: Send + Sync> ShardedEngine<O> {
             let mut scratch = EngineScratch::new();
             scratch.obs.prepare(self.shards.len(), timing);
             scratch.trace.prepare(tpolicy);
+            scratch.ctl.batch_budget = budget.query;
             let mut local = Vec::new();
             let mut served = 0u64;
             loop {
@@ -1863,13 +2233,43 @@ impl<O: Send + Sync> ShardedEngine<O> {
                 if i >= batch.len() {
                     break;
                 }
+                // Admission control: a blown batch deadline sheds every
+                // not-yet-claimed query outright.
+                if let Some(d) = batch_deadline {
+                    if Instant::now() >= d {
+                        local.push((i, QueryResult::Shed, 0));
+                        continue;
+                    }
+                }
+                // Malformed queries fail per-item before touching a shard.
+                if let Some(e) = self.validate(&batch[i]) {
+                    local.push((i, QueryResult::Failed(e), 0));
+                    continue;
+                }
                 // 1-in-OBS_SAMPLE queries pay the per-segment clock reads;
                 // every query still lands in the latency histogram.
                 scratch.obs.sampled = timing && served.is_multiple_of(OBS_SAMPLE);
                 scratch.trace.begin(served);
                 served += 1;
                 let q0 = Instant::now();
-                let res = self.execute_with(&batch[i], &mut scratch);
+                // Panic isolation: a panicking query is contained here —
+                // the scratch buffers are per-query (each query resets the
+                // state it reads), so the worker keeps serving.
+                let res = catch_unwind(AssertUnwindSafe(|| {
+                    self.execute_with(&batch[i], &mut scratch)
+                }))
+                .unwrap_or_else(|_| {
+                    let shard = scratch.ctl.probing.take();
+                    // A mid-probe panic leaves the trace ring half-written:
+                    // drop the in-flight recording, keep earlier captures.
+                    scratch.trace.active = false;
+                    if let Some(s) = shard {
+                        if self.quarantine.note_panic(s as usize, self.faults) {
+                            self.obs.counter_add("serve.quarantines", 1);
+                        }
+                    }
+                    QueryResult::Failed(QueryError::Panicked { shard })
+                });
                 let ns = q0.elapsed().as_nanos() as u64;
                 if timing {
                     scratch.obs.query_wall.record(ns);
@@ -1925,12 +2325,30 @@ impl<O: Send + Sync> ShardedEngine<O> {
         let mut results: Vec<Option<QueryResult>> = (0..batch.len()).map(|_| None).collect();
         let mut nanos = Vec::with_capacity(if timing { 0 } else { batch.len() });
         let mut total_results = 0usize;
+        let (mut degraded, mut shed, mut failed) = (0usize, 0usize, 0usize);
         let mut agg = ScratchObs::default();
         let mut traces: Vec<QueryTrace> = Vec::new();
         for (local, wobs, wtraces) in collected {
             for (i, res, ns) in local {
                 total_results += res.len();
-                if !timing {
+                let executed = match &res {
+                    QueryResult::PartialRange(..) | QueryResult::PartialKnn(..) => {
+                        degraded += 1;
+                        true
+                    }
+                    QueryResult::Shed => {
+                        shed += 1;
+                        false
+                    }
+                    QueryResult::Failed(e) => {
+                        failed += 1;
+                        // Validation rejections never ran; contained
+                        // panics did and carry a real wall.
+                        matches!(e, QueryError::Panicked { .. })
+                    }
+                    _ => true,
+                };
+                if !timing && executed {
                     nanos.push(ns);
                 }
                 results[i] = Some(res);
@@ -2031,6 +2449,15 @@ impl<O: Send + Sync> ShardedEngine<O> {
             self.obs
                 .counter_add("serve.sampled_queries", agg.sampled_queries);
         }
+        // Robustness counters (the registry gates on its runtime switch
+        // and skips zero adds internally).
+        self.obs.counter_add("serve.degraded", degraded as u64);
+        self.obs.counter_add("serve.shed", shed as u64);
+        self.obs.counter_add("serve.failed", failed as u64);
+        self.obs.gauge_set(
+            "engine.quarantined_shards",
+            self.quarantine.quarantined_count() as u64,
+        );
 
         let range_queries = batch.iter().filter(|q| q.is_range()).count();
         let report = ServeReport {
@@ -2038,6 +2465,9 @@ impl<O: Send + Sync> ShardedEngine<O> {
             range_queries,
             knn_queries: batch.len() - range_queries,
             total_results,
+            degraded,
+            shed,
+            failed,
             shards: self.shards.len(),
             threads: workers,
             wall_secs,
@@ -2634,6 +3064,7 @@ mod tests {
                     assert_eq!(ns[0].id, i as u32);
                     assert!(ns.windows(2).all(|w| w[0] <= w[1]));
                 }
+                other => panic!("unbudgeted healthy serve degraded: {other:?}"),
             }
         }
         assert!(out.report.qps > 0.0);
@@ -2822,5 +3253,334 @@ mod tests {
             assert_eq!(t.shards_pruned(), 0);
             assert!(t.explain().contains("probed 4/4 shards"));
         }
+    }
+
+    use crate::robust::Completeness;
+
+    /// Runs `f` with a panic hook that swallows the intentional
+    /// ("injected") panics these tests contain, so the suite's output
+    /// stays readable. Serialized: the hook is process-global.
+    fn silent_panics<T>(f: impl FnOnce() -> T) -> T {
+        static HOOK: Mutex<()> = Mutex::new(());
+        let _g = HOOK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(|s| s.contains("injected"))
+                .or_else(|| {
+                    info.payload()
+                        .downcast_ref::<&str>()
+                        .map(|s| s.contains("injected"))
+                })
+                .unwrap_or(false);
+            if !injected {
+                eprintln!("{info}");
+            }
+        }));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    /// A shard index whose query paths always panic — the tier-1 stand-in
+    /// for a faulty distance function (the feature-gated chaos suite
+    /// drives the same machinery through `pmi_metric::fault`).
+    struct PanickyIndex {
+        inner: Box<dyn MetricIndex<Vec<f32>>>,
+    }
+
+    impl MetricIndex<Vec<f32>> for PanickyIndex {
+        fn name(&self) -> &str {
+            "panicky"
+        }
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn range_query(&self, _q: &Vec<f32>, _r: f64) -> Vec<ObjId> {
+            panic!("injected: shard range panic")
+        }
+        fn knn_query(&self, _q: &Vec<f32>, _k: usize) -> Vec<Neighbor> {
+            panic!("injected: shard knn panic")
+        }
+        fn insert(&mut self, o: Vec<f32>) -> ObjId {
+            self.inner.insert(o)
+        }
+        fn remove(&mut self, id: ObjId) -> bool {
+            self.inner.remove(id)
+        }
+        fn get(&self, id: ObjId) -> Option<Vec<f32>> {
+            self.inner.get(id)
+        }
+        fn storage(&self) -> StorageFootprint {
+            self.inner.storage()
+        }
+        fn counters(&self) -> Counters {
+            self.inner.counters()
+        }
+        fn reset_counters(&self) {
+            self.inner.reset_counters()
+        }
+    }
+
+    /// 4-shard round-robin engine whose shard 1 panics on every query.
+    fn panicky_engine(
+        faults: FaultPolicy,
+        threads: usize,
+    ) -> (Vec<Vec<f32>>, ShardedEngine<Vec<f32>>) {
+        let objects = grid(40);
+        let e = ShardedEngine::build_with(
+            objects.clone(),
+            &EngineConfig {
+                shards: 4,
+                threads,
+                faults,
+                ..EngineConfig::default()
+            },
+            |s, part| {
+                let inner = Box::new(BruteForce::new(part, L2)) as Box<dyn MetricIndex<_>>;
+                Ok::<_, String>(if s == 1 {
+                    Box::new(PanickyIndex { inner }) as Box<dyn MetricIndex<_>>
+                } else {
+                    inner
+                })
+            },
+        )
+        .unwrap();
+        (objects, e)
+    }
+
+    #[test]
+    fn panicking_shard_is_contained_then_quarantined_then_healed() {
+        silent_panics(|| {
+            let (objects, e) = panicky_engine(
+                FaultPolicy {
+                    quarantine_after: 2,
+                },
+                1,
+            );
+            let batch: Vec<_> = (0..6)
+                .map(|i| Query::range(objects[i].clone(), 1.0))
+                .collect();
+            let out = e.serve(&batch);
+            // threads:1 ⇒ deterministic claim order. Queries 0 and 1 panic
+            // probing shard 1 and are contained; the second panic trips the
+            // quarantine, so queries 2.. route around the shard and come
+            // back Partial. The batch as a whole completes.
+            assert_eq!(out.results.len(), 6);
+            for r in &out.results[..2] {
+                assert_eq!(
+                    *r,
+                    QueryResult::Failed(QueryError::Panicked { shard: Some(1) })
+                );
+            }
+            for r in &out.results[2..] {
+                match r {
+                    QueryResult::PartialRange(_, d) => {
+                        assert_eq!(d.shards_skipped, 1);
+                        assert_eq!(d.reason, DegradeReason::Quarantined);
+                    }
+                    other => panic!("expected Partial after quarantine, got {other:?}"),
+                }
+            }
+            assert_eq!(out.report.failed, 2);
+            assert_eq!(out.report.degraded, 4);
+            assert_eq!(e.quarantined_shards(), vec![1]);
+            let states = e.fault_states();
+            assert_eq!(states[1].panics, 2);
+            assert!(states[1].quarantined);
+            assert!(!states[0].quarantined && !states[2].quarantined);
+            // Single-query paths route around the quarantined shard too.
+            let ids = e.range_query(&objects[0], 1.0);
+            assert!(matches!(
+                e.execute(&Query::range(objects[0].clone(), 1.0)),
+                QueryResult::PartialRange(ref p, _) if *p == ids
+            ));
+            let _ = e.knn_query(&objects[0], 3);
+            // heal() clears the state and planning probes everything again
+            // (so the faulty shard panics anew).
+            assert_eq!(e.heal(), 1);
+            assert!(e.quarantined_shards().is_empty());
+            assert_eq!(e.fault_states()[1].panics, 0);
+            let out2 = e.serve(&batch[..1]);
+            assert_eq!(
+                out2.results[0],
+                QueryResult::Failed(QueryError::Panicked { shard: Some(1) })
+            );
+        });
+    }
+
+    #[test]
+    fn malformed_queries_fail_per_item() {
+        let objects = grid(50);
+        let mut e = engine(50, 2, 1);
+        e.set_query_validator(|o: &Vec<f32>| o.iter().all(|c| c.is_finite()));
+        let valid = Query::range(objects[3].clone(), 2.0);
+        let batch = vec![
+            Query::range(objects[0].clone(), f64::NAN),
+            Query::range(objects[1].clone(), -1.0),
+            Query::knn(objects[2].clone(), 0),
+            Query::knn(vec![f32::NAN, 0.0], 3),
+            valid.clone(),
+        ];
+        let out = e.serve(&batch);
+        assert_eq!(out.results[0], QueryResult::Failed(QueryError::NanRadius));
+        assert_eq!(
+            out.results[1],
+            QueryResult::Failed(QueryError::NegativeRadius)
+        );
+        assert_eq!(out.results[2], QueryResult::Failed(QueryError::ZeroK));
+        assert_eq!(
+            out.results[3],
+            QueryResult::Failed(QueryError::InvalidObject)
+        );
+        assert_eq!(out.report.failed, 4);
+        assert_eq!(out.report.degraded + out.report.shed, 0);
+        // The valid query is identical to a malformed-free serve.
+        let clean = e.serve(std::slice::from_ref(&valid));
+        assert_eq!(out.results[4], clean.results[0]);
+        // +∞ radius stays a *valid* radius: everything matches.
+        let all = e.serve(&[Query::range(objects[0].clone(), f64::INFINITY)]);
+        assert_eq!(all.results[0].len(), 50);
+        // Completeness/error accessors.
+        assert_eq!(out.results[0].completeness(), Completeness::Failed);
+        assert_eq!(out.results[0].error(), Some(QueryError::NanRadius));
+        assert_eq!(clean.results[0].completeness(), Completeness::Exact);
+        assert_eq!(clean.results[0].error(), None);
+    }
+
+    #[test]
+    fn compdist_cap_degrades_to_partial_subset() {
+        let objects = grid(200);
+        let e = engine(200, 4, 1);
+        let batch: Vec<_> = (0..10)
+            .map(|i| Query::range(objects[i].clone(), 3.0))
+            .collect();
+        let exact = e.serve(&batch);
+        e.set_budget(ServeBudget {
+            query: QueryBudget {
+                wall_nanos: 0,
+                compdists: 1,
+            },
+            batch_wall_nanos: 0,
+        });
+        assert!(e.serve_budget().enabled());
+        let capped = e.serve(&batch);
+        assert_eq!(capped.report.degraded, 10);
+        for (p, x) in capped.results.iter().zip(&exact.results) {
+            let QueryResult::PartialRange(ids, d) = p else {
+                panic!("expected PartialRange, got {p:?}");
+            };
+            assert_eq!(d.reason, DegradeReason::CompdistCap);
+            assert_eq!(d.shards_skipped, 3, "the first probe spends past the cap");
+            let exact_ids = x.as_range().unwrap();
+            assert!(
+                ids.iter().all(|id| exact_ids.contains(id)),
+                "partial range ⊆ exact"
+            );
+            assert_eq!(
+                p.completeness(),
+                Completeness::Partial {
+                    shards_skipped: 3,
+                    reason: DegradeReason::CompdistCap
+                }
+            );
+        }
+        // A budget that never binds is exact — and swapping back to
+        // unlimited at runtime restores the unguarded path.
+        e.set_budget(ServeBudget {
+            query: QueryBudget {
+                wall_nanos: 0,
+                compdists: u64::MAX,
+            },
+            batch_wall_nanos: 0,
+        });
+        let huge = e.serve(&batch);
+        assert_eq!(huge.results, exact.results);
+        assert_eq!(huge.report.degraded, 0);
+        e.set_budget(ServeBudget::unlimited());
+        assert_eq!(e.serve(&batch).results, exact.results);
+    }
+
+    #[test]
+    fn deadlines_degrade_and_batch_deadline_sheds() {
+        let objects = grid(100);
+        let e = engine(100, 4, 1);
+        let batch: Vec<_> = (0..8)
+            .map(|i| Query::range(objects[i].clone(), 2.0))
+            .collect();
+        // A 1 ns per-query deadline is blown before the first probe: every
+        // query degrades to an empty partial answer (still not an error).
+        e.set_budget(ServeBudget {
+            query: QueryBudget {
+                wall_nanos: 1,
+                compdists: 0,
+            },
+            batch_wall_nanos: 0,
+        });
+        let out = e.serve(&batch);
+        assert_eq!(out.report.degraded, 8);
+        for r in &out.results {
+            let QueryResult::PartialRange(ids, d) = r else {
+                panic!("expected PartialRange, got {r:?}");
+            };
+            assert!(ids.is_empty());
+            assert_eq!(d.reason, DegradeReason::Deadline);
+            assert_eq!(d.shards_skipped, 4);
+        }
+        // A 1 ns *batch* deadline sheds every query without executing it.
+        e.set_budget(ServeBudget {
+            query: QueryBudget::unlimited(),
+            batch_wall_nanos: 1,
+        });
+        let out = e.serve(&batch);
+        assert_eq!(out.report.shed, 8);
+        assert!(out.results.iter().all(|r| *r == QueryResult::Shed));
+        assert_eq!(out.report.cost.compdists, 0, "no shard was touched");
+        assert_eq!(out.results[0].completeness(), Completeness::Shed);
+        assert_eq!(out.results[0].len(), 0);
+    }
+
+    #[test]
+    fn apply_reports_per_op_errors() {
+        let mut e = engine(20, 2, 1);
+        e.set_query_validator(|o: &Vec<f32>| o.iter().all(|c| c.is_finite()));
+        let mut b = UpdateBatch::new();
+        b.insert(vec![1.0, 1.0]) // op 0: fine
+            .insert(vec![f32::NAN, 0.0]) // op 1: rejected by the validator
+            .remove(3) // op 2: fine
+            .remove(3) // op 3: duplicate remove
+            .remove(999); // op 4: never existed
+        let r = e.apply(&b);
+        assert_eq!(r.inserts, 1);
+        assert_eq!(r.removes, 1);
+        assert_eq!(
+            r.missing_removes, 2,
+            "counts duplicate + unknown, as before"
+        );
+        assert_eq!(
+            r.op_errors,
+            vec![
+                OpError {
+                    op: 1,
+                    kind: OpErrorKind::InvalidObject
+                },
+                OpError {
+                    op: 3,
+                    kind: OpErrorKind::DuplicateRemove(3)
+                },
+                OpError {
+                    op: 4,
+                    kind: OpErrorKind::UnknownGid(999)
+                },
+            ]
+        );
+        assert_eq!(e.len(), 20);
+        assert!(format!("{r}").contains("op errors: 3"));
+        // An all-valid batch reports no errors.
+        let mut ok = UpdateBatch::new();
+        ok.insert(vec![2.0, 2.0]).remove(5);
+        assert!(e.apply(&ok).op_errors.is_empty());
     }
 }

@@ -68,6 +68,7 @@ pub mod engine;
 pub mod merge;
 pub mod query;
 pub mod report;
+pub mod robust;
 pub mod shard;
 pub mod update;
 
@@ -77,5 +78,9 @@ pub use pmi_obs::{QueryTrace, TraceEvent, TraceKind, TracePolicy};
 pub use pmi_router::{PartitionPolicy, RoutingTable};
 pub use query::{Query, QueryResult};
 pub use report::{BuildStats, LatencySummary, ServeReport, ShardServeStats, UpdateStats};
+pub use robust::{
+    Completeness, DegradeReason, Degraded, FaultPolicy, OpError, OpErrorKind, QueryBudget,
+    QueryError, ServeBudget, ShardFaultState,
+};
 pub use shard::Shard;
 pub use update::{ApplyReport, CompactionPolicy, RefreshPolicy, UpdateBatch, UpdateOp};

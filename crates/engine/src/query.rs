@@ -1,5 +1,6 @@
 //! Batch query and result types.
 
+use crate::robust::{Completeness, Degraded, QueryError};
 use pmi_metric::{Neighbor, ObjId};
 
 /// One query of a served batch: either of the paper's two query types
@@ -41,20 +42,38 @@ impl<O> Query<O> {
 
 /// The merged, global answer to one [`Query`]. All ids are global dataset
 /// ids (positions in the engine's build input), not shard-local ids.
+///
+/// `Range`/`Knn` are the exact answers; the remaining variants are the
+/// failure-containment outcomes (`docs/robustness.md`): `Partial*` carry a
+/// best-effort answer plus why it was cut short, `Shed` marks a query the
+/// batch deadline kept from running at all, and `Failed` carries the typed
+/// [`QueryError`] for a query that was malformed or panicked.
 #[derive(Clone, Debug, PartialEq)]
 pub enum QueryResult {
     /// Range answer: global ids sorted ascending.
     Range(Vec<ObjId>),
     /// kNN answer: sorted by `(distance, global id)` ascending.
     Knn(Vec<Neighbor>),
+    /// Degraded range answer — a subset of the exact answer (skipping
+    /// shards can only drop hits, never invent them).
+    PartialRange(Vec<ObjId>, Degraded),
+    /// Degraded kNN answer — the exact top-k of the probed shards only
+    /// (NOT necessarily a subset of the exact global top-k).
+    PartialKnn(Vec<Neighbor>, Degraded),
+    /// Never executed: the batch deadline was blown before a worker
+    /// claimed this query.
+    Shed,
+    /// Rejected by validation or contained after a panic.
+    Failed(QueryError),
 }
 
 impl QueryResult {
-    /// Number of result objects.
+    /// Number of result objects (0 for `Shed`/`Failed`).
     pub fn len(&self) -> usize {
         match self {
-            QueryResult::Range(v) => v.len(),
-            QueryResult::Knn(v) => v.len(),
+            QueryResult::Range(v) | QueryResult::PartialRange(v, _) => v.len(),
+            QueryResult::Knn(v) | QueryResult::PartialKnn(v, _) => v.len(),
+            QueryResult::Shed | QueryResult::Failed(_) => 0,
         }
     }
 
@@ -63,19 +82,42 @@ impl QueryResult {
         self.len() == 0
     }
 
-    /// The range ids, if this is a range result.
+    /// The range ids, if this is an (exact or partial) range result.
     pub fn as_range(&self) -> Option<&[ObjId]> {
         match self {
-            QueryResult::Range(v) => Some(v),
-            QueryResult::Knn(_) => None,
+            QueryResult::Range(v) | QueryResult::PartialRange(v, _) => Some(v),
+            _ => None,
         }
     }
 
-    /// The neighbors, if this is a kNN result.
+    /// The neighbors, if this is an (exact or partial) kNN result.
     pub fn as_knn(&self) -> Option<&[Neighbor]> {
         match self {
-            QueryResult::Range(_) => None,
-            QueryResult::Knn(v) => Some(v),
+            QueryResult::Knn(v) | QueryResult::PartialKnn(v, _) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// How complete this result is relative to the exact answer.
+    pub fn completeness(&self) -> Completeness {
+        match self {
+            QueryResult::Range(_) | QueryResult::Knn(_) => Completeness::Exact,
+            QueryResult::PartialRange(_, d) | QueryResult::PartialKnn(_, d) => {
+                Completeness::Partial {
+                    shards_skipped: d.shards_skipped,
+                    reason: d.reason,
+                }
+            }
+            QueryResult::Shed => Completeness::Shed,
+            QueryResult::Failed(_) => Completeness::Failed,
+        }
+    }
+
+    /// The error, if this query failed.
+    pub fn error(&self) -> Option<QueryError> {
+        match self {
+            QueryResult::Failed(e) => Some(*e),
+            _ => None,
         }
     }
 }

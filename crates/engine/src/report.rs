@@ -146,6 +146,14 @@ pub struct ServeReport {
     pub knn_queries: usize,
     /// Total result objects returned across the batch.
     pub total_results: usize,
+    /// Queries that returned a partial (degraded) answer — a budget cut
+    /// their shard probes short or a quarantined shard was routed around.
+    pub degraded: usize,
+    /// Queries shed by batch-level admission control without executing.
+    pub shed: usize,
+    /// Queries that failed validation or panicked (see each
+    /// `QueryResult::Failed` for the typed error).
+    pub failed: usize,
     /// Number of shards in the engine (actual probes are in
     /// `shards_probed` — routed queries touch a subset).
     pub shards: usize,
@@ -262,6 +270,13 @@ impl std::fmt::Display for ServeReport {
             self.updates.moved_objects,
             self.updates.reclusters
         )?;
+        if self.degraded + self.shed + self.failed > 0 {
+            write!(
+                f,
+                "\n  robustness: {} degraded, {} shed, {} failed",
+                self.degraded, self.shed, self.failed
+            )?;
+        }
         if !self.traces.is_empty() {
             write!(f, "\n  traces: {} captured", self.traces.len())?;
         }
@@ -392,6 +407,15 @@ mod tests {
         assert!(s.contains("15 shard probes"));
         assert!(s.contains("5 pruned"));
         assert!(s.contains("25.0% skipped"));
+        // The robustness line only appears when something went wrong.
+        assert!(!s.contains("robustness:"));
+        let r = ServeReport {
+            degraded: 2,
+            shed: 1,
+            failed: 3,
+            ..ServeReport::default()
+        };
+        assert!(format!("{r}").contains("robustness: 2 degraded, 1 shed, 3 failed"));
     }
 
     #[test]

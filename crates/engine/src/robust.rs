@@ -1,0 +1,399 @@
+//! Failure containment for the serving tier: query/batch budgets with
+//! graceful degradation, the typed query/op error taxonomy, and shard
+//! quarantine state.
+//!
+//! The contract (see `docs/robustness.md` for the full write-up):
+//!
+//! * **Budgets degrade, they don't error.** A query that exceeds its
+//!   [`QueryBudget`] returns whatever it had already collected, tagged
+//!   [`Completeness::Partial`] with the shards it skipped and why. A batch
+//!   past its [`ServeBudget::batch_wall_nanos`] deadline *sheds* the
+//!   not-yet-started remainder ([`Completeness::Shed`]) — admission
+//!   control, not cancellation of in-flight work.
+//! * **Malformed input fails the item, never the batch.** Validation runs
+//!   before execution and yields a typed [`QueryError`] (queries) or
+//!   [`OpError`] (mutations) for exactly the offending item.
+//! * **Panics are contained.** A panicking query becomes
+//!   `QueryResult::Failed(QueryError::Panicked { .. })` while the rest of
+//!   the batch completes; repeated panics attributed to one shard
+//!   quarantine it per [`FaultPolicy`] — the planner then routes around it
+//!   (results become `Partial` with [`DegradeReason::Quarantined`]) until
+//!   [`heal`](crate::ShardedEngine::heal) is called.
+
+use pmi_metric::ObjId;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// Per-query execution budget, checked at shard-probe boundaries (never
+/// mid-probe). `0` means unlimited for either field; a fully-zero budget
+/// costs the serve path nothing beyond one branch per probe.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryBudget {
+    /// Wall-clock deadline per query, nanoseconds (`0` = unlimited).
+    /// Exceeded ⇒ remaining shard probes are skipped and the result is
+    /// tagged `Partial { reason: Deadline }`.
+    pub wall_nanos: u64,
+    /// Distance-computation cap per query (`0` = unlimited). Spending is
+    /// accounted per probed shard from the shard's own exact counters, so
+    /// under concurrent serving of the *same* shard the attribution is
+    /// conservative (a query may be degraded slightly early, never late).
+    pub compdists: u64,
+}
+
+impl QueryBudget {
+    /// No limits — the default.
+    pub fn unlimited() -> Self {
+        QueryBudget::default()
+    }
+
+    /// Whether any limit is set.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.wall_nanos > 0 || self.compdists > 0
+    }
+}
+
+/// Budgets for one [`serve`](crate::ShardedEngine::serve) call: a per-query
+/// budget plus a batch-level admission deadline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeBudget {
+    /// Applied to every query of the batch.
+    pub query: QueryBudget,
+    /// Batch admission deadline, nanoseconds from batch start (`0` =
+    /// unlimited). Once blown, queries not yet claimed by a worker are
+    /// shed outright ([`Completeness::Shed`]) without executing.
+    pub batch_wall_nanos: u64,
+}
+
+impl ServeBudget {
+    /// No limits — the default.
+    pub fn unlimited() -> Self {
+        ServeBudget::default()
+    }
+
+    /// Whether any limit is set.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.query.enabled() || self.batch_wall_nanos > 0
+    }
+}
+
+/// When repeated per-shard panics quarantine the shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPolicy {
+    /// Quarantine a shard once this many query panics have been attributed
+    /// to it (`0` = never quarantine). Quarantined shards are skipped by
+    /// every query plan — results touching them degrade to `Partial` —
+    /// until [`heal`](crate::ShardedEngine::heal) clears the state.
+    pub quarantine_after: u32,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            quarantine_after: 3,
+        }
+    }
+}
+
+/// Why a query's shard probes were cut short.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The per-query wall deadline passed.
+    Deadline,
+    /// The per-query distance-computation cap was exceeded.
+    CompdistCap,
+    /// A planned shard is quarantined after repeated panics.
+    Quarantined,
+}
+
+/// How a partial result came to be partial.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Degraded {
+    /// Planned shard probes that were skipped.
+    pub shards_skipped: u32,
+    /// The first reason a probe was skipped (later skips may differ; the
+    /// count covers all of them).
+    pub reason: DegradeReason,
+}
+
+/// Result completeness marker — how much of the exact answer a
+/// [`QueryResult`](crate::QueryResult) carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Completeness {
+    /// Every planned shard was probed: the exact answer.
+    Exact,
+    /// Some planned shards were skipped: a best-effort subset of the
+    /// probes ran (range results are a subset of the exact answer; kNN
+    /// results are the exact top-k of the probed shards only).
+    Partial {
+        /// Planned shard probes that were skipped.
+        shards_skipped: u32,
+        /// Why the first skip happened.
+        reason: DegradeReason,
+    },
+    /// The query was never executed: the batch deadline was already blown
+    /// when a worker claimed it.
+    Shed,
+    /// The query failed validation or panicked; see the result's
+    /// [`QueryError`].
+    Failed,
+}
+
+/// Why a query produced no (valid) answer. Every variant is a plain tag —
+/// no float payloads — so results carrying errors stay `Eq`-comparable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// Range radius was NaN.
+    NanRadius,
+    /// Range radius was negative.
+    NegativeRadius,
+    /// kNN `k` was 0 (an empty answer by definition — rejected at the
+    /// serve boundary so callers notice the likely bug).
+    ZeroK,
+    /// The query object failed the engine's validator (e.g. non-finite
+    /// coordinates on a vector engine).
+    InvalidObject,
+    /// The query panicked mid-execution and was contained; `shard` is the
+    /// shard being probed when the panic struck, if one was.
+    Panicked {
+        /// Shard under probe at the time of the panic.
+        shard: Option<u32>,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::NanRadius => write!(f, "range radius is NaN"),
+            QueryError::NegativeRadius => write!(f, "range radius is negative"),
+            QueryError::ZeroK => write!(f, "kNN k is 0"),
+            QueryError::InvalidObject => write!(f, "query object failed validation"),
+            QueryError::Panicked { shard: Some(s) } => {
+                write!(f, "query panicked while probing shard {s}")
+            }
+            QueryError::Panicked { shard: None } => write!(f, "query panicked"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// What went wrong with one op of an
+/// [`UpdateBatch`](crate::UpdateBatch) (the op index is 0-based batch
+/// order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpError {
+    /// Index of the offending op within the batch.
+    pub op: usize,
+    /// What was wrong with it.
+    pub kind: OpErrorKind,
+}
+
+/// The mutation-side error taxonomy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpErrorKind {
+    /// Remove of a global id that is not live and was not removed earlier
+    /// in this batch.
+    UnknownGid(ObjId),
+    /// Remove of a global id already removed earlier in the same batch.
+    DuplicateRemove(ObjId),
+    /// Insert of an object that failed the engine's validator.
+    InvalidObject,
+}
+
+impl std::fmt::Display for OpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            OpErrorKind::UnknownGid(id) => {
+                write!(f, "op {}: remove of unknown global id {id}", self.op)
+            }
+            OpErrorKind::DuplicateRemove(id) => {
+                write!(f, "op {}: duplicate remove of global id {id}", self.op)
+            }
+            OpErrorKind::InvalidObject => {
+                write!(f, "op {}: insert object failed validation", self.op)
+            }
+        }
+    }
+}
+
+/// One shard's panic/quarantine state, as reported by
+/// [`fault_states`](crate::ShardedEngine::fault_states).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardFaultState {
+    /// Shard number.
+    pub shard: usize,
+    /// Query panics attributed to this shard since build or the last
+    /// [`heal`](crate::ShardedEngine::heal).
+    pub panics: u32,
+    /// Whether the shard is currently quarantined (skipped by planning).
+    pub quarantined: bool,
+}
+
+/// Engine-internal quarantine bookkeeping: lock-free per-shard panic
+/// counts and flags, plus an `any` fast-path bit so the unfaulted serve
+/// path pays one relaxed load per query.
+pub(crate) struct QuarantineState {
+    panics: Vec<AtomicU32>,
+    flags: Vec<AtomicBool>,
+    any: AtomicBool,
+}
+
+impl QuarantineState {
+    pub(crate) fn new(shards: usize) -> Self {
+        QuarantineState {
+            panics: (0..shards).map(|_| AtomicU32::new(0)).collect(),
+            flags: (0..shards).map(|_| AtomicBool::new(false)).collect(),
+            any: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether any shard is quarantined (one relaxed load — the per-query
+    /// fast path).
+    #[inline]
+    pub(crate) fn any(&self) -> bool {
+        self.any.load(Ordering::Relaxed)
+    }
+
+    /// Whether shard `s` is quarantined.
+    #[inline]
+    pub(crate) fn is_quarantined(&self, s: usize) -> bool {
+        self.flags.get(s).is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+
+    /// Attributes one panic to shard `s`; returns whether this crossed the
+    /// policy threshold and newly quarantined the shard.
+    pub(crate) fn note_panic(&self, s: usize, policy: FaultPolicy) -> bool {
+        let Some(count) = self.panics.get(s) else {
+            return false;
+        };
+        let n = count.fetch_add(1, Ordering::Relaxed) + 1;
+        if policy.quarantine_after == 0 || n < policy.quarantine_after {
+            return false;
+        }
+        let newly = !self.flags[s].swap(true, Ordering::Relaxed);
+        self.any.store(true, Ordering::Relaxed);
+        newly
+    }
+
+    /// Clears all panic counts and quarantine flags; returns how many
+    /// shards were quarantined.
+    pub(crate) fn heal(&self) -> usize {
+        let mut cleared = 0;
+        for (count, flag) in self.panics.iter().zip(&self.flags) {
+            count.store(0, Ordering::Relaxed);
+            cleared += usize::from(flag.swap(false, Ordering::Relaxed));
+        }
+        self.any.store(false, Ordering::Relaxed);
+        cleared
+    }
+
+    /// Number of currently quarantined shards.
+    pub(crate) fn quarantined_count(&self) -> usize {
+        self.flags
+            .iter()
+            .filter(|f| f.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Per-shard snapshot, in shard order.
+    pub(crate) fn snapshot(&self) -> Vec<ShardFaultState> {
+        self.panics
+            .iter()
+            .zip(&self.flags)
+            .enumerate()
+            .map(|(shard, (count, flag))| ShardFaultState {
+                shard,
+                panics: count.load(Ordering::Relaxed),
+                quarantined: flag.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_default_unlimited() {
+        assert!(!QueryBudget::default().enabled());
+        assert!(!ServeBudget::default().enabled());
+        assert_eq!(QueryBudget::unlimited(), QueryBudget::default());
+        assert!(QueryBudget {
+            wall_nanos: 1,
+            compdists: 0
+        }
+        .enabled());
+        assert!(ServeBudget {
+            query: QueryBudget::unlimited(),
+            batch_wall_nanos: 5
+        }
+        .enabled());
+    }
+
+    #[test]
+    fn quarantine_trips_at_policy_threshold() {
+        let q = QuarantineState::new(3);
+        let policy = FaultPolicy {
+            quarantine_after: 2,
+        };
+        assert!(!q.any());
+        assert!(!q.note_panic(1, policy), "first panic is under threshold");
+        assert!(!q.any());
+        assert!(q.note_panic(1, policy), "second panic quarantines");
+        assert!(q.any() && q.is_quarantined(1));
+        assert!(!q.note_panic(1, policy), "already quarantined: not newly");
+        assert!(!q.is_quarantined(0) && !q.is_quarantined(2));
+        let snap = q.snapshot();
+        assert_eq!(snap[1].panics, 3);
+        assert!(snap[1].quarantined);
+        assert_eq!(q.quarantined_count(), 1);
+        assert_eq!(q.heal(), 1);
+        assert!(!q.any() && !q.is_quarantined(1));
+        assert_eq!(q.snapshot()[1].panics, 0);
+    }
+
+    #[test]
+    fn disabled_policy_never_quarantines() {
+        let q = QuarantineState::new(2);
+        let policy = FaultPolicy {
+            quarantine_after: 0,
+        };
+        for _ in 0..100 {
+            assert!(!q.note_panic(0, policy));
+        }
+        assert!(!q.any());
+        assert_eq!(q.snapshot()[0].panics, 100, "panics still counted");
+        // Out-of-range shard attribution is ignored, not a panic.
+        assert!(!q.note_panic(99, FaultPolicy::default()));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert_eq!(QueryError::NanRadius.to_string(), "range radius is NaN");
+        assert!(QueryError::Panicked { shard: Some(2) }
+            .to_string()
+            .contains("shard 2"));
+        assert!(QueryError::Panicked { shard: None }
+            .to_string()
+            .contains("panicked"));
+        let e = OpError {
+            op: 4,
+            kind: OpErrorKind::DuplicateRemove(17),
+        };
+        assert!(e.to_string().contains("op 4") && e.to_string().contains("17"));
+        assert!(OpError {
+            op: 0,
+            kind: OpErrorKind::UnknownGid(9)
+        }
+        .to_string()
+        .contains("unknown"));
+        assert!(OpError {
+            op: 1,
+            kind: OpErrorKind::InvalidObject
+        }
+        .to_string()
+        .contains("validation"));
+    }
+}

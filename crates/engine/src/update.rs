@@ -14,6 +14,7 @@
 //! shards too imbalanced triggers an incremental re-clustering of the worst
 //! shard pair.
 
+use crate::robust::OpError;
 use pmi_metric::ObjId;
 
 /// One mutation of an [`UpdateBatch`].
@@ -207,6 +208,12 @@ pub struct ApplyReport {
     pub compacted_rows: u64,
     /// Wall-clock duration of the apply, seconds.
     pub wall_secs: f64,
+    /// Per-op errors, in op order: validator-rejected inserts, removes of
+    /// unknown ids, and duplicate removes. The batch still applies every
+    /// valid op — these classify what was skipped or missed
+    /// (`missing_removes` keeps counting unknown + duplicate removes
+    /// together, as before).
+    pub op_errors: Vec<OpError>,
 }
 
 impl std::fmt::Display for ApplyReport {
@@ -236,7 +243,11 @@ impl std::fmt::Display for ApplyReport {
             self.moved_objects,
             self.compactions,
             self.compacted_rows
-        )
+        )?;
+        if !self.op_errors.is_empty() {
+            write!(f, "\n  op errors: {}", self.op_errors.len())?;
+        }
+        Ok(())
     }
 }
 

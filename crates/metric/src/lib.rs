@@ -21,6 +21,7 @@
 
 pub mod datasets;
 pub mod distance;
+pub mod fault;
 pub mod index;
 pub mod lemmas;
 pub mod matrix;

@@ -12,6 +12,7 @@
 //! published snapshot, with survivors collected before the fetch+verify
 //! pass.
 
+use pmi_metric::fault;
 use pmi_metric::scratch::drain_heap_sorted;
 use pmi_metric::{
     Counters, CountingMetric, EncodeObject, MatrixSlice, Metric, MetricIndex, Neighbor, ObjId,
@@ -129,6 +130,12 @@ where
     }
 
     fn range_query_into(&self, q: &O, r: f64, scratch: &mut QueryScratch, out: &mut Vec<ObjId>) {
+        // Malformed radii are rejected at the engine boundary; here they
+        // are an empty answer, never a panic. `+∞` stays valid.
+        debug_assert!(!r.is_nan(), "NaN radius must be rejected upstream");
+        if r.is_nan() || r < 0.0 {
+            return;
+        }
         scratch.note_kernel(self.rows.len());
         let QueryScratch {
             qd, lbs, survivors, ..
@@ -148,7 +155,8 @@ where
         );
         for &id in survivors.iter() {
             let o = self.mtree.fetch(id).expect("object on disk");
-            if self.metric.dist(q, &o) <= r {
+            // Inlined identity unless the chaos suite arms `cpt.dist`.
+            if fault::dist("cpt.dist", id as u64, self.metric.dist(q, &o)) <= r {
                 out.push(id);
             }
         }

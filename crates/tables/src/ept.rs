@@ -17,6 +17,7 @@
 //! several rows at once — with the same bit-for-bit guarantee: blocking
 //! only reorders lower-bound arithmetic across rows, never within one.
 
+use pmi_metric::fault;
 use pmi_metric::scratch::drain_heap_sorted;
 use pmi_metric::{
     Counters, CountingMetric, EncodeObject, Metric, MetricIndex, Neighbor, ObjId, ObjTable,
@@ -369,6 +370,12 @@ where
     }
 
     fn range_query_into(&self, q: &O, r: f64, scratch: &mut QueryScratch, out: &mut Vec<ObjId>) {
+        // Malformed radii are rejected at the engine boundary; here they
+        // are an empty answer, never a panic. `+∞` stays valid.
+        debug_assert!(!r.is_nan(), "NaN radius must be rejected upstream");
+        if r.is_nan() || r < 0.0 {
+            return;
+        }
         scratch.note_kernel(self.table.slots());
         let QueryScratch {
             qd, lbs, survivors, ..
@@ -385,7 +392,8 @@ where
         );
         for &id in survivors.iter() {
             let o = self.table.get(id).expect("survivor is live");
-            if self.metric.dist(q, o) <= r {
+            // Inlined identity unless the chaos suite arms `ept.dist`.
+            if fault::dist("ept.dist", id as u64, self.metric.dist(q, o)) <= r {
                 out.push(id);
             }
         }

@@ -1,5 +1,6 @@
 //! LAESA (paper §3.1): a linear pivot table over a shared pivot set.
 
+use pmi_metric::fault;
 use pmi_metric::scratch::drain_heap_sorted;
 use pmi_metric::{
     Counters, CountingMetric, EncodeObject, MatrixSlice, Metric, MetricIndex, Neighbor, ObjId,
@@ -114,6 +115,13 @@ where
     }
 
     fn range_query_into(&self, q: &O, r: f64, scratch: &mut QueryScratch, out: &mut Vec<ObjId>) {
+        // Malformed radii are rejected at the engine boundary
+        // (`QueryError::NanRadius` / `NegativeRadius`); below it they are an
+        // empty answer, never a panic. `+∞` stays a valid "match all".
+        debug_assert!(!r.is_nan(), "NaN radius must be rejected upstream");
+        if r.is_nan() || r < 0.0 {
+            return;
+        }
         scratch.note_kernel(self.rows.len());
         let QueryScratch {
             qd, lbs, survivors, ..
@@ -132,7 +140,9 @@ where
         );
         for &id in survivors.iter() {
             let o = self.table.get(id).expect("survivor is live");
-            if self.metric.dist(q, o) <= r {
+            // `fault::dist` is an inlined identity unless the chaos suite's
+            // `fault-inject` feature arms the `laesa.dist` point.
+            if fault::dist("laesa.dist", id as u64, self.metric.dist(q, o)) <= r {
                 out.push(id);
             }
         }

@@ -20,6 +20,7 @@
 //! pass, and results remain exact. A plain-built FQA (no matrix) keeps the
 //! classic signature descent.
 
+use pmi_metric::fault;
 use pmi_metric::scratch::drain_heap_sorted;
 use pmi_metric::{
     Counters, CountingMetric, EncodeObject, MatrixSlice, Metric, MetricIndex, Neighbor, ObjId,
@@ -222,6 +223,12 @@ where
     /// signature runs. The only range path for plain builds; adopted
     /// builds filter through the exact-row kernel instead (module docs).
     fn range_by_signature(&self, q: &O, r: f64) -> Vec<ObjId> {
+        // Same boundary contract as the adopted path: a malformed radius
+        // is an empty answer here, never a panic.
+        debug_assert!(!r.is_nan(), "NaN radius must be rejected upstream");
+        if r.is_nan() || r < 0.0 {
+            return Vec::new();
+        }
         let qd: Vec<f64> = self.pivots.iter().map(|p| self.metric.dist(q, p)).collect();
         let mut out = Vec::new();
         // Iterative stack of (slice start, slice end, level).
@@ -347,6 +354,12 @@ where
     }
 
     fn range_query_into(&self, q: &O, r: f64, scratch: &mut QueryScratch, out: &mut Vec<ObjId>) {
+        // Malformed radii are rejected at the engine boundary; here they
+        // are an empty answer, never a panic. `+∞` stays valid.
+        debug_assert!(!r.is_nan(), "NaN radius must be rejected upstream");
+        if r.is_nan() || r < 0.0 {
+            return;
+        }
         let Some(slice) = &self.adopted else {
             out.extend(self.range_by_signature(q, r));
             return;
@@ -369,7 +382,8 @@ where
         );
         for &id in survivors.iter() {
             let o = self.table.get(id).expect("survivor is live");
-            if self.metric.dist(q, o) <= r {
+            // Inlined identity unless the chaos suite arms `fqa.dist`.
+            if fault::dist("fqa.dist", id as u64, self.metric.dist(q, o)) <= r {
                 out.push(id);
             }
         }

@@ -40,5 +40,15 @@
 //! is the quickstart for the whole layer: the zero-overhead rule, the
 //! `pmi-runlog-v1` schema, the trace format, and the `pmi-analyze`
 //! regression sentinel.
+//!
+//! Robustness — per-query/batch budgets with graceful degradation
+//! (`engine.set_budget(..)`, the [`Completeness`] marker on every
+//! result), typed per-item errors ([`QueryError`] / [`OpError`]), panic
+//! containment with shard quarantine (`engine.fault_states()`,
+//! `engine.heal()`), and the deterministic fault-injection harness
+//! (`pmr::fault`, compiled in with `--features fault-inject`) — is
+//! documented in `docs/robustness.md`: budget semantics, the
+//! `Completeness` contract, the quarantine lifecycle, the fault-point
+//! catalog, and how to run the chaos suite (`tests/chaos.rs`).
 
 pub use pmi::*;

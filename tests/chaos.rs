@@ -1,0 +1,287 @@
+//! Chaos suite: end-to-end failure-containment invariants, driven by the
+//! deterministic fault-injection hooks (`pmi::fault`, compiled in only
+//! with `--features fault-inject`).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo test --features fault-inject --test chaos
+//! ```
+//!
+//! The headline test installs a [`FaultPlan`] that panics one shard's
+//! probe (the shard's distance-evaluation path) and proves the serve
+//! boundary's contract: the batch completes, affected queries come back
+//! `Failed` (then `Partial` once the shard is quarantined), every query
+//! that never routed to the faulted shard is byte-identical — results
+//! *and* exact per-shard cost counters — to the fault-free run, and the
+//! quarantined shard is visible in `engine.metrics()` until `heal()`.
+#![cfg(feature = "fault-inject")]
+
+use pivot_metric_repro as pmr;
+use pmr::builder::{BuildOptions, IndexKind};
+use pmr::engine::{EngineConfig, Query, QueryResult};
+use pmr::fault::{self, FaultKind, FaultPlan, FaultSpec};
+use pmr::{
+    build_sharded_vector_engine, Counters, DegradeReason, FaultPolicy, PartitionPolicy,
+    QueryBudget, QueryError, ServeBudget, ShardedEngine, L2,
+};
+use std::sync::Mutex;
+
+/// The installed fault plan is process-global: every test that arms one
+/// holds this lock (and clears the plan before releasing it).
+static PLAN_LOCK: Mutex<()> = Mutex::new(());
+
+/// Suppresses the default panic printout for the *injected* panics these
+/// tests fire on purpose; anything else still reaches stderr.
+fn quiet_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains("injected fault"));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn opts() -> BuildOptions {
+    BuildOptions {
+        d_plus: 14143.0,
+        maxnum: 64,
+        ..BuildOptions::default()
+    }
+}
+
+fn build(policy: PartitionPolicy, shards: usize, pts: &[Vec<f32>]) -> ShardedEngine<Vec<f32>> {
+    build_sharded_vector_engine(
+        IndexKind::Laesa,
+        pts.to_vec(),
+        L2,
+        &opts(),
+        &EngineConfig {
+            shards,
+            threads: 1,
+            faults: FaultPolicy {
+                quarantine_after: 2,
+            },
+            ..EngineConfig::default()
+        },
+        policy,
+    )
+    .unwrap()
+}
+
+/// Serves `q` alone and returns its result plus the exact per-shard
+/// counter deltas it cost (threads = 1, so this is deterministic).
+fn probe_one(e: &ShardedEngine<Vec<f32>>, q: &Query<Vec<f32>>) -> (QueryResult, Vec<Counters>) {
+    e.reset_counters();
+    let out = e.serve(std::slice::from_ref(q));
+    (out.results.into_iter().next().unwrap(), e.shard_counters())
+}
+
+#[test]
+fn panicking_shard_probe_is_contained_and_routed_around() {
+    quiet_injected_panics();
+    let _g = PLAN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    fault::clear();
+
+    // Clustered LA data + a selective radius: routing prunes shards, so
+    // some queries probe the shard we will break and some never do.
+    let pts = pmr::datasets::la(800, 5);
+    let radius = pmr::datasets::calibrate_radius(&pts, &L2, 0.01, 5);
+    let queries: Vec<Query<Vec<f32>>> = (0..24)
+        .map(|i| Query::range(pts[i * 31].clone(), radius))
+        .collect();
+
+    // Fault-free baseline: per-query results and exact per-shard costs.
+    let clean = build(PartitionPolicy::PivotSpace, 8, &pts);
+    let baseline: Vec<(QueryResult, Vec<Counters>)> =
+        queries.iter().map(|q| probe_one(&clean, q)).collect();
+    // A probed LAESA shard always computes ≥ l pivot distances, so the
+    // counter delta tells us each query's probe set.
+    let probes: Vec<Vec<bool>> = baseline
+        .iter()
+        .map(|(_, per_shard)| per_shard.iter().map(|c| c.compdists > 0).collect())
+        .collect();
+    // Break a shard that some (≥ 2, to trip the quarantine) but not all
+    // queries probe.
+    let faulted = (0..8)
+        .find(|&s| {
+            let n = probes.iter().filter(|p| p[s]).count();
+            n >= 2 && n < queries.len()
+        })
+        .expect("clustered data must leave some shard partially probed");
+
+    let chaos = build(PartitionPolicy::PivotSpace, 8, &pts);
+    fault::install(FaultPlan::new().with(FaultSpec::always(
+        "engine.probe",
+        Some(faulted as u64),
+        FaultKind::Panic,
+    )));
+
+    let mut panics_seen = 0usize;
+    for (i, q) in queries.iter().enumerate() {
+        let (res, per_shard) = probe_one(&chaos, q);
+        if !probes[i][faulted] {
+            // Never routed to the broken shard: byte-identical results AND
+            // byte-identical exact counters, fault plan armed or not.
+            assert_eq!(res, baseline[i].0, "query {i}: unaffected result");
+            assert_eq!(per_shard, baseline[i].1, "query {i}: unaffected counters");
+            continue;
+        }
+        if panics_seen < 2 {
+            // Quarantine not yet tripped: the probe panics, the panic is
+            // contained, and the query fails with the shard attributed.
+            panics_seen += 1;
+            assert_eq!(
+                res,
+                QueryResult::Failed(QueryError::Panicked {
+                    shard: Some(faulted as u32)
+                }),
+                "query {i}: contained panic"
+            );
+        } else {
+            // Quarantined: the planner routes around the shard and the
+            // answer degrades to a partial result instead of failing.
+            let QueryResult::PartialRange(ids, d) = &res else {
+                panic!("query {i}: expected PartialRange, got {res:?}");
+            };
+            assert_eq!(d.reason, DegradeReason::Quarantined);
+            assert_eq!(d.shards_skipped, 1);
+            let QueryResult::Range(exact) = &baseline[i].0 else {
+                panic!("baseline {i} must be exact");
+            };
+            assert!(
+                ids.iter().all(|id| exact.contains(id)),
+                "query {i}: partial ⊆ exact"
+            );
+        }
+    }
+    assert_eq!(panics_seen, 2, "exactly two panics trip the quarantine");
+    assert_eq!(fault::fired(), vec![2], "the plan fired once per panic");
+
+    // The quarantined shard is visible in the engine's own state and in
+    // the metrics registry.
+    assert_eq!(chaos.quarantined_shards(), vec![faulted]);
+    let states = chaos.fault_states();
+    assert_eq!(states[faulted].panics, 2);
+    assert!(states[faulted].quarantined);
+    let snap = chaos.metrics();
+    if snap.enabled {
+        let gauge = snap
+            .gauges
+            .iter()
+            .find(|(n, _)| n == "engine.quarantined_shards")
+            .map(|(_, v)| *v);
+        assert_eq!(gauge, Some(1), "quarantine gauge in engine.metrics()");
+        let quarantines = snap
+            .counters
+            .iter()
+            .find(|(n, _)| n == "serve.quarantines")
+            .map(|(_, v)| *v);
+        assert_eq!(quarantines, Some(1));
+    }
+
+    // Disarm the fault and heal: every query is byte-identical to the
+    // fault-free baseline again.
+    fault::clear();
+    assert_eq!(chaos.heal(), 1);
+    assert!(chaos.quarantined_shards().is_empty());
+    for (i, q) in queries.iter().enumerate() {
+        let (res, per_shard) = probe_one(&chaos, q);
+        assert_eq!(res, baseline[i].0, "query {i}: healed result");
+        assert_eq!(per_shard, baseline[i].1, "query {i}: healed counters");
+    }
+}
+
+#[test]
+fn nan_distances_never_poison_or_panic() {
+    quiet_injected_panics();
+    let _g = PLAN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    fault::clear();
+
+    let pts = pmr::datasets::la(300, 7);
+    let e = build(PartitionPolicy::RoundRobin, 4, &pts);
+    let q = Query::range(pts[10].clone(), 500.0);
+    let exact = e.serve(std::slice::from_ref(&q));
+    let QueryResult::Range(exact_ids) = &exact.results[0] else {
+        panic!("exact serve must be a Range");
+    };
+
+    // Every LAESA verification distance comes out NaN: candidates are
+    // silently dropped (`NaN <= r` is false) — degraded answers, but no
+    // panic and no NaN escaping into results.
+    fault::install(FaultPlan::new().with(FaultSpec::always(
+        "laesa.dist",
+        None,
+        FaultKind::NanDist,
+    )));
+    let poisoned = e.serve(std::slice::from_ref(&q));
+    let QueryResult::Range(ids) = &poisoned.results[0] else {
+        panic!("NaN injection must not change the result variant");
+    };
+    assert!(
+        ids.iter().all(|id| exact_ids.contains(id)),
+        "poisoned ⊆ exact"
+    );
+    assert_eq!(poisoned.report.failed, 0, "no panic, no failure");
+
+    // Clearing the plan restores exact answers.
+    fault::clear();
+    let again = e.serve(std::slice::from_ref(&q));
+    assert_eq!(again.results[0], exact.results[0]);
+}
+
+#[test]
+fn injected_probe_delays_trip_the_query_deadline() {
+    quiet_injected_panics();
+    let _g = PLAN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    fault::clear();
+
+    let pts = pmr::datasets::la(400, 9);
+    let e = build(PartitionPolicy::RoundRobin, 4, &pts);
+    let q = Query::range(pts[5].clone(), 500.0);
+    let exact = e.serve(std::slice::from_ref(&q));
+    let QueryResult::Range(exact_ids) = &exact.results[0] else {
+        panic!("exact serve must be a Range");
+    };
+
+    // 2 ms per-query budget, 10 ms injected delay on every probe: the
+    // first probe runs (and sleeps), every later probe is over deadline.
+    e.set_budget(ServeBudget {
+        query: QueryBudget {
+            wall_nanos: 2_000_000,
+            compdists: 0,
+        },
+        batch_wall_nanos: 0,
+    });
+    fault::install(FaultPlan::new().with(FaultSpec::always(
+        "engine.probe",
+        None,
+        FaultKind::DelayMicros(10_000),
+    )));
+    let out = e.serve(std::slice::from_ref(&q));
+    let QueryResult::PartialRange(ids, d) = &out.results[0] else {
+        panic!(
+            "expected a deadline-degraded partial, got {:?}",
+            out.results[0]
+        );
+    };
+    assert_eq!(d.reason, DegradeReason::Deadline);
+    assert_eq!(d.shards_skipped, 3, "only the first probe beat the clock");
+    assert!(
+        ids.iter().all(|id| exact_ids.contains(id)),
+        "partial ⊆ exact"
+    );
+    assert_eq!(out.report.degraded, 1);
+
+    fault::clear();
+    e.set_budget(ServeBudget::unlimited());
+    let again = e.serve(std::slice::from_ref(&q));
+    assert_eq!(again.results[0], exact.results[0]);
+}

@@ -1,0 +1,180 @@
+//! Robustness: malformed queries must never panic the engine — across
+//! index kinds and partition policies — and must come back as typed
+//! per-item [`QueryError`]s while the valid queries sharing the batch
+//! return byte-identical results to a malformed-free serve. This is the
+//! serve-boundary contract of `docs/robustness.md`: validation happens
+//! once at the boundary, the layers below assume well-formed input.
+
+use pivot_metric_repro as pmr;
+use pmr::builder::{BuildOptions, IndexKind};
+use pmr::engine::{EngineConfig, Query, QueryResult};
+use pmr::{build_sharded_vector_engine, LInf, PartitionPolicy, QueryError, L2};
+use proptest::prelude::*;
+
+const N: usize = 150;
+const KINDS: [IndexKind; 4] = [
+    IndexKind::Laesa,
+    IndexKind::Cpt,
+    IndexKind::Ept,
+    IndexKind::Fqa,
+];
+const POLICIES: [PartitionPolicy; 2] = [PartitionPolicy::RoundRobin, PartitionPolicy::PivotSpace];
+
+fn opts() -> BuildOptions {
+    BuildOptions {
+        d_plus: 14143.0,
+        maxnum: 64,
+        ..BuildOptions::default()
+    }
+}
+
+fn cfg() -> EngineConfig {
+    EngineConfig {
+        shards: 3,
+        threads: 2,
+        ..EngineConfig::default()
+    }
+}
+
+/// One malformed (or extreme-but-valid) query per pick. The first five are
+/// rejected with the given error; the last two are legal edge cases that
+/// must execute normally.
+fn hostile(pick: usize, pts: &[Vec<f32>]) -> (Query<Vec<f32>>, Option<QueryError>) {
+    match pick {
+        0 => (
+            Query::range(pts[0].clone(), f64::NAN),
+            Some(QueryError::NanRadius),
+        ),
+        1 => (
+            Query::range(pts[1].clone(), -1.0),
+            Some(QueryError::NegativeRadius),
+        ),
+        2 => (Query::knn(pts[2].clone(), 0), Some(QueryError::ZeroK)),
+        3 => (
+            Query::range(vec![f32::NAN, 0.0], 100.0),
+            Some(QueryError::InvalidObject),
+        ),
+        4 => (
+            Query::knn(vec![f32::INFINITY, 0.0], 5),
+            Some(QueryError::InvalidObject),
+        ),
+        // r = +∞ is a valid "match everything".
+        5 => (Query::range(pts[3].clone(), f64::INFINITY), None),
+        // k = n + 1 is a valid "rank everything".
+        _ => (Query::knn(pts[4].clone(), N + 1), None),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn malformed_queries_never_panic_or_perturb(
+        picks in prop::collection::vec(0usize..7, 1..5),
+        valid in prop::collection::vec((0usize..N, 0usize..4), 1..5),
+        interleave in any::<u64>(),
+    ) {
+        let pts = pmr::datasets::la(N, 21);
+        let valid_qs: Vec<Query<Vec<f32>>> = valid
+            .iter()
+            .map(|&(qi, v)| match v {
+                0 => Query::range(pts[qi].clone(), 200.0),
+                1 => Query::range(pts[qi].clone(), 800.0),
+                2 => Query::knn(pts[qi].clone(), 1),
+                _ => Query::knn(pts[qi].clone(), 10),
+            })
+            .collect();
+        let hostile_qs: Vec<(Query<Vec<f32>>, Option<QueryError>)> =
+            picks.iter().map(|&p| hostile(p, &pts)).collect();
+
+        // Interleave valid and hostile queries deterministically from the
+        // generated bit pattern, remembering where each one landed.
+        let mut mixed: Vec<Query<Vec<f32>>> = Vec::new();
+        let mut valid_pos = Vec::new();
+        let mut hostile_pos = Vec::new();
+        let (mut vi, mut hi, mut bits) = (0usize, 0usize, interleave);
+        while vi < valid_qs.len() || hi < hostile_qs.len() {
+            let take_valid = hi >= hostile_qs.len() || (vi < valid_qs.len() && bits & 1 == 0);
+            bits = bits.rotate_right(1);
+            if take_valid {
+                valid_pos.push(mixed.len());
+                mixed.push(valid_qs[vi].clone());
+                vi += 1;
+            } else {
+                hostile_pos.push(mixed.len());
+                mixed.push(hostile_qs[hi].0.clone());
+                hi += 1;
+            }
+        }
+
+        for kind in KINDS {
+            for policy in POLICIES {
+                // FQA buckets distances, which requires a discrete metric;
+                // the other kinds run the paper's L2 setup.
+                let engine = if kind == IndexKind::Fqa {
+                    build_sharded_vector_engine(
+                        kind,
+                        pts.clone(),
+                        LInf::discrete(),
+                        &opts(),
+                        &cfg(),
+                        policy,
+                    )
+                    .unwrap()
+                } else {
+                    build_sharded_vector_engine(kind, pts.clone(), L2, &opts(), &cfg(), policy)
+                        .unwrap()
+                };
+                // Neither serve may panic; the engine stays usable after.
+                let mixed_out = engine.serve(&mixed);
+                let clean_out = engine.serve(&valid_qs);
+                prop_assert_eq!(mixed_out.results.len(), mixed.len());
+
+                // Valid queries are byte-identical to the clean batch.
+                for (ci, &mi) in valid_pos.iter().enumerate() {
+                    prop_assert_eq!(
+                        &mixed_out.results[mi],
+                        &clean_out.results[ci],
+                        "{}/{:?}: valid query {} perturbed by hostile neighbors",
+                        kind.label(),
+                        policy,
+                        ci
+                    );
+                }
+
+                // Hostile queries come back as the expected typed error —
+                // or, for the legal extremes, as complete exact answers.
+                let mut failed = 0usize;
+                for (hi, &mi) in hostile_pos.iter().enumerate() {
+                    let res = &mixed_out.results[mi];
+                    match &hostile_qs[hi].1 {
+                        Some(err) => {
+                            failed += 1;
+                            prop_assert_eq!(
+                                res,
+                                &QueryResult::Failed(*err),
+                                "{}/{:?}: hostile query {}",
+                                kind.label(),
+                                policy,
+                                hi
+                            );
+                        }
+                        None => match res {
+                            QueryResult::Range(ids) => prop_assert_eq!(ids.len(), N),
+                            QueryResult::Knn(ns) => prop_assert_eq!(ns.len(), N),
+                            other => prop_assert!(
+                                false,
+                                "{}/{:?}: extreme-but-valid query degraded: {:?}",
+                                kind.label(),
+                                policy,
+                                other
+                            ),
+                        },
+                    }
+                }
+                prop_assert_eq!(mixed_out.report.failed, failed);
+                prop_assert_eq!(clean_out.report.failed, 0);
+            }
+        }
+    }
+}

@@ -179,6 +179,8 @@ fn map_result(r: &QueryResult, map: &BTreeMap<ObjId, ObjId>) -> QueryResult {
                 .map(|n| Neighbor::new(map[&n.id], n.dist))
                 .collect(),
         ),
+        // No budgets/faults in these tests: degraded variants are a bug.
+        other => panic!("unbudgeted serve must stay exact, got {other:?}"),
     }
 }
 
