@@ -20,7 +20,16 @@
 //!   path (immune to machine drift between runs). `regression_ok` gates on
 //!   the A/B: the scratch path must never be slower than the allocating
 //!   path; absolute QPS vs the recorded baseline rides along as trajectory
-//!   data.
+//!   data. The `sched` group adds the scale-tier shard-scaling gate:
+//!   LAESA over synthetic `n = 10⁵` at `P ∈ {1, 8}`, for both partition
+//!   policies and both filter-column modes (f64 and f32). On this
+//!   repository's single-core reference machine extra shards buy nothing
+//!   from parallelism, so `scaling_ok` asks for *work reduction*: at
+//!   least one `P = 8` point must reach the batch QPS of its matching
+//!   policy-and-mode `P = 1` point, delivered by threshold-seeded kNN
+//!   carryover across the sequential probe order (and, under
+//!   pivot-space routing, whole-shard pruning). Every point and its
+//!   P8/P1 ratio is committed alongside the gate.
 //!
 //! Real measurement mode requires `cargo bench` (cargo passes `--bench`);
 //! any other invocation (e.g. `cargo test --bench build_throughput`) runs
@@ -28,7 +37,7 @@
 
 use pmi::builder::{BuildOptions, IndexKind};
 use pmi::engine::{EngineConfig, Query};
-use pmi::{build_sharded_vector_engine, datasets, PartitionPolicy, L2};
+use pmi::{build_sharded_vector_engine, datasets, ColumnMode, LInf, PartitionPolicy, L2};
 use pmi_bench::harness::{append_runlog, TrajectoryPoint};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -225,6 +234,101 @@ fn main() {
         last_engine = Some(engine);
     }
 
+    // ---- Scale-tier shard scaling (`sched`): the committed acceptance
+    // gate for query-parallel batch scheduling. LAESA engines over the
+    // paper's synthetic recipe at n = 10^5, P ∈ {1, 8}, both partition
+    // policies × both column modes, serving the same 64-query mixed
+    // batch. On a single-core host P = 8 cannot win by parallelism, only
+    // by doing *less work* than P = 1: the sequential probe order feeds
+    // each shard's kNN scan the global top-k threshold, so later shards
+    // prune against an already-tight radius instead of rebuilding it
+    // from scratch, and pivot-space routing additionally skips whole
+    // shards per query. `scaling_ok` gates on at least one P = 8 point
+    // reaching its matching policy-and-mode P = 1 QPS; the remaining
+    // points and their P8/P1 ratios are committed as the contrast.
+    let scale_n = if smoke { 4_000 } else { 100_000 };
+    let sched_iters = if smoke { 1 } else { 15 };
+    const SCHED_BATCH: usize = 64;
+    let spts = datasets::synthetic(scale_n, 42);
+    let smetric = LInf::discrete();
+    let sradius = datasets::calibrate_radius(&spts, &smetric, 0.01, 42);
+    let sbatch: Vec<Query<Vec<f32>>> = (0..SCHED_BATCH)
+        .map(|i| {
+            let q = spts[(i * 131) % spts.len()].clone();
+            if i % 2 == 0 {
+                Query::range(q, sradius)
+            } else {
+                Query::knn(q, 10)
+            }
+        })
+        .collect();
+    let sopts = BuildOptions {
+        d_plus: 10_000.0,
+        maxnum: (scale_n / 64).max(64),
+        ..BuildOptions::default()
+    };
+    struct SchedPoint {
+        policy: &'static str,
+        mode: &'static str,
+        shards: usize,
+        qps: f64,
+        strategy: &'static str,
+    }
+    let mut sched_points: Vec<SchedPoint> = Vec::new();
+    for (column_mode, mode) in [(ColumnMode::F64, "f64"), (ColumnMode::F32, "f32")] {
+        for policy in [PartitionPolicy::RoundRobin, PartitionPolicy::PivotSpace] {
+            for shards in [1usize, 8] {
+                let engine = build_sharded_vector_engine(
+                    IndexKind::Laesa,
+                    spts.clone(),
+                    smetric,
+                    &BuildOptions {
+                        column_mode,
+                        ..sopts.clone()
+                    },
+                    &EngineConfig {
+                        shards,
+                        threads: 0,
+                        ..EngineConfig::default()
+                    },
+                    policy,
+                )
+                .expect("buildable");
+                let mut strategy = "";
+                let mut best = f64::INFINITY;
+                for _ in 0..sched_iters.min(3) {
+                    let _ = engine.serve(&sbatch);
+                }
+                for _ in 0..sched_iters {
+                    let t0 = Instant::now();
+                    let out = engine.serve(&sbatch);
+                    best = best.min(t0.elapsed().as_secs_f64());
+                    strategy = out.report.strategy.label();
+                }
+                let qps = SCHED_BATCH as f64 / best;
+                println!(
+                    "sched/laesa/synthetic/n{scale_n}/{}/{mode}/P{shards}: {qps:.0} q/s \
+                     ({strategy})",
+                    policy.label()
+                );
+                sched_points.push(SchedPoint {
+                    policy: policy.label(),
+                    mode,
+                    shards,
+                    qps,
+                    strategy,
+                });
+            }
+        }
+    }
+    let scaling_ok = sched_points.iter().filter(|p| p.shards == 8).any(|p8| {
+        sched_points
+            .iter()
+            .find(|p1| p1.shards == 1 && p1.policy == p8.policy && p1.mode == p8.mode)
+            .is_some_and(|p1| p8.qps >= p1.qps)
+    });
+    println!("sched/laesa/synthetic/n{scale_n}: scaling_ok = {scaling_ok}");
+
     if smoke {
         println!("build_throughput: ok (smoke)");
         return;
@@ -317,6 +421,41 @@ fn main() {
     if let Some(engine) = last_engine {
         serve_log.extend_from(&engine.metrics());
     }
+    let mut sched_json = String::new();
+    write!(
+        sched_json,
+        "{{\"n\": {scale_n}, \"batch\": {SCHED_BATCH}, \"scaling_ok\": {scaling_ok}, \
+         \"points\": ["
+    )
+    .unwrap();
+    for (i, p) in sched_points.iter().enumerate() {
+        let p1_qps = sched_points
+            .iter()
+            .find(|q| q.shards == 1 && q.policy == p.policy && q.mode == p.mode)
+            .map_or(p.qps, |q| q.qps);
+        write!(
+            sched_json,
+            "{}{{\"policy\": \"{}\", \"mode\": \"{}\", \"shards\": {}, \"qps\": {:.0}, \
+             \"vs_p1\": {:.3}, \"strategy\": \"{}\"}}",
+            if i > 0 { ", " } else { "" },
+            p.policy,
+            p.mode,
+            p.shards,
+            p.qps,
+            p.qps / p1_qps,
+            p.strategy
+        )
+        .unwrap();
+    }
+    sched_json.push_str("]}");
+    for p in &sched_points {
+        serve_log.record(
+            &format!("sched.{}.{}.P{}", p.policy, p.mode, p.shards),
+            sched_iters as u64,
+            SCHED_BATCH as f64 / p.qps,
+            &[("batch", SCHED_BATCH as u64), ("n", scale_n as u64)],
+        );
+    }
     engine_traj
         .field_str(
             "baseline_commit",
@@ -324,6 +463,7 @@ fn main() {
         )
         .field_bool("regression_ok", regression_ok)
         .field_raw("points", &points_json)
+        .field_raw("sched", &sched_json)
         .write("BENCH_engine.json");
     append_runlog(&serve_log);
     println!("regression_ok = {regression_ok}");

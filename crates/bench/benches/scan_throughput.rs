@@ -11,7 +11,13 @@
 //!   1. `kernel`: lower-bound throughput (rows/s) of the blocked
 //!      [`ScanKernel`] against the scalar per-row `pivot_lower_bound`
 //!      reference over the same LAESA-shaped `8k × 5` flat matrix,
-//!      interleaved in-process so machine drift cancels.
+//!      interleaved in-process so machine drift cancels. Also the f32
+//!      filter-column kernel against the f64 blocked kernel (gated
+//!      `f32_speedup_ok` at ≥ 1.5× — half the bytes streamed), the
+//!      dispatched SIMD tier, and a paper-scale (`10⁵` synthetic rows)
+//!      point for both widths. The `f32` group holds the end-to-end
+//!      gate: an F32-mode LAESA engine must serve byte-identical answers
+//!      (`exact_ok`), with its QPS riding along.
 //!   2. `serve`: batch-serving QPS at `P = 8` of two engines over
 //!      identical shards and queries — one whose shards are the *old*
 //!      scan shape (`RwLock::read` per scan + per-row scalar lower
@@ -302,9 +308,109 @@ fn main() {
     let blocked_rows_per_sec = n as f64 / blocked_best;
     let scalar_rows_per_sec = n as f64 / scalar_best;
     let kernel_speedup = blocked_rows_per_sec / scalar_rows_per_sec;
+    let simd_tier = pmi::metric::simd::tier();
     println!(
-        "scan_kernel/laesa/n{n}/l{l}: blocked {blocked_rows_per_sec:.3e} rows/s, \
-         scalar {scalar_rows_per_sec:.3e} rows/s, speedup {kernel_speedup:.2}x"
+        "scan_kernel/laesa/n{n}/l{l}: blocked {blocked_rows_per_sec:.3e} rows/s [{}], \
+         scalar {scalar_rows_per_sec:.3e} rows/s, speedup {kernel_speedup:.2}x",
+        simd_tier.label()
+    );
+
+    // ---- 1b. f32 filter columns: the same matrix in planar f32 columns
+    // halves the bytes the kernel streams, so the f32 path must beat the
+    // f64 blocked path on rows/s (gated at >= 1.5x); its slack-adjusted
+    // bounds must never exceed the exact f64 bounds (admissibility).
+    // Columns are materialized exactly as `MatrixSlice` does for an F32
+    // engine. Interleaved against a fresh f64 measurement so the ratio is
+    // drift-immune.
+    let matrix32 = matrix.clone().with_mode(pmi::ColumnMode::F32);
+    let cols32_own: Vec<Vec<f32>> = (0..l)
+        .map(|j| (0..n).map(|i| matrix.row(i)[j] as f32).collect())
+        .collect();
+    let cols32: Vec<&[f32]> = cols32_own.iter().map(|c| c.as_slice()).collect();
+    let qd32: Vec<f32> = qd.iter().map(|&v| v as f32).collect();
+    let qmax = qd.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    let slack = matrix32.f32_slack(qmax);
+    let mut f64_paired = Vec::new();
+    let mut f32_out = Vec::new();
+    let (mut f64_paired_best, mut f32_best) = (f64::INFINITY, f64::INFINITY);
+    let run_f32 = |out: &mut Vec<f64>, best: &mut f64| {
+        let t0 = Instant::now();
+        ScanKernel::lower_bounds_f32(&qd32, &cols32, n, slack, out);
+        *best = best.min(t0.elapsed().as_secs_f64());
+    };
+    for rep in 0..kernel_reps {
+        if rep % 2 == 0 {
+            run_blocked(&mut f64_paired, &mut f64_paired_best);
+            run_f32(&mut f32_out, &mut f32_best);
+        } else {
+            run_f32(&mut f32_out, &mut f32_best);
+            run_blocked(&mut f64_paired, &mut f64_paired_best);
+        }
+        std::hint::black_box((&f64_paired, &f32_out));
+    }
+    assert!(
+        f32_out
+            .iter()
+            .zip(&f64_paired)
+            .all(|(lo, hi)| *lo >= 0.0 && lo <= hi),
+        "f32 bounds must stay admissible (never above the f64 bounds)"
+    );
+    let f32_rows_per_sec = n as f64 / f32_best;
+    let f32_speedup = f64_paired_best / f32_best;
+    let f32_speedup_ok = smoke || f32_speedup >= 1.5;
+    println!(
+        "scan_kernel/laesa/n{n}/l{l}: f32 {f32_rows_per_sec:.3e} rows/s, \
+         {f32_speedup:.2}x over f64 blocked (f32_speedup_ok = {f32_speedup_ok})"
+    );
+    assert!(f32_speedup_ok, "f32 kernel must be >= 1.5x f64 blocked");
+
+    // ---- 1c. Scale tier: the same kernels over the paper-scale synthetic
+    // matrix (10^5 rows; the 8k LA matrix is L2-resident, this one is
+    // not), so the committed rows/s reflect streaming from memory.
+    let scale_n = if smoke { 10_000 } else { 100_000 };
+    let scale_reps = if smoke { 1 } else { 40 };
+    let spts = datasets::synthetic(scale_n, 42);
+    let spivots: Vec<Vec<f32>> = spts[..l].to_vec();
+    let smatrix = PivotMatrix::compute(&spts, &pmi::LInf::discrete(), &spivots, 1);
+    let smatrix32 = smatrix.clone().with_mode(pmi::ColumnMode::F32);
+    let sqd: Vec<f64> = spivots
+        .iter()
+        .map(|p| pmi::LInf::discrete().dist(&spts[17], p))
+        .collect();
+    let sqd32: Vec<f32> = sqd.iter().map(|&v| v as f32).collect();
+    let sslack = smatrix32.f32_slack(sqd.iter().fold(0.0f64, |m, &v| m.max(v.abs())));
+    let scols32_own: Vec<Vec<f32>> = (0..l)
+        .map(|j| (0..scale_n).map(|i| smatrix.row(i)[j] as f32).collect())
+        .collect();
+    let scols32: Vec<&[f32]> = scols32_own.iter().map(|c| c.as_slice()).collect();
+    let (mut s64, mut s32) = (Vec::new(), Vec::new());
+    let (mut s64_best, mut s32_best) = (f64::INFINITY, f64::INFINITY);
+    for rep in 0..scale_reps {
+        let a = |s64: &mut Vec<f64>, best: &mut f64| {
+            let t0 = Instant::now();
+            ScanKernel::lower_bounds(&sqd, smatrix.as_slice(), scale_n, s64);
+            *best = best.min(t0.elapsed().as_secs_f64());
+        };
+        let b = |s32v: &mut Vec<f64>, best: &mut f64| {
+            let t0 = Instant::now();
+            ScanKernel::lower_bounds_f32(&sqd32, &scols32, scale_n, sslack, s32v);
+            *best = best.min(t0.elapsed().as_secs_f64());
+        };
+        if rep % 2 == 0 {
+            a(&mut s64, &mut s64_best);
+            b(&mut s32, &mut s32_best);
+        } else {
+            b(&mut s32, &mut s32_best);
+            a(&mut s64, &mut s64_best);
+        }
+        std::hint::black_box((&s64, &s32));
+    }
+    let scale_rows_per_sec = scale_n as f64 / s64_best;
+    let scale_f32_rows_per_sec = scale_n as f64 / s32_best;
+    println!(
+        "scan_kernel/synthetic/n{scale_n}/l{l}: f64 {scale_rows_per_sec:.3e} rows/s, \
+         f32 {scale_f32_rows_per_sec:.3e} rows/s ({:.2}x)",
+        s64_best / s32_best
     );
 
     // ---- 2. Locked vs snapshot serve QPS at P = 8 (round-robin, so both
@@ -337,6 +443,35 @@ fn main() {
     println!(
         "serve_scan/laesa/P{SHARDS}: snapshot {snapshot_qps:.0} q/s vs locked {locked_qps:.0} q/s \
          ({serve_speedup:.2}x)"
+    );
+
+    // ---- 2a. F32 column mode end to end: the same LAESA engine built
+    // with f32 filter columns must serve byte-identical answers
+    // (`f32.exact_ok` — the committed acceptance gate for the mode) while
+    // the filter streams half the bytes; QPS rides along as trajectory
+    // data (at this n the exact verification pass, not the filter,
+    // dominates the serve wall).
+    let f32_engine = build_sharded_vector_engine(
+        IndexKind::Laesa,
+        pts.clone(),
+        L2,
+        &BuildOptions {
+            column_mode: pmi::ColumnMode::F32,
+            ..opts.clone()
+        },
+        &cfg,
+        PartitionPolicy::RoundRobin,
+    )
+    .expect("buildable");
+    let full64 = snapshot_engine.serve(&batch);
+    let full32 = f32_engine.serve(&batch);
+    let f32_exact_ok = full64.results == full32.results;
+    assert!(f32_exact_ok, "f32 column mode changed serve results");
+    let f32_qps = serve_qps(&f32_engine, &batch, serve_iters);
+    let f32_qps_ratio = f32_qps / snapshot_qps;
+    println!(
+        "serve_scan/laesa/P{SHARDS}: f32 columns {f32_qps:.0} q/s vs f64 {snapshot_qps:.0} q/s \
+         ({f32_qps_ratio:.2}x), exact_ok = {f32_exact_ok}"
     );
 
     // ---- 2b. Observability overhead: serve QPS with the obs runtime
@@ -618,6 +753,30 @@ fn main() {
         &[("rows", n as u64)],
     );
     log.record(
+        "kernel.f32",
+        kernel_reps as u64,
+        f32_best,
+        &[("rows", n as u64)],
+    );
+    log.record(
+        "kernel.scale_f64",
+        scale_reps as u64,
+        s64_best,
+        &[("rows", scale_n as u64)],
+    );
+    log.record(
+        "kernel.scale_f32",
+        scale_reps as u64,
+        s32_best,
+        &[("rows", scale_n as u64)],
+    );
+    log.record(
+        "serve.f32",
+        serve_iters as u64,
+        BATCH as f64 / f32_qps,
+        &[("batch", BATCH as u64)],
+    );
+    log.record(
         "serve.snapshot",
         serve_iters as u64,
         BATCH as f64 / snapshot_qps,
@@ -678,7 +837,20 @@ fn main() {
     write!(
         kernel_json,
         "{{\"blocked_rows_per_sec\": {blocked_rows_per_sec:.0}, \
-         \"scalar_rows_per_sec\": {scalar_rows_per_sec:.0}, \"speedup\": {kernel_speedup:.3}}}"
+         \"scalar_rows_per_sec\": {scalar_rows_per_sec:.0}, \"speedup\": {kernel_speedup:.3}, \
+         \"simd_tier\": \"{}\", \
+         \"f32_rows_per_sec\": {f32_rows_per_sec:.0}, \"f32_speedup\": {f32_speedup:.3}, \
+         \"f32_speedup_ok\": {f32_speedup_ok}, \
+         \"scale_n\": {scale_n}, \"scale_rows_per_sec\": {scale_rows_per_sec:.0}, \
+         \"scale_f32_rows_per_sec\": {scale_f32_rows_per_sec:.0}}}",
+        simd_tier.label()
+    )
+    .unwrap();
+    let mut f32_json = String::new();
+    write!(
+        f32_json,
+        "{{\"exact_ok\": {f32_exact_ok}, \"f64_qps\": {snapshot_qps:.0}, \
+         \"f32_qps\": {f32_qps:.0}, \"qps_ratio\": {f32_qps_ratio:.3}}}"
     )
     .unwrap();
     let mut serve_json = String::new();
@@ -725,6 +897,7 @@ fn main() {
     )
     .unwrap();
     traj.field_raw("kernel", &kernel_json)
+        .field_raw("f32", &f32_json)
         .field_raw("serve", &serve_json)
         .field_raw("obs", &obs_json)
         .field_raw("trace", &trace_json)

@@ -408,6 +408,42 @@ mod tests {
     }
 
     #[test]
+    fn f32_and_sched_gates_are_collected() {
+        // Pins the ISSUE-9 gate shapes to the sentinel: the f32
+        // column-mode gates of BENCH_scan.json (`kernel.f32_speedup_ok`,
+        // `f32.exact_ok`) and the scale-tier scheduling gate of
+        // BENCH_engine.json (`sched.scaling_ok`) must be picked up by the
+        // generic `_ok` walk — and unknown sibling keys (`simd_tier`,
+        // `strategy`, future fields) must be ignored, not crash `--check`.
+        let scan = JsonValue::parse(
+            r#"{"bench":"scan_throughput",
+                "kernel":{"blocked_rows_per_sec":648000000,"simd_tier":"avx2",
+                          "f32_rows_per_sec":1300000000,"f32_speedup":2.0,
+                          "f32_speedup_ok":true,"scale_n":100000,"mystery":null},
+                "f32":{"exact_ok":true,"f64_qps":2400,"f32_qps":2900,"qps_ratio":1.21}}"#,
+        )
+        .unwrap();
+        let engine = JsonValue::parse(
+            r#"{"bench":"engine_qps",
+                "sched":{"n":100000,"batch":64,"scaling_ok":false,
+                         "points":[{"policy":"round-robin","shards":8,"qps":900,
+                                    "strategy":"query-parallel"}]}}"#,
+        )
+        .unwrap();
+        let mut gates = Vec::new();
+        collect_gates("BENCH_scan.json", "", &scan, &mut gates);
+        collect_gates("BENCH_engine.json", "", &engine, &mut gates);
+        let paths: Vec<&str> = gates.iter().map(|g| g.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            ["kernel.f32_speedup_ok", "f32.exact_ok", "sched.scaling_ok"]
+        );
+        let r = analyze(&Groups::new(), &[], &gates, 3.0);
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert!(r.violations[0].contains("sched.scaling_ok"));
+    }
+
+    #[test]
     fn runlog_lines_group_by_bench_fp_phase() {
         let body = concat!(
             r#"{"schema":"pmi-runlog-v1","bench":"a","fingerprint":"0x1","phase":"p","calls":10,"wall_secs":0.5}"#,

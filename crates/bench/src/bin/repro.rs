@@ -23,6 +23,8 @@ EXPERIMENTS:
   fig16    MRQ vs radius selectivity (9 indexes x 4 datasets)
   fig17    MkNNQ vs k (9 indexes x 4 datasets)
   fig18    MkNNQ vs |P| (LA + Synthetic)
+  scale    batch-serve QPS at 10^5 x scale objects (Synthetic, LAESA, P in {1,8},
+           both partition policies and filter-column modes; --scale 10 = 10^6)
   all      everything above
 ";
 
@@ -80,6 +82,9 @@ fn main() {
         }
         "fig18" => {
             experiments::fig18(&cfg);
+        }
+        "scale" => {
+            experiments::scale(&cfg);
         }
         "all" => {
             experiments::table2(&cfg);

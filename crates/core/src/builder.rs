@@ -2,7 +2,7 @@
 //! parameters — the "equal footing" requirement of §6.1 (same HFI pivots,
 //! same page sizes, same defaults).
 
-use pmi_metric::{EncodeObject, MatrixSlice, Metric, MetricIndex};
+use pmi_metric::{ColumnMode, EncodeObject, MatrixSlice, Metric, MetricIndex};
 use pmi_storage::DiskSim;
 
 /// Every index variant evaluated or surveyed by the paper.
@@ -177,6 +177,10 @@ pub struct BuildOptions {
     pub tree_leaf_cap: usize,
     /// Seed for all randomized components.
     pub seed: u64,
+    /// Filter-column precision for the pivot-matrix scan kernel
+    /// ([`ColumnMode::F32`] halves the bytes the Lemma 1 filter streams;
+    /// exact distances stay f64 and results are byte-identical).
+    pub column_mode: ColumnMode,
 }
 
 impl Default for BuildOptions {
@@ -195,6 +199,7 @@ impl Default for BuildOptions {
             buckets: 32,
             tree_leaf_cap: 8,
             seed: 42,
+            column_mode: ColumnMode::F64,
         }
     }
 }
@@ -232,10 +237,16 @@ where
     };
     Ok(match kind {
         IndexKind::Aesa => Box::new(Aesa::build(objects, metric)),
-        IndexKind::Laesa => Box::new(Laesa::build(objects, metric, pivots)),
+        IndexKind::Laesa => Box::new(Laesa::build_mode(objects, metric, pivots, opts.column_mode)),
         IndexKind::Ept => Box::new(Ept::build(objects, metric, EptMode::Random, ept_cfg)),
         IndexKind::EptStar => Box::new(Ept::build(objects, metric, EptMode::Psa, ept_cfg)),
-        IndexKind::Cpt => Box::new(Cpt::build(objects, metric, pivots, disk)),
+        IndexKind::Cpt => Box::new(Cpt::build_mode(
+            objects,
+            metric,
+            pivots,
+            disk,
+            opts.column_mode,
+        )),
         IndexKind::Bkt => Box::new(DiscreteTree::bkt(
             objects,
             metric,

@@ -286,6 +286,28 @@
 //!     assert!(snap.phases.is_empty());
 //! }
 //! ```
+//!
+//! # Performance: f32 columns, the SIMD kernel, batch scheduling
+//!
+//! The Lemma 1 filter scan is bandwidth-bound, and `docs/performance.md`
+//! documents the three levers that speed it up without changing a single
+//! answer byte:
+//!
+//! * **Filter-column modes** — `BuildOptions { column_mode:`
+//!   [`ColumnMode::F32`](pmi_metric::ColumnMode)` , .. }` adds an `f32`
+//!   mirror of the pivot matrix and streams half the bytes per filtered
+//!   row; a conservative rounding slack keeps the narrow bound
+//!   admissible, so exact `f64` verification returns byte-identical
+//!   results (proven in `tests/counters.rs`).
+//! * **The SIMD kernel** — [`metric::simd`](pmi_metric::simd) dispatches
+//!   the scan to AVX2/SSE2/portable at runtime ([`SimdTier`]); every
+//!   tier is bit-identical to the scalar reference, and `PMI_SIMD`
+//!   forces a tier for testing.
+//! * **Batch scheduling** — [`EngineConfig::sched`] ([`SchedPolicy`])
+//!   picks between query-parallel (workers claim whole queries; the
+//!   throughput shape) and shard-parallel (each query fans across
+//!   shards; the narrow-batch shape); `Auto` applies the cost model and
+//!   [`ServeReport::strategy`] reports what ran.
 
 pub mod builder;
 pub mod serve;
@@ -297,9 +319,9 @@ pub use pmi_engine as engine;
 pub use pmi_engine::{
     ApplyReport, BatchOutcome, BuildStats, CompactionPolicy, Completeness, DegradeReason, Degraded,
     EngineConfig, EngineError, EngineScratch, FaultPolicy, LatencySummary, OpError, OpErrorKind,
-    Query, QueryBudget, QueryError, QueryResult, QueryTrace, RefreshPolicy, ServeBudget,
-    ServeReport, ShardFaultState, ShardServeStats, ShardedEngine, TraceEvent, TraceKind,
-    TracePolicy, UpdateBatch, UpdateOp, UpdateStats,
+    Query, QueryBudget, QueryError, QueryResult, QueryTrace, RefreshPolicy, SchedPolicy,
+    SchedStrategy, ServeBudget, ServeReport, ShardFaultState, ShardServeStats, ShardedEngine,
+    TraceEvent, TraceKind, TracePolicy, UpdateBatch, UpdateOp, UpdateStats,
 };
 
 pub use pmi_obs as obs;
@@ -307,14 +329,15 @@ pub use pmi_obs as obs;
 pub use pmi_router as router;
 pub use pmi_router::{PartitionPolicy, RoutingTable};
 
+pub use pmi_metric as metric;
 pub use pmi_metric::datasets;
 pub use pmi_metric::fault;
 pub use pmi_metric::lemmas;
 pub use pmi_metric::object;
 pub use pmi_metric::{
-    BruteForce, Counters, CountingMetric, DistanceCounter, EditDistance, EncodeObject, LInf, Lp,
-    MatrixSlice, Metric, MetricIndex, Neighbor, ObjId, ObjTable, PivotMatrix, QueryScratch,
-    ScanKernel, SharedPivotMatrix, StorageFootprint, Vector, L1, L2,
+    BruteForce, ColumnMode, Counters, CountingMetric, DistanceCounter, EditDistance, EncodeObject,
+    LInf, Lp, MatrixSlice, Metric, MetricIndex, Neighbor, ObjId, ObjTable, PivotMatrix,
+    QueryScratch, ScanKernel, SharedPivotMatrix, SimdTier, StorageFootprint, Vector, L1, L2,
 };
 
 pub use pmi_pivots as pivots;

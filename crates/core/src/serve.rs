@@ -92,7 +92,12 @@ where
     let m0 = Instant::now();
     let (matrix, matrix_compdists) = if needs_matrix {
         let counting = CountingMetric::new(metric.clone());
-        let m = PivotMatrix::compute(&objects, &counting, &pivots, cfg.resolved_threads());
+        let mut m = PivotMatrix::compute(&objects, &counting, &pivots, cfg.resolved_threads());
+        if kind.adopts_pivot_matrix() {
+            // The f32 mirror only pays off where the scan kernel reads it;
+            // a router-only matrix (non-adopting kind) stays f64.
+            m.set_mode(opts.column_mode);
+        }
         let cost = counting.count();
         (m, cost)
     } else {

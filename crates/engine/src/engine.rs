@@ -42,7 +42,9 @@
 
 use crate::merge::{merge_range, TopK};
 use crate::query::{Query, QueryResult};
-use crate::report::{BuildStats, LatencySummary, ServeReport, ShardServeStats, UpdateStats};
+use crate::report::{
+    BuildStats, LatencySummary, SchedStrategy, ServeReport, ShardServeStats, UpdateStats,
+};
 use crate::robust::{
     DegradeReason, Degraded, FaultPolicy, OpError, OpErrorKind, QuarantineState, QueryBudget,
     QueryError, ServeBudget, ShardFaultState,
@@ -104,7 +106,50 @@ pub struct EngineConfig {
     /// When repeated per-shard query panics quarantine a shard (see
     /// [`FaultPolicy`]; default: after 3).
     pub faults: FaultPolicy,
+    /// How [`serve`](ShardedEngine::serve) schedules a batch onto the
+    /// worker pool (see [`SchedPolicy`]; default: [`SchedPolicy::Auto`]).
+    pub sched: SchedPolicy,
 }
+
+/// How [`serve`](ShardedEngine::serve) maps a batch of queries onto the
+/// worker pool.
+///
+/// *Query-parallel* assigns whole queries to workers: each worker claims
+/// queries from a shared cursor and fans nothing, so `P` shards cost one
+/// streaming scan each and the batch scales with the query count. This is
+/// the right shape whenever the batch is at least as wide as the pool.
+///
+/// *Shard-parallel* runs the batch serially and fans each query's probe
+/// set across the pool (the single-query low-latency path of
+/// [`range_query`](ShardedEngine::range_query) /
+/// [`knn_query`](ShardedEngine::knn_query)). It only wins when the batch
+/// is *narrower* than the pool — otherwise the per-query fan-out multiplies
+/// coordination cost without adding parallelism.
+///
+/// `Auto` (the default) picks per batch with that cost model; the choice
+/// made is reported as [`ServeReport::strategy`]. Budgeted, traced, or
+/// single-threaded serving always runs query-parallel — degradation,
+/// shedding, and trace capture are implemented on the per-worker claim
+/// loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SchedPolicy {
+    /// Choose per batch: query-parallel unless the batch is narrower than
+    /// the worker pool and each query plans enough rows to amortize a
+    /// per-query fan-out.
+    #[default]
+    Auto,
+    /// Always assign whole queries to workers.
+    QueryParallel,
+    /// Always fan each query across shards (falls back to query-parallel
+    /// when budgets or tracing are active, or with a single worker or a
+    /// single shard, where the fan-out cannot be honored).
+    ShardParallel,
+}
+
+/// Minimum live-object count (an upper bound on the rows one query plans)
+/// below which a per-query shard fan-out cannot amortize its scoped-thread
+/// setup; the measured crossover sits at a few thousand rows.
+const SHARD_PARALLEL_MIN_ROWS: usize = 4096;
 
 impl Default for EngineConfig {
     fn default() -> Self {
@@ -117,6 +162,7 @@ impl Default for EngineConfig {
             trace: TracePolicy::disabled(),
             budget: ServeBudget::unlimited(),
             faults: FaultPolicy::default(),
+            sched: SchedPolicy::default(),
         }
     }
 }
@@ -424,6 +470,14 @@ impl ScratchTrace {
 /// `probing` is written unconditionally (one plain store per probe) so a
 /// panic caught by `serve` can attribute itself to the shard that was
 /// being probed.
+/// A deadline check that finds at least this much time remaining grants
+/// [`DEADLINE_SKIP`] clock-free probe-boundary checks.
+const DEADLINE_SLACK_NANOS: u64 = 10_000_000;
+/// Clock reads skipped per slack grant (worst case: a degradation is
+/// noticed up to this many probe boundaries late, only when the previous
+/// read was ≥ 10 ms ahead of the deadline).
+const DEADLINE_SKIP: u32 = 3;
+
 #[derive(Default)]
 struct QueryCtl {
     /// The batch's per-query budget, set once per batch by `serve`
@@ -439,6 +493,13 @@ struct QueryCtl {
     /// deltas; exact single-threaded, conservative under concurrent
     /// serving of the same shard).
     spent: u64,
+    /// Remaining probe-boundary deadline checks allowed to skip the clock
+    /// read. Granted in blocks of [`DEADLINE_SKIP`] whenever a real read
+    /// shows at least [`DEADLINE_SLACK_NANOS`] to spare, so a far-off
+    /// deadline costs ~one clock read per few probes instead of one per
+    /// probe; a query's first check always reads, so tight deadlines
+    /// (including already-blown ones) degrade exactly as before.
+    clock_skips: u32,
     /// The shard currently being probed (panic attribution).
     probing: Option<u32>,
     /// Planned probes skipped so far for this query.
@@ -456,6 +517,7 @@ impl QueryCtl {
         self.skipped = 0;
         self.reason = None;
         self.probing = None;
+        self.clock_skips = 0;
         self.armed = budget.enabled() || quarantine_active;
         if self.armed {
             self.budget = budget;
@@ -483,9 +545,21 @@ impl QueryCtl {
             return false;
         }
         if let Some(d) = self.deadline {
-            if Instant::now() >= d {
-                self.skip(DegradeReason::Deadline);
-                return false;
+            if self.clock_skips > 0 {
+                // The last read had DEADLINE_SLACK_NANOS to spare; probes
+                // are checked at boundaries only anyway (an in-flight probe
+                // can never be cancelled), so a paced check weakens nothing
+                // the contract promises.
+                self.clock_skips -= 1;
+            } else {
+                let now = Instant::now();
+                if now >= d {
+                    self.skip(DegradeReason::Deadline);
+                    return false;
+                }
+                if d - now >= Duration::from_nanos(DEADLINE_SLACK_NANOS) {
+                    self.clock_skips = DEADLINE_SKIP;
+                }
             }
         }
         true
@@ -646,6 +720,8 @@ pub struct ShardedEngine<O> {
     budget: Mutex<ServeBudget>,
     /// When repeated per-shard panics quarantine a shard.
     faults: FaultPolicy,
+    /// How [`serve`](Self::serve) schedules batches onto workers.
+    sched: SchedPolicy,
     /// Per-shard panic counts and quarantine flags.
     quarantine: QuarantineState,
     /// Optional query/insert object validator (e.g. finite-coords for
@@ -979,6 +1055,7 @@ impl<O> ShardedEngine<O> {
             trace: Mutex::new(cfg.trace),
             budget: Mutex::new(cfg.budget),
             faults: cfg.faults,
+            sched: cfg.sched,
             quarantine: QuarantineState::new(num_shards),
             validator: None,
         })
@@ -1122,6 +1199,18 @@ impl<O> ShardedEngine<O> {
     /// The engine's shard quarantine policy.
     pub fn fault_policy(&self) -> FaultPolicy {
         self.faults
+    }
+
+    /// The configured batch scheduling policy (see [`SchedPolicy`]).
+    pub fn sched_policy(&self) -> SchedPolicy {
+        self.sched
+    }
+
+    /// Replaces the batch scheduling policy (takes effect for the next
+    /// [`serve`](Self::serve) batch). Lets an A/B comparison reuse one
+    /// built engine instead of rebuilding per policy.
+    pub fn set_sched(&mut self, sched: SchedPolicy) {
+        self.sched = sched;
     }
 
     /// Installs a query/insert object validator: objects it rejects fail
@@ -1623,7 +1712,8 @@ impl<O> ShardedEngine<O> {
             }
         }
 
-        let mut dense = PivotMatrix::with_capacity(snap.width(), survivors.len());
+        let mut dense =
+            PivotMatrix::with_capacity(snap.width(), survivors.len()).with_mode(snap.mode());
         let mut keep: Vec<Vec<ObjId>> = vec![Vec::new(); self.shards.len()];
         let mut rows: Vec<Vec<ObjId>> = vec![Vec::new(); self.shards.len()];
         for (new_gid, &old_gid) in survivors.iter().enumerate() {
@@ -1804,8 +1894,8 @@ impl<O> ShardedEngine<O> {
             fault::at("engine.probe", s as u64);
             executed += 1;
             obs.note_probe(s);
-            let cd0 =
-                (guarded && ctl.budget.compdists > 0).then(|| self.shards[s].counters().compdists);
+            let cd0 = (guarded && ctl.budget.caps_compdists())
+                .then(|| self.shards[s].counters().compdists);
             let snap = trace
                 .active
                 .then(|| (self.shards[s].counters(), qs.kernel_rows, qs.kernel_blocks));
@@ -1911,7 +2001,7 @@ impl<O> ShardedEngine<O> {
                     fault::at("engine.probe", s as u64);
                     probed += 1;
                     obs.note_probe(s);
-                    let cd0 = (guarded && ctl.budget.compdists > 0)
+                    let cd0 = (guarded && ctl.budget.caps_compdists())
                         .then(|| self.shards[s].counters().compdists);
                     let snap = trace.active.then(|| {
                         trace.ring.push(TraceEvent::Plan {
@@ -1922,7 +2012,11 @@ impl<O> ShardedEngine<O> {
                         });
                         (self.shards[s].counters(), qs.kernel_rows, qs.kernel_blocks)
                     });
-                    self.shards[s].knn_into_with(q, k, qs, nbrs, topk);
+                    // Seed the shard scan with the running threshold:
+                    // shards are probed in sequence here, so candidates
+                    // the merge would reject are never even verified.
+                    let seed = topk.threshold();
+                    self.shards[s].knn_into_with(q, k, seed, qs, nbrs, topk);
                     if let Some(c0) = cd0 {
                         ctl.spent += self.shards[s].counters().compdists.saturating_sub(c0);
                     }
@@ -1981,7 +2075,7 @@ impl<O> ShardedEngine<O> {
                     fault::at("engine.probe", s as u64);
                     probed += 1;
                     obs.note_probe(s);
-                    let cd0 = (guarded && ctl.budget.compdists > 0)
+                    let cd0 = (guarded && ctl.budget.caps_compdists())
                         .then(|| self.shards[s].counters().compdists);
                     let snap = trace.active.then(|| {
                         trace.ring.push(TraceEvent::Plan {
@@ -1992,7 +2086,8 @@ impl<O> ShardedEngine<O> {
                         });
                         (self.shards[s].counters(), qs.kernel_rows, qs.kernel_blocks)
                     });
-                    shard.knn_into_with(q, k, qs, nbrs, topk);
+                    let seed = topk.threshold();
+                    shard.knn_into_with(q, k, seed, qs, nbrs, topk);
                     if let Some(c0) = cd0 {
                         ctl.spent += self.shards[s].counters().compdists.saturating_sub(c0);
                     }
@@ -2176,12 +2271,49 @@ impl<O: Send + Sync> ShardedEngine<O> {
         }
     }
 
-    /// Serves a batch of mixed queries on the worker pool: each worker
-    /// claims queries from a shared atomic cursor, executes them against
-    /// the shards the planner selects through its own reused
+    /// Picks the scheduling strategy for one batch (see [`SchedPolicy`]).
+    ///
+    /// Budgeted, traced, single-worker, and single-shard serving always
+    /// run query-parallel: degradation, shedding, and trace capture live
+    /// on the per-worker claim loop, and a 1-thread or 1-shard engine has
+    /// nothing to fan a query across. Past those guards the configured
+    /// policy wins; `Auto` goes query-parallel whenever the batch can
+    /// saturate the pool with whole queries (`batch >= threads`) — the
+    /// cheapest parallelism there is — and otherwise fans each query
+    /// across shards, provided a query plans enough rows
+    /// ([`SHARD_PARALLEL_MIN_ROWS`]) to amortize the per-query
+    /// scoped-thread setup.
+    fn choose_strategy(
+        &self,
+        batch_len: usize,
+        budget: &ServeBudget,
+        tpolicy: &TracePolicy,
+    ) -> SchedStrategy {
+        if self.threads <= 1 || self.shards.len() <= 1 || budget.enabled() || tpolicy.enabled() {
+            return SchedStrategy::QueryParallel;
+        }
+        match self.sched {
+            SchedPolicy::QueryParallel => SchedStrategy::QueryParallel,
+            SchedPolicy::ShardParallel => SchedStrategy::ShardParallel,
+            SchedPolicy::Auto => {
+                if batch_len >= self.threads || self.len() < SHARD_PARALLEL_MIN_ROWS {
+                    SchedStrategy::QueryParallel
+                } else {
+                    SchedStrategy::ShardParallel
+                }
+            }
+        }
+    }
+
+    /// Serves a batch of mixed queries on the worker pool. Under
+    /// query-parallel scheduling (the default; see [`SchedPolicy`]) each
+    /// worker claims queries from a shared atomic cursor, executes them
+    /// against the shards the planner selects through its own reused
     /// [`EngineScratch`], merges, and records the per-query latency from a
-    /// monotonic clock. Returns the merged answers in batch order plus a
-    /// [`ServeReport`].
+    /// monotonic clock. Under shard-parallel scheduling the batch runs
+    /// serially and each query fans its probe set across the pool (the
+    /// single-query low-latency path). Returns the merged answers in batch
+    /// order plus a [`ServeReport`] that names the strategy used.
     ///
     /// The report's `cost` is the delta of the aggregate counters across
     /// the batch — exact for everything this engine's shards executed in
@@ -2209,6 +2341,14 @@ impl<O: Send + Sync> ShardedEngine<O> {
         let timing = self.obs.is_enabled();
         let tpolicy = self.trace_policy();
         let budget = self.serve_budget();
+        let strategy = self.choose_strategy(batch.len(), &budget, &tpolicy);
+        // Worker threads the batch actually occupies, for the report and
+        // the idle estimate: the claim-loop pool under query-parallel, the
+        // per-query fan-out width under shard-parallel.
+        let pool = match strategy {
+            SchedStrategy::ShardParallel => self.threads.max(1),
+            SchedStrategy::QueryParallel => workers,
+        };
         let cursor = AtomicUsize::new(0);
         let t0 = Instant::now();
         // Batch-level admission deadline: once blown, still-unclaimed
@@ -2296,8 +2436,55 @@ impl<O: Send + Sync> ShardedEngine<O> {
             (local, obs, std::mem::take(&mut scratch.trace.captured))
         };
 
+        // Shard-parallel: the batch runs serially on this thread and each
+        // query fans its probe set across the pool through the
+        // single-query paths. Budgets and tracing are off by construction
+        // of the strategy, so the claim-loop machinery (degradation,
+        // per-segment sampling, capture) is not needed; validation,
+        // batch-deadline shedding, and panic isolation still apply. A
+        // panic inside the fan-out surfaces here without a shard
+        // attribution (the scoped workers' probes are not tracked
+        // per-shard on this path).
+        let run_fanned = || {
+            let b0 = timing.then(Instant::now);
+            let mut obs = ScratchObs::default();
+            obs.prepare(self.shards.len(), timing);
+            let mut local = Vec::with_capacity(batch.len());
+            for (i, query) in batch.iter().enumerate() {
+                if let Some(d) = batch_deadline {
+                    if Instant::now() >= d {
+                        local.push((i, QueryResult::Shed, 0));
+                        continue;
+                    }
+                }
+                if let Some(e) = self.validate(query) {
+                    local.push((i, QueryResult::Failed(e), 0));
+                    continue;
+                }
+                let q0 = Instant::now();
+                let res = catch_unwind(AssertUnwindSafe(|| match query {
+                    Query::Range { q, radius } => QueryResult::Range(self.range_query(q, *radius)),
+                    Query::Knn { q, k } => QueryResult::Knn(self.knn_query(q, *k)),
+                }))
+                .unwrap_or(QueryResult::Failed(QueryError::Panicked { shard: None }));
+                let ns = q0.elapsed().as_nanos() as u64;
+                if timing {
+                    obs.query_wall.record(ns);
+                }
+                local.push((i, res, ns));
+            }
+            if timing {
+                if let Some(t) = b0 {
+                    obs.busy_nanos = t.elapsed().as_nanos() as u64;
+                }
+            }
+            (local, obs, Vec::new())
+        };
+
         type WorkerOut = (Vec<(usize, QueryResult, u64)>, ScratchObs, Vec<QueryTrace>);
-        let collected: Vec<WorkerOut> = if workers <= 1 {
+        let collected: Vec<WorkerOut> = if strategy == SchedStrategy::ShardParallel {
+            vec![run_fanned()]
+        } else if workers <= 1 {
             vec![run_worker()]
         } else {
             crossbeam::thread::scope(|scope| {
@@ -2407,7 +2594,7 @@ impl<O: Send + Sync> ShardedEngine<O> {
             // Phase walls for plan/scan/merge cover the sampled queries
             // only; extrapolate by the sampling stride so they read as
             // batch-level estimates next to the exact `serve` wall.
-            let idle_nanos = (wall_nanos * workers as u64).saturating_sub(agg.busy_nanos);
+            let idle_nanos = (wall_nanos * pool as u64).saturating_sub(agg.busy_nanos);
             self.obs.phase_add(
                 "serve",
                 1,
@@ -2415,7 +2602,7 @@ impl<O: Send + Sync> ShardedEngine<O> {
                 &[
                     ("queries", batch.len() as u64),
                     ("results", total_results as u64),
-                    ("workers", workers as u64),
+                    ("workers", pool as u64),
                     ("shards_probed", probed1 - probed0),
                     ("shards_pruned", pruned1 - pruned0),
                     ("compdists", cost.compdists),
@@ -2462,6 +2649,7 @@ impl<O: Send + Sync> ShardedEngine<O> {
         let range_queries = batch.iter().filter(|q| q.is_range()).count();
         let report = ServeReport {
             queries: batch.len(),
+            strategy,
             range_queries,
             knn_queries: batch.len() - range_queries,
             total_results,
@@ -2469,7 +2657,7 @@ impl<O: Send + Sync> ShardedEngine<O> {
             shed,
             failed,
             shards: self.shards.len(),
-            threads: workers,
+            threads: pool,
             wall_secs,
             qps: if wall_secs > 0.0 {
                 batch.len() as f64 / wall_secs
@@ -3582,5 +3770,92 @@ mod tests {
         let mut ok = UpdateBatch::new();
         ok.insert(vec![2.0, 2.0]).remove(5);
         assert!(e.apply(&ok).op_errors.is_empty());
+    }
+
+    #[test]
+    fn auto_scheduling_follows_the_cost_model() {
+        let one = &[Query::range(vec![0.0f32, 0.0], 1.0)];
+
+        // Small engine: a per-query fan-out can't amortize its setup, so
+        // Auto stays query-parallel even for a narrow batch on a wide pool.
+        let e = engine(40, 4, 4);
+        assert_eq!(e.serve(one).report.strategy, SchedStrategy::QueryParallel);
+
+        // Large engine + batch narrower than the pool: Auto fans out.
+        let e = engine(SHARD_PARALLEL_MIN_ROWS, 4, 4);
+        let out = e.serve(one);
+        assert_eq!(out.report.strategy, SchedStrategy::ShardParallel);
+        assert_eq!(out.report.threads, 4, "reports the fan-out width");
+        assert!(format!("{}", out.report).contains("shard-parallel scheduling"));
+
+        // Same engine, batch at least as wide as the pool: whole queries
+        // saturate the workers — query-parallel again.
+        let wide: Vec<_> = (0..4).map(|_| one[0].clone()).collect();
+        assert_eq!(e.serve(&wide).report.strategy, SchedStrategy::QueryParallel);
+
+        // Budgets pin the claim loop regardless of size or batch shape.
+        e.set_budget(ServeBudget {
+            query: QueryBudget {
+                wall_nanos: u64::MAX / 4,
+                compdists: 0,
+            },
+            batch_wall_nanos: 0,
+        });
+        assert_eq!(e.serve(one).report.strategy, SchedStrategy::QueryParallel);
+        e.set_budget(ServeBudget::unlimited());
+        assert_eq!(e.serve(one).report.strategy, SchedStrategy::ShardParallel);
+
+        // Forcing the policy overrides the size heuristic but never the
+        // feasibility guards (one worker / one shard serve query-parallel).
+        let mut small = engine(40, 4, 4);
+        small.set_sched(SchedPolicy::ShardParallel);
+        assert_eq!(small.sched_policy(), SchedPolicy::ShardParallel);
+        assert_eq!(
+            small.serve(one).report.strategy,
+            SchedStrategy::ShardParallel
+        );
+        let mut serial = engine(40, 4, 1);
+        serial.set_sched(SchedPolicy::ShardParallel);
+        assert_eq!(
+            serial.serve(one).report.strategy,
+            SchedStrategy::QueryParallel
+        );
+        let mut fused = engine(40, 1, 4);
+        fused.set_sched(SchedPolicy::ShardParallel);
+        assert_eq!(
+            fused.serve(one).report.strategy,
+            SchedStrategy::QueryParallel
+        );
+    }
+
+    #[test]
+    fn both_strategies_serve_identical_answers() {
+        let objects = grid(60);
+        let batch: Vec<Query<Vec<f32>>> = (0..12)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Query::range(objects[i * 3].clone(), 3.0)
+                } else {
+                    Query::knn(objects[i * 3].clone(), 5)
+                }
+            })
+            .collect();
+        let mut e = engine(60, 3, 2);
+        e.set_sched(SchedPolicy::QueryParallel);
+        let qp = e.serve(&batch);
+        e.set_sched(SchedPolicy::ShardParallel);
+        let sp = e.serve(&batch);
+        assert_eq!(qp.report.strategy, SchedStrategy::QueryParallel);
+        assert_eq!(sp.report.strategy, SchedStrategy::ShardParallel);
+        assert_eq!(qp.results, sp.results);
+        assert_eq!(sp.report.failed, 0);
+        assert_eq!(sp.report.shed, 0);
+        // Both paths validate: a malformed query fails per-item on the
+        // fanned path too.
+        let bad = e.serve(&[Query::range(objects[0].clone(), -1.0)]);
+        assert_eq!(
+            bad.results[0],
+            QueryResult::Failed(QueryError::NegativeRadius)
+        );
     }
 }

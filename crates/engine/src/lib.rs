@@ -72,12 +72,16 @@ pub mod robust;
 pub mod shard;
 pub mod update;
 
-pub use engine::{BatchOutcome, EngineConfig, EngineError, EngineScratch, ShardedEngine};
+pub use engine::{
+    BatchOutcome, EngineConfig, EngineError, EngineScratch, SchedPolicy, ShardedEngine,
+};
 pub use merge::TopK;
 pub use pmi_obs::{QueryTrace, TraceEvent, TraceKind, TracePolicy};
 pub use pmi_router::{PartitionPolicy, RoutingTable};
 pub use query::{Query, QueryResult};
-pub use report::{BuildStats, LatencySummary, ServeReport, ShardServeStats, UpdateStats};
+pub use report::{
+    BuildStats, LatencySummary, SchedStrategy, ServeReport, ShardServeStats, UpdateStats,
+};
 pub use robust::{
     Completeness, DegradeReason, Degraded, FaultPolicy, OpError, OpErrorKind, QueryBudget,
     QueryError, ServeBudget, ShardFaultState,

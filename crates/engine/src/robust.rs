@@ -50,6 +50,15 @@ impl QueryBudget {
     pub fn enabled(&self) -> bool {
         self.wall_nanos > 0 || self.compdists > 0
     }
+
+    /// Whether the compdist cap can ever bind. `0` disables it, and a
+    /// `u64::MAX` cap is unreachable by any real query — the probe loop
+    /// skips the per-probe shard-counter snapshots for both, so arming a
+    /// wall-only budget costs one clock read per probe and nothing more.
+    #[inline]
+    pub fn caps_compdists(&self) -> bool {
+        self.compdists > 0 && self.compdists < u64::MAX
+    }
 }
 
 /// Budgets for one [`serve`](crate::ShardedEngine::serve) call: a per-query

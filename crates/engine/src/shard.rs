@@ -83,22 +83,37 @@ impl<O> Shard<O> {
     /// Local top-k offered into a global [`TopK`] collector.
     pub fn knn_into(&self, q: &O, k: usize, topk: &mut TopK) {
         let mut tmp = Vec::new();
-        self.knn_into_with(q, k, &mut QueryScratch::new(), &mut tmp, topk);
+        self.knn_into_with(
+            q,
+            k,
+            f64::INFINITY,
+            &mut QueryScratch::new(),
+            &mut tmp,
+            topk,
+        );
     }
 
     /// [`knn_into`](Self::knn_into) for the batch hot loop: the shard's
     /// local top-k lands in the reused `tmp` buffer and is offered into
-    /// `topk` under global ids.
+    /// `topk` under global ids. `seed` is the collector's threshold
+    /// *before* this shard is probed
+    /// ([`TopK::threshold`](crate::merge::TopK::threshold)) — when the
+    /// caller probes shards in sequence, passing it lets the index skip
+    /// (and never verify) candidates the merge would reject anyway, with
+    /// byte-identical merged results (see
+    /// [`MetricIndex::knn_query_into_seeded`]). Pass `f64::INFINITY` to
+    /// run unseeded (e.g. when shards are probed concurrently).
     pub fn knn_into_with(
         &self,
         q: &O,
         k: usize,
+        seed: f64,
         scratch: &mut QueryScratch,
         tmp: &mut Vec<Neighbor>,
         topk: &mut TopK,
     ) {
         tmp.clear();
-        self.index.knn_query_into(q, k, scratch, tmp);
+        self.index.knn_query_into_seeded(q, k, seed, scratch, tmp);
         for n in tmp.drain(..) {
             topk.offer(Neighbor::new(self.global_id(n.id), n.dist));
         }
@@ -202,22 +217,34 @@ impl<O> Shard<O> {
 /// One partition awaiting its index: the objects plus their global ids.
 pub type Partition<O> = (Vec<O>, Vec<ObjId>);
 
-/// Splits `objects` round-robin into `shards` partitions, returning each
-/// partition together with the global ids of its objects (the positions in
-/// the input vector).
+/// Splits `objects` into `shards` balanced, geometry-agnostic partitions
+/// (the "round-robin" baseline policy), returning each partition together
+/// with the global ids of its objects (the positions in the input vector).
 pub fn partition_round_robin<O>(objects: Vec<O>, shards: usize) -> Vec<Partition<O>> {
     let shards = shards.max(1);
     let n = objects.len();
-    let mut parts: Vec<Partition<O>> = (0..shards)
-        .map(|s| {
-            let cap = n / shards + usize::from(s < n % shards);
-            (Vec::with_capacity(cap), Vec::with_capacity(cap))
-        })
-        .collect();
-    for (i, o) in objects.into_iter().enumerate() {
-        let s = i % shards;
-        parts[s].0.push(o);
-        parts[s].1.push(i as ObjId);
+    // Balanced *contiguous* runs rather than a stride: shard s takes the
+    // next ⌈n/P⌉-or-⌊n/P⌋ ids in order. The split is just as
+    // geometry-agnostic as a stride, but consecutive global ids keep every
+    // shard's matrix slice one consecutive run, so the Lemma 1 kernel
+    // streams contiguous storage instead of gathering rows strided P·l
+    // apart — a stride makes each shard's scan touch one cache line per
+    // row across the *whole* shared matrix, multiplying a batch's line
+    // traffic by the shard count. (Compaction renumbers survivors in
+    // global-id order, so contiguity also survives churn+compact.)
+    let mut parts: Vec<Partition<O>> = Vec::with_capacity(shards);
+    let mut next = 0usize;
+    let mut iter = objects.into_iter();
+    for s in 0..shards {
+        let take = n / shards + usize::from(s < n % shards);
+        let mut objs = Vec::with_capacity(take);
+        let mut ids = Vec::with_capacity(take);
+        for _ in 0..take {
+            objs.push(iter.next().expect("sizes sum to n"));
+            ids.push(next as ObjId);
+            next += 1;
+        }
+        parts.push((objs, ids));
     }
     parts
 }
@@ -266,9 +293,14 @@ mod tests {
         let objects: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32]).collect();
         let parts = partition_round_robin(objects, 3);
         assert_eq!(parts.len(), 3);
-        assert_eq!(parts[0].1, vec![0, 3, 6, 9]);
-        assert_eq!(parts[1].1, vec![1, 4, 7]);
-        assert_eq!(parts[2].1, vec![2, 5, 8]);
+        assert_eq!(parts[0].1, vec![0, 1, 2, 3]);
+        assert_eq!(parts[1].1, vec![4, 5, 6]);
+        assert_eq!(parts[2].1, vec![7, 8, 9]);
+        // Contiguous runs: each shard's ids are consecutive, so its matrix
+        // slice takes the streaming (no-gather) kernel path.
+        for (_, ids) in &parts {
+            assert!(ids.windows(2).all(|w| w[1] == w[0] + 1));
+        }
         let mut all: Vec<u32> = parts.iter().flat_map(|(_, ids)| ids.clone()).collect();
         all.sort_unstable();
         assert_eq!(all, (0..10).collect::<Vec<_>>());

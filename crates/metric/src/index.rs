@@ -54,6 +54,35 @@ pub trait MetricIndex<O>: Send + Sync {
         out.extend(self.knn_query(q, k));
     }
 
+    /// [`knn_query_into`](Self::knn_query_into) with a *pruning seed*: the
+    /// caller already holds `k` candidates whose worst distance is `seed`
+    /// (the sharded engine's running top-k threshold when probing shards in
+    /// sequence), so any object with a Lemma 1 lower bound **strictly
+    /// above** `seed` can be skipped without being verified — it can only
+    /// lose the merge.
+    ///
+    /// Exactness contract: the merged results must be *identical* to the
+    /// unseeded call's. This holds because a skipped object has
+    /// `d(q, o) ≥ lb > seed`, and the caller's k-full merge rejects every
+    /// candidate at distance strictly above its threshold (which starts at
+    /// `seed` and only tightens); a skipped object's absence from this
+    /// shard's local top-k can only admit *worse* local candidates, which
+    /// are rejected the same way. Pass `f64::INFINITY` when no candidates
+    /// are held yet — implementations must then behave exactly like
+    /// [`knn_query_into`](Self::knn_query_into); the default ignores the
+    /// seed entirely, which is always correct, just unpruned.
+    fn knn_query_into_seeded(
+        &self,
+        q: &O,
+        k: usize,
+        seed: f64,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
+        let _ = seed;
+        self.knn_query_into(q, k, scratch, out)
+    }
+
     /// Inserts an object, returning its id.
     fn insert(&mut self, o: O) -> ObjId;
 

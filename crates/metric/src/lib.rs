@@ -28,14 +28,16 @@ pub mod matrix;
 pub mod object;
 pub mod parallel;
 pub mod scratch;
+pub mod simd;
 pub mod stats;
 pub mod table;
 
 pub use distance::{CountingMetric, DistanceCounter, EditDistance, LInf, Lp, Metric, L1, L2};
 pub use index::{BruteForce, MetricIndex};
-pub use matrix::{MatrixSlice, PivotMatrix, ScanKernel, SharedPivotMatrix};
+pub use matrix::{ColumnMode, MatrixSlice, PivotMatrix, ScanKernel, SharedPivotMatrix};
 pub use object::EncodeObject;
 pub use scratch::QueryScratch;
+pub use simd::SimdTier;
 pub use stats::{Counters, Neighbor, ObjId, StorageFootprint};
 pub use table::ObjTable;
 

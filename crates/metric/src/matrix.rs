@@ -45,8 +45,45 @@
 //! snapshot, and remaps every slice's row ids ([`MatrixSlice::reindex`]).
 
 use crate::distance::Metric;
+use crate::simd::{self, SimdTier};
 use parking_lot::Mutex;
 use std::sync::Arc;
+
+/// Storage precision of the *filter* columns the scan kernel reads.
+///
+/// Exact distances are always f64; the column mode only controls what the
+/// Lemma 1 lower-bound kernel streams through. Under [`ColumnMode::F32`]
+/// each [`MatrixSlice`] keeps **planar** (column-major) f32 copies of its
+/// own rows for the kernel — half the bytes per row, twice the SIMD lanes
+/// per register, and contiguous loads even for scattered shard slices —
+/// and admissibility is preserved by subtracting a conservative rounding
+/// slack from every computed bound (see [`PivotMatrix::f32_slack`]): a
+/// bound can only get *smaller*, which costs an occasional extra exact
+/// check but can never drop a true result, so serve results stay
+/// byte-identical to the f64 engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ColumnMode {
+    /// Filter columns are the exact f64 distances (the default).
+    #[default]
+    F64,
+    /// Filter columns are per-slice planar f32 copies with slack-adjusted
+    /// (admissible) lower bounds; exact distances stay f64.
+    F32,
+}
+
+impl ColumnMode {
+    /// Human-readable label (`"f64"` / `"f32"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ColumnMode::F64 => "f64",
+            ColumnMode::F32 => "f32",
+        }
+    }
+}
+
+/// Safety factor applied on top of the worst-case f32 rounding error when
+/// deriving the admissibility slack (see [`PivotMatrix::f32_slack`]).
+pub const F32_SLACK_FACTOR: f64 = 4.0;
 
 /// A flat, row-major `n × l` pivot-distance matrix with stable row ids.
 ///
@@ -54,10 +91,23 @@ use std::sync::Arc;
 /// indexes with tombstoned deletion keep the row and skip it via their slot
 /// map — so row indices are stable object ids for the lifetime of the index
 /// (until an explicit engine-level compaction renumbers them wholesale).
+///
+/// Under [`ColumnMode::F32`] the matrix itself stays f64-only — the f32
+/// representation the kernel streams is **planar** (column-major) and
+/// per-slice, owned by each [`MatrixSlice`] so every shard scans contiguous
+/// columns regardless of how scattered its row indirection is. The matrix
+/// tracks only the running max magnitude that sizes the admissibility
+/// slack; the f64 rows remain authoritative — compaction, selection and
+/// staging all operate on f64 and slices re-derive their columns.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct PivotMatrix {
     /// Row-major distances; `data[i * width + j] = d(o_i, p_j)`.
     data: Vec<f64>,
+    /// Running `max |data[..]|`, maintained only under [`ColumnMode::F32`]
+    /// (it sizes the rounding slack).
+    max_abs: f64,
+    /// Which representation the lower-bound kernel reads.
+    mode: ColumnMode,
     /// Number of pivots `l` (row stride). A width of 0 is allowed (no
     /// pivots): the matrix then has zero-length rows.
     width: usize,
@@ -70,6 +120,8 @@ impl PivotMatrix {
     pub fn new(width: usize) -> Self {
         PivotMatrix {
             data: Vec::new(),
+            max_abs: 0.0,
+            mode: ColumnMode::F64,
             width,
             rows: 0,
         }
@@ -79,8 +131,7 @@ impl PivotMatrix {
     pub fn with_capacity(width: usize, rows: usize) -> Self {
         PivotMatrix {
             data: Vec::with_capacity(width * rows),
-            width,
-            rows: 0,
+            ..PivotMatrix::new(width)
         }
     }
 
@@ -121,7 +172,11 @@ impl PivotMatrix {
             })
             .expect("matrix worker thread panicked");
         }
-        PivotMatrix { data, width, rows }
+        PivotMatrix {
+            data,
+            rows,
+            ..PivotMatrix::new(width)
+        }
     }
 
     /// Builds a matrix from per-object rows (each of length `width`).
@@ -131,6 +186,51 @@ impl PivotMatrix {
             m.push_row(r.as_ref());
         }
         m
+    }
+
+    /// Which representation the lower-bound kernel reads.
+    pub fn mode(&self) -> ColumnMode {
+        self.mode
+    }
+
+    /// Switches the filter-column mode, (re)scanning the stored distances
+    /// for the max magnitude that sizes the f32 slack. Cheap on an empty
+    /// matrix; `O(n·l)` otherwise.
+    pub fn with_mode(mut self, mode: ColumnMode) -> Self {
+        self.set_mode(mode);
+        self
+    }
+
+    /// In-place form of [`with_mode`](Self::with_mode).
+    pub fn set_mode(&mut self, mode: ColumnMode) {
+        self.mode = mode;
+        self.max_abs = 0.0;
+        self.track_max_from(0);
+    }
+
+    /// Extends the running max magnitude from `data[from..]`. No-op under
+    /// [`ColumnMode::F64`] (the slack is never consulted there).
+    fn track_max_from(&mut self, from: usize) {
+        if self.mode != ColumnMode::F32 {
+            return;
+        }
+        let mut mx = self.max_abs;
+        for &x in &self.data[from..] {
+            let a = x.abs();
+            if a > mx {
+                mx = a;
+            }
+        }
+        self.max_abs = mx;
+    }
+
+    /// Appends already-flat staged rows (the [`SharedPivotMatrix::publish`]
+    /// path), keeping the max magnitude in sync.
+    pub(crate) fn append_flat(&mut self, staged: &mut Vec<f64>, staged_rows: usize) {
+        let from = self.data.len();
+        self.data.append(staged);
+        self.rows += staged_rows;
+        self.track_max_from(from);
     }
 
     /// Number of rows `n` (including rows of tombstoned objects).
@@ -157,8 +257,10 @@ impl PivotMatrix {
     /// Appends one row, returning its row id.
     pub fn push_row(&mut self, row: &[f64]) -> usize {
         assert_eq!(row.len(), self.width, "row length must equal pivot count");
+        let from = self.data.len();
         self.data.extend_from_slice(row);
         self.rows += 1;
+        self.track_max_from(from);
         self.rows - 1
     }
 
@@ -172,6 +274,7 @@ impl PivotMatrix {
             out.data.extend_from_slice(self.row(id as usize));
         }
         out.rows = ids.len();
+        out.set_mode(self.mode);
         out
     }
 
@@ -180,12 +283,38 @@ impl PivotMatrix {
         &self.data
     }
 
+    /// Running `max |d(o_i, p_j)|` over every stored distance (0 unless the
+    /// mode is [`ColumnMode::F32`], where it sizes the rounding slack).
+    pub fn max_abs(&self) -> f64 {
+        self.max_abs
+    }
+
+    /// The admissibility slack subtracted from every f32-computed bound for
+    /// a query whose pivot distances have max magnitude `qd_max_abs`.
+    ///
+    /// Worst-case error of the f32 bound vs the true f64 bound
+    /// `max_j |qd_j − row_j|`: rounding each operand to f32 perturbs it by
+    /// at most `½·ε₃₂·|operand|`, and the f32 subtraction adds at most
+    /// `½·ε₃₂` of the result's magnitude (≤ the operand magnitudes' sum),
+    /// so each `|qd_j − row_j|` term is off by at most about
+    /// `ε₃₂·(|qd_j| + |row_j|)`; `max` never amplifies error. Subtracting
+    /// `F32_SLACK_FACTOR · ε₃₂ · (max|row| + max|qd|)` therefore guarantees
+    /// the adjusted bound never exceeds the true bound — with a 4× margin —
+    /// and the kernel clamps at zero (degenerate inputs such as overflow to
+    /// `±∞` or `NaN` produce a zero bound, i.e. a full exact scan, never an
+    /// inadmissible one).
+    pub fn f32_slack(&self, qd_max_abs: f64) -> f64 {
+        F32_SLACK_FACTOR * (f32::EPSILON as f64) * (self.max_abs + qd_max_abs)
+    }
+
     /// Iterates `(row id, row)` over every row (tombstoned or not).
     pub fn iter_rows(&self) -> impl Iterator<Item = (usize, &[f64])> {
         (0..self.rows).map(|i| (i, self.row(i)))
     }
 
-    /// In-memory footprint of the matrix in bytes.
+    /// In-memory footprint of the matrix in bytes (the f64 rows; under
+    /// [`ColumnMode::F32`] the planar f32 columns live in the slices and
+    /// are accounted by [`MatrixSlice::mem_bytes`]).
     pub fn mem_bytes(&self) -> u64 {
         8 * self.data.len() as u64
     }
@@ -206,17 +335,60 @@ impl PivotMatrix {
 /// so blocked results equal scalar results **bit for bit** (unit-tested
 /// below), which is what lets every index route its filter through the
 /// kernel without changing a single exact counter.
+///
+/// On x86-64 the public entry points dispatch once (cached, overridable via
+/// `PMI_SIMD`) to explicit [`std::arch`] lanes — see [`crate::simd`] — with
+/// this blocked code as the portable fallback. Every tier produces
+/// bit-identical bounds: `|a − b|` is one correctly-rounded op, `abs` is
+/// exact, and a `max` reduction over non-negative finite values is exact in
+/// any association, so SIMD dispatch is invisible to results and counters
+/// (tier-agreement is unit-tested per tier).
 pub struct ScanKernel;
+
+/// `max(x, +0.0)` with the exact semantics of `_mm_max_pd(x, 0)`: `+0.0`
+/// for negative, `±0` and `NaN` inputs. Keeping one copy shared by the
+/// portable f32 path and every SIMD remainder loop is load-bearing for
+/// tier bit-identity.
+#[inline(always)]
+pub(crate) fn clamp_pos(x: f64) -> f64 {
+    if x > 0.0 {
+        x
+    } else {
+        0.0
+    }
+}
+
+/// Widens an f32 row-max to f64 and applies the admissibility slack (the
+/// one adjustment formula every f32 tier shares — see
+/// [`PivotMatrix::f32_slack`]).
+#[inline(always)]
+pub(crate) fn adjust_f32(m: f32, slack: f64) -> f64 {
+    clamp_pos(m as f64 - slack)
+}
 
 impl ScanKernel {
     /// Rows processed per unrolled step (independent max-chains in flight).
     pub const LANES: usize = 4;
 
     #[inline(always)]
-    fn row_max(qd: &[f64], row: &[f64]) -> f64 {
+    pub(crate) fn row_max(qd: &[f64], row: &[f64]) -> f64 {
         let mut m = 0.0f64;
         for (q, x) in qd.iter().zip(row) {
             let d = (q - x).abs();
+            m = if d > m { d } else { m };
+        }
+        m
+    }
+
+    /// The f32 per-row reduction over planar columns: row `r` of the slice
+    /// whose column `j` is `cols[j]`. Pivot order (`j` ascending) and max
+    /// semantics match [`row_max`](Self::row_max), which is what keeps
+    /// every f32 tier bit-identical to the scalar reference.
+    #[inline(always)]
+    pub(crate) fn row_max_f32_planar(qd: &[f32], cols: &[&[f32]], r: usize) -> f32 {
+        let mut m = 0.0f32;
+        for (q, col) in qd.iter().zip(cols) {
+            let d = (q - col[r]).abs();
             m = if d > m { d } else { m };
         }
         m
@@ -244,13 +416,50 @@ impl ScanKernel {
 
     /// Lower bounds for `n` contiguous rows of flat row-major storage
     /// (`rows.len() == n * qd.len()`), appended-into `out` (cleared first).
+    /// Dispatches once to the best available SIMD tier (`PMI_SIMD`
+    /// overridable); every tier is bit-identical.
     pub fn lower_bounds(qd: &[f64], rows: &[f64], n: usize, out: &mut Vec<f64>) {
+        Self::lower_bounds_with_tier(simd::tier(), qd, rows, n, out);
+    }
+
+    /// [`lower_bounds`](Self::lower_bounds) pinned to an explicit SIMD tier
+    /// (tier-agreement tests and the kernel bench; serving uses the cached
+    /// [`simd::tier`] dispatch).
+    pub fn lower_bounds_with_tier(
+        tier: SimdTier,
+        qd: &[f64],
+        rows: &[f64],
+        n: usize,
+        out: &mut Vec<f64>,
+    ) {
         let w = qd.len();
         out.clear();
         if w == 0 {
             out.resize(n, 0.0);
             return;
         }
+        debug_assert_eq!(rows.len(), n * w);
+        match tier {
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx2 => {
+                out.resize(n, 0.0);
+                // SAFETY: dispatch/pinning is gated on runtime AVX2
+                // detection; slice lengths are checked above.
+                unsafe { simd::x86::lb_f64_avx2(qd, rows, out) }
+            }
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Sse2 => {
+                out.resize(n, 0.0);
+                // SAFETY: SSE2 is baseline on x86-64.
+                unsafe { simd::x86::lb_f64_sse2(qd, rows, out) }
+            }
+            _ => Self::lower_bounds_portable(qd, rows, n, out),
+        }
+    }
+
+    /// The portable blocked path (and the non-x86-64 implementation).
+    fn lower_bounds_portable(qd: &[f64], rows: &[f64], n: usize, out: &mut Vec<f64>) {
+        let w = qd.len();
         debug_assert_eq!(rows.len(), n * w);
         out.reserve(n);
         let mut blocks = rows.chunks_exact(Self::LANES * w);
@@ -275,6 +484,18 @@ impl ScanKernel {
         index: &[u32],
         out: &mut Vec<f64>,
     ) {
+        Self::lower_bounds_indexed_with_tier(simd::tier(), qd, matrix, index, out);
+    }
+
+    /// [`lower_bounds_indexed`](Self::lower_bounds_indexed) pinned to an
+    /// explicit SIMD tier.
+    pub fn lower_bounds_indexed_with_tier(
+        tier: SimdTier,
+        qd: &[f64],
+        matrix: &PivotMatrix,
+        index: &[u32],
+        out: &mut Vec<f64>,
+    ) {
         let w = qd.len();
         out.clear();
         if w == 0 {
@@ -282,18 +503,102 @@ impl ScanKernel {
             return;
         }
         debug_assert_eq!(matrix.width(), w);
-        out.reserve(index.len());
         let data = matrix.as_slice();
-        let mut blocks = index.chunks_exact(Self::LANES);
-        for ids in &mut blocks {
-            let r0 = &data[ids[0] as usize * w..ids[0] as usize * w + w];
-            let r1 = &data[ids[1] as usize * w..ids[1] as usize * w + w];
-            let r2 = &data[ids[2] as usize * w..ids[2] as usize * w + w];
-            let r3 = &data[ids[3] as usize * w..ids[3] as usize * w + w];
-            out.extend_from_slice(&Self::block_max(qd, r0, r1, r2, r3));
+        match tier {
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx2 => {
+                out.resize(index.len(), 0.0);
+                // SAFETY: runtime AVX2 detection; every index row is in
+                // bounds by the matrix's construction invariants.
+                unsafe { simd::x86::lb_f64_idx_avx2(qd, data, index, out) }
+            }
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Sse2 => {
+                out.resize(index.len(), 0.0);
+                // SAFETY: SSE2 is baseline on x86-64.
+                unsafe { simd::x86::lb_f64_idx_sse2(qd, data, index, out) }
+            }
+            _ => {
+                out.reserve(index.len());
+                let mut blocks = index.chunks_exact(Self::LANES);
+                for ids in &mut blocks {
+                    let r0 = &data[ids[0] as usize * w..ids[0] as usize * w + w];
+                    let r1 = &data[ids[1] as usize * w..ids[1] as usize * w + w];
+                    let r2 = &data[ids[2] as usize * w..ids[2] as usize * w + w];
+                    let r3 = &data[ids[3] as usize * w..ids[3] as usize * w + w];
+                    out.extend_from_slice(&Self::block_max(qd, r0, r1, r2, r3));
+                }
+                for &id in blocks.remainder() {
+                    out.push(Self::row_max(qd, matrix.row(id as usize)));
+                }
+            }
         }
-        for &id in blocks.remainder() {
-            out.push(Self::row_max(qd, matrix.row(id as usize)));
+    }
+
+    /// f32 filter columns: lower bounds for `n` rows of **planar**
+    /// (column-major) storage — `cols[j][i]` is row `i`'s f32 distance to
+    /// pivot `j` — **slack-adjusted** into admissible f64 bounds
+    /// (`clamp_pos(m − slack)`, see [`PivotMatrix::f32_slack`]) so callers
+    /// compare them against f64 radii/thresholds unchanged.
+    ///
+    /// Planar storage is what makes the f32 mode pay: every SIMD step is
+    /// one contiguous load per column, for contiguous *and* scattered
+    /// slices alike — there is no f32 gather path at all (each
+    /// [`MatrixSlice`] owns its rows' columns in local order).
+    pub fn lower_bounds_f32(qd: &[f32], cols: &[&[f32]], n: usize, slack: f64, out: &mut Vec<f64>) {
+        Self::lower_bounds_f32_with_tier(simd::tier(), qd, cols, n, slack, out);
+    }
+
+    /// [`lower_bounds_f32`](Self::lower_bounds_f32) pinned to an explicit
+    /// SIMD tier.
+    pub fn lower_bounds_f32_with_tier(
+        tier: SimdTier,
+        qd: &[f32],
+        cols: &[&[f32]],
+        n: usize,
+        slack: f64,
+        out: &mut Vec<f64>,
+    ) {
+        let w = qd.len();
+        out.clear();
+        if w == 0 {
+            out.resize(n, 0.0);
+            return;
+        }
+        debug_assert_eq!(cols.len(), w);
+        debug_assert!(cols.iter().all(|c| c.len() >= n));
+        match tier {
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx2 => {
+                out.resize(n, 0.0);
+                // SAFETY: dispatch/pinning is gated on runtime AVX2
+                // detection; column lengths are checked above.
+                unsafe { simd::x86::lb_f32_planar_avx2(qd, cols, slack, out) }
+            }
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Sse2 => {
+                out.resize(n, 0.0);
+                // SAFETY: SSE2 is baseline on x86-64.
+                unsafe { simd::x86::lb_f32_planar_sse2(qd, cols, slack, out) }
+            }
+            _ => {
+                out.reserve(n);
+                let mut i = 0;
+                while i + Self::LANES <= n {
+                    let mut m = [0.0f32; Self::LANES];
+                    for (q, col) in qd.iter().zip(cols) {
+                        for (m, &x) in m.iter_mut().zip(&col[i..i + Self::LANES]) {
+                            let d = (q - x).abs();
+                            *m = if d > *m { d } else { *m };
+                        }
+                    }
+                    out.extend(m.iter().map(|&m| adjust_f32(m, slack)));
+                    i += Self::LANES;
+                }
+                for r in i..n {
+                    out.push(adjust_f32(Self::row_max_f32_planar(qd, cols, r), slack));
+                }
+            }
         }
     }
 
@@ -311,6 +616,25 @@ impl ScanKernel {
         }
         debug_assert_eq!(rows.len(), n * w);
         out.extend(rows.chunks_exact(w).map(|row| Self::row_max(qd, row)));
+    }
+
+    /// The f32 scalar reference over planar columns (slack-adjusted like
+    /// every f32 path).
+    pub fn lower_bounds_scalar_f32(
+        qd: &[f32],
+        cols: &[&[f32]],
+        n: usize,
+        slack: f64,
+        out: &mut Vec<f64>,
+    ) {
+        let w = qd.len();
+        out.clear();
+        if w == 0 {
+            out.resize(n, 0.0);
+            return;
+        }
+        debug_assert_eq!(cols.len(), w);
+        out.extend((0..n).map(|r| adjust_f32(Self::row_max_f32_planar(qd, cols, r), slack)));
     }
 }
 
@@ -416,8 +740,7 @@ impl SharedPivotMatrix {
             staged_rows,
         } = &mut *g;
         let m = Arc::make_mut(snap);
-        m.data.append(staged);
-        m.rows += *staged_rows;
+        m.append_flat(staged, *staged_rows);
         *staged_rows = 0;
     }
 
@@ -461,6 +784,18 @@ pub struct MatrixSlice {
     /// gather. True for standalone identity slices and single-shard
     /// engines; maintained incrementally on adopt/reindex.
     consecutive: bool,
+    /// Under [`ColumnMode::F32`]: this slice's rows as **planar**
+    /// (column-major) f32 columns in *local* order — `cols32[j][i]` is
+    /// `row(i)[j] as f32` — so the f32 kernel streams contiguous loads no
+    /// matter how scattered `index` is. Empty under [`ColumnMode::F64`].
+    /// Shared rows are append-only and immutable, so materialized entries
+    /// never go stale; growth is tracked by `cols32_rows`.
+    cols32: Vec<Vec<f32>>,
+    /// How many leading local rows `cols32` has materialized. Lags
+    /// `index.len()` only between adopting a still-staged row and the
+    /// publication that makes it readable (no queries can run in between —
+    /// the engine holds `&mut` for the whole mutation batch).
+    cols32_rows: usize,
 }
 
 fn is_consecutive(index: &[u32]) -> bool {
@@ -477,12 +812,16 @@ impl MatrixSlice {
             "every adopted row must exist in the shared matrix"
         );
         let consecutive = is_consecutive(&index);
-        MatrixSlice {
+        let mut slice = MatrixSlice {
             shared,
             snap,
             index,
             consecutive,
-        }
+            cols32: Vec::new(),
+            cols32_rows: 0,
+        };
+        slice.rebuild_cols32();
+        slice
     }
 
     /// Wraps an owned matrix as its own sole-owner slice (identity
@@ -529,28 +868,120 @@ impl MatrixSlice {
         self.snap.row(self.index[local] as usize)
     }
 
+    /// Rebuilds the planar f32 columns from scratch (construction and the
+    /// compaction reindex). No-op under [`ColumnMode::F64`].
+    fn rebuild_cols32(&mut self) {
+        self.cols32.clear();
+        self.cols32_rows = 0;
+        if self.snap.mode() != ColumnMode::F32 {
+            return;
+        }
+        self.cols32 = (0..self.snap.width())
+            .map(|_| Vec::with_capacity(self.index.len()))
+            .collect();
+        self.sync_cols32();
+    }
+
+    /// Extends the planar columns with every adopted row the cached
+    /// snapshot can already resolve (the watermark catch-up). The rounding
+    /// is the same single `as f32` the slack formula accounts for.
+    fn sync_cols32(&mut self) {
+        if self.snap.mode() != ColumnMode::F32 {
+            return;
+        }
+        while self.cols32_rows < self.index.len() {
+            let r = self.index[self.cols32_rows] as usize;
+            if r >= self.snap.rows() {
+                // Adopted but still staged; the engine publishes and
+                // refreshes before any query runs.
+                break;
+            }
+            for (col, &x) in self.cols32.iter_mut().zip(self.snap.row(r)) {
+                col.push(x as f32);
+            }
+            self.cols32_rows += 1;
+        }
+    }
+
     /// Lemma 1 lower bounds for **all** local rows at once, through the
-    /// blocked [`ScanKernel`] (contiguous fast path when the indirection is
-    /// one consecutive run, gather otherwise), into a reused buffer. Rows
-    /// of tombstoned slots are included — computing their bound is cheaper
-    /// than branching on liveness inside the kernel; the caller's
-    /// slot map skips them in the verification pass.
+    /// blocked [`ScanKernel`] (f64: contiguous fast path when the
+    /// indirection is one consecutive run, gather otherwise; f32: always
+    /// the planar streaming path over this slice's own columns), into a
+    /// reused buffer. Rows of tombstoned slots are included — computing
+    /// their bound is cheaper than branching on liveness inside the
+    /// kernel; the caller's slot map skips them in the verification pass.
     pub fn lower_bounds_into(&self, qd: &[f64], out: &mut Vec<f64>) {
         debug_assert_eq!(qd.len(), self.width());
-        if self.consecutive && !self.index.is_empty() {
-            let w = self.snap.width();
-            let start = self.index[0] as usize * w;
-            let rows = &self.snap.as_slice()[start..start + self.index.len() * w];
-            ScanKernel::lower_bounds(qd, rows, self.index.len(), out);
-        } else {
-            ScanKernel::lower_bounds_indexed(qd, &self.snap, &self.index, out);
+        match self.snap.mode() {
+            ColumnMode::F64 => {
+                if self.consecutive && !self.index.is_empty() {
+                    let w = self.snap.width();
+                    let start = self.index[0] as usize * w;
+                    let rows = &self.snap.as_slice()[start..start + self.index.len() * w];
+                    ScanKernel::lower_bounds(qd, rows, self.index.len(), out);
+                } else {
+                    ScanKernel::lower_bounds_indexed(qd, &self.snap, &self.index, out);
+                }
+            }
+            ColumnMode::F32 => {
+                let w = self.snap.width();
+                debug_assert_eq!(
+                    self.cols32_rows,
+                    self.index.len(),
+                    "planar columns out of sync with the indirection"
+                );
+                // Round the query's pivot distances once per scan; the
+                // admissibility slack covers this rounding plus the
+                // columns' (see `PivotMatrix::f32_slack`).
+                let mut qmax = 0.0f64;
+                let mut qstack = [0.0f32; 64];
+                let qheap: Vec<f32>;
+                let qd32: &[f32] = if w <= qstack.len() {
+                    for (s, q) in qstack.iter_mut().zip(qd) {
+                        *s = *q as f32;
+                        let a = q.abs();
+                        if a > qmax {
+                            qmax = a;
+                        }
+                    }
+                    &qstack[..w]
+                } else {
+                    qheap = qd
+                        .iter()
+                        .map(|q| {
+                            let a = q.abs();
+                            if a > qmax {
+                                qmax = a;
+                            }
+                            *q as f32
+                        })
+                        .collect();
+                    &qheap
+                };
+                let slack = self.snap.f32_slack(qmax);
+                // Column refs on the stack for the common pivot counts.
+                let mut cstack: [&[f32]; 64] = [&[]; 64];
+                let cheap: Vec<&[f32]>;
+                let cols: &[&[f32]] = if w <= cstack.len() {
+                    for (s, c) in cstack.iter_mut().zip(&self.cols32) {
+                        *s = c.as_slice();
+                    }
+                    &cstack[..w]
+                } else {
+                    cheap = self.cols32.iter().map(|c| c.as_slice()).collect();
+                    &cheap
+                };
+                ScanKernel::lower_bounds_f32(qd32, cols, self.index.len(), slack, out);
+            }
         }
     }
 
     /// Re-fetches the published snapshot — the engine calls this (through
-    /// `MetricIndex::refresh_rows`) after publishing staged rows.
+    /// `MetricIndex::refresh_rows`) after publishing staged rows — and
+    /// catches the planar f32 columns up to any newly readable rows.
     pub fn refresh(&mut self) {
         self.snap = self.shared.snapshot();
+        self.sync_cols32();
     }
 
     /// Drops the cached snapshot (replacing it with an empty placeholder)
@@ -581,6 +1012,7 @@ impl MatrixSlice {
         self.consecutive = self.consecutive
             && (self.index.is_empty() || shared_row as u32 == self.index[self.index.len() - 1] + 1);
         self.index.push(shared_row as u32);
+        self.sync_cols32();
         self.index.len() - 1
     }
 
@@ -596,6 +1028,7 @@ impl MatrixSlice {
         self.consecutive = self.consecutive
             && (self.index.is_empty() || id as u32 == self.index[self.index.len() - 1] + 1);
         self.index.push(id as u32);
+        self.sync_cols32();
         self.index.len() - 1
     }
 
@@ -610,12 +1043,18 @@ impl MatrixSlice {
         );
         self.consecutive = is_consecutive(&index);
         self.index = index;
+        self.rebuild_cols32();
     }
 
-    /// This slice's share of the matrix footprint: its rows' distances plus
+    /// This slice's share of the matrix footprint: its rows' distances
+    /// (plus its own planar f32 columns under [`ColumnMode::F32`]) plus
     /// the indirection itself.
     pub fn mem_bytes(&self) -> u64 {
-        (8 * self.width() as u64 + 4) * self.index.len() as u64
+        let per_row = match self.snap.mode() {
+            ColumnMode::F64 => 8 * self.width() as u64,
+            ColumnMode::F32 => 12 * self.width() as u64,
+        };
+        (per_row + 4) * self.index.len() as u64
     }
 }
 
@@ -747,6 +1186,203 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn every_simd_tier_matches_the_portable_reference_bit_for_bit() {
+        // f64: all tiers vs the scalar reference, contiguous and gather,
+        // across widths and block remainders.
+        for tier in simd::available_tiers() {
+            for w in [1usize, 3, 5, 8, 21] {
+                for n in [1usize, 2, 3, 7, 8, 9, 63, 64, 65, 130] {
+                    let rows: Vec<f64> = (0..n * w)
+                        .map(|i| ((i * 37 % 101) as f64 - 50.0) * 0.75)
+                        .collect();
+                    let qd: Vec<f64> = (0..w).map(|j| (j * 13 % 17) as f64 - 8.0).collect();
+                    let mut want = Vec::new();
+                    ScanKernel::lower_bounds_scalar(&qd, &rows, n, &mut want);
+                    let mut got = Vec::new();
+                    ScanKernel::lower_bounds_with_tier(tier, &qd, &rows, n, &mut got);
+                    assert_eq!(got.len(), n);
+                    for i in 0..n {
+                        assert_eq!(
+                            got[i].to_bits(),
+                            want[i].to_bits(),
+                            "{tier:?} w={w} n={n} row {i}"
+                        );
+                    }
+                    let m = PivotMatrix::from_rows(w, rows.chunks(w));
+                    let index: Vec<u32> = (0..n as u32).rev().collect();
+                    let mut gathered = Vec::new();
+                    ScanKernel::lower_bounds_indexed_with_tier(
+                        tier,
+                        &qd,
+                        &m,
+                        &index,
+                        &mut gathered,
+                    );
+                    for (i, &id) in index.iter().enumerate() {
+                        assert_eq!(
+                            gathered[i].to_bits(),
+                            want[id as usize].to_bits(),
+                            "{tier:?} gather w={w} n={n} row {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_tiers_agree_and_stay_admissible() {
+        for tier in simd::available_tiers() {
+            for w in [1usize, 4, 5, 9] {
+                for n in [1usize, 5, 8, 9, 16, 17, 64, 131] {
+                    let rows64: Vec<f64> = (0..n * w)
+                        .map(|i| ((i * 53 % 211) as f64 - 100.0) * 1.375)
+                        .collect();
+                    // Planar columns, rounded the same way slices round.
+                    let cols_own: Vec<Vec<f32>> = (0..w)
+                        .map(|j| (0..n).map(|i| rows64[i * w + j] as f32).collect())
+                        .collect();
+                    let cols: Vec<&[f32]> = cols_own.iter().map(|c| c.as_slice()).collect();
+                    let qd64: Vec<f64> = (0..w)
+                        .map(|j| ((j * 29 % 31) as f64 - 15.0) * 1.1)
+                        .collect();
+                    let qd32: Vec<f32> = qd64.iter().map(|&x| x as f32).collect();
+                    let max_abs = rows64.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+                    let qmax = qd64.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+                    let slack = F32_SLACK_FACTOR * (f32::EPSILON as f64) * (max_abs + qmax);
+                    let mut want = Vec::new();
+                    ScanKernel::lower_bounds_scalar_f32(&qd32, &cols, n, slack, &mut want);
+                    let mut got = Vec::new();
+                    ScanKernel::lower_bounds_f32_with_tier(tier, &qd32, &cols, n, slack, &mut got);
+                    assert_eq!(got.len(), n);
+                    for i in 0..n {
+                        assert_eq!(
+                            got[i].to_bits(),
+                            want[i].to_bits(),
+                            "{tier:?} w={w} n={n} row {i}"
+                        );
+                        // Admissible: never above the true f64 bound.
+                        let truth = ScanKernel::row_max(&qd64, &rows64[i * w..(i + 1) * w]);
+                        assert!(
+                            got[i] <= truth,
+                            "{tier:?} w={w} n={n} row {i}: f32 bound {} > true {truth}",
+                            got[i]
+                        );
+                        assert!(got[i] >= 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_max_abs_tracks_every_mutation_path() {
+        let m = PivotMatrix::from_rows(2, [[1.0, -8.0], [2.5, 3.0]]).with_mode(ColumnMode::F32);
+        assert_eq!(m.mode(), ColumnMode::F32);
+        assert_eq!(m.max_abs(), 8.0);
+        assert_eq!(m.mem_bytes(), 4 * 8);
+
+        // push_row extends the max.
+        let mut m = m;
+        m.push_row(&[-9.5, 0.25]);
+        assert_eq!(m.max_abs(), 9.5);
+
+        // select inherits the mode and recomputes the (tighter) max.
+        let s = m.select(&[0, 1]);
+        assert_eq!(s.mode(), ColumnMode::F32);
+        assert_eq!(s.max_abs(), 8.0);
+
+        // Staged publication through the shared handle tracks too.
+        let shared = SharedPivotMatrix::new(m.clone());
+        shared.stage_row(&[100.0, -1.0]);
+        shared.publish();
+        let snap = shared.snapshot();
+        assert_eq!(snap.max_abs(), 100.0);
+
+        // Dropping back to F64 resets the (unused) max.
+        let back = (*snap).clone().with_mode(ColumnMode::F64);
+        assert_eq!(back.max_abs(), 0.0);
+        assert_eq!(back.mem_bytes(), 8 * 8);
+    }
+
+    #[test]
+    fn f32_planar_columns_track_slice_mutations() {
+        // A scattered slice under F32 scans its own planar columns; bounds
+        // must track adopt (published and staged), push_adopt, and the
+        // compaction reindex. Equality oracle: a fresh slice with the same
+        // indirection (rebuilds its columns from scratch).
+        let m = PivotMatrix::from_rows(2, [[0.0, 1.0], [10.0, -3.0], [4.0, 4.0], [-2.0, 7.0]])
+            .with_mode(ColumnMode::F32);
+        let shared = SharedPivotMatrix::new(m);
+        let mut s = MatrixSlice::new(shared.clone(), vec![2, 0]);
+        let qd = [3.0f64, -1.0];
+        let check = |s: &MatrixSlice| {
+            let fresh = MatrixSlice::new(s.shared().clone(), s.index.clone());
+            let (mut got, mut want) = (Vec::new(), Vec::new());
+            s.lower_bounds_into(&qd, &mut got);
+            fresh.lower_bounds_into(&qd, &mut want);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.to_bits(), w.to_bits());
+            }
+        };
+        check(&s);
+
+        // Adopt an already-published row.
+        s.adopt(3);
+        check(&s);
+
+        // Adopt a staged row: columns lag until publish + refresh.
+        let staged = shared.stage_row(&[5.0, 5.0]);
+        s.adopt(staged);
+        assert_eq!(s.cols32_rows, 3, "staged row not yet materialized");
+        shared.publish();
+        s.refresh();
+        assert_eq!(s.cols32_rows, 4);
+        check(&s);
+
+        // push_adopt (stage + publish + adopt in one step).
+        s.push_adopt(&[-6.0, 2.0]);
+        check(&s);
+
+        // Compaction: renumbered matrix, wholesale rebuild.
+        let dense = shared.snapshot().select(&[0, 2, 4]);
+        shared.replace(dense);
+        s.reindex(vec![2, 1, 0]);
+        check(&s);
+    }
+
+    #[test]
+    fn f32_slice_bounds_are_admissible_on_real_data() {
+        let pts = datasets::la(500, 7);
+        let pivots: Vec<Vec<f32>> = vec![pts[3].clone(), pts[90].clone(), pts[222].clone()];
+        let m64 = PivotMatrix::compute(&pts, &L2, &pivots, 1);
+        let m32 = m64.clone().with_mode(ColumnMode::F32);
+        let qd: Vec<f64> = pivots.iter().map(|p| L2.dist(&pts[42], p)).collect();
+        let ident = MatrixSlice::from_owned(m32.clone());
+        let mut lbs = Vec::new();
+        ident.lower_bounds_into(&qd, &mut lbs);
+        assert_eq!(lbs.len(), 500);
+        for (i, lb) in lbs.iter().enumerate() {
+            let truth = pivot_lower_bound(&qd, m64.row(i));
+            assert!(*lb <= truth, "row {i}: f32 bound {lb} > true {truth}");
+            assert!(*lb >= 0.0);
+            // And not uselessly loose: within slack of the truth.
+            let slk = m32.f32_slack(qd.iter().fold(0.0f64, |a, q| a.max(q.abs())));
+            assert!(truth - *lb <= 2.0 * slk + truth * 1e-6, "row {i} too loose");
+        }
+        // Gather path agrees with the contiguous path per row.
+        let shared = SharedPivotMatrix::new(m32);
+        let index: Vec<u32> = (0..500u32).map(|i| (i * 7) % 500).collect();
+        let slice = MatrixSlice::new(shared, index.clone());
+        let mut glbs = Vec::new();
+        slice.lower_bounds_into(&qd, &mut glbs);
+        for (i, &id) in index.iter().enumerate() {
+            assert_eq!(glbs[i].to_bits(), lbs[id as usize].to_bits());
         }
     }
 

@@ -1,0 +1,324 @@
+//! Explicit-SIMD tiers for the [`ScanKernel`](crate::ScanKernel), with
+//! one-time runtime dispatch.
+//!
+//! The Lemma 1 filter `max_j |qd_j − row_j|` is memory-bound, so the win of
+//! hand-written lanes is modest for f64 — LLVM already auto-vectorizes the
+//! portable blocked loop — but load-bearing for the f32 column mode, where
+//! AVX2 processes **eight** rows per step over **half** the bytes. Three
+//! tiers exist:
+//!
+//! * [`SimdTier::Avx2`] — 256-bit lanes (4 × f64 / 8 × f32 rows per step),
+//!   picked when the CPU reports AVX2 at first use.
+//! * [`SimdTier::Sse2`] — 128-bit lanes (2 × f64 / 4 × f32), the x86-64
+//!   baseline.
+//! * [`SimdTier::Portable`] — the blocked scalar code in `matrix.rs`
+//!   (LLVM-auto-vectorized), the only tier on non-x86-64 targets.
+//!
+//! **Every tier produces bit-identical bounds.** `a − b` is a single
+//! correctly-rounded operation, `abs` is exact, and a `max` reduction over
+//! non-negative finite values is exact and association-insensitive;
+//! degenerate inputs (`NaN`, `±∞`) collapse to the same clamped result
+//! through one shared adjustment helper. The per-tier entry points on
+//! `ScanKernel` exist so tests can pin every available tier against the
+//! portable reference.
+//!
+//! Dispatch is decided once per process ([`tier`], a `OnceLock`) and can be
+//! forced down with `PMI_SIMD=portable|sse2|avx2` — compiler flags alone
+//! (`RUSTFLAGS=-C target-feature=-avx2`) cannot disable *runtime* feature
+//! detection, and CI's no-AVX2 leg uses the override to prove the portable
+//! fallback stays green on hardware that has AVX2.
+
+use std::sync::OnceLock;
+
+/// A SIMD implementation tier of the scan kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SimdTier {
+    /// Blocked scalar code, auto-vectorized by LLVM. Always available.
+    Portable,
+    /// 128-bit `std::arch` lanes (x86-64 baseline).
+    Sse2,
+    /// 256-bit `std::arch` lanes (runtime-detected).
+    Avx2,
+}
+
+impl SimdTier {
+    /// Human-readable label (`"portable"` / `"sse2"` / `"avx2"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SimdTier::Portable => "portable",
+            SimdTier::Sse2 => "sse2",
+            SimdTier::Avx2 => "avx2",
+        }
+    }
+}
+
+/// The tiers this CPU can run, best last. Always starts with
+/// [`SimdTier::Portable`].
+pub fn available_tiers() -> Vec<SimdTier> {
+    let mut tiers = vec![SimdTier::Portable];
+    #[cfg(target_arch = "x86_64")]
+    {
+        tiers.push(SimdTier::Sse2);
+        if is_x86_feature_detected!("avx2") {
+            tiers.push(SimdTier::Avx2);
+        }
+    }
+    tiers
+}
+
+fn detect() -> SimdTier {
+    let best = *available_tiers().last().expect("portable always present");
+    match std::env::var("PMI_SIMD").ok().as_deref() {
+        Some("portable") | Some("scalar") => SimdTier::Portable,
+        Some("sse2") if best != SimdTier::Portable => SimdTier::Sse2,
+        Some("avx2") => best, // can only cap at what the CPU has
+        _ => best,
+    }
+}
+
+/// The tier the kernel dispatches to, decided once per process (first use)
+/// from CPU feature detection, overridable via `PMI_SIMD`.
+pub fn tier() -> SimdTier {
+    static TIER: OnceLock<SimdTier> = OnceLock::new();
+    *TIER.get_or_init(detect)
+}
+
+/// The x86-64 lane implementations. All functions require the slice
+/// preconditions documented on their `ScanKernel` wrappers (`rows`/`out`
+/// sized to `n`·`w`, every index row in bounds) and, for the AVX2 set, a
+/// CPU with AVX2 — which the dispatcher guarantees.
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86 {
+    use crate::matrix::{adjust_f32, ScanKernel};
+    use core::arch::x86_64::*;
+
+    /// `|x|` via sign-bit clear — exact, no rounding.
+    #[inline(always)]
+    unsafe fn abs_pd(x: __m256d) -> __m256d {
+        _mm256_andnot_pd(_mm256_set1_pd(-0.0), x)
+    }
+
+    #[inline(always)]
+    unsafe fn abs_pd128(x: __m128d) -> __m128d {
+        _mm_andnot_pd(_mm_set1_pd(-0.0), x)
+    }
+
+    #[inline(always)]
+    unsafe fn abs_ps(x: __m256) -> __m256 {
+        _mm256_andnot_ps(_mm256_set1_ps(-0.0), x)
+    }
+
+    #[inline(always)]
+    unsafe fn abs_ps128(x: __m128) -> __m128 {
+        _mm_andnot_ps(_mm_set1_ps(-0.0), x)
+    }
+
+    /// 4 rows of f64 per step; remainder through the shared scalar
+    /// reduction (bit-identical by the module-level argument).
+    ///
+    /// # Safety
+    /// Caller verified AVX2; `rows.len() == out.len() * qd.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn lb_f64_avx2(qd: &[f64], rows: &[f64], out: &mut [f64]) {
+        let w = qd.len();
+        let n = out.len();
+        let base = rows.as_ptr();
+        let mut i = 0;
+        while i + 4 <= n {
+            let r0 = base.add(i * w);
+            let r1 = r0.add(w);
+            let r2 = r1.add(w);
+            let r3 = r2.add(w);
+            let mut m = _mm256_setzero_pd();
+            for j in 0..w {
+                let x = _mm256_set_pd(*r3.add(j), *r2.add(j), *r1.add(j), *r0.add(j));
+                let q = _mm256_set1_pd(*qd.get_unchecked(j));
+                m = _mm256_max_pd(abs_pd(_mm256_sub_pd(q, x)), m);
+            }
+            _mm256_storeu_pd(out.as_mut_ptr().add(i), m);
+            i += 4;
+        }
+        for r in i..n {
+            out[r] = ScanKernel::row_max(qd, &rows[r * w..(r + 1) * w]);
+        }
+    }
+
+    /// The gather twin of [`lb_f64_avx2`]: row `index[i]` of `data`.
+    ///
+    /// # Safety
+    /// Caller verified AVX2; every `index[i] * qd.len() + qd.len()` is in
+    /// bounds of `data`; `out.len() == index.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn lb_f64_idx_avx2(qd: &[f64], data: &[f64], index: &[u32], out: &mut [f64]) {
+        let w = qd.len();
+        let n = out.len();
+        let base = data.as_ptr();
+        let mut i = 0;
+        while i + 4 <= n {
+            let r0 = base.add(*index.get_unchecked(i) as usize * w);
+            let r1 = base.add(*index.get_unchecked(i + 1) as usize * w);
+            let r2 = base.add(*index.get_unchecked(i + 2) as usize * w);
+            let r3 = base.add(*index.get_unchecked(i + 3) as usize * w);
+            let mut m = _mm256_setzero_pd();
+            for j in 0..w {
+                let x = _mm256_set_pd(*r3.add(j), *r2.add(j), *r1.add(j), *r0.add(j));
+                let q = _mm256_set1_pd(*qd.get_unchecked(j));
+                m = _mm256_max_pd(abs_pd(_mm256_sub_pd(q, x)), m);
+            }
+            _mm256_storeu_pd(out.as_mut_ptr().add(i), m);
+            i += 4;
+        }
+        for r in i..n {
+            let id = index[r] as usize;
+            out[r] = ScanKernel::row_max(qd, &data[id * w..id * w + w]);
+        }
+    }
+
+    /// 8 rows of f32 per step over **planar** (column-major) storage:
+    /// `cols[j][i]` is the f32 filter value of local row `i` against pivot
+    /// `j`, so every inner step is one contiguous `loadu` per column — no
+    /// per-lane scalar gather, which is what lets f32 actually cash in its
+    /// halved bytes and doubled lanes. Row maxes are widened to f64 and
+    /// slack-adjusted in-register (`max(m − slack, +0)` — `_mm256_max_pd(x,
+    /// 0)` matches the scalar `clamp_pos`, including for `NaN` and `−0`).
+    ///
+    /// # Safety
+    /// Caller verified AVX2; every `cols[j].len() == out.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn lb_f32_planar_avx2(qd: &[f32], cols: &[&[f32]], slack: f64, out: &mut [f64]) {
+        let w = qd.len();
+        let n = out.len();
+        debug_assert_eq!(cols.len(), w);
+        let slk = _mm256_set1_pd(slack);
+        let zero = _mm256_setzero_pd();
+        let mut i = 0;
+        while i + 8 <= n {
+            let mut m = _mm256_setzero_ps();
+            for j in 0..w {
+                let x = _mm256_loadu_ps(cols.get_unchecked(j).as_ptr().add(i));
+                let q = _mm256_set1_ps(*qd.get_unchecked(j));
+                m = _mm256_max_ps(abs_ps(_mm256_sub_ps(q, x)), m);
+            }
+            let lo = _mm256_max_pd(
+                _mm256_sub_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(m)), slk),
+                zero,
+            );
+            let hi = _mm256_max_pd(
+                _mm256_sub_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(m, 1)), slk),
+                zero,
+            );
+            _mm256_storeu_pd(out.as_mut_ptr().add(i), lo);
+            _mm256_storeu_pd(out.as_mut_ptr().add(i + 4), hi);
+            i += 8;
+        }
+        for (r, o) in out.iter_mut().enumerate().take(n).skip(i) {
+            *o = adjust_f32(ScanKernel::row_max_f32_planar(qd, cols, r), slack);
+        }
+    }
+
+    /// 2 rows of f64 per step (SSE2 baseline).
+    ///
+    /// # Safety
+    /// `rows.len() == out.len() * qd.len()` (SSE2 is baseline on x86-64).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn lb_f64_sse2(qd: &[f64], rows: &[f64], out: &mut [f64]) {
+        let w = qd.len();
+        let n = out.len();
+        let base = rows.as_ptr();
+        let mut i = 0;
+        while i + 2 <= n {
+            let r0 = base.add(i * w);
+            let r1 = r0.add(w);
+            let mut m = _mm_setzero_pd();
+            for j in 0..w {
+                let x = _mm_set_pd(*r1.add(j), *r0.add(j));
+                let q = _mm_set1_pd(*qd.get_unchecked(j));
+                m = _mm_max_pd(abs_pd128(_mm_sub_pd(q, x)), m);
+            }
+            _mm_storeu_pd(out.as_mut_ptr().add(i), m);
+            i += 2;
+        }
+        for r in i..n {
+            out[r] = ScanKernel::row_max(qd, &rows[r * w..(r + 1) * w]);
+        }
+    }
+
+    /// The gather twin of [`lb_f64_sse2`].
+    ///
+    /// # Safety
+    /// Every `index[i] * qd.len() + qd.len()` is in bounds of `data`;
+    /// `out.len() == index.len()`.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn lb_f64_idx_sse2(qd: &[f64], data: &[f64], index: &[u32], out: &mut [f64]) {
+        let w = qd.len();
+        let n = out.len();
+        let base = data.as_ptr();
+        let mut i = 0;
+        while i + 2 <= n {
+            let r0 = base.add(*index.get_unchecked(i) as usize * w);
+            let r1 = base.add(*index.get_unchecked(i + 1) as usize * w);
+            let mut m = _mm_setzero_pd();
+            for j in 0..w {
+                let x = _mm_set_pd(*r1.add(j), *r0.add(j));
+                let q = _mm_set1_pd(*qd.get_unchecked(j));
+                m = _mm_max_pd(abs_pd128(_mm_sub_pd(q, x)), m);
+            }
+            _mm_storeu_pd(out.as_mut_ptr().add(i), m);
+            i += 2;
+        }
+        for r in i..n {
+            let id = index[r] as usize;
+            out[r] = ScanKernel::row_max(qd, &data[id * w..id * w + w]);
+        }
+    }
+
+    /// 4 rows of f32 per step (SSE2 baseline) over planar storage, widened
+    /// and slack-adjusted. See [`lb_f32_planar_avx2`] for the layout.
+    ///
+    /// # Safety
+    /// Every `cols[j].len() == out.len()`.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn lb_f32_planar_sse2(qd: &[f32], cols: &[&[f32]], slack: f64, out: &mut [f64]) {
+        let w = qd.len();
+        let n = out.len();
+        debug_assert_eq!(cols.len(), w);
+        let slk = _mm_set1_pd(slack);
+        let zero = _mm_setzero_pd();
+        let mut i = 0;
+        while i + 4 <= n {
+            let mut m = _mm_setzero_ps();
+            for j in 0..w {
+                let x = _mm_loadu_ps(cols.get_unchecked(j).as_ptr().add(i));
+                let q = _mm_set1_ps(*qd.get_unchecked(j));
+                m = _mm_max_ps(abs_ps128(_mm_sub_ps(q, x)), m);
+            }
+            let lo = _mm_max_pd(_mm_sub_pd(_mm_cvtps_pd(m), slk), zero);
+            let hi = _mm_max_pd(_mm_sub_pd(_mm_cvtps_pd(_mm_movehl_ps(m, m)), slk), zero);
+            _mm_storeu_pd(out.as_mut_ptr().add(i), lo);
+            _mm_storeu_pd(out.as_mut_ptr().add(i + 2), hi);
+            i += 4;
+        }
+        for (r, o) in out.iter_mut().enumerate().take(n).skip(i) {
+            *o = adjust_f32(ScanKernel::row_max_f32_planar(qd, cols, r), slack);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portable_is_always_available_and_best_is_last() {
+        let tiers = available_tiers();
+        assert_eq!(tiers[0], SimdTier::Portable);
+        assert!(tiers.contains(&tier()));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(SimdTier::Portable.label(), "portable");
+        assert_eq!(SimdTier::Sse2.label(), "sse2");
+        assert_eq!(SimdTier::Avx2.label(), "avx2");
+    }
+}

@@ -15,8 +15,8 @@
 use pmi_metric::fault;
 use pmi_metric::scratch::drain_heap_sorted;
 use pmi_metric::{
-    Counters, CountingMetric, EncodeObject, MatrixSlice, Metric, MetricIndex, Neighbor, ObjId,
-    PivotMatrix, QueryScratch, StorageFootprint,
+    ColumnMode, Counters, CountingMetric, EncodeObject, MatrixSlice, Metric, MetricIndex, Neighbor,
+    ObjId, PivotMatrix, QueryScratch, StorageFootprint,
 };
 use pmi_mtree::MTree;
 use pmi_storage::DiskSim;
@@ -41,8 +41,20 @@ where
     /// Builds CPT on `disk` (the paper uses 40 KB pages for Color/Synthetic
     /// because objects are stored inline in the M-tree).
     pub fn build(objects: Vec<O>, metric: M, pivots: Vec<O>, disk: DiskSim) -> Self {
+        Self::build_mode(objects, metric, pivots, disk, ColumnMode::F64)
+    }
+
+    /// [`build`](Self::build) with an explicit filter-column mode (see
+    /// [`ColumnMode`]); exact verification and results are unaffected.
+    pub fn build_mode(
+        objects: Vec<O>,
+        metric: M,
+        pivots: Vec<O>,
+        disk: DiskSim,
+        mode: ColumnMode,
+    ) -> Self {
         let metric = CountingMetric::new(metric);
-        let matrix = PivotMatrix::compute(&objects, &metric, &pivots, 1);
+        let matrix = PivotMatrix::compute(&objects, &metric, &pivots, 1).with_mode(mode);
         Self::finish(
             objects,
             metric,
@@ -163,6 +175,17 @@ where
     }
 
     fn knn_query_into(&self, q: &O, k: usize, scratch: &mut QueryScratch, out: &mut Vec<Neighbor>) {
+        self.knn_query_into_seeded(q, k, f64::INFINITY, scratch, out);
+    }
+
+    fn knn_query_into_seeded(
+        &self,
+        q: &O,
+        k: usize,
+        seed: f64,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
         if k == 0 {
             return;
         }
@@ -172,13 +195,16 @@ where
         qd.extend(self.pivots.iter().map(|p| self.metric.dist(q, p)));
         self.rows.lower_bounds_into(qd, lbs);
         heap.clear();
+        // Seeded pruning skips disk fetches too — the biggest win for CPT,
+        // whose verification pass pages objects in from the M-tree.
         for (id, _) in self.alive.iter().enumerate().filter(|&(_, &a)| a) {
             let radius = if heap.len() < k {
                 f64::INFINITY
             } else {
                 heap.peek().expect("heap is full").dist
             };
-            if radius.is_finite() && lbs[id] > radius {
+            let prune = if radius < seed { radius } else { seed };
+            if prune.is_finite() && lbs[id] > prune {
                 continue;
             }
             let o = self.mtree.fetch(id as ObjId).expect("object on disk");

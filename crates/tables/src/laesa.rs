@@ -3,8 +3,8 @@
 use pmi_metric::fault;
 use pmi_metric::scratch::drain_heap_sorted;
 use pmi_metric::{
-    Counters, CountingMetric, EncodeObject, MatrixSlice, Metric, MetricIndex, Neighbor, ObjId,
-    ObjTable, PivotMatrix, QueryScratch, StorageFootprint,
+    ColumnMode, Counters, CountingMetric, EncodeObject, MatrixSlice, Metric, MetricIndex, Neighbor,
+    ObjId, ObjTable, PivotMatrix, QueryScratch, StorageFootprint,
 };
 
 /// LAESA: `n × l` pre-computed distances + linear scan with Lemma 1.
@@ -37,8 +37,17 @@ where
     /// the caller with the shared HFI strategy, §6.1). Construction computes
     /// exactly `n · l` distances.
     pub fn build(objects: Vec<O>, metric: M, pivots: Vec<O>) -> Self {
+        Self::build_mode(objects, metric, pivots, ColumnMode::F64)
+    }
+
+    /// [`build`](Self::build) with an explicit filter-column mode:
+    /// distances are computed in f64 (same count, same exact verification);
+    /// [`ColumnMode::F32`] additionally keeps the f32 mirror the scan
+    /// kernel reads, with slack-adjusted admissible bounds — results stay
+    /// byte-identical to the f64 build.
+    pub fn build_mode(objects: Vec<O>, metric: M, pivots: Vec<O>, mode: ColumnMode) -> Self {
         let metric = CountingMetric::new(metric);
-        let matrix = PivotMatrix::compute(&objects, &metric, &pivots, 1);
+        let matrix = PivotMatrix::compute(&objects, &metric, &pivots, 1).with_mode(mode);
         Laesa {
             metric,
             pivots,
@@ -149,6 +158,17 @@ where
     }
 
     fn knn_query_into(&self, q: &O, k: usize, scratch: &mut QueryScratch, out: &mut Vec<Neighbor>) {
+        self.knn_query_into_seeded(q, k, f64::INFINITY, scratch, out);
+    }
+
+    fn knn_query_into_seeded(
+        &self,
+        q: &O,
+        k: usize,
+        seed: f64,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
         if k == 0 {
             return;
         }
@@ -160,7 +180,9 @@ where
         // then the usual tightening scan. Max-heap of current k best;
         // radius = worst of the k (∞ until k found). Objects verified in
         // storage order — the paper notes this is suboptimal but is how
-        // LAESA works (§3.1 discussion).
+        // LAESA works (§3.1 discussion). Pruning uses the tighter of the
+        // local radius and the caller's seed (see the trait's exactness
+        // contract); the push condition stays purely local.
         self.rows.lower_bounds_into(qd, lbs);
         heap.clear();
         for (id, o) in self.table.iter() {
@@ -169,7 +191,8 @@ where
             } else {
                 heap.peek().expect("heap is full").dist
             };
-            if radius.is_finite() && lbs[id as usize] > radius {
+            let prune = if radius < seed { radius } else { seed };
+            if prune.is_finite() && lbs[id as usize] > prune {
                 continue;
             }
             let d = self.metric.dist(q, o);

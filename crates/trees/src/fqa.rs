@@ -390,10 +390,22 @@ where
     }
 
     fn knn_query_into(&self, q: &O, k: usize, scratch: &mut QueryScratch, out: &mut Vec<Neighbor>) {
+        self.knn_query_into_seeded(q, k, f64::INFINITY, scratch, out);
+    }
+
+    fn knn_query_into_seeded(
+        &self,
+        q: &O,
+        k: usize,
+        seed: f64,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
         if k == 0 {
             return;
         }
         let Some(slice) = &self.adopted else {
+            // The signature path has no per-object lower bounds to seed.
             out.extend(self.knn_by_signature(q, k));
             return;
         };
@@ -409,7 +421,8 @@ where
             } else {
                 heap.peek().expect("heap is full").dist
             };
-            if radius.is_finite() && lbs[id as usize] > radius {
+            let prune = if radius < seed { radius } else { seed };
+            if prune.is_finite() && lbs[id as usize] > prune {
                 continue;
             }
             let d = self.metric.dist(q, o);

@@ -124,6 +124,67 @@ fn main() {
         engine.counters().compdists,
     );
 
+    // The bandwidth-halving scan path (docs/performance.md): F32 filter
+    // columns stream half the bytes through the Lemma 1 kernel while exact
+    // distances stay f64 — the stored rows carry a conservative rounding
+    // slack, so the bounds remain admissible and the answers stay
+    // byte-identical to the F64 engine. The report's first line names the
+    // active batch scheduling strategy (wide batches assign whole queries
+    // to workers; narrow batches on large engines fan each query across
+    // shards instead).
+    println!("\ncolumn modes (LAESA, P=8, pivot-space):");
+    let f64_answers = {
+        let e = build_sharded_vector_engine(
+            IndexKind::Laesa,
+            pts.clone(),
+            L2,
+            &opts,
+            &EngineConfig {
+                shards: 8,
+                threads: 0,
+                ..EngineConfig::default()
+            },
+            PartitionPolicy::PivotSpace,
+        )
+        .expect("buildable");
+        e.serve(&batch).results
+    };
+    let f32_engine = build_sharded_vector_engine(
+        IndexKind::Laesa,
+        pts.clone(),
+        L2,
+        &BuildOptions {
+            column_mode: pmr::ColumnMode::F32,
+            ..opts
+        },
+        &EngineConfig {
+            shards: 8,
+            threads: 0,
+            ..EngineConfig::default()
+        },
+        PartitionPolicy::PivotSpace,
+    )
+    .expect("buildable");
+    let wide = f32_engine.serve(&batch);
+    println!(
+        "  mode={} simd={}: {}",
+        pmr::ColumnMode::F32.label(),
+        pmr::metric::simd::tier().label(),
+        wide.report,
+    );
+    println!(
+        "  answers byte-identical to mode={}: {}",
+        pmr::ColumnMode::F64.label(),
+        wide.results == f64_answers,
+    );
+    let narrow = f32_engine.serve(&batch[..2]);
+    println!(
+        "  narrow batch ({} queries on {} workers) chose {} scheduling",
+        2,
+        narrow.report.threads,
+        narrow.report.strategy.label(),
+    );
+
     // The unified mutation path: one apply() batch routes inserts through
     // the routing table (each pushes ONE row into the shared matrix — the
     // shard adopts it by id, no remap), shrinks the boxes of shards that

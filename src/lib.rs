@@ -50,5 +50,16 @@
 //! documented in `docs/robustness.md`: budget semantics, the
 //! `Completeness` contract, the quarantine lifecycle, the fault-point
 //! catalog, and how to run the chaos suite (`tests/chaos.rs`).
+//!
+//! Performance — halved filter bandwidth with `f32` columns
+//! (`BuildOptions { column_mode: ColumnMode::F32, .. }`, results stay
+//! byte-identical), the explicit-SIMD scan kernel with runtime
+//! dispatch (`pmr::metric::simd::tier()`, override with `PMI_SIMD`),
+//! and batch scheduling (`EngineConfig::sched`, the chosen
+//! [`SchedStrategy`] on every `out.report.strategy`) — is documented
+//! in `docs/performance.md`: the conservative-rounding admissibility
+//! argument, the SIMD tier table and bit-identity contract, the
+//! scheduling cost model, and the committed bench gates
+//! (`kernel.f32_speedup_ok`, `f32.exact_ok`, `sched.scaling_ok`).
 
 pub use pmi::*;

@@ -506,3 +506,96 @@ fn storage_split_matches_index_family() {
     let s = cpt.storage();
     assert!(s.mem_bytes > 0 && s.disk_bytes > 0, "CPT is hybrid");
 }
+
+#[test]
+fn f32_columns_serve_byte_identical_answers() {
+    use pmr::engine::{EngineConfig, Query};
+    use pmr::{build_sharded_vector_engine, ColumnMode, LInf, PartitionPolicy, QueryResult};
+
+    // The F32 column mode halves the bytes the Lemma 1 kernel streams but
+    // must change no answer: the rounded rows carry a conservative slack,
+    // so the filter is only ever looser and the exact f64 verification
+    // pass produces the same results bit for bit — across every adopting
+    // kind (LAESA, CPT, FQA; EPT rides along to cover a non-adopter),
+    // both partition policies, range and kNN.
+    let pts = datasets::la(600, 31);
+    let radius = datasets::calibrate_radius(&pts, &L2, 0.05, 31);
+    let batch: Vec<Query<Vec<f32>>> = (0..40)
+        .map(|i| {
+            let q = pts[(i * 13) % pts.len()].clone();
+            if i % 2 == 0 {
+                Query::range(q, radius)
+            } else {
+                Query::knn(q, 7)
+            }
+        })
+        .collect();
+    let opts = |mode| BuildOptions {
+        d_plus: 14143.0,
+        maxnum: 48,
+        column_mode: mode,
+        ..BuildOptions::default()
+    };
+    let cfg = EngineConfig {
+        shards: 3,
+        threads: 2,
+        ..EngineConfig::default()
+    };
+    for kind in [
+        IndexKind::Laesa,
+        IndexKind::Cpt,
+        IndexKind::Fqa,
+        IndexKind::Ept,
+    ] {
+        for policy in [PartitionPolicy::RoundRobin, PartitionPolicy::PivotSpace] {
+            let build = |mode| {
+                // FQA buckets distances, which requires a discrete metric;
+                // the other kinds run the paper's L2 setup.
+                if kind == IndexKind::Fqa {
+                    build_sharded_vector_engine(
+                        kind,
+                        pts.clone(),
+                        LInf::discrete(),
+                        &opts(mode),
+                        &cfg,
+                        policy,
+                    )
+                    .unwrap()
+                } else {
+                    build_sharded_vector_engine(kind, pts.clone(), L2, &opts(mode), &cfg, policy)
+                        .unwrap()
+                }
+            };
+            let e64 = build(ColumnMode::F64);
+            let e32 = build(ColumnMode::F32);
+            e64.reset_counters();
+            e32.reset_counters();
+            let r64 = e64.serve(&batch);
+            let r32 = e32.serve(&batch);
+            assert_eq!(
+                r64.results,
+                r32.results,
+                "{} {}",
+                kind.label(),
+                policy.label()
+            );
+            // Bit-level check on the kNN distances (`==` alone would let
+            // -0.0 pass for 0.0).
+            for (a, b) in r64.results.iter().zip(&r32.results) {
+                if let (QueryResult::Knn(na), QueryResult::Knn(nb)) = (a, b) {
+                    for (x, y) in na.iter().zip(nb) {
+                        assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+                    }
+                }
+            }
+            // Admissibility means the f32 filter is only ever looser: it
+            // may send more candidates to exact verification, never fewer.
+            assert!(
+                e32.counters().compdists >= e64.counters().compdists,
+                "{} {}: f32 filter pruned more than f64",
+                kind.label(),
+                policy.label()
+            );
+        }
+    }
+}

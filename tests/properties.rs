@@ -160,4 +160,34 @@ proptest! {
             prop_assert!((g.dist - w.dist).abs() < 1e-9, "{} kNN", kind.label());
         }
     }
+
+    #[test]
+    fn f32_filter_bounds_stay_admissible(
+        v in vecs(6, 8..40),
+        qraw in prop::collection::vec(-1000.0f32..1000.0, 6..=6),
+        w in 1usize..5,
+    ) {
+        use pmr::{ColumnMode, MatrixSlice, PivotMatrix};
+        // An F32-mode matrix over random data: the stored rows are rounded
+        // to f32 and the kernel subtracts a conservative slack, so every
+        // bound must sit at or below the true distance — exactly, no float
+        // tolerance; the slack exists so that the rounding error can never
+        // push a bound past the quantity it is a bound on (Lemma 1).
+        let pivots: Vec<Vec<f32>> = v.iter().take(w).cloned().collect();
+        let m = PivotMatrix::compute(&v, &L2, &pivots, 1).with_mode(ColumnMode::F32);
+        let slice = MatrixSlice::from_owned(m.clone());
+        let qd: Vec<f64> = pivots.iter().map(|p| L2.dist(&qraw, p)).collect();
+        let mut lbs = Vec::new();
+        slice.lower_bounds_into(&qd, &mut lbs);
+        prop_assert_eq!(lbs.len(), v.len());
+        for (i, o) in v.iter().enumerate() {
+            let d = L2.dist(&qraw, o);
+            prop_assert!(lbs[i] <= d, "lb_f32 {} > d {} at row {i}", lbs[i], d);
+            prop_assert!(lbs[i] >= 0.0);
+            // Never above the exact f64 Lemma 1 bound it approximates —
+            // the f32 filter is strictly the looser of the two.
+            let lb64 = pmr::lemmas::pivot_lower_bound(&qd, m.row(i));
+            prop_assert!(lbs[i] <= lb64, "lb_f32 {} > lb_f64 {}", lbs[i], lb64);
+        }
+    }
 }
