@@ -444,6 +444,46 @@ mod tests {
     }
 
     #[test]
+    fn availability_gate_is_collected_and_old_update_artifacts_still_parse() {
+        // Pins the ISSUE-10 availability gate to the sentinel: the
+        // during-churn section of BENCH_update.json carries
+        // `update.availability_ok` (serve QPS while a writer commits apply
+        // transactions must stay ≥ 0.5× the no-churn figure), and a false
+        // verdict must fail `--check` with no analyzer changes.
+        let new_point = JsonValue::parse(
+            r#"{"bench":"update_throughput","mutation":"mvcc",
+                "qps_no_churn_concurrent":52000,"qps_during_churn":20000,
+                "availability":0.38,"churn_commits":120,
+                "queue_depth_max":4,"queue_shed":0,"queue_rejected":17,
+                "update.availability_ok":false}"#,
+        )
+        .unwrap();
+        let mut gates = Vec::new();
+        collect_gates("BENCH_update.json", "", &new_point, &mut gates);
+        let paths: Vec<&str> = gates.iter().map(|g| g.path.as_str()).collect();
+        assert_eq!(paths, ["update.availability_ok"]);
+        let r = analyze(&Groups::new(), &[], &gates, 3.0);
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert!(r.violations[0].contains("update.availability_ok"));
+
+        // A pre-ISSUE-10 artifact (no during-churn section, no gate) still
+        // parses and simply contributes zero gates.
+        let old_point = JsonValue::parse(
+            r#"{"bench":"update_throughput","inserts_per_sec":400000,
+                "removes_per_sec":380000,"qps_before_churn":50000,
+                "qps_after_churn":49000,"qps_no_churn_baseline":51000,
+                "recluster_passes":1}"#,
+        )
+        .unwrap();
+        let mut old_gates = Vec::new();
+        collect_gates("BENCH_update.json", "", &old_point, &mut old_gates);
+        assert!(old_gates.is_empty());
+        assert!(analyze(&Groups::new(), &[], &old_gates, 3.0)
+            .violations
+            .is_empty());
+    }
+
+    #[test]
     fn runlog_lines_group_by_bench_fp_phase() {
         let body = concat!(
             r#"{"schema":"pmi-runlog-v1","bench":"a","fingerprint":"0x1","phase":"p","calls":10,"wall_secs":0.5}"#,

@@ -232,6 +232,15 @@
 //! assert_eq!(engine.len(), 1_299);
 //! ```
 //!
+//! Each committed batch publishes a new immutable [`EngineSnapshot`]
+//! (epoch +1, visible on every `ServeReport::epoch`); on copy-on-write
+//! engines `apply` is all-or-nothing ([`ApplyReport`]`::aborted`) and
+//! [`EngineReader`] handles (`engine.reader()`) keep serving concurrently
+//! through commits. A standing [`SubmitQueue`] with [`AdmissionPolicy`]
+//! adds backpressure and deadline shedding for always-on operation. The
+//! concurrency model — snapshot lifecycle, epoch-based reclamation, the
+//! writer-crash contract — is documented in `docs/concurrency.md`.
+//!
 //! # Observability: `engine.metrics()` and the `obs` feature
 //!
 //! Every engine carries a lock-free-on-the-hot-path metrics registry
@@ -317,11 +326,13 @@ pub use serve::{build_sharded_engine, build_sharded_vector_engine};
 
 pub use pmi_engine as engine;
 pub use pmi_engine::{
-    ApplyReport, BatchOutcome, BuildStats, CompactionPolicy, Completeness, DegradeReason, Degraded,
-    EngineConfig, EngineError, EngineScratch, FaultPolicy, LatencySummary, OpError, OpErrorKind,
-    Query, QueryBudget, QueryError, QueryResult, QueryTrace, RefreshPolicy, SchedPolicy,
+    AdmissionPolicy, ApplyReport, BatchOutcome, BuildStats, CompactionPolicy, Completeness,
+    DegradeReason, Degraded, EngineConfig, EngineError, EngineReader, EngineScratch,
+    EngineSnapshot, FaultPolicy, LatencySummary, OpError, OpErrorKind, PumpOutcome, Query,
+    QueryBudget, QueryError, QueryResult, QueryTrace, QueueStats, RefreshPolicy, SchedPolicy,
     SchedStrategy, ServeBudget, ServeReport, ShardFaultState, ShardServeStats, ShardedEngine,
-    TraceEvent, TraceKind, TracePolicy, UpdateBatch, UpdateOp, UpdateStats,
+    SubmitOutcome, SubmitQueue, TraceEvent, TraceKind, TracePolicy, UpdateBatch, UpdateOp,
+    UpdateStats,
 };
 
 pub use pmi_obs as obs;

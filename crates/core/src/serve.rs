@@ -158,9 +158,10 @@ where
         }
     };
 
-    let stats = engine.build_stats_mut();
+    let mut stats = engine.build_stats();
     stats.build_compdists += matrix_compdists;
     stats.build_wall_secs = t0.elapsed().as_secs_f64();
+    engine.set_build_stats(stats);
     // Facade-side build phases (the engine itself recorded `build` /
     // `build.shards` for the part it ran). No-ops with obs off.
     if let Some(nanos) = matrix_nanos {

@@ -42,6 +42,7 @@
 
 use crate::merge::{merge_range, TopK};
 use crate::query::{Query, QueryResult};
+use crate::queue::{PumpOutcome, SubmitQueue};
 use crate::report::{
     BuildStats, LatencySummary, SchedStrategy, ServeReport, ShardServeStats, UpdateStats,
 };
@@ -658,6 +659,191 @@ pub struct BatchOutcome {
     pub report: ServeReport,
 }
 
+/// One immutable published version of the engine's serving state: the
+/// shard handles, the routing table, and the epoch that names it.
+///
+/// Readers load the current snapshot once per batch (one `Arc` clone under
+/// a nanosecond lock) and serve the whole batch against it, so a
+/// concurrently committing [`apply`](ShardedEngine::apply) can never tear a
+/// batch: every answer is byte-identical to serving against some quiesced
+/// prefix of the update stream. Shards shared between consecutive
+/// snapshots are the *same* `Arc` — `apply` forks only the shards a batch
+/// touches (copy-on-write), so publication cost scales with the write set,
+/// not the engine.
+pub struct EngineSnapshot<O> {
+    /// Publication epoch: 0 for the freshly built engine, +1 per commit.
+    epoch: u64,
+    /// The shard set of this version.
+    shards: Vec<Arc<Shard<O>>>,
+    /// The routing table of this version; `None` for round-robin engines.
+    router: Option<Arc<RoutingTable<O>>>,
+}
+
+impl<O> EngineSnapshot<O> {
+    /// Publication epoch of this snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Live objects in this snapshot.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether this snapshot holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The reader-shared half of the engine: everything batch serving needs
+/// behind `&self`. The writer half ([`ShardedEngine`]) owns the mutable
+/// bookkeeping (locator, shared matrix, policies) and publishes new
+/// [`EngineSnapshot`]s into `snap`; readers — [`EngineReader`] handles and
+/// the engine's own serve wrappers — load the snapshot once per batch and
+/// never observe a half-applied update.
+struct EngineCore<O> {
+    threads: usize,
+    /// The current published snapshot. The mutex guards a single `Arc`
+    /// clone/store — held for nanoseconds, never across a probe.
+    snap: Mutex<Arc<EngineSnapshot<O>>>,
+    /// Exact count of shard probes executed (a query touching 3 of 8
+    /// shards adds 3).
+    probed: AtomicU64,
+    /// Exact count of shard probes avoided by routing (the same query adds
+    /// 5 here).
+    pruned: AtomicU64,
+    /// The engine's metrics registry: build/serve/apply/compact phases,
+    /// latency histograms, counters. Zero-sized and inert when the `obs`
+    /// feature is compiled out; runtime-toggleable via
+    /// [`set_obs_enabled`](ShardedEngine::set_obs_enabled) otherwise.
+    obs: Registry,
+    /// The per-query trace capture policy, read once per batch (the mutex
+    /// never sits on the query path).
+    trace: Mutex<TracePolicy>,
+    /// Serving budgets, read once per batch (same discipline as `trace`).
+    budget: Mutex<ServeBudget>,
+    /// How `serve` schedules batches onto workers, read once per batch.
+    sched: Mutex<SchedPolicy>,
+    /// When repeated per-shard panics quarantine a shard.
+    faults: FaultPolicy,
+    /// Per-shard panic counts and quarantine flags.
+    quarantine: QuarantineState,
+    /// Optional query/insert object validator (e.g. finite-coords for
+    /// vector engines); rejected objects fail per-item, never the batch.
+    validator: Mutex<Option<Validator<O>>>,
+    /// Stats mirrors for reports, synced by the writer at each commit.
+    build: Mutex<BuildStats>,
+    updates: Mutex<UpdateStats>,
+    /// Live [`EngineReader`] handles (diagnostic gauge only).
+    readers: AtomicUsize,
+}
+
+impl<O> EngineCore<O> {
+    /// The current published snapshot (one `Arc` clone).
+    fn snapshot(&self) -> Arc<EngineSnapshot<O>> {
+        Arc::clone(&self.snap.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    fn trace_policy(&self) -> TracePolicy {
+        *self.trace.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn serve_budget(&self) -> ServeBudget {
+        *self.budget.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn validator(&self) -> Option<Validator<O>> {
+        self.validator
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+}
+
+/// A cloneable serving handle for always-on operation: every call loads
+/// the engine's current published [`EngineSnapshot`] and serves entirely
+/// against it, so reader threads keep answering — each batch internally
+/// consistent — while a writer thread commits [`apply`] batches off to the
+/// side (MVCC).
+///
+/// Obtained from [`ShardedEngine::reader`], which returns `None` for
+/// engines whose shard kind cannot fork (where `apply` mutates in place
+/// and concurrent serving would race).
+///
+/// [`apply`]: ShardedEngine::apply
+pub struct EngineReader<O> {
+    core: Arc<EngineCore<O>>,
+}
+
+impl<O> Clone for EngineReader<O> {
+    fn clone(&self) -> Self {
+        self.core.readers.fetch_add(1, Ordering::Relaxed);
+        EngineReader {
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+impl<O> Drop for EngineReader<O> {
+    fn drop(&mut self) {
+        self.core.readers.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl<O> EngineReader<O> {
+    /// Epoch of the snapshot a batch served right now would see.
+    pub fn epoch(&self) -> u64 {
+        self.core.snapshot().epoch
+    }
+
+    /// Live objects in the current snapshot.
+    pub fn len(&self) -> usize {
+        self.core.snapshot().len()
+    }
+
+    /// Whether the current snapshot holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Executes one query against the current snapshot.
+    pub fn execute(&self, query: &Query<O>) -> QueryResult {
+        let snap = self.core.snapshot();
+        self.core
+            .execute_with(&snap, query, &mut EngineScratch::new())
+    }
+}
+
+impl<O: Send + Sync> EngineReader<O> {
+    /// Serves a batch against the current snapshot. Identical semantics to
+    /// [`ShardedEngine::serve`]; safe to call from any number of threads
+    /// concurrently with a writer applying updates.
+    pub fn serve(&self, batch: &[Query<O>]) -> BatchOutcome {
+        let snap = self.core.snapshot();
+        self.core.serve(&snap, batch)
+    }
+
+    /// Exact `MRQ(q, radius)` over the current snapshot.
+    pub fn range_query(&self, q: &O, radius: f64) -> Vec<ObjId> {
+        let snap = self.core.snapshot();
+        self.core.range_query(&snap, q, radius)
+    }
+
+    /// Exact `MkNNQ(q, k)` over the current snapshot.
+    pub fn knn_query(&self, q: &O, k: usize) -> Vec<Neighbor> {
+        let snap = self.core.snapshot();
+        self.core.knn_query(&snap, q, k)
+    }
+
+    /// Pops one pending batch from `queue` and serves it against the
+    /// current snapshot (see [`ShardedEngine::pump`]).
+    pub fn pump(&self, queue: &SubmitQueue<O>) -> PumpOutcome<O> {
+        let snap = self.core.snapshot();
+        self.core.pump(&snap, queue)
+    }
+}
+
 /// A dataset sharded across `P` independent [`MetricIndex`]es, serving
 /// batches of mixed range / kNN queries concurrently.
 ///
@@ -671,11 +857,36 @@ pub struct BatchOutcome {
 /// query processing is exact, the merged answers are identical to a single
 /// unsharded index over the same data (ties at the k-th distance excepted,
 /// as the trait allows either).
+///
+/// # Concurrency model (MVCC snapshots)
+///
+/// Serving state lives in immutable [`EngineSnapshot`]s published behind an
+/// atomic slot. [`apply`](Self::apply) is a transaction: it forks the
+/// shards the batch touches, stages every mutation off to the side, and
+/// commits with a single snapshot swap — readers obtained via
+/// [`reader`](Self::reader) keep serving the previous snapshot mid-apply
+/// and pick up the new one at their next batch. Retired snapshots are
+/// reclaimed once the last in-flight batch drops them. For shard kinds
+/// that cannot fork, `reader()` returns `None` and `apply` falls back to
+/// exclusive in-place mutation (safe: `&mut self` proves no concurrent
+/// reader exists).
 pub struct ShardedEngine<O> {
-    shards: Vec<Shard<O>>,
-    threads: usize,
-    /// Pivot-space routing state; `None` for round-robin engines.
-    router: Option<RoutingTable<O>>,
+    /// Reader-shared serving state (snapshot slot, policies, metrics).
+    core: Arc<EngineCore<O>>,
+    /// Writer mirror of the published shard set — the same `Arc`s as the
+    /// current snapshot's. `apply` forks the entries it touches.
+    shards: Vec<Arc<Shard<O>>>,
+    /// Writer mirror of the published routing table.
+    router: Option<Arc<RoutingTable<O>>>,
+    /// Whether every shard can fork: copy-on-write apply, reader handles
+    /// available. Non-forkable kinds take the exclusive in-place path.
+    cow: bool,
+    /// Publication epoch of the current snapshot.
+    epoch: u64,
+    /// Retired snapshots not yet reclaimed (still pinned by in-flight
+    /// reader batches). Swept at each publish: a snapshot whose only owner
+    /// is this list is dropped.
+    retired: Vec<Arc<EngineSnapshot<O>>>,
     /// The shared pivot-distance matrix the router and the shards adopted;
     /// present for matrix builds. The mutation path pushes exactly one row
     /// per insert, so **global id == shared row id** for the engine's
@@ -692,46 +903,61 @@ pub struct ShardedEngine<O> {
     compaction: CompactionPolicy,
     /// Seed for the survivor re-partition at compaction.
     partition_seed: u64,
-    /// Exact count of shard probes executed (a query touching 3 of 8
-    /// shards adds 3).
-    probed: AtomicU64,
-    /// Exact count of shard probes avoided by routing (the same query adds
-    /// 5 here).
-    pruned: AtomicU64,
     /// Global id → (shard, local id) for live objects.
     locator: HashMap<ObjId, (u32, ObjId)>,
     next_id: ObjId,
     /// Construction cost (per-shard builds; the facade adds the shared
-    /// matrix cost through [`build_stats_mut`](Self::build_stats_mut)).
+    /// matrix cost through [`set_build_stats`](Self::set_build_stats)).
     build_stats: BuildStats,
     /// Lifetime mutation totals (copied into every [`ServeReport`]).
     update_stats: UpdateStats,
-    /// The engine's metrics registry: build/serve/apply/compact phases,
-    /// latency histograms, counters. Zero-sized and inert when the `obs`
-    /// feature is compiled out; runtime-toggleable via
-    /// [`set_obs_enabled`](Self::set_obs_enabled) otherwise.
-    obs: Registry,
-    /// The per-query trace capture policy, read once per batch (the mutex
-    /// never sits on the query path) and runtime-swappable via
-    /// [`set_trace_policy`](Self::set_trace_policy).
-    trace: Mutex<TracePolicy>,
-    /// Serving budgets, read once per batch (same discipline as `trace`)
-    /// and runtime-swappable via [`set_budget`](Self::set_budget).
-    budget: Mutex<ServeBudget>,
-    /// When repeated per-shard panics quarantine a shard.
-    faults: FaultPolicy,
-    /// How [`serve`](Self::serve) schedules batches onto workers.
-    sched: SchedPolicy,
-    /// Per-shard panic counts and quarantine flags.
-    quarantine: QuarantineState,
-    /// Optional query/insert object validator (e.g. finite-coords for
-    /// vector engines); rejected objects fail per-item, never the batch.
-    validator: Option<Validator<O>>,
 }
 
 /// A shared per-item object validator (see
 /// [`set_query_validator`](ShardedEngine::set_query_validator)).
 type Validator<O> = Arc<dyn Fn(&O) -> bool + Send + Sync>;
+
+/// One in-flight apply transaction: the staged next version of the
+/// engine's serving state, built off to the side and either committed with
+/// a single snapshot publish or dropped whole (all-or-nothing).
+struct ApplyTxn<O> {
+    /// Staged shard set. On the copy-on-write path entries start as the
+    /// published `Arc`s and are forked on first touch; on the exclusive
+    /// path they are the engine's own (uniquely owned) shards, moved in.
+    shards: Vec<Arc<Shard<O>>>,
+    /// Which entries this transaction has made uniquely its own.
+    touched: Vec<bool>,
+    cow: bool,
+    /// Staged routing table (a copy-on-write clone: shared mapper, own
+    /// boxes).
+    router: Option<RoutingTable<O>>,
+    locator: HashMap<ObjId, (u32, ObjId)>,
+    next_id: ObjId,
+    /// Pivot rows staged (not yet published) by this batch, keyed by
+    /// global id — lets rebox and recluster read this batch's own inserts
+    /// before the matrix publishes at commit.
+    staged: HashMap<ObjId, Vec<f64>>,
+    /// Staged lifetime totals (committed into the engine's stats).
+    stats: UpdateStats,
+    report: ApplyReport,
+    /// Shards whose routing box must be recomputed at the end.
+    dirty: Vec<bool>,
+}
+
+impl<O> ApplyTxn<O> {
+    /// Mutable access to staged shard `s`, forking it first if the
+    /// published version is still shared (copy-on-write).
+    fn shard_mut(&mut self, s: usize) -> &mut Shard<O> {
+        if self.cow && !self.touched[s] {
+            let fork = self.shards[s]
+                .fork()
+                .expect("copy-on-write engines hold forkable shards");
+            self.shards[s] = Arc::new(fork);
+        }
+        self.touched[s] = true;
+        Arc::get_mut(&mut self.shards[s]).expect("transaction shard is uniquely owned")
+    }
+}
 
 impl<O> ShardedEngine<O> {
     /// Builds an engine by partitioning `objects` round-robin into
@@ -1036,28 +1262,47 @@ impl<O> ShardedEngine<O> {
             obs.gauge_set("engine.live_objects", n as u64);
         }
 
-        Ok(ShardedEngine {
-            shards,
+        let shards: Vec<Arc<Shard<O>>> = shards.into_iter().map(Arc::new).collect();
+        let cow = shards.iter().all(|s| s.forkable());
+        let router = router.map(Arc::new);
+        let snap = Arc::new(EngineSnapshot {
+            epoch: 0,
+            shards: shards.clone(),
+            router: router.clone(),
+        });
+        obs.gauge_set("engine.snapshot_epoch", 0);
+        let core = Arc::new(EngineCore {
             threads,
+            snap: Mutex::new(snap),
+            probed: AtomicU64::new(0),
+            pruned: AtomicU64::new(0),
+            obs,
+            trace: Mutex::new(cfg.trace),
+            budget: Mutex::new(cfg.budget),
+            sched: Mutex::new(cfg.sched),
+            faults: cfg.faults,
+            quarantine: QuarantineState::new(num_shards),
+            validator: Mutex::new(None),
+            build: Mutex::new(build_stats),
+            updates: Mutex::new(UpdateStats::default()),
+            readers: AtomicUsize::new(0),
+        });
+        Ok(ShardedEngine {
+            core,
+            shards,
             router,
+            cow,
+            epoch: 0,
+            retired: Vec::new(),
             matrix,
             insert_mapper,
             refresh: cfg.refresh,
             compaction: cfg.compaction,
             partition_seed: cfg.partition_seed,
-            probed: AtomicU64::new(0),
-            pruned: AtomicU64::new(0),
             locator,
             next_id: n as ObjId,
             build_stats,
             update_stats: UpdateStats::default(),
-            obs,
-            trace: Mutex::new(cfg.trace),
-            budget: Mutex::new(cfg.budget),
-            faults: cfg.faults,
-            sched: cfg.sched,
-            quarantine: QuarantineState::new(num_shards),
-            validator: None,
         })
     }
 
@@ -1078,27 +1323,31 @@ impl<O> ShardedEngine<O> {
 
     /// Resolved worker thread count.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.core.threads
     }
 
-    /// The shards, for inspection.
-    pub fn shards(&self) -> &[Shard<O>] {
+    /// The current shard handles, for inspection. These are the same
+    /// `Arc`s the published snapshot holds; [`apply`](Self::apply)
+    /// replaces the touched entries at its next commit.
+    pub fn shards(&self) -> &[Arc<Shard<O>>] {
         &self.shards
     }
 
     /// Construction cost of this engine. The engine itself records the
     /// per-shard build compdists and wall-clock; constructors that also pay
     /// for a shared pivot matrix (the `pmi` facade) add that through
-    /// [`build_stats_mut`](Self::build_stats_mut).
+    /// [`set_build_stats`](Self::set_build_stats).
     pub fn build_stats(&self) -> BuildStats {
         self.build_stats
     }
 
-    /// Mutable access to the recorded build cost, for callers that layer
-    /// extra construction work (shared matrix, pivot selection) on top of
-    /// the engine build proper.
-    pub fn build_stats_mut(&mut self) -> &mut BuildStats {
-        &mut self.build_stats
+    /// Replaces the recorded build cost, for callers that layer extra
+    /// construction work (shared matrix, pivot selection) on top of the
+    /// engine build proper. The new stats appear in every subsequent
+    /// [`ServeReport`], including batches served by concurrent readers.
+    pub fn set_build_stats(&mut self, stats: BuildStats) {
+        self.build_stats = stats;
+        *self.core.build.lock().unwrap_or_else(|e| e.into_inner()) = stats;
     }
 
     /// Which partitioning regime this engine runs: `PivotSpace` when a
@@ -1113,7 +1362,42 @@ impl<O> ShardedEngine<O> {
 
     /// The routing table, when pivot-space partitioned.
     pub fn routing(&self) -> Option<&RoutingTable<O>> {
-        self.router.as_ref()
+        self.router.as_deref()
+    }
+
+    /// Publication epoch of the current snapshot: 0 at build, +1 per
+    /// committed [`apply`](Self::apply) / [`compact`](Self::compact).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether this engine supports concurrent snapshot readers — true
+    /// when every shard kind can fork (copy-on-write apply). See
+    /// [`reader`](Self::reader).
+    pub fn supports_readers(&self) -> bool {
+        self.cow
+    }
+
+    /// A cloneable, thread-safe serving handle over the engine's published
+    /// snapshots, or `None` when a shard kind cannot fork (then `apply`
+    /// mutates in place and concurrent serving would race it).
+    ///
+    /// Readers stay valid across any number of `apply` / `compact` calls;
+    /// each batch they serve sees exactly one published snapshot.
+    pub fn reader(&self) -> Option<EngineReader<O>> {
+        if !self.cow {
+            return None;
+        }
+        self.core.readers.fetch_add(1, Ordering::Relaxed);
+        Some(EngineReader {
+            core: Arc::clone(&self.core),
+        })
+    }
+
+    /// Retired snapshots still pinned by in-flight reader batches
+    /// (diagnostic; swept at each publish).
+    pub fn retired_snapshots(&self) -> usize {
+        self.retired.len()
     }
 
     /// Exact `(shards_probed, shards_pruned)` totals since construction or
@@ -1122,15 +1406,9 @@ impl<O> ShardedEngine<O> {
     /// to the second (round-robin engines always add `(P, 0)`).
     pub fn probe_counts(&self) -> (u64, u64) {
         (
-            self.probed.load(Ordering::Relaxed),
-            self.pruned.load(Ordering::Relaxed),
+            self.core.probed.load(Ordering::Relaxed),
+            self.core.pruned.load(Ordering::Relaxed),
         )
-    }
-
-    #[inline]
-    fn note_probes(&self, probed: usize, pruned: usize) {
-        self.probed.fetch_add(probed as u64, Ordering::Relaxed);
-        self.pruned.fetch_add(pruned as u64, Ordering::Relaxed);
     }
 
     /// Aggregate cost counters: the exact sum of every shard's atomic
@@ -1150,28 +1428,28 @@ impl<O> ShardedEngine<O> {
     /// for build/serve/apply/compact. Hand it to [`pmi_obs::Span`] or
     /// record custom metrics against the same snapshot.
     pub fn obs(&self) -> &Registry {
-        &self.obs
+        &self.core.obs
     }
 
     /// Snapshot of everything the registry has recorded so far. With the
     /// `obs` feature compiled out this is the empty snapshot (`enabled:
     /// false`) — callers need no cfg of their own.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.obs.snapshot()
+        self.core.obs.snapshot()
     }
 
     /// Flips the runtime observability switch. Off (or compiled out), the
     /// serve path performs no clock reads and records nothing; results
     /// and the exact cost counters are identical either way.
     pub fn set_obs_enabled(&self, on: bool) {
-        self.obs.set_enabled(on);
+        self.core.obs.set_enabled(on);
     }
 
     /// The current per-query trace capture policy.
     pub fn trace_policy(&self) -> TracePolicy {
         // A panic while holding this lock (a panicking traced query) must
         // not wedge the engine: the data is a Copy policy, always valid.
-        *self.trace.lock().unwrap_or_else(|e| e.into_inner())
+        self.core.trace_policy()
     }
 
     /// Swaps the per-query trace capture policy at runtime (takes effect
@@ -1180,12 +1458,12 @@ impl<O> ShardedEngine<O> {
     /// [`TracePolicy::disabled`] to return the serve loop to its untraced
     /// form; results and exact counters are identical either way.
     pub fn set_trace_policy(&self, policy: TracePolicy) {
-        *self.trace.lock().unwrap_or_else(|e| e.into_inner()) = policy;
+        *self.core.trace.lock().unwrap_or_else(|e| e.into_inner()) = policy;
     }
 
     /// The current serving budgets.
     pub fn serve_budget(&self) -> ServeBudget {
-        *self.budget.lock().unwrap_or_else(|e| e.into_inner())
+        self.core.serve_budget()
     }
 
     /// Swaps the serving budgets at runtime (takes effect for the next
@@ -1193,24 +1471,24 @@ impl<O> ShardedEngine<O> {
     /// never on the query path). Pass [`ServeBudget::unlimited`] to return
     /// the serve loop to its unbudgeted form.
     pub fn set_budget(&self, budget: ServeBudget) {
-        *self.budget.lock().unwrap_or_else(|e| e.into_inner()) = budget;
+        *self.core.budget.lock().unwrap_or_else(|e| e.into_inner()) = budget;
     }
 
     /// The engine's shard quarantine policy.
     pub fn fault_policy(&self) -> FaultPolicy {
-        self.faults
+        self.core.faults
     }
 
     /// The configured batch scheduling policy (see [`SchedPolicy`]).
     pub fn sched_policy(&self) -> SchedPolicy {
-        self.sched
+        *self.core.sched.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Replaces the batch scheduling policy (takes effect for the next
     /// [`serve`](Self::serve) batch). Lets an A/B comparison reuse one
     /// built engine instead of rebuilding per policy.
     pub fn set_sched(&mut self, sched: SchedPolicy) {
-        self.sched = sched;
+        *self.core.sched.lock().unwrap_or_else(|e| e.into_inner()) = sched;
     }
 
     /// Installs a query/insert object validator: objects it rejects fail
@@ -1219,17 +1497,22 @@ impl<O> ShardedEngine<O> {
     /// instead of reaching the shards. The facade's vector builder installs
     /// a finite-coordinates check here.
     pub fn set_query_validator(&mut self, validator: impl Fn(&O) -> bool + Send + Sync + 'static) {
-        self.validator = Some(Arc::new(validator));
+        *self
+            .core
+            .validator
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(Arc::new(validator));
     }
 
     /// Per-shard panic/quarantine state, in shard order.
     pub fn fault_states(&self) -> Vec<ShardFaultState> {
-        self.quarantine.snapshot()
+        self.core.quarantine.snapshot()
     }
 
     /// Currently quarantined shards, in shard order.
     pub fn quarantined_shards(&self) -> Vec<usize> {
-        self.quarantine
+        self.core
+            .quarantine
             .snapshot()
             .into_iter()
             .filter(|s| s.quarantined)
@@ -1240,10 +1523,12 @@ impl<O> ShardedEngine<O> {
     /// Clears all quarantine flags and panic counts, returning the number
     /// of shards that were quarantined. Call after fixing (or rebuilding)
     /// whatever made a shard panic; planning immediately resumes probing
-    /// every shard.
+    /// every shard. Quarantine state lives beside the snapshot slot, not
+    /// inside snapshots, so healing takes effect for the next served batch
+    /// — on every reader — without waiting for a publish.
     pub fn heal(&self) -> usize {
-        let cleared = self.quarantine.heal();
-        self.obs.gauge_set("engine.quarantined_shards", 0);
+        let cleared = self.core.quarantine.heal();
+        self.core.obs.gauge_set("engine.quarantined_shards", 0);
         cleared
     }
 
@@ -1252,8 +1537,8 @@ impl<O> ShardedEngine<O> {
         for s in &self.shards {
             s.reset_counters();
         }
-        self.probed.store(0, Ordering::Relaxed);
-        self.pruned.store(0, Ordering::Relaxed);
+        self.core.probed.store(0, Ordering::Relaxed);
+        self.core.pruned.store(0, Ordering::Relaxed);
     }
 
     /// Aggregate storage footprint.
@@ -1271,25 +1556,41 @@ impl<O> ShardedEngine<O> {
         }
     }
 
-    /// Inserts an object, returning its global id — the single-op form of
-    /// [`apply`](Self::apply), sharing its unified path: the pivot row is
-    /// computed once, staged in the shared matrix (when present), the
-    /// destination shard adopts it by id, the routing box grows to cover
-    /// it, and the snapshot is published before returning.
-    pub fn insert(&mut self, o: O) -> ObjId {
-        let mut mapped = Vec::new();
-        let gid = self.insert_one(o, &mut mapped);
-        self.publish_staged();
-        gid
+    /// Inserts an object, returning its global id — sugar for a one-op
+    /// [`apply`](Self::apply) batch. There is exactly one mutation route:
+    /// the same transaction stages the pivot row, the destination shard
+    /// adopts it by id, the routing box grows to cover it, and the new
+    /// snapshot publishes before returning.
+    ///
+    /// # Panics
+    ///
+    /// If a validator installed via
+    /// [`set_query_validator`](Self::set_query_validator) rejects the
+    /// object (use `apply` to observe per-op errors instead).
+    pub fn insert(&mut self, o: O) -> ObjId
+    where
+        O: Clone,
+    {
+        let mut batch = UpdateBatch::new();
+        batch.insert(o);
+        let report = self.apply(&batch);
+        match report.inserted_ids.first() {
+            Some(&gid) => gid,
+            None => panic!("insert rejected: {:?}", report.op_errors),
+        }
     }
 
     /// Removes an object by global id; returns whether it was present.
-    /// This is the cheap single-op path: routed engines leave the shard's
-    /// box untouched (a too-large box only costs extra probes, never
-    /// answers). [`apply`](Self::apply) additionally shrinks the affected
-    /// boxes back to the surviving members, restoring pruning power.
-    pub fn remove(&mut self, id: ObjId) -> bool {
-        self.remove_one(id).is_some()
+    /// Sugar for a one-op [`apply`](Self::apply) batch, so it shares the
+    /// full transactional path — on routed matrix engines the shard's box
+    /// shrinks back to the surviving members, preserving pruning power.
+    pub fn remove(&mut self, id: ObjId) -> bool
+    where
+        O: Clone,
+    {
+        let mut batch = UpdateBatch::new();
+        batch.remove(id);
+        self.apply(&batch).removes == 1
     }
 
     /// Lifetime totals of the mutation path.
@@ -1332,95 +1633,67 @@ impl<O> ShardedEngine<O> {
     /// (Self::build_partitioned_with)), `apply` still applies every op
     /// correctly but keeps conservative boxes: `reboxed_shards` and
     /// `reclusters` report 0.
+    ///
+    /// # Transaction semantics
+    ///
+    /// The whole batch stages off to the side — forked copies of the
+    /// touched shards, a copy-on-write routing table, staged matrix rows —
+    /// and commits by publishing one new [`EngineSnapshot`]. Concurrent
+    /// [`EngineReader`]s never observe a half-applied batch: a batch
+    /// serves either entirely before or entirely after the swap.
+    ///
+    /// On forkable (copy-on-write) engines `apply` is additionally
+    /// **all-or-nothing**: a panic anywhere in staging (a poisoned op, an
+    /// injected fault at `engine.apply.stage` / `engine.recluster` /
+    /// `engine.apply.publish`) is caught, the staged state is discarded,
+    /// and the report comes back with [`aborted`](ApplyReport::aborted)
+    /// set — the engine keeps serving the last published snapshot and the
+    /// same batch can be retried. On non-forkable kinds the staging panic
+    /// propagates (pre-MVCC behavior).
     pub fn apply(&mut self, batch: &UpdateBatch<O>) -> ApplyReport
     where
         O: Clone,
     {
         let t0 = Instant::now();
         let span = Span::enter("apply");
-        let mut clock = ObsClock::start(self.obs.is_enabled());
+        let mut clock = ObsClock::start(self.core.obs.is_enabled());
         let shard_cd0 = self.counters().compdists;
         let map_cd0 = self.update_stats.map_compdists;
-        let mut report = ApplyReport::default();
-        let mut mapped = Vec::new();
-        let mut dirty = vec![false; self.shards.len()];
-        let validator = self.validator.clone();
-        // Global ids this batch successfully removed, to tell a duplicate
-        // remove apart from a remove of an id that was never live.
-        let mut removed_here: HashSet<ObjId> = HashSet::new();
-        // Inserts *stage* their matrix rows; one snapshot publication
-        // covers the whole batch (or the prefix before a remove, whose
-        // bookkeeping may need to read an earlier insert's row).
-        for (i, op) in batch.ops().iter().enumerate() {
-            match op {
-                UpdateOp::Insert(o) => {
-                    if let Some(v) = &validator {
-                        if !v(o) {
-                            report.op_errors.push(OpError {
-                                op: i,
-                                kind: OpErrorKind::InvalidObject,
-                            });
-                            continue;
-                        }
-                    }
-                    let gid = self.insert_one(o.clone(), &mut mapped);
-                    report.inserted_ids.push(gid);
-                    report.inserts += 1;
-                }
-                UpdateOp::Remove(id) => {
-                    self.publish_staged();
-                    match self.remove_one(*id) {
-                        Some(s) => {
-                            dirty[s] = true;
-                            report.removes += 1;
-                            removed_here.insert(*id);
-                        }
-                        None => {
-                            report.missing_removes += 1;
-                            let kind = if removed_here.contains(id) {
-                                OpErrorKind::DuplicateRemove(*id)
-                            } else {
-                                OpErrorKind::UnknownGid(*id)
-                            };
-                            report.op_errors.push(OpError { op: i, kind });
-                        }
-                    }
-                }
+        let validator = self.core.validator();
+        let mut txn = self.begin_txn();
+        let staged = if txn.cow {
+            catch_unwind(AssertUnwindSafe(|| {
+                self.stage_batch(batch, validator.as_ref(), &mut txn, &mut clock)
+            }))
+            .is_ok()
+        } else {
+            self.stage_batch(batch, validator.as_ref(), &mut txn, &mut clock);
+            true
+        };
+        if !staged {
+            // Abort: drop the forked shards and staged rows whole. Nothing
+            // was published, so serving (including concurrent readers)
+            // continues on the last snapshot, and retrying the batch
+            // re-stages it from scratch with the same ids.
+            drop(txn);
+            if let Some(mx) = &self.matrix {
+                mx.discard_staged();
             }
+            self.core.obs.counter_add("apply.aborts", 1);
+            let mut report = ApplyReport {
+                aborted: true,
+                ..ApplyReport::default()
+            };
+            report.wall_secs = t0.elapsed().as_secs_f64();
+            span.finish_with(&self.core.obs, &[("aborted", 1)]);
+            return report;
         }
-        self.publish_staged();
-        self.obs.phase_add(
-            "apply.ops",
-            batch.ops().len() as u64,
-            clock.lap(),
-            &[
-                ("inserts", report.inserts as u64),
-                ("removes", report.removes as u64),
-            ],
-        );
-        report.reboxed_shards = self.rebox(&dirty);
-        self.obs.phase_add(
-            "apply.rebox",
-            1,
-            clock.lap(),
-            &[("reboxed_shards", report.reboxed_shards as u64)],
-        );
-        let (reclusters, moved, recluster_reboxed) = self.maybe_recluster();
-        report.reclusters = reclusters;
-        report.moved_objects = moved;
-        report.reboxed_shards += recluster_reboxed;
-        self.update_stats.reclusters += reclusters as u64;
-        self.update_stats.moved_objects += moved;
-        self.obs.phase_add(
-            "apply.recluster",
-            reclusters as u64,
-            clock.lap(),
-            &[("moved_objects", moved)],
-        );
+        let mut report = std::mem::take(&mut txn.report);
+        self.commit_txn(txn);
         let compacted = self.maybe_compact();
         report.compactions = usize::from(compacted > 0);
         report.compacted_rows = compacted as u64;
-        self.obs.phase_add(
+        self.core.obs.phase_add(
             "apply.compact",
             report.compactions as u64,
             clock.lap(),
@@ -1430,44 +1703,221 @@ impl<O> ShardedEngine<O> {
         report.shard_compdists = self.counters().compdists - shard_cd0;
         report.wall_secs = t0.elapsed().as_secs_f64();
         span.finish_with(
-            &self.obs,
+            &self.core.obs,
             &[
                 ("map_compdists", report.map_compdists),
                 ("shard_compdists", report.shard_compdists),
             ],
         );
-        self.obs.gauge_set("engine.live_objects", self.len() as u64);
+        self.core
+            .obs
+            .gauge_set("engine.live_objects", self.len() as u64);
         report
     }
 
-    /// Publishes staged matrix rows (if any) and hands the fresh snapshot
-    /// to every shard. Every adopting shard *releases* its cached
-    /// snapshot first, so the shared storage is sole-owned and the
-    /// publication appends in place — no matrix copy — and the
-    /// refresh-all afterwards also unpins any older snapshot generations.
-    /// Cheap no-op when nothing is staged.
-    fn publish_staged(&mut self) {
-        let Some(mx) = self.matrix.clone() else {
-            return;
-        };
-        if !mx.has_staged() {
-            return;
-        }
-        for s in &mut self.shards {
-            s.release_rows();
-        }
-        mx.publish();
-        for s in &mut self.shards {
-            s.refresh_rows();
+    /// Opens an apply transaction over the current state.
+    ///
+    /// Copy-on-write engines stage against `Arc` clones of the published
+    /// shards (forked on first touch) plus copies of the small bookkeeping
+    /// (routing boxes, locator). Non-forkable engines take the exclusive
+    /// path: the published snapshot is detached (readers cannot exist —
+    /// [`reader`](Self::reader) refuses them) and the live state moves
+    /// into the transaction to be mutated in place.
+    fn begin_txn(&mut self) -> ApplyTxn<O> {
+        let n = self.shards.len();
+        if self.cow {
+            ApplyTxn {
+                shards: self.shards.clone(),
+                touched: vec![false; n],
+                cow: true,
+                router: self.router.as_deref().cloned(),
+                locator: self.locator.clone(),
+                next_id: self.next_id,
+                staged: HashMap::new(),
+                stats: self.update_stats,
+                report: ApplyReport::default(),
+                dirty: vec![false; n],
+            }
+        } else {
+            // Detach the published snapshot so the mirror Arcs become
+            // uniquely owned, then move them into the transaction.
+            self.retired.clear();
+            *self.core.snap.lock().unwrap_or_else(|e| e.into_inner()) = Arc::new(EngineSnapshot {
+                epoch: self.epoch,
+                shards: Vec::new(),
+                router: None,
+            });
+            debug_assert_eq!(
+                self.core.readers.load(Ordering::Relaxed),
+                0,
+                "non-forkable engines hand out no readers"
+            );
+            ApplyTxn {
+                shards: std::mem::take(&mut self.shards),
+                touched: vec![true; n],
+                cow: false,
+                router: self
+                    .router
+                    .take()
+                    .map(|rt| Arc::try_unwrap(rt).unwrap_or_else(|rt| (*rt).clone())),
+                locator: std::mem::take(&mut self.locator),
+                next_id: self.next_id,
+                staged: HashMap::new(),
+                stats: self.update_stats,
+                report: ApplyReport::default(),
+                dirty: vec![false; n],
+            }
         }
     }
 
+    /// Stages a whole batch into `txn`: ops, box shrinking, re-clustering.
+    /// Touches no published state (the shared matrix only accumulates
+    /// *staged* rows, invisible to readers) — everything it does can be
+    /// discarded by dropping the transaction.
+    fn stage_batch(
+        &self,
+        batch: &UpdateBatch<O>,
+        validator: Option<&Validator<O>>,
+        txn: &mut ApplyTxn<O>,
+        clock: &mut ObsClock,
+    ) where
+        O: Clone,
+    {
+        let mut mapped = Vec::new();
+        // Global ids this batch successfully removed, to tell a duplicate
+        // remove apart from a remove of an id that was never live.
+        let mut removed_here: HashSet<ObjId> = HashSet::new();
+        for (i, op) in batch.ops().iter().enumerate() {
+            fault::at("engine.apply.stage", i as u64);
+            match op {
+                UpdateOp::Insert(o) => {
+                    if let Some(v) = validator {
+                        if !v(o) {
+                            txn.report.op_errors.push(OpError {
+                                op: i,
+                                kind: OpErrorKind::InvalidObject,
+                            });
+                            continue;
+                        }
+                    }
+                    let gid = self.stage_insert(txn, o.clone(), &mut mapped);
+                    txn.report.inserted_ids.push(gid);
+                    txn.report.inserts += 1;
+                }
+                UpdateOp::Remove(id) => match self.stage_remove(txn, *id) {
+                    Some(s) => {
+                        txn.dirty[s] = true;
+                        txn.report.removes += 1;
+                        removed_here.insert(*id);
+                    }
+                    None => {
+                        txn.report.missing_removes += 1;
+                        let kind = if removed_here.contains(id) {
+                            OpErrorKind::DuplicateRemove(*id)
+                        } else {
+                            OpErrorKind::UnknownGid(*id)
+                        };
+                        txn.report.op_errors.push(OpError { op: i, kind });
+                    }
+                },
+            }
+        }
+        self.core.obs.phase_add(
+            "apply.ops",
+            batch.ops().len() as u64,
+            clock.lap(),
+            &[
+                ("inserts", txn.report.inserts as u64),
+                ("removes", txn.report.removes as u64),
+            ],
+        );
+        let dirty = std::mem::take(&mut txn.dirty);
+        txn.report.reboxed_shards = self.stage_rebox(txn, &dirty);
+        self.core.obs.phase_add(
+            "apply.rebox",
+            1,
+            clock.lap(),
+            &[("reboxed_shards", txn.report.reboxed_shards as u64)],
+        );
+        let (reclusters, moved, recluster_reboxed) = self.stage_recluster(txn);
+        txn.report.reclusters = reclusters;
+        txn.report.moved_objects = moved;
+        txn.report.reboxed_shards += recluster_reboxed;
+        txn.stats.reclusters += reclusters as u64;
+        txn.stats.moved_objects += moved;
+        self.core.obs.phase_add(
+            "apply.recluster",
+            reclusters as u64,
+            clock.lap(),
+            &[("moved_objects", moved)],
+        );
+        // The last abortable point: past here the transaction commits.
+        fault::at("engine.apply.publish", 0);
+    }
+
+    /// Publishes a committed transaction: matrix rows first (staged →
+    /// published, adopting shards re-pinned), then the new snapshot in a
+    /// single swap.
+    fn commit_txn(&mut self, mut txn: ApplyTxn<O>) {
+        if let Some(mx) = &self.matrix {
+            if mx.has_staged() {
+                // Sole-owned shards (this transaction's forks, or every
+                // shard on the exclusive path) release their cached matrix
+                // snapshot so the publication appends in place, then
+                // re-pin the fresh one. Shards still shared with the
+                // published snapshot hold only already-published rows, so
+                // their older pin stays valid — they are left alone (and
+                // their pin makes the publication copy-on-write).
+                for s in txn.shards.iter_mut() {
+                    if let Some(sh) = Arc::get_mut(s) {
+                        sh.release_rows();
+                    }
+                }
+                mx.publish();
+                for s in txn.shards.iter_mut() {
+                    if let Some(sh) = Arc::get_mut(s) {
+                        sh.refresh_rows();
+                    }
+                }
+            }
+        }
+        self.shards = txn.shards;
+        self.router = txn.router.map(Arc::new);
+        self.locator = txn.locator;
+        self.next_id = txn.next_id;
+        self.update_stats = txn.stats;
+        *self.core.updates.lock().unwrap_or_else(|e| e.into_inner()) = self.update_stats;
+        self.publish_snapshot();
+    }
+
+    /// Swaps in a new snapshot of the current mirror state (epoch + 1) and
+    /// sweeps retired snapshots no in-flight batch pins anymore.
+    fn publish_snapshot(&mut self) {
+        self.epoch += 1;
+        let next = Arc::new(EngineSnapshot {
+            epoch: self.epoch,
+            shards: self.shards.clone(),
+            router: self.router.clone(),
+        });
+        let old = std::mem::replace(
+            &mut *self.core.snap.lock().unwrap_or_else(|e| e.into_inner()),
+            next,
+        );
+        self.retired.push(old);
+        // Epoch-based reclamation, degenerate form: a batch pins its
+        // snapshot via the Arc it loaded, so strong_count == 1 proves no
+        // reader can still reach it.
+        self.retired.retain(|s| Arc::strong_count(s) > 1);
+        self.core.obs.gauge_set("engine.snapshot_epoch", self.epoch);
+        self.core
+            .obs
+            .gauge_set("engine.retired_snapshots", self.retired.len() as u64);
+    }
+
     /// The one insert path: map once, stage one shared row, adopt by id.
-    /// The caller publishes ([`publish_staged`](Self::publish_staged))
-    /// before any query can run.
-    fn insert_one(&mut self, o: O, mapped: &mut Vec<f64>) -> ObjId {
+    fn stage_insert(&self, txn: &mut ApplyTxn<O>, o: O, mapped: &mut Vec<f64>) -> ObjId {
         mapped.clear();
-        match (&self.router, &self.insert_mapper) {
+        match (&txn.router, &self.insert_mapper) {
             (Some(rt), _) => rt.map_into(&o, mapped),
             (None, Some(m)) => m(&o, mapped),
             (None, None) => debug_assert!(
@@ -1475,14 +1925,14 @@ impl<O> ShardedEngine<O> {
                 "a matrix-bearing engine always has a mapper"
             ),
         }
-        self.update_stats.map_compdists += mapped.len() as u64;
-        let si = match &self.router {
+        txn.stats.map_compdists += mapped.len() as u64;
+        let si = match &txn.router {
             Some(rt) => {
                 // Nearest box lower bound; ties go to the smallest shard,
                 // then the lowest shard id.
                 let mut best = (f64::INFINITY, usize::MAX, 0usize);
                 for (s, b) in rt.boxes().iter().enumerate() {
-                    let cand = (b.lower_bound(mapped), self.shards[s].len());
+                    let cand = (b.lower_bound(mapped), txn.shards[s].len());
                     if cand.0 < best.0 || (cand.0 == best.0 && cand.1 < best.1) {
                         best = (cand.0, cand.1, s);
                     }
@@ -1490,7 +1940,7 @@ impl<O> ShardedEngine<O> {
                 best.2
             }
             None => {
-                self.shards
+                txn.shards
                     .iter()
                     .enumerate()
                     .min_by_key(|(_, s)| s.len())
@@ -1498,57 +1948,64 @@ impl<O> ShardedEngine<O> {
                     .0
             }
         };
-        let gid = self.next_id;
-        self.next_id += 1;
+        let gid = txn.next_id;
+        txn.next_id += 1;
         let local = match &self.matrix {
             Some(mx) => {
                 let row = mx.stage_row(mapped);
                 debug_assert_eq!(row as ObjId, gid, "global id tracks shared row id");
-                self.shards[si].insert_adopted(o, gid, row as ObjId, mapped)
+                txn.staged.insert(gid, mapped.clone());
+                txn.shard_mut(si)
+                    .insert_adopted(o, gid, row as ObjId, mapped)
             }
-            None => self.shards[si].insert(o, gid),
+            None => txn.shard_mut(si).insert(o, gid),
         };
-        if let Some(rt) = self.router.as_mut() {
+        if let Some(rt) = txn.router.as_mut() {
             rt.extend(si, mapped);
         }
-        self.locator.insert(gid, (si as u32, local));
-        self.update_stats.inserts += 1;
+        txn.locator.insert(gid, (si as u32, local));
+        txn.stats.inserts += 1;
         gid
     }
 
-    /// The one remove path: tombstone and report the affected shard (box
-    /// maintenance is the caller's choice — `apply` shrinks, `remove`
-    /// doesn't).
-    fn remove_one(&mut self, id: ObjId) -> Option<usize> {
-        let (s, local) = self.locator.remove(&id)?;
-        if self.shards[s as usize].remove_local(local) {
-            self.update_stats.removes += 1;
+    /// The one remove path: tombstone and report the affected shard.
+    fn stage_remove(&self, txn: &mut ApplyTxn<O>, id: ObjId) -> Option<usize> {
+        let (s, local) = txn.locator.remove(&id)?;
+        if txn.shard_mut(s as usize).remove_local(local) {
+            txn.stats.removes += 1;
             Some(s as usize)
         } else {
             None
         }
     }
 
-    /// Recomputes the routing boxes of the flagged shards from their live
-    /// members' shared-matrix rows. Work is bounded by the dirty shards'
-    /// own slot tables — untouched shards are never visited. Returns how
-    /// many boxes were recomputed (0 when the engine has no router or no
-    /// matrix).
-    fn rebox(&mut self, dirty: &[bool]) -> usize {
+    /// Recomputes the staged routing boxes of the flagged shards from
+    /// their live members' matrix rows — published rows from the matrix
+    /// snapshot, rows this batch inserted from the transaction's staging
+    /// map. Work is bounded by the dirty shards' own slot tables. Returns
+    /// how many boxes were recomputed (0 when the engine has no router or
+    /// no matrix).
+    fn stage_rebox(&self, txn: &mut ApplyTxn<O>, dirty: &[bool]) -> usize {
         if !dirty.iter().any(|&d| d) {
             return 0;
         }
-        let (Some(rt), Some(mx)) = (self.router.as_mut(), self.matrix.as_ref()) else {
+        if txn.router.is_none() {
+            return 0;
+        }
+        let Some(mx) = self.matrix.as_ref() else {
             return 0;
         };
-        debug_assert!(!mx.has_staged(), "publish before reboxing");
         let m = mx.snapshot();
         let mut reboxed = 0;
         for (s, _) in dirty.iter().enumerate().filter(|&(_, &d)| d) {
             let mut b = Mbb::empty(m.width());
-            for (_, gid) in live_members(&self.shards[s], s, &self.locator) {
-                b.extend(m.row(gid as usize));
+            for (_, gid) in live_members(&txn.shards[s], s, &txn.locator) {
+                match txn.staged.get(&gid) {
+                    Some(row) => b.extend(row),
+                    None => b.extend(m.row(gid as usize)),
+                }
             }
+            let rt = txn.router.as_mut().expect("checked above");
             rt.shrink(s, b);
             reboxed += 1;
         }
@@ -1561,39 +2018,50 @@ impl<O> ShardedEngine<O> {
     /// only the objects that changed side move (global ids and matrix rows
     /// stay; locator and boxes are fixed up). Returns
     /// `(passes, moved, boxes recomputed)`.
-    fn maybe_recluster(&mut self) -> (usize, u64, usize) {
-        if self.router.is_none() || self.shards.len() < 2 {
+    fn stage_recluster(&self, txn: &mut ApplyTxn<O>) -> (usize, u64, usize) {
+        if txn.router.is_none() || txn.shards.len() < 2 {
             return (0, 0, 0);
         }
         let Some(mx) = self.matrix.clone() else {
             return (0, 0, 0);
         };
         let (mut hi, mut lo) = (0usize, 0usize);
-        for (s, shard) in self.shards.iter().enumerate() {
-            if shard.len() > self.shards[hi].len() {
+        for (s, shard) in txn.shards.iter().enumerate() {
+            if shard.len() > txn.shards[hi].len() {
                 hi = s;
             }
-            if shard.len() < self.shards[lo].len() {
+            if shard.len() < txn.shards[lo].len() {
                 lo = s;
             }
         }
-        let (max_len, min_len) = (self.shards[hi].len(), self.shards[lo].len());
+        let (max_len, min_len) = (txn.shards[hi].len(), txn.shards[lo].len());
         if hi == lo || !self.refresh.triggers(max_len, min_len) {
             return (0, 0, 0);
         }
+        fault::at("engine.recluster", 0);
 
         // The pair's live members in ascending global id order (slot
         // tables carry no order guarantee; sorting keeps the re-split
         // deterministic). Only the two shards are walked.
         let mut members: Vec<(ObjId, usize, ObjId)> = Vec::new();
         for s in [hi, lo] {
-            for (local, gid) in live_members(&self.shards[s], s, &self.locator) {
+            for (local, gid) in live_members(&txn.shards[s], s, &txn.locator) {
                 members.push((gid, s, local));
             }
         }
         members.sort_unstable_by_key(|&(gid, _, _)| gid);
-        let gids: Vec<u32> = members.iter().map(|&(gid, _, _)| gid).collect();
-        let pair_rows = mx.snapshot().select(&gids);
+        // Pair rows, staged-aware: a member inserted by this very batch
+        // has no published row yet, so its pivot vector comes from the
+        // transaction's staging map.
+        let m = mx.snapshot();
+        let mut pair_rows =
+            PivotMatrix::with_capacity(m.width(), members.len()).with_mode(m.mode());
+        for &(gid, _, _) in &members {
+            match txn.staged.get(&gid) {
+                Some(row) => pair_rows.push_row(row),
+                None => pair_rows.push_row(m.row(gid as usize)),
+            };
+        }
         let split = pmi_router::assign_pivot_space(&pair_rows, 2, RECLUSTER_SEED);
 
         // Orient the two clusters onto (hi, lo) so the fewest objects move.
@@ -1611,22 +2079,24 @@ impl<O> ShardedEngine<O> {
             if target == s {
                 continue;
             }
-            let Some(o) = self.shards[s].get_local(local) else {
+            let Some(o) = txn.shards[s].get_local(local) else {
                 continue;
             };
-            self.shards[s].remove_local(local);
-            // The moved object's row is already published; its distances
-            // ride along from the pair's selected rows.
-            let new_local = self.shards[target].insert_adopted(o, gid, gid, pair_rows.row(i));
-            self.locator.insert(gid, (target as u32, new_local));
+            txn.shard_mut(s).remove_local(local);
+            // The moved object keeps its row id; its distances ride along
+            // from the pair's assembled rows.
+            let new_local = txn
+                .shard_mut(target)
+                .insert_adopted(o, gid, gid, pair_rows.row(i));
+            txn.locator.insert(gid, (target as u32, new_local));
             moved += 1;
         }
         let mut reboxed = 0;
         if moved > 0 {
-            let mut dirty = vec![false; self.shards.len()];
+            let mut dirty = vec![false; txn.shards.len()];
             dirty[hi] = true;
             dirty[lo] = true;
-            reboxed = self.rebox(&dirty);
+            reboxed = self.stage_rebox(txn, &dirty);
         }
         (1, moved, reboxed)
     }
@@ -1675,7 +2145,10 @@ impl<O> ShardedEngine<O> {
         let Some(mx) = self.matrix.clone() else {
             return 0;
         };
-        self.publish_staged();
+        debug_assert!(
+            !mx.has_staged(),
+            "apply publishes at commit; nothing is staged between batches"
+        );
         let snap = mx.snapshot();
         let dead = snap.rows() - self.len();
         if dead == 0 {
@@ -1683,49 +2156,57 @@ impl<O> ShardedEngine<O> {
         }
         // The no-op early returns above record nothing: a `compact` phase
         // in the snapshot always means rows actually moved.
+        //
+        // Compaction runs as its own transaction and publishes one new
+        // engine snapshot at the end. In-flight reader batches keep their
+        // old snapshot, whose shards pin the *old* matrix generation — the
+        // dense replacement below installs a new `Arc`, so old-id serving
+        // stays consistent until the last pinned batch drains.
         let span = Span::enter("compact");
+        let mut txn = self.begin_txn();
         // Survivors in ascending (old) global-id order; their rank is the
         // new global id == new shared row id.
-        let mut survivors: Vec<ObjId> = self.locator.keys().copied().collect();
+        let mut survivors: Vec<ObjId> = txn.locator.keys().copied().collect();
         survivors.sort_unstable();
 
         // (1) Full re-partition of the survivors on routed engines. The
         // movement tombstones this leaves behind are folded away by the
         // dense rebuild below.
-        if self.router.is_some() && self.shards.len() >= 2 {
+        if txn.router.is_some() && txn.shards.len() >= 2 {
             let live_rows = snap.select(&survivors);
             let assignment =
-                pmi_router::assign_pivot_space(&live_rows, self.shards.len(), self.partition_seed);
+                pmi_router::assign_pivot_space(&live_rows, txn.shards.len(), self.partition_seed);
             for (rank, &gid) in survivors.iter().enumerate() {
                 let target = assignment[rank];
-                let (s, local) = self.locator[&gid];
+                let (s, local) = txn.locator[&gid];
                 if s as usize == target {
                     continue;
                 }
-                let Some(o) = self.shards[s as usize].get_local(local) else {
+                let Some(o) = txn.shards[s as usize].get_local(local) else {
                     continue;
                 };
-                self.shards[s as usize].remove_local(local);
+                txn.shard_mut(s as usize).remove_local(local);
                 let new_local =
-                    self.shards[target].insert_adopted(o, gid, gid, live_rows.row(rank));
-                self.locator.insert(gid, (target as u32, new_local));
+                    txn.shard_mut(target)
+                        .insert_adopted(o, gid, gid, live_rows.row(rank));
+                txn.locator.insert(gid, (target as u32, new_local));
             }
         }
 
         let mut dense =
             PivotMatrix::with_capacity(snap.width(), survivors.len()).with_mode(snap.mode());
-        let mut keep: Vec<Vec<ObjId>> = vec![Vec::new(); self.shards.len()];
-        let mut rows: Vec<Vec<ObjId>> = vec![Vec::new(); self.shards.len()];
+        let mut keep: Vec<Vec<ObjId>> = vec![Vec::new(); txn.shards.len()];
+        let mut rows: Vec<Vec<ObjId>> = vec![Vec::new(); txn.shards.len()];
         for (new_gid, &old_gid) in survivors.iter().enumerate() {
             dense.push_row(snap.row(old_gid as usize));
-            let (s, local) = self.locator[&old_gid];
+            let (s, local) = txn.locator[&old_gid];
             keep[s as usize].push(local);
             rows[s as usize].push(new_gid as ObjId);
         }
         mx.replace(dense);
         let mut locator = HashMap::with_capacity(survivors.len());
         for (s, (keep, rows)) in keep.iter().zip(&rows).enumerate() {
-            if self.shards[s].compact_rows(keep, rows) {
+            if txn.shard_mut(s).compact_rows(keep, rows) {
                 // Dense rebuild: new local id i holds new global id rows[i].
                 for (local, &gid) in rows.iter().enumerate() {
                     locator.insert(gid, (s as u32, local as ObjId));
@@ -1737,24 +2218,29 @@ impl<O> ShardedEngine<O> {
                 }
             }
         }
-        self.locator = locator;
-        self.next_id = survivors.len() as ObjId;
+        txn.locator = locator;
+        txn.next_id = survivors.len() as ObjId;
 
-        // (3) Tight boxes over the final membership.
-        if self.router.is_some() {
-            let dirty = vec![true; self.shards.len()];
-            self.rebox(&dirty);
+        // (3) Tight boxes over the final membership (the staging map is
+        // empty here — every surviving row is published in the dense
+        // matrix under its new id).
+        if txn.router.is_some() {
+            let dirty = vec![true; txn.shards.len()];
+            self.stage_rebox(&mut txn, &dirty);
         }
-        self.update_stats.compactions += 1;
-        self.update_stats.compacted_rows += dead as u64;
+        txn.stats.compactions += 1;
+        txn.stats.compacted_rows += dead as u64;
+        self.commit_txn(txn);
         span.finish_with(
-            &self.obs,
+            &self.core.obs,
             &[
                 ("compacted_rows", dead as u64),
                 ("survivors", survivors.len() as u64),
             ],
         );
-        self.obs.gauge_set("engine.live_objects", self.len() as u64);
+        self.core
+            .obs
+            .gauge_set("engine.live_objects", self.len() as u64);
         dead
     }
 
@@ -1780,18 +2266,38 @@ impl<O> ShardedEngine<O> {
     /// quarantined shards, so a degraded answer comes back as
     /// `PartialRange`/`PartialKnn` here too.
     pub fn execute_with(&self, query: &Query<O>, scratch: &mut EngineScratch) -> QueryResult {
+        let snap = self.core.snapshot();
+        self.core.execute_with(&snap, query, scratch)
+    }
+}
+
+impl<O> EngineCore<O> {
+    #[inline]
+    fn note_probes(&self, probed: usize, pruned: usize) {
+        self.probed.fetch_add(probed as u64, Ordering::Relaxed);
+        self.pruned.fetch_add(pruned as u64, Ordering::Relaxed);
+    }
+
+    /// Serial one-query path over one snapshot (see
+    /// [`ShardedEngine::execute_with`]).
+    fn execute_with(
+        &self,
+        snap: &EngineSnapshot<O>,
+        query: &Query<O>,
+        scratch: &mut EngineScratch,
+    ) -> QueryResult {
         let budget = scratch.ctl.batch_budget;
         scratch.ctl.begin(budget, self.quarantine.any());
         match query {
             Query::Range { q, radius } => {
-                let ids = self.range_with(q, *radius, scratch);
+                let ids = self.range_with(snap, q, *radius, scratch);
                 match scratch.ctl.take_degraded() {
                     Some(d) => QueryResult::PartialRange(ids, d),
                     None => QueryResult::Range(ids),
                 }
             }
             Query::Knn { q, k } => {
-                let nbrs = self.knn_with(q, *k, scratch);
+                let nbrs = self.knn_with(snap, q, *k, scratch);
                 match scratch.ctl.take_degraded() {
                     Some(d) => QueryResult::PartialKnn(nbrs, d),
                     None => QueryResult::Knn(nbrs),
@@ -1801,7 +2307,13 @@ impl<O> ShardedEngine<O> {
     }
 
     /// Plans and probes `MRQ(q, r)` serially through scratch buffers.
-    fn range_with(&self, q: &O, radius: f64, scratch: &mut EngineScratch) -> Vec<ObjId> {
+    fn range_with(
+        &self,
+        snap: &EngineSnapshot<O>,
+        q: &O,
+        radius: f64,
+        scratch: &mut EngineScratch,
+    ) -> Vec<ObjId> {
         let EngineScratch {
             qs,
             mapped,
@@ -1818,7 +2330,7 @@ impl<O> ShardedEngine<O> {
         // snapshots — neither exists on the untraced path.
         let mut clock = ObsClock::start(obs.sampled);
         let mut tclock = ObsClock::start(trace.active);
-        match &self.router {
+        match &snap.router {
             Some(rt) => {
                 rt.map_into(q, mapped);
                 rt.range_plan_into(mapped, radius, probe);
@@ -1828,14 +2340,14 @@ impl<O> ShardedEngine<O> {
             }
             None => {
                 probe.clear();
-                probe.extend(0..self.shards.len());
+                probe.extend(0..snap.shards.len());
             }
         }
         obs.plan_nanos += clock.lap();
         if trace.active {
             // Per-shard plan verdicts: range planning keeps shard order, so
             // the probe rank is the position in the (ascending) probe set.
-            match &self.router {
+            match &snap.router {
                 Some(rt) => {
                     let mut next = probe.iter().peekable();
                     let mut rank = 0u32;
@@ -1857,7 +2369,7 @@ impl<O> ShardedEngine<O> {
                     }
                 }
                 None => {
-                    for s in 0..self.shards.len() {
+                    for s in 0..snap.shards.len() {
                         trace.ring.push(TraceEvent::Plan {
                             shard: s as u32,
                             lower_bound: 0.0,
@@ -1868,9 +2380,9 @@ impl<O> ShardedEngine<O> {
                 }
             }
             trace.ring.push(TraceEvent::PlanDone {
-                shards: self.shards.len() as u32,
+                shards: snap.shards.len() as u32,
                 probed: probe.len() as u32,
-                pruned: (self.shards.len() - probe.len()) as u32,
+                pruned: (snap.shards.len() - probe.len()) as u32,
                 map_dists: mapped.len() as u64,
                 nanos: tclock.lap(),
             });
@@ -1895,19 +2407,19 @@ impl<O> ShardedEngine<O> {
             executed += 1;
             obs.note_probe(s);
             let cd0 = (guarded && ctl.budget.caps_compdists())
-                .then(|| self.shards[s].counters().compdists);
-            let snap = trace
+                .then(|| snap.shards[s].counters().compdists);
+            let tsnap = trace
                 .active
-                .then(|| (self.shards[s].counters(), qs.kernel_rows, qs.kernel_blocks));
-            self.shards[s].range_global_into(q, radius, qs, ids);
+                .then(|| (snap.shards[s].counters(), qs.kernel_rows, qs.kernel_blocks));
+            snap.shards[s].range_global_into(q, radius, qs, ids);
             if let Some(c0) = cd0 {
-                ctl.spent += self.shards[s].counters().compdists.saturating_sub(c0);
+                ctl.spent += snap.shards[s].counters().compdists.saturating_sub(c0);
             }
             if obs.sampled {
                 obs.note_probe_wall(s, clock.lap());
             }
-            if let Some((c0, kr0, kb0)) = snap {
-                let d = self.shards[s].counters().since(&c0);
+            if let Some((c0, kr0, kb0)) = tsnap {
+                let d = snap.shards[s].counters().since(&c0);
                 let kernel_rows = qs.kernel_rows - kr0;
                 trace.ring.push(TraceEvent::Scan {
                     shard: s as u32,
@@ -1928,7 +2440,7 @@ impl<O> ShardedEngine<O> {
         }
         // Skipped probes count as neither probed nor pruned: the plan
         // wanted them, the budget (or quarantine) withheld them.
-        self.note_probes(executed, self.shards.len() - probe.len());
+        self.note_probes(executed, snap.shards.len() - probe.len());
         // Shards are disjoint partitions: the union is concatenation plus
         // one sort for determinism.
         ids.sort_unstable();
@@ -1947,7 +2459,13 @@ impl<O> ShardedEngine<O> {
     /// collector. Routed engines go best-first by box lower bound and skip
     /// every shard whose bound exceeds the current k-th distance (strictly
     /// — an equal bound could still hide an id-tie winner).
-    fn knn_with(&self, q: &O, k: usize, scratch: &mut EngineScratch) -> Vec<Neighbor> {
+    fn knn_with(
+        &self,
+        snap: &EngineSnapshot<O>,
+        q: &O,
+        k: usize,
+        scratch: &mut EngineScratch,
+    ) -> Vec<Neighbor> {
         let EngineScratch {
             qs,
             mapped,
@@ -1963,7 +2481,7 @@ impl<O> ShardedEngine<O> {
         let guarded = ctl.armed;
         let mut clock = ObsClock::start(obs.sampled);
         let mut tclock = ObsClock::start(trace.active);
-        match &self.router {
+        match &snap.router {
             Some(rt) => {
                 rt.map_into(q, mapped);
                 rt.knn_order_into(mapped, order);
@@ -2002,29 +2520,29 @@ impl<O> ShardedEngine<O> {
                     probed += 1;
                     obs.note_probe(s);
                     let cd0 = (guarded && ctl.budget.caps_compdists())
-                        .then(|| self.shards[s].counters().compdists);
-                    let snap = trace.active.then(|| {
+                        .then(|| snap.shards[s].counters().compdists);
+                    let tsnap = trace.active.then(|| {
                         trace.ring.push(TraceEvent::Plan {
                             shard: s as u32,
                             lower_bound: lb,
                             probed: true,
                             order: rank as u32,
                         });
-                        (self.shards[s].counters(), qs.kernel_rows, qs.kernel_blocks)
+                        (snap.shards[s].counters(), qs.kernel_rows, qs.kernel_blocks)
                     });
                     // Seed the shard scan with the running threshold:
                     // shards are probed in sequence here, so candidates
                     // the merge would reject are never even verified.
                     let seed = topk.threshold();
-                    self.shards[s].knn_into_with(q, k, seed, qs, nbrs, topk);
+                    snap.shards[s].knn_into_with(q, k, seed, qs, nbrs, topk);
                     if let Some(c0) = cd0 {
-                        ctl.spent += self.shards[s].counters().compdists.saturating_sub(c0);
+                        ctl.spent += snap.shards[s].counters().compdists.saturating_sub(c0);
                     }
                     if obs.sampled {
                         obs.note_probe_wall(s, clock.lap());
                     }
-                    if let Some((c0, kr0, kb0)) = snap {
-                        let d = self.shards[s].counters().since(&c0);
+                    if let Some((c0, kr0, kb0)) = tsnap {
+                        let d = snap.shards[s].counters().since(&c0);
                         trace.ring.push(TraceEvent::Scan {
                             shard: s as u32,
                             dists: d.compdists,
@@ -2053,15 +2571,15 @@ impl<O> ShardedEngine<O> {
                 obs.plan_nanos += clock.lap();
                 if trace.active {
                     trace.ring.push(TraceEvent::PlanDone {
-                        shards: self.shards.len() as u32,
-                        probed: self.shards.len() as u32,
+                        shards: snap.shards.len() as u32,
+                        probed: snap.shards.len() as u32,
                         pruned: 0,
                         map_dists: 0,
                         nanos: tclock.lap(),
                     });
                 }
                 let mut probed = 0usize;
-                for (s, shard) in self.shards.iter().enumerate() {
+                for (s, shard) in snap.shards.iter().enumerate() {
                     if guarded {
                         if self.quarantine.is_quarantined(s) {
                             ctl.skip(DegradeReason::Quarantined);
@@ -2076,26 +2594,26 @@ impl<O> ShardedEngine<O> {
                     probed += 1;
                     obs.note_probe(s);
                     let cd0 = (guarded && ctl.budget.caps_compdists())
-                        .then(|| self.shards[s].counters().compdists);
-                    let snap = trace.active.then(|| {
+                        .then(|| snap.shards[s].counters().compdists);
+                    let tsnap = trace.active.then(|| {
                         trace.ring.push(TraceEvent::Plan {
                             shard: s as u32,
                             lower_bound: 0.0,
                             probed: true,
                             order: s as u32,
                         });
-                        (self.shards[s].counters(), qs.kernel_rows, qs.kernel_blocks)
+                        (snap.shards[s].counters(), qs.kernel_rows, qs.kernel_blocks)
                     });
                     let seed = topk.threshold();
                     shard.knn_into_with(q, k, seed, qs, nbrs, topk);
                     if let Some(c0) = cd0 {
-                        ctl.spent += self.shards[s].counters().compdists.saturating_sub(c0);
+                        ctl.spent += snap.shards[s].counters().compdists.saturating_sub(c0);
                     }
                     if obs.sampled {
                         obs.note_probe_wall(s, clock.lap());
                     }
-                    if let Some((c0, kr0, kb0)) = snap {
-                        let d = self.shards[s].counters().since(&c0);
+                    if let Some((c0, kr0, kb0)) = tsnap {
+                        let d = snap.shards[s].counters().since(&c0);
                         trace.ring.push(TraceEvent::Scan {
                             shard: s as u32,
                             dists: d.compdists,
@@ -2125,17 +2643,17 @@ impl<O> ShardedEngine<O> {
     /// engines, the router's Lemma 1 survivors otherwise. Also records the
     /// probe/prune counts. (Allocating planner for the parallel
     /// single-query path; batch serving plans through [`EngineScratch`].)
-    fn range_probe_set(&self, q: &O, radius: f64) -> Vec<usize> {
+    fn range_probe_set(&self, snap: &EngineSnapshot<O>, q: &O, radius: f64) -> Vec<usize> {
         let mut probe = Vec::new();
-        match &self.router {
+        match &snap.router {
             Some(rt) => {
                 let mut qd = Vec::new();
                 rt.map_into(q, &mut qd);
                 rt.range_plan_into(&qd, radius, &mut probe);
             }
-            None => probe.extend(0..self.shards.len()),
+            None => probe.extend(0..snap.shards.len()),
         }
-        let pruned = self.shards.len() - probe.len();
+        let pruned = snap.shards.len() - probe.len();
         if self.quarantine.any() {
             // Quarantine skips count as neither probed nor pruned.
             probe.retain(|&s| !self.quarantine.is_quarantined(s));
@@ -2145,24 +2663,30 @@ impl<O> ShardedEngine<O> {
     }
 
     /// Probes the given shards serially and merges the range union.
-    fn range_over(&self, probe: &[usize], q: &O, radius: f64) -> Vec<ObjId> {
+    fn range_over(
+        &self,
+        snap: &EngineSnapshot<O>,
+        probe: &[usize],
+        q: &O,
+        radius: f64,
+    ) -> Vec<ObjId> {
         merge_range(
             probe
                 .iter()
-                .map(|&s| self.shards[s].range_global(q, radius))
+                .map(|&s| snap.shards[s].range_global(q, radius))
                 .collect(),
         )
     }
 }
 
-impl<O: Send + Sync> ShardedEngine<O> {
+impl<O: Send + Sync> EngineCore<O> {
     /// Metric range query `MRQ(q, r)`, fanned across the shards the planner
     /// selects on at most `threads` scoped worker threads (the low-latency
     /// path for a single query). Returns global ids sorted ascending.
-    pub fn range_query(&self, q: &O, radius: f64) -> Vec<ObjId> {
-        let probe = self.range_probe_set(q, radius);
+    fn range_query(&self, snap: &EngineSnapshot<O>, q: &O, radius: f64) -> Vec<ObjId> {
+        let probe = self.range_probe_set(snap, q, radius);
         if probe.len() <= 1 || self.threads <= 1 {
-            return self.range_over(&probe, q, radius);
+            return self.range_over(snap, &probe, q, radius);
         }
         let chunk = probe.len().div_ceil(self.threads);
         let partials: Vec<Vec<ObjId>> = crossbeam::thread::scope(|scope| {
@@ -2172,7 +2696,7 @@ impl<O: Send + Sync> ShardedEngine<O> {
                     scope.spawn(move |_| {
                         group
                             .iter()
-                            .map(|&s| self.shards[s].range_global(q, radius))
+                            .map(|&s| snap.shards[s].range_global(q, radius))
                             .collect::<Vec<_>>()
                     })
                 })
@@ -2192,8 +2716,8 @@ impl<O: Send + Sync> ShardedEngine<O> {
     /// thread instead, because each probe tightens the cutoff that prunes
     /// the shards after it (batch serving still parallelizes across
     /// queries). Sorted ascending by `(distance, global id)`.
-    pub fn knn_query(&self, q: &O, k: usize) -> Vec<Neighbor> {
-        if self.router.is_some() || self.shards.len() == 1 || self.threads <= 1 {
+    fn knn_query(&self, snap: &EngineSnapshot<O>, q: &O, k: usize) -> Vec<Neighbor> {
+        if snap.router.is_some() || snap.shards.len() == 1 || self.threads <= 1 {
             let mut scratch = EngineScratch::new();
             // Arm the quarantine guard (no budget — single-query calls are
             // unbudgeted by contract) so planning routes around
@@ -2201,17 +2725,17 @@ impl<O: Send + Sync> ShardedEngine<O> {
             scratch
                 .ctl
                 .begin(QueryBudget::unlimited(), self.quarantine.any());
-            return self.knn_with(q, k, &mut scratch);
+            return self.knn_with(snap, q, k, &mut scratch);
         }
-        let live: Vec<&Shard<O>> = if self.quarantine.any() {
-            self.shards
+        let live: Vec<&Arc<Shard<O>>> = if self.quarantine.any() {
+            snap.shards
                 .iter()
                 .enumerate()
                 .filter(|(s, _)| !self.quarantine.is_quarantined(*s))
                 .map(|(_, sh)| sh)
                 .collect()
         } else {
-            self.shards.iter().collect()
+            snap.shards.iter().collect()
         };
         self.note_probes(live.len(), 0);
         let chunk = live.len().max(1).div_ceil(self.threads);
@@ -2247,7 +2771,7 @@ impl<O: Send + Sync> ShardedEngine<O> {
     /// fails with, decided before any shard is touched. Index-level k=0
     /// stays an empty answer (the trait contract); the serve boundary
     /// rejects it so callers notice the likely bug.
-    fn validate(&self, query: &Query<O>) -> Option<QueryError> {
+    fn validate(&self, validator: Option<&Validator<O>>, query: &Query<O>) -> Option<QueryError> {
         let q = match query {
             Query::Range { q, radius } => {
                 if radius.is_nan() {
@@ -2265,7 +2789,7 @@ impl<O: Send + Sync> ShardedEngine<O> {
                 q
             }
         };
-        match &self.validator {
+        match validator {
             Some(v) if !v(q) => Some(QueryError::InvalidObject),
             _ => None,
         }
@@ -2285,18 +2809,20 @@ impl<O: Send + Sync> ShardedEngine<O> {
     /// scoped-thread setup.
     fn choose_strategy(
         &self,
+        snap: &EngineSnapshot<O>,
         batch_len: usize,
         budget: &ServeBudget,
         tpolicy: &TracePolicy,
     ) -> SchedStrategy {
-        if self.threads <= 1 || self.shards.len() <= 1 || budget.enabled() || tpolicy.enabled() {
+        if self.threads <= 1 || snap.shards.len() <= 1 || budget.enabled() || tpolicy.enabled() {
             return SchedStrategy::QueryParallel;
         }
-        match self.sched {
+        let sched = *self.sched.lock().unwrap_or_else(|e| e.into_inner());
+        match sched {
             SchedPolicy::QueryParallel => SchedStrategy::QueryParallel,
             SchedPolicy::ShardParallel => SchedStrategy::ShardParallel,
             SchedPolicy::Auto => {
-                if batch_len >= self.threads || self.len() < SHARD_PARALLEL_MIN_ROWS {
+                if batch_len >= self.threads || snap.len() < SHARD_PARALLEL_MIN_ROWS {
                     SchedStrategy::QueryParallel
                 } else {
                     SchedStrategy::ShardParallel
@@ -2328,20 +2854,26 @@ impl<O: Send + Sync> ShardedEngine<O> {
     /// queries come back `Failed` with a typed [`QueryError`], budgets
     /// degrade or shed per item rather than erroring, and a panicking
     /// query is contained here while the rest of the batch completes.
-    pub fn serve(&self, batch: &[Query<O>]) -> BatchOutcome {
+    fn serve(&self, snap: &EngineSnapshot<O>, batch: &[Query<O>]) -> BatchOutcome {
         let workers = self.threads.min(batch.len()).max(1);
-        let shard_before = self.shard_counters();
+        let shard_before: Vec<Counters> = snap.shards.iter().map(|s| s.counters()).collect();
         let before = shard_before
             .iter()
             .fold(Counters::default(), |acc, c| acc + *c);
-        let (probed0, pruned0) = self.probe_counts();
+        let (probed0, pruned0) = (
+            self.probed.load(Ordering::Relaxed),
+            self.pruned.load(Ordering::Relaxed),
+        );
         // One registry read per batch: the runtime switch never sits on the
-        // per-query path. Same for the trace policy and the serving
-        // budgets — one mutex lock each here, then a per-worker copy.
+        // per-query path. Same for the trace policy, the serving budgets,
+        // and the query validator — one mutex lock each here, then a
+        // per-worker copy (the batch sees one consistent policy even if a
+        // setter races it).
         let timing = self.obs.is_enabled();
         let tpolicy = self.trace_policy();
         let budget = self.serve_budget();
-        let strategy = self.choose_strategy(batch.len(), &budget, &tpolicy);
+        let validator = self.validator();
+        let strategy = self.choose_strategy(snap, batch.len(), &budget, &tpolicy);
         // Worker threads the batch actually occupies, for the report and
         // the idle estimate: the claim-loop pool under query-parallel, the
         // per-query fan-out width under shard-parallel.
@@ -2363,7 +2895,7 @@ impl<O: Send + Sync> ShardedEngine<O> {
         let run_worker = || {
             let b0 = timing.then(Instant::now);
             let mut scratch = EngineScratch::new();
-            scratch.obs.prepare(self.shards.len(), timing);
+            scratch.obs.prepare(snap.shards.len(), timing);
             scratch.trace.prepare(tpolicy);
             scratch.ctl.batch_budget = budget.query;
             let mut local = Vec::new();
@@ -2382,7 +2914,7 @@ impl<O: Send + Sync> ShardedEngine<O> {
                     }
                 }
                 // Malformed queries fail per-item before touching a shard.
-                if let Some(e) = self.validate(&batch[i]) {
+                if let Some(e) = self.validate(validator.as_ref(), &batch[i]) {
                     local.push((i, QueryResult::Failed(e), 0));
                     continue;
                 }
@@ -2396,7 +2928,7 @@ impl<O: Send + Sync> ShardedEngine<O> {
                 // the scratch buffers are per-query (each query resets the
                 // state it reads), so the worker keeps serving.
                 let res = catch_unwind(AssertUnwindSafe(|| {
-                    self.execute_with(&batch[i], &mut scratch)
+                    self.execute_with(snap, &batch[i], &mut scratch)
                 }))
                 .unwrap_or_else(|_| {
                     let shard = scratch.ctl.probing.take();
@@ -2448,7 +2980,7 @@ impl<O: Send + Sync> ShardedEngine<O> {
         let run_fanned = || {
             let b0 = timing.then(Instant::now);
             let mut obs = ScratchObs::default();
-            obs.prepare(self.shards.len(), timing);
+            obs.prepare(snap.shards.len(), timing);
             let mut local = Vec::with_capacity(batch.len());
             for (i, query) in batch.iter().enumerate() {
                 if let Some(d) = batch_deadline {
@@ -2457,14 +2989,16 @@ impl<O: Send + Sync> ShardedEngine<O> {
                         continue;
                     }
                 }
-                if let Some(e) = self.validate(query) {
+                if let Some(e) = self.validate(validator.as_ref(), query) {
                     local.push((i, QueryResult::Failed(e), 0));
                     continue;
                 }
                 let q0 = Instant::now();
                 let res = catch_unwind(AssertUnwindSafe(|| match query {
-                    Query::Range { q, radius } => QueryResult::Range(self.range_query(q, *radius)),
-                    Query::Knn { q, k } => QueryResult::Knn(self.knn_query(q, *k)),
+                    Query::Range { q, radius } => {
+                        QueryResult::Range(self.range_query(snap, q, *radius))
+                    }
+                    Query::Knn { q, k } => QueryResult::Knn(self.knn_query(snap, q, *k)),
                 }))
                 .unwrap_or(QueryResult::Failed(QueryError::Panicked { shard: None }));
                 let ns = q0.elapsed().as_nanos() as u64;
@@ -2502,12 +3036,15 @@ impl<O: Send + Sync> ShardedEngine<O> {
 
         let wall_nanos = t0.elapsed().as_nanos() as u64;
         let wall_secs = wall_nanos as f64 / 1e9;
-        let shard_after = self.shard_counters();
+        let shard_after: Vec<Counters> = snap.shards.iter().map(|s| s.counters()).collect();
         let cost = shard_after
             .iter()
             .fold(Counters::default(), |acc, c| acc + *c)
             .since(&before);
-        let (probed1, pruned1) = self.probe_counts();
+        let (probed1, pruned1) = (
+            self.probed.load(Ordering::Relaxed),
+            self.pruned.load(Ordering::Relaxed),
+        );
 
         let mut results: Vec<Option<QueryResult>> = (0..batch.len()).map(|_| None).collect();
         let mut nanos = Vec::with_capacity(if timing { 0 } else { batch.len() });
@@ -2556,7 +3093,7 @@ impl<O: Send + Sync> ShardedEngine<O> {
         // regardless of the obs switch; the wall columns come from the
         // 1-in-OBS_SAMPLE timed queries (sums extrapolated, quantiles taken
         // over the raw samples) and stay zero with obs off.
-        let per_shard: Vec<ShardServeStats> = (0..self.shards.len())
+        let per_shard: Vec<ShardServeStats> = (0..snap.shards.len())
             .map(|s| {
                 let delta = shard_after[s].since(&shard_before[s]);
                 let (wall_secs, p50_secs, p99_secs) = if timing {
@@ -2656,8 +3193,9 @@ impl<O: Send + Sync> ShardedEngine<O> {
             degraded,
             shed,
             failed,
-            shards: self.shards.len(),
+            shards: snap.shards.len(),
             threads: pool,
+            epoch: snap.epoch,
             wall_secs,
             qps: if wall_secs > 0.0 {
                 batch.len() as f64 / wall_secs
@@ -2668,12 +3206,61 @@ impl<O: Send + Sync> ShardedEngine<O> {
             cost,
             shards_probed: probed1 - probed0,
             shards_pruned: pruned1 - pruned0,
-            build: self.build_stats,
-            updates: self.update_stats,
+            build: *self.build.lock().unwrap_or_else(|e| e.into_inner()),
+            updates: *self.updates.lock().unwrap_or_else(|e| e.into_inner()),
             per_shard,
             traces,
         };
         BatchOutcome { results, report }
+    }
+
+    /// Drains one queued batch from `queue` through this core (see
+    /// [`SubmitQueue`]): pops the oldest admitted batch, sheds it whole if
+    /// its queue-wall deadline is blown, otherwise serves it against the
+    /// snapshot the caller resolved. Queue depth and outcome counters land
+    /// in the engine registry.
+    fn pump(&self, snap: &EngineSnapshot<O>, queue: &SubmitQueue<O>) -> PumpOutcome<O> {
+        let outcome = queue.pump_one(|batch| self.serve(snap, batch));
+        let stats = queue.stats();
+        self.obs.gauge_set("engine.queue_depth", stats.depth as u64);
+        self.obs.gauge_set("queue.submitted", stats.submitted);
+        self.obs.gauge_set("queue.rejected", stats.rejected);
+        match &outcome {
+            PumpOutcome::Served { .. } => self.obs.counter_add("queue.served", 1),
+            PumpOutcome::Shed { .. } => self.obs.counter_add("queue.shed", 1),
+            PumpOutcome::Idle => {}
+        }
+        outcome
+    }
+}
+
+impl<O: Send + Sync> ShardedEngine<O> {
+    /// Serves a batch against the engine's current snapshot. See
+    /// [`EngineReader::serve`] for the concurrent form; both run the same
+    /// core against one atomically-loaded [`EngineSnapshot`].
+    pub fn serve(&self, batch: &[Query<O>]) -> BatchOutcome {
+        let snap = self.core.snapshot();
+        self.core.serve(&snap, batch)
+    }
+
+    /// Metric range query `MRQ(q, r)` against the current snapshot. See
+    /// [`EngineCore`]'s fan-out notes on the serving paths.
+    pub fn range_query(&self, q: &O, radius: f64) -> Vec<ObjId> {
+        let snap = self.core.snapshot();
+        self.core.range_query(&snap, q, radius)
+    }
+
+    /// Metric kNN query `MkNNQ(q, k)` against the current snapshot.
+    pub fn knn_query(&self, q: &O, k: usize) -> Vec<Neighbor> {
+        let snap = self.core.snapshot();
+        self.core.knn_query(&snap, q, k)
+    }
+
+    /// Drains one queued batch from `queue` against the current snapshot
+    /// (admission control: see [`SubmitQueue`]).
+    pub fn pump(&self, queue: &SubmitQueue<O>) -> PumpOutcome<O> {
+        let snap = self.core.snapshot();
+        self.core.pump(&snap, queue)
     }
 }
 
@@ -2866,8 +3453,9 @@ mod tests {
     #[test]
     fn apply_shrinks_boxes_and_restores_pruning() {
         let (objects, mut e) = routed_two_clusters();
-        // Stale-path baseline: single-op removes leave cluster B's box at
-        // its build extent, so a query there still probes shard 1.
+        // Stale-path baseline: without a shared matrix apply cannot
+        // recompute box extents, so cluster B's box stays at its build
+        // extent and a query there still probes shard 1.
         let b_ids: Vec<ObjId> = (0..20).filter(|i| i % 2 == 1).collect();
         let mut batch = UpdateBatch::new();
         for &id in &b_ids[..b_ids.len() - 1] {

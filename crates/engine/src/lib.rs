@@ -67,18 +67,21 @@
 pub mod engine;
 pub mod merge;
 pub mod query;
+pub mod queue;
 pub mod report;
 pub mod robust;
 pub mod shard;
 pub mod update;
 
 pub use engine::{
-    BatchOutcome, EngineConfig, EngineError, EngineScratch, SchedPolicy, ShardedEngine,
+    BatchOutcome, EngineConfig, EngineError, EngineReader, EngineScratch, EngineSnapshot,
+    SchedPolicy, ShardedEngine,
 };
 pub use merge::TopK;
 pub use pmi_obs::{QueryTrace, TraceEvent, TraceKind, TracePolicy};
 pub use pmi_router::{PartitionPolicy, RoutingTable};
 pub use query::{Query, QueryResult};
+pub use queue::{AdmissionPolicy, PumpOutcome, QueueStats, SubmitOutcome, SubmitQueue};
 pub use report::{
     BuildStats, LatencySummary, SchedStrategy, ServeReport, ShardServeStats, UpdateStats,
 };

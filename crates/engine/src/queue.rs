@@ -1,0 +1,280 @@
+//! Standing submit queue with admission control: the always-on serving
+//! front door.
+//!
+//! Callers [`submit`](SubmitQueue::submit) query batches; a serving loop
+//! (any thread holding the engine or an
+//! [`EngineReader`](crate::engine::EngineReader)) drains them with
+//! [`pump`](crate::engine::ShardedEngine::pump). Admission control is
+//! two-sided:
+//!
+//! * **Bounded depth** — a submit against a full queue is rejected
+//!   immediately ([`SubmitOutcome::Rejected`]), pushing backpressure to the
+//!   caller instead of letting latency grow without bound.
+//! * **Queue-wall deadline** — a batch that waited longer than
+//!   [`AdmissionPolicy::queue_wall_nanos`] before a pump reached it is shed
+//!   whole ([`PumpOutcome::Shed`]) without executing: under overload it is
+//!   better to fail fast than to serve answers nobody is waiting for.
+//!
+//! The queue is engine-agnostic plumbing: it never touches shards and holds
+//! no snapshot, so submissions stay valid across any number of concurrent
+//! [`apply`](crate::engine::ShardedEngine::apply) commits — each pump
+//! serves against whatever snapshot is current at drain time.
+
+use crate::engine::BatchOutcome;
+use crate::query::Query;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Admission limits for a [`SubmitQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// Maximum queued (not yet pumped) batches; a submit beyond this is
+    /// rejected. `0` means unbounded.
+    pub max_depth: usize,
+    /// Maximum nanoseconds a batch may wait in the queue before a pump
+    /// sheds it unserved. `0` disables deadline shedding.
+    pub queue_wall_nanos: u64,
+}
+
+impl AdmissionPolicy {
+    /// No depth bound, no deadline: every submission is admitted and
+    /// eventually served.
+    pub fn unbounded() -> Self {
+        AdmissionPolicy {
+            max_depth: 0,
+            queue_wall_nanos: 0,
+        }
+    }
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+/// One admitted batch waiting for a pump.
+struct Pending<O> {
+    ticket: u64,
+    queries: Vec<Query<O>>,
+    enqueued: Instant,
+}
+
+/// What happened to a [`submit`](SubmitQueue::submit).
+#[derive(Debug)]
+pub enum SubmitOutcome {
+    /// Admitted; `ticket` identifies the batch in the matching
+    /// [`PumpOutcome`], `depth` is the queue depth after admission.
+    Enqueued { ticket: u64, depth: usize },
+    /// The queue was at `max_depth`; the batch was not admitted. `depth` is
+    /// the depth the caller collided with — backpressure: retry later or
+    /// shed upstream.
+    Rejected { depth: usize },
+}
+
+/// What one [`pump`](crate::engine::ShardedEngine::pump) did.
+pub enum PumpOutcome<O> {
+    /// The oldest batch was served; `outcome` is its full serve result
+    /// (boxed: a `BatchOutcome` is large next to the other variants).
+    Served {
+        ticket: u64,
+        outcome: Box<BatchOutcome>,
+    },
+    /// The oldest batch blew its queue-wall deadline and was shed without
+    /// executing; the queries come back so the caller can retry or log.
+    Shed { ticket: u64, queries: Vec<Query<O>> },
+    /// The queue was empty.
+    Idle,
+}
+
+/// Point-in-time queue statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueStats {
+    /// Batches currently waiting.
+    pub depth: usize,
+    /// Total batches ever admitted.
+    pub submitted: u64,
+    /// Total submissions rejected at admission (full queue).
+    pub rejected: u64,
+    /// Total batches served by pumps.
+    pub served: u64,
+    /// Total batches shed by pumps (deadline blown in queue).
+    pub shed: u64,
+}
+
+/// A standing multi-producer submit queue with admission control (see the
+/// module docs). All methods take `&self`: any number of submitter threads
+/// may race any number of pumping threads.
+pub struct SubmitQueue<O> {
+    policy: AdmissionPolicy,
+    pending: Mutex<VecDeque<Pending<O>>>,
+    next_ticket: AtomicU64,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    served: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl<O> SubmitQueue<O> {
+    /// An empty queue under `policy`.
+    pub fn new(policy: AdmissionPolicy) -> Self {
+        SubmitQueue {
+            policy,
+            pending: Mutex::new(VecDeque::new()),
+            next_ticket: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// The policy this queue admits under.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// Offers one batch for serving. Admission is decided immediately:
+    /// a full queue rejects (never blocks).
+    pub fn submit(&self, queries: Vec<Query<O>>) -> SubmitOutcome {
+        let mut q = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+        if self.policy.max_depth > 0 && q.len() >= self.policy.max_depth {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return SubmitOutcome::Rejected { depth: q.len() };
+        }
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        q.push_back(Pending {
+            ticket,
+            queries,
+            enqueued: Instant::now(),
+        });
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        SubmitOutcome::Enqueued {
+            ticket,
+            depth: q.len(),
+        }
+    }
+
+    /// Batches currently waiting.
+    pub fn depth(&self) -> usize {
+        self.pending.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Point-in-time statistics (each field individually consistent).
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            depth: self.depth(),
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Pops the oldest batch and either sheds it (deadline blown in queue)
+    /// or runs it through `serve`. The lock is dropped before `serve` runs,
+    /// so submitters never wait on serving.
+    pub fn pump_one(&self, serve: impl FnOnce(&[Query<O>]) -> BatchOutcome) -> PumpOutcome<O> {
+        let popped = {
+            let mut q = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+            q.pop_front()
+        };
+        let Some(p) = popped else {
+            return PumpOutcome::Idle;
+        };
+        if self.policy.queue_wall_nanos > 0
+            && p.enqueued.elapsed() >= Duration::from_nanos(self.policy.queue_wall_nanos)
+        {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return PumpOutcome::Shed {
+                ticket: p.ticket,
+                queries: p.queries,
+            };
+        }
+        let outcome = serve(&p.queries);
+        self.served.fetch_add(1, Ordering::Relaxed);
+        PumpOutcome::Served {
+            ticket: p.ticket,
+            outcome: Box::new(outcome),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(n: usize) -> Vec<Query<Vec<f32>>> {
+        (0..n).map(|_| Query::range(vec![0.0f32], 1.0)).collect()
+    }
+
+    fn fake_serve(queries: &[Query<Vec<f32>>]) -> BatchOutcome {
+        BatchOutcome {
+            results: queries
+                .iter()
+                .map(|_| crate::query::QueryResult::Range(Vec::new()))
+                .collect(),
+            report: Default::default(),
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_tickets() {
+        let q: SubmitQueue<Vec<f32>> = SubmitQueue::new(AdmissionPolicy::unbounded());
+        let t0 = match q.submit(batch(1)) {
+            SubmitOutcome::Enqueued { ticket, depth } => {
+                assert_eq!(depth, 1);
+                ticket
+            }
+            SubmitOutcome::Rejected { .. } => panic!("unbounded queue rejected"),
+        };
+        q.submit(batch(2));
+        match q.pump_one(fake_serve) {
+            PumpOutcome::Served { ticket, outcome } => {
+                assert_eq!(ticket, t0);
+                assert_eq!(outcome.results.len(), 1);
+            }
+            _ => panic!("expected the first batch served"),
+        }
+        assert_eq!(q.depth(), 1);
+        assert!(matches!(q.pump_one(fake_serve), PumpOutcome::Served { .. }));
+        assert!(matches!(q.pump_one(fake_serve), PumpOutcome::Idle));
+        let s = q.stats();
+        assert_eq!((s.submitted, s.served, s.shed, s.rejected), (2, 2, 0, 0));
+    }
+
+    #[test]
+    fn full_queue_rejects_with_backpressure() {
+        let q: SubmitQueue<Vec<f32>> = SubmitQueue::new(AdmissionPolicy {
+            max_depth: 2,
+            queue_wall_nanos: 0,
+        });
+        assert!(matches!(q.submit(batch(1)), SubmitOutcome::Enqueued { .. }));
+        assert!(matches!(q.submit(batch(1)), SubmitOutcome::Enqueued { .. }));
+        assert!(matches!(
+            q.submit(batch(1)),
+            SubmitOutcome::Rejected { depth: 2 }
+        ));
+        assert_eq!(q.stats().rejected, 1);
+        // Draining one batch frees a slot.
+        q.pump_one(fake_serve);
+        assert!(matches!(q.submit(batch(1)), SubmitOutcome::Enqueued { .. }));
+    }
+
+    #[test]
+    fn stale_batch_is_shed_with_queries_returned() {
+        let q: SubmitQueue<Vec<f32>> = SubmitQueue::new(AdmissionPolicy {
+            max_depth: 0,
+            queue_wall_nanos: 1, // everything is stale by pump time
+        });
+        q.submit(batch(3));
+        std::thread::sleep(Duration::from_millis(2));
+        match q.pump_one(fake_serve) {
+            PumpOutcome::Shed { queries, .. } => assert_eq!(queries.len(), 3),
+            _ => panic!("expected the stale batch shed"),
+        }
+        assert_eq!(q.stats().shed, 1);
+    }
+}

@@ -187,6 +187,11 @@ pub struct ServeReport {
     pub shards: usize,
     /// Worker threads used.
     pub threads: usize,
+    /// Publication epoch of the [`EngineSnapshot`](crate::EngineSnapshot)
+    /// the whole batch was served against — every query in a batch sees one
+    /// consistent snapshot, so two batches reporting the same epoch saw
+    /// byte-identical engine state.
+    pub epoch: u64,
     /// Wall-clock duration of the whole batch, seconds.
     pub wall_secs: f64,
     /// Queries per second (`queries / wall_secs`).
@@ -240,13 +245,14 @@ impl std::fmt::Display for ServeReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{} queries ({} range, {} kNN) on {} shard(s) x {} thread(s), {} scheduling",
+            "{} queries ({} range, {} kNN) on {} shard(s) x {} thread(s), {} scheduling, snapshot epoch {}",
             self.queries,
             self.range_queries,
             self.knn_queries,
             self.shards,
             self.threads,
-            self.strategy.label()
+            self.strategy.label(),
+            self.epoch
         )?;
         writeln!(
             f,

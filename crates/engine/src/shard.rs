@@ -212,6 +212,24 @@ impl<O> Shard<O> {
     pub fn set_page_cache(&self, bytes: usize) {
         self.index.set_page_cache(bytes)
     }
+
+    /// Whether [`fork`](Self::fork) is supported by the wrapped index —
+    /// the gate for the engine's copy-on-write apply transaction and for
+    /// vending concurrent readers.
+    pub fn forkable(&self) -> bool {
+        self.index.forkable()
+    }
+
+    /// A deep, independent copy of this shard for copy-on-write mutation
+    /// (see [`MetricIndex::fork`]): byte-identical answers at fork time, a
+    /// **shared** distance counter, and an independently mutable slot
+    /// table. `None` when the wrapped index kind does not support forking.
+    pub fn fork(&self) -> Option<Shard<O>> {
+        Some(Shard {
+            index: self.index.fork()?,
+            global_ids: self.global_ids.clone(),
+        })
+    }
 }
 
 /// One partition awaiting its index: the objects plus their global ids.

@@ -208,6 +208,12 @@ pub struct ApplyReport {
     pub compacted_rows: u64,
     /// Wall-clock duration of the apply, seconds.
     pub wall_secs: f64,
+    /// Whether the apply aborted: a fault (panic) inside the staging
+    /// transaction discarded every staged mutation and the engine still
+    /// publishes the pre-apply snapshot — no op landed, concurrent serving
+    /// never saw intermediate state, and the same batch can be retried.
+    /// All counts above are zero when set.
+    pub aborted: bool,
     /// Per-op errors, in op order: validator-rejected inserts, removes of
     /// unknown ids, and duplicate removes. The batch still applies every
     /// valid op — these classify what was skipped or missed
@@ -218,6 +224,13 @@ pub struct ApplyReport {
 
 impl std::fmt::Display for ApplyReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.aborted {
+            return write!(
+                f,
+                "apply ABORTED after {:.4}s (staged state discarded, nothing published)",
+                self.wall_secs
+            );
+        }
         writeln!(
             f,
             "applied {} insert(s), {} remove(s) ({} missing) in {:.4}s",

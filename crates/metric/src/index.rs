@@ -160,9 +160,38 @@ pub trait MetricIndex<O>: Send + Sync {
     fn set_page_cache(&self, bytes: usize) {
         let _ = bytes;
     }
+
+    /// Whether [`fork`](Self::fork) is supported. Kinds that return `true`
+    /// can participate in the engine's copy-on-write apply transaction
+    /// (serve-while-apply); kinds that return `false` fall back to the
+    /// exclusive in-place mutation path.
+    fn forkable(&self) -> bool {
+        false
+    }
+
+    /// A deep, independent copy of this index for copy-on-write mutation:
+    /// the engine forks the shards an `apply` batch touches, mutates the
+    /// forks off to the side, and publishes them in one snapshot swap while
+    /// readers keep serving from the originals.
+    ///
+    /// Contract: the fork must answer every query byte-identically to the
+    /// original at fork time, and must **share** the original's distance
+    /// counter (a [`CountingMetric`] clone shares its
+    /// [`DistanceCounter`](crate::DistanceCounter)) so engine-level
+    /// `compdists` totals stay monotone across snapshot publications.
+    /// Structures behind `Arc` handles (the shared pivot matrix, the
+    /// simulated disk) may be shared rather than copied as long as reads
+    /// stay immutable. The default returns `None` (not forkable).
+    fn fork(&self) -> Option<Box<dyn MetricIndex<O>>> {
+        None
+    }
 }
 
 /// Brute-force linear scan; the correctness oracle for every other index.
+///
+/// Cloning shares the distance counter (see [`CountingMetric`]) — the
+/// clone is the [`MetricIndex::fork`] of the original.
+#[derive(Clone)]
 pub struct BruteForce<O, M> {
     objects: Vec<Option<O>>,
     live: usize,
@@ -185,9 +214,21 @@ impl<O, M: Metric<O>> BruteForce<O, M> {
     }
 }
 
-impl<O: Clone + Send + Sync, M: Metric<O>> MetricIndex<O> for BruteForce<O, M> {
+impl<O, M> MetricIndex<O> for BruteForce<O, M>
+where
+    O: Clone + Send + Sync + 'static,
+    M: Metric<O> + Clone + 'static,
+{
     fn name(&self) -> &str {
         "BruteForce"
+    }
+
+    fn forkable(&self) -> bool {
+        true
+    }
+
+    fn fork(&self) -> Option<Box<dyn MetricIndex<O>>> {
+        Some(Box::new(self.clone()))
     }
 
     fn len(&self) -> usize {

@@ -744,6 +744,22 @@ impl SharedPivotMatrix {
         *staged_rows = 0;
     }
 
+    /// Number of rows staged but not yet published.
+    pub fn staged_rows(&self) -> usize {
+        self.0.lock().staged_rows
+    }
+
+    /// Discards every staged-but-unpublished row without publishing — the
+    /// abort path of the engine's crash-safe `apply` transaction. The
+    /// published snapshot is untouched, and the next `stage_row` hands out
+    /// the same id the first discarded row had, so an aborted batch can be
+    /// re-staged verbatim.
+    pub fn discard_staged(&self) {
+        let mut g = self.0.lock();
+        g.staged.clear();
+        g.staged_rows = 0;
+    }
+
     /// Installs `matrix` as the new published snapshot, discarding the old
     /// rows — the engine-level compaction path (the caller has already
     /// remapped every row id). Panics if rows are staged but unpublished.

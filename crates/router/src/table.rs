@@ -3,11 +3,18 @@
 
 use pmi_metric::lemmas::Mbb;
 use pmi_metric::PivotMatrix;
+use std::sync::Arc;
 
 /// Boxed pivot-space mapper: appends `(d(o, p_1), …, d(o, p_l))` to the
 /// caller's buffer. The write-into shape keeps the serving hot loop free of
 /// per-query allocations — workers reuse one buffer across a whole batch.
 pub type Mapper<O> = Box<dyn Fn(&O, &mut Vec<f64>) + Send + Sync>;
+
+/// The shared form the table stores: cloning a [`RoutingTable`] shares the
+/// mapper and copies only the boxes (copy-on-write rebox — the engine's
+/// apply transaction clones the table, mutates the clone's boxes, and
+/// publishes it with the next engine snapshot).
+type SharedMapper<O> = Arc<dyn Fn(&O, &mut Vec<f64>) + Send + Sync>;
 
 /// Per-shard routing state for a pivot-space-partitioned engine: a mapper
 /// from objects into pivot space (`o ↦ (d(o, p_1), …, d(o, p_l))`) and one
@@ -30,12 +37,24 @@ pub type Mapper<O> = Box<dyn Fn(&O, &mut Vec<f64>) + Send + Sync>;
 /// on insert ([`extend`](Self::extend)) and recomputed from the surviving
 /// members' mapped points on remove ([`shrink`](Self::shrink) /
 /// [`rebox_from_rows`](Self::rebox_from_rows)), so pruning power does not
-/// decay under churn. A caller that skips the shrink (the engine's legacy
-/// single-`remove` fast path) merely keeps a too-large box, which can only
-/// cost extra probes, never a wrong answer.
+/// decay under churn — there is exactly one mutation route (the engine's
+/// transactional `apply`), so published boxes are never stale.
+///
+/// Cloning shares the mapper (an `Arc`) and deep-copies only the boxes:
+/// the table is immutable once published inside an engine snapshot, and
+/// the apply transaction reboxes a copy-on-write clone off to the side.
 pub struct RoutingTable<O> {
-    mapper: Mapper<O>,
+    mapper: SharedMapper<O>,
     boxes: Vec<Mbb>,
+}
+
+impl<O> Clone for RoutingTable<O> {
+    fn clone(&self) -> Self {
+        RoutingTable {
+            mapper: Arc::clone(&self.mapper),
+            boxes: self.boxes.clone(),
+        }
+    }
 }
 
 impl<O> RoutingTable<O> {
@@ -50,7 +69,7 @@ impl<O> RoutingTable<O> {
         boxes: Vec<Mbb>,
     ) -> Self {
         RoutingTable {
-            mapper: Box::new(mapper),
+            mapper: Arc::new(mapper),
             boxes,
         }
     }

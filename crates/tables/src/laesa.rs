@@ -20,6 +20,11 @@ use pmi_metric::{
 /// verification pass run. A sharded engine hands every shard a slice of the
 /// one shared matrix and grows it through [`MetricIndex::insert_adopted`];
 /// a standalone build owns its matrix through the same slice type.
+///
+/// Cloning shares the distance counter and the shared-matrix handle (the
+/// slice's cached snapshot is an `Arc`); the clone is the
+/// [`MetricIndex::fork`] the engine's copy-on-write apply uses.
+#[derive(Clone)]
 pub struct Laesa<O, M> {
     metric: CountingMetric<M>,
     pivots: Vec<O>,
@@ -101,10 +106,18 @@ where
 impl<O, M> MetricIndex<O> for Laesa<O, M>
 where
     O: Clone + EncodeObject + Send + Sync + 'static,
-    M: Metric<O>,
+    M: Metric<O> + Clone + 'static,
 {
     fn name(&self) -> &str {
         "LAESA"
+    }
+
+    fn forkable(&self) -> bool {
+        true
+    }
+
+    fn fork(&self) -> Option<Box<dyn MetricIndex<O>>> {
+        Some(Box::new(self.clone()))
     }
 
     fn len(&self) -> usize {

@@ -41,6 +41,18 @@
 //! `pmi-runlog-v1` schema, the trace format, and the `pmi-analyze`
 //! regression sentinel.
 //!
+//! Concurrency — the engine serves through churn: immutable
+//! [`EngineSnapshot`]s behind an atomic slot (every `out.report.epoch`
+//! names the version that answered), cloneable [`EngineReader`] handles
+//! (`engine.reader()`) that keep serving on any number of threads while
+//! `engine.apply(..)` commits copy-on-write transactions, crash-safe
+//! all-or-nothing apply ([`ApplyReport::aborted`]), and a standing
+//! [`SubmitQueue`] with admission control ([`AdmissionPolicy`]:
+//! backpressure on a full queue, deadline shedding of stale batches) —
+//! is documented in `docs/concurrency.md`: the snapshot lifecycle,
+//! epoch-based reclamation, the writer-crash contract, and the
+//! `update.availability_ok` bench gate.
+//!
 //! Robustness — per-query/batch budgets with graceful degradation
 //! (`engine.set_budget(..)`, the [`Completeness`] marker on every
 //! result), typed per-item errors ([`QueryError`] / [`OpError`]), panic

@@ -23,7 +23,7 @@ use pmr::engine::{EngineConfig, Query, QueryResult};
 use pmr::fault::{self, FaultKind, FaultPlan, FaultSpec};
 use pmr::{
     build_sharded_vector_engine, Counters, DegradeReason, FaultPolicy, PartitionPolicy,
-    QueryBudget, QueryError, ServeBudget, ShardedEngine, L2,
+    QueryBudget, QueryError, ServeBudget, ShardedEngine, UpdateBatch, L2,
 };
 use std::sync::Mutex;
 
@@ -284,4 +284,272 @@ fn injected_probe_delays_trip_the_query_deadline() {
     e.set_budget(ServeBudget::unlimited());
     let again = e.serve(std::slice::from_ref(&q));
     assert_eq!(again.results[0], exact.results[0]);
+}
+
+/// The crash-safe apply contract (`docs/concurrency.md`): a panic injected
+/// anywhere inside the staging transaction — mid-op (`engine.apply.stage`)
+/// or at the last abortable point before publication
+/// (`engine.apply.publish`) — aborts the whole batch. Nothing lands, the
+/// epoch does not advance, a reader hammering the engine *during* the
+/// abort sees byte-identical results throughout, and retrying the same
+/// batch after clearing the fault succeeds.
+#[test]
+fn writer_panic_mid_apply_aborts_and_serving_continues() {
+    quiet_injected_panics();
+    let _g = PLAN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    fault::clear();
+
+    let pts = pmr::datasets::la(400, 5);
+    let mut e = build(PartitionPolicy::PivotSpace, 4, &pts);
+    let reader = e.reader().expect("matrix LAESA engines fork");
+    let queries: Vec<Query<Vec<f32>>> = (0..16)
+        .map(|i| Query::range(pts[i * 23].clone(), 40.0))
+        .collect();
+    let baseline = e.serve(&queries).results;
+    let epoch0 = e.epoch();
+    let len0 = e.len();
+
+    for point in ["engine.apply.stage", "engine.apply.publish"] {
+        fault::install(FaultPlan::new().with(FaultSpec::always(point, None, FaultKind::Panic)));
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            // Set the stop flag even if a writer-side assertion below
+            // panics, so the reader thread exits and the scope join cannot
+            // hang the suite.
+            struct StopOnDrop<'a>(&'a std::sync::atomic::AtomicBool);
+            impl Drop for StopOnDrop<'_> {
+                fn drop(&mut self) {
+                    self.0.store(true, std::sync::atomic::Ordering::Relaxed);
+                }
+            }
+            let _stop_guard = StopOnDrop(&stop);
+            let h = {
+                let r = reader.clone();
+                let stop = &stop;
+                let queries = &queries;
+                let baseline = &baseline;
+                s.spawn(move || {
+                    // At least one batch races the aborting apply; more as
+                    // long as it is still in flight.
+                    let mut batches = 0u32;
+                    loop {
+                        let out = r.serve(queries);
+                        assert_eq!(out.report.epoch, epoch0, "no epoch mid-abort");
+                        assert_eq!(&out.results, baseline, "reads unperturbed by abort");
+                        batches += 1;
+                        if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    batches
+                })
+            };
+            let mut batch = UpdateBatch::new();
+            batch.remove(0).insert(vec![1.0f32; 2]);
+            let report = e.apply(&batch);
+            assert!(report.aborted, "{point}: the transaction aborted");
+            assert_eq!((report.inserts, report.removes), (0, 0), "{point}");
+            assert!(report.inserted_ids.is_empty(), "{point}");
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            assert!(h.join().expect("reader panicked") > 0);
+        });
+        // All-or-nothing: no op landed, no snapshot was published.
+        assert_eq!(e.epoch(), epoch0, "{point}: epoch unchanged");
+        assert_eq!(e.len(), len0, "{point}: live count unchanged");
+        assert!(e.get(0).is_some(), "{point}: the remove did not apply");
+        assert_eq!(
+            e.serve(&queries).results,
+            baseline,
+            "{point}: post-abort serving byte-identical"
+        );
+        fault::clear();
+    }
+    let snap = e.metrics();
+    if snap.enabled {
+        let aborts = snap
+            .counters
+            .iter()
+            .find(|(n, _)| n == "apply.aborts")
+            .map(|(_, v)| *v);
+        assert_eq!(aborts, Some(2), "both aborts counted");
+    }
+
+    // Retry after the fault is gone: the identical batch applies cleanly.
+    let mut batch = UpdateBatch::new();
+    batch.remove(0).insert(vec![1.0f32; 2]);
+    let report = e.apply(&batch);
+    assert!(!report.aborted);
+    assert_eq!((report.inserts, report.removes), (1, 1));
+    assert_eq!(e.epoch(), epoch0 + 1);
+    assert!(e.get(0).is_none());
+}
+
+/// A panic inside the re-clustering pass (`engine.recluster`) aborts the
+/// *whole* transaction, including the several hundred inserts that staged
+/// before the trigger fired — re-clustering is part of the apply
+/// transaction, not a separate best-effort pass.
+#[test]
+fn recluster_panic_aborts_the_whole_batch() {
+    quiet_injected_panics();
+    let _g = PLAN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    fault::clear();
+
+    let pts = pmr::datasets::la(400, 5);
+    let mut e = build_sharded_vector_engine(
+        IndexKind::Laesa,
+        pts.to_vec(),
+        L2,
+        &opts(),
+        &EngineConfig {
+            shards: 4,
+            threads: 1,
+            refresh: pmr::RefreshPolicy {
+                max_imbalance: 2.0,
+                min_objects: 50,
+            },
+            ..EngineConfig::default()
+        },
+        PartitionPolicy::PivotSpace,
+    )
+    .unwrap();
+    let epoch0 = e.epoch();
+
+    // 300 near-duplicates of one region all route to one shard and trip
+    // the refresh trigger — where the injected panic fires.
+    let hot = pts[7].clone();
+    let mut batch = UpdateBatch::new();
+    for i in 0..300 {
+        let mut o = hot.clone();
+        o[0] += (i % 17) as f32;
+        o[1] += (i % 13) as f32;
+        batch.insert(o);
+    }
+    fault::install(FaultPlan::new().with(FaultSpec::always(
+        "engine.recluster",
+        None,
+        FaultKind::Panic,
+    )));
+    let report = e.apply(&batch);
+    assert!(report.aborted, "recluster panic aborts the transaction");
+    assert_eq!(e.len(), 400, "all 300 staged inserts discarded with it");
+    assert_eq!(e.epoch(), epoch0);
+    assert_eq!(fault::fired(), vec![1]);
+
+    // Retry lands everything, including the re-clustering pass.
+    fault::clear();
+    let report = e.apply(&batch);
+    assert!(!report.aborted);
+    assert_eq!(report.inserts, 300);
+    assert_eq!(report.reclusters, 1, "skew still trips the refresh policy");
+    assert_eq!(e.len(), 700);
+    assert_eq!(e.epoch(), epoch0 + 1);
+}
+
+/// Quarantine × publication, across the four shardable kinds and both
+/// partition policies: a shard quarantined during churn stays quarantined
+/// across snapshot publishes (quarantine state lives beside the snapshot
+/// slot, not inside any one snapshot), and after `heal()` the next
+/// published snapshot serves byte-identically to a never-faulted control
+/// engine that applied the same batches.
+#[test]
+fn quarantine_survives_publication_and_heal_restores_parity() {
+    quiet_injected_panics();
+    let _g = PLAN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    fault::clear();
+
+    let kinds = [
+        IndexKind::Laesa,
+        IndexKind::Cpt,
+        IndexKind::Mvpt,
+        IndexKind::OmniR,
+    ];
+    let policies = [PartitionPolicy::RoundRobin, PartitionPolicy::PivotSpace];
+    let pts = pmr::datasets::la(150, 5);
+    // Big-radius ranges probe every live shard on both policies.
+    let queries: Vec<Query<Vec<f32>>> = (0..6)
+        .map(|i| Query::range(pts[i * 20].clone(), 1e6))
+        .collect();
+    let churn = |step: usize| {
+        let mut b = UpdateBatch::new();
+        for i in 0..5u32 {
+            b.remove(step as u32 * 5 + i);
+            b.insert(
+                (0..2)
+                    .map(|d| ((step * 7 + d * 3 + i as usize) % 50) as f32)
+                    .collect(),
+            );
+        }
+        b
+    };
+
+    for kind in kinds {
+        for policy in policies {
+            let mk = || {
+                build_sharded_vector_engine(
+                    kind,
+                    pts.clone(),
+                    L2,
+                    &opts(),
+                    &EngineConfig {
+                        shards: 3,
+                        threads: 1,
+                        faults: FaultPolicy {
+                            quarantine_after: 2,
+                        },
+                        ..EngineConfig::default()
+                    },
+                    policy,
+                )
+                .unwrap()
+            };
+            let mut chaos = mk();
+            let mut control = mk();
+            let label = format!("{kind:?}/{policy:?}");
+
+            // Two injected probe panics on shard 1 trip the quarantine.
+            fault::install(FaultPlan::new().with(FaultSpec::always(
+                "engine.probe",
+                Some(1),
+                FaultKind::Panic,
+            )));
+            let out = chaos.serve(&queries);
+            assert_eq!(out.report.failed, 2, "{label}: two contained panics");
+            assert_eq!(chaos.quarantined_shards(), vec![1], "{label}");
+            fault::clear();
+
+            // Churn publishes a fresh snapshot; the quarantine carries over
+            // and the new snapshot still routes around shard 1.
+            let epoch0 = chaos.epoch();
+            chaos.apply(&churn(0));
+            control.apply(&churn(0));
+            assert_eq!(chaos.epoch(), epoch0 + 1, "{label}: publish happened");
+            assert_eq!(
+                chaos.quarantined_shards(),
+                vec![1],
+                "{label}: quarantine survives publication"
+            );
+            let during = chaos.serve(&queries);
+            assert_eq!(during.report.failed, 0, "{label}: no more panics");
+            assert_eq!(
+                during.report.degraded,
+                queries.len(),
+                "{label}: every query degrades around the quarantined shard"
+            );
+
+            // Heal, publish once more: byte-identical to the never-faulted
+            // control engine over the same batch stream.
+            assert_eq!(chaos.heal(), 1, "{label}");
+            chaos.apply(&churn(1));
+            control.apply(&churn(1));
+            let healed = chaos.serve(&queries);
+            let clean = control.serve(&queries);
+            assert_eq!(healed.report.degraded, 0, "{label}: fully healed");
+            assert_eq!(healed.report.failed, 0, "{label}");
+            assert_eq!(
+                healed.results, clean.results,
+                "{label}: healed serving matches the control engine"
+            );
+            assert_eq!(healed.report.epoch, clean.report.epoch, "{label}");
+        }
+    }
 }

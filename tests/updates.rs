@@ -704,16 +704,17 @@ fn fqa_compaction_equals_rebuild() {
     }
 }
 
-/// The shrink regression test of the acceptance criteria: after removes,
-/// the apply path's recomputed boxes must prune at least as well as — and
-/// on emptied regions strictly better than — the stale-box single-op path,
-/// with byte-identical answers.
+/// Single-op unification regression: `remove()` is sugar for a 1-op
+/// transactional `apply`, so looping single removes shrinks routing boxes
+/// exactly like one batched apply — the old stale-box fast path (which
+/// left emptied shards probed forever) is gone. Answers byte-identical,
+/// pruning identical, and emptied shards are pruned on both routes.
 #[test]
-fn box_shrinking_beats_stale_boxes() {
+fn single_op_removes_shrink_boxes_like_batched_apply() {
     let pts = datasets::la(600, 21);
     let opts = engine_opts(5);
     let pivots = hfi_pivots(&pts, 5);
-    let mut shrunk = build_engine(
+    let mut batched = build_engine(
         IndexKind::Laesa,
         &pts,
         &pivots,
@@ -721,7 +722,7 @@ fn box_shrinking_beats_stale_boxes() {
         8,
         PartitionPolicy::PivotSpace,
     );
-    let mut stale = build_engine(
+    let mut singles = build_engine(
         IndexKind::Laesa,
         &pts,
         &pivots,
@@ -733,23 +734,27 @@ fn box_shrinking_beats_stale_boxes() {
     // Empty out two whole shards (a hot region being migrated away).
     let victims: Vec<usize> = vec![0, 5];
     let doomed: Vec<ObjId> = (0..600u32)
-        .filter(|&g| victims.contains(&shrunk.locate(g).unwrap().0))
+        .filter(|&g| victims.contains(&batched.locate(g).unwrap().0))
         .collect();
     assert!(!doomed.is_empty());
     let mut batch = UpdateBatch::new();
     for &g in &doomed {
         batch.remove(g);
     }
-    let report = shrunk.apply(&batch); // maintained path: shrinks boxes
+    let report = batched.apply(&batch); // one transaction
     assert_eq!(report.removes, doomed.len());
     assert_eq!(report.reboxed_shards, victims.len());
     for &g in &doomed {
-        assert!(stale.remove(g)); // legacy path: boxes left stale
+        assert!(singles.remove(g)); // N 1-op transactions — same path
     }
-    assert_eq!(shrunk.len(), stale.len());
+    assert_eq!(batched.len(), singles.len());
+    // Every 1-op transaction published its own snapshot; the batch
+    // published one.
+    assert_eq!(singles.epoch(), doomed.len() as u64);
+    assert_eq!(batched.epoch(), 1);
 
     // Serve the same batch, query points drawn from the removed region
-    // (small radii — the case stale boxes hurt most).
+    // (small radii — the case stale boxes used to hurt most).
     let batch: Vec<Query<Vec<f32>>> = doomed
         .iter()
         .take(60)
@@ -763,25 +768,21 @@ fn box_shrinking_beats_stale_boxes() {
             }
         })
         .collect();
-    shrunk.reset_counters();
-    stale.reset_counters();
-    let out_shrunk = shrunk.serve(&batch);
-    let out_stale = stale.serve(&batch);
+    batched.reset_counters();
+    singles.reset_counters();
+    let out_batched = batched.serve(&batch);
+    let out_singles = singles.serve(&batch);
     assert_eq!(
-        out_shrunk.results, out_stale.results,
-        "shrinking never changes answers"
+        out_batched.results, out_singles.results,
+        "both mutation routes give byte-identical answers"
+    );
+    assert_eq!(
+        out_batched.report.shards_pruned, out_singles.report.shards_pruned,
+        "single-op removes shrink boxes exactly like the batched apply"
     );
     assert!(
-        out_shrunk.report.prune_rate() >= out_stale.report.prune_rate(),
-        "shrunk boxes prune at least as well: {:.3} vs {:.3}",
-        out_shrunk.report.prune_rate(),
-        out_stale.report.prune_rate()
-    );
-    assert!(
-        out_shrunk.report.shards_pruned > out_stale.report.shards_pruned,
-        "emptied shards must be pruned strictly more often: {} vs {}",
-        out_shrunk.report.shards_pruned,
-        out_stale.report.shards_pruned
+        out_batched.report.shards_pruned > 0,
+        "emptied shards must be pruned (no stale boxes on either route)"
     );
 }
 
